@@ -1,0 +1,328 @@
+//! Dataset-distribution analysis: PCA and t-SNE embeddings of mask
+//! collections, used to regenerate the paper's Fig. 2(a).
+//!
+//! Masks are reduced to low-dimensional feature vectors (block-averaged
+//! pixels), optionally compressed with [`pca`], and embedded in 2-D with an
+//! exact (non-approximated) [`tsne`] implementation — dataset sizes in this
+//! workspace are small enough that the O(N²) formulation is fine.
+
+#![forbid(unsafe_code)]
+
+use litho_math::linalg::matmul;
+use litho_math::util::block_downsample;
+use litho_math::{eigen, DeterministicRng, RealMatrix};
+
+/// Converts a set of masks into row-feature vectors by block-averaging each
+/// mask down to `feature_side × feature_side` pixels.
+///
+/// # Panics
+///
+/// Panics if `masks` is empty or `feature_side` does not divide the mask size.
+pub fn mask_features(masks: &[&RealMatrix], feature_side: usize) -> RealMatrix {
+    assert!(!masks.is_empty(), "need at least one mask");
+    let dim = feature_side * feature_side;
+    let mut features = RealMatrix::zeros(masks.len(), dim);
+    for (row, mask) in masks.iter().enumerate() {
+        assert_eq!(
+            mask.rows() % feature_side,
+            0,
+            "feature side must divide the mask size"
+        );
+        let small = block_downsample(mask, mask.rows() / feature_side);
+        for (col, &value) in small.as_slice().iter().enumerate() {
+            features[(row, col)] = value;
+        }
+    }
+    features
+}
+
+/// Projects row-vector samples onto their `components` leading principal
+/// components.
+///
+/// # Panics
+///
+/// Panics if `components` is zero or exceeds the feature dimension.
+pub fn pca(data: &RealMatrix, components: usize) -> RealMatrix {
+    let (n, d) = data.shape();
+    assert!(components > 0 && components <= d, "invalid component count");
+    // Center the data.
+    let mut means = vec![0.0; d];
+    for i in 0..n {
+        for j in 0..d {
+            means[j] += data[(i, j)] / n as f64;
+        }
+    }
+    let centered = data.map_indexed(|_, j, v| v - means[j]);
+    // Covariance (d × d) and its eigenvectors.
+    let covariance = matmul(&centered.transpose(), &centered).scale(1.0 / n.max(1) as f64);
+    let eig = eigen::symmetric_eigen(&covariance);
+    let projection = RealMatrix::from_fn(d, components, |i, k| eig.vectors[(i, k)]);
+    matmul(&centered, &projection)
+}
+
+/// Configuration of the exact t-SNE embedding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsneConfig {
+    /// Target perplexity (effective number of neighbours).
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Seed for the initial embedding.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 12.0,
+            iterations: 300,
+            learning_rate: 60.0,
+            seed: 17,
+        }
+    }
+}
+
+/// Embeds row-vector samples into 2-D with exact t-SNE (KL divergence between
+/// Gaussian input affinities and Student-t output affinities, gradient
+/// descent with momentum and early exaggeration).
+///
+/// Returns an `N × 2` matrix of embedding coordinates.
+///
+/// # Panics
+///
+/// Panics if fewer than four samples are provided.
+pub fn tsne(data: &RealMatrix, config: &TsneConfig) -> RealMatrix {
+    let n = data.rows();
+    assert!(n >= 4, "t-SNE needs at least four samples");
+
+    let p = joint_affinities(data, config.perplexity);
+    let mut rng = DeterministicRng::new(config.seed);
+    let mut y = RealMatrix::from_fn(n, 2, |_, _| rng.normal(0.0, 1e-2));
+    let mut velocity = RealMatrix::zeros(n, 2);
+
+    for iteration in 0..config.iterations {
+        let exaggeration = if iteration < config.iterations / 4 { 4.0 } else { 1.0 };
+        // Student-t affinities of the embedding.
+        let mut q_num = RealMatrix::zeros(n, n);
+        let mut q_sum = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let dy0 = y[(i, 0)] - y[(j, 0)];
+                let dy1 = y[(i, 1)] - y[(j, 1)];
+                let value = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+                q_num[(i, j)] = value;
+                q_sum += value;
+            }
+        }
+        // Gradient step.
+        let momentum = if iteration < 60 { 0.5 } else { 0.8 };
+        let mut gradient = RealMatrix::zeros(n, 2);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let q = (q_num[(i, j)] / q_sum).max(1e-12);
+                let coeff = 4.0 * (exaggeration * p[(i, j)] - q) * q_num[(i, j)];
+                gradient[(i, 0)] += coeff * (y[(i, 0)] - y[(j, 0)]);
+                gradient[(i, 1)] += coeff * (y[(i, 1)] - y[(j, 1)]);
+            }
+        }
+        for i in 0..n {
+            for k in 0..2 {
+                velocity[(i, k)] = momentum * velocity[(i, k)] - config.learning_rate * gradient[(i, k)];
+                y[(i, k)] += velocity[(i, k)];
+            }
+        }
+    }
+    y
+}
+
+/// Symmetrized input affinities with per-point bandwidths found by a binary
+/// search on the perplexity.
+fn joint_affinities(data: &RealMatrix, perplexity: f64) -> RealMatrix {
+    let n = data.rows();
+    let d = data.cols();
+    // Pairwise squared distances.
+    let mut dist = RealMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut acc = 0.0;
+            for k in 0..d {
+                let diff = data[(i, k)] - data[(j, k)];
+                acc += diff * diff;
+            }
+            dist[(i, j)] = acc;
+            dist[(j, i)] = acc;
+        }
+    }
+    let target_entropy = perplexity.max(2.0).ln();
+    let mut p = RealMatrix::zeros(n, n);
+    for i in 0..n {
+        let mut beta = 1.0;
+        let (mut beta_min, mut beta_max) = (0.0_f64, f64::INFINITY);
+        for _ in 0..50 {
+            let mut sum = 0.0;
+            for j in 0..n {
+                if j != i {
+                    sum += (-beta * dist[(i, j)]).exp();
+                }
+            }
+            let sum = sum.max(1e-300);
+            let mut entropy = 0.0;
+            for j in 0..n {
+                if j != i {
+                    let pij = (-beta * dist[(i, j)]).exp() / sum;
+                    if pij > 1e-300 {
+                        entropy -= pij * pij.ln();
+                    }
+                }
+            }
+            if (entropy - target_entropy).abs() < 1e-5 {
+                break;
+            }
+            if entropy > target_entropy {
+                beta_min = beta;
+                beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+            } else {
+                beta_max = beta;
+                beta = (beta + beta_min) / 2.0;
+            }
+        }
+        let mut sum = 0.0;
+        for j in 0..n {
+            if j != i {
+                sum += (-beta * dist[(i, j)]).exp();
+            }
+        }
+        let sum = sum.max(1e-300);
+        for j in 0..n {
+            if j != i {
+                p[(i, j)] = (-beta * dist[(i, j)]).exp() / sum;
+            }
+        }
+    }
+    // Symmetrize and normalize.
+    let mut joint = RealMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            joint[(i, j)] = ((p[(i, j)] + p[(j, i)]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+    joint
+}
+
+/// Mean pairwise Euclidean distance between two groups of embedded points
+/// minus the mean within-group distance; positive values mean the groups are
+/// separated. Used to verify Fig. 2(a)-style cluster structure numerically.
+pub fn separation_score(embedding: &RealMatrix, group_a: &[usize], group_b: &[usize]) -> f64 {
+    let dist = |i: usize, j: usize| {
+        let dx = embedding[(i, 0)] - embedding[(j, 0)];
+        let dy = embedding[(i, 1)] - embedding[(j, 1)];
+        (dx * dx + dy * dy).sqrt()
+    };
+    let mean_pairs = |pairs: &mut dyn Iterator<Item = (usize, usize)>| {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (i, j) in pairs {
+            sum += dist(i, j);
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    };
+    let between = mean_pairs(&mut group_a.iter().flat_map(|&i| group_b.iter().map(move |&j| (i, j))));
+    let within_a = mean_pairs(&mut group_a
+        .iter()
+        .enumerate()
+        .flat_map(|(idx, &i)| group_a[idx + 1..].iter().map(move |&j| (i, j))));
+    let within_b = mean_pairs(&mut group_b
+        .iter()
+        .enumerate()
+        .flat_map(|(idx, &i)| group_b[idx + 1..].iter().map(move |&j| (i, j))));
+    between - 0.5 * (within_a + within_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_data(per_cluster: usize, dim: usize, gap: f64) -> RealMatrix {
+        let mut rng = DeterministicRng::new(3);
+        RealMatrix::from_fn(2 * per_cluster, dim, |i, _| {
+            let center = if i < per_cluster { 0.0 } else { gap };
+            center + rng.normal(0.0, 0.3)
+        })
+    }
+
+    #[test]
+    fn mask_features_shape_and_values() {
+        let mask_a = RealMatrix::filled(32, 32, 1.0);
+        let mask_b = RealMatrix::zeros(32, 32);
+        let features = mask_features(&[&mask_a, &mask_b], 8);
+        assert_eq!(features.shape(), (2, 64));
+        assert!((features[(0, 0)] - 1.0).abs() < 1e-12);
+        assert_eq!(features[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn pca_projects_onto_dominant_direction() {
+        let data = two_cluster_data(20, 6, 10.0);
+        let projected = pca(&data, 2);
+        assert_eq!(projected.shape(), (40, 2));
+        // The first component must separate the two clusters.
+        let first: Vec<f64> = (0..40).map(|i| projected[(i, 0)]).collect();
+        let mean_a: f64 = first[..20].iter().sum::<f64>() / 20.0;
+        let mean_b: f64 = first[20..].iter().sum::<f64>() / 20.0;
+        assert!((mean_a - mean_b).abs() > 5.0);
+    }
+
+    #[test]
+    fn tsne_separates_well_separated_clusters() {
+        let data = two_cluster_data(12, 8, 8.0);
+        let config = TsneConfig {
+            iterations: 150,
+            ..TsneConfig::default()
+        };
+        let embedding = tsne(&data, &config);
+        assert_eq!(embedding.shape(), (24, 2));
+        let group_a: Vec<usize> = (0..12).collect();
+        let group_b: Vec<usize> = (12..24).collect();
+        let score = separation_score(&embedding, &group_a, &group_b);
+        assert!(score > 0.0, "clusters should separate, score {score}");
+    }
+
+    #[test]
+    fn tsne_is_deterministic_per_seed() {
+        let data = two_cluster_data(6, 4, 4.0);
+        let config = TsneConfig {
+            iterations: 50,
+            ..TsneConfig::default()
+        };
+        let a = tsne(&data, &config);
+        let b = tsne(&data, &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least four")]
+    fn tsne_too_few_samples_panics() {
+        let data = RealMatrix::zeros(3, 4);
+        let _ = tsne(&data, &TsneConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid component count")]
+    fn pca_too_many_components_panics() {
+        let data = RealMatrix::zeros(5, 3);
+        let _ = pca(&data, 4);
+    }
+}

@@ -1,0 +1,51 @@
+//! Reverse-mode automatic differentiation over complex matrices.
+//!
+//! The Nitho training procedure (Algorithm 1 of the paper) back-propagates a
+//! real-valued MSE loss through intensity formation `|E|²`, inverse FFTs,
+//! spectrum products and complex-valued linear layers. Mainstream Rust ML
+//! crates have little support for complex autodiff, so this crate implements
+//! the required engine from scratch:
+//!
+//! * [`Tape`] — a define-by-run computation graph over
+//!   [`litho_math::ComplexMatrix`] values. Operations append nodes;
+//!   [`Tape::backward`] walks the tape in reverse and accumulates gradients.
+//! * **Wirtinger convention** — for every node `x` the stored gradient is
+//!   `g_x = ∂L/∂Re(x) + i·∂L/∂Im(x)` (equal to `2·∂L/∂x̄`). For purely real
+//!   parameters this reduces to the ordinary gradient, and for complex
+//!   parameters `x ← x − lr·g_x` is steepest descent, exactly like PyTorch's
+//!   convention up to a constant factor.
+//! * [`ParamStore`] — named persistent parameters living outside any tape,
+//!   with binary save/load.
+//! * [`optim`] — SGD (with momentum) and Adam working on packed complex
+//!   gradients.
+//! * [`gradcheck`] — central-difference gradient checking used by this
+//!   crate's tests and by downstream model tests.
+//!
+//! # Example
+//!
+//! ```
+//! use litho_autodiff::Tape;
+//! use litho_math::{Complex64, ComplexMatrix};
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(ComplexMatrix::filled(1, 1, Complex64::new(2.0, 1.0)), true);
+//! let y = tape.mul(x, x);            // y = x²
+//! let loss = tape.sum_real(y);       // L = Re(x²)
+//! tape.backward(loss);
+//! let g = tape.grad(x).expect("leaf requires grad");
+//! // d Re(x²) / d(re, im) = (2a, -2b) for x = a + ib
+//! assert!((g[(0, 0)].re - 4.0).abs() < 1e-12);
+//! assert!((g[(0, 0)].im + 2.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod gradcheck;
+pub mod optim;
+pub mod params;
+pub mod tape;
+
+pub use gradcheck::check_gradients;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use params::{ParamId, ParamStore};
+pub use tape::{NodeId, Tape};

@@ -1,0 +1,282 @@
+//! Persistent, named model parameters.
+//!
+//! A [`Tape`](crate::Tape) is rebuilt for every training step, so trainable
+//! values live outside the tape in a [`ParamStore`]. Each step the model
+//! copies its parameters onto the tape as gradient-carrying leaves, runs
+//! forward/backward, and hands the resulting gradients back to an optimizer
+//! that updates the store in place.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use litho_math::{Complex64, ComplexMatrix, DeterministicRng, Matrix};
+
+/// Identifier of a parameter within a [`ParamStore`].
+pub type ParamId = usize;
+
+/// A named collection of complex-matrix parameters.
+///
+/// # Example
+///
+/// ```
+/// use litho_autodiff::ParamStore;
+/// use litho_math::DeterministicRng;
+///
+/// let mut rng = DeterministicRng::new(0);
+/// let mut params = ParamStore::new();
+/// let w = params.add_complex_glorot("w", 4, 8, &mut rng);
+/// assert_eq!(params.value(w).shape(), (4, 8));
+/// assert_eq!(params.num_scalars(), 4 * 8 * 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<ComplexMatrix>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of parameters (matrices) in the store.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Adds a parameter with an explicit initial value, returning its id.
+    pub fn add(&mut self, name: &str, value: ComplexMatrix) -> ParamId {
+        self.names.push(name.to_owned());
+        self.values.push(value);
+        self.values.len() - 1
+    }
+
+    /// Adds a zero-initialized parameter.
+    pub fn add_zeros(&mut self, name: &str, rows: usize, cols: usize) -> ParamId {
+        self.add(name, ComplexMatrix::zeros(rows, cols))
+    }
+
+    /// Adds a complex parameter with Glorot/Xavier-style initialization: both
+    /// real and imaginary parts are sampled from `N(0, 1/(rows + cols))`.
+    pub fn add_complex_glorot(
+        &mut self,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        rng: &mut DeterministicRng,
+    ) -> ParamId {
+        let std_dev = (1.0 / (rows + cols) as f64).sqrt();
+        let value = ComplexMatrix::from_fn(rows, cols, |_, _| rng.normal_complex(0.0, std_dev));
+        self.add(name, value)
+    }
+
+    /// Adds a real-valued parameter (zero imaginary part) with Glorot-style
+    /// initialization; used by the real-valued baseline networks.
+    pub fn add_real_glorot(
+        &mut self,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        rng: &mut DeterministicRng,
+    ) -> ParamId {
+        let std_dev = (2.0 / (rows + cols) as f64).sqrt();
+        let value =
+            ComplexMatrix::from_fn(rows, cols, |_, _| Complex64::from_real(rng.normal(0.0, std_dev)));
+        self.add(name, value)
+    }
+
+    /// Name of a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id]
+    }
+
+    /// Current value of a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn value(&self, id: ParamId) -> &ComplexMatrix {
+        &self.values[id]
+    }
+
+    /// Mutable access to a parameter value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut ComplexMatrix {
+        &mut self.values[id]
+    }
+
+    /// Iterates over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &ComplexMatrix)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(id, v)| (id, self.names[id].as_str(), v))
+    }
+
+    /// Total number of real scalars (each complex element counts as two).
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(|m| m.len() * 2).sum()
+    }
+
+    /// Model size in bytes assuming 32-bit storage per real scalar, matching
+    /// how the paper reports model sizes (e.g. "0.41 MB").
+    pub fn size_bytes_f32(&self) -> usize {
+        self.num_scalars() * 4
+    }
+
+    /// Serializes all parameters to a simple binary format
+    /// (`name length, name, rows, cols, interleaved f64 data` per entry).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(b"NITHOPRM")?;
+        w.write_all(&(self.values.len() as u64).to_le_bytes())?;
+        for (name, value) in self.names.iter().zip(self.values.iter()) {
+            let bytes = name.as_bytes();
+            w.write_all(&(bytes.len() as u64).to_le_bytes())?;
+            w.write_all(bytes)?;
+            w.write_all(&(value.rows() as u64).to_le_bytes())?;
+            w.write_all(&(value.cols() as u64).to_le_bytes())?;
+            for z in value.iter() {
+                w.write_all(&z.re.to_le_bytes())?;
+                w.write_all(&z.im.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads a store previously written by [`ParamStore::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be read or has an invalid header.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != b"NITHOPRM" {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad parameter file header"));
+        }
+        let count = read_u64(&mut r)? as usize;
+        let mut store = Self::new();
+        for _ in 0..count {
+            let name_len = read_u64(&mut r)? as usize;
+            let mut name_bytes = vec![0u8; name_len];
+            r.read_exact(&mut name_bytes)?;
+            let name = String::from_utf8(name_bytes)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "invalid parameter name"))?;
+            let rows = read_u64(&mut r)? as usize;
+            let cols = read_u64(&mut r)? as usize;
+            let mut data = Vec::with_capacity(rows * cols);
+            for _ in 0..rows * cols {
+                let re = read_f64(&mut r)?;
+                let im = read_f64(&mut r)?;
+                data.push(Complex64::new(re, im));
+            }
+            store.add(&name, Matrix::from_vec(rows, cols, data));
+        }
+        Ok(store)
+    }
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(f64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_parameters() {
+        let mut rng = DeterministicRng::new(1);
+        let mut store = ParamStore::new();
+        assert!(store.is_empty());
+        let a = store.add_zeros("a", 2, 3);
+        let b = store.add_complex_glorot("b", 3, 3, &mut rng);
+        let c = store.add_real_glorot("c", 4, 1, &mut rng);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.name(a), "a");
+        assert_eq!(store.value(b).shape(), (3, 3));
+        assert!(store.value(c).iter().all(|z| z.im == 0.0));
+        assert_eq!(store.num_scalars(), (6 + 9 + 4) * 2);
+        assert_eq!(store.size_bytes_f32(), (6 + 9 + 4) * 2 * 4);
+        let names: Vec<&str> = store.iter().map(|(_, n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn glorot_scale_shrinks_with_fan() {
+        let mut rng = DeterministicRng::new(2);
+        let mut store = ParamStore::new();
+        let small = store.add_complex_glorot("small", 4, 4, &mut rng);
+        let large = store.add_complex_glorot("large", 256, 256, &mut rng);
+        let rms = |m: &ComplexMatrix| {
+            (m.iter().map(|z| z.abs_sq()).sum::<f64>() / m.len() as f64).sqrt()
+        };
+        assert!(rms(store.value(small)) > rms(store.value(large)));
+    }
+
+    #[test]
+    fn mutate_value_in_place() {
+        let mut store = ParamStore::new();
+        let id = store.add_zeros("w", 1, 1);
+        store.value_mut(id)[(0, 0)] = Complex64::new(5.0, -1.0);
+        assert_eq!(store.value(id)[(0, 0)], Complex64::new(5.0, -1.0));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut rng = DeterministicRng::new(3);
+        let mut store = ParamStore::new();
+        store.add_complex_glorot("layer0.weight", 5, 7, &mut rng);
+        store.add_real_glorot("layer0.bias", 1, 7, &mut rng);
+
+        let dir = std::env::temp_dir().join("nitho_param_test");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("params.bin");
+        store.save(&path).expect("save parameters");
+        let loaded = ParamStore::load(&path).expect("load parameters");
+        assert_eq!(loaded.len(), store.len());
+        for ((_, n1, v1), (_, n2, v2)) in store.iter().zip(loaded.iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(v1, v2);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_bad_header() {
+        let dir = std::env::temp_dir().join("nitho_param_test_bad");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("bad.bin");
+        std::fs::write(&path, b"NOTAPARM").expect("write file");
+        assert!(ParamStore::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

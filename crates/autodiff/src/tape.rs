@@ -1,0 +1,1009 @@
+//! The define-by-run computation graph.
+//!
+//! A [`Tape`] owns every intermediate value of a forward pass. Each operation
+//! appends a [`Node`] recording its inputs, so the reverse pass is a single
+//! backwards walk over the node vector (creation order is already a
+//! topological order).
+
+use litho_fft::{fft2, fftshift, ifft2, ifftshift};
+use litho_math::util::{center_crop, center_pad};
+use litho_math::{Complex64, ComplexMatrix, RealMatrix};
+
+/// Identifier of a node on a [`Tape`].
+pub type NodeId = usize;
+
+/// Metadata describing a 2-D convolution node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Number of input channels (input matrix is `in_channels·height` rows tall).
+    pub in_channels: usize,
+    /// Number of output channels.
+    pub out_channels: usize,
+    /// Kernel height (odd).
+    pub kernel_h: usize,
+    /// Kernel width (odd).
+    pub kernel_w: usize,
+    /// Spatial height of one channel plane.
+    pub height: usize,
+    /// Spatial width of one channel plane.
+    pub width: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Neg(NodeId),
+    ScaleRe(NodeId, f64),
+    Scale(NodeId, Complex64),
+    Mul(NodeId, NodeId),
+    MatMul(NodeId, NodeId),
+    Conj(NodeId),
+    CRelu(NodeId),
+    Relu(NodeId),
+    Sigmoid(NodeId),
+    AbsSq(NodeId),
+    Fft2(NodeId),
+    Ifft2(NodeId),
+    FftShift(NodeId),
+    IfftShift(NodeId),
+    CenterCrop(NodeId),
+    CenterPad(NodeId),
+    Column {
+        input: NodeId,
+        col: usize,
+    },
+    AddBiasRow {
+        input: NodeId,
+        bias: NodeId,
+    },
+    SumAll(NodeId),
+    SumReal(NodeId),
+    MeanReal(NodeId),
+    MseReal {
+        pred: NodeId,
+        target: RealMatrix,
+    },
+    Conv2d {
+        input: NodeId,
+        weight: NodeId,
+        bias: NodeId,
+        spec: ConvSpec,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: ComplexMatrix,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// A reverse-mode autodiff tape over complex matrices.
+///
+/// Values are created with [`Tape::leaf`] (trainable / gradient-carrying) or
+/// [`Tape::constant`] (no gradient), combined with the operation methods, and
+/// differentiated with [`Tape::backward`].
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    grads: Vec<Option<ComplexMatrix>>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: ComplexMatrix, op: Op, requires_grad: bool) -> NodeId {
+        self.nodes.push(Node {
+            value,
+            op,
+            requires_grad,
+        });
+        self.grads.push(None);
+        self.nodes.len() - 1
+    }
+
+    fn rg(&self, id: NodeId) -> bool {
+        self.nodes[id].requires_grad
+    }
+
+    /// Adds a leaf value. When `requires_grad` is true its gradient is kept
+    /// after [`Tape::backward`].
+    pub fn leaf(&mut self, value: ComplexMatrix, requires_grad: bool) -> NodeId {
+        self.push(value, Op::Leaf, requires_grad)
+    }
+
+    /// Adds a constant (non-differentiated) complex value.
+    pub fn constant(&mut self, value: ComplexMatrix) -> NodeId {
+        self.leaf(value, false)
+    }
+
+    /// Adds a constant real matrix, lifted to complex with zero imaginary part.
+    pub fn constant_real(&mut self, value: &RealMatrix) -> NodeId {
+        self.leaf(value.to_complex(), false)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, id: NodeId) -> &ComplexMatrix {
+        &self.nodes[id].value
+    }
+
+    /// Gradient of a node after [`Tape::backward`], if it was computed.
+    ///
+    /// The gradient uses the packed Wirtinger convention
+    /// `∂L/∂Re(x) + i·∂L/∂Im(x)`.
+    pub fn grad(&self, id: NodeId) -> Option<&ComplexMatrix> {
+        self.grads[id].as_ref()
+    }
+
+    // ----------------------------------------------------------------- ops
+
+    /// Element-wise sum `a + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = &self.nodes[a].value + &self.nodes[b].value;
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::Add(a, b), rg)
+    }
+
+    /// Element-wise difference `a - b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = &self.nodes[a].value - &self.nodes[b].value;
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::Sub(a, b), rg)
+    }
+
+    /// Negation `-a`.
+    pub fn neg(&mut self, a: NodeId) -> NodeId {
+        let value = self.nodes[a].value.map(|z| -z);
+        let rg = self.rg(a);
+        self.push(value, Op::Neg(a), rg)
+    }
+
+    /// Scaling by a real constant.
+    pub fn scale_re(&mut self, a: NodeId, s: f64) -> NodeId {
+        let value = self.nodes[a].value.scale_re(s);
+        let rg = self.rg(a);
+        self.push(value, Op::ScaleRe(a, s), rg)
+    }
+
+    /// Scaling by a complex constant.
+    pub fn scale(&mut self, a: NodeId, s: Complex64) -> NodeId {
+        let value = self.nodes[a].value.scale(s);
+        let rg = self.rg(a);
+        self.push(value, Op::Scale(a, s), rg)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = self.nodes[a].value.hadamard(&self.nodes[b].value);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::Mul(a, b), rg)
+    }
+
+    /// Matrix product `a · b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = litho_math::linalg::cmatmul(&self.nodes[a].value, &self.nodes[b].value);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::MatMul(a, b), rg)
+    }
+
+    /// Element-wise complex conjugate.
+    pub fn conj(&mut self, a: NodeId) -> NodeId {
+        let value = self.nodes[a].value.conj();
+        let rg = self.rg(a);
+        self.push(value, Op::Conj(a), rg)
+    }
+
+    /// Complex ReLU: `CReLU(z) = ReLU(Re z) + i·ReLU(Im z)` (paper Eq. (11)).
+    pub fn crelu(&mut self, a: NodeId) -> NodeId {
+        let value = self.nodes[a]
+            .value
+            .map(|z| Complex64::new(z.re.max(0.0), z.im.max(0.0)));
+        let rg = self.rg(a);
+        self.push(value, Op::CRelu(a), rg)
+    }
+
+    /// Real ReLU applied to the real part (imaginary part is dropped). Used by
+    /// the real-valued baseline networks.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let value = self.nodes[a].value.map(|z| Complex64::new(z.re.max(0.0), 0.0));
+        let rg = self.rg(a);
+        self.push(value, Op::Relu(a), rg)
+    }
+
+    /// Logistic sigmoid applied to the real part (imaginary part is dropped).
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let value = self.nodes[a]
+            .value
+            .map(|z| Complex64::new(1.0 / (1.0 + (-z.re).exp()), 0.0));
+        let rg = self.rg(a);
+        self.push(value, Op::Sigmoid(a), rg)
+    }
+
+    /// Element-wise squared magnitude `|z|²` (a real-valued matrix stored with
+    /// zero imaginary part). This is the intensity-formation step of the SOCS
+    /// formula.
+    pub fn abs_sq(&mut self, a: NodeId) -> NodeId {
+        let value = self.nodes[a].value.map(|z| Complex64::new(z.abs_sq(), 0.0));
+        let rg = self.rg(a);
+        self.push(value, Op::AbsSq(a), rg)
+    }
+
+    /// Forward 2-D FFT (unnormalized).
+    pub fn fft2(&mut self, a: NodeId) -> NodeId {
+        let value = fft2(&self.nodes[a].value);
+        let rg = self.rg(a);
+        self.push(value, Op::Fft2(a), rg)
+    }
+
+    /// Inverse 2-D FFT (normalized by `1/N`).
+    pub fn ifft2(&mut self, a: NodeId) -> NodeId {
+        let value = ifft2(&self.nodes[a].value);
+        let rg = self.rg(a);
+        self.push(value, Op::Ifft2(a), rg)
+    }
+
+    /// Moves the DC bin to the matrix center.
+    pub fn fftshift(&mut self, a: NodeId) -> NodeId {
+        let value = fftshift(&self.nodes[a].value);
+        let rg = self.rg(a);
+        self.push(value, Op::FftShift(a), rg)
+    }
+
+    /// Moves the DC bin back to the corner.
+    pub fn ifftshift(&mut self, a: NodeId) -> NodeId {
+        let value = ifftshift(&self.nodes[a].value);
+        let rg = self.rg(a);
+        self.push(value, Op::IfftShift(a), rg)
+    }
+
+    /// DC-aligned centered crop to `rows × cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output is larger than the input.
+    pub fn center_crop(&mut self, a: NodeId, rows: usize, cols: usize) -> NodeId {
+        let value = center_crop(&self.nodes[a].value, rows, cols);
+        let rg = self.rg(a);
+        self.push(value, Op::CenterCrop(a), rg)
+    }
+
+    /// DC-aligned centered zero-padding to `rows × cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output is smaller than the input.
+    pub fn center_pad(&mut self, a: NodeId, rows: usize, cols: usize) -> NodeId {
+        let value = center_pad(&self.nodes[a].value, rows, cols);
+        let rg = self.rg(a);
+        self.push(value, Op::CenterPad(a), rg)
+    }
+
+    /// Extracts column `col` of a `(rows·cols) × C` matrix and reshapes it into
+    /// a `rows × cols` matrix (row-major). Used to turn one CMLP output column
+    /// into one optical kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range or the row count is not `rows·cols`.
+    pub fn column_as_matrix(&mut self, a: NodeId, col: usize, rows: usize, cols: usize) -> NodeId {
+        let src = &self.nodes[a].value;
+        assert!(col < src.cols(), "column {col} out of range");
+        assert_eq!(src.rows(), rows * cols, "row count must equal rows·cols");
+        let value = ComplexMatrix::from_fn(rows, cols, |i, j| src[(i * cols + j, col)]);
+        let rg = self.rg(a);
+        self.push(value, Op::Column { input: a, col }, rg)
+    }
+
+    /// Adds a `1 × C` bias row to every row of a `B × C` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bias is not a single row of matching width.
+    pub fn add_bias_row(&mut self, input: NodeId, bias: NodeId) -> NodeId {
+        let x = &self.nodes[input].value;
+        let b = &self.nodes[bias].value;
+        assert_eq!(b.rows(), 1, "bias must be a row vector");
+        assert_eq!(b.cols(), x.cols(), "bias width must match input width");
+        let value = x.map_indexed(|_, j, v| v + b[(0, j)]);
+        let rg = self.rg(input) || self.rg(bias);
+        self.push(value, Op::AddBiasRow { input, bias }, rg)
+    }
+
+    /// Sum of all elements (complex scalar, returned as a `1 × 1` node).
+    pub fn sum_all(&mut self, a: NodeId) -> NodeId {
+        let value = ComplexMatrix::filled(1, 1, self.nodes[a].value.sum());
+        let rg = self.rg(a);
+        self.push(value, Op::SumAll(a), rg)
+    }
+
+    /// Sum of the real parts of all elements (real scalar as a `1 × 1` node).
+    pub fn sum_real(&mut self, a: NodeId) -> NodeId {
+        let s: f64 = self.nodes[a].value.iter().map(|z| z.re).sum();
+        let rg = self.rg(a);
+        self.push(ComplexMatrix::filled(1, 1, Complex64::from_real(s)), Op::SumReal(a), rg)
+    }
+
+    /// Mean of the real parts of all elements (real scalar as a `1 × 1` node).
+    pub fn mean_real(&mut self, a: NodeId) -> NodeId {
+        let n = self.nodes[a].value.len() as f64;
+        let s: f64 = self.nodes[a].value.iter().map(|z| z.re).sum();
+        let rg = self.rg(a);
+        self.push(
+            ComplexMatrix::filled(1, 1, Complex64::from_real(s / n)),
+            Op::MeanReal(a),
+            rg,
+        )
+    }
+
+    /// Mean-squared-error loss between the real part of `pred` and a constant
+    /// real `target` (paper Eq. (5)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mse_loss(&mut self, pred: NodeId, target: &RealMatrix) -> NodeId {
+        let p = &self.nodes[pred].value;
+        assert_eq!(p.shape(), target.shape(), "prediction/target shape mismatch");
+        let n = target.len() as f64;
+        let mse: f64 = p
+            .iter()
+            .zip(target.iter())
+            .map(|(z, &t)| (z.re - t) * (z.re - t))
+            .sum::<f64>()
+            / n;
+        let rg = self.rg(pred);
+        self.push(
+            ComplexMatrix::filled(1, 1, Complex64::from_real(mse)),
+            Op::MseReal {
+                pred,
+                target: target.clone(),
+            },
+            rg,
+        )
+    }
+
+    /// 2-D convolution with stride 1 and zero "same" padding over stacked
+    /// channel planes.
+    ///
+    /// * `input` has shape `(in_channels·height) × width`: channel planes are
+    ///   stacked vertically.
+    /// * `weight` has shape `(out_channels·in_channels·kernel_h) × kernel_w`.
+    /// * `bias` has shape `out_channels × 1`.
+    /// * The output has shape `(out_channels·height) × width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shape is inconsistent with `spec` or the kernel size is
+    /// even.
+    pub fn conv2d(&mut self, input: NodeId, weight: NodeId, bias: NodeId, spec: ConvSpec) -> NodeId {
+        let x = &self.nodes[input].value;
+        let w = &self.nodes[weight].value;
+        let b = &self.nodes[bias].value;
+        assert!(spec.kernel_h % 2 == 1 && spec.kernel_w % 2 == 1, "kernel size must be odd");
+        assert_eq!(
+            x.shape(),
+            (spec.in_channels * spec.height, spec.width),
+            "conv2d input shape mismatch"
+        );
+        assert_eq!(
+            w.shape(),
+            (spec.out_channels * spec.in_channels * spec.kernel_h, spec.kernel_w),
+            "conv2d weight shape mismatch"
+        );
+        assert_eq!(b.shape(), (spec.out_channels, 1), "conv2d bias shape mismatch");
+
+        let value = conv2d_forward(x, w, b, spec);
+        let rg = self.rg(input) || self.rg(weight) || self.rg(bias);
+        self.push(
+            value,
+            Op::Conv2d {
+                input,
+                weight,
+                bias,
+                spec,
+            },
+            rg,
+        )
+    }
+
+    // ------------------------------------------------------------ backward
+
+    /// Runs the reverse pass from a scalar (`1 × 1`) node, filling in the
+    /// gradients of every node with `requires_grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a `1 × 1` node.
+    pub fn backward(&mut self, root: NodeId) {
+        assert_eq!(
+            self.nodes[root].value.shape(),
+            (1, 1),
+            "backward requires a scalar root node"
+        );
+        for g in self.grads.iter_mut() {
+            *g = None;
+        }
+        self.grads[root] = Some(ComplexMatrix::filled(1, 1, Complex64::ONE));
+
+        for id in (0..self.nodes.len()).rev() {
+            if self.grads[id].is_none() || !self.nodes[id].requires_grad {
+                continue;
+            }
+            let grad_out = self.grads[id].clone().expect("checked above");
+            let op = self.nodes[id].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    self.accumulate(a, grad_out.clone());
+                    self.accumulate(b, grad_out);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, grad_out.clone());
+                    self.accumulate(b, grad_out.map(|z| -z));
+                }
+                Op::Neg(a) => self.accumulate(a, grad_out.map(|z| -z)),
+                Op::ScaleRe(a, s) => self.accumulate(a, grad_out.scale_re(s)),
+                Op::Scale(a, s) => self.accumulate(a, grad_out.scale(s.conj())),
+                Op::Mul(a, b) => {
+                    let ga = grad_out.hadamard(&self.nodes[b].value.conj());
+                    let gb = grad_out.hadamard(&self.nodes[a].value.conj());
+                    self.accumulate(a, ga);
+                    self.accumulate(b, gb);
+                }
+                Op::MatMul(a, b) => {
+                    let ga = litho_math::linalg::cmatmul(&grad_out, &self.nodes[b].value.adjoint());
+                    let gb = litho_math::linalg::cmatmul(&self.nodes[a].value.adjoint(), &grad_out);
+                    self.accumulate(a, ga);
+                    self.accumulate(b, gb);
+                }
+                Op::Conj(a) => self.accumulate(a, grad_out.conj()),
+                Op::CRelu(a) => {
+                    let x = &self.nodes[a].value;
+                    let g = grad_out.zip_map(x, |g, v| {
+                        Complex64::new(
+                            if v.re > 0.0 { g.re } else { 0.0 },
+                            if v.im > 0.0 { g.im } else { 0.0 },
+                        )
+                    });
+                    self.accumulate(a, g);
+                }
+                Op::Relu(a) => {
+                    let x = &self.nodes[a].value;
+                    let g = grad_out.zip_map(x, |g, v| {
+                        Complex64::new(if v.re > 0.0 { g.re } else { 0.0 }, 0.0)
+                    });
+                    self.accumulate(a, g);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[id].value;
+                    let g = grad_out.zip_map(y, |g, s| Complex64::new(g.re * s.re * (1.0 - s.re), 0.0));
+                    self.accumulate(a, g);
+                }
+                Op::AbsSq(a) => {
+                    let x = &self.nodes[a].value;
+                    let g = grad_out.zip_map(x, |g, v| v.scale(2.0 * g.re));
+                    self.accumulate(a, g);
+                }
+                Op::Fft2(a) => {
+                    let n = (grad_out.rows() * grad_out.cols()) as f64;
+                    self.accumulate(a, ifft2(&grad_out).scale_re(n));
+                }
+                Op::Ifft2(a) => {
+                    let n = (grad_out.rows() * grad_out.cols()) as f64;
+                    self.accumulate(a, fft2(&grad_out).scale_re(1.0 / n));
+                }
+                Op::FftShift(a) => self.accumulate(a, ifftshift(&grad_out)),
+                Op::IfftShift(a) => self.accumulate(a, fftshift(&grad_out)),
+                Op::CenterCrop(a) => {
+                    let (r, c) = self.nodes[a].value.shape();
+                    self.accumulate(a, center_pad(&grad_out, r, c));
+                }
+                Op::CenterPad(a) => {
+                    let (r, c) = self.nodes[a].value.shape();
+                    self.accumulate(a, center_crop(&grad_out, r, c));
+                }
+                Op::Column { input, col } => {
+                    let (rows_in, cols_in) = self.nodes[input].value.shape();
+                    let cols_small = grad_out.cols();
+                    let mut g = ComplexMatrix::zeros(rows_in, cols_in);
+                    for i in 0..grad_out.rows() {
+                        for j in 0..cols_small {
+                            g[(i * cols_small + j, col)] = grad_out[(i, j)];
+                        }
+                    }
+                    self.accumulate(input, g);
+                }
+                Op::AddBiasRow { input, bias } => {
+                    self.accumulate(input, grad_out.clone());
+                    let mut gb = ComplexMatrix::zeros(1, grad_out.cols());
+                    for i in 0..grad_out.rows() {
+                        for j in 0..grad_out.cols() {
+                            gb[(0, j)] += grad_out[(i, j)];
+                        }
+                    }
+                    self.accumulate(bias, gb);
+                }
+                Op::SumAll(a) => {
+                    let (r, c) = self.nodes[a].value.shape();
+                    let g = ComplexMatrix::filled(r, c, grad_out[(0, 0)]);
+                    self.accumulate(a, g);
+                }
+                Op::SumReal(a) => {
+                    let (r, c) = self.nodes[a].value.shape();
+                    let g = ComplexMatrix::filled(r, c, Complex64::from_real(grad_out[(0, 0)].re));
+                    self.accumulate(a, g);
+                }
+                Op::MeanReal(a) => {
+                    let (r, c) = self.nodes[a].value.shape();
+                    let scale = grad_out[(0, 0)].re / (r * c) as f64;
+                    let g = ComplexMatrix::filled(r, c, Complex64::from_real(scale));
+                    self.accumulate(a, g);
+                }
+                Op::MseReal { pred, target } => {
+                    let p = &self.nodes[pred].value;
+                    let n = target.len() as f64;
+                    let upstream = grad_out[(0, 0)].re;
+                    let g = p.map_indexed(|i, j, z| {
+                        Complex64::from_real(2.0 * (z.re - target[(i, j)]) / n * upstream)
+                    });
+                    self.accumulate(pred, g);
+                }
+                Op::Conv2d {
+                    input,
+                    weight,
+                    bias,
+                    spec,
+                } => {
+                    let (gi, gw, gb) = conv2d_backward(
+                        &self.nodes[input].value,
+                        &self.nodes[weight].value,
+                        &grad_out,
+                        spec,
+                    );
+                    self.accumulate(input, gi);
+                    self.accumulate(weight, gw);
+                    self.accumulate(bias, gb);
+                }
+            }
+        }
+    }
+
+    fn accumulate(&mut self, id: NodeId, grad: ComplexMatrix) {
+        if !self.nodes[id].requires_grad {
+            return;
+        }
+        match &mut self.grads[id] {
+            Some(existing) => *existing += &grad,
+            slot @ None => *slot = Some(grad),
+        }
+    }
+}
+
+fn conv2d_forward(
+    x: &ComplexMatrix,
+    w: &ComplexMatrix,
+    b: &ComplexMatrix,
+    spec: ConvSpec,
+) -> ComplexMatrix {
+    let ConvSpec {
+        in_channels,
+        out_channels,
+        kernel_h,
+        kernel_w,
+        height,
+        width,
+    } = spec;
+    let ph = kernel_h / 2;
+    let pw = kernel_w / 2;
+    let mut out = ComplexMatrix::zeros(out_channels * height, width);
+    for oc in 0..out_channels {
+        for y in 0..height {
+            for xcol in 0..width {
+                let mut acc = b[(oc, 0)];
+                for ic in 0..in_channels {
+                    for dy in 0..kernel_h {
+                        let iy = y as isize + dy as isize - ph as isize;
+                        if iy < 0 || iy >= height as isize {
+                            continue;
+                        }
+                        for dx in 0..kernel_w {
+                            let ix = xcol as isize + dx as isize - pw as isize;
+                            if ix < 0 || ix >= width as isize {
+                                continue;
+                            }
+                            let wv = w[((oc * in_channels + ic) * kernel_h + dy, dx)];
+                            let xv = x[(ic * height + iy as usize, ix as usize)];
+                            acc += wv * xv;
+                        }
+                    }
+                }
+                out[(oc * height + y, xcol)] = acc;
+            }
+        }
+    }
+    out
+}
+
+fn conv2d_backward(
+    x: &ComplexMatrix,
+    w: &ComplexMatrix,
+    grad_out: &ComplexMatrix,
+    spec: ConvSpec,
+) -> (ComplexMatrix, ComplexMatrix, ComplexMatrix) {
+    let ConvSpec {
+        in_channels,
+        out_channels,
+        kernel_h,
+        kernel_w,
+        height,
+        width,
+    } = spec;
+    let ph = kernel_h / 2;
+    let pw = kernel_w / 2;
+    let mut gx = ComplexMatrix::zeros(in_channels * height, width);
+    let mut gw = ComplexMatrix::zeros(out_channels * in_channels * kernel_h, kernel_w);
+    let mut gb = ComplexMatrix::zeros(out_channels, 1);
+
+    for oc in 0..out_channels {
+        for y in 0..height {
+            for xcol in 0..width {
+                let go = grad_out[(oc * height + y, xcol)];
+                if go == Complex64::ZERO {
+                    continue;
+                }
+                gb[(oc, 0)] += go;
+                for ic in 0..in_channels {
+                    for dy in 0..kernel_h {
+                        let iy = y as isize + dy as isize - ph as isize;
+                        if iy < 0 || iy >= height as isize {
+                            continue;
+                        }
+                        for dx in 0..kernel_w {
+                            let ix = xcol as isize + dx as isize - pw as isize;
+                            if ix < 0 || ix >= width as isize {
+                                continue;
+                            }
+                            let widx = ((oc * in_channels + ic) * kernel_h + dy, dx);
+                            let xidx = (ic * height + iy as usize, ix as usize);
+                            gx[xidx] += go * w[widx].conj();
+                            gw[widx] += go * x[xidx].conj();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (gx, gw, gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litho_math::DeterministicRng;
+
+    fn random_complex(rows: usize, cols: usize, seed: u64) -> ComplexMatrix {
+        let mut rng = DeterministicRng::new(seed);
+        ComplexMatrix::from_fn(rows, cols, |_, _| rng.normal_complex(0.0, 1.0))
+    }
+
+    #[test]
+    fn leaf_and_constant_flags() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(ComplexMatrix::zeros(2, 2), true);
+        let b = tape.constant(ComplexMatrix::zeros(2, 2));
+        let c = tape.add(a, b);
+        let loss = tape.sum_real(c);
+        tape.backward(loss);
+        assert!(tape.grad(a).is_some());
+        assert!(tape.grad(b).is_none());
+        assert_eq!(tape.len(), 4);
+        assert!(!tape.is_empty());
+    }
+
+    #[test]
+    fn add_and_sub_gradients() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(random_complex(3, 3, 1), true);
+        let b = tape.leaf(random_complex(3, 3, 2), true);
+        let s = tape.sub(a, b);
+        let loss = tape.sum_real(s);
+        tape.backward(loss);
+        for z in tape.grad(a).unwrap().iter() {
+            assert_eq!(*z, Complex64::ONE);
+        }
+        for z in tape.grad(b).unwrap().iter() {
+            assert_eq!(*z, -Complex64::ONE);
+        }
+    }
+
+    #[test]
+    fn mul_gradient_matches_wirtinger_rule() {
+        // L = Re(sum(a ⊙ b)): gradient of a is Re-packed conj(b)… checked
+        // against the analytic value for a single element.
+        let mut tape = Tape::new();
+        let a_val = ComplexMatrix::filled(1, 1, Complex64::new(2.0, -1.0));
+        let b_val = ComplexMatrix::filled(1, 1, Complex64::new(0.5, 3.0));
+        let a = tape.leaf(a_val, true);
+        let b = tape.leaf(b_val, true);
+        let p = tape.mul(a, b);
+        let loss = tape.sum_real(p);
+        tape.backward(loss);
+        // L = Re(ab) = a_re b_re - a_im b_im → dL/da_re = b_re, dL/da_im = -b_im.
+        let ga = tape.grad(a).unwrap()[(0, 0)];
+        assert!((ga.re - 0.5).abs() < 1e-12);
+        assert!((ga.im + 3.0).abs() < 1e-12);
+        let gb = tape.grad(b).unwrap()[(0, 0)];
+        assert!((gb.re - 2.0).abs() < 1e-12);
+        assert!((gb.im - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_shapes_and_gradient_shapes() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(random_complex(4, 3, 3), true);
+        let b = tape.leaf(random_complex(3, 5, 4), true);
+        let c = tape.matmul(a, b);
+        assert_eq!(tape.value(c).shape(), (4, 5));
+        let loss = tape.sum_real(c);
+        tape.backward(loss);
+        assert_eq!(tape.grad(a).unwrap().shape(), (4, 3));
+        assert_eq!(tape.grad(b).unwrap().shape(), (3, 5));
+    }
+
+    #[test]
+    fn crelu_masks_negative_parts() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(
+            ComplexMatrix::from_vec(
+                1,
+                2,
+                vec![Complex64::new(1.0, -2.0), Complex64::new(-3.0, 4.0)],
+            ),
+            true,
+        );
+        let y = tape.crelu(x);
+        assert_eq!(tape.value(y)[(0, 0)], Complex64::new(1.0, 0.0));
+        assert_eq!(tape.value(y)[(0, 1)], Complex64::new(0.0, 4.0));
+        let loss = tape.sum_real(y);
+        tape.backward(loss);
+        // Only positive real/imag parts pass gradient; loss uses only Re so
+        // imaginary gradients are zero anyway.
+        let g = tape.grad(x).unwrap();
+        assert_eq!(g[(0, 0)], Complex64::new(1.0, 0.0));
+        assert_eq!(g[(0, 1)], Complex64::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn abs_sq_gradient() {
+        let mut tape = Tape::new();
+        let z0 = Complex64::new(1.5, -2.0);
+        let x = tape.leaf(ComplexMatrix::filled(1, 1, z0), true);
+        let y = tape.abs_sq(x);
+        assert!((tape.value(y)[(0, 0)].re - z0.abs_sq()).abs() < 1e-12);
+        let loss = tape.sum_real(y);
+        tape.backward(loss);
+        // d(a² + b²)/d(a, b) = (2a, 2b).
+        let g = tape.grad(x).unwrap()[(0, 0)];
+        assert!((g.re - 2.0 * z0.re).abs() < 1e-12);
+        assert!((g.im - 2.0 * z0.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fft_round_trip_gradient_is_identity() {
+        // loss = MSE(Re(ifft2(fft2(x))), target): gradient w.r.t. x equals the
+        // plain MSE gradient because the round trip is the identity.
+        let mut tape = Tape::new();
+        let x_val = random_complex(4, 4, 9);
+        let target = x_val.re().map(|v| v + 0.5);
+        let x = tape.leaf(x_val.clone(), true);
+        let f = tape.fft2(x);
+        let b = tape.ifft2(f);
+        let loss = tape.mse_loss(b, &target);
+        tape.backward(loss);
+        let g = tape.grad(x).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let expected = 2.0 * (x_val[(i, j)].re - target[(i, j)]) / 16.0;
+                assert!((g[(i, j)].re - expected).abs() < 1e-9);
+                assert!(g[(i, j)].im.abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn crop_pad_gradients_are_adjoint() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(random_complex(6, 6, 10), true);
+        let c = tape.center_crop(x, 4, 4);
+        let p = tape.center_pad(c, 6, 6);
+        let loss = tape.sum_real(p);
+        tape.backward(loss);
+        let g = tape.grad(x).unwrap();
+        // Border elements were cropped away → zero gradient; interior gets 1.
+        assert_eq!(g[(0, 0)], Complex64::ZERO);
+        assert_eq!(g[(3, 3)], Complex64::ONE);
+    }
+
+    #[test]
+    fn column_as_matrix_extracts_and_backprops() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(random_complex(6, 3, 11), true);
+        let k = tape.column_as_matrix(x, 1, 2, 3);
+        assert_eq!(tape.value(k).shape(), (2, 3));
+        assert_eq!(tape.value(k)[(1, 2)], tape.value(x)[(5, 1)]);
+        let loss = tape.sum_real(k);
+        tape.backward(loss);
+        let g = tape.grad(x).unwrap();
+        assert_eq!(g[(0, 1)], Complex64::ONE);
+        assert_eq!(g[(0, 0)], Complex64::ZERO);
+        assert_eq!(g[(5, 2)], Complex64::ZERO);
+    }
+
+    #[test]
+    fn bias_row_broadcast_gradient_sums_rows() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(random_complex(4, 3, 12), true);
+        let b = tape.leaf(random_complex(1, 3, 13), true);
+        let y = tape.add_bias_row(x, b);
+        let loss = tape.sum_real(y);
+        tape.backward(loss);
+        let gb = tape.grad(b).unwrap();
+        for j in 0..3 {
+            assert!((gb[(0, j)].re - 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mse_loss_value_and_gradient() {
+        let mut tape = Tape::new();
+        let pred = RealMatrix::from_vec(1, 2, vec![1.0, 3.0]);
+        let target = RealMatrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let p = tape.leaf(pred.to_complex(), true);
+        let loss = tape.mse_loss(p, &target);
+        assert!((tape.value(loss)[(0, 0)].re - 2.5).abs() < 1e-12);
+        tape.backward(loss);
+        let g = tape.grad(p).unwrap();
+        assert!((g[(0, 0)].re - 1.0).abs() < 1e-12);
+        assert!((g[(0, 1)].re - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relu_and_sigmoid_forward_backward() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(
+            ComplexMatrix::from_vec(1, 2, vec![Complex64::new(-1.0, 0.0), Complex64::new(2.0, 0.0)]),
+            true,
+        );
+        let r = tape.relu(x);
+        assert_eq!(tape.value(r)[(0, 0)].re, 0.0);
+        assert_eq!(tape.value(r)[(0, 1)].re, 2.0);
+        let s = tape.sigmoid(r);
+        let v = tape.value(s)[(0, 1)].re;
+        assert!((v - 1.0 / (1.0 + (-2.0f64).exp())).abs() < 1e-12);
+        let loss = tape.sum_real(s);
+        tape.backward(loss);
+        let g = tape.grad(x).unwrap();
+        assert_eq!(g[(0, 0)].re, 0.0);
+        assert!((g[(0, 1)].re - v * (1.0 - v)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_and_mean_real() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(ComplexMatrix::filled(2, 2, Complex64::new(3.0, 1.0)), true);
+        let s = tape.sum_all(x);
+        assert_eq!(tape.value(s)[(0, 0)], Complex64::new(12.0, 4.0));
+        let m = tape.mean_real(x);
+        assert_eq!(tape.value(m)[(0, 0)].re, 3.0);
+        tape.backward(m);
+        let g = tape.grad(x).unwrap();
+        assert!((g[(0, 0)].re - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel_reproduces_input() {
+        let spec = ConvSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel_h: 3,
+            kernel_w: 3,
+            height: 5,
+            width: 5,
+        };
+        let mut tape = Tape::new();
+        let x_val = random_complex(5, 5, 20);
+        let x = tape.constant(x_val.clone());
+        // Delta kernel.
+        let mut w_val = ComplexMatrix::zeros(3, 3);
+        w_val[(1, 1)] = Complex64::ONE;
+        let w = tape.constant(w_val);
+        let b = tape.constant(ComplexMatrix::zeros(1, 1));
+        let y = tape.conv2d(x, w, b, spec);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((tape.value(y)[(i, j)] - x_val[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_bias_gradient_counts_pixels() {
+        let spec = ConvSpec {
+            in_channels: 1,
+            out_channels: 2,
+            kernel_h: 3,
+            kernel_w: 3,
+            height: 4,
+            width: 4,
+        };
+        let mut tape = Tape::new();
+        let x = tape.constant(random_complex(4, 4, 21));
+        let w = tape.leaf(random_complex(2 * 3, 3, 22), true);
+        let b = tape.leaf(ComplexMatrix::zeros(2, 1), true);
+        let y = tape.conv2d(x, w, b, spec);
+        assert_eq!(tape.value(y).shape(), (8, 4));
+        let loss = tape.sum_real(y);
+        tape.backward(loss);
+        let gb = tape.grad(b).unwrap();
+        assert!((gb[(0, 0)].re - 16.0).abs() < 1e-12);
+        assert!((gb[(1, 0)].re - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar root")]
+    fn backward_from_non_scalar_panics() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(ComplexMatrix::zeros(2, 2), true);
+        tape.backward(x);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mse_shape_mismatch_panics() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(ComplexMatrix::zeros(2, 2), true);
+        let target = RealMatrix::zeros(3, 3);
+        let _ = tape.mse_loss(x, &target);
+    }
+
+    #[test]
+    fn gradient_accumulates_when_node_reused() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(ComplexMatrix::filled(1, 1, Complex64::new(1.0, 0.0)), true);
+        let y = tape.add(x, x); // y = 2x
+        let loss = tape.sum_real(y);
+        tape.backward(loss);
+        assert!((tape.grad(x).unwrap()[(0, 0)].re - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,267 @@
+//! TEMPO-like convolutional image-to-image baseline.
+//!
+//! A plain convolutional regressor (the generator half of the cGAN family the
+//! paper's TEMPO baseline belongs to): stacked 3×3 convolutions over the
+//! downsampled mask, trained with pixel-wise MSE, with the final activation
+//! switched between ReLU (aerial stage) and sigmoid (resist stage) exactly as
+//! the paper's Table III footnote describes for re-trained baselines.
+
+use litho_autodiff::tape::ConvSpec;
+use litho_autodiff::{Adam, NodeId, Optimizer, ParamId, ParamStore, Tape};
+use litho_masks::Dataset;
+use litho_math::{DeterministicRng, RealMatrix};
+
+use crate::regressor::{
+    downsample_input, downsample_target, upsample_prediction, ImageRegressor, RegressorConfig,
+    TargetStage,
+};
+
+/// A convolutional mask → image regressor.
+#[derive(Debug, Clone)]
+pub struct CnnLitho {
+    config: RegressorConfig,
+    channels: usize,
+    params: ParamStore,
+    weight_ids: Vec<ParamId>,
+    bias_ids: Vec<ParamId>,
+}
+
+impl CnnLitho {
+    /// Creates the baseline with the default channel width (16).
+    pub fn new(config: RegressorConfig) -> Self {
+        Self::with_channels(config, 16)
+    }
+
+    /// Creates the baseline with an explicit hidden channel count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `channels` is zero.
+    pub fn with_channels(config: RegressorConfig, channels: usize) -> Self {
+        config.validate();
+        assert!(channels > 0, "channel count must be positive");
+        let mut rng = DeterministicRng::new(config.seed);
+        let mut params = ParamStore::new();
+        let mut weight_ids = Vec::new();
+        let mut bias_ids = Vec::new();
+        // Layer channel plan: 1 → C → C → C → 1, all 3×3 kernels.
+        let plan = [(1, channels), (channels, channels), (channels, channels), (channels, 1)];
+        for (layer, (cin, cout)) in plan.into_iter().enumerate() {
+            weight_ids.push(params.add_real_glorot(
+                &format!("cnn.layer{layer}.weight"),
+                cout * cin * 3,
+                3,
+                &mut rng,
+            ));
+            bias_ids.push(params.add_zeros(&format!("cnn.layer{layer}.bias"), cout, 1));
+        }
+        Self {
+            config,
+            channels,
+            params,
+            weight_ids,
+            bias_ids,
+        }
+    }
+
+    /// The regressor configuration.
+    pub fn config(&self) -> &RegressorConfig {
+        &self.config
+    }
+
+    fn layer_plan(&self) -> [(usize, usize); 4] {
+        let c = self.channels;
+        [(1, c), (c, c), (c, c), (c, 1)]
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        input: NodeId,
+        trainable: bool,
+    ) -> (NodeId, Vec<(ParamId, NodeId)>) {
+        let res = self.config.working_resolution;
+        let mut leaves = Vec::new();
+        let mut hidden = input;
+        let plan = self.layer_plan();
+        for (layer, (cin, cout)) in plan.into_iter().enumerate() {
+            let (w, b) = if trainable {
+                let w = tape.leaf(self.params.value(self.weight_ids[layer]).clone(), true);
+                let b = tape.leaf(self.params.value(self.bias_ids[layer]).clone(), true);
+                leaves.push((self.weight_ids[layer], w));
+                leaves.push((self.bias_ids[layer], b));
+                (w, b)
+            } else {
+                (
+                    tape.constant(self.params.value(self.weight_ids[layer]).clone()),
+                    tape.constant(self.params.value(self.bias_ids[layer]).clone()),
+                )
+            };
+            let spec = ConvSpec {
+                in_channels: cin,
+                out_channels: cout,
+                kernel_h: 3,
+                kernel_w: 3,
+                height: res,
+                width: res,
+            };
+            let conv = tape.conv2d(hidden, w, b, spec);
+            hidden = if layer + 1 < plan.len() {
+                tape.relu(conv)
+            } else {
+                match self.config.stage {
+                    TargetStage::Aerial => tape.relu(conv),
+                    TargetStage::Resist => tape.sigmoid(conv),
+                }
+            };
+        }
+        (hidden, leaves)
+    }
+
+    fn target_for<'a>(&self, sample: &'a litho_masks::LithoSample) -> &'a RealMatrix {
+        match self.config.stage {
+            TargetStage::Aerial => &sample.aerial,
+            TargetStage::Resist => &sample.resist,
+        }
+    }
+}
+
+impl ImageRegressor for CnnLitho {
+    fn name(&self) -> &'static str {
+        "TEMPO-like CNN"
+    }
+
+    fn num_parameters(&self) -> usize {
+        // Real-valued network: count real scalars only.
+        self.params.num_scalars() / 2
+    }
+
+    fn train(&mut self, dataset: &Dataset) -> Vec<f64> {
+        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        let res = self.config.working_resolution;
+        let inputs: Vec<RealMatrix> = dataset
+            .samples()
+            .iter()
+            .map(|s| downsample_input(&s.mask, res))
+            .collect();
+        let targets: Vec<RealMatrix> = dataset
+            .samples()
+            .iter()
+            .map(|s| downsample_target(self.target_for(s), res))
+            .collect();
+
+        let mut adam = Adam::new(self.config.learning_rate);
+        let mut rng = DeterministicRng::new(self.config.seed ^ 0xc0ff_ee);
+        let mut losses = Vec::with_capacity(self.config.epochs);
+        for _ in 0..self.config.epochs {
+            let mut order: Vec<usize> = (0..inputs.len()).collect();
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0;
+            for &idx in &order {
+                let mut tape = Tape::new();
+                let x = tape.constant_real(&inputs[idx]);
+                let (out, leaves) = self.forward(&mut tape, x, true);
+                let loss = tape.mse_loss(out, &targets[idx]);
+                tape.backward(loss);
+                epoch_loss += tape.value(loss)[(0, 0)].re;
+                let grads: Vec<_> = leaves
+                    .iter()
+                    .filter_map(|(pid, nid)| tape.grad(*nid).map(|g| (*pid, g.clone())))
+                    .collect();
+                adam.step(&mut self.params, &grads);
+            }
+            losses.push(epoch_loss / inputs.len() as f64);
+        }
+        losses
+    }
+
+    fn predict(&self, mask: &RealMatrix) -> RealMatrix {
+        let res = self.config.working_resolution;
+        let input = downsample_input(mask, res);
+        let mut tape = Tape::new();
+        let x = tape.constant_real(&input);
+        let (out, _) = self.forward(&mut tape, x, false);
+        let low = tape.value(out).re();
+        upsample_prediction(&low, mask.rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litho_masks::DatasetKind;
+    use litho_optics::{HopkinsSimulator, OpticalConfig};
+
+    fn tiny_config() -> RegressorConfig {
+        RegressorConfig {
+            working_resolution: 16,
+            epochs: 30,
+            learning_rate: 4e-3,
+            ..RegressorConfig::default()
+        }
+    }
+
+    fn small_dataset(kind: DatasetKind, count: usize, seed: u64) -> (Dataset, OpticalConfig) {
+        let optics = OpticalConfig::builder()
+            .tile_px(64)
+            .pixel_nm(8.0)
+            .kernel_count(6)
+            .build();
+        let simulator = HopkinsSimulator::new(&optics);
+        (Dataset::generate(kind, count, &simulator, seed), optics)
+    }
+
+    #[test]
+    fn parameter_count_and_name() {
+        let cnn = CnnLitho::with_channels(tiny_config(), 8);
+        let expected = (8 * 9 + 8) + (8 * 8 * 9 + 8) * 2 + (8 * 9 + 1);
+        assert_eq!(cnn.num_parameters(), expected);
+        assert_eq!(cnn.size_bytes(), expected * 4);
+        assert_eq!(cnn.name(), "TEMPO-like CNN");
+        assert_eq!(cnn.config().working_resolution, 16);
+    }
+
+    #[test]
+    fn training_reduces_loss_and_predicts_sensible_aerial() {
+        let (dataset, optics) = small_dataset(DatasetKind::B1, 8, 3);
+        let (train, test) = dataset.split(0.75);
+        let mut cnn = CnnLitho::with_channels(tiny_config(), 8);
+        let losses = cnn.train(&train);
+        assert!(losses.last().expect("losses") < &losses[0]);
+
+        let (aerial, resist) = cnn.evaluate(&test, optics.resist_threshold, TargetStage::Aerial);
+        // The image learner fits only the broad intensity pattern at low
+        // resolution; expect modest PSNR, clearly worse than Nitho's ~25+ dB.
+        assert!(aerial.psnr_db > 8.0, "PSNR {:.2}", aerial.psnr_db);
+        assert!(resist.mpa_percent > 40.0);
+        let prediction = cnn.predict(&test.samples()[0].mask);
+        assert_eq!(prediction.shape(), (64, 64));
+        assert!(prediction.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn resist_stage_uses_sigmoid_output() {
+        let (dataset, _) = small_dataset(DatasetKind::B2Via, 4, 5);
+        let config = RegressorConfig {
+            stage: TargetStage::Resist,
+            epochs: 3,
+            ..tiny_config()
+        };
+        let mut cnn = CnnLitho::with_channels(config, 4);
+        cnn.train(&dataset);
+        let low = downsample_input(&dataset.samples()[0].mask, 16);
+        let mut tape = Tape::new();
+        let x = tape.constant_real(&low);
+        let (out, _) = cnn.forward(&mut tape, x, false);
+        // Sigmoid keeps the raw network output in (0, 1).
+        assert!(tape.value(out).re().max() <= 1.0);
+        assert!(tape.value(out).re().min() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn training_on_empty_dataset_panics() {
+        let mut cnn = CnnLitho::with_channels(tiny_config(), 4);
+        let _ = cnn.train(&Dataset::new("empty"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Image-to-image learned lithography baselines.
+//!
+//! The paper compares Nitho against TEMPO (a cGAN aerial-image model) and
+//! DOINN (an FNO+CNN resist model). Re-implementing those exact systems is
+//! neither possible (closed training recipes) nor necessary: what the
+//! comparison needs is representative *image-to-image* learners that map the
+//! mask picture directly to the output picture with learned parameters, so
+//! their shape bias and generalization failure can be contrasted with Nitho's
+//! physics-informed kernel regression. This crate provides:
+//!
+//! * [`CnnLitho`] — a TEMPO-like convolutional encoder/decoder regressor,
+//! * [`FnoLitho`] — a DOINN-like spectral (Fourier Neural Operator) regressor,
+//!
+//! both trained with pixel-wise regression on our autodiff engine, operating
+//! at a configurable working resolution (image learners are the component
+//! that cannot afford full-resolution processing — the same trade-off the
+//! paper highlights). See DESIGN.md §1 for the substitution rationale.
+
+#![forbid(unsafe_code)]
+
+pub mod cnn;
+pub mod fno;
+pub mod regressor;
+
+pub use cnn::CnnLitho;
+pub use fno::FnoLitho;
+pub use regressor::{ImageRegressor, RegressorConfig, TargetStage};

@@ -1,0 +1,190 @@
+//! Shared interface and utilities for the image-to-image baselines.
+
+use litho_fft::{centered_spectrum, ifft2, ifftshift};
+use litho_masks::Dataset;
+use litho_math::util::{block_downsample, center_pad};
+#[cfg(test)]
+use litho_math::util::center_crop;
+use litho_math::RealMatrix;
+use litho_metrics::{AerialMetrics, ResistMetrics};
+
+/// Which ground-truth image the baseline regresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetStage {
+    /// Mask → aerial image (TEMPO's task).
+    Aerial,
+    /// Mask → resist image (DOINN's task; models are "re-trained using the
+    /// resist image dataset with an amendment to the final activation layer"
+    /// exactly as the paper's Table III footnote describes).
+    Resist,
+}
+
+/// Hyper-parameters shared by both baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressorConfig {
+    /// Internal working resolution (the mask is downsampled to this size
+    /// before entering the network and the prediction is band-limited
+    /// upsampled back to tile resolution).
+    pub working_resolution: usize,
+    /// Training target stage.
+    pub stage: TargetStage,
+    /// Number of training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Weight-initialization / shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for RegressorConfig {
+    fn default() -> Self {
+        Self {
+            working_resolution: 32,
+            stage: TargetStage::Aerial,
+            epochs: 60,
+            learning_rate: 2e-3,
+            seed: 7,
+        }
+    }
+}
+
+impl RegressorConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the working resolution is not a power of two ≥ 8, or the
+    /// epochs / learning rate are degenerate.
+    pub fn validate(&self) {
+        assert!(
+            self.working_resolution >= 8 && self.working_resolution.is_power_of_two(),
+            "working resolution must be a power of two ≥ 8"
+        );
+        assert!(self.epochs > 0, "epoch count must be positive");
+        assert!(self.learning_rate > 0.0, "learning rate must be positive");
+    }
+}
+
+/// Common behaviour of the learned image-to-image baselines.
+pub trait ImageRegressor {
+    /// Human-readable model name (used in result tables).
+    fn name(&self) -> &'static str;
+
+    /// Number of real scalar parameters.
+    fn num_parameters(&self) -> usize;
+
+    /// Trains the model on the dataset, returning the per-epoch losses.
+    fn train(&mut self, dataset: &Dataset) -> Vec<f64>;
+
+    /// Predicts the output image (aerial or resist probability, depending on
+    /// the configured stage) at full tile resolution.
+    fn predict(&self, mask: &RealMatrix) -> RealMatrix;
+
+    /// Model size in bytes at 32-bit precision.
+    fn size_bytes(&self) -> usize {
+        self.num_parameters() * 4
+    }
+
+    /// Evaluates the model against a labelled dataset: aerial metrics when the
+    /// stage is [`TargetStage::Aerial`], resist metrics after a 0.5 cut when
+    /// the stage is [`TargetStage::Resist`]. The resist threshold is applied
+    /// to aerial-stage predictions so both metric families are always
+    /// reported.
+    fn evaluate(&self, dataset: &Dataset, resist_threshold: f64, stage: TargetStage) -> (AerialMetrics, ResistMetrics) {
+        let mut aerial_pairs = Vec::with_capacity(dataset.len());
+        let mut resist_pairs = Vec::with_capacity(dataset.len());
+        for sample in dataset.samples() {
+            let prediction = self.predict(&sample.mask);
+            match stage {
+                TargetStage::Aerial => {
+                    resist_pairs.push((sample.resist.clone(), prediction.threshold(resist_threshold)));
+                    aerial_pairs.push((sample.aerial.clone(), prediction));
+                }
+                TargetStage::Resist => {
+                    resist_pairs.push((sample.resist.clone(), prediction.threshold(0.5)));
+                    aerial_pairs.push((sample.aerial.clone(), prediction));
+                }
+            }
+        }
+        (
+            AerialMetrics::evaluate(aerial_pairs.iter().map(|(a, b)| (a, b))),
+            ResistMetrics::evaluate(resist_pairs.iter().map(|(a, b)| (a, b))),
+        )
+    }
+}
+
+/// Downsamples a binary mask to the working resolution by block averaging.
+///
+/// # Panics
+///
+/// Panics if the working resolution does not divide the mask size.
+pub(crate) fn downsample_input(mask: &RealMatrix, working_resolution: usize) -> RealMatrix {
+    assert_eq!(
+        mask.rows() % working_resolution,
+        0,
+        "working resolution must divide the tile size"
+    );
+    block_downsample(mask, mask.rows() / working_resolution)
+}
+
+/// Band-limited downsample of a training target to the working resolution.
+pub(crate) fn downsample_target(target: &RealMatrix, working_resolution: usize) -> RealMatrix {
+    litho_optics::socs::band_limited_resample(target, working_resolution, working_resolution)
+}
+
+/// Band-limited (Fourier zero-padding) upsample of a low-resolution prediction
+/// back to the full tile resolution.
+pub(crate) fn upsample_prediction(prediction: &RealMatrix, out: usize) -> RealMatrix {
+    let spectrum = centered_spectrum(prediction);
+    let padded = center_pad(&spectrum, out, out);
+    let scale = (out * out) as f64 / prediction.len() as f64;
+    ifft2(&ifftshift(&padded)).map(|z| z.re * scale)
+}
+
+/// Inverse of [`upsample_prediction`]; exposed for tests.
+#[cfg(test)]
+pub(crate) fn downsample_prediction(prediction: &RealMatrix, out: usize) -> RealMatrix {
+    let spectrum = centered_spectrum(prediction);
+    let cropped = center_crop(&spectrum, out, out);
+    let scale = (out * out) as f64 / prediction.len() as f64;
+    ifft2(&ifftshift(&cropped)).map(|z| z.re * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        RegressorConfig::default().validate();
+        let bad = RegressorConfig {
+            working_resolution: 12,
+            ..RegressorConfig::default()
+        };
+        let result = std::panic::catch_unwind(move || bad.validate());
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn resampling_roundtrip() {
+        let image = RealMatrix::from_fn(64, 64, |i, j| {
+            0.5 + 0.3 * ((i as f64) * 0.2).sin() * ((j as f64) * 0.15).cos()
+        });
+        // Band-limit first so the roundtrip is exact.
+        let low = downsample_target(&image, 16);
+        let up = upsample_prediction(&low, 64);
+        let back = downsample_prediction(&up, 16);
+        // The even-sized grids share an unpaired Nyquist bin, so the roundtrip
+        // is exact only up to that single band-edge component.
+        let max_err = low.zip_map(&back, |a, b| (a - b).abs()).max();
+        assert!(max_err < 1e-2, "roundtrip error {max_err}");
+    }
+
+    #[test]
+    fn downsample_input_preserves_density() {
+        let mask = RealMatrix::from_fn(64, 64, |i, _| if i < 32 { 1.0 } else { 0.0 });
+        let low = downsample_input(&mask, 16);
+        assert_eq!(low.shape(), (16, 16));
+        assert!((low.mean() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,30 @@
+//! Microbenchmark: CMLP forward pass (kernel regression from coordinates).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use litho_math::DeterministicRng;
+use nitho::cmlp::{Cmlp, CmlpArchitecture};
+use nitho::PositionalEncoding;
+
+fn bench_cmlp(c: &mut Criterion) {
+    let encoding = PositionalEncoding::default();
+    let coords = encoding.encode_grid(15, 15);
+    let mut rng = DeterministicRng::new(1);
+    let cmlp = Cmlp::new(
+        CmlpArchitecture {
+            input_dim: encoding.output_dim(),
+            hidden_dim: 64,
+            hidden_blocks: 2,
+            output_dim: 12,
+        },
+        &mut rng,
+    );
+    let mut group = c.benchmark_group("cmlp");
+    group.sample_size(30);
+    group.bench_function("infer_15x15_grid", |b| {
+        b.iter(|| cmlp.infer(&coords));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cmlp);
+criterion_main!(benches);

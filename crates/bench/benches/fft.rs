@@ -1,0 +1,26 @@
+//! Microbenchmark: 2-D FFTs at the sizes used by the training loop and the
+//! full-resolution SOCS synthesis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litho_fft::{fft2, FftPlan};
+use litho_math::{ComplexMatrix, DeterministicRng};
+
+fn bench_fft2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft2");
+    group.sample_size(20);
+    for &n in &[32usize, 64, 128] {
+        let mut rng = DeterministicRng::new(n as u64);
+        let m = ComplexMatrix::from_fn(n, n, |_, _| rng.normal_complex(0.0, 1.0));
+        group.bench_with_input(BenchmarkId::new("direct", n), &m, |b, m| {
+            b.iter(|| fft2(m));
+        });
+        let plan = FftPlan::new(n);
+        group.bench_with_input(BenchmarkId::new("planned", n), &m, |b, m| {
+            b.iter(|| plan.forward2(m));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft2);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Microbenchmark: TCC assembly, SOCS eigendecomposition and aerial-image
+//! synthesis of the rigorous golden engine (the paper's "traditional
+//! lithography simulator" cost reference, Fig. 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use litho_masks::{Dataset, DatasetKind};
+use litho_optics::{HopkinsSimulator, OpticalConfig, SocsKernels, TccMatrix};
+use litho_optics::source::SourceGrid;
+
+fn optics() -> OpticalConfig {
+    OpticalConfig::builder().tile_px(128).pixel_nm(4.0).kernel_count(8).build()
+}
+
+fn bench_tcc_assembly(c: &mut Criterion) {
+    let config = optics();
+    let dims = config.kernel_dims_with_side(9);
+    let grid = SourceGrid::sample(&config.source, 13);
+    let mut group = c.benchmark_group("tcc");
+    group.sample_size(10);
+    group.bench_function("assemble_9x9", |b| {
+        b.iter(|| TccMatrix::assemble(&config, dims, &grid));
+    });
+    let tcc = TccMatrix::assemble(&config, dims, &grid);
+    group.bench_function("socs_decompose_9x9", |b| {
+        b.iter(|| SocsKernels::from_tcc(&tcc));
+    });
+    group.finish();
+}
+
+fn bench_aerial_synthesis(c: &mut Criterion) {
+    let config = optics();
+    let simulator = HopkinsSimulator::new(&config);
+    let dataset = Dataset::generate(DatasetKind::B2Metal, 1, &simulator, 1);
+    let mask = dataset.samples()[0].mask.clone();
+    let mut group = c.benchmark_group("aerial");
+    group.sample_size(10);
+    group.bench_function("rigorous_simulate_128", |b| {
+        b.iter(|| simulator.simulate(&mask));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tcc_assembly, bench_aerial_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 5 counterpart: per-tile inference latency of the rigorous simulator
+//! versus Nitho's stored-kernel path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use litho_masks::{Dataset, DatasetKind};
+use litho_optics::{HopkinsSimulator, OpticalConfig};
+use nitho::{NithoConfig, NithoModel};
+
+fn bench_throughput(c: &mut Criterion) {
+    let optics = OpticalConfig::builder().tile_px(128).pixel_nm(4.0).kernel_count(8).build();
+    let rigorous = HopkinsSimulator::new(&OpticalConfig {
+        kernel_count: 40,
+        ..optics.clone()
+    });
+    let labeller = HopkinsSimulator::new(&optics);
+    let train = Dataset::generate(DatasetKind::B2Metal, 6, &labeller, 2);
+    let mask = Dataset::generate(DatasetKind::B2Via, 1, &labeller, 3).samples()[0].mask.clone();
+
+    let mut model = NithoModel::new(
+        NithoConfig {
+            epochs: 10,
+            ..NithoConfig::fast()
+        },
+        &optics,
+    );
+    model.train(&train);
+
+    let mut group = c.benchmark_group("throughput");
+    group.sample_size(10);
+    group.bench_function("rigorous_tile_128", |b| {
+        b.iter(|| rigorous.simulate(&mask));
+    });
+    group.bench_function("nitho_tile_128", |b| {
+        b.iter(|| model.predict_resist(&mask, optics.resist_threshold));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Microbenchmark: one full Nitho training epoch (Algorithm 1) on a small
+//! dataset, the dominant cost of every table/figure experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use litho_masks::{Dataset, DatasetKind};
+use litho_optics::{HopkinsSimulator, OpticalConfig};
+use nitho::{NithoConfig, NithoModel};
+
+fn bench_training(c: &mut Criterion) {
+    let optics = OpticalConfig::builder().tile_px(64).pixel_nm(8.0).kernel_count(6).build();
+    let simulator = HopkinsSimulator::new(&optics);
+    let dataset = Dataset::generate(DatasetKind::B1, 4, &simulator, 1);
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.bench_function("nitho_one_epoch_4_tiles", |b| {
+        b.iter(|| {
+            let config = NithoConfig {
+                epochs: 1,
+                ..NithoConfig::fast()
+            };
+            let mut model = NithoModel::new(config, &optics);
+            model.train(&dataset)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

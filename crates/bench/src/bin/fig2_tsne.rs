@@ -1,0 +1,47 @@
+//! Fig. 2(a) — t-SNE embedding of the four dataset families, demonstrating
+//! that they occupy distinct regions of mask-shape space.
+
+use litho_analysis::{mask_features, separation_score, tsne, TsneConfig};
+use litho_bench::{standard_benchmarks, ExperimentScale};
+use litho_math::RealMatrix;
+use litho_optics::HopkinsSimulator;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let optics = scale.optics();
+    let simulator = HopkinsSimulator::new(&optics);
+    let benchmarks = standard_benchmarks(&scale, &simulator);
+
+    // Collect masks from the three primary families (the merged set is a
+    // mixture and would overlap by construction).
+    let mut masks: Vec<&RealMatrix> = Vec::new();
+    let mut labels: Vec<&str> = Vec::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for benchmark in benchmarks.iter().take(3) {
+        let mut group = Vec::new();
+        for sample in benchmark.train.samples() {
+            group.push(masks.len());
+            masks.push(&sample.mask);
+            labels.push(&benchmark.name);
+        }
+        groups.push(group);
+    }
+
+    let features = mask_features(&masks, 16);
+    let embedding = tsne(&features, &TsneConfig::default());
+
+    println!("Fig. 2(a) — t-SNE embedding of dataset distributions");
+    println!("{:<8} {:>12} {:>12}", "dataset", "x", "y");
+    for (idx, label) in labels.iter().enumerate() {
+        println!("{:<8} {:>12.4} {:>12.4}", label, embedding[(idx, 0)], embedding[(idx, 1)]);
+    }
+
+    println!("\npairwise separation scores (positive = clusters separated):");
+    let names = ["B1", "B2m", "B2v"];
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            let score = separation_score(&embedding, &groups[i], &groups[j]);
+            println!("  {} vs {}: {:+.3}", names[i], names[j], score);
+        }
+    }
+}

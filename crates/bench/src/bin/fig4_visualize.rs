@@ -1,0 +1,26 @@
+//! Fig. 2(b) / Fig. 4 — qualitative comparison: golden aerial and resist
+//! images versus Nitho's prediction, rendered as ASCII intensity maps.
+
+use litho_bench::{ascii_image, standard_benchmarks, train_nitho, ExperimentScale};
+use litho_optics::HopkinsSimulator;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let optics = scale.optics();
+    let simulator = HopkinsSimulator::new(&optics);
+    let benchmarks = standard_benchmarks(&scale, &simulator);
+
+    for benchmark in benchmarks.iter().take(3) {
+        println!("==================== {} ====================", benchmark.name);
+        let nitho = train_nitho(&scale, &optics, &benchmark.train);
+        let sample = &benchmark.test.samples()[0];
+        let predicted_aerial = nitho.predict_aerial(&sample.mask);
+        let predicted_resist = predicted_aerial.threshold(optics.resist_threshold);
+
+        println!("-- mask --\n{}", ascii_image(&sample.mask, 48));
+        println!("-- golden aerial --\n{}", ascii_image(&sample.aerial, 48));
+        println!("-- Nitho aerial --\n{}", ascii_image(&predicted_aerial, 48));
+        println!("-- golden resist --\n{}", ascii_image(&sample.resist, 48));
+        println!("-- Nitho resist --\n{}", ascii_image(&predicted_resist, 48));
+    }
+}

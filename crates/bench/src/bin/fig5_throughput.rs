@@ -1,0 +1,84 @@
+//! Fig. 5 — throughput comparison (µm²/s) between the rigorous simulator, the
+//! learned baselines and Nitho's stored-kernel fast-lithography path.
+
+use std::time::Instant;
+
+use litho_baselines::{ImageRegressor, TargetStage};
+use litho_bench::{single_benchmark, train_cnn, train_fno, train_nitho, ExperimentScale};
+use litho_masks::DatasetKind;
+use litho_optics::{HopkinsSimulator, OpticalConfig};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let optics = scale.optics();
+    // The rigorous reference keeps many more SOCS kernels, as production TCC
+    // decompositions do.
+    let rigorous_optics = OpticalConfig {
+        kernel_count: 40,
+        ..optics.clone()
+    };
+    let simulator = HopkinsSimulator::new(&optics);
+    let rigorous = HopkinsSimulator::new(&rigorous_optics);
+
+    let train = single_benchmark(&scale, &simulator, DatasetKind::B2Metal, 600);
+    let workload = single_benchmark(&scale, &simulator, DatasetKind::B2Via, 700).test;
+
+    let nitho = train_nitho(&scale, &optics, &train.train);
+    let cnn = train_cnn(&scale, &train.train, TargetStage::Aerial);
+    let fno = train_fno(&scale, &train.train, TargetStage::Aerial);
+
+    let area = optics.tile_area_um2() * workload.len() as f64;
+    let mut timings: Vec<(String, f64)> = Vec::new();
+
+    let time = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        f();
+        start.elapsed().as_secs_f64()
+    };
+
+    timings.push((
+        "rigorous simulator".into(),
+        time(&mut || {
+            for s in workload.samples() {
+                let _ = rigorous.simulate(&s.mask);
+            }
+        }),
+    ));
+    timings.push((
+        "TEMPO-like CNN".into(),
+        time(&mut || {
+            for s in workload.samples() {
+                let _ = cnn.predict(&s.mask).threshold(optics.resist_threshold);
+            }
+        }),
+    ));
+    timings.push((
+        "DOINN-like FNO".into(),
+        time(&mut || {
+            for s in workload.samples() {
+                let _ = fno.predict(&s.mask).threshold(optics.resist_threshold);
+            }
+        }),
+    ));
+    timings.push((
+        "Nitho".into(),
+        time(&mut || {
+            for s in workload.samples() {
+                let _ = nitho.predict_resist(&s.mask, optics.resist_threshold);
+            }
+        }),
+    ));
+
+    println!(
+        "Fig. 5 — throughput on {} tiles of {:.3} um^2 each",
+        workload.len(),
+        optics.tile_area_um2()
+    );
+    println!("{:<22} {:>12} {:>14}", "engine", "seconds", "um^2 / s");
+    for (name, seconds) in &timings {
+        println!("{:<22} {:>12.3} {:>14.4}", name, seconds, area / seconds);
+    }
+    let rigorous_s = timings[0].1;
+    let nitho_s = timings[3].1;
+    println!("\nNitho speed-up over rigorous simulator: {:.1}x", rigorous_s / nitho_s);
+}

@@ -1,0 +1,59 @@
+//! Fig. 6(b) — kernel-size ablation: PSNR versus the kernel side length
+//! `m = n`, which flattens out at the resolution-limit dimension of Eq. (10).
+//! Also sweeps the kernel order `r` (the SOCS truncation ablation called out
+//! in DESIGN.md).
+
+use litho_bench::{env_usize, nitho_config, single_benchmark, ExperimentScale};
+use litho_masks::DatasetKind;
+use litho_optics::config::kernel_side;
+use litho_optics::HopkinsSimulator;
+use nitho::NithoModel;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let optics = scale.optics();
+    let simulator = HopkinsSimulator::new(&optics);
+    let max_side = env_usize("NITHO_MAX_KERNEL_SIDE", 15) | 1;
+
+    let eq10 = kernel_side(optics.tile_nm(), optics.wavelength_nm, optics.numerical_aperture);
+    println!(
+        "Fig. 6(b) — PSNR (dB) vs kernel width/height (Eq. 10 optimum for this tile: {eq10})"
+    );
+
+    let kinds = [DatasetKind::B1, DatasetKind::B2Metal, DatasetKind::B2Via];
+    let sides: Vec<usize> = (5..=max_side).step_by(4).collect();
+    print!("{:>6}", "side");
+    for kind in kinds {
+        print!(" {:>10}", kind.alias());
+    }
+    println!();
+
+    for &side in &sides {
+        print!("{:>6}", side);
+        for (offset, kind) in kinds.into_iter().enumerate() {
+            let benchmark = single_benchmark(&scale, &simulator, kind, 900 + offset as u64);
+            let config = nitho::NithoConfig {
+                kernel_side: Some(side),
+                ..nitho_config(&scale)
+            };
+            let mut model = NithoModel::new(config, &optics);
+            model.train(&benchmark.train);
+            let psnr = model.evaluate(&benchmark.test, optics.resist_threshold).aerial.psnr_db;
+            print!(" {:>10.2}", psnr);
+        }
+        println!();
+    }
+
+    println!("\nkernel-order (r) ablation on B1, side fixed at the Eq. 10 optimum:");
+    let benchmark = single_benchmark(&scale, &simulator, DatasetKind::B1, 950);
+    for r in [2usize, 4, 8, 12] {
+        let config = nitho::NithoConfig {
+            kernel_count: r,
+            ..nitho_config(&scale)
+        };
+        let mut model = NithoModel::new(config, &optics);
+        model.train(&benchmark.train);
+        let psnr = model.evaluate(&benchmark.test, optics.resist_threshold).aerial.psnr_db;
+        println!("  r = {r:>2}: PSNR {psnr:>6.2} dB");
+    }
+}

@@ -1,0 +1,43 @@
+//! Table I — model size comparison between the image-to-image baselines and
+//! Nitho's coordinate-based CMLP.
+
+use litho_baselines::{CnnLitho, FnoLitho, ImageRegressor, RegressorConfig};
+use litho_bench::{nitho_config, ExperimentScale};
+use nitho::NithoModel;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let optics = scale.optics();
+
+    let nitho = NithoModel::new(nitho_config(&scale), &optics);
+    let cnn = CnnLitho::with_channels(
+        RegressorConfig {
+            working_resolution: (scale.tile_px / 4).max(16),
+            ..RegressorConfig::default()
+        },
+        16,
+    );
+    let fno = FnoLitho::with_layers(
+        RegressorConfig {
+            working_resolution: (scale.tile_px / 2).max(16),
+            ..RegressorConfig::default()
+        },
+        3,
+    );
+
+    println!("Table I — model size comparison (tile {} px)", scale.tile_px);
+    println!("{:<18} {:>14} {:>14} {:>22}", "model", "parameters", "size (KB)", "network modeling");
+    let row = |name: &str, params: usize, bytes: usize, modeling: &str| {
+        println!("{name:<18} {params:>14} {:>14.1} {modeling:>22}", bytes as f64 / 1024.0);
+    };
+    row("TEMPO-like CNN", cnn.num_parameters(), cnn.size_bytes(), "S(T*G(.))");
+    row("DOINN-like FNO", fno.num_parameters(), fno.size_bytes(), "H(S(T*G(.)))");
+    row("Nitho", nitho.num_parameters(), nitho.size_bytes(), "F(T)");
+    println!();
+    println!(
+        "Nitho kernel grid (Eq. 10): {}x{} with r = {}",
+        nitho.kernel_dims().rows,
+        nitho.kernel_dims().cols,
+        nitho.kernel_dims().count
+    );
+}

@@ -1,0 +1,49 @@
+//! Table II — dataset inventory: the synthetic stand-ins for the paper's
+//! ICCAD-2013 / ISPD-2019 benchmarks and their statistics.
+
+use litho_bench::{standard_benchmarks, ExperimentScale};
+use litho_optics::HopkinsSimulator;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let optics = scale.optics();
+    let simulator = HopkinsSimulator::new(&optics);
+    let benchmarks = standard_benchmarks(&scale, &simulator);
+
+    println!("Table II — dataset details (golden engine: rigorous Hopkins/SOCS simulator)");
+    println!(
+        "{:<10} {:>7} {:>7} {:>12} {:>16} {:>16}",
+        "alias", "train", "test", "tile", "mask density", "resist coverage"
+    );
+    for benchmark in &benchmarks {
+        let density: f64 = benchmark
+            .train
+            .samples()
+            .iter()
+            .map(|s| s.mask.mean())
+            .sum::<f64>()
+            / benchmark.train.len() as f64;
+        let coverage: f64 = benchmark
+            .train
+            .samples()
+            .iter()
+            .map(|s| s.resist.mean())
+            .sum::<f64>()
+            / benchmark.train.len() as f64;
+        println!(
+            "{:<10} {:>7} {:>7} {:>9} px {:>15.1}% {:>15.1}%",
+            benchmark.name,
+            benchmark.train.len(),
+            benchmark.test.len(),
+            scale.tile_px,
+            100.0 * density,
+            100.0 * coverage
+        );
+    }
+    println!();
+    println!(
+        "physical tile: {:.0} nm ({:.3} um^2), lambda 193 nm, NA 1.35, annular source",
+        optics.tile_nm(),
+        optics.tile_area_um2()
+    );
+}

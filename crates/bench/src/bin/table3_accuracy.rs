@@ -1,0 +1,29 @@
+//! Table III — accuracy comparison of the three models on every dataset
+//! family (aerial MSE/ME/PSNR, resist mPA/mIOU).
+
+use litho_baselines::TargetStage;
+use litho_bench::{
+    evaluate_all_models, standard_benchmarks, train_cnn, train_fno, train_nitho, ExperimentScale,
+};
+use litho_optics::HopkinsSimulator;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let optics = scale.optics();
+    let simulator = HopkinsSimulator::new(&optics);
+    let benchmarks = standard_benchmarks(&scale, &simulator);
+
+    println!(
+        "Table III — result comparison ({} train / {} test tiles per family, {} epochs)",
+        scale.train_tiles, scale.test_tiles, scale.epochs
+    );
+    for benchmark in &benchmarks {
+        println!("\n== {} ==", benchmark.name);
+        let nitho = train_nitho(&scale, &optics, &benchmark.train);
+        let cnn = train_cnn(&scale, &benchmark.train, TargetStage::Aerial);
+        let fno = train_fno(&scale, &benchmark.train, TargetStage::Aerial);
+        for row in evaluate_all_models(&nitho, &cnn, &fno, &benchmark.test, optics.resist_threshold) {
+            println!("  {}", row.formatted());
+        }
+    }
+}

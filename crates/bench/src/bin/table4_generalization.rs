@@ -1,0 +1,49 @@
+//! Table IV — out-of-distribution generalization: train on one mask family,
+//! test on another, and report the accuracy drop relative to in-distribution
+//! testing.
+
+use litho_baselines::{ImageRegressor, TargetStage};
+use litho_bench::{single_benchmark, train_cnn, train_fno, train_nitho, ExperimentScale};
+use litho_masks::DatasetKind;
+use litho_optics::HopkinsSimulator;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let optics = scale.optics();
+    let simulator = HopkinsSimulator::new(&optics);
+
+    let pairs = [
+        (DatasetKind::B1, DatasetKind::B1Opc),
+        (DatasetKind::B2Metal, DatasetKind::B2Via),
+        (DatasetKind::B2Via, DatasetKind::B2Metal),
+    ];
+
+    println!("Table IV — OOD generalization (mPA / mIOU in %, drop vs in-distribution)");
+    for (train_kind, test_kind) in pairs {
+        let train_bench = single_benchmark(&scale, &simulator, train_kind, 300);
+        let ood_bench = single_benchmark(&scale, &simulator, test_kind, 400);
+
+        let nitho = train_nitho(&scale, &optics, &train_bench.train);
+        let cnn = train_cnn(&scale, &train_bench.train, TargetStage::Aerial);
+        let fno = train_fno(&scale, &train_bench.train, TargetStage::Aerial);
+
+        println!("\n== train on {} / test on {} ==", train_kind.alias(), test_kind.alias());
+        let report = |name: &str, in_d: (f64, f64), ood: (f64, f64)| {
+            println!(
+                "  {name:<18} in-dist mPA {:>6.2}% mIOU {:>6.2}%   OOD mPA {:>6.2}% mIOU {:>6.2}%   drop {:>5.2} / {:>5.2}",
+                in_d.0, in_d.1, ood.0, ood.1, in_d.0 - ood.0, in_d.1 - ood.1
+            );
+        };
+
+        let n_in = nitho.evaluate(&train_bench.test, optics.resist_threshold).resist;
+        let n_ood = nitho.evaluate(&ood_bench.test, optics.resist_threshold).resist;
+        let c_in = cnn.evaluate(&train_bench.test, optics.resist_threshold, TargetStage::Aerial).1;
+        let c_ood = cnn.evaluate(&ood_bench.test, optics.resist_threshold, TargetStage::Aerial).1;
+        let f_in = fno.evaluate(&train_bench.test, optics.resist_threshold, TargetStage::Aerial).1;
+        let f_ood = fno.evaluate(&ood_bench.test, optics.resist_threshold, TargetStage::Aerial).1;
+
+        report("TEMPO-like CNN", (c_in.mpa_percent, c_in.miou_percent), (c_ood.mpa_percent, c_ood.miou_percent));
+        report("DOINN-like FNO", (f_in.mpa_percent, f_in.miou_percent), (f_ood.mpa_percent, f_ood.miou_percent));
+        report("Nitho", (n_in.mpa_percent, n_in.miou_percent), (n_ood.mpa_percent, n_ood.miou_percent));
+    }
+}

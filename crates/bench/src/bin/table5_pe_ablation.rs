@@ -1,0 +1,42 @@
+//! Table V — positional-encoding ablation on the B1 dataset: no encoding vs
+//! NeRF's axis-aligned encoding vs the complex Gaussian RFF mapping.
+
+use litho_bench::{nitho_config, single_benchmark, ExperimentScale};
+use litho_masks::DatasetKind;
+use litho_optics::HopkinsSimulator;
+use nitho::{NithoModel, PositionalEncoding};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let optics = scale.optics();
+    let simulator = HopkinsSimulator::new(&optics);
+    let benchmark = single_benchmark(&scale, &simulator, DatasetKind::B1, 500);
+
+    println!("Table V — positional encoding ablation on B1");
+    println!("{:<16} {:>14} {:>12} {:>10}", "encoding", "MSE (x1e-5)", "ME (x1e-2)", "PSNR (dB)");
+    for encoding in [
+        PositionalEncoding::None,
+        PositionalEncoding::Nerf { levels: 6 },
+        PositionalEncoding::GaussianRff {
+            features: 64,
+            sigma: 3.0,
+            seed: 0x4e49_5448,
+        },
+    ] {
+        let label = encoding.label();
+        let config = nitho::NithoConfig {
+            encoding,
+            ..nitho_config(&scale)
+        };
+        let mut model = NithoModel::new(config, &optics);
+        model.train(&benchmark.train);
+        let eval = model.evaluate(&benchmark.test, optics.resist_threshold);
+        println!(
+            "{:<16} {:>14.2} {:>12.2} {:>10.2}",
+            label,
+            eval.aerial.mse_e5(),
+            eval.aerial.max_error_e2(),
+            eval.aerial.psnr_db
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! Shared harness for the experiment binaries that regenerate the paper's
+//! tables and figures (see DESIGN.md §3 for the experiment index).
+//!
+//! All experiment binaries read their workload size from environment
+//! variables so the same code scales from a quick smoke run to an
+//! overnight-quality reproduction:
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `NITHO_TILE_PX` | tile edge in pixels (at 512 nm physical extent) | 128 |
+//! | `NITHO_TRAIN_TILES` | training tiles per dataset | 16 |
+//! | `NITHO_TEST_TILES` | test tiles per dataset | 6 |
+//! | `NITHO_EPOCHS` | training epochs for every model | 30 |
+
+use litho_baselines::{CnnLitho, FnoLitho, ImageRegressor, RegressorConfig, TargetStage};
+use litho_masks::{Dataset, DatasetKind};
+use litho_metrics::{AerialMetrics, ResistMetrics};
+use litho_optics::{HopkinsSimulator, OpticalConfig};
+use nitho::{NithoConfig, NithoModel};
+
+/// Reads a `usize` environment variable with a default.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Experiment-wide settings resolved from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentScale {
+    /// Tile edge length in pixels.
+    pub tile_px: usize,
+    /// Training tiles per dataset family.
+    pub train_tiles: usize,
+    /// Test tiles per dataset family.
+    pub test_tiles: usize,
+    /// Training epochs for every model.
+    pub epochs: usize,
+}
+
+impl ExperimentScale {
+    /// Resolves the scale from the environment (see the crate docs).
+    pub fn from_env() -> Self {
+        Self {
+            tile_px: env_usize("NITHO_TILE_PX", 128),
+            train_tiles: env_usize("NITHO_TRAIN_TILES", 16),
+            test_tiles: env_usize("NITHO_TEST_TILES", 6),
+            epochs: env_usize("NITHO_EPOCHS", 30),
+        }
+    }
+
+    /// The optical configuration used by every experiment: 193 nm immersion
+    /// optics over a 512 nm tile, rasterized at `512 / tile_px` nm per pixel.
+    pub fn optics(&self) -> OpticalConfig {
+        OpticalConfig::builder()
+            .tile_px(self.tile_px)
+            .pixel_nm(512.0 / self.tile_px as f64)
+            .kernel_count(8)
+            .build()
+    }
+}
+
+/// A labelled train/test pair for one dataset family.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Dataset alias (`B1`, `B2m`, `B2v`, `B2m+B2v`, …).
+    pub name: String,
+    /// Training split.
+    pub train: Dataset,
+    /// Test split.
+    pub test: Dataset,
+}
+
+/// Generates the four benchmark families of Table II plus the merged
+/// `B2m+B2v` mixture used in Table III.
+pub fn standard_benchmarks(scale: &ExperimentScale, simulator: &HopkinsSimulator) -> Vec<Benchmark> {
+    let gen = |kind: DatasetKind, seed: u64| {
+        let train = Dataset::generate(kind, scale.train_tiles, simulator, seed);
+        let test = Dataset::generate(kind, scale.test_tiles, simulator, seed + 1000);
+        Benchmark {
+            name: kind.alias().to_owned(),
+            train,
+            test,
+        }
+    };
+    let b1 = gen(DatasetKind::B1, 101);
+    let b2m = gen(DatasetKind::B2Metal, 103);
+    let b2v = gen(DatasetKind::B2Via, 104);
+    let merged = Benchmark {
+        name: "B2m+B2v".to_owned(),
+        train: b2m.train.merged(&b2v.train).shuffled(7),
+        test: b2m.test.merged(&b2v.test),
+    };
+    vec![b1, b2m, b2v, merged]
+}
+
+/// Generates one dataset family (used by the OOD and ablation experiments).
+pub fn single_benchmark(
+    scale: &ExperimentScale,
+    simulator: &HopkinsSimulator,
+    kind: DatasetKind,
+    seed: u64,
+) -> Benchmark {
+    Benchmark {
+        name: kind.alias().to_owned(),
+        train: Dataset::generate(kind, scale.train_tiles, simulator, seed),
+        test: Dataset::generate(kind, scale.test_tiles, simulator, seed + 1000),
+    }
+}
+
+/// Nitho configuration used by the experiments (moderate size; the unit tests
+/// use `NithoConfig::fast`, this is one notch larger).
+pub fn nitho_config(scale: &ExperimentScale) -> NithoConfig {
+    NithoConfig {
+        kernel_count: 8,
+        hidden_dim: 48,
+        hidden_blocks: 2,
+        epochs: scale.epochs,
+        ..NithoConfig::fast()
+    }
+}
+
+/// Trains a Nitho model on a training set.
+pub fn train_nitho(scale: &ExperimentScale, optics: &OpticalConfig, train: &Dataset) -> NithoModel {
+    let mut model = NithoModel::new(nitho_config(scale), optics);
+    model.train(train);
+    model
+}
+
+/// Trains the TEMPO-like CNN baseline.
+pub fn train_cnn(scale: &ExperimentScale, train: &Dataset, stage: TargetStage) -> CnnLitho {
+    let config = RegressorConfig {
+        working_resolution: (scale.tile_px / 4).max(16),
+        stage,
+        epochs: scale.epochs,
+        ..RegressorConfig::default()
+    };
+    let mut model = CnnLitho::with_channels(config, 16);
+    model.train(train);
+    model
+}
+
+/// Trains the DOINN-like FNO baseline.
+pub fn train_fno(scale: &ExperimentScale, train: &Dataset, stage: TargetStage) -> FnoLitho {
+    let config = RegressorConfig {
+        working_resolution: (scale.tile_px / 2).max(16),
+        stage,
+        epochs: scale.epochs,
+        learning_rate: 4e-3,
+        ..RegressorConfig::default()
+    };
+    let mut model = FnoLitho::with_layers(config, 3);
+    model.train(train);
+    model
+}
+
+/// One row of a Table III / Table IV style result table.
+#[derive(Debug, Clone)]
+pub struct ResultRow {
+    /// Model name.
+    pub model: String,
+    /// Aerial-image metrics.
+    pub aerial: AerialMetrics,
+    /// Resist-image metrics.
+    pub resist: ResistMetrics,
+}
+
+impl ResultRow {
+    /// Formats the row in the paper's Table III column layout.
+    pub fn formatted(&self) -> String {
+        format!(
+            "{:<18} MSE(x1e-5) {:>10.2}  ME(x1e-2) {:>7.2}  PSNR {:>6.2} dB  mPA {:>6.2}%  mIOU {:>6.2}%",
+            self.model,
+            self.aerial.mse_e5(),
+            self.aerial.max_error_e2(),
+            self.aerial.psnr_db,
+            self.resist.mpa_percent,
+            self.resist.miou_percent
+        )
+    }
+}
+
+/// Evaluates all three models on a test set, returning one row per model.
+pub fn evaluate_all_models(
+    nitho: &NithoModel,
+    cnn: &CnnLitho,
+    fno: &FnoLitho,
+    test: &Dataset,
+    resist_threshold: f64,
+) -> Vec<ResultRow> {
+    let nitho_eval = nitho.evaluate(test, resist_threshold);
+    let (cnn_aerial, cnn_resist) = cnn.evaluate(test, resist_threshold, TargetStage::Aerial);
+    let (fno_aerial, fno_resist) = fno.evaluate(test, resist_threshold, TargetStage::Aerial);
+    vec![
+        ResultRow {
+            model: "TEMPO-like CNN".into(),
+            aerial: cnn_aerial,
+            resist: cnn_resist,
+        },
+        ResultRow {
+            model: "DOINN-like FNO".into(),
+            aerial: fno_aerial,
+            resist: fno_resist,
+        },
+        ResultRow {
+            model: "Nitho".into(),
+            aerial: nitho_eval.aerial,
+            resist: nitho_eval.resist,
+        },
+    ]
+}
+
+/// Renders a real image as a compact ASCII intensity map (used by the
+/// qualitative figure binary).
+pub fn ascii_image(image: &litho_math::RealMatrix, width: usize) -> String {
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let step = (image.cols() / width).max(1);
+    let max = image.max().max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    let mut i = 0;
+    while i < image.rows() {
+        let mut j = 0;
+        while j < image.cols() {
+            let level = ((image[(i, j)] / max) * (glyphs.len() - 1) as f64).round() as usize;
+            out.push(glyphs[level.min(glyphs.len() - 1)]);
+            j += step;
+        }
+        out.push('\n');
+        i += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_defaults() {
+        assert_eq!(env_usize("NITHO_DOES_NOT_EXIST", 42), 42);
+        std::env::set_var("NITHO_BENCH_TEST_VAR", "17");
+        assert_eq!(env_usize("NITHO_BENCH_TEST_VAR", 42), 17);
+        std::env::remove_var("NITHO_BENCH_TEST_VAR");
+    }
+
+    #[test]
+    fn scale_builds_physical_optics() {
+        let scale = ExperimentScale {
+            tile_px: 64,
+            train_tiles: 2,
+            test_tiles: 1,
+            epochs: 1,
+        };
+        let optics = scale.optics();
+        assert_eq!(optics.tile_px, 64);
+        assert!((optics.tile_nm() - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn benchmarks_cover_all_families() {
+        let scale = ExperimentScale {
+            tile_px: 64,
+            train_tiles: 2,
+            test_tiles: 2,
+            epochs: 1,
+        };
+        let simulator = HopkinsSimulator::new(&scale.optics());
+        let benchmarks = standard_benchmarks(&scale, &simulator);
+        let names: Vec<&str> = benchmarks.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, vec!["B1", "B2m", "B2v", "B2m+B2v"]);
+        assert_eq!(benchmarks[3].train.len(), 4);
+    }
+
+    #[test]
+    fn ascii_image_renders() {
+        let image = litho_math::RealMatrix::from_fn(16, 16, |i, j| (i + j) as f64);
+        let art = ascii_image(&image, 8);
+        assert!(art.lines().count() >= 8);
+        // Bright pixels map to the dense end of the glyph ramp.
+        assert!(art.contains('%') || art.contains('@'));
+        assert!(art.contains(' '));
+    }
+}

@@ -1,0 +1,363 @@
+//! The complex-valued multilayer perceptron (CMLP) of Eq. (12).
+//!
+//! `CMLP : CLinear → (CLinear → CReLU) × N → CLinear`
+//!
+//! Every weight and bias is a complex matrix stored in a
+//! [`ParamStore`]; the forward pass is expressed on a [`Tape`] so the whole
+//! network is differentiable end-to-end through the SOCS imaging equations.
+
+use litho_autodiff::{NodeId, ParamId, ParamStore, Tape};
+use litho_math::{ComplexMatrix, DeterministicRng};
+
+/// Architecture of a [`Cmlp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmlpArchitecture {
+    /// Input feature dimension (the positional-encoding output width).
+    pub input_dim: usize,
+    /// Width of the hidden `CLinear → CReLU` blocks.
+    pub hidden_dim: usize,
+    /// Number of hidden blocks (`N` in Eq. (12)).
+    pub hidden_blocks: usize,
+    /// Output dimension (the kernel order `r`: one complex kernel value per
+    /// output column).
+    pub output_dim: usize,
+}
+
+impl CmlpArchitecture {
+    /// Total number of complex weights and biases.
+    pub fn complex_parameter_count(&self) -> usize {
+        let mut count = self.input_dim * self.hidden_dim + self.hidden_dim; // input layer
+        for _ in 0..self.hidden_blocks {
+            count += self.hidden_dim * self.hidden_dim + self.hidden_dim;
+        }
+        count += self.hidden_dim * self.output_dim + self.output_dim; // output layer
+        count
+    }
+}
+
+/// A complex-valued MLP with persistent parameters.
+#[derive(Debug, Clone)]
+pub struct Cmlp {
+    architecture: CmlpArchitecture,
+    params: ParamStore,
+    weight_ids: Vec<ParamId>,
+    bias_ids: Vec<ParamId>,
+}
+
+impl Cmlp {
+    /// Creates a CMLP with Glorot-style complex initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any architecture dimension is zero.
+    pub fn new(architecture: CmlpArchitecture, rng: &mut DeterministicRng) -> Self {
+        assert!(
+            architecture.input_dim > 0
+                && architecture.hidden_dim > 0
+                && architecture.output_dim > 0,
+            "CMLP dimensions must be positive"
+        );
+        let mut params = ParamStore::new();
+        let mut weight_ids = Vec::new();
+        let mut bias_ids = Vec::new();
+
+        let mut layer_dims = Vec::with_capacity(architecture.hidden_blocks + 2);
+        layer_dims.push((architecture.input_dim, architecture.hidden_dim));
+        for _ in 0..architecture.hidden_blocks {
+            layer_dims.push((architecture.hidden_dim, architecture.hidden_dim));
+        }
+        layer_dims.push((architecture.hidden_dim, architecture.output_dim));
+
+        for (layer, (fan_in, fan_out)) in layer_dims.into_iter().enumerate() {
+            weight_ids.push(params.add_complex_glorot(
+                &format!("cmlp.layer{layer}.weight"),
+                fan_in,
+                fan_out,
+                rng,
+            ));
+            bias_ids.push(params.add_zeros(&format!("cmlp.layer{layer}.bias"), 1, fan_out));
+        }
+
+        Self {
+            architecture,
+            params,
+            weight_ids,
+            bias_ids,
+        }
+    }
+
+    /// The network architecture.
+    pub fn architecture(&self) -> CmlpArchitecture {
+        self.architecture
+    }
+
+    /// The parameter store (for optimizers and persistence).
+    pub fn params(&self) -> &ParamStore {
+        &self.params
+    }
+
+    /// Mutable access to the parameter store (for optimizers and loading).
+    pub fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.params
+    }
+
+    /// Number of real scalar parameters (complex elements count twice),
+    /// the figure used for the paper's model-size comparison (Table I).
+    pub fn num_parameters(&self) -> usize {
+        self.params.num_scalars()
+    }
+
+    /// Model size in bytes at 32-bit precision per real scalar.
+    pub fn size_bytes(&self) -> usize {
+        self.params.size_bytes_f32()
+    }
+
+    /// Places every parameter on a tape as a gradient-carrying leaf and runs
+    /// the forward pass from an input node of shape `batch × input_dim`.
+    ///
+    /// Returns the output node (`batch × output_dim`) and the tape node ids of
+    /// the parameter leaves paired with their [`ParamId`]s, so the caller can
+    /// fetch gradients after `backward` and hand them to an optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input node width does not match the architecture.
+    pub fn forward(&self, tape: &mut Tape, input: NodeId) -> (NodeId, Vec<(ParamId, NodeId)>) {
+        assert_eq!(
+            tape.value(input).cols(),
+            self.architecture.input_dim,
+            "input width must match the CMLP input dimension"
+        );
+        let mut leaves = Vec::with_capacity(self.weight_ids.len() + self.bias_ids.len());
+        let mut hidden = input;
+        let layer_count = self.weight_ids.len();
+        for layer in 0..layer_count {
+            let w_id = self.weight_ids[layer];
+            let b_id = self.bias_ids[layer];
+            let w = tape.leaf(self.params.value(w_id).clone(), true);
+            let b = tape.leaf(self.params.value(b_id).clone(), true);
+            leaves.push((w_id, w));
+            leaves.push((b_id, b));
+            let product = tape.matmul(hidden, w);
+            let with_bias = tape.add_bias_row(product, b);
+            // CReLU on every layer except the final projection (Eq. (12)).
+            hidden = if layer + 1 < layer_count {
+                tape.crelu(with_bias)
+            } else {
+                with_bias
+            };
+        }
+        (hidden, leaves)
+    }
+
+    /// Convenience inference pass: evaluates the network on a constant input
+    /// without keeping gradients, returning the output value.
+    pub fn infer(&self, input: &ComplexMatrix) -> ComplexMatrix {
+        let mut tape = Tape::new();
+        let input_node = tape.constant(input.clone());
+        let (output, _) = self.forward_frozen(&mut tape, input_node);
+        tape.value(output).clone()
+    }
+
+    /// Forward pass with parameters inserted as constants (no gradients);
+    /// cheaper when only predictions are needed.
+    fn forward_frozen(&self, tape: &mut Tape, input: NodeId) -> (NodeId, Vec<(ParamId, NodeId)>) {
+        let mut hidden = input;
+        let layer_count = self.weight_ids.len();
+        for layer in 0..layer_count {
+            let w = tape.constant(self.params.value(self.weight_ids[layer]).clone());
+            let b = tape.constant(self.params.value(self.bias_ids[layer]).clone());
+            let product = tape.matmul(hidden, w);
+            let with_bias = tape.add_bias_row(product, b);
+            hidden = if layer + 1 < layer_count {
+                tape.crelu(with_bias)
+            } else {
+                with_bias
+            };
+        }
+        (hidden, Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litho_autodiff::{check_gradients, Adam, Optimizer};
+    use litho_math::Complex64;
+
+    fn small_arch() -> CmlpArchitecture {
+        CmlpArchitecture {
+            input_dim: 6,
+            hidden_dim: 8,
+            hidden_blocks: 2,
+            output_dim: 3,
+        }
+    }
+
+    #[test]
+    fn parameter_count_matches_architecture() {
+        let arch = small_arch();
+        let expected = 6 * 8 + 8 + 2 * (8 * 8 + 8) + 8 * 3 + 3;
+        assert_eq!(arch.complex_parameter_count(), expected);
+        let mut rng = DeterministicRng::new(1);
+        let mlp = Cmlp::new(arch, &mut rng);
+        assert_eq!(mlp.num_parameters(), expected * 2);
+        assert_eq!(mlp.size_bytes(), expected * 2 * 4);
+        assert_eq!(mlp.architecture(), arch);
+    }
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let mut rng = DeterministicRng::new(2);
+        let mlp = Cmlp::new(small_arch(), &mut rng);
+        let input = ComplexMatrix::from_fn(10, 6, |i, j| Complex64::new(i as f64 * 0.1, j as f64 * 0.05));
+        let out_a = mlp.infer(&input);
+        let out_b = mlp.infer(&input);
+        assert_eq!(out_a.shape(), (10, 3));
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn forward_and_infer_agree() {
+        let mut rng = DeterministicRng::new(3);
+        let mlp = Cmlp::new(small_arch(), &mut rng);
+        let input = ComplexMatrix::from_fn(4, 6, |i, j| Complex64::new((i + j) as f64 * 0.1, 0.2));
+        let mut tape = Tape::new();
+        let node = tape.constant(input.clone());
+        let (out, leaves) = mlp.forward(&mut tape, node);
+        assert_eq!(leaves.len(), 2 * (2 + 2)); // (hidden_blocks + input + output) layers × (w, b)
+        let from_tape = tape.value(out).clone();
+        let from_infer = mlp.infer(&input);
+        for i in 0..4 {
+            for j in 0..3 {
+                assert!((from_tape[(i, j)] - from_infer[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_flow_to_every_parameter() {
+        let mut rng = DeterministicRng::new(4);
+        let mlp = Cmlp::new(small_arch(), &mut rng);
+        let input = ComplexMatrix::from_fn(5, 6, |i, j| Complex64::new(0.3 * i as f64, -0.2 * j as f64));
+        let mut tape = Tape::new();
+        let node = tape.constant(input);
+        let (out, leaves) = mlp.forward(&mut tape, node);
+        let sq = tape.abs_sq(out);
+        let loss = tape.mean_real(sq);
+        tape.backward(loss);
+        for (param_id, node_id) in &leaves {
+            let grad = tape.grad(*node_id);
+            assert!(
+                grad.is_some(),
+                "missing gradient for {}",
+                mlp.params().name(*param_id)
+            );
+        }
+    }
+
+    #[test]
+    fn cmlp_gradcheck_against_finite_differences() {
+        // Check the full CLinear/CReLU stack numerically on a tiny network.
+        let arch = CmlpArchitecture {
+            input_dim: 3,
+            hidden_dim: 4,
+            hidden_blocks: 1,
+            output_dim: 2,
+        };
+        let mut rng = DeterministicRng::new(5);
+        let mlp = Cmlp::new(arch, &mut rng);
+        let input = ComplexMatrix::from_fn(3, 3, |i, j| Complex64::new(0.4 * i as f64 - 0.1, 0.3 * j as f64));
+
+        // Collect parameter values as gradcheck inputs, then rebuild the same
+        // network topology inside the closure from the provided leaves.
+        let values: Vec<ComplexMatrix> = mlp.params().iter().map(|(_, _, v)| v.clone()).collect();
+        check_gradients(
+            &values,
+            move |tape, ids| {
+                let x = tape.constant(input.clone());
+                let h1 = tape.matmul(x, ids[0]);
+                let h1b = tape.add_bias_row(h1, ids[1]);
+                let a1 = tape.crelu(h1b);
+                let h2 = tape.matmul(a1, ids[2]);
+                let h2b = tape.add_bias_row(h2, ids[3]);
+                let a2 = tape.crelu(h2b);
+                let h3 = tape.matmul(a2, ids[4]);
+                let out = tape.add_bias_row(h3, ids[5]);
+                let sq = tape.abs_sq(out);
+                tape.mean_real(sq)
+            },
+            1e-5,
+            1e-4,
+        )
+        .expect("CMLP gradients must match finite differences");
+    }
+
+    #[test]
+    fn cmlp_can_fit_a_complex_target() {
+        // Regression smoke test: fit a small random complex target from a
+        // fixed input, which exercises forward + backward + Adam end to end.
+        let arch = CmlpArchitecture {
+            input_dim: 4,
+            hidden_dim: 16,
+            hidden_blocks: 1,
+            output_dim: 2,
+        };
+        let mut rng = DeterministicRng::new(6);
+        let mut mlp = Cmlp::new(arch, &mut rng);
+        let input = ComplexMatrix::from_fn(8, 4, |i, j| {
+            Complex64::new((i as f64 * 0.7 + j as f64).sin(), (i as f64 - j as f64 * 0.3).cos())
+        });
+        let target = ComplexMatrix::from_fn(8, 2, |i, j| {
+            Complex64::new((i as f64 * 0.5 + j as f64).cos() * 0.5, (i as f64 * 0.2).sin() * 0.5)
+        });
+
+        let mut adam = Adam::new(5e-3);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..400 {
+            let mut tape = Tape::new();
+            let x = tape.constant(input.clone());
+            let (out, leaves) = mlp.forward(&mut tape, x);
+            let t = tape.constant(target.clone());
+            let diff = tape.sub(out, t);
+            let sq = tape.abs_sq(diff);
+            let loss = tape.mean_real(sq);
+            tape.backward(loss);
+            last_loss = tape.value(loss)[(0, 0)].re;
+            first_loss.get_or_insert(last_loss);
+            let grads: Vec<_> = leaves
+                .iter()
+                .filter_map(|(pid, nid)| tape.grad(*nid).map(|g| (*pid, g.clone())))
+                .collect();
+            adam.step(mlp.params_mut(), &grads);
+        }
+        let first = first_loss.expect("at least one step");
+        assert!(
+            last_loss < 0.05 * first,
+            "training failed to reduce the loss: {first} → {last_loss}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "input width")]
+    fn wrong_input_width_panics() {
+        let mut rng = DeterministicRng::new(7);
+        let mlp = Cmlp::new(small_arch(), &mut rng);
+        let mut tape = Tape::new();
+        let bad = tape.constant(ComplexMatrix::zeros(2, 5));
+        let _ = mlp.forward(&mut tape, bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_panics() {
+        let arch = CmlpArchitecture {
+            input_dim: 0,
+            hidden_dim: 4,
+            hidden_blocks: 1,
+            output_dim: 2,
+        };
+        let _ = Cmlp::new(arch, &mut DeterministicRng::new(0));
+    }
+}

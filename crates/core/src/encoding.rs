@@ -1,0 +1,271 @@
+//! Positional encodings for the kernel-coordinate inputs.
+//!
+//! A plain MLP struggles to represent the high-frequency structure of optical
+//! kernels from raw 2-D coordinates. The paper compares three options
+//! (Table V): no encoding, NeRF's axis-aligned sinusoidal encoding
+//! (Eq. (14)), and the complex Gaussian random-Fourier-feature (RFF) mapping
+//! it ultimately adopts (Eq. (15)).
+
+use litho_math::{Complex64, ComplexMatrix, DeterministicRng, Matrix, RealMatrix};
+
+/// A positional encoding applied to normalized kernel coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PositionalEncoding {
+    /// Pass the raw `(x, y)` coordinates through (the paper's "None" ablation
+    /// row in Table V).
+    None,
+    /// NeRF's axis-aligned encoding, Eq. (14):
+    /// `[sin(2⁰πv), cos(2⁰πv), …, sin(2^{L−1}πv), cos(2^{L−1}πv)]` applied to
+    /// each coordinate separately.
+    Nerf {
+        /// Number of frequency octaves `L`.
+        levels: usize,
+    },
+    /// Gaussian random Fourier features, Eq. (15):
+    /// `[cos(2πBv)·(1+j), sin(2πBv)·(1+j)]` with `B ∈ R^{l×2}`,
+    /// `B_ij ~ N(0, σ²)`. This is the encoding Nitho uses.
+    GaussianRff {
+        /// Number of random frequencies `l`.
+        features: usize,
+        /// Standard deviation σ of the frequency matrix entries.
+        sigma: f64,
+        /// Seed for the (fixed) random frequency matrix.
+        seed: u64,
+    },
+}
+
+impl Default for PositionalEncoding {
+    fn default() -> Self {
+        PositionalEncoding::GaussianRff {
+            features: 96,
+            sigma: 3.0,
+            seed: 0x4e49_5448,
+        }
+    }
+}
+
+impl PositionalEncoding {
+    /// Output dimensionality of the encoding (number of CMLP input features).
+    pub fn output_dim(&self) -> usize {
+        match *self {
+            PositionalEncoding::None => 2,
+            PositionalEncoding::Nerf { levels } => 4 * levels,
+            PositionalEncoding::GaussianRff { features, .. } => 2 * features,
+        }
+    }
+
+    /// Short label used in ablation tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PositionalEncoding::None => "None",
+            PositionalEncoding::Nerf { .. } => "NeRF PE",
+            PositionalEncoding::GaussianRff { .. } => "Gaussian RFF",
+        }
+    }
+
+    /// Encodes the full kernel coordinate grid: every `(row, col)` of an
+    /// `rows × cols` kernel, with coordinates normalized to `[0, 1]`, flattened
+    /// row-major into an `(rows·cols) × output_dim` complex matrix (the CMLP
+    /// input of Algorithm 1, lines 2–3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn encode_grid(&self, rows: usize, cols: usize) -> ComplexMatrix {
+        assert!(rows > 0 && cols > 0, "kernel grid must be non-empty");
+        let coords = grid_coordinates(rows, cols);
+        self.encode(&coords)
+    }
+
+    /// Encodes an arbitrary list of normalized 2-D coordinates into an
+    /// `N × output_dim` complex matrix.
+    pub fn encode(&self, coords: &[(f64, f64)]) -> ComplexMatrix {
+        match *self {
+            PositionalEncoding::None => Matrix::from_fn(coords.len(), 2, |i, j| {
+                let (x, y) = coords[i];
+                Complex64::from_real(if j == 0 { x } else { y })
+            }),
+            PositionalEncoding::Nerf { levels } => {
+                assert!(levels > 0, "NeRF encoding needs at least one level");
+                Matrix::from_fn(coords.len(), 4 * levels, |i, j| {
+                    let (x, y) = coords[i];
+                    // Feature layout per level: [sin x, cos x, sin y, cos y].
+                    let level = j / 4;
+                    let slot = j % 4;
+                    let v = if slot < 2 { x } else { y };
+                    let angle = (1u64 << level) as f64 * std::f64::consts::PI * v;
+                    let value = if slot % 2 == 0 { angle.sin() } else { angle.cos() };
+                    Complex64::from_real(value)
+                })
+            }
+            PositionalEncoding::GaussianRff {
+                features,
+                sigma,
+                seed,
+            } => {
+                assert!(features > 0, "RFF encoding needs at least one feature");
+                assert!(sigma > 0.0, "RFF sigma must be positive");
+                let frequencies = rff_frequencies(features, sigma, seed);
+                let one_plus_j = Complex64::new(1.0, 1.0);
+                Matrix::from_fn(coords.len(), 2 * features, |i, j| {
+                    let (x, y) = coords[i];
+                    let feature = j % features;
+                    let phase = 2.0
+                        * std::f64::consts::PI
+                        * (frequencies[(feature, 0)] * x + frequencies[(feature, 1)] * y);
+                    let value = if j < features { phase.cos() } else { phase.sin() };
+                    one_plus_j.scale(value)
+                })
+            }
+        }
+    }
+}
+
+/// The normalized coordinates of every kernel-grid point, flattened row-major
+/// (Algorithm 1, line 2: `[(0,0), …, (0,m), …, (n,m)]ᵀ`, normalized to
+/// `[0, 1]`).
+pub fn grid_coordinates(rows: usize, cols: usize) -> Vec<(f64, f64)> {
+    let norm = |i: usize, n: usize| {
+        if n <= 1 {
+            0.0
+        } else {
+            i as f64 / (n - 1) as f64
+        }
+    };
+    let mut coords = Vec::with_capacity(rows * cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            coords.push((norm(i, rows), norm(j, cols)));
+        }
+    }
+    coords
+}
+
+/// The fixed Gaussian frequency matrix `B ∈ R^{features × 2}` of Eq. (15).
+fn rff_frequencies(features: usize, sigma: f64, seed: u64) -> RealMatrix {
+    let mut rng = DeterministicRng::new(seed);
+    RealMatrix::from_fn(features, 2, |_, _| rng.normal(0.0, sigma))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn output_dims_per_encoding() {
+        assert_eq!(PositionalEncoding::None.output_dim(), 2);
+        assert_eq!(PositionalEncoding::Nerf { levels: 6 }.output_dim(), 24);
+        let rff = PositionalEncoding::GaussianRff {
+            features: 32,
+            sigma: 1.0,
+            seed: 1,
+        };
+        assert_eq!(rff.output_dim(), 64);
+        assert_eq!(rff.label(), "Gaussian RFF");
+        assert_eq!(PositionalEncoding::default().label(), "Gaussian RFF");
+    }
+
+    #[test]
+    fn grid_coordinates_are_normalized_row_major() {
+        let coords = grid_coordinates(3, 2);
+        assert_eq!(coords.len(), 6);
+        assert_eq!(coords[0], (0.0, 0.0));
+        assert_eq!(coords[1], (0.0, 1.0));
+        assert_eq!(coords[5], (1.0, 1.0));
+        // Degenerate single row/column maps to 0.
+        assert_eq!(grid_coordinates(1, 1)[0], (0.0, 0.0));
+    }
+
+    #[test]
+    fn none_encoding_passes_coordinates_through() {
+        let enc = PositionalEncoding::None;
+        let out = enc.encode(&[(0.25, 0.75)]);
+        assert_eq!(out.shape(), (1, 2));
+        assert_eq!(out[(0, 0)], Complex64::from_real(0.25));
+        assert_eq!(out[(0, 1)], Complex64::from_real(0.75));
+    }
+
+    #[test]
+    fn nerf_encoding_matches_formula() {
+        let enc = PositionalEncoding::Nerf { levels: 2 };
+        let x = 0.3;
+        let y = 0.6;
+        let out = enc.encode(&[(x, y)]);
+        assert_eq!(out.shape(), (1, 8));
+        let pi = std::f64::consts::PI;
+        assert!((out[(0, 0)].re - (pi * x).sin()).abs() < 1e-12);
+        assert!((out[(0, 1)].re - (pi * x).cos()).abs() < 1e-12);
+        assert!((out[(0, 2)].re - (pi * y).sin()).abs() < 1e-12);
+        assert!((out[(0, 3)].re - (pi * y).cos()).abs() < 1e-12);
+        assert!((out[(0, 4)].re - (2.0 * pi * x).sin()).abs() < 1e-12);
+        assert!((out[(0, 7)].re - (2.0 * pi * y).cos()).abs() < 1e-12);
+        // NeRF encoding is purely real.
+        assert!(out.iter().all(|z| z.im == 0.0));
+    }
+
+    #[test]
+    fn rff_encoding_is_complex_and_bounded() {
+        let enc = PositionalEncoding::GaussianRff {
+            features: 16,
+            sigma: 2.0,
+            seed: 3,
+        };
+        let out = enc.encode_grid(5, 5);
+        assert_eq!(out.shape(), (25, 32));
+        for z in out.iter() {
+            // Every entry is (1 + j)·cos or (1 + j)·sin, so |re| = |im| ≤ 1.
+            assert!((z.re - z.im).abs() < 1e-12);
+            assert!(z.re.abs() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn rff_encoding_is_deterministic_in_seed() {
+        let make = |seed| PositionalEncoding::GaussianRff {
+            features: 8,
+            sigma: 1.5,
+            seed,
+        };
+        let a = make(7).encode_grid(4, 4);
+        let b = make(7).encode_grid(4, 4);
+        let c = make(8).encode_grid(4, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rff_separates_nearby_coordinates() {
+        // The whole point of the encoding: nearby coordinates get distant
+        // embeddings, enabling high-frequency regression.
+        let enc = PositionalEncoding::default();
+        let out = enc.encode(&[(0.50, 0.50), (0.52, 0.50)]);
+        let mut distance = 0.0;
+        for j in 0..out.cols() {
+            distance += (out[(0, j)] - out[(1, j)]).abs_sq();
+        }
+        let raw_distance: f64 = 0.02 * 0.02;
+        assert!(distance.sqrt() > 10.0 * raw_distance.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_level_nerf_panics() {
+        let _ = PositionalEncoding::Nerf { levels: 0 }.encode(&[(0.0, 0.0)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encodings_have_declared_dims(rows in 1usize..6, cols in 1usize..6) {
+            for enc in [
+                PositionalEncoding::None,
+                PositionalEncoding::Nerf { levels: 3 },
+                PositionalEncoding::GaussianRff { features: 5, sigma: 1.0, seed: 0 },
+            ] {
+                let out = enc.encode_grid(rows, cols);
+                prop_assert_eq!(out.shape(), (rows * cols, enc.output_dim()));
+                prop_assert!(out.iter().all(|z| z.is_finite()));
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! **Nitho** — physics-informed optical kernel regression with complex-valued
+//! neural fields (reproduction of Chen et al., DAC 2023).
+//!
+//! Instead of learning a mask → image mapping, Nitho learns the
+//! mask-*independent* part of the lithography system: the transmission
+//! cross-coefficient (TCC) optical kernels. A coordinate-based complex-valued
+//! MLP ([`Cmlp`]) maps positional-encoded kernel-grid coordinates to complex
+//! kernel values; the rest of the imaging pipeline (mask FFT, spectrum crop,
+//! SOCS summation) stays exact and non-parametric, which is what gives the
+//! method its generalization across mask layer types.
+//!
+//! The crate provides:
+//!
+//! * [`encoding`] — positional encodings: none, NeRF axis-aligned (Eq. (14)),
+//!   and the complex Gaussian random-Fourier-feature mapping of Eq. (15).
+//! * [`cmlp`] — the complex-valued multilayer perceptron of Eq. (12), built
+//!   from `CLinear → CReLU` blocks on the autodiff tape.
+//! * [`model`] — [`NithoModel`]: kernel-dimension design (Eq. (10)), the
+//!   forward training procedure (Algorithm 1), stored-kernel fast lithography
+//!   and evaluation helpers.
+//! * [`training`] — training configuration and per-epoch loss reports.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use litho_masks::{Dataset, DatasetKind};
+//! use litho_optics::{HopkinsSimulator, OpticalConfig};
+//! use nitho::{NithoConfig, NithoModel};
+//!
+//! // Golden engine + a small via-layer dataset.
+//! let optics = OpticalConfig::builder().tile_px(128).pixel_nm(4.0).build();
+//! let simulator = HopkinsSimulator::new(&optics);
+//! let dataset = Dataset::generate(DatasetKind::B2Via, 32, &simulator, 7);
+//! let (train, test) = dataset.split(0.75);
+//!
+//! // Train Nitho on mask–aerial pairs only.
+//! let mut model = NithoModel::new(NithoConfig::default(), &optics);
+//! model.train(&train);
+//! let report = model.evaluate(&test, optics.resist_threshold);
+//! println!("PSNR = {:.2} dB", report.aerial.psnr_db);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod cmlp;
+pub mod encoding;
+pub mod model;
+pub mod training;
+
+pub use cmlp::Cmlp;
+pub use encoding::PositionalEncoding;
+pub use model::{EvaluationReport, NithoModel};
+pub use training::{NithoConfig, TrainingReport};

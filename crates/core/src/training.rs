@@ -1,0 +1,190 @@
+//! Training configuration and reports for the Nitho forward training
+//! procedure (Algorithm 1).
+
+use crate::encoding::PositionalEncoding;
+
+/// Hyper-parameters of a [`NithoModel`](crate::NithoModel).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NithoConfig {
+    /// Kernel side length override (`m = n`). `None` derives it from the
+    /// resolution limit, Eq. (10).
+    pub kernel_side: Option<usize>,
+    /// Number of predicted optical kernels `r` (the paper uses `r < 60`).
+    pub kernel_count: usize,
+    /// Width of the CMLP hidden layers.
+    pub hidden_dim: usize,
+    /// Number of hidden `CLinear → CReLU` blocks.
+    pub hidden_blocks: usize,
+    /// Positional encoding applied to kernel coordinates.
+    pub encoding: PositionalEncoding,
+    /// Output resolution used while training. `None` picks the smallest
+    /// power of two that comfortably contains the kernel grid — the
+    /// "hierarchical" fast path; the loss is mathematically identical to
+    /// full-resolution training because aerial images are band-limited.
+    pub training_resolution: Option<usize>,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size (masks per optimizer step).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Seed controlling weight init, RFF frequencies and batch shuffling.
+    pub seed: u64,
+}
+
+impl Default for NithoConfig {
+    fn default() -> Self {
+        Self {
+            kernel_side: None,
+            kernel_count: 12,
+            hidden_dim: 64,
+            hidden_blocks: 2,
+            encoding: PositionalEncoding::default(),
+            training_resolution: None,
+            epochs: 60,
+            batch_size: 4,
+            learning_rate: 3e-3,
+            seed: 42,
+        }
+    }
+}
+
+impl NithoConfig {
+    /// A reduced configuration for unit tests and quick experiments: smaller
+    /// network, fewer kernels, fewer epochs.
+    pub fn fast() -> Self {
+        Self {
+            kernel_count: 6,
+            hidden_dim: 32,
+            hidden_blocks: 1,
+            encoding: PositionalEncoding::GaussianRff {
+                features: 32,
+                sigma: 3.0,
+                seed: 0x4e49_5448,
+            },
+            epochs: 30,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is degenerate (zero sizes, non-positive learning
+    /// rate, or an even kernel-side override).
+    pub fn validate(&self) {
+        if let Some(side) = self.kernel_side {
+            assert!(side >= 3 && side % 2 == 1, "kernel side must be an odd number ≥ 3");
+        }
+        assert!(self.kernel_count > 0, "kernel count must be positive");
+        assert!(self.hidden_dim > 0, "hidden dimension must be positive");
+        assert!(self.epochs > 0, "epoch count must be positive");
+        assert!(self.batch_size > 0, "batch size must be positive");
+        assert!(self.learning_rate > 0.0, "learning rate must be positive");
+    }
+}
+
+/// Per-epoch loss trace returned by
+/// [`NithoModel::train`](crate::NithoModel::train).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainingReport {
+    /// Mean training MSE per epoch, in clear-field-normalized intensity units.
+    pub epoch_losses: Vec<f64>,
+}
+
+impl TrainingReport {
+    /// Loss of the final epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report is empty.
+    pub fn final_loss(&self) -> f64 {
+        *self.epoch_losses.last().expect("training report is empty")
+    }
+
+    /// Loss of the first epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report is empty.
+    pub fn initial_loss(&self) -> f64 {
+        *self.epoch_losses.first().expect("training report is empty")
+    }
+
+    /// Ratio `final / initial`; below 1 means training made progress.
+    pub fn improvement_ratio(&self) -> f64 {
+        self.final_loss() / self.initial_loss().max(f64::MIN_POSITIVE)
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.epoch_losses.len()
+    }
+
+    /// `true` when no epochs were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.epoch_losses.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let config = NithoConfig::default();
+        config.validate();
+        assert_eq!(config.kernel_count, 12);
+        assert!(config.kernel_side.is_none());
+    }
+
+    #[test]
+    fn fast_config_is_smaller() {
+        let fast = NithoConfig::fast();
+        fast.validate();
+        let full = NithoConfig::default();
+        assert!(fast.hidden_dim < full.hidden_dim);
+        assert!(fast.kernel_count < full.kernel_count);
+        assert!(fast.epochs < full.epochs);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd number")]
+    fn even_kernel_side_panics() {
+        let config = NithoConfig {
+            kernel_side: Some(8),
+            ..NithoConfig::default()
+        };
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn non_positive_learning_rate_panics() {
+        let config = NithoConfig {
+            learning_rate: 0.0,
+            ..NithoConfig::default()
+        };
+        config.validate();
+    }
+
+    #[test]
+    fn report_statistics() {
+        let report = TrainingReport {
+            epoch_losses: vec![1.0, 0.5, 0.1],
+        };
+        assert_eq!(report.len(), 3);
+        assert!(!report.is_empty());
+        assert_eq!(report.initial_loss(), 1.0);
+        assert_eq!(report.final_loss(), 0.1);
+        assert!((report.improvement_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_report_panics() {
+        let _ = TrainingReport::default().final_loss();
+    }
+}

@@ -1,0 +1,479 @@
+//! Fast Fourier transforms for the Nitho lithography stack.
+//!
+//! The Hopkins imaging model and the Nitho training loop live almost entirely
+//! in the spatial-frequency domain, so this crate provides the transforms the
+//! rest of the workspace needs without external dependencies:
+//!
+//! * [`fft`] / [`ifft`] — 1-D complex transforms. Power-of-two lengths use an
+//!   iterative radix-2 Cooley–Tukey kernel; every other length goes through
+//!   Bluestein's chirp-z algorithm, so *any* size works.
+//! * [`fft2`] / [`ifft2`] — separable row–column 2-D transforms over
+//!   [`ComplexMatrix`].
+//! * [`fftshift`] / [`ifftshift`] — move the DC bin to / from the matrix
+//!   center, matching the `fftshift(fft2(M))` convention of the paper's
+//!   Algorithm 1.
+//!
+//! Conventions: the forward transform is un-normalized
+//! (`X_k = Σ x_n e^{-2πi nk/N}`), the inverse divides by `N`, so
+//! `ifft(fft(x)) == x`.
+//!
+//! # Example
+//!
+//! ```
+//! use litho_fft::{fft, ifft};
+//! use litho_math::Complex64;
+//!
+//! let signal: Vec<Complex64> = (0..8).map(|i| Complex64::new(i as f64, 0.0)).collect();
+//! let spectrum = fft(&signal);
+//! let back = ifft(&spectrum);
+//! for (a, b) in signal.iter().zip(back.iter()) {
+//!     assert!((*a - *b).abs() < 1e-9);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+
+use litho_math::{Complex64, ComplexMatrix, Matrix, RealMatrix};
+
+mod plan;
+pub use plan::FftPlan;
+
+/// Direction of a transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+impl Direction {
+    fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        }
+    }
+}
+
+/// Forward 1-D FFT of a complex slice. Works for any length.
+pub fn fft(input: &[Complex64]) -> Vec<Complex64> {
+    let mut data = input.to_vec();
+    transform_in_place(&mut data, Direction::Forward);
+    data
+}
+
+/// Inverse 1-D FFT (normalized by `1/N`). Works for any length.
+pub fn ifft(input: &[Complex64]) -> Vec<Complex64> {
+    let mut data = input.to_vec();
+    transform_in_place(&mut data, Direction::Inverse);
+    data
+}
+
+/// Naive O(N²) reference DFT; used by tests and as the base case for very
+/// short lengths.
+pub fn dft_reference(input: &[Complex64], inverse: bool) -> Vec<Complex64> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, out_k) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (t, &x) in input.iter().enumerate() {
+            let angle = sign * 2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+            acc += x * Complex64::cis(angle);
+        }
+        *out_k = if inverse { acc / n as f64 } else { acc };
+    }
+    out
+}
+
+fn transform_in_place(data: &mut [Complex64], direction: Direction) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        radix2_in_place(data, direction);
+    } else {
+        let out = bluestein(data, direction);
+        data.copy_from_slice(&out);
+    }
+    if direction == Direction::Inverse {
+        let scale = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z *= scale;
+        }
+    }
+}
+
+/// Iterative radix-2 Cooley–Tukey FFT (unnormalized).
+fn radix2_in_place(data: &mut [Complex64], direction: Direction) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    let sign = direction.sign();
+    let mut len = 2;
+    while len <= n {
+        let angle_step = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let w_len = Complex64::cis(angle_step);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2] * w;
+                data[start + k] = a + b;
+                data[start + k + len / 2] = a - b;
+                w *= w_len;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
+/// convolution, evaluated with power-of-two FFTs.
+fn bluestein(input: &[Complex64], direction: Direction) -> Vec<Complex64> {
+    let n = input.len();
+    let sign = direction.sign();
+    let m = (2 * n - 1).next_power_of_two();
+
+    // Chirp: w_k = e^{sign·iπ k² / n}.
+    let chirp: Vec<Complex64> = (0..n)
+        .map(|k| {
+            let k2 = (k as u128 * k as u128) % (2 * n as u128);
+            Complex64::cis(sign * std::f64::consts::PI * k2 as f64 / n as f64)
+        })
+        .collect();
+
+    let mut a = vec![Complex64::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    let mut b = vec![Complex64::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let val = chirp[k].conj();
+        b[k] = val;
+        b[m - k] = val;
+    }
+
+    radix2_in_place(&mut a, Direction::Forward);
+    radix2_in_place(&mut b, Direction::Forward);
+    for k in 0..m {
+        a[k] *= b[k];
+    }
+    radix2_in_place(&mut a, Direction::Inverse);
+    let scale = 1.0 / m as f64;
+
+    (0..n).map(|k| a[k] * chirp[k] * scale).collect()
+}
+
+/// Forward 2-D FFT over a complex matrix (rows, then columns).
+pub fn fft2(input: &ComplexMatrix) -> ComplexMatrix {
+    transform2(input, Direction::Forward)
+}
+
+/// Inverse 2-D FFT over a complex matrix (normalized by `1/(rows·cols)`).
+pub fn ifft2(input: &ComplexMatrix) -> ComplexMatrix {
+    transform2(input, Direction::Inverse)
+}
+
+/// Forward 2-D FFT of a real matrix (convenience wrapper that lifts the input
+/// to complex first).
+pub fn fft2_real(input: &RealMatrix) -> ComplexMatrix {
+    fft2(&input.to_complex())
+}
+
+fn transform2(input: &ComplexMatrix, direction: Direction) -> ComplexMatrix {
+    let (rows, cols) = input.shape();
+    let mut out = input.clone();
+
+    // Transform each row.
+    let mut row_buf = vec![Complex64::ZERO; cols];
+    for i in 0..rows {
+        row_buf.copy_from_slice(out.row(i));
+        transform_in_place(&mut row_buf, direction);
+        out.row_mut(i).copy_from_slice(&row_buf);
+    }
+
+    // Transform each column.
+    let mut col_buf = vec![Complex64::ZERO; rows];
+    for j in 0..cols {
+        for i in 0..rows {
+            col_buf[i] = out[(i, j)];
+        }
+        transform_in_place(&mut col_buf, direction);
+        for i in 0..rows {
+            out[(i, j)] = col_buf[i];
+        }
+    }
+    out
+}
+
+/// Moves the zero-frequency bin to the center of the matrix.
+///
+/// For axis length `n`, bin `k` moves to `(k + n/2) mod n`, matching NumPy's
+/// `fftshift`.
+pub fn fftshift(input: &ComplexMatrix) -> ComplexMatrix {
+    shift(input, true)
+}
+
+/// Inverse of [`fftshift`] (identical for even sizes, differs for odd sizes).
+pub fn ifftshift(input: &ComplexMatrix) -> ComplexMatrix {
+    shift(input, false)
+}
+
+fn shift(input: &ComplexMatrix, forward: bool) -> ComplexMatrix {
+    let (rows, cols) = input.shape();
+    let (dr, dc) = if forward {
+        (rows / 2, cols / 2)
+    } else {
+        (rows - rows / 2, cols - cols / 2)
+    };
+    Matrix::from_fn(rows, cols, |i, j| {
+        input[((i + rows - dr) % rows, (j + cols - dc) % cols)]
+    })
+}
+
+/// Computes the centered mask spectrum `fftshift(fft2(mask))` used throughout
+/// the paper (Algorithm 1, line 6).
+pub fn centered_spectrum(mask: &RealMatrix) -> ComplexMatrix {
+    fftshift(&fft2_real(mask))
+}
+
+/// Inverse of [`centered_spectrum`]: reconstructs the spatial-domain field
+/// from a centered spectrum.
+pub fn inverse_centered_spectrum(spectrum: &ComplexMatrix) -> ComplexMatrix {
+    ifft2(&ifftshift(spectrum))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litho_math::DeterministicRng;
+    use proptest::prelude::*;
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut rng = DeterministicRng::new(seed);
+        (0..n).map(|_| rng.normal_complex(0.0, 1.0)).collect()
+    }
+
+    fn max_abs_diff(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn fft_matches_reference_dft_power_of_two() {
+        for &n in &[1usize, 2, 4, 8, 16, 64] {
+            let x = random_signal(n, n as u64);
+            let fast = fft(&x);
+            let slow = dft_reference(&x, false);
+            assert!(max_abs_diff(&fast, &slow) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fft_matches_reference_dft_arbitrary_sizes() {
+        for &n in &[3usize, 5, 6, 7, 12, 15, 21, 33, 100] {
+            let x = random_signal(n, 100 + n as u64);
+            let fast = fft(&x);
+            let slow = dft_reference(&x, false);
+            assert!(max_abs_diff(&fast, &slow) < 1e-8, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ifft_matches_reference() {
+        for &n in &[4usize, 9, 16, 25] {
+            let x = random_signal(n, 7 * n as u64);
+            let fast = ifft(&x);
+            let slow = dft_reference(&x, true);
+            assert!(max_abs_diff(&fast, &slow) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for &n in &[2usize, 8, 12, 17, 31, 128] {
+            let x = random_signal(n, 3 * n as u64);
+            let back = ifft(&fft(&x));
+            assert!(max_abs_diff(&x, &back) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex64::ZERO; 16];
+        x[0] = Complex64::ONE;
+        let spectrum = fft(&x);
+        for z in spectrum {
+            assert!((z - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_signal_concentrates_at_dc() {
+        let x = vec![Complex64::ONE; 8];
+        let spectrum = fft(&x);
+        assert!((spectrum[0] - Complex64::from_real(8.0)).abs() < 1e-12);
+        for z in &spectrum[1..] {
+            assert!(z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_theorem_holds() {
+        let x = random_signal(64, 99);
+        let spectrum = fft(&x);
+        let time_energy: f64 = x.iter().map(|z| z.abs_sq()).sum();
+        let freq_energy: f64 = spectrum.iter().map(|z| z.abs_sq()).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * (1.0 + time_energy));
+    }
+
+    #[test]
+    fn linearity_of_fft() {
+        let x = random_signal(20, 1);
+        let y = random_signal(20, 2);
+        let alpha = Complex64::new(0.3, -1.2);
+        let combined: Vec<Complex64> = x.iter().zip(y.iter()).map(|(&a, &b)| a * alpha + b).collect();
+        let lhs = fft(&combined);
+        let fx = fft(&x);
+        let fy = fft(&y);
+        let rhs: Vec<Complex64> = fx.iter().zip(fy.iter()).map(|(&a, &b)| a * alpha + b).collect();
+        assert!(max_abs_diff(&lhs, &rhs) < 1e-9);
+    }
+
+    #[test]
+    fn fft2_matches_row_column_reference() {
+        let mut rng = DeterministicRng::new(17);
+        let m = ComplexMatrix::from_fn(6, 10, |_, _| rng.normal_complex(0.0, 1.0));
+        let fast = fft2(&m);
+        // Reference: 2-D DFT definition.
+        let (rows, cols) = m.shape();
+        for k in 0..rows {
+            for l in 0..cols {
+                let mut acc = Complex64::ZERO;
+                for i in 0..rows {
+                    for j in 0..cols {
+                        let phase = -2.0
+                            * std::f64::consts::PI
+                            * ((k * i) as f64 / rows as f64 + (l * j) as f64 / cols as f64);
+                        acc += m[(i, j)] * Complex64::cis(phase);
+                    }
+                }
+                assert!((fast[(k, l)] - acc).abs() < 1e-8, "k={k} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft2_round_trip() {
+        let mut rng = DeterministicRng::new(23);
+        let m = ComplexMatrix::from_fn(12, 7, |_, _| rng.normal_complex(0.0, 1.0));
+        let back = ifft2(&fft2(&m));
+        for i in 0..12 {
+            for j in 0..7 {
+                assert!((back[(i, j)] - m[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fftshift_moves_dc_to_center() {
+        let m = RealMatrix::from_fn(8, 8, |i, j| if i == 0 && j == 0 { 1.0 } else { 0.0 });
+        let shifted = fftshift(&m.to_complex());
+        assert_eq!(shifted[(4, 4)], Complex64::ONE);
+        assert_eq!(shifted[(0, 0)], Complex64::ZERO);
+    }
+
+    #[test]
+    fn fftshift_ifftshift_roundtrip_even_and_odd() {
+        for &(r, c) in &[(8usize, 8usize), (7, 9), (6, 5)] {
+            let mut rng = DeterministicRng::new((r * 100 + c) as u64);
+            let m = ComplexMatrix::from_fn(r, c, |_, _| rng.normal_complex(0.0, 1.0));
+            let round = ifftshift(&fftshift(&m));
+            for i in 0..r {
+                for j in 0..c {
+                    assert!((round[(i, j)] - m[(i, j)]).abs() < 1e-12, "({i},{j}) in {r}x{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn centered_spectrum_of_constant_mask() {
+        let mask = RealMatrix::filled(16, 16, 1.0);
+        let spec = centered_spectrum(&mask);
+        // All energy at the (shifted) DC bin.
+        assert!((spec[(8, 8)].re - 256.0).abs() < 1e-9);
+        let off_dc: f64 = spec
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| *idx != 8 * 16 + 8)
+            .map(|(_, z)| z.abs())
+            .sum();
+        assert!(off_dc < 1e-8);
+        // Round trip back to the mask.
+        let back = inverse_centered_spectrum(&spec);
+        for z in back.iter() {
+            assert!((z.re - 1.0).abs() < 1e-9 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn real_input_spectrum_is_conjugate_symmetric() {
+        let mut rng = DeterministicRng::new(31);
+        let mask = RealMatrix::from_fn(8, 8, |_, _| rng.uniform(0.0, 1.0));
+        let spec = fft2_real(&mask);
+        for i in 0..8 {
+            for j in 0..8 {
+                let sym = spec[((8 - i) % 8, (8 - j) % 8)].conj();
+                assert!((spec[(i, j)] - sym).abs() < 1e-9);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_fft_round_trip(n in 1usize..40, seed in 0u64..1000) {
+            let x = random_signal(n, seed);
+            let back = ifft(&fft(&x));
+            prop_assert!(max_abs_diff(&x, &back) < 1e-8);
+        }
+
+        #[test]
+        fn prop_parseval(n in 1usize..40, seed in 0u64..1000) {
+            let x = random_signal(n, seed);
+            let spectrum = fft(&x);
+            let te: f64 = x.iter().map(|z| z.abs_sq()).sum();
+            let fe: f64 = spectrum.iter().map(|z| z.abs_sq()).sum::<f64>() / n as f64;
+            prop_assert!((te - fe).abs() < 1e-7 * (1.0 + te));
+        }
+
+        #[test]
+        fn prop_fft2_round_trip(rows in 1usize..12, cols in 1usize..12, seed in 0u64..100) {
+            let mut rng = DeterministicRng::new(seed);
+            let m = ComplexMatrix::from_fn(rows, cols, |_, _| rng.normal_complex(0.0, 1.0));
+            let back = ifft2(&fft2(&m));
+            for i in 0..rows {
+                for j in 0..cols {
+                    prop_assert!((back[(i, j)] - m[(i, j)]).abs() < 1e-8);
+                }
+            }
+        }
+    }
+}

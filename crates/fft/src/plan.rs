@@ -1,0 +1,257 @@
+//! Pre-planned power-of-two FFTs.
+//!
+//! The SOCS aerial-image synthesis applies the same-size inverse FFT once per
+//! optical kernel per mask, so re-computing twiddle factors and the
+//! bit-reversal permutation on every call is wasteful. [`FftPlan`] caches both
+//! for a fixed power-of-two length and exposes in-place 1-D transforms plus a
+//! convenience 2-D entry point for square matrices of that size.
+
+use litho_math::{Complex64, ComplexMatrix};
+
+/// A reusable FFT plan for a fixed power-of-two length.
+///
+/// # Example
+///
+/// ```
+/// use litho_fft::{fft, FftPlan};
+/// use litho_math::Complex64;
+///
+/// let plan = FftPlan::new(16);
+/// let signal: Vec<Complex64> = (0..16).map(|i| Complex64::new(i as f64, 0.0)).collect();
+/// let mut planned = signal.clone();
+/// plan.forward_in_place(&mut planned);
+/// let direct = fft(&signal);
+/// for (a, b) in planned.iter().zip(direct.iter()) {
+///     assert!((*a - *b).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    len: usize,
+    bit_reverse: Vec<usize>,
+    /// Twiddle factors for the forward transform, one table per stage.
+    forward_twiddles: Vec<Vec<Complex64>>,
+    /// Twiddle factors for the inverse transform.
+    inverse_twiddles: Vec<Vec<Complex64>>,
+}
+
+impl FftPlan {
+    /// Creates a plan for transforms of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is not a power of two or is zero.
+    pub fn new(len: usize) -> Self {
+        assert!(len.is_power_of_two() && len > 0, "FftPlan requires a power-of-two length");
+        let bits = len.trailing_zeros();
+        let bit_reverse = (0..len)
+            .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) & (len - 1))
+            .collect();
+
+        let build = |sign: f64| {
+            let mut tables = Vec::new();
+            let mut stage_len = 2usize;
+            while stage_len <= len {
+                let step = sign * 2.0 * std::f64::consts::PI / stage_len as f64;
+                let table: Vec<Complex64> =
+                    (0..stage_len / 2).map(|k| Complex64::cis(step * k as f64)).collect();
+                tables.push(table);
+                stage_len <<= 1;
+            }
+            tables
+        };
+
+        Self {
+            len,
+            bit_reverse,
+            forward_twiddles: build(-1.0),
+            inverse_twiddles: build(1.0),
+        }
+    }
+
+    /// Transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always `false`; plans have non-zero length by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward FFT (unnormalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the planned length.
+    pub fn forward_in_place(&self, data: &mut [Complex64]) {
+        self.run(data, &self.forward_twiddles);
+    }
+
+    /// In-place inverse FFT (normalized by `1/N`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the planned length.
+    pub fn inverse_in_place(&self, data: &mut [Complex64]) {
+        self.run(data, &self.inverse_twiddles);
+        let scale = 1.0 / self.len as f64;
+        for z in data.iter_mut() {
+            *z *= scale;
+        }
+    }
+
+    fn run(&self, data: &mut [Complex64], twiddles: &[Vec<Complex64>]) {
+        assert_eq!(data.len(), self.len, "buffer length does not match plan");
+        for i in 0..self.len {
+            let j = self.bit_reverse[i];
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+        let mut stage = 0;
+        let mut len = 2;
+        while len <= self.len {
+            let table = &twiddles[stage];
+            for start in (0..self.len).step_by(len) {
+                for k in 0..len / 2 {
+                    let a = data[start + k];
+                    let b = data[start + k + len / 2] * table[k];
+                    data[start + k] = a + b;
+                    data[start + k + len / 2] = a - b;
+                }
+            }
+            len <<= 1;
+            stage += 1;
+        }
+    }
+
+    /// 2-D forward FFT of a square `len × len` matrix using this plan for both
+    /// axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not `len × len`.
+    pub fn forward2(&self, input: &ComplexMatrix) -> ComplexMatrix {
+        self.transform2(input, true)
+    }
+
+    /// 2-D inverse FFT of a square `len × len` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not `len × len`.
+    pub fn inverse2(&self, input: &ComplexMatrix) -> ComplexMatrix {
+        self.transform2(input, false)
+    }
+
+    fn transform2(&self, input: &ComplexMatrix, forward: bool) -> ComplexMatrix {
+        assert_eq!(
+            input.shape(),
+            (self.len, self.len),
+            "matrix shape does not match plan length"
+        );
+        let n = self.len;
+        let mut out = input.clone();
+        let mut buf = vec![Complex64::ZERO; n];
+        for i in 0..n {
+            buf.copy_from_slice(out.row(i));
+            if forward {
+                self.forward_in_place(&mut buf);
+            } else {
+                self.inverse_in_place(&mut buf);
+            }
+            out.row_mut(i).copy_from_slice(&buf);
+        }
+        for j in 0..n {
+            for i in 0..n {
+                buf[i] = out[(i, j)];
+            }
+            if forward {
+                self.forward_in_place(&mut buf);
+            } else {
+                self.inverse_in_place(&mut buf);
+            }
+            for i in 0..n {
+                out[(i, j)] = buf[i];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fft2, ifft2};
+    use litho_math::DeterministicRng;
+
+    #[test]
+    fn plan_matches_direct_fft() {
+        let plan = FftPlan::new(32);
+        let mut rng = DeterministicRng::new(1);
+        let x: Vec<Complex64> = (0..32).map(|_| rng.normal_complex(0.0, 1.0)).collect();
+        let mut planned = x.clone();
+        plan.forward_in_place(&mut planned);
+        let direct = crate::fft(&x);
+        for (a, b) in planned.iter().zip(direct.iter()) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn plan_round_trip() {
+        let plan = FftPlan::new(64);
+        let mut rng = DeterministicRng::new(2);
+        let x: Vec<Complex64> = (0..64).map(|_| rng.normal_complex(0.0, 1.0)).collect();
+        let mut data = x.clone();
+        plan.forward_in_place(&mut data);
+        plan.inverse_in_place(&mut data);
+        for (a, b) in data.iter().zip(x.iter()) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn plan_2d_matches_module_level_fft2() {
+        let plan = FftPlan::new(16);
+        let mut rng = DeterministicRng::new(3);
+        let m = ComplexMatrix::from_fn(16, 16, |_, _| rng.normal_complex(0.0, 1.0));
+        let a = plan.forward2(&m);
+        let b = fft2(&m);
+        for i in 0..16 {
+            for j in 0..16 {
+                assert!((a[(i, j)] - b[(i, j)]).abs() < 1e-9);
+            }
+        }
+        let inv_a = plan.inverse2(&a);
+        let inv_b = ifft2(&b);
+        for i in 0..16 {
+            for j in 0..16 {
+                assert!((inv_a[(i, j)] - inv_b[(i, j)]).abs() < 1e-9);
+                assert!((inv_a[(i, j)] - m[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_panics() {
+        let _ = FftPlan::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match plan")]
+    fn wrong_buffer_length_panics() {
+        let plan = FftPlan::new(8);
+        let mut data = vec![Complex64::ZERO; 4];
+        plan.forward_in_place(&mut data);
+    }
+
+    #[test]
+    fn accessors() {
+        let plan = FftPlan::new(8);
+        assert_eq!(plan.len(), 8);
+        assert!(!plan.is_empty());
+    }
+}

@@ -1,0 +1,16 @@
+//! Host crate for the cross-crate integration tests that live in the
+//! workspace-level `/tests` directory (wired in via `[[test]]` path entries
+//! so the repository keeps the conventional top-level layout).
+//!
+//! The library itself only re-exports the crates under test so the test files
+//! can use a single dependency root if they wish.
+
+pub use litho_analysis as analysis;
+pub use litho_autodiff as autodiff;
+pub use litho_baselines as baselines;
+pub use litho_fft as fft;
+pub use litho_masks as masks;
+pub use litho_math as math;
+pub use litho_metrics as metrics;
+pub use litho_optics as optics;
+pub use nitho as core;

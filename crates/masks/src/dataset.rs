@@ -1,0 +1,313 @@
+//! Labelled lithography datasets.
+//!
+//! A [`Dataset`] pairs generated masks with golden aerial and resist images
+//! produced by the rigorous [`HopkinsSimulator`], mirroring how the paper's
+//! benchmarks were labelled by lithosim / Calibre (Table II).
+
+use litho_math::{DeterministicRng, RealMatrix};
+use litho_optics::HopkinsSimulator;
+
+use crate::generators::{self, GeneratorConfig};
+
+/// The dataset families of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// ICCAD-2013-style metal clips.
+    B1,
+    /// OPC-decorated ICCAD-2013-style clips.
+    B1Opc,
+    /// ISPD-2019-style metal routing layer.
+    B2Metal,
+    /// ISPD-2019-style via layer.
+    B2Via,
+}
+
+impl DatasetKind {
+    /// Short alias used in tables and logs (matches the paper's notation).
+    pub fn alias(&self) -> &'static str {
+        match self {
+            DatasetKind::B1 => "B1",
+            DatasetKind::B1Opc => "B1opc",
+            DatasetKind::B2Metal => "B2m",
+            DatasetKind::B2Via => "B2v",
+        }
+    }
+
+    /// All four dataset kinds in paper order.
+    pub fn all() -> [DatasetKind; 4] {
+        [
+            DatasetKind::B1,
+            DatasetKind::B1Opc,
+            DatasetKind::B2Metal,
+            DatasetKind::B2Via,
+        ]
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.alias())
+    }
+}
+
+/// One labelled sample: a mask with its golden aerial and resist images.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LithoSample {
+    /// Binary mask (1 = chrome opening / transmissive region).
+    pub mask: RealMatrix,
+    /// Golden aerial image, normalized to clear-field intensity 1.
+    pub aerial: RealMatrix,
+    /// Golden binary resist image.
+    pub resist: RealMatrix,
+}
+
+/// A named collection of labelled samples.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    name: String,
+    samples: Vec<LithoSample>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with a name.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Generates `count` labelled samples of the given family, using the
+    /// simulator's tile geometry and a deterministic seed.
+    pub fn generate(
+        kind: DatasetKind,
+        count: usize,
+        simulator: &HopkinsSimulator,
+        seed: u64,
+    ) -> Self {
+        let optics = simulator.config();
+        let generator_config = GeneratorConfig::new(optics.tile_px, optics.pixel_nm);
+        let mut rng = DeterministicRng::new(seed);
+        let mut dataset = Self::new(kind.alias());
+        for _ in 0..count {
+            let layout = match kind {
+                DatasetKind::B1 => generators::iccad_clip(&generator_config, &mut rng),
+                DatasetKind::B1Opc => {
+                    let base = generators::iccad_clip(&generator_config, &mut rng);
+                    generators::apply_opc(&base, &generator_config, &mut rng)
+                }
+                DatasetKind::B2Metal => generators::metal_layer(&generator_config, &mut rng),
+                DatasetKind::B2Via => generators::via_layer(&generator_config, &mut rng),
+            };
+            let mask = layout.rasterize();
+            let (aerial, resist) = simulator.simulate(&mask);
+            dataset.push(LithoSample { mask, aerial, resist });
+        }
+        dataset
+    }
+
+    /// Dataset name (e.g. `"B2v"` or `"B2m+B2v"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[LithoSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, sample: LithoSample) {
+        self.samples.push(sample);
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of the samples (at
+    /// least one sample on each side when possible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction is outside `(0, 1)` or the dataset has fewer
+    /// than two samples.
+    pub fn split(&self, train_fraction: f64) -> (Dataset, Dataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train fraction must lie in (0, 1)"
+        );
+        assert!(self.len() >= 2, "need at least two samples to split");
+        let train_count = ((self.len() as f64 * train_fraction).round() as usize)
+            .clamp(1, self.len() - 1);
+        let mut train = Dataset::new(&format!("{}-train", self.name));
+        let mut test = Dataset::new(&format!("{}-test", self.name));
+        for (idx, sample) in self.samples.iter().enumerate() {
+            if idx < train_count {
+                train.push(sample.clone());
+            } else {
+                test.push(sample.clone());
+            }
+        }
+        (train, test)
+    }
+
+    /// Returns a dataset containing the first `fraction` of the samples
+    /// (used for the training-set-size sweep of Fig. 6(a)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction is outside `(0, 1]`.
+    pub fn subset_fraction(&self, fraction: f64) -> Dataset {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must lie in (0, 1]");
+        let count = ((self.len() as f64 * fraction).round() as usize).max(1).min(self.len());
+        let mut subset = Dataset::new(&format!("{}-{}pct", self.name, (fraction * 100.0).round()));
+        for sample in &self.samples[..count] {
+            subset.push(sample.clone());
+        }
+        subset
+    }
+
+    /// Merges two datasets (e.g. the paper's "B2m + B2v" mixture), preserving
+    /// sample order: all of `self` followed by all of `other`.
+    pub fn merged(&self, other: &Dataset) -> Dataset {
+        let mut merged = Dataset::new(&format!("{}+{}", self.name, other.name));
+        for s in self.samples.iter().chain(other.samples.iter()) {
+            merged.push(s.clone());
+        }
+        merged
+    }
+
+    /// Shuffles the sample order deterministically.
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let mut rng = DeterministicRng::new(seed);
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut indices);
+        let mut out = Dataset::new(&self.name);
+        for idx in indices {
+            out.push(self.samples[idx].clone());
+        }
+        out
+    }
+
+    /// Iterates over `(mask, aerial)` pairs — the training view used by the
+    /// aerial-stage models.
+    pub fn mask_aerial_pairs(&self) -> impl Iterator<Item = (&RealMatrix, &RealMatrix)> {
+        self.samples.iter().map(|s| (&s.mask, &s.aerial))
+    }
+
+    /// Iterates over `(mask, resist)` pairs — the training view used by the
+    /// resist-stage models.
+    pub fn mask_resist_pairs(&self) -> impl Iterator<Item = (&RealMatrix, &RealMatrix)> {
+        self.samples.iter().map(|s| (&s.mask, &s.resist))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litho_optics::OpticalConfig;
+
+    fn small_simulator() -> HopkinsSimulator {
+        let config = OpticalConfig::builder()
+            .tile_px(64)
+            .pixel_nm(8.0)
+            .kernel_count(6)
+            .build();
+        HopkinsSimulator::new(&config)
+    }
+
+    #[test]
+    fn kinds_have_unique_aliases() {
+        let aliases: Vec<&str> = DatasetKind::all().iter().map(|k| k.alias()).collect();
+        assert_eq!(aliases, vec!["B1", "B1opc", "B2m", "B2v"]);
+        assert_eq!(DatasetKind::B2Via.to_string(), "B2v");
+    }
+
+    #[test]
+    fn generate_produces_consistent_samples() {
+        let sim = small_simulator();
+        let dataset = Dataset::generate(DatasetKind::B2Via, 4, &sim, 7);
+        assert_eq!(dataset.len(), 4);
+        assert_eq!(dataset.name(), "B2v");
+        for sample in dataset.samples() {
+            assert_eq!(sample.mask.shape(), (64, 64));
+            assert_eq!(sample.aerial.shape(), (64, 64));
+            assert!(sample.mask.iter().all(|&v| v == 0.0 || v == 1.0));
+            assert!(sample.resist.iter().all(|&v| v == 0.0 || v == 1.0));
+            assert!(sample.aerial.min() >= 0.0);
+            // The resist is the thresholded aerial.
+            let expected = sim.resist_image(&sample.aerial);
+            assert_eq!(&expected, &sample.resist);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let sim = small_simulator();
+        let a = Dataset::generate(DatasetKind::B2Metal, 3, &sim, 42);
+        let b = Dataset::generate(DatasetKind::B2Metal, 3, &sim, 42);
+        let c = Dataset::generate(DatasetKind::B2Metal, 3, &sim, 43);
+        for (x, y) in a.samples().iter().zip(b.samples()) {
+            assert_eq!(x.mask, y.mask);
+        }
+        assert!(a.samples()[0].mask != c.samples()[0].mask);
+    }
+
+    #[test]
+    fn split_and_subset() {
+        let sim = small_simulator();
+        let dataset = Dataset::generate(DatasetKind::B1, 10, &sim, 1);
+        let (train, test) = dataset.split(0.7);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        assert_eq!(train.name(), "B1-train");
+        let subset = train.subset_fraction(0.5);
+        assert_eq!(subset.len(), 4);
+        assert_eq!(subset.samples()[0].mask, train.samples()[0].mask);
+    }
+
+    #[test]
+    fn merged_concatenates() {
+        let sim = small_simulator();
+        let a = Dataset::generate(DatasetKind::B2Metal, 2, &sim, 2);
+        let b = Dataset::generate(DatasetKind::B2Via, 3, &sim, 3);
+        let merged = a.merged(&b);
+        assert_eq!(merged.len(), 5);
+        assert_eq!(merged.name(), "B2m+B2v");
+        assert_eq!(merged.samples()[0].mask, a.samples()[0].mask);
+        assert_eq!(merged.samples()[2].mask, b.samples()[0].mask);
+    }
+
+    #[test]
+    fn shuffle_preserves_content() {
+        let sim = small_simulator();
+        let dataset = Dataset::generate(DatasetKind::B2Via, 6, &sim, 5);
+        let shuffled = dataset.shuffled(99);
+        assert_eq!(shuffled.len(), dataset.len());
+        let sum_masks = |d: &Dataset| d.samples().iter().map(|s| s.mask.sum()).sum::<f64>();
+        assert!((sum_masks(&dataset) - sum_masks(&shuffled)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_iterators_yield_all_samples() {
+        let sim = small_simulator();
+        let dataset = Dataset::generate(DatasetKind::B1Opc, 3, &sim, 8);
+        assert_eq!(dataset.mask_aerial_pairs().count(), 3);
+        assert_eq!(dataset.mask_resist_pairs().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "train fraction")]
+    fn bad_split_fraction_panics() {
+        let sim = small_simulator();
+        let dataset = Dataset::generate(DatasetKind::B1, 4, &sim, 1);
+        let _ = dataset.split(1.0);
+    }
+}

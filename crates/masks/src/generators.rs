@@ -1,0 +1,320 @@
+//! Synthetic layout generators for the four dataset families.
+//!
+//! Each generator reproduces the qualitative shape distribution of the
+//! corresponding benchmark in the paper (Table II / Fig. 2(a)):
+//!
+//! * **B2v** (ISPD-2019 via layer) — arrays of small square contacts with
+//!   randomized pitch, jitter and dropout.
+//! * **B2m** (ISPD-2019 metal layer) — Manhattan routing tracks: long wires of
+//!   varying width with occasional vertical jogs.
+//! * **B1** (ICCAD-2013 metal clips) — a handful of larger rectilinear
+//!   polygons built from overlapping rectangles, mimicking the contest's
+//!   isolated test patterns.
+//! * **B1opc** — B1 layouts decorated by a rule-based OPC pass: edge biasing,
+//!   corner serifs and sub-resolution assist features (SRAFs), mimicking the
+//!   MOSAIC-corrected masks the paper tests robustness on.
+//!
+//! All dimensions are drawn in nanometres and converted to pixels through
+//! [`GeneratorConfig::pixel_nm`], so the same generator produces consistent
+//! geometry at any raster resolution.
+
+use litho_math::DeterministicRng;
+
+use crate::layout::{Layout, Rect};
+
+/// Geometry settings shared by all generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// Tile edge length in pixels.
+    pub tile_px: usize,
+    /// Physical pixel pitch in nanometres.
+    pub pixel_nm: f64,
+}
+
+impl GeneratorConfig {
+    /// Creates a generator configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is smaller than 32 px or the pixel pitch is not
+    /// positive.
+    pub fn new(tile_px: usize, pixel_nm: f64) -> Self {
+        assert!(tile_px >= 32, "tile must be at least 32 px");
+        assert!(pixel_nm > 0.0, "pixel pitch must be positive");
+        Self { tile_px, pixel_nm }
+    }
+
+    /// Physical tile extent in nanometres.
+    pub fn tile_nm(&self) -> f64 {
+        self.tile_px as f64 * self.pixel_nm
+    }
+
+    fn nm_to_px(&self, nm: f64) -> i64 {
+        (nm / self.pixel_nm).round().max(1.0) as i64
+    }
+}
+
+/// Generates a via-layer layout (B2v-like): a jittered array of square
+/// contacts with random dropout.
+pub fn via_layer(config: &GeneratorConfig, rng: &mut DeterministicRng) -> Layout {
+    let mut layout = Layout::new(config.tile_px);
+    let via_nm = rng.uniform(60.0, 80.0);
+    let pitch_nm = rng.uniform(140.0, 220.0);
+    let via_px = config.nm_to_px(via_nm);
+    let pitch_px = config.nm_to_px(pitch_nm).max(via_px + 2);
+    let keep_probability = rng.uniform(0.35, 0.8);
+    let jitter_px = config.nm_to_px(12.0);
+
+    let mut y = pitch_px / 2;
+    while y + via_px < config.tile_px as i64 {
+        let mut x = pitch_px / 2;
+        while x + via_px < config.tile_px as i64 {
+            if rng.bernoulli(keep_probability) {
+                let dx = rng.uniform(-(jitter_px as f64), jitter_px as f64) as i64;
+                let dy = rng.uniform(-(jitter_px as f64), jitter_px as f64) as i64;
+                layout.push_if_clear(Rect::from_size(x + dx, y + dy, via_px, via_px));
+            }
+            x += pitch_px;
+        }
+        y += pitch_px;
+    }
+    ensure_non_empty(layout, config, via_px)
+}
+
+/// Generates a metal-layer layout (B2m-like): horizontal routing tracks with
+/// randomized segment lengths, widths and occasional vertical jogs.
+pub fn metal_layer(config: &GeneratorConfig, rng: &mut DeterministicRng) -> Layout {
+    let mut layout = Layout::new(config.tile_px);
+    let track_pitch_nm = rng.uniform(120.0, 200.0);
+    let pitch_px = config.nm_to_px(track_pitch_nm);
+    let tile = config.tile_px as i64;
+
+    let mut y = pitch_px / 2;
+    while y < tile {
+        let width_px = config.nm_to_px(rng.uniform(45.0, 90.0));
+        if rng.bernoulli(0.8) {
+            // One or two wire segments on this track.
+            let segments = if rng.bernoulli(0.35) { 2 } else { 1 };
+            let mut cursor = rng.uniform_usize(0, (tile as usize / 4).max(1)) as i64;
+            for _ in 0..segments {
+                let max_len = (tile - cursor).max(40);
+                let len_px = config
+                    .nm_to_px(rng.uniform(200.0, config.tile_nm() * 0.8))
+                    .min(max_len);
+                if len_px > 8 {
+                    layout.push(Rect::from_size(cursor, y, len_px, width_px));
+                    // Occasionally drop a vertical jog from a segment end.
+                    if rng.bernoulli(0.3) {
+                        let jog_len = config.nm_to_px(rng.uniform(100.0, 300.0));
+                        let jog_x = (cursor + len_px - width_px).max(0);
+                        layout.push(Rect::from_size(jog_x, y, width_px, jog_len.min(tile - y)));
+                    }
+                }
+                cursor += len_px + config.nm_to_px(rng.uniform(80.0, 200.0));
+                if cursor >= tile {
+                    break;
+                }
+            }
+        }
+        y += pitch_px;
+    }
+    ensure_non_empty(layout, config, config.nm_to_px(70.0))
+}
+
+/// Generates an ICCAD-2013-style clip (B1-like): a few larger isolated
+/// rectilinear shapes built from overlapping rectangles.
+pub fn iccad_clip(config: &GeneratorConfig, rng: &mut DeterministicRng) -> Layout {
+    let mut layout = Layout::new(config.tile_px);
+    let tile = config.tile_px as i64;
+    let shapes = rng.uniform_usize(2, 6);
+    for _ in 0..shapes {
+        let base_w = config.nm_to_px(rng.uniform(150.0, 500.0));
+        let base_h = config.nm_to_px(rng.uniform(60.0, 120.0));
+        let x0 = rng.uniform_usize(0, (tile as usize * 3 / 4).max(1)) as i64;
+        let y0 = rng.uniform_usize(0, (tile as usize * 3 / 4).max(1)) as i64;
+        let horizontal = Rect::from_size(x0, y0, base_w, base_h);
+        layout.push(horizontal);
+        // Make an L or T shape with probability 0.6.
+        if rng.bernoulli(0.6) {
+            let arm_w = config.nm_to_px(rng.uniform(60.0, 120.0));
+            let arm_h = config.nm_to_px(rng.uniform(150.0, 400.0));
+            let arm_x = x0 + rng.uniform_usize(0, (base_w as usize).max(1)) as i64;
+            layout.push(Rect::from_size(arm_x, y0, arm_w, arm_h));
+        }
+    }
+    ensure_non_empty(layout, config, config.nm_to_px(200.0))
+}
+
+/// Applies a rule-based OPC decoration pass to an existing layout, producing a
+/// B1opc-like mask: edge biasing, corner serifs and sub-resolution assist
+/// features.
+pub fn apply_opc(layout: &Layout, config: &GeneratorConfig, rng: &mut DeterministicRng) -> Layout {
+    let mut decorated = Layout::new(layout.tile_px());
+    let serif_px = config.nm_to_px(25.0);
+    let sraf_width_px = config.nm_to_px(20.0);
+    let sraf_offset_px = config.nm_to_px(90.0);
+
+    for rect in layout.rects() {
+        // Edge bias: grow or shrink each feature slightly.
+        let bias = config.nm_to_px(rng.uniform(2.0, 12.0)) * if rng.bernoulli(0.8) { 1 } else { -1 };
+        let biased = rect.expanded(bias).unwrap_or(*rect);
+        decorated.push(biased);
+
+        // Corner serifs: small squares on each outer corner.
+        for &(cx, cy) in &[
+            (biased.x0, biased.y0),
+            (biased.x1, biased.y0),
+            (biased.x0, biased.y1),
+            (biased.x1, biased.y1),
+        ] {
+            if rng.bernoulli(0.75) {
+                decorated.push(Rect::from_size(cx - serif_px / 2, cy - serif_px / 2, serif_px, serif_px));
+            }
+        }
+
+        // SRAFs: thin bars offset from long horizontal edges; too narrow to
+        // print but they reshape the spectrum like real assist features.
+        if biased.width() >= 3 * sraf_offset_px && rng.bernoulli(0.7) {
+            decorated.push(Rect::from_size(
+                biased.x0,
+                biased.y0 - sraf_offset_px,
+                biased.width(),
+                sraf_width_px,
+            ));
+            decorated.push(Rect::from_size(
+                biased.x0,
+                biased.y1 + sraf_offset_px - sraf_width_px,
+                biased.width(),
+                sraf_width_px,
+            ));
+        }
+    }
+    decorated
+}
+
+/// Guarantees a generator never returns an empty mask (which would be
+/// optically meaningless) by dropping one centered feature when needed.
+fn ensure_non_empty(mut layout: Layout, config: &GeneratorConfig, feature_px: i64) -> Layout {
+    if layout.is_empty() {
+        let center = config.tile_px as i64 / 2;
+        layout.push(Rect::from_size(
+            center - feature_px / 2,
+            center - feature_px / 2,
+            feature_px,
+            feature_px,
+        ));
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> GeneratorConfig {
+        GeneratorConfig::new(128, 4.0) // 512 nm tile at 4 nm/px
+    }
+
+    #[test]
+    fn config_reports_physical_extent() {
+        let c = config();
+        assert_eq!(c.tile_nm(), 512.0);
+        assert_eq!(c.nm_to_px(8.0), 2);
+        assert_eq!(c.nm_to_px(1.0), 1); // clamped to one pixel
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 32")]
+    fn tiny_tile_panics() {
+        let _ = GeneratorConfig::new(16, 1.0);
+    }
+
+    #[test]
+    fn via_layer_produces_small_squares() {
+        let c = config();
+        let mut rng = DeterministicRng::new(1);
+        let layout = via_layer(&c, &mut rng);
+        assert!(!layout.is_empty());
+        for r in layout.rects() {
+            assert_eq!(r.width(), r.height(), "vias are square");
+            assert!(r.width() <= c.nm_to_px(90.0));
+        }
+        let density = layout.density();
+        assert!(density > 0.005 && density < 0.5, "via density {density}");
+    }
+
+    #[test]
+    fn metal_layer_produces_elongated_wires() {
+        let c = config();
+        let mut rng = DeterministicRng::new(2);
+        let layout = metal_layer(&c, &mut rng);
+        assert!(!layout.is_empty());
+        // At least one rectangle should be much wider than tall (a wire).
+        assert!(layout
+            .rects()
+            .iter()
+            .any(|r| r.width() > 3 * r.height() || r.height() > 3 * r.width()));
+    }
+
+    #[test]
+    fn iccad_clip_has_few_large_shapes() {
+        let c = config();
+        let mut rng = DeterministicRng::new(3);
+        let layout = iccad_clip(&c, &mut rng);
+        assert!(!layout.is_empty());
+        assert!(layout.len() <= 12);
+        let max_area = layout.rects().iter().map(Rect::area).max().expect("non-empty");
+        assert!(max_area >= c.nm_to_px(150.0) * c.nm_to_px(60.0));
+    }
+
+    #[test]
+    fn opc_adds_decorations() {
+        let c = config();
+        let mut rng = DeterministicRng::new(4);
+        let base = iccad_clip(&c, &mut rng);
+        let decorated = apply_opc(&base, &c, &mut rng);
+        assert!(decorated.len() > base.len(), "OPC must add serifs/SRAFs");
+        // The decorated mask is similar to but not identical with the base.
+        let a = base.rasterize();
+        let b = decorated.rasterize();
+        let diff = a.zip_map(&b, |x, y| (x - y).abs()).sum();
+        assert!(diff > 0.0);
+        let overlap = a.zip_map(&b, |x, y| x * y).sum();
+        assert!(overlap > 0.5 * a.sum(), "OPC must preserve the main features");
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let c = config();
+        let layout_a = via_layer(&c, &mut DeterministicRng::new(9));
+        let layout_b = via_layer(&c, &mut DeterministicRng::new(9));
+        let layout_c = via_layer(&c, &mut DeterministicRng::new(10));
+        assert_eq!(layout_a, layout_b);
+        assert_ne!(layout_a, layout_c);
+    }
+
+    #[test]
+    fn different_families_have_different_statistics() {
+        // The mean feature aspect ratio separates vias (1.0) from metal.
+        let c = config();
+        let mut rng = DeterministicRng::new(11);
+        let vias = via_layer(&c, &mut rng);
+        let metal = metal_layer(&c, &mut rng);
+        let aspect = |l: &Layout| {
+            l.rects()
+                .iter()
+                .map(|r| r.width().max(r.height()) as f64 / r.width().min(r.height()) as f64)
+                .sum::<f64>()
+                / l.len() as f64
+        };
+        assert!(aspect(&metal) > aspect(&vias));
+    }
+
+    #[test]
+    fn ensure_non_empty_fallback() {
+        let c = config();
+        let empty = Layout::new(c.tile_px);
+        let fixed = ensure_non_empty(empty, &c, 10);
+        assert_eq!(fixed.len(), 1);
+    }
+}

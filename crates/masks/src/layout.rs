@@ -1,0 +1,280 @@
+//! Rectangle-based layout intermediate representation.
+//!
+//! Masks are unions of axis-aligned rectangles (the universal representation
+//! for Manhattan layouts). A [`Layout`] carries its rectangles in pixel
+//! coordinates and rasterizes to the binary [`RealMatrix`] masks consumed by
+//! the optics and learning crates.
+
+use litho_math::RealMatrix;
+
+/// An axis-aligned rectangle in pixel coordinates; `x` is the column axis and
+/// `y` the row axis. The interval is half-open: `[x0, x1) × [y0, y1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// Left edge (inclusive).
+    pub x0: i64,
+    /// Top edge (inclusive).
+    pub y0: i64,
+    /// Right edge (exclusive).
+    pub x1: i64,
+    /// Bottom edge (exclusive).
+    pub y1: i64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle is not well-formed (`x1 <= x0` or `y1 <= y0`).
+    pub fn new(x0: i64, y0: i64, x1: i64, y1: i64) -> Self {
+        assert!(x1 > x0 && y1 > y0, "rectangle must have positive extent");
+        Self { x0, y0, x1, y1 }
+    }
+
+    /// Creates a rectangle from a corner plus a size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero or negative.
+    pub fn from_size(x0: i64, y0: i64, width: i64, height: i64) -> Self {
+        Self::new(x0, y0, x0 + width, y0 + height)
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> i64 {
+        self.x1 - self.x0
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> i64 {
+        self.y1 - self.y0
+    }
+
+    /// Area in pixels.
+    pub fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// Whether two rectangles overlap (share at least one pixel).
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// Returns this rectangle expanded by `amount` pixels on every side
+    /// (negative amounts shrink; returns `None` if the result collapses).
+    pub fn expanded(&self, amount: i64) -> Option<Rect> {
+        let r = Rect {
+            x0: self.x0 - amount,
+            y0: self.y0 - amount,
+            x1: self.x1 + amount,
+            y1: self.y1 + amount,
+        };
+        if r.x1 > r.x0 && r.y1 > r.y0 {
+            Some(r)
+        } else {
+            None
+        }
+    }
+
+    /// Clips the rectangle to `[0, size) × [0, size)`; returns `None` if
+    /// nothing remains.
+    pub fn clipped(&self, size: i64) -> Option<Rect> {
+        let r = Rect {
+            x0: self.x0.max(0),
+            y0: self.y0.max(0),
+            x1: self.x1.min(size),
+            y1: self.y1.min(size),
+        };
+        if r.x1 > r.x0 && r.y1 > r.y0 {
+            Some(r)
+        } else {
+            None
+        }
+    }
+}
+
+/// A mask layout: a union of rectangles on a square tile.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Layout {
+    tile_px: usize,
+    rects: Vec<Rect>,
+}
+
+impl Layout {
+    /// Creates an empty layout on a `tile_px × tile_px` tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_px` is zero.
+    pub fn new(tile_px: usize) -> Self {
+        assert!(tile_px > 0, "tile size must be positive");
+        Self {
+            tile_px,
+            rects: Vec::new(),
+        }
+    }
+
+    /// Tile edge length in pixels.
+    pub fn tile_px(&self) -> usize {
+        self.tile_px
+    }
+
+    /// The rectangles of this layout (clipped only at rasterization time).
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Adds a rectangle; geometry outside the tile is kept and clipped later.
+    pub fn push(&mut self, rect: Rect) {
+        self.rects.push(rect);
+    }
+
+    /// Adds a rectangle if (after clipping to the tile) it does not overlap
+    /// any existing rectangle. Returns `true` when the rectangle was added.
+    pub fn push_if_clear(&mut self, rect: Rect) -> bool {
+        let clipped = match rect.clipped(self.tile_px as i64) {
+            Some(r) => r,
+            None => return false,
+        };
+        if self.rects.iter().any(|r| r.overlaps(&clipped)) {
+            return false;
+        }
+        self.rects.push(clipped);
+        true
+    }
+
+    /// Number of rectangles.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// `true` when the layout holds no rectangles.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Fraction of the tile covered by geometry (union area / tile area).
+    pub fn density(&self) -> f64 {
+        let mask = self.rasterize();
+        mask.sum() / mask.len() as f64
+    }
+
+    /// Rasterizes to a binary mask: 1 inside any rectangle, 0 elsewhere.
+    pub fn rasterize(&self) -> RealMatrix {
+        let n = self.tile_px;
+        let mut mask = RealMatrix::zeros(n, n);
+        for rect in &self.rects {
+            if let Some(r) = rect.clipped(n as i64) {
+                for y in r.y0..r.y1 {
+                    for x in r.x0..r.x1 {
+                        mask[(y as usize, x as usize)] = 1.0;
+                    }
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rect_geometry() {
+        let r = Rect::new(2, 3, 10, 7);
+        assert_eq!(r.width(), 8);
+        assert_eq!(r.height(), 4);
+        assert_eq!(r.area(), 32);
+        assert_eq!(Rect::from_size(2, 3, 8, 4), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive extent")]
+    fn degenerate_rect_panics() {
+        let _ = Rect::new(5, 5, 5, 10);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Rect::new(0, 0, 10, 10);
+        assert!(a.overlaps(&Rect::new(5, 5, 15, 15)));
+        assert!(!a.overlaps(&Rect::new(10, 0, 20, 10))); // touching edges do not overlap
+        assert!(!a.overlaps(&Rect::new(20, 20, 30, 30)));
+    }
+
+    #[test]
+    fn expansion_and_clipping() {
+        let r = Rect::new(4, 4, 8, 8);
+        assert_eq!(r.expanded(2), Some(Rect::new(2, 2, 10, 10)));
+        assert_eq!(r.expanded(-1), Some(Rect::new(5, 5, 7, 7)));
+        assert_eq!(r.expanded(-2), None);
+        assert_eq!(Rect::new(-3, -3, 5, 5).clipped(10), Some(Rect::new(0, 0, 5, 5)));
+        assert_eq!(Rect::new(12, 12, 20, 20).clipped(10), None);
+    }
+
+    #[test]
+    fn rasterize_counts_pixels() {
+        let mut layout = Layout::new(16);
+        layout.push(Rect::new(0, 0, 4, 4));
+        layout.push(Rect::new(8, 8, 12, 10));
+        let mask = layout.rasterize();
+        assert_eq!(mask.sum() as i64, 16 + 8);
+        assert_eq!(mask[(0, 0)], 1.0);
+        assert_eq!(mask[(9, 9)], 1.0);
+        assert_eq!(mask[(5, 5)], 0.0);
+        assert!((layout.density() - 24.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rasterize_clips_out_of_bounds_geometry() {
+        let mut layout = Layout::new(8);
+        layout.push(Rect::new(-4, -4, 4, 4));
+        layout.push(Rect::new(100, 100, 120, 120));
+        let mask = layout.rasterize();
+        assert_eq!(mask.sum() as i64, 16);
+    }
+
+    #[test]
+    fn push_if_clear_rejects_overlaps() {
+        let mut layout = Layout::new(32);
+        assert!(layout.push_if_clear(Rect::new(0, 0, 10, 10)));
+        assert!(!layout.push_if_clear(Rect::new(5, 5, 15, 15)));
+        assert!(layout.push_if_clear(Rect::new(20, 20, 30, 30)));
+        assert!(!layout.push_if_clear(Rect::new(40, 40, 50, 50))); // fully outside
+        assert_eq!(layout.len(), 2);
+        assert!(!layout.is_empty());
+    }
+
+    #[test]
+    fn overlapping_rects_do_not_double_count() {
+        let mut layout = Layout::new(16);
+        layout.push(Rect::new(0, 0, 8, 8));
+        layout.push(Rect::new(4, 4, 12, 12));
+        let mask = layout.rasterize();
+        assert_eq!(mask.sum() as i64, 64 + 64 - 16);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rasterized_area_never_exceeds_rect_sum(seed in 0u64..100, count in 1usize..8) {
+            let mut rng = litho_math::DeterministicRng::new(seed);
+            let mut layout = Layout::new(32);
+            let mut rect_sum = 0i64;
+            for _ in 0..count {
+                let x0 = rng.uniform_usize(0, 28) as i64;
+                let y0 = rng.uniform_usize(0, 28) as i64;
+                let w = rng.uniform_usize(1, 5) as i64;
+                let h = rng.uniform_usize(1, 5) as i64;
+                let r = Rect::from_size(x0, y0, w, h);
+                rect_sum += r.area();
+                layout.push(r);
+            }
+            let union_area = layout.rasterize().sum() as i64;
+            prop_assert!(union_area <= rect_sum);
+            prop_assert!(union_area > 0);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Synthetic mask layouts and dataset assembly.
+//!
+//! The paper evaluates on ICCAD-2013 and ISPD-2019 mask tiles labelled by
+//! proprietary lithography engines. Neither the layouts nor the engines are
+//! redistributable, so this crate generates synthetic layouts with the same
+//! qualitative distribution differences — via arrays, Manhattan metal routing
+//! and OPC-decorated metal clips — and labels them with the rigorous
+//! [`litho_optics::HopkinsSimulator`]. See DESIGN.md §1 for the substitution
+//! rationale.
+//!
+//! * [`layout`] — rectangle-based layout IR and rasterization.
+//! * [`generators`] — the four dataset families (B1, B1opc, B2m, B2v).
+//! * [`dataset`] — labelled samples, train/test splits, merging and subsets.
+
+#![forbid(unsafe_code)]
+
+pub mod dataset;
+pub mod generators;
+pub mod layout;
+
+pub use dataset::{Dataset, DatasetKind, LithoSample};
+pub use generators::GeneratorConfig;
+pub use layout::{Layout, Rect};

@@ -1,0 +1,471 @@
+//! A from-scratch double-precision complex number.
+//!
+//! The workspace deliberately avoids external numerics crates, so the complex
+//! type used by the FFT, the Hopkins imaging model and the complex-valued
+//! neural network all live here.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im` with `f64` components.
+///
+/// The type is `Copy` and implements the full set of arithmetic operators as
+/// well as mixed `Complex64 ⊕ f64` operations, which keeps the numerical code
+/// readable.
+///
+/// # Example
+///
+/// ```
+/// use litho_math::Complex64;
+///
+/// let a = Complex64::new(1.0, 2.0);
+/// let b = Complex64::new(3.0, -1.0);
+/// assert_eq!(a * b, Complex64::new(5.0, 5.0));
+/// assert_eq!((a * a.conj()).re, a.abs_sq());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real component.
+    pub re: f64,
+    /// Imaginary component.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    ///
+    /// ```
+    /// use litho_math::Complex64;
+    /// let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-12);
+    /// assert!((z.im - 2.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Euler's formula: `e^{iθ}` for a real phase `θ`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate `re - i·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re² + im²` (avoids the square root of [`abs`]).
+    ///
+    /// [`abs`]: Complex64::abs
+    #[inline]
+    pub fn abs_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns NaN components when `self` is zero, mirroring `1.0 / 0.0`
+    /// semantics for floats.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.abs_sq();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Raises the number to a real power using polar form.
+    #[inline]
+    pub fn powf(self, p: f64) -> Self {
+        if self == Self::ZERO {
+            return Self::ZERO;
+        }
+        Self::from_polar(self.abs().powf(p), self.arg() * p)
+    }
+
+    /// Multiplies by the imaginary unit (a 90° rotation), cheaper than a full
+    /// complex multiply.
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        Self::new(-self.im, self.re)
+    }
+
+    /// Scales both components by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Returns `true` when either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// Returns `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Self::from_real(re)
+    }
+}
+
+impl From<(f64, f64)> for Complex64 {
+    fn from((re, im): (f64, f64)) -> Self {
+        Self::new(re, im)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.recip()
+    }
+}
+
+impl Add<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Add<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        rhs + self
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl<'a> Sum<&'a Complex64> for Complex64 {
+    fn sum<I: Iterator<Item = &'a Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |acc, z| acc + *z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn constructors_and_constants() {
+        assert_eq!(Complex64::ZERO + Complex64::ONE, Complex64::new(1.0, 0.0));
+        assert_eq!(Complex64::I * Complex64::I, Complex64::new(-1.0, 0.0));
+        assert_eq!(Complex64::from_real(2.5).im, 0.0);
+        assert_eq!(Complex64::from((1.0, 2.0)), Complex64::new(1.0, 2.0));
+        assert_eq!(Complex64::from(3.0), Complex64::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(-0.25, 4.0);
+        assert!(close(a + b - b, a, 1e-12));
+        assert!(close(a * b / b, a, 1e-12));
+        assert!(close(a * a.recip(), Complex64::ONE, 1e-12));
+        assert!(close(-(-a), a, 0.0));
+    }
+
+    #[test]
+    fn conjugate_and_magnitude() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.abs_sq(), 25.0);
+        assert_eq!(z.conj(), Complex64::new(3.0, -4.0));
+        assert!(close(z * z.conj(), Complex64::from_real(25.0), 1e-12));
+    }
+
+    #[test]
+    fn exp_and_cis() {
+        let theta = 1.1;
+        assert!(close(Complex64::cis(theta), Complex64::new(0.0, theta).exp(), 1e-12));
+        // e^{iπ} = -1
+        assert!(close(
+            Complex64::cis(std::f64::consts::PI),
+            Complex64::new(-1.0, 0.0),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn sqrt_and_powf() {
+        let z = Complex64::new(-4.0, 0.0);
+        let r = z.sqrt();
+        assert!(close(r * r, z, 1e-12));
+        assert!(close(z.powf(0.5), r, 1e-12));
+        assert_eq!(Complex64::ZERO.powf(2.0), Complex64::ZERO);
+    }
+
+    #[test]
+    fn mul_i_is_rotation() {
+        let z = Complex64::new(2.0, 3.0);
+        assert_eq!(z.mul_i(), z * Complex64::I);
+    }
+
+    #[test]
+    fn mixed_real_operations() {
+        let z = Complex64::new(1.0, 1.0);
+        assert_eq!(z + 1.0, Complex64::new(2.0, 1.0));
+        assert_eq!(z - 1.0, Complex64::new(0.0, 1.0));
+        assert_eq!(z * 2.0, Complex64::new(2.0, 2.0));
+        assert_eq!(z / 2.0, Complex64::new(0.5, 0.5));
+        assert_eq!(2.0 * z, z * 2.0);
+        assert_eq!(1.0 + z, z + 1.0);
+    }
+
+    #[test]
+    fn assign_operators() {
+        let mut z = Complex64::new(1.0, 2.0);
+        z += Complex64::ONE;
+        z -= Complex64::I;
+        z *= Complex64::new(0.0, 1.0);
+        z /= Complex64::new(0.0, 1.0);
+        z *= 2.0;
+        assert_eq!(z, Complex64::new(4.0, 2.0));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let values = [Complex64::ONE, Complex64::I, Complex64::new(1.0, 1.0)];
+        let owned: Complex64 = values.iter().copied().sum();
+        let borrowed: Complex64 = values.iter().sum();
+        assert_eq!(owned, Complex64::new(2.0, 2.0));
+        assert_eq!(owned, borrowed);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn nan_and_finite_checks() {
+        assert!(Complex64::new(f64::NAN, 0.0).is_nan());
+        assert!(!Complex64::ONE.is_nan());
+        assert!(Complex64::ONE.is_finite());
+        assert!(!Complex64::new(f64::INFINITY, 0.0).is_finite());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_commutative(ar in -1e3..1e3f64, ai in -1e3..1e3f64,
+                                br in -1e3..1e3f64, bi in -1e3..1e3f64) {
+            let a = Complex64::new(ar, ai);
+            let b = Complex64::new(br, bi);
+            prop_assert!(close(a * b, b * a, 1e-9));
+        }
+
+        #[test]
+        fn prop_distributive(ar in -1e2..1e2f64, ai in -1e2..1e2f64,
+                             br in -1e2..1e2f64, bi in -1e2..1e2f64,
+                             cr in -1e2..1e2f64, ci in -1e2..1e2f64) {
+            let a = Complex64::new(ar, ai);
+            let b = Complex64::new(br, bi);
+            let c = Complex64::new(cr, ci);
+            prop_assert!(close(a * (b + c), a * b + a * c, 1e-7));
+        }
+
+        #[test]
+        fn prop_conj_multiplicative(ar in -1e3..1e3f64, ai in -1e3..1e3f64,
+                                    br in -1e3..1e3f64, bi in -1e3..1e3f64) {
+            let a = Complex64::new(ar, ai);
+            let b = Complex64::new(br, bi);
+            prop_assert!(close((a * b).conj(), a.conj() * b.conj(), 1e-6));
+        }
+
+        #[test]
+        fn prop_abs_multiplicative(ar in -1e3..1e3f64, ai in -1e3..1e3f64,
+                                   br in -1e3..1e3f64, bi in -1e3..1e3f64) {
+            let a = Complex64::new(ar, ai);
+            let b = Complex64::new(br, bi);
+            prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-6 * (1.0 + a.abs() * b.abs()));
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! Eigensolvers for symmetric / Hermitian matrices.
+//!
+//! The SOCS decomposition of the transmission cross-coefficient matrix
+//! (Eq. (3) of the Nitho paper) needs the leading eigenpairs of a large
+//! Hermitian positive semi-definite matrix. Two solvers are provided:
+//!
+//! * [`symmetric_eigen`] / [`hermitian_eigen`] — a cyclic Jacobi solver that
+//!   computes the *full* spectrum. Robust and simple, used as the reference
+//!   implementation and for small kernels.
+//! * [`hermitian_top_eigen`] — blocked subspace (orthogonal) iteration that
+//!   extracts only the leading `r` eigenpairs. Since TCC eigenvalues decay
+//!   rapidly, this is the production path for SOCS kernel generation.
+
+use crate::complex::Complex64;
+use crate::linalg::{cdot, cmatmul, gram_schmidt_columns, hermitian_real_embedding};
+use crate::matrix::{ComplexMatrix, RealMatrix};
+use crate::rng::DeterministicRng;
+
+/// Result of a Hermitian eigendecomposition.
+///
+/// Eigenvalues are sorted in descending order; `vectors` stores the matching
+/// eigenvectors as columns, so `vectors.col(k)` pairs with `values[k]`.
+#[derive(Debug, Clone)]
+pub struct HermitianEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns (same order as `values`).
+    pub vectors: ComplexMatrix,
+}
+
+/// Result of a real symmetric eigendecomposition (descending eigenvalues,
+/// eigenvectors as columns).
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns (same order as `values`).
+    pub vectors: RealMatrix,
+}
+
+/// Maximum number of Jacobi sweeps before giving up (converges far earlier in
+/// practice).
+const MAX_JACOBI_SWEEPS: usize = 50;
+
+/// Full eigendecomposition of a real symmetric matrix using cyclic Jacobi
+/// rotations.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+///
+/// ```
+/// use litho_math::{RealMatrix, eigen::symmetric_eigen};
+/// let a = RealMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+/// let e = symmetric_eigen(&a);
+/// assert!((e.values[0] - 3.0).abs() < 1e-10);
+/// assert!((e.values[1] - 1.0).abs() < 1e-10);
+/// ```
+pub fn symmetric_eigen(a: &RealMatrix) -> SymmetricEigen {
+    assert_eq!(a.rows(), a.cols(), "matrix must be square");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = crate::linalg::identity(n);
+
+    for _sweep in 0..MAX_JACOBI_SWEEPS {
+        let off: f64 = {
+            let mut s = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s += m[(i, j)] * m[(i, j)];
+                }
+            }
+            s
+        };
+        if off < 1e-24 * (n * n) as f64 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = 0.5 * (aqq - app) / apq;
+                // Stable tangent of the rotation angle.
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let vectors = RealMatrix::from_fn(n, n, |i, k| v[(i, order[k])]);
+    SymmetricEigen { values, vectors }
+}
+
+/// Full eigendecomposition of a complex Hermitian matrix.
+///
+/// Internally the Hermitian matrix `H = A + iB` is embedded into the real
+/// symmetric matrix `[[A, -B], [B, A]]`, solved with [`symmetric_eigen`], and
+/// the doubled spectrum is collapsed back to `n` complex eigenpairs. Within
+/// degenerate clusters the recovered complex vectors are re-orthonormalized so
+/// the returned basis is always unitary.
+///
+/// # Panics
+///
+/// Panics if `h` is not square.
+pub fn hermitian_eigen(h: &ComplexMatrix) -> HermitianEigen {
+    assert_eq!(h.rows(), h.cols(), "matrix must be square");
+    let n = h.rows();
+    let embedded = hermitian_real_embedding(h);
+    let SymmetricEigen { values, vectors } = symmetric_eigen(&embedded);
+
+    // The embedded spectrum contains each eigenvalue of `h` twice. Walk the
+    // sorted (descending) spectrum, convert candidates u + iv, and keep the
+    // ones that are linearly independent from the vectors already selected.
+    let mut out_values = Vec::with_capacity(n);
+    let mut selected: Vec<Vec<Complex64>> = Vec::with_capacity(n);
+
+    for k in 0..2 * n {
+        if selected.len() == n {
+            break;
+        }
+        let mut cand: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(vectors[(i, k)], vectors[(n + i, k)]))
+            .collect();
+        // Project out previously selected vectors (only those sharing the
+        // eigenvalue matter, but projecting against all is harmless since
+        // distinct eigenspaces are already orthogonal).
+        for prev in &selected {
+            let proj = cdot(prev, &cand);
+            for (c, p) in cand.iter_mut().zip(prev.iter()) {
+                *c -= *p * proj;
+            }
+        }
+        let norm = cand.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt();
+        if norm < 1e-8 {
+            continue; // duplicate of an already-selected eigenvector
+        }
+        for c in cand.iter_mut() {
+            *c = *c / norm;
+        }
+        out_values.push(values[k]);
+        selected.push(cand);
+    }
+    assert_eq!(
+        selected.len(),
+        n,
+        "failed to extract a full complex eigenbasis from the real embedding"
+    );
+
+    let vectors = ComplexMatrix::from_fn(n, n, |i, k| selected[k][i]);
+    HermitianEigen {
+        values: out_values,
+        vectors,
+    }
+}
+
+/// Leading `r` eigenpairs of a Hermitian positive semi-definite matrix using
+/// blocked subspace iteration.
+///
+/// The block is over-sampled by `oversample` extra vectors (default callers
+/// use 4–8) which dramatically improves convergence when eigenvalues cluster.
+/// Iteration stops when the eigenvalue estimates change by less than `tol`
+/// relatively, or after `max_iter` rounds.
+///
+/// # Panics
+///
+/// Panics if `h` is not square or `r` is zero or exceeds the dimension.
+pub fn hermitian_top_eigen(
+    h: &ComplexMatrix,
+    r: usize,
+    oversample: usize,
+    max_iter: usize,
+    tol: f64,
+    seed: u64,
+) -> HermitianEigen {
+    assert_eq!(h.rows(), h.cols(), "matrix must be square");
+    let n = h.rows();
+    assert!(r > 0 && r <= n, "requested {r} eigenpairs from a {n}x{n} matrix");
+    let block = (r + oversample).min(n);
+
+    let mut rng = DeterministicRng::new(seed);
+    let mut q = ComplexMatrix::from_fn(n, block, |_, _| {
+        Complex64::new(rng.normal(0.0, 1.0), rng.normal(0.0, 1.0))
+    });
+    gram_schmidt_columns(&mut q);
+
+    let mut prev_values = vec![f64::INFINITY; r];
+    let mut ritz_values = vec![0.0; block];
+    let mut ritz_vectors = q.clone();
+
+    for _ in 0..max_iter {
+        // Power step: Z = H·Q, then re-orthonormalize.
+        let z = cmatmul(h, &q);
+        q = z;
+        gram_schmidt_columns(&mut q);
+
+        // Rayleigh–Ritz: project H into the subspace and solve the small
+        // Hermitian problem exactly.
+        let hq = cmatmul(h, &q);
+        let small = cmatmul(&q.adjoint(), &hq);
+        let small_eig = hermitian_eigen(&small);
+        // Rotate the basis by the small eigenvectors.
+        ritz_vectors = cmatmul(&q, &small_eig.vectors);
+        ritz_values = small_eig.values;
+
+        let converged = ritz_values
+            .iter()
+            .take(r)
+            .zip(prev_values.iter())
+            .all(|(&now, &prev)| (now - prev).abs() <= tol * (1.0 + now.abs()));
+        prev_values = ritz_values.iter().take(r).copied().collect();
+        q = ritz_vectors.clone();
+        if converged {
+            break;
+        }
+    }
+
+    let values = ritz_values.iter().take(r).copied().collect();
+    let vectors = ComplexMatrix::from_fn(n, r, |i, k| ritz_vectors[(i, k)]);
+    HermitianEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::cmatvec;
+    use proptest::prelude::*;
+
+    fn reconstruct_hermitian(e: &HermitianEigen, n: usize) -> ComplexMatrix {
+        let mut out = ComplexMatrix::zeros(n, n);
+        for k in 0..e.values.len() {
+            for i in 0..n {
+                for j in 0..n {
+                    out[(i, j)] += e.vectors[(i, k)] * e.vectors[(j, k)].conj() * e.values[k];
+                }
+            }
+        }
+        out
+    }
+
+    fn random_hermitian(n: usize, seed: u64) -> ComplexMatrix {
+        let mut rng = DeterministicRng::new(seed);
+        let a = ComplexMatrix::from_fn(n, n, |_, _| {
+            Complex64::new(rng.normal(0.0, 1.0), rng.normal(0.0, 1.0))
+        });
+        // A·A^H is Hermitian positive semi-definite.
+        cmatmul(&a, &a.adjoint())
+    }
+
+    #[test]
+    fn symmetric_eigen_known_2x2() {
+        let a = RealMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = symmetric_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0: Vec<f64> = (0..2).map(|i| e.vectors[(i, 0)]).collect();
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn symmetric_eigen_diagonal_matrix() {
+        let a = RealMatrix::from_fn(4, 4, |i, j| if i == j { (4 - i) as f64 } else { 0.0 });
+        let e = symmetric_eigen(&a);
+        assert_eq!(e.values.len(), 4);
+        for (k, &v) in e.values.iter().enumerate() {
+            assert!((v - (4 - k) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn symmetric_eigen_reconstructs_matrix() {
+        let n = 6;
+        let mut rng = DeterministicRng::new(7);
+        let b = RealMatrix::from_fn(n, n, |_, _| rng.normal(0.0, 1.0));
+        let a = crate::linalg::matmul(&b, &b.transpose());
+        let e = symmetric_eigen(&a);
+        // Reconstruct V diag(λ) V^T.
+        let mut rec = RealMatrix::zeros(n, n);
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    rec[(i, j)] += e.values[k] * e.vectors[(i, k)] * e.vectors[(j, k)];
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-8, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn hermitian_eigen_identity() {
+        let h = crate::linalg::cidentity(3);
+        let e = hermitian_eigen(&h);
+        for v in &e.values {
+            assert!((v - 1.0).abs() < 1e-10);
+        }
+        // Basis must be unitary even with a fully degenerate spectrum.
+        let rec = reconstruct_hermitian(&e, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((rec[(i, j)].re - expected).abs() < 1e-8);
+                assert!(rec[(i, j)].im.abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn hermitian_eigen_reconstructs_random_matrix() {
+        let n = 8;
+        let h = random_hermitian(n, 42);
+        let e = hermitian_eigen(&h);
+        assert_eq!(e.values.len(), n);
+        // Descending order.
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+        let rec = reconstruct_hermitian(&e, n);
+        for i in 0..n {
+            for j in 0..n {
+                assert!((rec[(i, j)] - h[(i, j)]).abs() < 1e-6, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn hermitian_eigen_eigenvector_equation() {
+        let n = 5;
+        let h = random_hermitian(n, 3);
+        let e = hermitian_eigen(&h);
+        for k in 0..n {
+            let v: Vec<Complex64> = (0..n).map(|i| e.vectors[(i, k)]).collect();
+            let hv = cmatvec(&h, &v);
+            for i in 0..n {
+                let expected = v[i] * e.values[k];
+                assert!((hv[i] - expected).abs() < 1e-6, "k={k} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_eigen_matches_full_solver() {
+        let n = 12;
+        let h = random_hermitian(n, 11);
+        let full = hermitian_eigen(&h);
+        let top = hermitian_top_eigen(&h, 4, 4, 200, 1e-12, 1);
+        for k in 0..4 {
+            assert!(
+                (full.values[k] - top.values[k]).abs() < 1e-6 * (1.0 + full.values[k]),
+                "eigenvalue {k}: full={} top={}",
+                full.values[k],
+                top.values[k]
+            );
+        }
+        // Residual check ‖Hv - λv‖ small for each returned pair.
+        for k in 0..4 {
+            let v: Vec<Complex64> = (0..n).map(|i| top.vectors[(i, k)]).collect();
+            let hv = cmatvec(&h, &v);
+            let resid: f64 = hv
+                .iter()
+                .zip(v.iter())
+                .map(|(&a, &b)| (a - b * top.values[k]).abs_sq())
+                .sum::<f64>()
+                .sqrt();
+            assert!(resid < 1e-5 * (1.0 + top.values[k]), "k={k} resid={resid}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_matrix_panics() {
+        let h = ComplexMatrix::zeros(2, 3);
+        let _ = hermitian_eigen(&h);
+    }
+
+    #[test]
+    #[should_panic(expected = "eigenpairs")]
+    fn too_many_requested_eigenpairs_panics() {
+        let h = crate::linalg::cidentity(3);
+        let _ = hermitian_top_eigen(&h, 4, 0, 10, 1e-9, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn prop_hermitian_psd_eigenvalues_nonnegative(n in 2usize..7, seed in 0u64..50) {
+            let h = random_hermitian(n, seed);
+            let e = hermitian_eigen(&h);
+            for &v in &e.values {
+                prop_assert!(v > -1e-8);
+            }
+            // Trace equals the eigenvalue sum.
+            let trace: f64 = (0..n).map(|i| h[(i, i)].re).sum();
+            let sum: f64 = e.values.iter().sum();
+            prop_assert!((trace - sum).abs() < 1e-6 * (1.0 + trace.abs()));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Numerical foundations for the Nitho lithography stack.
+//!
+//! This crate provides the low-level numeric building blocks shared by every
+//! other crate in the workspace:
+//!
+//! * [`Complex64`] — a from-scratch double-precision complex number,
+//! * [`Matrix`] — a dense row-major 2-D container with the real
+//!   ([`RealMatrix`]) and complex ([`ComplexMatrix`]) aliases used throughout
+//!   the optical code,
+//! * [`eigen`] — a Jacobi eigensolver for Hermitian matrices (used by the
+//!   SOCS decomposition of the transmission cross-coefficients),
+//! * [`rng`] — deterministic random sampling helpers (uniform / Gaussian)
+//!   built on top of `rand`,
+//! * [`util`] — centering, cropping, padding and grid helpers shared by the
+//!   FFT and optics crates.
+//!
+//! # Example
+//!
+//! ```
+//! use litho_math::{Complex64, ComplexMatrix};
+//!
+//! let z = Complex64::new(3.0, -4.0);
+//! assert_eq!(z.abs(), 5.0);
+//!
+//! let mut m = ComplexMatrix::zeros(2, 2);
+//! m[(0, 1)] = z;
+//! assert_eq!(m.conj()[(0, 1)], z.conj());
+//! ```
+
+pub mod complex;
+pub mod eigen;
+pub mod linalg;
+pub mod matrix;
+pub mod rng;
+pub mod util;
+
+pub use complex::Complex64;
+pub use eigen::{hermitian_eigen, HermitianEigen};
+pub use matrix::{ComplexMatrix, Matrix, RealMatrix};
+pub use rng::DeterministicRng;
+
+/// Convenient absolute-difference comparison used by tests across the
+/// workspace.
+///
+/// Returns `true` when `a` and `b` differ by at most `tol`.
+///
+/// ```
+/// assert!(litho_math::approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+/// assert!(!litho_math::approx_eq(1.0, 1.1, 1e-9));
+/// ```
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}

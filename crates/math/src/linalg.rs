@@ -1,0 +1,273 @@
+//! Dense linear-algebra kernels: matrix products, Gram–Schmidt QR and small
+//! helpers shared by the eigensolvers and the neural-network layers.
+
+use crate::complex::Complex64;
+use crate::matrix::{ComplexMatrix, Matrix, RealMatrix};
+
+/// Real matrix product `A · B`.
+///
+/// # Panics
+///
+/// Panics if `A.cols() != B.rows()`.
+///
+/// ```
+/// use litho_math::{RealMatrix, linalg::matmul};
+/// let a = RealMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let id = RealMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+/// assert_eq!(matmul(&a, &id), a);
+/// ```
+pub fn matmul(a: &RealMatrix, b: &RealMatrix) -> RealMatrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = RealMatrix::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[(i, p)];
+            if aip == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[(i, j)] += aip * b[(p, j)];
+            }
+        }
+    }
+    out
+}
+
+/// Complex matrix product `A · B`.
+///
+/// # Panics
+///
+/// Panics if `A.cols() != B.rows()`.
+pub fn cmatmul(a: &ComplexMatrix, b: &ComplexMatrix) -> ComplexMatrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = ComplexMatrix::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[(i, p)];
+            if aip == Complex64::ZERO {
+                continue;
+            }
+            for j in 0..n {
+                out[(i, j)] += aip * b[(p, j)];
+            }
+        }
+    }
+    out
+}
+
+/// Complex matrix–vector product `A · x`.
+///
+/// # Panics
+///
+/// Panics if `A.cols() != x.len()`.
+pub fn cmatvec(a: &ComplexMatrix, x: &[Complex64]) -> Vec<Complex64> {
+    assert_eq!(a.cols(), x.len(), "dimension mismatch in matvec");
+    (0..a.rows())
+        .map(|i| {
+            a.row(i)
+                .iter()
+                .zip(x.iter())
+                .map(|(&aij, &xj)| aij * xj)
+                .sum()
+        })
+        .collect()
+}
+
+/// Hermitian inner product `⟨x, y⟩ = Σ conj(xᵢ)·yᵢ`.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn cdot(x: &[Complex64], y: &[Complex64]) -> Complex64 {
+    assert_eq!(x.len(), y.len(), "dimension mismatch in dot product");
+    x.iter().zip(y.iter()).map(|(&a, &b)| a.conj() * b).sum()
+}
+
+/// Euclidean norm of a complex vector.
+pub fn cnorm(x: &[Complex64]) -> f64 {
+    x.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt()
+}
+
+/// Identity matrix of size `n × n`.
+pub fn identity(n: usize) -> RealMatrix {
+    RealMatrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 })
+}
+
+/// Complex identity matrix of size `n × n`.
+pub fn cidentity(n: usize) -> ComplexMatrix {
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            Complex64::ONE
+        } else {
+            Complex64::ZERO
+        }
+    })
+}
+
+/// Orthonormalizes the columns of `a` in place using modified Gram–Schmidt
+/// with the Hermitian inner product.
+///
+/// Columns that become numerically zero (linearly dependent on previous
+/// columns) are replaced by zero vectors; the function returns the number of
+/// independent columns kept.
+pub fn gram_schmidt_columns(a: &mut ComplexMatrix) -> usize {
+    let (rows, cols) = a.shape();
+    let mut kept = 0;
+    for j in 0..cols {
+        let mut col: Vec<Complex64> = (0..rows).map(|i| a[(i, j)]).collect();
+        for p in 0..j {
+            let prev: Vec<Complex64> = (0..rows).map(|i| a[(i, p)]).collect();
+            let proj = cdot(&prev, &col);
+            for i in 0..rows {
+                col[i] -= prev[i] * proj;
+            }
+        }
+        let norm = cnorm(&col);
+        if norm > 1e-12 {
+            kept += 1;
+            for i in 0..rows {
+                a[(i, j)] = col[i] / norm;
+            }
+        } else {
+            for i in 0..rows {
+                a[(i, j)] = Complex64::ZERO;
+            }
+        }
+    }
+    kept
+}
+
+/// Builds the real symmetric embedding of a Hermitian matrix `H = A + iB`:
+/// `[[A, -B], [B, A]]`.
+///
+/// Every eigenvalue of `H` appears twice in the embedding; eigenvectors
+/// `[u; v]` of the embedding map to complex eigenvectors `u + iv` of `H`.
+///
+/// # Panics
+///
+/// Panics if `h` is not square.
+pub fn hermitian_real_embedding(h: &ComplexMatrix) -> RealMatrix {
+    assert_eq!(h.rows(), h.cols(), "matrix must be square");
+    let n = h.rows();
+    RealMatrix::from_fn(2 * n, 2 * n, |i, j| {
+        let (bi, bj) = (i / n, j / n);
+        let z = h[(i % n, j % n)];
+        match (bi, bj) {
+            (0, 0) | (1, 1) => z.re,
+            (0, 1) => -z.im,
+            (1, 0) => z.im,
+            _ => unreachable!(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn real_matmul_identity_and_associativity() {
+        let a = RealMatrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let b = RealMatrix::from_fn(3, 3, |i, j| (i as f64) - (j as f64));
+        let id = identity(3);
+        assert_eq!(matmul(&a, &id), a);
+        assert_eq!(matmul(&id, &a), a);
+        let c = RealMatrix::from_fn(3, 3, |i, j| ((i + 1) * (j + 2)) as f64);
+        let lhs = matmul(&matmul(&a, &b), &c);
+        let rhs = matmul(&a, &matmul(&b, &c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn complex_matmul_matches_manual() {
+        let a = ComplexMatrix::from_fn(2, 2, |i, j| Complex64::new((i + j) as f64, i as f64));
+        let id = cidentity(2);
+        assert_eq!(cmatmul(&a, &id), a);
+        let b = a.adjoint();
+        let prod = cmatmul(&a, &b);
+        // (A A^H) is Hermitian.
+        assert!((prod[(0, 1)] - prod[(1, 0)].conj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_and_dot() {
+        let a = cidentity(3).scale(Complex64::new(2.0, 0.0));
+        let x = vec![Complex64::ONE, Complex64::I, Complex64::new(1.0, 1.0)];
+        let y = cmatvec(&a, &x);
+        assert_eq!(y[2], Complex64::new(2.0, 2.0));
+        let d = cdot(&x, &x);
+        assert!((d.re - 4.0).abs() < 1e-12);
+        assert!(d.im.abs() < 1e-12);
+        assert!((cnorm(&x) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gram_schmidt_produces_orthonormal_columns() {
+        let mut rng = crate::rng::DeterministicRng::new(42);
+        let mut a = ComplexMatrix::from_fn(4, 3, |_, _| rng.normal_complex(0.0, 1.0));
+        let kept = gram_schmidt_columns(&mut a);
+        assert_eq!(kept, 3);
+        for p in 0..3 {
+            for q in 0..3 {
+                let cp: Vec<_> = (0..4).map(|i| a[(i, p)]).collect();
+                let cq: Vec<_> = (0..4).map(|i| a[(i, q)]).collect();
+                let d = cdot(&cp, &cq);
+                let expected = if p == q { 1.0 } else { 0.0 };
+                assert!((d.re - expected).abs() < 1e-10, "p={p} q={q} d={d}");
+                assert!(d.im.abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_schmidt_detects_dependent_columns() {
+        // Second column is a multiple of the first.
+        let mut a = ComplexMatrix::from_fn(3, 2, |i, j| {
+            let base = Complex64::new(1.0 + i as f64, 0.5 * i as f64);
+            if j == 0 {
+                base
+            } else {
+                base * Complex64::new(2.0, 1.0)
+            }
+        });
+        let kept = gram_schmidt_columns(&mut a);
+        assert_eq!(kept, 1);
+    }
+
+    #[test]
+    fn embedding_is_symmetric() {
+        let h = ComplexMatrix::from_fn(3, 3, |i, j| {
+            if i == j {
+                Complex64::from_real((i + 1) as f64)
+            } else {
+                Complex64::new(0.3, if i < j { 0.7 } else { -0.7 })
+            }
+        });
+        let m = hermitian_real_embedding(&h);
+        assert_eq!(m.shape(), (6, 6));
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((m[(i, j)] - m[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_distributes_over_addition(n in 1usize..4) {
+            let a = RealMatrix::from_fn(n, n, |i, j| (i as f64) + 0.5 * j as f64);
+            let b = RealMatrix::from_fn(n, n, |i, j| (j as f64) - 0.25 * i as f64);
+            let c = RealMatrix::from_fn(n, n, |i, j| ((i * j) as f64).sin());
+            let lhs = matmul(&a, &(&b + &c));
+            let rhs = &matmul(&a, &b) + &matmul(&a, &c);
+            for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+}

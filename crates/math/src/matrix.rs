@@ -1,0 +1,611 @@
+//! Dense row-major 2-D matrices used throughout the lithography stack.
+//!
+//! Masks, aerial images, spectra and optical kernels are all plain dense
+//! matrices, so a single generic container with real and complex aliases is
+//! all we need.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
+
+use crate::complex::Complex64;
+
+/// A dense, row-major matrix with `rows × cols` elements of type `T`.
+///
+/// Indexing uses `(row, col)` tuples; the element at row `i`, column `j`
+/// lives at flat offset `i * cols + j`.
+///
+/// # Example
+///
+/// ```
+/// use litho_math::Matrix;
+///
+/// let mut m = Matrix::zeros(2, 3);
+/// m[(1, 2)] = 5.0;
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// assert_eq!(m[(1, 2)], 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+/// A real-valued matrix (`f64` elements).
+pub type RealMatrix = Matrix<f64>;
+/// A complex-valued matrix ([`Complex64`] elements).
+pub type ComplexMatrix = Matrix<Complex64>;
+
+impl<T: Copy + Default> Matrix<T> {
+    /// Creates a matrix filled with `T::default()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+}
+
+impl<T: Copy> Matrix<T> {
+    /// Creates a matrix filled with a constant value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn filled(rows: usize, cols: usize, value: T) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or a dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always `false`: matrices have non-zero dimensions by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Flat row-major view of the elements.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the elements.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the flat row-major buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Returns the element at `(row, col)` or `None` when out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Option<&T> {
+        if row < self.rows && col < self.cols {
+            Some(&self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Returns one full row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[T] {
+        assert!(row < self.rows, "row {row} out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Returns one full row as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [T] {
+        assert!(row < self.rows, "row {row} out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Copies one column into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= cols`.
+    pub fn col(&self, col: usize) -> Vec<T> {
+        assert!(col < self.cols, "column {col} out of bounds");
+        (0..self.rows).map(|i| self.data[i * self.cols + col]).collect()
+    }
+
+    /// Applies `f` element-wise, producing a new matrix (possibly of a
+    /// different element type).
+    pub fn map<U: Copy>(&self, mut f: impl FnMut(T) -> U) -> Matrix<U> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f(row, col, value)` element-wise, producing a new matrix.
+    pub fn map_indexed<U: Copy>(&self, mut f: impl FnMut(usize, usize, T) -> U) -> Matrix<U> {
+        let mut data = Vec::with_capacity(self.data.len());
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                data.push(f(i, j, self.data[i * self.cols + j]));
+            }
+        }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Combines two equally shaped matrices element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_map<U: Copy, V: Copy>(
+        &self,
+        other: &Matrix<U>,
+        mut f: impl FnMut(T, U) -> V,
+    ) -> Matrix<V> {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in zip_map");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Transposes the matrix.
+    pub fn transpose(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.data[j * self.cols + i])
+    }
+
+    /// Iterates over elements in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Mutable iteration over elements in row-major order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.data.iter_mut()
+    }
+
+    /// Extracts a rectangular sub-matrix starting at `(row0, col0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested region does not fit inside the matrix.
+    pub fn submatrix(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Matrix<T> {
+        assert!(
+            row0 + rows <= self.rows && col0 + cols <= self.cols,
+            "submatrix out of bounds"
+        );
+        Matrix::from_fn(rows, cols, |i, j| self.data[(row0 + i) * self.cols + (col0 + j)])
+    }
+
+    /// Writes `block` into this matrix with its top-left corner at
+    /// `(row0, col0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not fit.
+    pub fn set_submatrix(&mut self, row0: usize, col0: usize, block: &Matrix<T>) {
+        assert!(
+            row0 + block.rows <= self.rows && col0 + block.cols <= self.cols,
+            "set_submatrix out of bounds"
+        );
+        for i in 0..block.rows {
+            for j in 0..block.cols {
+                self.data[(row0 + i) * self.cols + (col0 + j)] = block.data[i * block.cols + j];
+            }
+        }
+    }
+}
+
+impl<T: Copy> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (row, col): (usize, usize)) -> &T {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl<T: Copy> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut T {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl<T: Copy + Add<Output = T>> Add<&Matrix<T>> for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn add(self, rhs: &Matrix<T>) -> Matrix<T> {
+        self.zip_map(rhs, |a, b| a + b)
+    }
+}
+
+impl<T: Copy + Sub<Output = T>> Sub<&Matrix<T>> for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn sub(self, rhs: &Matrix<T>) -> Matrix<T> {
+        self.zip_map(rhs, |a, b| a - b)
+    }
+}
+
+impl<T: Copy + AddAssign> AddAssign<&Matrix<T>> for Matrix<T> {
+    fn add_assign(&mut self, rhs: &Matrix<T>) {
+        assert_eq!(self.shape(), rhs.shape(), "shape mismatch in +=");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+impl RealMatrix {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements.
+    pub fn mean(&self) -> f64 {
+        self.sum() / self.len() as f64
+    }
+
+    /// Maximum element (NaN-free inputs assumed).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum element (NaN-free inputs assumed).
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Element-wise scaling by a scalar.
+    pub fn scale(&self, s: f64) -> RealMatrix {
+        self.map(|v| v * s)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Lifts into a complex matrix with zero imaginary part.
+    pub fn to_complex(&self) -> ComplexMatrix {
+        self.map(Complex64::from_real)
+    }
+
+    /// Binarizes with `>= threshold` (resist development model).
+    pub fn threshold(&self, threshold: f64) -> RealMatrix {
+        self.map(|v| if v >= threshold { 1.0 } else { 0.0 })
+    }
+}
+
+impl Mul<f64> for &RealMatrix {
+    type Output = RealMatrix;
+    fn mul(self, rhs: f64) -> RealMatrix {
+        self.scale(rhs)
+    }
+}
+
+impl ComplexMatrix {
+    /// Element-wise complex conjugate.
+    pub fn conj(&self) -> ComplexMatrix {
+        self.map(Complex64::conj)
+    }
+
+    /// Element-wise squared magnitude as a real matrix.
+    pub fn abs_sq(&self) -> RealMatrix {
+        self.map(Complex64::abs_sq)
+    }
+
+    /// Element-wise magnitude as a real matrix.
+    pub fn abs(&self) -> RealMatrix {
+        self.map(Complex64::abs)
+    }
+
+    /// Real parts as a real matrix.
+    pub fn re(&self) -> RealMatrix {
+        self.map(|z| z.re)
+    }
+
+    /// Imaginary parts as a real matrix.
+    pub fn im(&self) -> RealMatrix {
+        self.map(|z| z.im)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn hadamard(&self, other: &ComplexMatrix) -> ComplexMatrix {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Element-wise scaling by a complex scalar.
+    pub fn scale(&self, s: Complex64) -> ComplexMatrix {
+        self.map(|z| z * s)
+    }
+
+    /// Element-wise scaling by a real scalar.
+    pub fn scale_re(&self, s: f64) -> ComplexMatrix {
+        self.map(|z| z.scale(s))
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> Complex64 {
+        self.data.iter().copied().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt()
+    }
+
+    /// Conjugate transpose (Hermitian adjoint).
+    pub fn adjoint(&self) -> ComplexMatrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.data[j * self.cols + i].conj())
+    }
+
+    /// Builds a complex matrix from separate real and imaginary parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn from_parts(re: &RealMatrix, im: &RealMatrix) -> ComplexMatrix {
+        re.zip_map(im, Complex64::new)
+    }
+}
+
+impl fmt::Display for RealMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RealMatrix {}x{}", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        let show_cols = self.cols.min(8);
+        for i in 0..show_rows {
+            for j in 0..show_cols {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if self.cols > show_cols { "…" } else { "" })?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "…")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut m = RealMatrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(!m.is_empty());
+        m[(2, 3)] = 7.0;
+        assert_eq!(m[(2, 3)], 7.0);
+        assert_eq!(m.get(2, 3), Some(&7.0));
+        assert_eq!(m.get(3, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = RealMatrix::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        let _ = RealMatrix::zeros(0, 3);
+    }
+
+    #[test]
+    fn from_vec_and_from_fn() {
+        let a = RealMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = RealMatrix::from_fn(2, 2, |i, j| (i * 2 + j + 1) as f64);
+        assert_eq!(a, b);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_wrong_len_panics() {
+        let _ = RealMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = RealMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = a.map(|v| v * 2.0);
+        assert_eq!(b.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+        let c = a.zip_map(&b, |x, y| x + y);
+        assert_eq!(c.as_slice(), &[3.0, 6.0, 9.0, 12.0]);
+        let d = a.map_indexed(|i, j, v| v + (i + j) as f64);
+        assert_eq!(d.as_slice(), &[1.0, 3.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = RealMatrix::from_fn(3, 5, |i, j| (i * 5 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(4, 2)], a[(2, 4)]);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = RealMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = RealMatrix::filled(2, 2, 1.0);
+        let sum = &a + &b;
+        let diff = &sum - &b;
+        assert_eq!(diff, a);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c, sum);
+    }
+
+    #[test]
+    fn real_matrix_statistics() {
+        let a = RealMatrix::from_vec(2, 2, vec![1.0, -2.0, 3.0, 4.0]);
+        assert_eq!(a.sum(), 6.0);
+        assert_eq!(a.mean(), 1.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), -2.0);
+        assert!((a.frobenius_norm() - (30.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(a.threshold(2.5).as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn complex_matrix_operations() {
+        let re = RealMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let im = RealMatrix::from_vec(2, 2, vec![0.0, 1.0, -1.0, 0.0]);
+        let z = ComplexMatrix::from_parts(&re, &im);
+        assert_eq!(z.re(), re);
+        assert_eq!(z.im(), im);
+        assert_eq!(z.conj().im().as_slice(), &[0.0, -1.0, 1.0, 0.0]);
+        assert_eq!(z.abs_sq().as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+        let h = z.hadamard(&z.conj());
+        assert_eq!(h.re().as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(z.adjoint()[(1, 0)], z[(0, 1)].conj());
+        assert!((z.frobenius_norm() - 2.0).abs() < 1e-12);
+        assert_eq!(z.sum(), Complex64::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn submatrix_roundtrip() {
+        let a = RealMatrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let block = a.submatrix(1, 2, 2, 2);
+        assert_eq!(block.as_slice(), &[6.0, 7.0, 10.0, 11.0]);
+        let mut b = RealMatrix::zeros(4, 4);
+        b.set_submatrix(1, 2, &block);
+        assert_eq!(b[(2, 3)], 11.0);
+        assert_eq!(b[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn scale_operators() {
+        let a = RealMatrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        let z = a.to_complex().scale(Complex64::I);
+        assert_eq!(z.im().as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(z.scale_re(2.0).im().as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn display_does_not_panic() {
+        let a = RealMatrix::from_fn(10, 10, |i, j| (i + j) as f64);
+        let s = format!("{a}");
+        assert!(s.contains("RealMatrix 10x10"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transpose_preserves_elements(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+            let m = RealMatrix::from_fn(rows, cols, |i, j| ((i * 31 + j * 17 + seed as usize) % 97) as f64);
+            let t = m.transpose();
+            for i in 0..rows {
+                for j in 0..cols {
+                    prop_assert_eq!(m[(i, j)], t[(j, i)]);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_add_commutes(rows in 1usize..5, cols in 1usize..5) {
+            let a = RealMatrix::from_fn(rows, cols, |i, j| (i + 2 * j) as f64);
+            let b = RealMatrix::from_fn(rows, cols, |i, j| (3 * i + j) as f64);
+            prop_assert_eq!(&a + &b, &b + &a);
+        }
+    }
+}

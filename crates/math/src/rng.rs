@@ -1,0 +1,212 @@
+//! Deterministic random sampling helpers.
+//!
+//! Every stochastic component in the workspace (weight initialization, random
+//! Fourier features, synthetic mask generation, dataset shuffling) goes
+//! through [`DeterministicRng`] so experiments are exactly reproducible from a
+//! seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::complex::Complex64;
+
+/// A seeded random number generator with the sampling primitives used across
+/// the workspace.
+///
+/// # Example
+///
+/// ```
+/// use litho_math::DeterministicRng;
+///
+/// let mut a = DeterministicRng::new(7);
+/// let mut b = DeterministicRng::new(7);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeterministicRng {
+    inner: StdRng,
+    /// Cached second output of the Box–Muller transform.
+    spare_normal: Option<f64>,
+}
+
+impl DeterministicRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each model
+    /// or dataset its own stream without coupling their sampling order.
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let seed = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::new(seed)
+    }
+
+    /// Uniform sample in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn uniform(&mut self, low: f64, high: f64) -> f64 {
+        assert!(low < high, "uniform range must satisfy low < high");
+        self.inner.gen_range(low..high)
+    }
+
+    /// Uniform integer sample in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn uniform_usize(&mut self, low: usize, high: usize) -> usize {
+        assert!(low < high, "uniform range must satisfy low < high");
+        self.inner.gen_range(low..high)
+    }
+
+    /// Bernoulli sample with probability `p` of returning `true`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Gaussian sample with the given mean and standard deviation
+    /// (Box–Muller transform; no external distribution crate needed).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let z = if let Some(spare) = self.spare_normal.take() {
+            spare
+        } else {
+            // Draw u1 in (0, 1] to avoid ln(0).
+            let u1: f64 = 1.0 - self.inner.gen::<f64>();
+            let u2: f64 = self.inner.gen::<f64>();
+            let radius = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            self.spare_normal = Some(radius * theta.sin());
+            radius * theta.cos()
+        };
+        mean + std_dev * z
+    }
+
+    /// Complex Gaussian sample with independent real/imaginary components.
+    pub fn normal_complex(&mut self, mean: f64, std_dev: f64) -> Complex64 {
+        Complex64::new(self.normal(mean, std_dev), self.normal(mean, std_dev))
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `count` distinct indices from `0..len` (or all of them when
+    /// `count >= len`), in random order.
+    pub fn sample_indices(&mut self, len: usize, count: usize) -> Vec<usize> {
+        let mut indices: Vec<usize> = (0..len).collect();
+        self.shuffle(&mut indices);
+        indices.truncate(count.min(len));
+        indices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DeterministicRng::new(123);
+        let mut b = DeterministicRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DeterministicRng::new(1);
+        let mut b = DeterministicRng::new(2);
+        let same = (0..32).filter(|_| a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = DeterministicRng::new(9);
+        for _ in 0..1000 {
+            let v = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+            let i = rng.uniform_usize(5, 10);
+            assert!((5..10).contains(&i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "low < high")]
+    fn invalid_uniform_range_panics() {
+        let mut rng = DeterministicRng::new(0);
+        let _ = rng.uniform(1.0, 1.0);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = DeterministicRng::new(77);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 9.0).abs() < 0.5, "var={var}");
+    }
+
+    #[test]
+    fn normal_complex_has_both_components() {
+        let mut rng = DeterministicRng::new(5);
+        let z = rng.normal_complex(0.0, 1.0);
+        // With overwhelming probability both parts are non-zero.
+        assert!(z.re != 0.0 && z.im != 0.0);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = DeterministicRng::new(4);
+        assert!(!(0..100).any(|_| rng.bernoulli(0.0)));
+        assert!((0..100).all(|_| rng.bernoulli(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = DeterministicRng::new(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut rng = DeterministicRng::new(13);
+        let idx = rng.sample_indices(20, 7);
+        assert_eq!(idx.len(), 7);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 7);
+        assert!(idx.iter().all(|&i| i < 20));
+        // Requesting more than available returns everything.
+        assert_eq!(rng.sample_indices(3, 10).len(), 3);
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = DeterministicRng::new(21);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let a: Vec<f64> = (0..16).map(|_| c1.uniform(0.0, 1.0)).collect();
+        let b: Vec<f64> = (0..16).map(|_| c2.uniform(0.0, 1.0)).collect();
+        assert_ne!(a, b);
+    }
+}

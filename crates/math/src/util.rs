@@ -1,0 +1,301 @@
+//! Grid, cropping and padding helpers shared by the FFT and optics crates.
+//!
+//! The Hopkins imaging pipeline constantly moves between a full-resolution
+//! mask spectrum and a small, centered "kernel-sized" spectrum (Algorithm 1,
+//! lines 6–7 of the paper), so the centered crop / zero-pad pair lives here
+//! and is unit-tested once for every consumer.
+
+use crate::complex::Complex64;
+use crate::matrix::{ComplexMatrix, Matrix, RealMatrix};
+
+/// Returns `count` evenly spaced values from `start` to `end` inclusive.
+///
+/// # Panics
+///
+/// Panics if `count == 0`.
+///
+/// ```
+/// let v = litho_math::util::linspace(0.0, 1.0, 5);
+/// assert_eq!(v, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+pub fn linspace(start: f64, end: f64, count: usize) -> Vec<f64> {
+    assert!(count > 0, "linspace needs at least one point");
+    if count == 1 {
+        return vec![start];
+    }
+    let step = (end - start) / (count - 1) as f64;
+    (0..count).map(|i| start + step * i as f64).collect()
+}
+
+/// Centered frequency coordinates for an `n`-point DFT, matching the
+/// convention of `fftshift`: for even `n` the range is `-n/2 ..= n/2 - 1`,
+/// for odd `n` it is `-(n-1)/2 ..= (n-1)/2`.
+pub fn centered_freqs(n: usize) -> Vec<i64> {
+    let half = (n / 2) as i64;
+    let offset = if n % 2 == 0 { half } else { half };
+    (0..n as i64).map(|i| i - offset).collect()
+}
+
+/// Extracts the centered `out_rows × out_cols` region of a matrix.
+///
+/// Used to crop a shifted mask spectrum down to the optical-kernel dimensions
+/// (paper Algorithm 1, line 7).
+///
+/// # Panics
+///
+/// Panics if the requested output is larger than the input.
+pub fn center_crop<T: Copy>(m: &Matrix<T>, out_rows: usize, out_cols: usize) -> Matrix<T> {
+    assert!(
+        out_rows <= m.rows() && out_cols <= m.cols(),
+        "center_crop output {}x{} exceeds input {}x{}",
+        out_rows,
+        out_cols,
+        m.rows(),
+        m.cols()
+    );
+    // Align the DC bins: after `fftshift`, DC sits at index n/2 for both the
+    // input and the output grid, so the crop offset is the difference of the
+    // two DC positions (not simply (in - out) / 2, which would shift the DC
+    // bin when the parities differ).
+    let r0 = m.rows() / 2 - out_rows / 2;
+    let c0 = m.cols() / 2 - out_cols / 2;
+    m.submatrix(r0, c0, out_rows, out_cols)
+}
+
+/// Zero-pads a matrix to `out_rows × out_cols`, keeping the input centered.
+///
+/// This is the inverse of [`center_crop`] for the region that survives the
+/// crop and is how a band-limited kernel-resolution field is interpolated
+/// back to image resolution.
+///
+/// # Panics
+///
+/// Panics if the requested output is smaller than the input.
+pub fn center_pad(m: &ComplexMatrix, out_rows: usize, out_cols: usize) -> ComplexMatrix {
+    assert!(
+        out_rows >= m.rows() && out_cols >= m.cols(),
+        "center_pad output {}x{} smaller than input {}x{}",
+        out_rows,
+        out_cols,
+        m.rows(),
+        m.cols()
+    );
+    let mut out = ComplexMatrix::zeros(out_rows, out_cols);
+    let r0 = out_rows / 2 - m.rows() / 2;
+    let c0 = out_cols / 2 - m.cols() / 2;
+    out.set_submatrix(r0, c0, m);
+    out
+}
+
+/// Zero-pads a real matrix to `out_rows × out_cols`, keeping it centered.
+///
+/// # Panics
+///
+/// Panics if the requested output is smaller than the input.
+pub fn center_pad_real(m: &RealMatrix, out_rows: usize, out_cols: usize) -> RealMatrix {
+    assert!(
+        out_rows >= m.rows() && out_cols >= m.cols(),
+        "center_pad output smaller than input"
+    );
+    let mut out = RealMatrix::zeros(out_rows, out_cols);
+    let r0 = out_rows / 2 - m.rows() / 2;
+    let c0 = out_cols / 2 - m.cols() / 2;
+    out.set_submatrix(r0, c0, m);
+    out
+}
+
+/// Downsamples a real matrix by integer `factor` using block averaging.
+///
+/// Used to build low-dimensional feature vectors of masks for the t-SNE
+/// dataset-distribution figure and for the CNN/FNO baselines.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero or does not divide both dimensions.
+pub fn block_downsample(m: &RealMatrix, factor: usize) -> RealMatrix {
+    assert!(factor > 0, "factor must be positive");
+    assert!(
+        m.rows() % factor == 0 && m.cols() % factor == 0,
+        "factor {} must divide the {}x{} matrix",
+        factor,
+        m.rows(),
+        m.cols()
+    );
+    let rows = m.rows() / factor;
+    let cols = m.cols() / factor;
+    let norm = (factor * factor) as f64;
+    RealMatrix::from_fn(rows, cols, |i, j| {
+        let mut acc = 0.0;
+        for di in 0..factor {
+            for dj in 0..factor {
+                acc += m[(i * factor + di, j * factor + dj)];
+            }
+        }
+        acc / norm
+    })
+}
+
+/// Upsamples a real matrix by integer `factor` using nearest-neighbour
+/// replication (used by the CNN baseline decoder).
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+pub fn nearest_upsample(m: &RealMatrix, factor: usize) -> RealMatrix {
+    assert!(factor > 0, "factor must be positive");
+    RealMatrix::from_fn(m.rows() * factor, m.cols() * factor, |i, j| {
+        m[(i / factor, j / factor)]
+    })
+}
+
+/// Converts a complex matrix to interleaved real storage `[re, im, re, im…]`.
+pub fn complex_to_interleaved(m: &ComplexMatrix) -> Vec<f64> {
+    let mut out = Vec::with_capacity(m.len() * 2);
+    for z in m.iter() {
+        out.push(z.re);
+        out.push(z.im);
+    }
+    out
+}
+
+/// Rebuilds a complex matrix from interleaved real storage.
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols * 2`.
+pub fn interleaved_to_complex(rows: usize, cols: usize, data: &[f64]) -> ComplexMatrix {
+    assert_eq!(data.len(), rows * cols * 2, "interleaved buffer length mismatch");
+    ComplexMatrix::from_fn(rows, cols, |i, j| {
+        let k = (i * cols + j) * 2;
+        Complex64::new(data[k], data[k + 1])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let v = linspace(-1.0, 1.0, 5);
+        assert_eq!(v, vec![-1.0, -0.5, 0.0, 0.5, 1.0]);
+        assert_eq!(linspace(3.0, 9.0, 1), vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn linspace_zero_points_panics() {
+        let _ = linspace(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn centered_freqs_even_and_odd() {
+        assert_eq!(centered_freqs(4), vec![-2, -1, 0, 1]);
+        assert_eq!(centered_freqs(5), vec![-2, -1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn crop_then_pad_roundtrip_preserves_center() {
+        let m = ComplexMatrix::from_fn(8, 8, |i, j| Complex64::new((i * 8 + j) as f64, 0.0));
+        let cropped = center_crop(&m, 4, 4);
+        assert_eq!(cropped[(0, 0)].re, m[(2, 2)].re);
+        let padded = center_pad(&cropped, 8, 8);
+        for i in 0..8 {
+            for j in 0..8 {
+                let inside = (2..6).contains(&i) && (2..6).contains(&j);
+                if inside {
+                    assert_eq!(padded[(i, j)], m[(i, j)]);
+                } else {
+                    assert_eq!(padded[(i, j)], Complex64::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crop_odd_sizes_keep_dc_bin() {
+        // After fftshift, DC lives at index n/2. Cropping 8 -> 5 should keep
+        // the DC bin at the new center (index 2).
+        let m = ComplexMatrix::from_fn(8, 8, |i, j| {
+            if i == 4 && j == 4 {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            }
+        });
+        let cropped = center_crop(&m, 5, 5);
+        assert_eq!(cropped[(5 / 2 + 1, 5 / 2 + 1)], Complex64::ZERO);
+        assert_eq!(cropped[(2, 2)], Complex64::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds input")]
+    fn crop_larger_than_input_panics() {
+        let m = ComplexMatrix::zeros(4, 4);
+        let _ = center_crop(&m, 5, 5);
+    }
+
+    #[test]
+    fn pad_real_and_block_downsample() {
+        let m = RealMatrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let padded = center_pad_real(&m, 6, 6);
+        assert_eq!(padded[(1, 1)], m[(0, 0)]);
+        assert_eq!(padded[(0, 0)], 0.0);
+        // DC alignment: input DC bin (2,2) lands on output DC bin (3,3).
+        assert_eq!(padded[(3, 3)], m[(2, 2)]);
+
+        let ds = block_downsample(&m, 2);
+        assert_eq!(ds.shape(), (2, 2));
+        assert_eq!(ds[(0, 0)], (0.0 + 1.0 + 4.0 + 5.0) / 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn block_downsample_bad_factor_panics() {
+        let m = RealMatrix::zeros(4, 4);
+        let _ = block_downsample(&m, 3);
+    }
+
+    #[test]
+    fn nearest_upsample_replicates_blocks() {
+        let m = RealMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let up = nearest_upsample(&m, 3);
+        assert_eq!(up.shape(), (6, 6));
+        assert_eq!(up[(0, 0)], 1.0);
+        assert_eq!(up[(2, 2)], 1.0);
+        assert_eq!(up[(3, 3)], 4.0);
+        // Downsample inverts upsample exactly for block-constant data.
+        assert_eq!(block_downsample(&up, 3), m);
+    }
+
+    #[test]
+    fn interleaved_roundtrip() {
+        let m = ComplexMatrix::from_fn(3, 2, |i, j| Complex64::new(i as f64, j as f64));
+        let flat = complex_to_interleaved(&m);
+        assert_eq!(flat.len(), 12);
+        let back = interleaved_to_complex(3, 2, &flat);
+        assert_eq!(back, m);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_crop_pad_roundtrip(rows in 2usize..10, cols in 2usize..10,
+                                   dr in 0usize..4, dc in 0usize..4) {
+            let m = ComplexMatrix::from_fn(rows, cols, |i, j| {
+                Complex64::new((i * cols + j) as f64, (i + j) as f64)
+            });
+            let big = center_pad(&m, rows + dr, cols + dc);
+            let back = center_crop(&big, rows, cols);
+            prop_assert_eq!(back, m);
+        }
+
+        #[test]
+        fn prop_downsample_preserves_mean(factor in 1usize..4, blocks in 1usize..5) {
+            let n = factor * blocks;
+            let m = RealMatrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 11) as f64);
+            let ds = block_downsample(&m, factor);
+            prop_assert!((ds.mean() - m.mean()).abs() < 1e-9);
+        }
+    }
+}

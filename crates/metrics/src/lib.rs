@@ -1,0 +1,322 @@
+//! Image-quality and segmentation metrics used throughout the paper's
+//! evaluation (Section II-B): MSE, PSNR and max error for aerial images,
+//! mIOU and mPA for resist images.
+
+#![forbid(unsafe_code)]
+
+use litho_math::RealMatrix;
+
+/// Mean squared error between an aerial image and its prediction (Eq. (5)).
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse(reference: &RealMatrix, prediction: &RealMatrix) -> f64 {
+    assert_eq!(reference.shape(), prediction.shape(), "shape mismatch in mse");
+    reference
+        .zip_map(prediction, |a, b| (a - b) * (a - b))
+        .mean()
+}
+
+/// Peak signal-to-noise ratio in decibels (Eq. (6)):
+/// `PSNR = 10·log10(max(I)² / MSE)`.
+///
+/// Returns `f64::INFINITY` for identical images.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn psnr(reference: &RealMatrix, prediction: &RealMatrix) -> f64 {
+    let err = mse(reference, prediction);
+    if err == 0.0 {
+        return f64::INFINITY;
+    }
+    let peak = reference.max();
+    10.0 * (peak * peak / err).log10()
+}
+
+/// Maximum absolute error (Eq. (8)).
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn max_error(reference: &RealMatrix, prediction: &RealMatrix) -> f64 {
+    assert_eq!(reference.shape(), prediction.shape(), "shape mismatch in max_error");
+    reference.zip_map(prediction, |a, b| (a - b).abs()).max()
+}
+
+/// Mean intersection-over-union over the two resist classes
+/// (printed / unprinted), Eq. (7). Images are treated as binary with a 0.5
+/// cut.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn miou(reference: &RealMatrix, prediction: &RealMatrix) -> f64 {
+    let (stats0, stats1) = class_statistics(reference, prediction);
+    let iou = |s: ClassStats| {
+        if s.union == 0 {
+            1.0
+        } else {
+            s.intersection as f64 / s.union as f64
+        }
+    };
+    0.5 * (iou(stats0) + iou(stats1))
+}
+
+/// Mean pixel accuracy over the two resist classes, Eq. (7): for each class,
+/// the fraction of its ground-truth pixels predicted correctly, averaged.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mpa(reference: &RealMatrix, prediction: &RealMatrix) -> f64 {
+    let (stats0, stats1) = class_statistics(reference, prediction);
+    let acc = |s: ClassStats| {
+        if s.reference == 0 {
+            1.0
+        } else {
+            s.intersection as f64 / s.reference as f64
+        }
+    };
+    0.5 * (acc(stats0) + acc(stats1))
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ClassStats {
+    intersection: usize,
+    union: usize,
+    reference: usize,
+}
+
+fn class_statistics(reference: &RealMatrix, prediction: &RealMatrix) -> (ClassStats, ClassStats) {
+    assert_eq!(reference.shape(), prediction.shape(), "shape mismatch in class metric");
+    let mut stats = [ClassStats::default(), ClassStats::default()];
+    for (&r, &p) in reference.iter().zip(prediction.iter()) {
+        let r_class = usize::from(r >= 0.5);
+        let p_class = usize::from(p >= 0.5);
+        for (class, s) in stats.iter_mut().enumerate() {
+            let in_r = r_class == class;
+            let in_p = p_class == class;
+            if in_r {
+                s.reference += 1;
+            }
+            if in_r && in_p {
+                s.intersection += 1;
+            }
+            if in_r || in_p {
+                s.union += 1;
+            }
+        }
+    }
+    (stats[0], stats[1])
+}
+
+/// Aggregated aerial-image metrics over a set of image pairs, reported the
+/// way the paper's Table III rows are (MSE ×10⁻⁵, ME ×10⁻², PSNR in dB).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AerialMetrics {
+    /// Mean of per-image MSE.
+    pub mse: f64,
+    /// Mean of per-image max error.
+    pub max_error: f64,
+    /// Mean of per-image PSNR in dB.
+    pub psnr_db: f64,
+}
+
+impl AerialMetrics {
+    /// Evaluates a set of `(reference, prediction)` aerial-image pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty or any pair has mismatched shapes.
+    pub fn evaluate<'a>(pairs: impl IntoIterator<Item = (&'a RealMatrix, &'a RealMatrix)>) -> Self {
+        let mut count = 0usize;
+        let mut acc = AerialMetrics::default();
+        for (reference, prediction) in pairs {
+            acc.mse += mse(reference, prediction);
+            acc.max_error += max_error(reference, prediction);
+            acc.psnr_db += psnr(reference, prediction);
+            count += 1;
+        }
+        assert!(count > 0, "cannot evaluate an empty set of image pairs");
+        AerialMetrics {
+            mse: acc.mse / count as f64,
+            max_error: acc.max_error / count as f64,
+            psnr_db: acc.psnr_db / count as f64,
+        }
+    }
+
+    /// MSE scaled by 10⁵, matching the paper's Table III column heading.
+    pub fn mse_e5(&self) -> f64 {
+        self.mse * 1e5
+    }
+
+    /// Max error scaled by 10², matching the paper's Table III column heading.
+    pub fn max_error_e2(&self) -> f64 {
+        self.max_error * 1e2
+    }
+}
+
+/// Aggregated resist-image metrics over a set of image pairs (percentages,
+/// as in Tables III and IV).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResistMetrics {
+    /// Mean pixel accuracy in percent.
+    pub mpa_percent: f64,
+    /// Mean intersection-over-union in percent.
+    pub miou_percent: f64,
+}
+
+impl ResistMetrics {
+    /// Evaluates a set of `(reference, prediction)` resist-image pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty or any pair has mismatched shapes.
+    pub fn evaluate<'a>(pairs: impl IntoIterator<Item = (&'a RealMatrix, &'a RealMatrix)>) -> Self {
+        let mut count = 0usize;
+        let mut sum_mpa = 0.0;
+        let mut sum_miou = 0.0;
+        for (reference, prediction) in pairs {
+            sum_mpa += mpa(reference, prediction);
+            sum_miou += miou(reference, prediction);
+            count += 1;
+        }
+        assert!(count > 0, "cannot evaluate an empty set of image pairs");
+        ResistMetrics {
+            mpa_percent: 100.0 * sum_mpa / count as f64,
+            miou_percent: 100.0 * sum_miou / count as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn checker(n: usize) -> RealMatrix {
+        RealMatrix::from_fn(n, n, |i, j| ((i + j) % 2) as f64)
+    }
+
+    #[test]
+    fn mse_of_identical_images_is_zero() {
+        let a = checker(8);
+        assert_eq!(mse(&a, &a), 0.0);
+        assert_eq!(max_error(&a, &a), 0.0);
+        assert_eq!(psnr(&a, &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn mse_and_max_error_of_known_difference() {
+        let a = RealMatrix::from_vec(1, 4, vec![0.0, 1.0, 0.5, 0.25]);
+        let b = RealMatrix::from_vec(1, 4, vec![0.1, 0.9, 0.5, 0.45]);
+        assert!((mse(&a, &b) - (0.01 + 0.01 + 0.0 + 0.04) / 4.0).abs() < 1e-12);
+        assert!((max_error(&a, &b) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let clean = checker(16);
+        let slightly_off = clean.map(|v| v + 0.01);
+        let very_off = clean.map(|v| v + 0.2);
+        assert!(psnr(&clean, &slightly_off) > psnr(&clean, &very_off));
+        // 0.01 uniform error on a peak-1 image: PSNR = 40 dB.
+        assert!((psnr(&clean, &slightly_off) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miou_and_mpa_perfect_prediction() {
+        let z = checker(8);
+        assert_eq!(miou(&z, &z), 1.0);
+        assert_eq!(mpa(&z, &z), 1.0);
+    }
+
+    #[test]
+    fn miou_and_mpa_complete_mismatch() {
+        let z = checker(8);
+        let inverted = z.map(|v| 1.0 - v);
+        assert_eq!(miou(&z, &inverted), 0.0);
+        assert_eq!(mpa(&z, &inverted), 0.0);
+    }
+
+    #[test]
+    fn miou_known_partial_overlap() {
+        // Reference: left half printed. Prediction: left three quarters printed.
+        let reference = RealMatrix::from_fn(4, 4, |_, j| if j < 2 { 1.0 } else { 0.0 });
+        let prediction = RealMatrix::from_fn(4, 4, |_, j| if j < 3 { 1.0 } else { 0.0 });
+        // Class 1: intersection 8, union 12 → 2/3. Class 0: intersection 4, union 8 → 1/2.
+        assert!((miou(&reference, &prediction) - (2.0 / 3.0 + 0.5) / 2.0).abs() < 1e-12);
+        // Class 1: 8/8 correct → 1. Class 0: 4/8 → 0.5.
+        assert!((mpa(&reference, &prediction) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_class_counts_as_perfect() {
+        // All-printed reference and prediction: class 0 is absent from both.
+        let ones = RealMatrix::filled(4, 4, 1.0);
+        assert_eq!(miou(&ones, &ones), 1.0);
+        assert_eq!(mpa(&ones, &ones), 1.0);
+    }
+
+    #[test]
+    fn aggregate_aerial_metrics() {
+        let reference = checker(8);
+        let pred_a = reference.map(|v| v + 0.1);
+        let pred_b = reference.clone();
+        let metrics = AerialMetrics::evaluate([(&reference, &pred_a), (&reference, &pred_b)]);
+        assert!((metrics.mse - 0.005).abs() < 1e-12);
+        assert!((metrics.max_error - 0.05).abs() < 1e-12);
+        assert!(metrics.psnr_db.is_infinite());
+        assert!((metrics.mse_e5() - 500.0).abs() < 1e-9);
+        assert!((metrics.max_error_e2() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_resist_metrics() {
+        let reference = checker(8);
+        let inverted = reference.map(|v| 1.0 - v);
+        let metrics = ResistMetrics::evaluate([(&reference, &reference), (&reference, &inverted)]);
+        assert!((metrics.mpa_percent - 50.0).abs() < 1e-12);
+        assert!((metrics.miou_percent - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn empty_aggregate_panics() {
+        let _ = AerialMetrics::evaluate(std::iter::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_panic() {
+        let _ = mse(&RealMatrix::zeros(2, 2), &RealMatrix::zeros(3, 3));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_metrics_bounded(seed in 0u64..200) {
+            let mut rng = litho_math::DeterministicRng::new(seed);
+            let reference = RealMatrix::from_fn(6, 6, |_, _| rng.uniform(0.0, 1.0)).threshold(0.5);
+            let prediction = RealMatrix::from_fn(6, 6, |_, _| rng.uniform(0.0, 1.0)).threshold(0.5);
+            let iou = miou(&reference, &prediction);
+            let pa = mpa(&reference, &prediction);
+            prop_assert!((0.0..=1.0).contains(&iou));
+            prop_assert!((0.0..=1.0).contains(&pa));
+            // IoU is never larger than pixel accuracy for the same pair.
+            prop_assert!(iou <= pa + 1e-12);
+            prop_assert!(mse(&reference, &prediction) >= 0.0);
+            prop_assert!(max_error(&reference, &prediction) <= 1.0);
+        }
+
+        #[test]
+        fn prop_mse_symmetry(seed in 0u64..100) {
+            let mut rng = litho_math::DeterministicRng::new(seed);
+            let a = RealMatrix::from_fn(5, 5, |_, _| rng.uniform(0.0, 1.0));
+            let b = RealMatrix::from_fn(5, 5, |_, _| rng.uniform(0.0, 1.0));
+            prop_assert!((mse(&a, &b) - mse(&b, &a)).abs() < 1e-15);
+            prop_assert!((max_error(&a, &b) - max_error(&b, &a)).abs() < 1e-15);
+        }
+    }
+}

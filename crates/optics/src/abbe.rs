@@ -1,0 +1,163 @@
+//! Abbe (source-point summation) imaging — an independent reference for the
+//! Hopkins/TCC/SOCS path.
+//!
+//! The Abbe formulation computes the aerial image by summing, over every
+//! source point `s`, the coherent image formed by the shifted pupil
+//! `H(s + f)`:
+//!
+//! ```text
+//! I = (1/Σ w) Σ_s w_s · | F⁻¹( H(s + f) ⊙ F(M) ) |²
+//! ```
+//!
+//! Mathematically this equals the Hopkins/TCC result when the TCC is built
+//! from the same discretized source, which makes it a strong cross-check: the
+//! two paths share no code beyond the FFT.
+
+use litho_fft::{centered_spectrum, ifft2, ifftshift};
+use litho_math::util::{center_crop, center_pad};
+use litho_math::{ComplexMatrix, RealMatrix};
+
+use crate::config::{KernelDims, OpticalConfig};
+use crate::pupil::Pupil;
+use crate::source::SourceGrid;
+use crate::tcc::{bin_scale, grid_offset};
+
+/// Computes the aerial image of `mask` by direct Abbe source-point summation
+/// on the kernel frequency grid `dims`, at `out_rows × out_cols` output
+/// resolution.
+///
+/// Results are normalized to clear-field intensity 1, the same convention as
+/// [`crate::SocsKernels::aerial_image_at`].
+///
+/// # Panics
+///
+/// Panics if the mask is smaller than the kernel grid or the output is
+/// smaller than the kernel grid.
+pub fn abbe_aerial_image(
+    mask: &RealMatrix,
+    config: &OpticalConfig,
+    dims: KernelDims,
+    source_grid: &SourceGrid,
+    out_rows: usize,
+    out_cols: usize,
+) -> RealMatrix {
+    let pupil = Pupil::new(config);
+    let scale = bin_scale(config);
+    let spectrum = centered_spectrum(mask);
+    let cropped = center_crop(&spectrum, dims.rows, dims.cols);
+
+    let mut intensity = RealMatrix::zeros(out_rows, out_cols);
+    let mut clear_field = 0.0;
+    let total_weight = source_grid.total_weight();
+
+    for (&(sx, sy), &w) in source_grid.points.iter().zip(source_grid.weights.iter()) {
+        // Shifted pupil sampled on the kernel grid.
+        let shifted_pupil = ComplexMatrix::from_fn(dims.rows, dims.cols, |i, j| {
+            let (fy, fx) = grid_offset(i * dims.cols + j, dims, scale);
+            pupil.transmission(sx + fx, sy + fy)
+        });
+        let product = shifted_pupil.hadamard(&cropped);
+        let padded = center_pad(&product, out_rows, out_cols);
+        let field = ifft2(&ifftshift(&padded));
+        intensity = intensity.zip_map(&field.abs_sq(), |acc, v| acc + v * w / total_weight);
+
+        // Clear-field contribution of this source point (DC bin only).
+        let dc = shifted_pupil[(dims.rows / 2, dims.cols / 2)].abs_sq();
+        let ratio = mask.len() as f64 / (out_rows * out_cols) as f64;
+        clear_field += w / total_weight * dc * ratio * ratio;
+    }
+
+    if clear_field > 0.0 {
+        intensity.scale(1.0 / clear_field)
+    } else {
+        intensity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::socs::SocsKernels;
+    use crate::source::SourceShape;
+    use crate::tcc::TccMatrix;
+
+    #[test]
+    fn abbe_matches_full_rank_socs() {
+        // With every eigenvalue retained, Hopkins/SOCS must reproduce the Abbe
+        // image computed from the same discrete source.
+        let config = OpticalConfig::builder()
+            .tile_px(32)
+            .pixel_nm(16.0)
+            .kernel_count(25) // full rank for a 5x5 grid
+            .source(SourceShape::Circular { sigma: 0.6 })
+            .build();
+        let dims = config.kernel_dims_with_side(5);
+        let grid = SourceGrid::sample(&config.source, 9);
+
+        let mask = RealMatrix::from_fn(32, 32, |i, j| {
+            if (10..22).contains(&i) && (6..16).contains(&j) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+
+        let tcc = TccMatrix::assemble(&config, dims, &grid);
+        let socs = SocsKernels::from_tcc(&tcc);
+        let hopkins = socs.aerial_image(&mask);
+        let abbe = abbe_aerial_image(&mask, &config, dims, &grid, 32, 32);
+
+        let mut max_err: f64 = 0.0;
+        for i in 0..32 {
+            for j in 0..32 {
+                max_err = max_err.max((hopkins[(i, j)] - abbe[(i, j)]).abs());
+            }
+        }
+        assert!(max_err < 1e-6, "Hopkins and Abbe disagree by {max_err}");
+    }
+
+    #[test]
+    fn truncated_socs_approximates_abbe() {
+        let config = OpticalConfig::builder()
+            .tile_px(32)
+            .pixel_nm(16.0)
+            .kernel_count(6)
+            .source(SourceShape::Annular {
+                sigma_inner: 0.3,
+                sigma_outer: 0.7,
+            })
+            .build();
+        let dims = config.kernel_dims_with_side(5);
+        let grid = SourceGrid::sample(&config.source, 9);
+        let mask = RealMatrix::from_fn(32, 32, |i, j| if (i / 8 + j / 8) % 2 == 0 { 1.0 } else { 0.0 });
+
+        let tcc = TccMatrix::assemble(&config, dims, &grid);
+        let socs = SocsKernels::from_tcc(&tcc);
+        let hopkins = socs.aerial_image(&mask);
+        let abbe = abbe_aerial_image(&mask, &config, dims, &grid, 32, 32);
+
+        let rms: f64 = (hopkins
+            .zip_map(&abbe, |a, b| (a - b) * (a - b))
+            .mean())
+        .sqrt();
+        // Six kernels capture most of the energy; errors stay small but are
+        // not exactly zero.
+        assert!(rms < 0.05, "rms {rms}");
+    }
+
+    #[test]
+    fn abbe_open_frame_is_unit() {
+        let config = OpticalConfig::builder()
+            .tile_px(32)
+            .pixel_nm(16.0)
+            .source(SourceShape::Circular { sigma: 0.5 })
+            .build();
+        let dims = config.kernel_dims_with_side(5);
+        let grid = SourceGrid::sample(&config.source, 7);
+        let mask = RealMatrix::filled(32, 32, 1.0);
+        let aerial = abbe_aerial_image(&mask, &config, dims, &grid, 32, 32);
+        for v in aerial.iter() {
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Optical system configuration and the resolution-limit kernel sizing of the
+//! paper's Eq. (10).
+
+use crate::source::SourceShape;
+
+/// Dimensions of the optical-kernel frequency grid, `K ∈ C^{r × n × m}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelDims {
+    /// Kernel height `n` (number of frequency rows, odd).
+    pub rows: usize,
+    /// Kernel width `m` (number of frequency columns, odd).
+    pub cols: usize,
+    /// Number of retained SOCS kernels `r`.
+    pub count: usize,
+}
+
+impl KernelDims {
+    /// Number of frequency samples per kernel (`n · m`).
+    pub fn grid_points(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// Configuration of the lithographic imaging system.
+///
+/// Defaults follow the paper's experimental setup: ArF immersion lithography
+/// with `λ = 193 nm`, `NA = 1.35`, annular illumination, one pixel per
+/// nanometre, and a constant resist threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpticalConfig {
+    /// Exposure wavelength in nanometres.
+    pub wavelength_nm: f64,
+    /// Numerical aperture of the projection lens.
+    pub numerical_aperture: f64,
+    /// Illumination source shape (in pupil-normalized σ coordinates).
+    pub source: SourceShape,
+    /// Defocus in nanometres (0 = best focus).
+    pub defocus_nm: f64,
+    /// Tile edge length in pixels (tiles are square).
+    pub tile_px: usize,
+    /// Physical size of one pixel in nanometres.
+    pub pixel_nm: f64,
+    /// Number of SOCS kernels to retain (`r` in the paper, `r < 60`).
+    pub kernel_count: usize,
+    /// Constant resist development threshold relative to the clear-field
+    /// intensity (the paper's `I_thres`).
+    pub resist_threshold: f64,
+}
+
+impl Default for OpticalConfig {
+    fn default() -> Self {
+        Self {
+            wavelength_nm: 193.0,
+            numerical_aperture: 1.35,
+            source: SourceShape::Annular {
+                sigma_inner: 0.5,
+                sigma_outer: 0.9,
+            },
+            defocus_nm: 0.0,
+            tile_px: 512,
+            pixel_nm: 1.0,
+            kernel_count: 12,
+            resist_threshold: 0.225,
+        }
+    }
+}
+
+impl OpticalConfig {
+    /// Starts building a configuration from the defaults.
+    pub fn builder() -> OpticalConfigBuilder {
+        OpticalConfigBuilder::default()
+    }
+
+    /// Theoretical resolution element `R = 0.5·λ/NA` in nanometres (Mack's
+    /// resolution limit, used to motivate Eq. (10)).
+    pub fn resolution_nm(&self) -> f64 {
+        0.5 * self.wavelength_nm / self.numerical_aperture
+    }
+
+    /// Physical tile edge length in nanometres.
+    pub fn tile_nm(&self) -> f64 {
+        self.tile_px as f64 * self.pixel_nm
+    }
+
+    /// Tile area in µm², the unit the paper uses for throughput (Fig. 5).
+    pub fn tile_area_um2(&self) -> f64 {
+        let edge_um = self.tile_nm() / 1000.0;
+        edge_um * edge_um
+    }
+
+    /// Highest mask-spectrum frequency (in FFT bins from DC) that can pass the
+    /// partially coherent system: `(1 + σ_max)·NA/λ · W`, capped at the
+    /// Nyquist bin.
+    pub fn cutoff_bins(&self) -> usize {
+        let sigma = self.source.sigma_outer();
+        let bins =
+            ((1.0 + sigma) * self.numerical_aperture / self.wavelength_nm * self.tile_nm()).ceil() as usize;
+        bins.min(self.tile_px / 2)
+    }
+
+    /// Optical-kernel dimensions per the paper's Eq. (10):
+    /// `m = (W·2·NA/λ)·2 + 1`, and the configured kernel count `r`.
+    ///
+    /// The result is clamped to the tile size (a kernel can never need more
+    /// frequency samples than the mask spectrum has).
+    pub fn kernel_dims(&self) -> KernelDims {
+        let side = kernel_side(self.tile_nm(), self.wavelength_nm, self.numerical_aperture)
+            .min(self.tile_px | 1);
+        KernelDims {
+            rows: side,
+            cols: side,
+            count: self.kernel_count,
+        }
+    }
+
+    /// Kernel dimensions for an explicitly chosen side length (used by the
+    /// kernel-size ablation of Fig. 6(b)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is even or zero.
+    pub fn kernel_dims_with_side(&self, side: usize) -> KernelDims {
+        assert!(side % 2 == 1, "kernel side must be odd");
+        KernelDims {
+            rows: side,
+            cols: side,
+            count: self.kernel_count,
+        }
+    }
+}
+
+/// The paper's Eq. (10) for one axis: `m = (W·2·NA/λ)·2 + 1` with `W` in
+/// nanometres; always returns an odd number ≥ 3.
+pub fn kernel_side(extent_nm: f64, wavelength_nm: f64, numerical_aperture: f64) -> usize {
+    let half = (extent_nm * 2.0 * numerical_aperture / wavelength_nm).floor() as usize;
+    (2 * half + 1).max(3)
+}
+
+/// Builder for [`OpticalConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct OpticalConfigBuilder {
+    config: OpticalConfig,
+}
+
+impl OpticalConfigBuilder {
+    /// Sets the exposure wavelength in nanometres.
+    pub fn wavelength_nm(mut self, value: f64) -> Self {
+        self.config.wavelength_nm = value;
+        self
+    }
+
+    /// Sets the numerical aperture.
+    pub fn numerical_aperture(mut self, value: f64) -> Self {
+        self.config.numerical_aperture = value;
+        self
+    }
+
+    /// Sets the illumination source shape.
+    pub fn source(mut self, value: SourceShape) -> Self {
+        self.config.source = value;
+        self
+    }
+
+    /// Sets the defocus in nanometres.
+    pub fn defocus_nm(mut self, value: f64) -> Self {
+        self.config.defocus_nm = value;
+        self
+    }
+
+    /// Sets the square tile edge length in pixels.
+    pub fn tile_px(mut self, value: usize) -> Self {
+        self.config.tile_px = value;
+        self
+    }
+
+    /// Sets the physical pixel pitch in nanometres.
+    pub fn pixel_nm(mut self, value: f64) -> Self {
+        self.config.pixel_nm = value;
+        self
+    }
+
+    /// Sets the number of retained SOCS kernels.
+    pub fn kernel_count(mut self, value: usize) -> Self {
+        self.config.kernel_count = value;
+        self
+    }
+
+    /// Sets the resist threshold (relative to clear-field intensity).
+    pub fn resist_threshold(mut self, value: f64) -> Self {
+        self.config.resist_threshold = value;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is non-physical (non-positive wavelength, NA, tile
+    /// size, pixel size or kernel count, or a resist threshold outside (0, 1)).
+    pub fn build(self) -> OpticalConfig {
+        let c = &self.config;
+        assert!(c.wavelength_nm > 0.0, "wavelength must be positive");
+        assert!(c.numerical_aperture > 0.0, "numerical aperture must be positive");
+        assert!(c.tile_px >= 8, "tile must be at least 8 pixels");
+        assert!(c.pixel_nm > 0.0, "pixel pitch must be positive");
+        assert!(c.kernel_count > 0, "kernel count must be positive");
+        assert!(
+            c.resist_threshold > 0.0 && c.resist_threshold < 1.0,
+            "resist threshold must lie in (0, 1)"
+        );
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let c = OpticalConfig::default();
+        assert_eq!(c.wavelength_nm, 193.0);
+        assert_eq!(c.numerical_aperture, 1.35);
+        assert!((c.resolution_nm() - 71.48).abs() < 0.01);
+    }
+
+    #[test]
+    fn kernel_side_matches_paper_formula() {
+        // Paper: for λ=193, NA=1.35, m ≈ 0.028·W. For W = 2000 nm this gives
+        // m ≈ 57.
+        let side = kernel_side(2000.0, 193.0, 1.35);
+        assert_eq!(side, 2 * 27 + 1);
+        assert!((side as f64 - 0.028 * 2000.0).abs() < 3.0);
+        // Minimum size is clamped.
+        assert_eq!(kernel_side(10.0, 193.0, 1.35), 3);
+    }
+
+    #[test]
+    fn kernel_dims_clamped_to_tile() {
+        let c = OpticalConfig::builder().tile_px(8).build();
+        let dims = c.kernel_dims();
+        assert!(dims.rows <= 9);
+        assert_eq!(dims.rows % 2, 1);
+        assert_eq!(dims.count, c.kernel_count);
+        assert_eq!(dims.grid_points(), dims.rows * dims.cols);
+    }
+
+    #[test]
+    fn kernel_dims_with_side_override() {
+        let c = OpticalConfig::default();
+        let dims = c.kernel_dims_with_side(21);
+        assert_eq!(dims.rows, 21);
+        assert_eq!(dims.cols, 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn kernel_dims_with_even_side_panics() {
+        let _ = OpticalConfig::default().kernel_dims_with_side(10);
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let c = OpticalConfig::builder()
+            .wavelength_nm(248.0)
+            .numerical_aperture(0.93)
+            .source(SourceShape::Circular { sigma: 0.7 })
+            .defocus_nm(40.0)
+            .tile_px(128)
+            .pixel_nm(2.0)
+            .kernel_count(8)
+            .resist_threshold(0.3)
+            .build();
+        assert_eq!(c.wavelength_nm, 248.0);
+        assert_eq!(c.tile_nm(), 256.0);
+        assert!((c.tile_area_um2() - 0.065536).abs() < 1e-9);
+        assert_eq!(c.kernel_count, 8);
+        assert_eq!(c.defocus_nm, 40.0);
+    }
+
+    #[test]
+    fn cutoff_bins_bounded_by_nyquist() {
+        let c = OpticalConfig::builder().tile_px(64).build();
+        assert!(c.cutoff_bins() <= 32);
+        let big = OpticalConfig::builder().tile_px(2048).build();
+        // (1 + 0.9)·1.35/193·2048 ≈ 27 bins.
+        assert!((big.cutoff_bins() as i64 - 27).abs() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "resist threshold")]
+    fn invalid_threshold_panics() {
+        let _ = OpticalConfig::builder().resist_threshold(1.5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "tile must be")]
+    fn tiny_tile_panics() {
+        let _ = OpticalConfig::builder().tile_px(4).build();
+    }
+}

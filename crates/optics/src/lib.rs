@@ -1,0 +1,58 @@
+//! Hopkins partially-coherent imaging model for optical lithography.
+//!
+//! This crate is the "golden engine" of the workspace: it plays the role the
+//! ICCAD-2013 lithosim binary and Mentor Calibre play in the paper, producing
+//! ground-truth aerial and resist images from mask tiles, and it also provides
+//! the physical quantities Nitho is built around:
+//!
+//! * [`OpticalConfig`] — wavelength, numerical aperture, partial coherence,
+//!   tile geometry and the resolution-limit kernel dimensions of Eq. (10).
+//! * [`source`] — illumination source maps (circular, annular, dipole,
+//!   quasar) sampled on the pupil-normalized frequency grid.
+//! * [`pupil`] — projector transfer function with optional defocus.
+//! * [`tcc`] — transmission cross-coefficient assembly, Eq. (2).
+//! * [`socs`] — Sum-of-Coherent-Systems decomposition (Eq. (3)) and aerial
+//!   image synthesis (Eq. (4)).
+//! * [`abbe`] — direct Abbe source-point summation, used as an independent
+//!   cross-check of the TCC/SOCS path.
+//! * [`resist`] — constant-threshold resist development model.
+//! * [`HopkinsSimulator`] — the end-to-end mask → aerial → resist pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use litho_optics::{HopkinsSimulator, OpticalConfig};
+//! use litho_math::RealMatrix;
+//!
+//! let config = OpticalConfig::builder()
+//!     .tile_px(64)
+//!     .kernel_count(6)
+//!     .build();
+//! let simulator = HopkinsSimulator::new(&config);
+//! // A 64x64 mask with a single rectangle.
+//! let mask = RealMatrix::from_fn(64, 64, |i, j| {
+//!     if (24..40).contains(&i) && (20..44).contains(&j) { 1.0 } else { 0.0 }
+//! });
+//! let aerial = simulator.aerial_image(&mask);
+//! assert_eq!(aerial.shape(), (64, 64));
+//! let resist = simulator.resist_image(&aerial);
+//! assert_eq!(resist.shape(), (64, 64));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod abbe;
+pub mod config;
+pub mod pupil;
+pub mod resist;
+pub mod simulator;
+pub mod socs;
+pub mod source;
+pub mod tcc;
+
+pub use config::{KernelDims, OpticalConfig, OpticalConfigBuilder};
+pub use resist::ResistModel;
+pub use simulator::HopkinsSimulator;
+pub use socs::SocsKernels;
+pub use source::SourceShape;
+pub use tcc::TccMatrix;

@@ -1,0 +1,122 @@
+//! Projector pupil (transfer) function.
+//!
+//! The pupil `H(f, g)` of the Hopkins model is an ideal circular low-pass
+//! filter of radius `NA/λ`, optionally carrying a defocus phase. Coordinates
+//! are pupil-normalized: `ρ = 1` corresponds to `NA/λ`.
+
+use litho_math::Complex64;
+
+use crate::config::OpticalConfig;
+
+/// The projection-lens transfer function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pupil {
+    wavelength_nm: f64,
+    numerical_aperture: f64,
+    defocus_nm: f64,
+}
+
+impl Pupil {
+    /// Builds the pupil described by an [`OpticalConfig`].
+    pub fn new(config: &OpticalConfig) -> Self {
+        Self {
+            wavelength_nm: config.wavelength_nm,
+            numerical_aperture: config.numerical_aperture,
+            defocus_nm: config.defocus_nm,
+        }
+    }
+
+    /// Builds an ideal in-focus pupil directly from `λ` and `NA`.
+    pub fn ideal(wavelength_nm: f64, numerical_aperture: f64) -> Self {
+        Self {
+            wavelength_nm,
+            numerical_aperture,
+            defocus_nm: 0.0,
+        }
+    }
+
+    /// Complex transmission at pupil-normalized coordinates `(fx, fy)`.
+    ///
+    /// Returns zero outside the unit circle. Inside, a paraxial defocus phase
+    /// `exp(iπ·Δz·NA²·ρ²/λ)` is applied when the configuration has a non-zero
+    /// defocus.
+    pub fn transmission(&self, fx: f64, fy: f64) -> Complex64 {
+        let rho_sq = fx * fx + fy * fy;
+        if rho_sq > 1.0 + 1e-12 {
+            return Complex64::ZERO;
+        }
+        if self.defocus_nm == 0.0 {
+            return Complex64::ONE;
+        }
+        let phase = std::f64::consts::PI
+            * self.defocus_nm
+            * self.numerical_aperture
+            * self.numerical_aperture
+            * rho_sq
+            / self.wavelength_nm;
+        Complex64::cis(phase)
+    }
+
+    /// Pupil cutoff frequency `NA/λ` in cycles per nanometre.
+    pub fn cutoff_frequency(&self) -> f64 {
+        self.numerical_aperture / self.wavelength_nm
+    }
+
+    /// Defocus of this pupil in nanometres.
+    pub fn defocus_nm(&self) -> f64 {
+        self.defocus_nm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceShape;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ideal_pupil_is_a_disk() {
+        let p = Pupil::ideal(193.0, 1.35);
+        assert_eq!(p.transmission(0.0, 0.0), Complex64::ONE);
+        assert_eq!(p.transmission(0.99, 0.0), Complex64::ONE);
+        assert_eq!(p.transmission(1.2, 0.0), Complex64::ZERO);
+        assert_eq!(p.transmission(0.8, 0.8), Complex64::ZERO);
+        assert!((p.cutoff_frequency() - 1.35 / 193.0).abs() < 1e-12);
+        assert_eq!(p.defocus_nm(), 0.0);
+    }
+
+    #[test]
+    fn defocus_adds_phase_not_amplitude() {
+        let config = OpticalConfig::builder().defocus_nm(50.0).build();
+        let p = Pupil::new(&config);
+        let t = p.transmission(0.5, 0.5);
+        assert!((t.abs() - 1.0).abs() < 1e-12, "defocus must not attenuate");
+        assert!(t.im.abs() > 1e-6, "defocus must introduce a phase");
+        // No phase at the pupil center.
+        assert_eq!(p.transmission(0.0, 0.0), Complex64::ONE);
+    }
+
+    #[test]
+    fn pupil_from_config_matches_ideal_when_in_focus() {
+        let config = OpticalConfig::builder()
+            .wavelength_nm(248.0)
+            .numerical_aperture(0.85)
+            .source(SourceShape::Circular { sigma: 0.5 })
+            .build();
+        let a = Pupil::new(&config);
+        let b = Pupil::ideal(248.0, 0.85);
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transmission_magnitude_bounded(fx in -2.0..2.0f64, fy in -2.0..2.0f64, defocus in 0.0..100.0f64) {
+            let config = OpticalConfig::builder().defocus_nm(defocus).build();
+            let p = Pupil::new(&config);
+            let t = p.transmission(fx, fy);
+            prop_assert!(t.abs() <= 1.0 + 1e-12);
+            // Radially symmetric.
+            prop_assert!((t.abs() - p.transmission(fy, fx).abs()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Constant-threshold resist development model.
+//!
+//! The paper obtains the binary resist image `Z` by applying an exposure-dose
+//! dependent intensity threshold to the aerial image: `Z = H(I − I_thres)`.
+//! A light Gaussian acid-diffusion blur can be enabled to mimic chemically
+//! amplified resists; it defaults to off, matching the paper's constant
+//! threshold model.
+
+use litho_fft::{fft2_real, ifft2};
+use litho_math::{Complex64, ComplexMatrix, RealMatrix};
+
+/// A thresholded (optionally diffused) resist model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResistModel {
+    threshold: f64,
+    diffusion_sigma_px: f64,
+}
+
+impl ResistModel {
+    /// Creates a constant-threshold model (no diffusion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not in `(0, 1)`.
+    pub fn new(threshold: f64) -> Self {
+        Self::with_diffusion(threshold, 0.0)
+    }
+
+    /// Creates a model with Gaussian acid diffusion of the aerial image before
+    /// thresholding (`sigma` in pixels, 0 disables diffusion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not in `(0, 1)` or `sigma` is negative.
+    pub fn with_diffusion(threshold: f64, diffusion_sigma_px: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold < 1.0,
+            "resist threshold must lie in (0, 1)"
+        );
+        assert!(diffusion_sigma_px >= 0.0, "diffusion sigma must be non-negative");
+        Self {
+            threshold,
+            diffusion_sigma_px,
+        }
+    }
+
+    /// The development threshold relative to clear-field intensity.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Develops an aerial image into a binary resist image (1 = resist
+    /// printed/exposed region, 0 = unexposed).
+    pub fn develop(&self, aerial: &RealMatrix) -> RealMatrix {
+        let blurred;
+        let image = if self.diffusion_sigma_px > 0.0 {
+            blurred = gaussian_blur(aerial, self.diffusion_sigma_px);
+            &blurred
+        } else {
+            aerial
+        };
+        image.threshold(self.threshold)
+    }
+}
+
+/// Periodic Gaussian blur implemented in the frequency domain.
+///
+/// # Panics
+///
+/// Panics if `sigma_px` is not positive.
+pub fn gaussian_blur(image: &RealMatrix, sigma_px: f64) -> RealMatrix {
+    assert!(sigma_px > 0.0, "sigma must be positive");
+    let (rows, cols) = image.shape();
+    let spectrum = fft2_real(image);
+    let filtered = ComplexMatrix::from_fn(rows, cols, |i, j| {
+        // Signed frequency indices.
+        let fi = if i <= rows / 2 { i as f64 } else { i as f64 - rows as f64 } / rows as f64;
+        let fj = if j <= cols / 2 { j as f64 } else { j as f64 - cols as f64 } / cols as f64;
+        let attenuation =
+            (-2.0 * std::f64::consts::PI * std::f64::consts::PI * sigma_px * sigma_px * (fi * fi + fj * fj))
+                .exp();
+        spectrum[(i, j)].scale(attenuation)
+    });
+    ifft2(&filtered).map(|z: Complex64| z.re)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn threshold_splits_bright_and_dark() {
+        let model = ResistModel::new(0.3);
+        let aerial = RealMatrix::from_vec(1, 4, vec![0.0, 0.29, 0.31, 0.9]);
+        let resist = model.develop(&aerial);
+        assert_eq!(resist.as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+        assert_eq!(model.threshold(), 0.3);
+    }
+
+    #[test]
+    fn diffusion_smooths_sharp_edges() {
+        let aerial = RealMatrix::from_fn(32, 32, |_, j| if j < 16 { 1.0 } else { 0.0 });
+        let blurred = gaussian_blur(&aerial, 2.0);
+        // The edge column moves toward 0.5 after blurring.
+        assert!(blurred[(16, 16)] > 0.05 && blurred[(16, 16)] < 0.95);
+        // Mean is preserved by a normalized blur.
+        assert!((blurred.mean() - aerial.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diffused_model_still_binary_output() {
+        let model = ResistModel::with_diffusion(0.4, 1.5);
+        let aerial = RealMatrix::from_fn(16, 16, |i, j| ((i + j) % 5) as f64 / 4.0);
+        let resist = model.develop(&aerial);
+        assert!(resist.iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must lie")]
+    fn invalid_threshold_panics() {
+        let _ = ResistModel::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn blur_with_zero_sigma_panics() {
+        let _ = gaussian_blur(&RealMatrix::zeros(4, 4), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_develop_is_monotone_in_threshold(t1 in 0.1..0.45f64, t2 in 0.5..0.9f64) {
+            let aerial = RealMatrix::from_fn(8, 8, |i, j| ((i * 8 + j) as f64) / 63.0);
+            let low = ResistModel::new(t1).develop(&aerial);
+            let high = ResistModel::new(t2).develop(&aerial);
+            // Raising the threshold can only shrink the printed region.
+            prop_assert!(low.sum() >= high.sum());
+        }
+    }
+}

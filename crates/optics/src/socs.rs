@@ -1,0 +1,424 @@
+//! Sum of Coherent Systems (SOCS) decomposition and aerial-image synthesis —
+//! Eqs. (3), (4) and (9) of the paper.
+//!
+//! The Hermitian TCC matrix is decomposed as `T = Σᵢ αᵢ hᵢ hᵢ^H`; each
+//! eigenvector, scaled by `√αᵢ`, becomes one *optical kernel* `Kᵢ` on the
+//! kernel frequency grid, and the aerial image of a mask `M` is
+//!
+//! ```text
+//! I = Σᵢ | F⁻¹( Kᵢ ⊙ F(M) ) |²
+//! ```
+//!
+//! This module is used in two roles: inside [`crate::HopkinsSimulator`] with
+//! physically computed kernels (the golden engine), and by the `nitho` crate
+//! with *predicted* kernels coming out of the complex-valued neural field.
+
+use litho_fft::{centered_spectrum, ifft2, ifftshift};
+use litho_math::util::{center_crop, center_pad};
+use litho_math::{eigen, ComplexMatrix, Matrix, RealMatrix};
+
+use crate::config::KernelDims;
+use crate::tcc::TccMatrix;
+
+/// A bank of SOCS optical kernels on the kernel frequency grid.
+#[derive(Debug, Clone)]
+pub struct SocsKernels {
+    kernels: Vec<ComplexMatrix>,
+    eigenvalues: Vec<f64>,
+    dims: KernelDims,
+}
+
+impl SocsKernels {
+    /// Decomposes a TCC matrix into its leading `dims.count` coherent kernels.
+    ///
+    /// Small grids (≤ 256 points) use the full Jacobi eigensolver; larger
+    /// grids use blocked subspace iteration, which is accurate because TCC
+    /// eigenvalues decay quickly.
+    pub fn from_tcc(tcc: &TccMatrix) -> Self {
+        let dims = tcc.dims();
+        let n = dims.grid_points();
+        let count = dims.count.min(n);
+        let eig = if n <= 256 {
+            let full = eigen::hermitian_eigen(tcc.matrix());
+            eigen::HermitianEigen {
+                values: full.values[..count].to_vec(),
+                vectors: Matrix::from_fn(n, count, |i, k| full.vectors[(i, k)]),
+            }
+        } else {
+            eigen::hermitian_top_eigen(tcc.matrix(), count, 8, 400, 1e-10, 7)
+        };
+
+        let mut kernels = Vec::with_capacity(count);
+        let mut eigenvalues = Vec::with_capacity(count);
+        for k in 0..count {
+            let lambda = eig.values[k].max(0.0);
+            eigenvalues.push(lambda);
+            let scale = lambda.sqrt();
+            let kernel = ComplexMatrix::from_fn(dims.rows, dims.cols, |i, j| {
+                eig.vectors[(i * dims.cols + j, k)].scale(scale)
+            });
+            kernels.push(kernel);
+        }
+        Self {
+            kernels,
+            eigenvalues,
+            dims,
+        }
+    }
+
+    /// Builds a kernel bank directly from explicit kernels (used with the
+    /// neural-field predictions of the `nitho` crate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty or the kernels do not all share the same
+    /// shape.
+    pub fn from_kernels(kernels: Vec<ComplexMatrix>) -> Self {
+        assert!(!kernels.is_empty(), "kernel bank cannot be empty");
+        let (rows, cols) = kernels[0].shape();
+        assert!(
+            kernels.iter().all(|k| k.shape() == (rows, cols)),
+            "all kernels must share the same shape"
+        );
+        let eigenvalues = kernels.iter().map(|k| k.frobenius_norm().powi(2)).collect();
+        let dims = KernelDims {
+            rows,
+            cols,
+            count: kernels.len(),
+        };
+        Self {
+            kernels,
+            eigenvalues,
+            dims,
+        }
+    }
+
+    /// The kernels, ordered by decreasing eigenvalue.
+    pub fn kernels(&self) -> &[ComplexMatrix] {
+        &self.kernels
+    }
+
+    /// Eigenvalues `αᵢ` associated with each kernel.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Kernel-grid dimensions.
+    pub fn dims(&self) -> KernelDims {
+        self.dims
+    }
+
+    /// Fraction of total TCC energy captured by the retained kernels, given
+    /// the TCC trace (`Σ` of *all* eigenvalues).
+    pub fn captured_energy(&self, tcc_trace: f64) -> f64 {
+        if tcc_trace <= 0.0 {
+            return 0.0;
+        }
+        self.eigenvalues.iter().sum::<f64>() / tcc_trace
+    }
+
+    /// Normalization constant such that an open-frame (all-ones) mask of
+    /// `mask_pixels` total pixels produces unit intensity at `out_rows ×
+    /// out_cols` output resolution.
+    fn clear_field_intensity(&self, mask_pixels: usize, out_rows: usize, out_cols: usize) -> f64 {
+        let dc_row = self.dims.rows / 2;
+        let dc_col = self.dims.cols / 2;
+        let dc_energy: f64 = self.kernels.iter().map(|k| k[(dc_row, dc_col)].abs_sq()).sum();
+        let ratio = mask_pixels as f64 / (out_rows * out_cols) as f64;
+        dc_energy * ratio * ratio
+    }
+
+    /// Computes the aerial image from an already cropped, centered mask
+    /// spectrum (the `m × n` region around DC of `fftshift(fft2(M))`).
+    ///
+    /// `mask_pixels` is the pixel count of the original mask (needed for
+    /// clear-field normalization); the output is `out_rows × out_cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spectrum shape does not match the kernel grid or the
+    /// output is smaller than the kernel grid.
+    pub fn aerial_from_cropped_spectrum(
+        &self,
+        spectrum: &ComplexMatrix,
+        mask_pixels: usize,
+        out_rows: usize,
+        out_cols: usize,
+    ) -> RealMatrix {
+        assert_eq!(
+            spectrum.shape(),
+            (self.dims.rows, self.dims.cols),
+            "spectrum must match the kernel grid"
+        );
+        assert!(
+            out_rows >= self.dims.rows && out_cols >= self.dims.cols,
+            "output resolution must be at least the kernel grid"
+        );
+        let mut intensity = RealMatrix::zeros(out_rows, out_cols);
+        for kernel in &self.kernels {
+            let product = kernel.hadamard(spectrum);
+            let padded = center_pad(&product, out_rows, out_cols);
+            let field = ifft2(&ifftshift(&padded));
+            intensity = intensity.zip_map(&field.abs_sq(), |acc, v| acc + v);
+        }
+        let norm = self.clear_field_intensity(mask_pixels, out_rows, out_cols);
+        if norm > 0.0 {
+            intensity.scale(1.0 / norm)
+        } else {
+            intensity
+        }
+    }
+
+    /// Computes the aerial image of a full-resolution binary mask at the
+    /// requested output resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask is smaller than the kernel grid or the requested
+    /// output is smaller than the kernel grid.
+    pub fn aerial_image_at(&self, mask: &RealMatrix, out_rows: usize, out_cols: usize) -> RealMatrix {
+        let spectrum = centered_spectrum(mask);
+        let cropped = center_crop(&spectrum, self.dims.rows, self.dims.cols);
+        self.aerial_from_cropped_spectrum(&cropped, mask.len(), out_rows, out_cols)
+    }
+
+    /// Computes the aerial image at the mask's own resolution.
+    pub fn aerial_image(&self, mask: &RealMatrix) -> RealMatrix {
+        self.aerial_image_at(mask, mask.rows(), mask.cols())
+    }
+
+    /// Crops the centered spectrum of a mask to the kernel grid — the
+    /// non-parametric "mask operation" shared by the simulator and Nitho
+    /// (Algorithm 1, lines 6–7).
+    pub fn cropped_mask_spectrum(&self, mask: &RealMatrix) -> ComplexMatrix {
+        let spectrum = centered_spectrum(mask);
+        center_crop(&spectrum, self.dims.rows, self.dims.cols)
+    }
+
+    /// Total number of complex coefficients stored by the kernel bank.
+    pub fn coefficient_count(&self) -> usize {
+        self.kernels.len() * self.dims.grid_points()
+    }
+
+    /// Returns a bank truncated to the leading `count` kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds the stored kernel count.
+    pub fn truncated(&self, count: usize) -> Self {
+        assert!(count > 0 && count <= self.kernels.len(), "invalid truncation count");
+        Self {
+            kernels: self.kernels[..count].to_vec(),
+            eigenvalues: self.eigenvalues[..count].to_vec(),
+            dims: KernelDims {
+                count,
+                ..self.dims
+            },
+        }
+    }
+}
+
+/// Band-limits a real image to `rows × cols` by cropping its centered spectrum
+/// and transforming back (exact for band-limited inputs such as aerial
+/// images). Used to compare images computed at different resolutions.
+///
+/// # Panics
+///
+/// Panics if the target is larger than the input.
+pub fn band_limited_resample(image: &RealMatrix, rows: usize, cols: usize) -> RealMatrix {
+    assert!(
+        rows <= image.rows() && cols <= image.cols(),
+        "band_limited_resample only downsamples"
+    );
+    let spectrum = centered_spectrum(image);
+    let cropped = center_crop(&spectrum, rows, cols);
+    let scale = (rows * cols) as f64 / (image.rows() * image.cols()) as f64;
+    let field = ifft2(&ifftshift(&cropped));
+    field.map(|z| z.re * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OpticalConfig;
+    use crate::source::{SourceGrid, SourceShape};
+    use litho_math::Complex64 as C;
+
+    fn test_config() -> OpticalConfig {
+        OpticalConfig::builder()
+            .tile_px(64)
+            .pixel_nm(8.0)
+            .kernel_count(8)
+            .source(SourceShape::Annular {
+                sigma_inner: 0.4,
+                sigma_outer: 0.8,
+            })
+            .build()
+    }
+
+    fn build_socs(config: &OpticalConfig, side: usize) -> (TccMatrix, SocsKernels) {
+        let dims = config.kernel_dims_with_side(side);
+        let grid = SourceGrid::sample(&config.source, 13);
+        let tcc = TccMatrix::assemble(config, dims, &grid);
+        let socs = SocsKernels::from_tcc(&tcc);
+        (tcc, socs)
+    }
+
+    fn test_mask(n: usize) -> RealMatrix {
+        RealMatrix::from_fn(n, n, |i, j| {
+            let in_line = (n / 4..n / 2).contains(&i);
+            let in_space = (n / 8..7 * n / 8).contains(&j);
+            if in_line && in_space {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn eigenvalues_sorted_and_nonnegative() {
+        let config = test_config();
+        let (_, socs) = build_socs(&config, 7);
+        let values = socs.eigenvalues();
+        assert_eq!(values.len(), 8);
+        for w in values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(values.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn captured_energy_grows_with_kernel_count() {
+        let config = test_config();
+        let (tcc, socs) = build_socs(&config, 7);
+        let few = socs.truncated(2).captured_energy(tcc.trace());
+        let many = socs.captured_energy(tcc.trace());
+        assert!(many > few);
+        assert!(many <= 1.0 + 1e-9);
+        assert!(few > 0.0);
+    }
+
+    #[test]
+    fn open_frame_mask_gives_unit_intensity() {
+        let config = test_config();
+        let (_, socs) = build_socs(&config, 7);
+        let mask = RealMatrix::filled(64, 64, 1.0);
+        let aerial = socs.aerial_image(&mask);
+        for v in aerial.iter() {
+            assert!((v - 1.0).abs() < 1e-9, "open frame intensity {v}");
+        }
+    }
+
+    #[test]
+    fn dark_mask_gives_zero_intensity() {
+        let config = test_config();
+        let (_, socs) = build_socs(&config, 7);
+        let mask = RealMatrix::zeros(64, 64);
+        let aerial = socs.aerial_image(&mask);
+        assert!(aerial.max() < 1e-12);
+    }
+
+    #[test]
+    fn aerial_intensity_is_nonnegative_and_bounded() {
+        let config = test_config();
+        let (_, socs) = build_socs(&config, 9);
+        let aerial = socs.aerial_image(&test_mask(64));
+        assert!(aerial.min() >= 0.0);
+        // Diffraction ringing can overshoot slightly but stays near 1.
+        assert!(aerial.max() < 1.6);
+        // A mask with ~37% open area must land well below clear field on
+        // average but clearly above zero.
+        let mean = aerial.mean();
+        assert!(mean > 0.05 && mean < 0.9, "mean intensity {mean}");
+    }
+
+    #[test]
+    fn line_pattern_prints_brighter_inside_than_outside() {
+        let config = test_config();
+        let (_, socs) = build_socs(&config, 9);
+        let mask = test_mask(64);
+        let aerial = socs.aerial_image(&mask);
+        // Compare intensity at the line center against a point far outside.
+        let inside = aerial[(64 * 3 / 8, 32)];
+        let outside = aerial[(60, 32)];
+        assert!(inside > 3.0 * outside, "inside {inside} outside {outside}");
+    }
+
+    #[test]
+    fn aerial_resolution_independence() {
+        // Computing at full resolution then band-limited downsampling must
+        // match computing directly at the lower resolution.
+        let config = test_config();
+        let (_, socs) = build_socs(&config, 7);
+        let mask = test_mask(64);
+        let full = socs.aerial_image_at(&mask, 64, 64);
+        let low = socs.aerial_image_at(&mask, 32, 32);
+        let resampled = band_limited_resample(&full, 32, 32);
+        let mut max_err: f64 = 0.0;
+        for i in 0..32 {
+            for j in 0..32 {
+                max_err = max_err.max((low[(i, j)] - resampled[(i, j)]).abs());
+            }
+        }
+        assert!(max_err < 1e-6, "max error {max_err}");
+    }
+
+    #[test]
+    fn from_kernels_roundtrip() {
+        let k0 = ComplexMatrix::filled(3, 3, C::new(0.5, 0.0));
+        let k1 = ComplexMatrix::filled(3, 3, C::new(0.0, 0.25));
+        let bank = SocsKernels::from_kernels(vec![k0.clone(), k1]);
+        assert_eq!(bank.dims().count, 2);
+        assert_eq!(bank.dims().rows, 3);
+        assert_eq!(bank.coefficient_count(), 18);
+        assert_eq!(bank.kernels()[0], k0);
+        assert!(bank.eigenvalues()[0] > bank.eigenvalues()[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_kernel_bank_panics() {
+        let _ = SocsKernels::from_kernels(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same shape")]
+    fn mismatched_kernel_shapes_panic() {
+        let _ = SocsKernels::from_kernels(vec![ComplexMatrix::zeros(3, 3), ComplexMatrix::zeros(5, 5)]);
+    }
+
+    #[test]
+    fn truncation_keeps_leading_kernels() {
+        let config = test_config();
+        let (_, socs) = build_socs(&config, 7);
+        let truncated = socs.truncated(3);
+        assert_eq!(truncated.kernels().len(), 3);
+        assert_eq!(truncated.eigenvalues(), &socs.eigenvalues()[..3]);
+        assert_eq!(truncated.dims().rows, socs.dims().rows);
+    }
+
+    #[test]
+    fn more_kernels_better_aerial_approximation() {
+        // The truncation error of SOCS decreases monotonically-ish with r; we
+        // check the coarse version differs more from the rank-full reference.
+        let config = OpticalConfig::builder()
+            .tile_px(64)
+            .pixel_nm(8.0)
+            .kernel_count(25)
+            .source(SourceShape::Annular {
+                sigma_inner: 0.4,
+                sigma_outer: 0.8,
+            })
+            .build();
+        let (_, socs) = build_socs(&config, 5);
+        let mask = test_mask(64);
+        let reference = socs.aerial_image(&mask);
+        let coarse = socs.truncated(2).aerial_image(&mask);
+        let medium = socs.truncated(10).aerial_image(&mask);
+        let err = |a: &RealMatrix| {
+            a.zip_map(&reference, |x, y| (x - y) * (x - y)).mean().sqrt()
+        };
+        assert!(err(&coarse) > err(&medium));
+    }
+}

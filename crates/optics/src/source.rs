@@ -1,0 +1,274 @@
+//! Illumination source models.
+//!
+//! The effective source `J(f, g)` of the Hopkins model (Eq. (2)) depends only
+//! on the illuminator. Shapes are described in pupil-normalized σ coordinates
+//! (σ = 1 corresponds to the pupil edge `NA/λ`), which is how scanner
+//! illumination settings are specified in practice.
+
+use litho_math::RealMatrix;
+
+/// Supported illuminator geometries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SourceShape {
+    /// Conventional circular (disk) illumination of radius `sigma`.
+    Circular {
+        /// Outer radius in σ units.
+        sigma: f64,
+    },
+    /// Annular illumination between two radii.
+    Annular {
+        /// Inner radius in σ units.
+        sigma_inner: f64,
+        /// Outer radius in σ units.
+        sigma_outer: f64,
+    },
+    /// Two-pole (dipole) illumination along the x axis.
+    Dipole {
+        /// Pole center distance from the axis in σ units.
+        center: f64,
+        /// Pole radius in σ units.
+        radius: f64,
+    },
+    /// Four-pole (quasar) illumination on the diagonals.
+    Quasar {
+        /// Pole center distance from the axis in σ units.
+        center: f64,
+        /// Pole radius in σ units.
+        radius: f64,
+    },
+}
+
+impl SourceShape {
+    /// Largest σ extent of the source; defines the TCC band limit
+    /// `(1 + σ_outer)·NA/λ`.
+    pub fn sigma_outer(&self) -> f64 {
+        match *self {
+            SourceShape::Circular { sigma } => sigma,
+            SourceShape::Annular { sigma_outer, .. } => sigma_outer,
+            SourceShape::Dipole { center, radius } | SourceShape::Quasar { center, radius } => {
+                center + radius
+            }
+        }
+    }
+
+    /// Source intensity at the pupil-normalized point `(sx, sy)`; 1 inside the
+    /// illuminated region, 0 outside.
+    pub fn intensity(&self, sx: f64, sy: f64) -> f64 {
+        let radius = (sx * sx + sy * sy).sqrt();
+        match *self {
+            SourceShape::Circular { sigma } => {
+                if radius <= sigma {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            SourceShape::Annular {
+                sigma_inner,
+                sigma_outer,
+            } => {
+                if radius >= sigma_inner && radius <= sigma_outer {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            SourceShape::Dipole { center, radius } => {
+                let left = ((sx + center).powi(2) + sy * sy).sqrt();
+                let right = ((sx - center).powi(2) + sy * sy).sqrt();
+                if left <= radius || right <= radius {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            SourceShape::Quasar { center, radius } => {
+                let diag = center / std::f64::consts::SQRT_2;
+                let poles = [(diag, diag), (-diag, diag), (diag, -diag), (-diag, -diag)];
+                if poles
+                    .iter()
+                    .any(|&(px, py)| ((sx - px).powi(2) + (sy - py).powi(2)).sqrt() <= radius)
+                {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// A discretized source: a list of illuminated points on the pupil-normalized
+/// grid, each with a weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceGrid {
+    /// Pupil-normalized coordinates of the illuminated points.
+    pub points: Vec<(f64, f64)>,
+    /// Weight of each point (currently uniform but kept explicit for
+    /// apodized sources).
+    pub weights: Vec<f64>,
+}
+
+impl SourceGrid {
+    /// Samples `shape` on a uniform grid of `samples_per_axis` points covering
+    /// `[-σ_outer, σ_outer]²`, keeping only illuminated points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples_per_axis < 2` or the shape illuminates no grid
+    /// point.
+    pub fn sample(shape: &SourceShape, samples_per_axis: usize) -> Self {
+        assert!(samples_per_axis >= 2, "need at least a 2x2 source grid");
+        let sigma = shape.sigma_outer();
+        let coords = litho_math::util::linspace(-sigma, sigma, samples_per_axis);
+        let mut points = Vec::new();
+        let mut weights = Vec::new();
+        for &sy in &coords {
+            for &sx in &coords {
+                let w = shape.intensity(sx, sy);
+                if w > 0.0 {
+                    points.push((sx, sy));
+                    weights.push(w);
+                }
+            }
+        }
+        assert!(
+            !points.is_empty(),
+            "source shape illuminates no grid point at this sampling density"
+        );
+        Self { points, weights }
+    }
+
+    /// Number of illuminated source points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the grid is empty (never happens for grids built with
+    /// [`SourceGrid::sample`]).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Sum of all point weights (used for normalization).
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Renders the source as an image on an `n × n` grid over
+    /// `[-σ_outer, σ_outer]²` (useful for documentation and debugging).
+    pub fn to_image(shape: &SourceShape, n: usize) -> RealMatrix {
+        let sigma = shape.sigma_outer();
+        let coords = litho_math::util::linspace(-sigma, sigma, n);
+        RealMatrix::from_fn(n, n, |i, j| shape.intensity(coords[j], coords[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn circular_source_contains_origin() {
+        let s = SourceShape::Circular { sigma: 0.6 };
+        assert_eq!(s.intensity(0.0, 0.0), 1.0);
+        assert_eq!(s.intensity(0.59, 0.0), 1.0);
+        assert_eq!(s.intensity(0.7, 0.0), 0.0);
+        assert_eq!(s.sigma_outer(), 0.6);
+    }
+
+    #[test]
+    fn annular_source_excludes_center() {
+        let s = SourceShape::Annular {
+            sigma_inner: 0.5,
+            sigma_outer: 0.9,
+        };
+        assert_eq!(s.intensity(0.0, 0.0), 0.0);
+        assert_eq!(s.intensity(0.7, 0.0), 1.0);
+        assert_eq!(s.intensity(0.95, 0.0), 0.0);
+        assert_eq!(s.sigma_outer(), 0.9);
+    }
+
+    #[test]
+    fn dipole_has_two_poles() {
+        let s = SourceShape::Dipole {
+            center: 0.6,
+            radius: 0.2,
+        };
+        assert_eq!(s.intensity(0.6, 0.0), 1.0);
+        assert_eq!(s.intensity(-0.6, 0.0), 1.0);
+        assert_eq!(s.intensity(0.0, 0.6), 0.0);
+        assert!((s.sigma_outer() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quasar_has_four_poles() {
+        let s = SourceShape::Quasar {
+            center: 0.7,
+            radius: 0.2,
+        };
+        let d = 0.7 / std::f64::consts::SQRT_2;
+        assert_eq!(s.intensity(d, d), 1.0);
+        assert_eq!(s.intensity(-d, d), 1.0);
+        assert_eq!(s.intensity(d, -d), 1.0);
+        assert_eq!(s.intensity(-d, -d), 1.0);
+        assert_eq!(s.intensity(0.7, 0.0), 0.0);
+    }
+
+    #[test]
+    fn sampled_grid_is_consistent_with_shape() {
+        let shape = SourceShape::Annular {
+            sigma_inner: 0.4,
+            sigma_outer: 0.8,
+        };
+        let grid = SourceGrid::sample(&shape, 21);
+        assert!(!grid.is_empty());
+        assert_eq!(grid.len(), grid.weights.len());
+        assert!((grid.total_weight() - grid.len() as f64).abs() < 1e-12);
+        for &(sx, sy) in &grid.points {
+            assert_eq!(shape.intensity(sx, sy), 1.0);
+            let r = (sx * sx + sy * sy).sqrt();
+            assert!(r >= 0.4 - 1e-9 && r <= 0.8 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn denser_sampling_gives_more_points() {
+        let shape = SourceShape::Circular { sigma: 0.9 };
+        let coarse = SourceGrid::sample(&shape, 9);
+        let fine = SourceGrid::sample(&shape, 31);
+        assert!(fine.len() > coarse.len());
+    }
+
+    #[test]
+    fn source_image_matches_shape() {
+        let shape = SourceShape::Circular { sigma: 1.0 };
+        let img = SourceGrid::to_image(&shape, 33);
+        assert_eq!(img.shape(), (33, 33));
+        assert_eq!(img[(16, 16)], 1.0);
+        assert_eq!(img[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a 2x2")]
+    fn too_coarse_sampling_panics() {
+        let _ = SourceGrid::sample(&SourceShape::Circular { sigma: 0.5 }, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intensity_is_binary_and_symmetric(sx in -1.0..1.0f64, sy in -1.0..1.0f64) {
+            for shape in [
+                SourceShape::Circular { sigma: 0.7 },
+                SourceShape::Annular { sigma_inner: 0.4, sigma_outer: 0.9 },
+                SourceShape::Quasar { center: 0.6, radius: 0.25 },
+            ] {
+                let v = shape.intensity(sx, sy);
+                prop_assert!(v == 0.0 || v == 1.0);
+                // These shapes are symmetric under (x, y) → (-x, -y).
+                prop_assert_eq!(v, shape.intensity(-sx, -sy));
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Transmission cross-coefficient (TCC) assembly — Eq. (2) of the paper.
+//!
+//! The TCC captures everything about the imaging system (source + pupil) that
+//! is independent of the mask:
+//!
+//! ```text
+//! T(f', f'') = Σ_s J(s) · H(s + f') · H*(s + f'')
+//! ```
+//!
+//! evaluated on the optical-kernel frequency grid. The result is a Hermitian
+//! positive semi-definite matrix whose eigendecomposition yields the SOCS
+//! kernels (see [`crate::socs`]).
+
+use litho_math::{Complex64, ComplexMatrix};
+
+use crate::config::{KernelDims, OpticalConfig};
+use crate::pupil::Pupil;
+use crate::source::SourceGrid;
+
+/// The discretized TCC matrix on the kernel frequency grid.
+#[derive(Debug, Clone)]
+pub struct TccMatrix {
+    matrix: ComplexMatrix,
+    dims: KernelDims,
+    /// Pupil-normalized frequency step of one mask-spectrum bin.
+    bin_scale: f64,
+}
+
+impl TccMatrix {
+    /// Assembles the TCC for the given optical configuration on the kernel
+    /// grid `dims`, integrating the source over `source_grid`.
+    ///
+    /// The matrix is normalized by the total source weight so that
+    /// `T(0, 0) ≤ 1` with equality for an unapodized source fully inside the
+    /// pupil.
+    pub fn assemble(config: &OpticalConfig, dims: KernelDims, source_grid: &SourceGrid) -> Self {
+        let pupil = Pupil::new(config);
+        let bin_scale = bin_scale(config);
+        let n = dims.grid_points();
+
+        // Pre-compute the kernel-grid frequency offsets in pupil coordinates.
+        let offsets: Vec<(f64, f64)> = (0..n)
+            .map(|idx| {
+                let (fy, fx) = grid_offset(idx, dims, bin_scale);
+                (fx, fy)
+            })
+            .collect();
+
+        // Pre-compute H(s + f) for every source point and grid offset.
+        let mut pupil_samples = vec![Complex64::ZERO; source_grid.len() * n];
+        for (s_idx, &(sx, sy)) in source_grid.points.iter().enumerate() {
+            for (o_idx, &(fx, fy)) in offsets.iter().enumerate() {
+                pupil_samples[s_idx * n + o_idx] = pupil.transmission(sx + fx, sy + fy);
+            }
+        }
+
+        let total_weight = source_grid.total_weight();
+        let mut matrix = ComplexMatrix::zeros(n, n);
+        for (s_idx, &w) in source_grid.weights.iter().enumerate() {
+            let row = &pupil_samples[s_idx * n..(s_idx + 1) * n];
+            for i in 0..n {
+                let hi = row[i];
+                if hi == Complex64::ZERO {
+                    continue;
+                }
+                let hi_w = hi.scale(w / total_weight);
+                for j in 0..n {
+                    let hj = row[j];
+                    if hj == Complex64::ZERO {
+                        continue;
+                    }
+                    matrix[(i, j)] += hi_w * hj.conj();
+                }
+            }
+        }
+
+        Self {
+            matrix,
+            dims,
+            bin_scale,
+        }
+    }
+
+    /// The underlying `N × N` Hermitian matrix (`N = rows·cols` of the kernel
+    /// grid).
+    pub fn matrix(&self) -> &ComplexMatrix {
+        &self.matrix
+    }
+
+    /// Kernel-grid dimensions this TCC was assembled on.
+    pub fn dims(&self) -> KernelDims {
+        self.dims
+    }
+
+    /// Pupil-normalized frequency step of one mask-spectrum bin.
+    pub fn bin_scale(&self) -> f64 {
+        self.bin_scale
+    }
+
+    /// Trace of the TCC matrix (equals the sum of all SOCS eigenvalues).
+    pub fn trace(&self) -> f64 {
+        (0..self.matrix.rows()).map(|i| self.matrix[(i, i)].re).sum()
+    }
+
+    /// Largest deviation from Hermitian symmetry, `max |T - T^H|`; should be at
+    /// numerical noise level.
+    pub fn hermitian_error(&self) -> f64 {
+        let n = self.matrix.rows();
+        let mut worst: f64 = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                worst = worst.max((self.matrix[(i, j)] - self.matrix[(j, i)].conj()).abs());
+            }
+        }
+        worst
+    }
+}
+
+/// Pupil-normalized frequency step of one FFT bin for the configured tile:
+/// `Δν = λ / (W_nm · NA)`.
+pub fn bin_scale(config: &OpticalConfig) -> f64 {
+    config.wavelength_nm / (config.tile_nm() * config.numerical_aperture)
+}
+
+/// Maps a flattened kernel-grid index to its `(fy, fx)` frequency offset in
+/// pupil-normalized coordinates (row-major; DC sits at the grid center).
+pub fn grid_offset(index: usize, dims: KernelDims, bin_scale: f64) -> (f64, f64) {
+    let row = index / dims.cols;
+    let col = index % dims.cols;
+    let fy = (row as isize - (dims.rows / 2) as isize) as f64 * bin_scale;
+    let fx = (col as isize - (dims.cols / 2) as isize) as f64 * bin_scale;
+    (fy, fx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceShape;
+    use litho_math::hermitian_eigen;
+
+    fn small_config() -> OpticalConfig {
+        // 64 px at 8 nm/px keeps the physical extent at 512 nm so the kernel
+        // frequency grid stays well inside the pupil while FFTs remain cheap.
+        OpticalConfig::builder()
+            .tile_px(64)
+            .pixel_nm(8.0)
+            .kernel_count(6)
+            .source(SourceShape::Circular { sigma: 0.7 })
+            .build()
+    }
+
+    fn assemble_small() -> TccMatrix {
+        let config = small_config();
+        let dims = config.kernel_dims_with_side(5);
+        let grid = SourceGrid::sample(&config.source, 9);
+        TccMatrix::assemble(&config, dims, &grid)
+    }
+
+    #[test]
+    fn tcc_is_hermitian() {
+        let tcc = assemble_small();
+        assert!(tcc.hermitian_error() < 1e-12);
+    }
+
+    #[test]
+    fn tcc_is_positive_semidefinite() {
+        let tcc = assemble_small();
+        let eig = hermitian_eigen(tcc.matrix());
+        for &v in &eig.values {
+            assert!(v > -1e-10, "negative eigenvalue {v}");
+        }
+        // Eigenvalues decay: the leading one dominates.
+        assert!(eig.values[0] > 10.0 * eig.values[eig.values.len() - 1].max(1e-12));
+    }
+
+    #[test]
+    fn dc_entry_is_unity_for_source_inside_pupil() {
+        // A σ=0.7 disk source lies fully inside the pupil, so
+        // T(0,0) = Σ w |H(s)|² / Σ w = 1.
+        let tcc = assemble_small();
+        let dims = tcc.dims();
+        let dc = (dims.rows / 2) * dims.cols + dims.cols / 2;
+        assert!((tcc.matrix()[(dc, dc)].re - 1.0).abs() < 1e-12);
+        assert!(tcc.matrix()[(dc, dc)].im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn coherent_source_gives_rank_one_tcc() {
+        // A point-like source (tiny σ sampled with one interior point) makes
+        // T(f', f'') = H(f')·H*(f''), which has rank one.
+        let config = OpticalConfig::builder()
+            .tile_px(64)
+            .pixel_nm(8.0)
+            .source(SourceShape::Circular { sigma: 1e-6 })
+            .build();
+        let dims = config.kernel_dims_with_side(5);
+        let grid = SourceGrid::sample(&config.source, 3);
+        let tcc = TccMatrix::assemble(&config, dims, &grid);
+        let eig = hermitian_eigen(tcc.matrix());
+        assert!(eig.values[0] > 1e-3);
+        for &v in &eig.values[1..] {
+            assert!(v.abs() < 1e-9, "rank should be one, found eigenvalue {v}");
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let tcc = assemble_small();
+        let eig = hermitian_eigen(tcc.matrix());
+        let sum: f64 = eig.values.iter().sum();
+        assert!((tcc.trace() - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bin_scale_and_grid_offsets() {
+        let config = small_config();
+        let scale = bin_scale(&config);
+        assert!((scale - 193.0 / (512.0 * 1.35)).abs() < 1e-12);
+        let dims = config.kernel_dims_with_side(5);
+        // Center of the grid is DC.
+        let center = (dims.rows / 2) * dims.cols + dims.cols / 2;
+        assert_eq!(grid_offset(center, dims, scale), (0.0, 0.0));
+        // First element is the most negative offset in both axes.
+        let (fy, fx) = grid_offset(0, dims, scale);
+        assert!((fy + 2.0 * scale).abs() < 1e-12);
+        assert!((fx + 2.0 * scale).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_coherence_shapes_offaxis_transmission() {
+        let config = small_config();
+        let dims = config.kernel_dims_with_side(5);
+        // σ = 0.1: the farthest shifted point is 0.1 + 2√2·Δν ≈ 0.89 < 1, so
+        // everything stays inside the pupil.
+        let small = SourceGrid::sample(&SourceShape::Circular { sigma: 0.1 }, 9);
+        let large = SourceGrid::sample(&SourceShape::Circular { sigma: 0.9 }, 9);
+        let t_small = TccMatrix::assemble(&config, dims, &small);
+        let t_large = TccMatrix::assemble(&config, dims, &large);
+        // With a small source every (source + grid-offset) point stays inside
+        // the pupil, so every diagonal entry is 1 and the normalized trace
+        // equals the number of grid points.
+        assert!((t_small.trace() - dims.grid_points() as f64).abs() < 1e-9);
+        // A large source pushes part of the shifted pupil outside the unit
+        // circle for off-axis offsets, reducing their normalized transmission.
+        assert!(t_large.trace() < t_small.trace());
+        let dc = (dims.rows / 2) * dims.cols + dims.cols / 2;
+        assert!((t_large.matrix()[(dc, dc)].re - 1.0).abs() < 1e-12);
+    }
+}

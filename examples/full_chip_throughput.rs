@@ -1,0 +1,76 @@
+//! Throughput comparison between the rigorous Hopkins simulator and Nitho's
+//! stored-kernel fast-lithography path — a miniature of the paper's Fig. 5.
+//!
+//! Nitho needs no network inference after training: the predicted kernels are
+//! applied with the same SOCS arithmetic as a production simulator, but with
+//! far fewer kernels than the rigorous decomposition, which is where the
+//! speed-up comes from.
+//!
+//! ```text
+//! cargo run --release --example full_chip_throughput
+//! ```
+
+use std::time::Instant;
+
+use litho_masks::{Dataset, DatasetKind};
+use litho_optics::{HopkinsSimulator, OpticalConfig};
+use nitho::{NithoConfig, NithoModel};
+
+fn main() {
+    let optics = OpticalConfig::builder()
+        .tile_px(128)
+        .pixel_nm(4.0)
+        .kernel_count(8)
+        .build();
+
+    // A "full-chip" workload: a stream of metal and via tiles.
+    let rigorous_config = OpticalConfig {
+        // Rigorous reference retains many more kernels, as production TCC
+        // decompositions do.
+        kernel_count: 40,
+        ..optics.clone()
+    };
+    let rigorous = HopkinsSimulator::new(&rigorous_config);
+    let labeller = HopkinsSimulator::new(&optics);
+
+    let train = Dataset::generate(DatasetKind::B2Metal, 16, &labeller, 21);
+    let workload = Dataset::generate(DatasetKind::B2Via, 24, &labeller, 22)
+        .merged(&Dataset::generate(DatasetKind::B2Metal, 24, &labeller, 23));
+
+    let mut model = NithoModel::new(
+        NithoConfig {
+            epochs: 30,
+            ..NithoConfig::fast()
+        },
+        &optics,
+    );
+    model.train(&train);
+
+    let tile_area = optics.tile_area_um2();
+
+    let start = Instant::now();
+    for sample in workload.samples() {
+        let _ = rigorous.simulate(&sample.mask);
+    }
+    let rigorous_seconds = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for sample in workload.samples() {
+        let _ = model.predict_resist(&sample.mask, optics.resist_threshold);
+    }
+    let nitho_seconds = start.elapsed().as_secs_f64();
+
+    let area = tile_area * workload.len() as f64;
+    println!("workload               : {} tiles ({:.3} um^2)", workload.len(), area);
+    println!(
+        "rigorous simulator     : {:>8.3} s  ({:>9.4} um^2/s)",
+        rigorous_seconds,
+        area / rigorous_seconds
+    );
+    println!(
+        "nitho stored kernels   : {:>8.3} s  ({:>9.4} um^2/s)",
+        nitho_seconds,
+        area / nitho_seconds
+    );
+    println!("speed-up               : {:>8.1}x", rigorous_seconds / nitho_seconds);
+}

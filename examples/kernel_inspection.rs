@@ -1,0 +1,73 @@
+//! Inspect the physical SOCS kernels and the kernels recovered by Nitho's
+//! complex-valued neural field.
+//!
+//! Prints the TCC eigenvalue spectrum, the energy captured per kernel order,
+//! and an ASCII rendering of the leading kernel magnitude from both the
+//! physical decomposition and the learned model.
+//!
+//! ```text
+//! cargo run --release --example kernel_inspection
+//! ```
+
+use litho_masks::{Dataset, DatasetKind};
+use litho_math::ComplexMatrix;
+use litho_optics::{HopkinsSimulator, OpticalConfig};
+use nitho::{NithoConfig, NithoModel};
+
+fn render_magnitude(kernel: &ComplexMatrix) -> String {
+    let magnitudes = kernel.abs();
+    let max = magnitudes.max().max(f64::MIN_POSITIVE);
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let mut out = String::new();
+    for i in 0..kernel.rows() {
+        for j in 0..kernel.cols() {
+            let level = ((magnitudes[(i, j)] / max) * (glyphs.len() - 1) as f64).round() as usize;
+            out.push(glyphs[level.min(glyphs.len() - 1)]);
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let optics = OpticalConfig::builder()
+        .tile_px(128)
+        .pixel_nm(4.0)
+        .kernel_count(8)
+        .build();
+    let simulator = HopkinsSimulator::new(&optics);
+
+    println!("== physical SOCS kernels ==");
+    println!("kernel grid         : {0}x{0}", simulator.kernel_dims().rows);
+    println!("captured TCC energy : {:.2} %", 100.0 * simulator.captured_energy());
+    let eigenvalues = simulator.kernels().eigenvalues();
+    for (order, value) in eigenvalues.iter().enumerate() {
+        println!("  alpha_{order:<2} = {value:.4e}");
+    }
+    println!("\nleading physical kernel |K_0| :");
+    println!("{}", render_magnitude(&simulator.kernels().kernels()[0]));
+
+    println!("== Nitho learned kernels ==");
+    let train = Dataset::generate(DatasetKind::B1, 16, &simulator, 5);
+    let mut model = NithoModel::new(
+        NithoConfig {
+            epochs: 35,
+            ..NithoConfig::fast()
+        },
+        &optics,
+    );
+    let report = model.train(&train);
+    println!(
+        "training loss       : {:.3e} -> {:.3e}",
+        report.initial_loss(),
+        report.final_loss()
+    );
+    let kernels = model.kernels().expect("trained");
+    let energies: Vec<f64> = kernels.iter().map(|k| k.frobenius_norm().powi(2)).collect();
+    for (order, energy) in energies.iter().enumerate() {
+        println!("  |K_{order}|^2 = {energy:.4e}");
+    }
+    println!("\nleading learned kernel |K_0| :");
+    println!("{}", render_magnitude(&kernels[0]));
+}

@@ -1,0 +1,62 @@
+//! Quickstart: train Nitho on a small synthetic metal-clip dataset and
+//! evaluate it on held-out tiles.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use litho_masks::{Dataset, DatasetKind};
+use litho_optics::{HopkinsSimulator, OpticalConfig};
+use nitho::{NithoConfig, NithoModel};
+
+fn main() {
+    // 1. Describe the imaging system: 193 nm immersion optics on a 512 nm
+    //    tile rasterized at 4 nm/pixel (128×128 masks).
+    let optics = OpticalConfig::builder()
+        .tile_px(128)
+        .pixel_nm(4.0)
+        .kernel_count(8)
+        .build();
+    println!("resolution limit   : {:.1} nm", optics.resolution_nm());
+    println!(
+        "kernel grid (Eq.10): {}x{}",
+        optics.kernel_dims().rows,
+        optics.kernel_dims().cols
+    );
+
+    // 2. Build the rigorous Hopkins simulator (the golden engine) and label a
+    //    small ICCAD-style dataset with it.
+    let simulator = HopkinsSimulator::new(&optics);
+    let dataset = Dataset::generate(DatasetKind::B1, 24, &simulator, 7);
+    let (train, test) = dataset.split(0.75);
+    println!("dataset            : {} train / {} test tiles", train.len(), test.len());
+
+    // 3. Train Nitho from mask–aerial pairs only.
+    let config = NithoConfig {
+        epochs: 40,
+        ..NithoConfig::fast()
+    };
+    let mut model = NithoModel::new(config, &optics);
+    println!(
+        "model              : {} parameters ({:.2} KB)",
+        model.num_parameters(),
+        model.size_bytes() as f64 / 1024.0
+    );
+    let report = model.train(&train);
+    println!(
+        "training loss      : {:.3e} -> {:.3e} over {} epochs",
+        report.initial_loss(),
+        report.final_loss(),
+        report.len()
+    );
+
+    // 4. Evaluate on unseen tiles.
+    let evaluation = model.evaluate(&test, optics.resist_threshold);
+    println!("aerial  PSNR       : {:.2} dB", evaluation.aerial.psnr_db);
+    println!("aerial  MSE (x1e-5): {:.2}", evaluation.aerial.mse_e5());
+    println!("aerial  ME  (x1e-2): {:.2}", evaluation.aerial.max_error_e2());
+    println!("resist  mPA        : {:.2} %", evaluation.resist.mpa_percent);
+    println!("resist  mIOU       : {:.2} %", evaluation.resist.miou_percent);
+}

@@ -1,0 +1,55 @@
+//! Out-of-distribution generalization: train Nitho on metal routing tiles and
+//! evaluate on via arrays (and the reverse) — a miniature of the paper's
+//! Table IV.
+//!
+//! Because Nitho learns the mask-independent optical kernels rather than an
+//! image-to-image mapping, the accuracy drop across mask families should be
+//! tiny.
+//!
+//! ```text
+//! cargo run --release --example via_layer_generalization
+//! ```
+
+use litho_masks::{Dataset, DatasetKind};
+use litho_optics::{HopkinsSimulator, OpticalConfig};
+use nitho::{NithoConfig, NithoModel};
+
+fn main() {
+    let optics = OpticalConfig::builder()
+        .tile_px(128)
+        .pixel_nm(4.0)
+        .kernel_count(8)
+        .build();
+    let simulator = HopkinsSimulator::new(&optics);
+
+    let metal = Dataset::generate(DatasetKind::B2Metal, 20, &simulator, 11);
+    let vias = Dataset::generate(DatasetKind::B2Via, 20, &simulator, 13);
+
+    for (train_set, in_dist_test, ood_test) in [(&metal, &metal, &vias), (&vias, &vias, &metal)] {
+        let (train, held_out) = train_set.split(0.75);
+        let mut model = NithoModel::new(
+            NithoConfig {
+                epochs: 40,
+                ..NithoConfig::fast()
+            },
+            &optics,
+        );
+        model.train(&train);
+
+        let in_dist = model.evaluate(&held_out, optics.resist_threshold);
+        let ood = model.evaluate(ood_test, optics.resist_threshold);
+        let _ = in_dist_test; // the held-out split of the training family
+
+        println!(
+            "train on {:>3} | test {:>3}: PSNR {:>6.2} dB, mIOU {:>6.2} % | OOD {:>3}: PSNR {:>6.2} dB, mIOU {:>6.2} % | mIOU drop {:>5.2} pts",
+            train_set.name(),
+            train_set.name(),
+            in_dist.aerial.psnr_db,
+            in_dist.resist.miou_percent,
+            ood_test.name(),
+            ood.aerial.psnr_db,
+            ood.resist.miou_percent,
+            in_dist.resist.miou_percent - ood.resist.miou_percent,
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Cross-crate physics consistency checks: the learned pipeline and the
+//! rigorous golden engine must agree wherever the mathematics says they must.
+
+use litho_masks::{Dataset, DatasetKind};
+use litho_math::ComplexMatrix;
+use litho_metrics::psnr;
+use litho_optics::abbe::abbe_aerial_image;
+use litho_optics::config::kernel_side;
+use litho_optics::source::SourceGrid;
+use litho_optics::{HopkinsSimulator, OpticalConfig, SocsKernels, TccMatrix};
+use nitho::{NithoConfig, NithoModel, PositionalEncoding};
+
+fn optics() -> OpticalConfig {
+    OpticalConfig::builder()
+        .tile_px(64)
+        .pixel_nm(8.0)
+        .kernel_count(8)
+        .build()
+}
+
+#[test]
+fn hopkins_and_abbe_agree_through_the_full_dataset_pipeline() {
+    // Generate masks with the regular dataset machinery, then check the two
+    // independent imaging formulations agree on every tile.
+    let config = OpticalConfig {
+        kernel_count: 25,
+        ..optics()
+    };
+    let dims = config.kernel_dims_with_side(5);
+    let grid = SourceGrid::sample(&config.source, 11);
+    let tcc = TccMatrix::assemble(&config, dims, &grid);
+    let socs = SocsKernels::from_tcc(&tcc);
+
+    let simulator = HopkinsSimulator::new(&config);
+    let dataset = Dataset::generate(DatasetKind::B2Via, 3, &simulator, 9);
+    for sample in dataset.samples() {
+        let hopkins = socs.aerial_image(&sample.mask);
+        let abbe = abbe_aerial_image(&sample.mask, &config, dims, &grid, 64, 64);
+        let quality = psnr(&abbe, &hopkins);
+        assert!(quality > 60.0, "Hopkins vs Abbe PSNR only {quality:.1} dB");
+    }
+}
+
+#[test]
+fn golden_simulator_beats_any_learned_model_on_its_own_labels() {
+    // Sanity for the whole benchmark setup: re-simulating a labelled tile
+    // reproduces the label exactly, so the golden engine defines the accuracy
+    // ceiling every learned model is compared against.
+    let optics = optics();
+    let simulator = HopkinsSimulator::new(&optics);
+    let dataset = Dataset::generate(DatasetKind::B1, 3, &simulator, 13);
+    for sample in dataset.samples() {
+        let (aerial, resist) = simulator.simulate(&sample.mask);
+        let max_diff = aerial.zip_map(&sample.aerial, |a, b| (a - b).abs()).max();
+        assert!(max_diff < 1e-12);
+        assert_eq!(resist, sample.resist);
+    }
+}
+
+#[test]
+fn learned_kernels_span_the_same_band_as_physical_kernels() {
+    // Nitho's kernels live on the same resolution-limit frequency grid as the
+    // physical SOCS kernels; after training, the energy outside the pupil
+    // support must stay negligible compared to the in-band energy.
+    let optics = optics();
+    let simulator = HopkinsSimulator::new(&optics);
+    let train = Dataset::generate(DatasetKind::B2Metal, 10, &simulator, 17);
+    let mut model = NithoModel::new(
+        NithoConfig {
+            kernel_side: Some(11),
+            epochs: 30,
+            ..NithoConfig::fast()
+        },
+        &optics,
+    );
+    model.train(&train);
+    let kernels = model.kernels().expect("trained");
+
+    // The physical pass band on an 11x11 grid for this configuration: bins
+    // within (1 + sigma_outer) * NA/lambda of DC.
+    let bin_scale = 193.0 / (optics.tile_nm() * 1.35);
+    let band = |i: usize, j: usize| {
+        let fy = (i as f64 - 5.0) * bin_scale;
+        let fx = (j as f64 - 5.0) * bin_scale;
+        (fy * fy + fx * fx).sqrt() <= 1.9
+    };
+    let mut in_band = 0.0;
+    let mut out_band = 0.0;
+    for kernel in kernels {
+        for i in 0..11 {
+            for j in 0..11 {
+                let e = kernel[(i, j)].abs_sq();
+                if band(i, j) {
+                    in_band += e;
+                } else {
+                    out_band += e;
+                }
+            }
+        }
+    }
+    assert!(
+        out_band < 0.05 * in_band,
+        "learned kernels leak {:.2}% of their energy outside the pupil band",
+        100.0 * out_band / in_band
+    );
+}
+
+#[test]
+fn kernel_dimension_formula_saturates_accuracy() {
+    // Fig. 6(b) in miniature: growing the kernel beyond the Eq. (10) optimum
+    // gives no further benefit, while a severely truncated kernel hurts.
+    let optics = optics();
+    let simulator = HopkinsSimulator::new(&optics);
+    let train = Dataset::generate(DatasetKind::B1, 10, &simulator, 23);
+    let test = Dataset::generate(DatasetKind::B1, 4, &simulator, 24);
+    let optimum = kernel_side(optics.tile_nm(), optics.wavelength_nm, optics.numerical_aperture);
+    assert_eq!(optimum, 15);
+
+    let psnr_for = |side: usize| {
+        let mut model = NithoModel::new(
+            NithoConfig {
+                kernel_side: Some(side),
+                epochs: 30,
+                ..NithoConfig::fast()
+            },
+            &optics,
+        );
+        model.train(&train);
+        model.evaluate(&test, optics.resist_threshold).aerial.psnr_db
+    };
+
+    let tiny = psnr_for(3);
+    let at_optimum = psnr_for(15);
+    assert!(
+        at_optimum > tiny + 5.0,
+        "kernel at the resolution limit ({at_optimum:.2} dB) must beat a 3x3 kernel ({tiny:.2} dB)"
+    );
+}
+
+#[test]
+fn rff_encoding_matches_paper_structure() {
+    // Structural check of Eq. (15): every feature of the complex RFF encoding
+    // is (1 + j)·cos or (1 + j)·sin of a fixed random frequency — i.e. real
+    // and imaginary parts are identical and bounded by one.
+    let encoding = PositionalEncoding::GaussianRff {
+        features: 24,
+        sigma: 2.0,
+        seed: 5,
+    };
+    let grid: ComplexMatrix = encoding.encode_grid(7, 7);
+    assert_eq!(grid.shape(), (49, 48));
+    for z in grid.iter() {
+        assert!((z.re - z.im).abs() < 1e-12);
+        assert!(z.re.abs() <= 1.0 + 1e-12);
+    }
+}
