@@ -103,7 +103,11 @@ pub fn tsne(data: &RealMatrix, config: &TsneConfig) -> RealMatrix {
     let mut velocity = RealMatrix::zeros(n, 2);
 
     for iteration in 0..config.iterations {
-        let exaggeration = if iteration < config.iterations / 4 { 4.0 } else { 1.0 };
+        let exaggeration = if iteration < config.iterations / 4 {
+            4.0
+        } else {
+            1.0
+        };
         // Student-t affinities of the embedding.
         let mut q_num = RealMatrix::zeros(n, n);
         let mut q_sum = 0.0;
@@ -135,7 +139,8 @@ pub fn tsne(data: &RealMatrix, config: &TsneConfig) -> RealMatrix {
         }
         for i in 0..n {
             for k in 0..2 {
-                velocity[(i, k)] = momentum * velocity[(i, k)] - config.learning_rate * gradient[(i, k)];
+                velocity[(i, k)] =
+                    momentum * velocity[(i, k)] - config.learning_rate * gradient[(i, k)];
                 y[(i, k)] += velocity[(i, k)];
             }
         }
@@ -188,7 +193,11 @@ fn joint_affinities(data: &RealMatrix, perplexity: f64) -> RealMatrix {
             }
             if entropy > target_entropy {
                 beta_min = beta;
-                beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+                beta = if beta_max.is_finite() {
+                    (beta + beta_max) / 2.0
+                } else {
+                    beta * 2.0
+                };
             } else {
                 beta_max = beta;
                 beta = (beta + beta_min) / 2.0;
@@ -239,15 +248,23 @@ pub fn separation_score(embedding: &RealMatrix, group_a: &[usize], group_b: &[us
             sum / count as f64
         }
     };
-    let between = mean_pairs(&mut group_a.iter().flat_map(|&i| group_b.iter().map(move |&j| (i, j))));
-    let within_a = mean_pairs(&mut group_a
-        .iter()
-        .enumerate()
-        .flat_map(|(idx, &i)| group_a[idx + 1..].iter().map(move |&j| (i, j))));
-    let within_b = mean_pairs(&mut group_b
-        .iter()
-        .enumerate()
-        .flat_map(|(idx, &i)| group_b[idx + 1..].iter().map(move |&j| (i, j))));
+    let between = mean_pairs(
+        &mut group_a
+            .iter()
+            .flat_map(|&i| group_b.iter().map(move |&j| (i, j))),
+    );
+    let within_a = mean_pairs(
+        &mut group_a
+            .iter()
+            .enumerate()
+            .flat_map(|(idx, &i)| group_a[idx + 1..].iter().map(move |&j| (i, j))),
+    );
+    let within_b = mean_pairs(
+        &mut group_b
+            .iter()
+            .enumerate()
+            .flat_map(|(idx, &i)| group_b[idx + 1..].iter().map(move |&j| (i, j))),
+    );
     between - 0.5 * (within_a + within_b)
 }
 

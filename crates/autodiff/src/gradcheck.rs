@@ -25,7 +25,12 @@ use crate::tape::{NodeId, Tape};
 /// # Panics
 ///
 /// Panics if `build` returns a non-scalar node.
-pub fn check_gradients<F>(inputs: &[ComplexMatrix], build: F, eps: f64, tol: f64) -> Result<(), String>
+pub fn check_gradients<F>(
+    inputs: &[ComplexMatrix],
+    build: F,
+    eps: f64,
+    tol: f64,
+) -> Result<(), String>
 where
     F: Fn(&mut Tape, &[NodeId]) -> NodeId,
 {
@@ -37,15 +42,18 @@ where
     let analytic: Vec<ComplexMatrix> = ids
         .iter()
         .map(|&id| {
-            tape.grad(id)
-                .cloned()
-                .unwrap_or_else(|| ComplexMatrix::zeros(tape.value(id).rows(), tape.value(id).cols()))
+            tape.grad(id).cloned().unwrap_or_else(|| {
+                ComplexMatrix::zeros(tape.value(id).rows(), tape.value(id).cols())
+            })
         })
         .collect();
 
     let eval = |perturbed: &[ComplexMatrix]| -> f64 {
         let mut tape = Tape::new();
-        let ids: Vec<NodeId> = perturbed.iter().map(|m| tape.leaf(m.clone(), false)).collect();
+        let ids: Vec<NodeId> = perturbed
+            .iter()
+            .map(|m| tape.leaf(m.clone(), false))
+            .collect();
         let loss = build(&mut tape, &ids);
         tape.value(loss)[(0, 0)].re
     };
@@ -53,7 +61,10 @@ where
     for (input_idx, input) in inputs.iter().enumerate() {
         for i in 0..input.rows() {
             for j in 0..input.cols() {
-                for (component, delta) in [("re", Complex64::new(eps, 0.0)), ("im", Complex64::new(0.0, eps))] {
+                for (component, delta) in [
+                    ("re", Complex64::new(eps, 0.0)),
+                    ("im", Complex64::new(0.0, eps)),
+                ] {
                     let mut plus = inputs.to_vec();
                     plus[input_idx][(i, j)] += delta;
                     let mut minus = inputs.to_vec();

@@ -63,7 +63,12 @@ impl Optimizer for Sgd {
     fn step(&mut self, params: &mut ParamStore, grads: &[(ParamId, ComplexMatrix)]) {
         for (id, grad) in grads {
             let (rows, cols) = params.value(*id).shape();
-            assert_eq!(grad.shape(), (rows, cols), "gradient shape mismatch for {}", params.name(*id));
+            assert_eq!(
+                grad.shape(),
+                (rows, cols),
+                "gradient shape mismatch for {}",
+                params.name(*id)
+            );
             let update = if self.momentum > 0.0 {
                 let momentum = self.momentum;
                 let v = self.velocity_slot(*id, rows, cols);
@@ -114,7 +119,10 @@ impl Adam {
     ///
     /// Panics if either beta is outside `[0, 1)` or `eps` is not positive.
     pub fn with_parameters(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas must be in [0, 1)"
+        );
         assert!(eps > 0.0, "eps must be positive");
         Self {
             lr,
@@ -142,18 +150,30 @@ impl Optimizer for Adam {
 
         for (id, grad) in grads {
             let (rows, cols) = params.value(*id).shape();
-            assert_eq!(grad.shape(), (rows, cols), "gradient shape mismatch for {}", params.name(*id));
+            assert_eq!(
+                grad.shape(),
+                (rows, cols),
+                "gradient shape mismatch for {}",
+                params.name(*id)
+            );
             if self.first_moment.len() <= *id {
                 self.first_moment.resize(*id + 1, None);
                 self.second_moment.resize(*id + 1, None);
             }
             let m = self.first_moment[*id].get_or_insert_with(|| ComplexMatrix::zeros(rows, cols));
-            let (v_re, v_im) = self.second_moment[*id]
-                .get_or_insert_with(|| (RealMatrix::zeros(rows, cols), RealMatrix::zeros(rows, cols)));
+            let (v_re, v_im) = self.second_moment[*id].get_or_insert_with(|| {
+                (RealMatrix::zeros(rows, cols), RealMatrix::zeros(rows, cols))
+            });
 
-            *m = m.zip_map(grad, |mv, g| mv.scale(self.beta1) + g.scale(1.0 - self.beta1));
-            *v_re = v_re.zip_map(grad, |vv, g| self.beta2 * vv + (1.0 - self.beta2) * g.re * g.re);
-            *v_im = v_im.zip_map(grad, |vv, g| self.beta2 * vv + (1.0 - self.beta2) * g.im * g.im);
+            *m = m.zip_map(grad, |mv, g| {
+                mv.scale(self.beta1) + g.scale(1.0 - self.beta1)
+            });
+            *v_re = v_re.zip_map(grad, |vv, g| {
+                self.beta2 * vv + (1.0 - self.beta2) * g.re * g.re
+            });
+            *v_im = v_im.zip_map(grad, |vv, g| {
+                self.beta2 * vv + (1.0 - self.beta2) * g.im * g.im
+            });
 
             let lr = self.lr;
             let eps = self.eps;
@@ -235,7 +255,10 @@ mod tests {
         assert_eq!(adam.learning_rate(), 0.002);
         let mut params = ParamStore::new();
         let id = params.add_zeros("w", 1, 1);
-        adam.step(&mut params, &[(id, ComplexMatrix::filled(1, 1, Complex64::ONE))]);
+        adam.step(
+            &mut params,
+            &[(id, ComplexMatrix::filled(1, 1, Complex64::ONE))],
+        );
         assert_eq!(adam.steps_taken(), 1);
     }
 
@@ -245,7 +268,10 @@ mod tests {
         let a = params.add("a", ComplexMatrix::filled(1, 1, Complex64::ONE));
         let b = params.add("b", ComplexMatrix::filled(1, 1, Complex64::I));
         let mut sgd = Sgd::new(0.5);
-        sgd.step(&mut params, &[(a, ComplexMatrix::filled(1, 1, Complex64::ONE))]);
+        sgd.step(
+            &mut params,
+            &[(a, ComplexMatrix::filled(1, 1, Complex64::ONE))],
+        );
         assert!((params.value(a)[(0, 0)].re - 0.5).abs() < 1e-12);
         assert_eq!(params.value(b)[(0, 0)], Complex64::I);
     }

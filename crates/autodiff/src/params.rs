@@ -87,8 +87,9 @@ impl ParamStore {
         rng: &mut DeterministicRng,
     ) -> ParamId {
         let std_dev = (2.0 / (rows + cols) as f64).sqrt();
-        let value =
-            ComplexMatrix::from_fn(rows, cols, |_, _| Complex64::from_real(rng.normal(0.0, std_dev)));
+        let value = ComplexMatrix::from_fn(rows, cols, |_, _| {
+            Complex64::from_real(rng.normal(0.0, std_dev))
+        });
         self.add(name, value)
     }
 
@@ -172,7 +173,10 @@ impl ParamStore {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != b"NITHOPRM" {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad parameter file header"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad parameter file header",
+            ));
         }
         let count = read_u64(&mut r)? as usize;
         let mut store = Self::new();
@@ -180,8 +184,9 @@ impl ParamStore {
             let name_len = read_u64(&mut r)? as usize;
             let mut name_bytes = vec![0u8; name_len];
             r.read_exact(&mut name_bytes)?;
-            let name = String::from_utf8(name_bytes)
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "invalid parameter name"))?;
+            let name = String::from_utf8(name_bytes).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "invalid parameter name")
+            })?;
             let rows = read_u64(&mut r)? as usize;
             let cols = read_u64(&mut r)? as usize;
             let mut data = Vec::with_capacity(rows * cols);
@@ -236,9 +241,8 @@ mod tests {
         let mut store = ParamStore::new();
         let small = store.add_complex_glorot("small", 4, 4, &mut rng);
         let large = store.add_complex_glorot("large", 256, 256, &mut rng);
-        let rms = |m: &ComplexMatrix| {
-            (m.iter().map(|z| z.abs_sq()).sum::<f64>() / m.len() as f64).sqrt()
-        };
+        let rms =
+            |m: &ComplexMatrix| (m.iter().map(|z| z.abs_sq()).sum::<f64>() / m.len() as f64).sqrt();
         assert!(rms(store.value(small)) > rms(store.value(large)));
     }
 

@@ -236,7 +236,9 @@ impl Tape {
     /// Real ReLU applied to the real part (imaginary part is dropped). Used by
     /// the real-valued baseline networks.
     pub fn relu(&mut self, a: NodeId) -> NodeId {
-        let value = self.nodes[a].value.map(|z| Complex64::new(z.re.max(0.0), 0.0));
+        let value = self.nodes[a]
+            .value
+            .map(|z| Complex64::new(z.re.max(0.0), 0.0));
         let rg = self.rg(a);
         self.push(value, Op::Relu(a), rg)
     }
@@ -351,7 +353,11 @@ impl Tape {
     pub fn sum_real(&mut self, a: NodeId) -> NodeId {
         let s: f64 = self.nodes[a].value.iter().map(|z| z.re).sum();
         let rg = self.rg(a);
-        self.push(ComplexMatrix::filled(1, 1, Complex64::from_real(s)), Op::SumReal(a), rg)
+        self.push(
+            ComplexMatrix::filled(1, 1, Complex64::from_real(s)),
+            Op::SumReal(a),
+            rg,
+        )
     }
 
     /// Mean of the real parts of all elements (real scalar as a `1 × 1` node).
@@ -374,7 +380,11 @@ impl Tape {
     /// Panics if the shapes differ.
     pub fn mse_loss(&mut self, pred: NodeId, target: &RealMatrix) -> NodeId {
         let p = &self.nodes[pred].value;
-        assert_eq!(p.shape(), target.shape(), "prediction/target shape mismatch");
+        assert_eq!(
+            p.shape(),
+            target.shape(),
+            "prediction/target shape mismatch"
+        );
         let n = target.len() as f64;
         let mse: f64 = p
             .iter()
@@ -406,11 +416,20 @@ impl Tape {
     ///
     /// Panics if any shape is inconsistent with `spec` or the kernel size is
     /// even.
-    pub fn conv2d(&mut self, input: NodeId, weight: NodeId, bias: NodeId, spec: ConvSpec) -> NodeId {
+    pub fn conv2d(
+        &mut self,
+        input: NodeId,
+        weight: NodeId,
+        bias: NodeId,
+        spec: ConvSpec,
+    ) -> NodeId {
         let x = &self.nodes[input].value;
         let w = &self.nodes[weight].value;
         let b = &self.nodes[bias].value;
-        assert!(spec.kernel_h % 2 == 1 && spec.kernel_w % 2 == 1, "kernel size must be odd");
+        assert!(
+            spec.kernel_h % 2 == 1 && spec.kernel_w % 2 == 1,
+            "kernel size must be odd"
+        );
         assert_eq!(
             x.shape(),
             (spec.in_channels * spec.height, spec.width),
@@ -418,10 +437,17 @@ impl Tape {
         );
         assert_eq!(
             w.shape(),
-            (spec.out_channels * spec.in_channels * spec.kernel_h, spec.kernel_w),
+            (
+                spec.out_channels * spec.in_channels * spec.kernel_h,
+                spec.kernel_w
+            ),
             "conv2d weight shape mismatch"
         );
-        assert_eq!(b.shape(), (spec.out_channels, 1), "conv2d bias shape mismatch");
+        assert_eq!(
+            b.shape(),
+            (spec.out_channels, 1),
+            "conv2d bias shape mismatch"
+        );
 
         let value = conv2d_forward(x, w, b, spec);
         let rg = self.rg(input) || self.rg(weight) || self.rg(bias);
@@ -507,7 +533,8 @@ impl Tape {
                 }
                 Op::Sigmoid(a) => {
                     let y = &self.nodes[id].value;
-                    let g = grad_out.zip_map(y, |g, s| Complex64::new(g.re * s.re * (1.0 - s.re), 0.0));
+                    let g =
+                        grad_out.zip_map(y, |g, s| Complex64::new(g.re * s.re * (1.0 - s.re), 0.0));
                     self.accumulate(a, g);
                 }
                 Op::AbsSq(a) => {
@@ -902,7 +929,11 @@ mod tests {
     fn relu_and_sigmoid_forward_backward() {
         let mut tape = Tape::new();
         let x = tape.leaf(
-            ComplexMatrix::from_vec(1, 2, vec![Complex64::new(-1.0, 0.0), Complex64::new(2.0, 0.0)]),
+            ComplexMatrix::from_vec(
+                1,
+                2,
+                vec![Complex64::new(-1.0, 0.0), Complex64::new(2.0, 0.0)],
+            ),
             true,
         );
         let r = tape.relu(x);

@@ -45,7 +45,12 @@ impl CnnLitho {
         let mut weight_ids = Vec::new();
         let mut bias_ids = Vec::new();
         // Layer channel plan: 1 → C → C → C → 1, all 3×3 kernels.
-        let plan = [(1, channels), (channels, channels), (channels, channels), (channels, 1)];
+        let plan = [
+            (1, channels),
+            (channels, channels),
+            (channels, channels),
+            (channels, 1),
+        ];
         for (layer, (cin, cout)) in plan.into_iter().enumerate() {
             weight_ids.push(params.add_real_glorot(
                 &format!("cnn.layer{layer}.weight"),
@@ -151,7 +156,7 @@ impl ImageRegressor for CnnLitho {
             .collect();
 
         let mut adam = Adam::new(self.config.learning_rate);
-        let mut rng = DeterministicRng::new(self.config.seed ^ 0xc0ff_ee);
+        let mut rng = DeterministicRng::new(self.config.seed ^ 0x00c0_ffee);
         let mut losses = Vec::with_capacity(self.config.epochs);
         for _ in 0..self.config.epochs {
             let mut order: Vec<usize> = (0..inputs.len()).collect();

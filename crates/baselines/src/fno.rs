@@ -51,7 +51,12 @@ impl FnoLitho {
                 litho_math::Complex64::new(1.0 + rng.normal(0.0, 0.1), rng.normal(0.0, 0.1))
             });
             spectral_ids.push(params.add(&format!("fno.layer{layer}.spectral"), init));
-            gain_ids.push(params.add_real_glorot(&format!("fno.layer{layer}.gain"), 1, res, &mut rng));
+            gain_ids.push(params.add_real_glorot(
+                &format!("fno.layer{layer}.gain"),
+                1,
+                res,
+                &mut rng,
+            ));
         }
         Self {
             config,
@@ -242,9 +247,7 @@ mod tests {
         let (dataset, _) = small_dataset(DatasetKind::B1, 1, 2);
         let mask = &dataset.samples()[0].mask;
         let prediction = fno.predict(mask);
-        let correlation = prediction
-            .zip_map(mask, |a, b| a * b)
-            .sum();
+        let correlation = prediction.zip_map(mask, |a, b| a * b).sum();
         assert!(correlation > 0.0);
     }
 

@@ -2,9 +2,9 @@
 
 use litho_fft::{centered_spectrum, ifft2, ifftshift};
 use litho_masks::Dataset;
-use litho_math::util::{block_downsample, center_pad};
 #[cfg(test)]
 use litho_math::util::center_crop;
+use litho_math::util::{block_downsample, center_pad};
 use litho_math::RealMatrix;
 use litho_metrics::{AerialMetrics, ResistMetrics};
 
@@ -90,14 +90,22 @@ pub trait ImageRegressor {
     /// the stage is [`TargetStage::Resist`]. The resist threshold is applied
     /// to aerial-stage predictions so both metric families are always
     /// reported.
-    fn evaluate(&self, dataset: &Dataset, resist_threshold: f64, stage: TargetStage) -> (AerialMetrics, ResistMetrics) {
+    fn evaluate(
+        &self,
+        dataset: &Dataset,
+        resist_threshold: f64,
+        stage: TargetStage,
+    ) -> (AerialMetrics, ResistMetrics) {
         let mut aerial_pairs = Vec::with_capacity(dataset.len());
         let mut resist_pairs = Vec::with_capacity(dataset.len());
         for sample in dataset.samples() {
             let prediction = self.predict(&sample.mask);
             match stage {
                 TargetStage::Aerial => {
-                    resist_pairs.push((sample.resist.clone(), prediction.threshold(resist_threshold)));
+                    resist_pairs.push((
+                        sample.resist.clone(),
+                        prediction.threshold(resist_threshold),
+                    ));
                     aerial_pairs.push((sample.aerial.clone(), prediction));
                 }
                 TargetStage::Resist => {

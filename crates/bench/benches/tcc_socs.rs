@@ -4,11 +4,15 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use litho_masks::{Dataset, DatasetKind};
-use litho_optics::{HopkinsSimulator, OpticalConfig, SocsKernels, TccMatrix};
 use litho_optics::source::SourceGrid;
+use litho_optics::{HopkinsSimulator, OpticalConfig, SocsKernels, TccMatrix};
 
 fn optics() -> OpticalConfig {
-    OpticalConfig::builder().tile_px(128).pixel_nm(4.0).kernel_count(8).build()
+    OpticalConfig::builder()
+        .tile_px(128)
+        .pixel_nm(4.0)
+        .kernel_count(8)
+        .build()
 }
 
 fn bench_tcc_assembly(c: &mut Criterion) {

@@ -7,14 +7,20 @@ use litho_optics::{HopkinsSimulator, OpticalConfig};
 use nitho::{NithoConfig, NithoModel};
 
 fn bench_throughput(c: &mut Criterion) {
-    let optics = OpticalConfig::builder().tile_px(128).pixel_nm(4.0).kernel_count(8).build();
+    let optics = OpticalConfig::builder()
+        .tile_px(128)
+        .pixel_nm(4.0)
+        .kernel_count(8)
+        .build();
     let rigorous = HopkinsSimulator::new(&OpticalConfig {
         kernel_count: 40,
         ..optics.clone()
     });
     let labeller = HopkinsSimulator::new(&optics);
     let train = Dataset::generate(DatasetKind::B2Metal, 6, &labeller, 2);
-    let mask = Dataset::generate(DatasetKind::B2Via, 1, &labeller, 3).samples()[0].mask.clone();
+    let mask = Dataset::generate(DatasetKind::B2Via, 1, &labeller, 3).samples()[0]
+        .mask
+        .clone();
 
     let mut model = NithoModel::new(
         NithoConfig {

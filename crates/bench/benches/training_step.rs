@@ -7,7 +7,11 @@ use litho_optics::{HopkinsSimulator, OpticalConfig};
 use nitho::{NithoConfig, NithoModel};
 
 fn bench_training(c: &mut Criterion) {
-    let optics = OpticalConfig::builder().tile_px(64).pixel_nm(8.0).kernel_count(6).build();
+    let optics = OpticalConfig::builder()
+        .tile_px(64)
+        .pixel_nm(8.0)
+        .kernel_count(6)
+        .build();
     let simulator = HopkinsSimulator::new(&optics);
     let dataset = Dataset::generate(DatasetKind::B1, 4, &simulator, 1);
     let mut group = c.benchmark_group("training");

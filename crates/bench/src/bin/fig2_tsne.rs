@@ -33,7 +33,12 @@ fn main() {
     println!("Fig. 2(a) — t-SNE embedding of dataset distributions");
     println!("{:<8} {:>12} {:>12}", "dataset", "x", "y");
     for (idx, label) in labels.iter().enumerate() {
-        println!("{:<8} {:>12.4} {:>12.4}", label, embedding[(idx, 0)], embedding[(idx, 1)]);
+        println!(
+            "{:<8} {:>12.4} {:>12.4}",
+            label,
+            embedding[(idx, 0)],
+            embedding[(idx, 1)]
+        );
     }
 
     println!("\npairwise separation scores (positive = clusters separated):");

@@ -11,7 +11,10 @@ fn main() {
     let benchmarks = standard_benchmarks(&scale, &simulator);
 
     for benchmark in benchmarks.iter().take(3) {
-        println!("==================== {} ====================", benchmark.name);
+        println!(
+            "==================== {} ====================",
+            benchmark.name
+        );
         let nitho = train_nitho(&scale, &optics, &benchmark.train);
         let sample = &benchmark.test.samples()[0];
         let predicted_aerial = nitho.predict_aerial(&sample.mask);

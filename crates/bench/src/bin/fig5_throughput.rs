@@ -80,5 +80,8 @@ fn main() {
     }
     let rigorous_s = timings[0].1;
     let nitho_s = timings[3].1;
-    println!("\nNitho speed-up over rigorous simulator: {:.1}x", rigorous_s / nitho_s);
+    println!(
+        "\nNitho speed-up over rigorous simulator: {:.1}x",
+        rigorous_s / nitho_s
+    );
 }

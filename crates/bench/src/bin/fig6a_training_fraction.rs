@@ -14,21 +14,38 @@ fn main() {
 
     let fractions = [0.1, 0.25, 0.5, 1.0];
     println!("Fig. 6(a) — PSNR (dB) vs training-set fraction on B1");
-    println!("{:>9} {:>16} {:>16} {:>16}", "fraction", "TEMPO-like CNN", "DOINN-like FNO", "Nitho");
+    println!(
+        "{:>9} {:>16} {:>16} {:>16}",
+        "fraction", "TEMPO-like CNN", "DOINN-like FNO", "Nitho"
+    );
     for fraction in fractions {
         let train = benchmark.train.subset_fraction(fraction);
         let nitho = train_nitho(&scale, &optics, &train);
         let cnn = train_cnn(&scale, &train, TargetStage::Aerial);
         let fno = train_fno(&scale, &train, TargetStage::Aerial);
-        let nitho_psnr = nitho.evaluate(&benchmark.test, optics.resist_threshold).aerial.psnr_db;
+        let nitho_psnr = nitho
+            .evaluate(&benchmark.test, optics.resist_threshold)
+            .aerial
+            .psnr_db;
         let cnn_psnr = cnn
-            .evaluate(&benchmark.test, optics.resist_threshold, TargetStage::Aerial)
+            .evaluate(
+                &benchmark.test,
+                optics.resist_threshold,
+                TargetStage::Aerial,
+            )
             .0
             .psnr_db;
         let fno_psnr = fno
-            .evaluate(&benchmark.test, optics.resist_threshold, TargetStage::Aerial)
+            .evaluate(
+                &benchmark.test,
+                optics.resist_threshold,
+                TargetStage::Aerial,
+            )
             .0
             .psnr_db;
-        println!("{:>9.2} {:>16.2} {:>16.2} {:>16.2}", fraction, cnn_psnr, fno_psnr, nitho_psnr);
+        println!(
+            "{:>9.2} {:>16.2} {:>16.2} {:>16.2}",
+            fraction, cnn_psnr, fno_psnr, nitho_psnr
+        );
     }
 }

@@ -15,10 +15,12 @@ fn main() {
     let simulator = HopkinsSimulator::new(&optics);
     let max_side = env_usize("NITHO_MAX_KERNEL_SIDE", 15) | 1;
 
-    let eq10 = kernel_side(optics.tile_nm(), optics.wavelength_nm, optics.numerical_aperture);
-    println!(
-        "Fig. 6(b) — PSNR (dB) vs kernel width/height (Eq. 10 optimum for this tile: {eq10})"
+    let eq10 = kernel_side(
+        optics.tile_nm(),
+        optics.wavelength_nm,
+        optics.numerical_aperture,
     );
+    println!("Fig. 6(b) — PSNR (dB) vs kernel width/height (Eq. 10 optimum for this tile: {eq10})");
 
     let kinds = [DatasetKind::B1, DatasetKind::B2Metal, DatasetKind::B2Via];
     let sides: Vec<usize> = (5..=max_side).step_by(4).collect();
@@ -38,7 +40,10 @@ fn main() {
             };
             let mut model = NithoModel::new(config, &optics);
             model.train(&benchmark.train);
-            let psnr = model.evaluate(&benchmark.test, optics.resist_threshold).aerial.psnr_db;
+            let psnr = model
+                .evaluate(&benchmark.test, optics.resist_threshold)
+                .aerial
+                .psnr_db;
             print!(" {:>10.2}", psnr);
         }
         println!();
@@ -53,7 +58,10 @@ fn main() {
         };
         let mut model = NithoModel::new(config, &optics);
         model.train(&benchmark.train);
-        let psnr = model.evaluate(&benchmark.test, optics.resist_threshold).aerial.psnr_db;
+        let psnr = model
+            .evaluate(&benchmark.test, optics.resist_threshold)
+            .aerial
+            .psnr_db;
         println!("  r = {r:>2}: PSNR {psnr:>6.2} dB");
     }
 }

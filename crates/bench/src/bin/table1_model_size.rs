@@ -25,13 +25,32 @@ fn main() {
         3,
     );
 
-    println!("Table I — model size comparison (tile {} px)", scale.tile_px);
-    println!("{:<18} {:>14} {:>14} {:>22}", "model", "parameters", "size (KB)", "network modeling");
+    println!(
+        "Table I — model size comparison (tile {} px)",
+        scale.tile_px
+    );
+    println!(
+        "{:<18} {:>14} {:>14} {:>22}",
+        "model", "parameters", "size (KB)", "network modeling"
+    );
     let row = |name: &str, params: usize, bytes: usize, modeling: &str| {
-        println!("{name:<18} {params:>14} {:>14.1} {modeling:>22}", bytes as f64 / 1024.0);
+        println!(
+            "{name:<18} {params:>14} {:>14.1} {modeling:>22}",
+            bytes as f64 / 1024.0
+        );
     };
-    row("TEMPO-like CNN", cnn.num_parameters(), cnn.size_bytes(), "S(T*G(.))");
-    row("DOINN-like FNO", fno.num_parameters(), fno.size_bytes(), "H(S(T*G(.)))");
+    row(
+        "TEMPO-like CNN",
+        cnn.num_parameters(),
+        cnn.size_bytes(),
+        "S(T*G(.))",
+    );
+    row(
+        "DOINN-like FNO",
+        fno.num_parameters(),
+        fno.size_bytes(),
+        "H(S(T*G(.)))",
+    );
     row("Nitho", nitho.num_parameters(), nitho.size_bytes(), "F(T)");
     println!();
     println!(

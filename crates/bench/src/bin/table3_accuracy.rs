@@ -22,7 +22,8 @@ fn main() {
         let nitho = train_nitho(&scale, &optics, &benchmark.train);
         let cnn = train_cnn(&scale, &benchmark.train, TargetStage::Aerial);
         let fno = train_fno(&scale, &benchmark.train, TargetStage::Aerial);
-        for row in evaluate_all_models(&nitho, &cnn, &fno, &benchmark.test, optics.resist_threshold) {
+        for row in evaluate_all_models(&nitho, &cnn, &fno, &benchmark.test, optics.resist_threshold)
+        {
             println!("  {}", row.formatted());
         }
     }

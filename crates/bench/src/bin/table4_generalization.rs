@@ -27,7 +27,11 @@ fn main() {
         let cnn = train_cnn(&scale, &train_bench.train, TargetStage::Aerial);
         let fno = train_fno(&scale, &train_bench.train, TargetStage::Aerial);
 
-        println!("\n== train on {} / test on {} ==", train_kind.alias(), test_kind.alias());
+        println!(
+            "\n== train on {} / test on {} ==",
+            train_kind.alias(),
+            test_kind.alias()
+        );
         let report = |name: &str, in_d: (f64, f64), ood: (f64, f64)| {
             println!(
                 "  {name:<18} in-dist mPA {:>6.2}% mIOU {:>6.2}%   OOD mPA {:>6.2}% mIOU {:>6.2}%   drop {:>5.2} / {:>5.2}",
@@ -35,15 +39,55 @@ fn main() {
             );
         };
 
-        let n_in = nitho.evaluate(&train_bench.test, optics.resist_threshold).resist;
-        let n_ood = nitho.evaluate(&ood_bench.test, optics.resist_threshold).resist;
-        let c_in = cnn.evaluate(&train_bench.test, optics.resist_threshold, TargetStage::Aerial).1;
-        let c_ood = cnn.evaluate(&ood_bench.test, optics.resist_threshold, TargetStage::Aerial).1;
-        let f_in = fno.evaluate(&train_bench.test, optics.resist_threshold, TargetStage::Aerial).1;
-        let f_ood = fno.evaluate(&ood_bench.test, optics.resist_threshold, TargetStage::Aerial).1;
+        let n_in = nitho
+            .evaluate(&train_bench.test, optics.resist_threshold)
+            .resist;
+        let n_ood = nitho
+            .evaluate(&ood_bench.test, optics.resist_threshold)
+            .resist;
+        let c_in = cnn
+            .evaluate(
+                &train_bench.test,
+                optics.resist_threshold,
+                TargetStage::Aerial,
+            )
+            .1;
+        let c_ood = cnn
+            .evaluate(
+                &ood_bench.test,
+                optics.resist_threshold,
+                TargetStage::Aerial,
+            )
+            .1;
+        let f_in = fno
+            .evaluate(
+                &train_bench.test,
+                optics.resist_threshold,
+                TargetStage::Aerial,
+            )
+            .1;
+        let f_ood = fno
+            .evaluate(
+                &ood_bench.test,
+                optics.resist_threshold,
+                TargetStage::Aerial,
+            )
+            .1;
 
-        report("TEMPO-like CNN", (c_in.mpa_percent, c_in.miou_percent), (c_ood.mpa_percent, c_ood.miou_percent));
-        report("DOINN-like FNO", (f_in.mpa_percent, f_in.miou_percent), (f_ood.mpa_percent, f_ood.miou_percent));
-        report("Nitho", (n_in.mpa_percent, n_in.miou_percent), (n_ood.mpa_percent, n_ood.miou_percent));
+        report(
+            "TEMPO-like CNN",
+            (c_in.mpa_percent, c_in.miou_percent),
+            (c_ood.mpa_percent, c_ood.miou_percent),
+        );
+        report(
+            "DOINN-like FNO",
+            (f_in.mpa_percent, f_in.miou_percent),
+            (f_ood.mpa_percent, f_ood.miou_percent),
+        );
+        report(
+            "Nitho",
+            (n_in.mpa_percent, n_in.miou_percent),
+            (n_ood.mpa_percent, n_ood.miou_percent),
+        );
     }
 }

@@ -13,7 +13,10 @@ fn main() {
     let benchmark = single_benchmark(&scale, &simulator, DatasetKind::B1, 500);
 
     println!("Table V — positional encoding ablation on B1");
-    println!("{:<16} {:>14} {:>12} {:>10}", "encoding", "MSE (x1e-5)", "ME (x1e-2)", "PSNR (dB)");
+    println!(
+        "{:<16} {:>14} {:>12} {:>10}",
+        "encoding", "MSE (x1e-5)", "ME (x1e-2)", "PSNR (dB)"
+    );
     for encoding in [
         PositionalEncoding::None,
         PositionalEncoding::Nerf { levels: 6 },

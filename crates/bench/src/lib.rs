@@ -18,6 +18,11 @@ use litho_metrics::{AerialMetrics, ResistMetrics};
 use litho_optics::{HopkinsSimulator, OpticalConfig};
 use nitho::{NithoConfig, NithoModel};
 
+/// Physical tile extent shared by every experiment and integration test,
+/// in nanometres. Resolution knobs (`NITHO_TILE_PX`) change the sampling
+/// density of this fixed extent, never the physics.
+pub const TILE_NM: f64 = 512.0;
+
 /// Reads a `usize` environment variable with a default.
 pub fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -51,11 +56,12 @@ impl ExperimentScale {
     }
 
     /// The optical configuration used by every experiment: 193 nm immersion
-    /// optics over a 512 nm tile, rasterized at `512 / tile_px` nm per pixel.
+    /// optics over a [`TILE_NM`] tile, rasterized at `TILE_NM / tile_px` nm
+    /// per pixel.
     pub fn optics(&self) -> OpticalConfig {
         OpticalConfig::builder()
             .tile_px(self.tile_px)
-            .pixel_nm(512.0 / self.tile_px as f64)
+            .pixel_nm(crate::TILE_NM / self.tile_px as f64)
             .kernel_count(8)
             .build()
     }
@@ -74,7 +80,10 @@ pub struct Benchmark {
 
 /// Generates the four benchmark families of Table II plus the merged
 /// `B2m+B2v` mixture used in Table III.
-pub fn standard_benchmarks(scale: &ExperimentScale, simulator: &HopkinsSimulator) -> Vec<Benchmark> {
+pub fn standard_benchmarks(
+    scale: &ExperimentScale,
+    simulator: &HopkinsSimulator,
+) -> Vec<Benchmark> {
     let gen = |kind: DatasetKind, seed: u64| {
         let train = Dataset::generate(kind, scale.train_tiles, simulator, seed);
         let test = Dataset::generate(kind, scale.test_tiles, simulator, seed + 1000);

@@ -207,10 +207,32 @@ mod tests {
     }
 
     #[test]
+    fn same_seed_identical_weight_init() {
+        // Two models built from equal-seeded generators must be identical
+        // parameter-for-parameter (the workspace's reproducibility contract),
+        // and a third seed must differ.
+        let build = |seed: u64| Cmlp::new(small_arch(), &mut DeterministicRng::new(seed));
+        let (a, b, c) = (build(1234), build(1234), build(4321));
+        let flat = |m: &Cmlp| -> Vec<(u64, u64)> {
+            m.params()
+                .iter()
+                .flat_map(|(_, _, value)| value.iter().map(|z| (z.re.to_bits(), z.im.to_bits())))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(flat(&a), flat(&b));
+        assert_ne!(flat(&a), flat(&c));
+        let input =
+            ComplexMatrix::from_fn(5, 6, |i, j| Complex64::new(i as f64 * 0.2, j as f64 * 0.1));
+        assert_eq!(a.infer(&input), b.infer(&input));
+    }
+
+    #[test]
     fn forward_shapes_and_determinism() {
         let mut rng = DeterministicRng::new(2);
         let mlp = Cmlp::new(small_arch(), &mut rng);
-        let input = ComplexMatrix::from_fn(10, 6, |i, j| Complex64::new(i as f64 * 0.1, j as f64 * 0.05));
+        let input = ComplexMatrix::from_fn(10, 6, |i, j| {
+            Complex64::new(i as f64 * 0.1, j as f64 * 0.05)
+        });
         let out_a = mlp.infer(&input);
         let out_b = mlp.infer(&input);
         assert_eq!(out_a.shape(), (10, 3));
@@ -239,7 +261,8 @@ mod tests {
     fn gradients_flow_to_every_parameter() {
         let mut rng = DeterministicRng::new(4);
         let mlp = Cmlp::new(small_arch(), &mut rng);
-        let input = ComplexMatrix::from_fn(5, 6, |i, j| Complex64::new(0.3 * i as f64, -0.2 * j as f64));
+        let input =
+            ComplexMatrix::from_fn(5, 6, |i, j| Complex64::new(0.3 * i as f64, -0.2 * j as f64));
         let mut tape = Tape::new();
         let node = tape.constant(input);
         let (out, leaves) = mlp.forward(&mut tape, node);
@@ -267,7 +290,9 @@ mod tests {
         };
         let mut rng = DeterministicRng::new(5);
         let mlp = Cmlp::new(arch, &mut rng);
-        let input = ComplexMatrix::from_fn(3, 3, |i, j| Complex64::new(0.4 * i as f64 - 0.1, 0.3 * j as f64));
+        let input = ComplexMatrix::from_fn(3, 3, |i, j| {
+            Complex64::new(0.4 * i as f64 - 0.1, 0.3 * j as f64)
+        });
 
         // Collect parameter values as gradcheck inputs, then rebuild the same
         // network topology inside the closure from the provided leaves.
@@ -306,10 +331,16 @@ mod tests {
         let mut rng = DeterministicRng::new(6);
         let mut mlp = Cmlp::new(arch, &mut rng);
         let input = ComplexMatrix::from_fn(8, 4, |i, j| {
-            Complex64::new((i as f64 * 0.7 + j as f64).sin(), (i as f64 - j as f64 * 0.3).cos())
+            Complex64::new(
+                (i as f64 * 0.7 + j as f64).sin(),
+                (i as f64 - j as f64 * 0.3).cos(),
+            )
         });
         let target = ComplexMatrix::from_fn(8, 2, |i, j| {
-            Complex64::new((i as f64 * 0.5 + j as f64).cos() * 0.5, (i as f64 * 0.2).sin() * 0.5)
+            Complex64::new(
+                (i as f64 * 0.5 + j as f64).cos() * 0.5,
+                (i as f64 * 0.2).sin() * 0.5,
+            )
         });
 
         let mut adam = Adam::new(5e-3);

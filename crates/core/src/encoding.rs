@@ -94,7 +94,11 @@ impl PositionalEncoding {
                     let slot = j % 4;
                     let v = if slot < 2 { x } else { y };
                     let angle = (1u64 << level) as f64 * std::f64::consts::PI * v;
-                    let value = if slot % 2 == 0 { angle.sin() } else { angle.cos() };
+                    let value = if slot % 2 == 0 {
+                        angle.sin()
+                    } else {
+                        angle.cos()
+                    };
                     Complex64::from_real(value)
                 })
             }
@@ -113,7 +117,11 @@ impl PositionalEncoding {
                     let phase = 2.0
                         * std::f64::consts::PI
                         * (frequencies[(feature, 0)] * x + frequencies[(feature, 1)] * y);
-                    let value = if j < features { phase.cos() } else { phase.sin() };
+                    let value = if j < features {
+                        phase.cos()
+                    } else {
+                        phase.sin()
+                    };
                     one_plus_j.scale(value)
                 })
             }

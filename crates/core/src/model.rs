@@ -55,9 +55,13 @@ impl NithoModel {
     /// [`NithoConfig::validate`]) or the kernel grid does not fit the tile.
     pub fn new(config: NithoConfig, optics: &OpticalConfig) -> Self {
         config.validate();
-        let side = config
-            .kernel_side
-            .unwrap_or_else(|| kernel_side(optics.tile_nm(), optics.wavelength_nm, optics.numerical_aperture));
+        let side = config.kernel_side.unwrap_or_else(|| {
+            kernel_side(
+                optics.tile_nm(),
+                optics.wavelength_nm,
+                optics.numerical_aperture,
+            )
+        });
         assert!(
             side <= optics.tile_px,
             "kernel side {side} exceeds the {}-pixel tile",
@@ -145,9 +149,11 @@ impl NithoModel {
         let output = self.cmlp.infer(&self.encoded_coords);
         let mut kernels = Vec::with_capacity(self.dims.count);
         for k in 0..self.dims.count {
-            kernels.push(ComplexMatrix::from_fn(self.dims.rows, self.dims.cols, |i, j| {
-                output[(i * self.dims.cols + j, k)]
-            }));
+            kernels.push(ComplexMatrix::from_fn(
+                self.dims.rows,
+                self.dims.cols,
+                |i, j| output[(i * self.dims.cols + j, k)],
+            ));
         }
         self.cached_kernels = Some(kernels);
     }
@@ -178,7 +184,11 @@ impl NithoModel {
             );
             let spectrum = litho_fft::centered_spectrum(&sample.mask);
             spectra.push(center_crop(&spectrum, self.dims.rows, self.dims.cols));
-            targets.push(litho_optics::socs::band_limited_resample(&sample.aerial, t_res, t_res));
+            targets.push(litho_optics::socs::band_limited_resample(
+                &sample.aerial,
+                t_res,
+                t_res,
+            ));
             mask_pixels.push(sample.mask.len());
         }
 
@@ -205,8 +215,7 @@ impl NithoModel {
                 let mut batch_loss = None;
                 for &sample_idx in batch {
                     let spectrum = tape.constant(spectra[sample_idx].clone());
-                    let scale =
-                        ((t_res * t_res) as f64 / mask_pixels[sample_idx] as f64).powi(2);
+                    let scale = ((t_res * t_res) as f64 / mask_pixels[sample_idx] as f64).powi(2);
                     // SOCS synthesis (Algorithm 1 lines 10–12).
                     let mut intensity = None;
                     for &kernel in &kernel_nodes {
@@ -541,7 +550,10 @@ mod tests {
             };
             let mut model = NithoModel::new(config, &optics);
             model.train(&train);
-            model.evaluate(&test, optics.resist_threshold).aerial.psnr_db
+            model
+                .evaluate(&test, optics.resist_threshold)
+                .aerial
+                .psnr_db
         };
         let rff = run(PositionalEncoding::GaussianRff {
             features: 32,

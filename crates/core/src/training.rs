@@ -75,7 +75,10 @@ impl NithoConfig {
     /// rate, or an even kernel-side override).
     pub fn validate(&self) {
         if let Some(side) = self.kernel_side {
-            assert!(side >= 3 && side % 2 == 1, "kernel side must be an odd number ≥ 3");
+            assert!(
+                side >= 3 && side % 2 == 1,
+                "kernel side must be an odd number ≥ 3"
+            );
         }
         assert!(self.kernel_count > 0, "kernel count must be positive");
         assert!(self.hidden_dim > 0, "hidden dimension must be positive");

@@ -348,11 +348,19 @@ mod tests {
         let x = random_signal(20, 1);
         let y = random_signal(20, 2);
         let alpha = Complex64::new(0.3, -1.2);
-        let combined: Vec<Complex64> = x.iter().zip(y.iter()).map(|(&a, &b)| a * alpha + b).collect();
+        let combined: Vec<Complex64> = x
+            .iter()
+            .zip(y.iter())
+            .map(|(&a, &b)| a * alpha + b)
+            .collect();
         let lhs = fft(&combined);
         let fx = fft(&x);
         let fy = fft(&y);
-        let rhs: Vec<Complex64> = fx.iter().zip(fy.iter()).map(|(&a, &b)| a * alpha + b).collect();
+        let rhs: Vec<Complex64> = fx
+            .iter()
+            .zip(fy.iter())
+            .map(|(&a, &b)| a * alpha + b)
+            .collect();
         assert!(max_abs_diff(&lhs, &rhs) < 1e-9);
     }
 
@@ -407,7 +415,10 @@ mod tests {
             let round = ifftshift(&fftshift(&m));
             for i in 0..r {
                 for j in 0..c {
-                    assert!((round[(i, j)] - m[(i, j)]).abs() < 1e-12, "({i},{j}) in {r}x{c}");
+                    assert!(
+                        (round[(i, j)] - m[(i, j)]).abs() < 1e-12,
+                        "({i},{j}) in {r}x{c}"
+                    );
                 }
             }
         }

@@ -42,7 +42,10 @@ impl FftPlan {
     ///
     /// Panics if `len` is not a power of two or is zero.
     pub fn new(len: usize) -> Self {
-        assert!(len.is_power_of_two() && len > 0, "FftPlan requires a power-of-two length");
+        assert!(
+            len.is_power_of_two() && len > 0,
+            "FftPlan requires a power-of-two length"
+        );
         let bits = len.trailing_zeros();
         let bit_reverse = (0..len)
             .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) & (len - 1))
@@ -53,8 +56,9 @@ impl FftPlan {
             let mut stage_len = 2usize;
             while stage_len <= len {
                 let step = sign * 2.0 * std::f64::consts::PI / stage_len as f64;
-                let table: Vec<Complex64> =
-                    (0..stage_len / 2).map(|k| Complex64::cis(step * k as f64)).collect();
+                let table: Vec<Complex64> = (0..stage_len / 2)
+                    .map(|k| Complex64::cis(step * k as f64))
+                    .collect();
                 tables.push(table);
                 stage_len <<= 1;
             }

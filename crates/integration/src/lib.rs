@@ -2,15 +2,76 @@
 //! workspace-level `/tests` directory (wired in via `[[test]]` path entries
 //! so the repository keeps the conventional top-level layout).
 //!
-//! The library itself only re-exports the crates under test so the test files
-//! can use a single dependency root if they wish.
+//! The library re-exports the crates under test so the test files can use a
+//! single dependency root if they wish, and provides the [`scale`] module the
+//! heavy tests use to stay CI-sized by default.
 
 pub use litho_analysis as analysis;
 pub use litho_autodiff as autodiff;
 pub use litho_baselines as baselines;
+pub use litho_bench as bench;
 pub use litho_fft as fft;
 pub use litho_masks as masks;
 pub use litho_math as math;
 pub use litho_metrics as metrics;
 pub use litho_optics as optics;
 pub use nitho as core;
+
+pub mod scale {
+    //! CI-safe workload sizing for the heavy integration tests.
+    //!
+    //! The tests honor the same environment knobs as the experiment binaries
+    //! (`NITHO_TILE_PX`, `NITHO_TRAIN_TILES`, `NITHO_EPOCHS` — documented in
+    //! [`litho_bench`]) but with small defaults chosen per test site, so a
+    //! plain `cargo test -q` finishes in minutes while a scaled-up run is one
+    //! environment variable away.
+
+    use litho_optics::OpticalConfig;
+
+    /// Physical tile extent shared by all integration tests, in nanometres —
+    /// the same constant the experiment binaries use. Keeping it fixed while
+    /// `NITHO_TILE_PX` varies means resolution knobs never change the physics
+    /// (kernel dimensions, pass band, ...), only the sampling density.
+    pub use litho_bench::TILE_NM;
+
+    /// Test optics: a `TILE_NM`-wide tile at `NITHO_TILE_PX` pixels
+    /// (defaulting to `default_tile_px`) with the given kernel count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `NITHO_TILE_PX` is below 32, the smallest tile the mask
+    /// generators accept (and comfortably above the 15×15 resolution-limit
+    /// kernel grids the tests pin).
+    pub fn test_optics(default_tile_px: usize, kernel_count: usize) -> OpticalConfig {
+        let tile_px = litho_bench::env_usize("NITHO_TILE_PX", default_tile_px);
+        assert!(
+            tile_px >= 32,
+            "NITHO_TILE_PX={tile_px} is too small for the integration tests (minimum 32)"
+        );
+        OpticalConfig::builder()
+            .tile_px(tile_px)
+            .pixel_nm(TILE_NM / tile_px as f64)
+            .kernel_count(kernel_count)
+            .build()
+    }
+
+    /// Training-set size: `NITHO_TRAIN_TILES` or the per-site default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `NITHO_TRAIN_TILES` is below 2 (train/test splits need at
+    /// least two samples).
+    pub fn train_tiles(default: usize) -> usize {
+        let tiles = litho_bench::env_usize("NITHO_TRAIN_TILES", default);
+        assert!(
+            tiles >= 2,
+            "NITHO_TRAIN_TILES={tiles} is too small for the integration tests (minimum 2)"
+        );
+        tiles
+    }
+
+    /// Training epochs: `NITHO_EPOCHS` or the per-site default.
+    pub fn epochs(default: usize) -> usize {
+        litho_bench::env_usize("NITHO_EPOCHS", default)
+    }
+}

@@ -101,7 +101,11 @@ impl Dataset {
             };
             let mask = layout.rasterize();
             let (aerial, resist) = simulator.simulate(&mask);
-            dataset.push(LithoSample { mask, aerial, resist });
+            dataset.push(LithoSample {
+                mask,
+                aerial,
+                resist,
+            });
         }
         dataset
     }
@@ -144,8 +148,8 @@ impl Dataset {
             "train fraction must lie in (0, 1)"
         );
         assert!(self.len() >= 2, "need at least two samples to split");
-        let train_count = ((self.len() as f64 * train_fraction).round() as usize)
-            .clamp(1, self.len() - 1);
+        let train_count =
+            ((self.len() as f64 * train_fraction).round() as usize).clamp(1, self.len() - 1);
         let mut train = Dataset::new(&format!("{}-train", self.name));
         let mut test = Dataset::new(&format!("{}-test", self.name));
         for (idx, sample) in self.samples.iter().enumerate() {
@@ -165,8 +169,13 @@ impl Dataset {
     ///
     /// Panics if the fraction is outside `(0, 1]`.
     pub fn subset_fraction(&self, fraction: f64) -> Dataset {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must lie in (0, 1]");
-        let count = ((self.len() as f64 * fraction).round() as usize).max(1).min(self.len());
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must lie in (0, 1]"
+        );
+        let count = ((self.len() as f64 * fraction).round() as usize)
+            .max(1)
+            .min(self.len());
         let mut subset = Dataset::new(&format!("{}-{}pct", self.name, (fraction * 100.0).round()));
         for sample in &self.samples[..count] {
             subset.push(sample.clone());

@@ -156,7 +156,8 @@ pub fn apply_opc(layout: &Layout, config: &GeneratorConfig, rng: &mut Determinis
 
     for rect in layout.rects() {
         // Edge bias: grow or shrink each feature slightly.
-        let bias = config.nm_to_px(rng.uniform(2.0, 12.0)) * if rng.bernoulli(0.8) { 1 } else { -1 };
+        let bias =
+            config.nm_to_px(rng.uniform(2.0, 12.0)) * if rng.bernoulli(0.8) { 1 } else { -1 };
         let biased = rect.expanded(bias).unwrap_or(*rect);
         decorated.push(biased);
 
@@ -168,7 +169,12 @@ pub fn apply_opc(layout: &Layout, config: &GeneratorConfig, rng: &mut Determinis
             (biased.x1, biased.y1),
         ] {
             if rng.bernoulli(0.75) {
-                decorated.push(Rect::from_size(cx - serif_px / 2, cy - serif_px / 2, serif_px, serif_px));
+                decorated.push(Rect::from_size(
+                    cx - serif_px / 2,
+                    cy - serif_px / 2,
+                    serif_px,
+                    serif_px,
+                ));
             }
         }
 
@@ -263,7 +269,12 @@ mod tests {
         let layout = iccad_clip(&c, &mut rng);
         assert!(!layout.is_empty());
         assert!(layout.len() <= 12);
-        let max_area = layout.rects().iter().map(Rect::area).max().expect("non-empty");
+        let max_area = layout
+            .rects()
+            .iter()
+            .map(Rect::area)
+            .max()
+            .expect("non-empty");
         assert!(max_area >= c.nm_to_px(150.0) * c.nm_to_px(60.0));
     }
 
@@ -280,7 +291,10 @@ mod tests {
         let diff = a.zip_map(&b, |x, y| (x - y).abs()).sum();
         assert!(diff > 0.0);
         let overlap = a.zip_map(&b, |x, y| x * y).sum();
-        assert!(overlap > 0.5 * a.sum(), "OPC must preserve the main features");
+        assert!(
+            overlap > 0.5 * a.sum(),
+            "OPC must preserve the main features"
+        );
     }
 
     #[test]

@@ -211,7 +211,10 @@ mod tests {
         assert_eq!(r.expanded(2), Some(Rect::new(2, 2, 10, 10)));
         assert_eq!(r.expanded(-1), Some(Rect::new(5, 5, 7, 7)));
         assert_eq!(r.expanded(-2), None);
-        assert_eq!(Rect::new(-3, -3, 5, 5).clipped(10), Some(Rect::new(0, 0, 5, 5)));
+        assert_eq!(
+            Rect::new(-3, -3, 5, 5).clipped(10),
+            Some(Rect::new(0, 0, 5, 5))
+        );
         assert_eq!(Rect::new(12, 12, 20, 20).clipped(10), None);
     }
 

@@ -214,6 +214,7 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal is the intent
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.recip()
     }
@@ -364,7 +365,11 @@ mod tests {
     #[test]
     fn exp_and_cis() {
         let theta = 1.1;
-        assert!(close(Complex64::cis(theta), Complex64::new(0.0, theta).exp(), 1e-12));
+        assert!(close(
+            Complex64::cis(theta),
+            Complex64::new(0.0, theta).exp(),
+            1e-12
+        ));
         // e^{iπ} = -1
         assert!(close(
             Complex64::cis(std::f64::consts::PI),

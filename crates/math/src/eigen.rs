@@ -205,7 +205,10 @@ pub fn hermitian_top_eigen(
 ) -> HermitianEigen {
     assert_eq!(h.rows(), h.cols(), "matrix must be square");
     let n = h.rows();
-    assert!(r > 0 && r <= n, "requested {r} eigenpairs from a {n}x{n} matrix");
+    assert!(
+        r > 0 && r <= n,
+        "requested {r} eigenpairs from a {n}x{n} matrix"
+    );
     let block = (r + oversample).min(n);
 
     let mut rng = DeterministicRng::new(seed);

@@ -185,7 +185,9 @@ impl<T: Copy> Matrix<T> {
     /// Panics if `col >= cols`.
     pub fn col(&self, col: usize) -> Vec<T> {
         assert!(col < self.cols, "column {col} out of bounds");
-        (0..self.rows).map(|i| self.data[i * self.cols + col]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + col])
+            .collect()
     }
 
     /// Applies `f` element-wise, producing a new matrix (possibly of a
@@ -261,7 +263,9 @@ impl<T: Copy> Matrix<T> {
             row0 + rows <= self.rows && col0 + cols <= self.cols,
             "submatrix out of bounds"
         );
-        Matrix::from_fn(rows, cols, |i, j| self.data[(row0 + i) * self.cols + (col0 + j)])
+        Matrix::from_fn(rows, cols, |i, j| {
+            self.data[(row0 + i) * self.cols + (col0 + j)]
+        })
     }
 
     /// Writes `block` into this matrix with its top-left corner at
@@ -287,7 +291,10 @@ impl<T: Copy> Index<(usize, usize)> for Matrix<T> {
     type Output = T;
     #[inline]
     fn index(&self, (row, col): (usize, usize)) -> &T {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         &self.data[row * self.cols + col]
     }
 }
@@ -295,7 +302,10 @@ impl<T: Copy> Index<(usize, usize)> for Matrix<T> {
 impl<T: Copy> IndexMut<(usize, usize)> for Matrix<T> {
     #[inline]
     fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut T {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         &mut self.data[row * self.cols + col]
     }
 }
@@ -429,7 +439,9 @@ impl ComplexMatrix {
 
     /// Conjugate transpose (Hermitian adjoint).
     pub fn adjoint(&self) -> ComplexMatrix {
-        Matrix::from_fn(self.cols, self.rows, |i, j| self.data[j * self.cols + i].conj())
+        Matrix::from_fn(self.cols, self.rows, |i, j| {
+            self.data[j * self.cols + i].conj()
+        })
     }
 
     /// Builds a complex matrix from separate real and imaginary parts.

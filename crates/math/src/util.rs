@@ -31,8 +31,7 @@ pub fn linspace(start: f64, end: f64, count: usize) -> Vec<f64> {
 /// convention of `fftshift`: for even `n` the range is `-n/2 ..= n/2 - 1`,
 /// for odd `n` it is `-(n-1)/2 ..= (n-1)/2`.
 pub fn centered_freqs(n: usize) -> Vec<i64> {
-    let half = (n / 2) as i64;
-    let offset = if n % 2 == 0 { half } else { half };
+    let offset = (n / 2) as i64;
     (0..n as i64).map(|i| i - offset).collect()
 }
 
@@ -115,7 +114,7 @@ pub fn center_pad_real(m: &RealMatrix, out_rows: usize, out_cols: usize) -> Real
 pub fn block_downsample(m: &RealMatrix, factor: usize) -> RealMatrix {
     assert!(factor > 0, "factor must be positive");
     assert!(
-        m.rows() % factor == 0 && m.cols() % factor == 0,
+        m.rows().is_multiple_of(factor) && m.cols().is_multiple_of(factor),
         "factor {} must divide the {}x{} matrix",
         factor,
         m.rows(),
@@ -164,7 +163,11 @@ pub fn complex_to_interleaved(m: &ComplexMatrix) -> Vec<f64> {
 ///
 /// Panics if `data.len() != rows * cols * 2`.
 pub fn interleaved_to_complex(rows: usize, cols: usize, data: &[f64]) -> ComplexMatrix {
-    assert_eq!(data.len(), rows * cols * 2, "interleaved buffer length mismatch");
+    assert_eq!(
+        data.len(),
+        rows * cols * 2,
+        "interleaved buffer length mismatch"
+    );
     ComplexMatrix::from_fn(rows, cols, |i, j| {
         let k = (i * cols + j) * 2;
         Complex64::new(data[k], data[k + 1])

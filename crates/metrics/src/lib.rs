@@ -12,7 +12,11 @@ use litho_math::RealMatrix;
 ///
 /// Panics if the shapes differ.
 pub fn mse(reference: &RealMatrix, prediction: &RealMatrix) -> f64 {
-    assert_eq!(reference.shape(), prediction.shape(), "shape mismatch in mse");
+    assert_eq!(
+        reference.shape(),
+        prediction.shape(),
+        "shape mismatch in mse"
+    );
     reference
         .zip_map(prediction, |a, b| (a - b) * (a - b))
         .mean()
@@ -41,7 +45,11 @@ pub fn psnr(reference: &RealMatrix, prediction: &RealMatrix) -> f64 {
 ///
 /// Panics if the shapes differ.
 pub fn max_error(reference: &RealMatrix, prediction: &RealMatrix) -> f64 {
-    assert_eq!(reference.shape(), prediction.shape(), "shape mismatch in max_error");
+    assert_eq!(
+        reference.shape(),
+        prediction.shape(),
+        "shape mismatch in max_error"
+    );
     reference.zip_map(prediction, |a, b| (a - b).abs()).max()
 }
 
@@ -90,7 +98,11 @@ struct ClassStats {
 }
 
 fn class_statistics(reference: &RealMatrix, prediction: &RealMatrix) -> (ClassStats, ClassStats) {
-    assert_eq!(reference.shape(), prediction.shape(), "shape mismatch in class metric");
+    assert_eq!(
+        reference.shape(),
+        prediction.shape(),
+        "shape mismatch in class metric"
+    );
     let mut stats = [ClassStats::default(), ClassStats::default()];
     for (&r, &p) in reference.iter().zip(prediction.iter()) {
         let r_class = usize::from(r >= 0.5);

@@ -129,17 +129,18 @@ mod tests {
             .build();
         let dims = config.kernel_dims_with_side(5);
         let grid = SourceGrid::sample(&config.source, 9);
-        let mask = RealMatrix::from_fn(32, 32, |i, j| if (i / 8 + j / 8) % 2 == 0 { 1.0 } else { 0.0 });
+        let mask = RealMatrix::from_fn(
+            32,
+            32,
+            |i, j| if (i / 8 + j / 8) % 2 == 0 { 1.0 } else { 0.0 },
+        );
 
         let tcc = TccMatrix::assemble(&config, dims, &grid);
         let socs = SocsKernels::from_tcc(&tcc);
         let hopkins = socs.aerial_image(&mask);
         let abbe = abbe_aerial_image(&mask, &config, dims, &grid, 32, 32);
 
-        let rms: f64 = (hopkins
-            .zip_map(&abbe, |a, b| (a - b) * (a - b))
-            .mean())
-        .sqrt();
+        let rms: f64 = (hopkins.zip_map(&abbe, |a, b| (a - b) * (a - b)).mean()).sqrt();
         // Six kernels capture most of the energy; errors stay small but are
         // not exactly zero.
         assert!(rms < 0.05, "rms {rms}");

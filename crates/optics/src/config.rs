@@ -93,8 +93,8 @@ impl OpticalConfig {
     /// Nyquist bin.
     pub fn cutoff_bins(&self) -> usize {
         let sigma = self.source.sigma_outer();
-        let bins =
-            ((1.0 + sigma) * self.numerical_aperture / self.wavelength_nm * self.tile_nm()).ceil() as usize;
+        let bins = ((1.0 + sigma) * self.numerical_aperture / self.wavelength_nm * self.tile_nm())
+            .ceil() as usize;
         bins.min(self.tile_px / 2)
     }
 
@@ -200,7 +200,10 @@ impl OpticalConfigBuilder {
     pub fn build(self) -> OpticalConfig {
         let c = &self.config;
         assert!(c.wavelength_nm > 0.0, "wavelength must be positive");
-        assert!(c.numerical_aperture > 0.0, "numerical aperture must be positive");
+        assert!(
+            c.numerical_aperture > 0.0,
+            "numerical aperture must be positive"
+        );
         assert!(c.tile_px >= 8, "tile must be at least 8 pixels");
         assert!(c.pixel_nm > 0.0, "pixel pitch must be positive");
         assert!(c.kernel_count > 0, "kernel count must be positive");

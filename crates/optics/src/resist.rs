@@ -37,7 +37,10 @@ impl ResistModel {
             threshold > 0.0 && threshold < 1.0,
             "resist threshold must lie in (0, 1)"
         );
-        assert!(diffusion_sigma_px >= 0.0, "diffusion sigma must be non-negative");
+        assert!(
+            diffusion_sigma_px >= 0.0,
+            "diffusion sigma must be non-negative"
+        );
         Self {
             threshold,
             diffusion_sigma_px,
@@ -74,11 +77,23 @@ pub fn gaussian_blur(image: &RealMatrix, sigma_px: f64) -> RealMatrix {
     let spectrum = fft2_real(image);
     let filtered = ComplexMatrix::from_fn(rows, cols, |i, j| {
         // Signed frequency indices.
-        let fi = if i <= rows / 2 { i as f64 } else { i as f64 - rows as f64 } / rows as f64;
-        let fj = if j <= cols / 2 { j as f64 } else { j as f64 - cols as f64 } / cols as f64;
-        let attenuation =
-            (-2.0 * std::f64::consts::PI * std::f64::consts::PI * sigma_px * sigma_px * (fi * fi + fj * fj))
-                .exp();
+        let fi = if i <= rows / 2 {
+            i as f64
+        } else {
+            i as f64 - rows as f64
+        } / rows as f64;
+        let fj = if j <= cols / 2 {
+            j as f64
+        } else {
+            j as f64 - cols as f64
+        } / cols as f64;
+        let attenuation = (-2.0
+            * std::f64::consts::PI
+            * std::f64::consts::PI
+            * sigma_px
+            * sigma_px
+            * (fi * fi + fj * fj))
+            .exp();
         spectrum[(i, j)].scale(attenuation)
     });
     ifft2(&filtered).map(|z: Complex64| z.re)

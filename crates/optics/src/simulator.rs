@@ -90,7 +90,12 @@ impl HopkinsSimulator {
     /// # Panics
     ///
     /// Panics if either dimension is smaller than the kernel grid.
-    pub fn aerial_image_at(&self, mask: &RealMatrix, out_rows: usize, out_cols: usize) -> RealMatrix {
+    pub fn aerial_image_at(
+        &self,
+        mask: &RealMatrix,
+        out_rows: usize,
+        out_cols: usize,
+    ) -> RealMatrix {
         self.socs.aerial_image_at(mask, out_rows, out_cols)
     }
 
@@ -112,8 +117,9 @@ impl HopkinsSimulator {
 /// with a floor that keeps tiny test tiles physically meaningful.
 fn source_samples(config: &OpticalConfig) -> usize {
     let sigma = config.source.sigma_outer();
-    let bins = (sigma * config.tile_nm() * config.numerical_aperture / config.wavelength_nm).ceil() as usize;
-    (2 * bins + 1).max(7).min(41)
+    let bins = (sigma * config.tile_nm() * config.numerical_aperture / config.wavelength_nm).ceil()
+        as usize;
+    (2 * bins + 1).clamp(7, 41)
 }
 
 #[cfg(test)]

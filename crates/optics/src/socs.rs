@@ -123,7 +123,11 @@ impl SocsKernels {
     fn clear_field_intensity(&self, mask_pixels: usize, out_rows: usize, out_cols: usize) -> f64 {
         let dc_row = self.dims.rows / 2;
         let dc_col = self.dims.cols / 2;
-        let dc_energy: f64 = self.kernels.iter().map(|k| k[(dc_row, dc_col)].abs_sq()).sum();
+        let dc_energy: f64 = self
+            .kernels
+            .iter()
+            .map(|k| k[(dc_row, dc_col)].abs_sq())
+            .sum();
         let ratio = mask_pixels as f64 / (out_rows * out_cols) as f64;
         dc_energy * ratio * ratio
     }
@@ -176,7 +180,12 @@ impl SocsKernels {
     ///
     /// Panics if the mask is smaller than the kernel grid or the requested
     /// output is smaller than the kernel grid.
-    pub fn aerial_image_at(&self, mask: &RealMatrix, out_rows: usize, out_cols: usize) -> RealMatrix {
+    pub fn aerial_image_at(
+        &self,
+        mask: &RealMatrix,
+        out_rows: usize,
+        out_cols: usize,
+    ) -> RealMatrix {
         let spectrum = centered_spectrum(mask);
         let cropped = center_crop(&spectrum, self.dims.rows, self.dims.cols);
         self.aerial_from_cropped_spectrum(&cropped, mask.len(), out_rows, out_cols)
@@ -206,14 +215,14 @@ impl SocsKernels {
     ///
     /// Panics if `count` is zero or exceeds the stored kernel count.
     pub fn truncated(&self, count: usize) -> Self {
-        assert!(count > 0 && count <= self.kernels.len(), "invalid truncation count");
+        assert!(
+            count > 0 && count <= self.kernels.len(),
+            "invalid truncation count"
+        );
         Self {
             kernels: self.kernels[..count].to_vec(),
             eigenvalues: self.eigenvalues[..count].to_vec(),
-            dims: KernelDims {
-                count,
-                ..self.dims
-            },
+            dims: KernelDims { count, ..self.dims },
         }
     }
 }
@@ -385,7 +394,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "same shape")]
     fn mismatched_kernel_shapes_panic() {
-        let _ = SocsKernels::from_kernels(vec![ComplexMatrix::zeros(3, 3), ComplexMatrix::zeros(5, 5)]);
+        let _ =
+            SocsKernels::from_kernels(vec![ComplexMatrix::zeros(3, 3), ComplexMatrix::zeros(5, 5)]);
     }
 
     #[test]
@@ -417,7 +427,9 @@ mod tests {
         let coarse = socs.truncated(2).aerial_image(&mask);
         let medium = socs.truncated(10).aerial_image(&mask);
         let err = |a: &RealMatrix| {
-            a.zip_map(&reference, |x, y| (x - y) * (x - y)).mean().sqrt()
+            a.zip_map(&reference, |x, y| (x - y) * (x - y))
+                .mean()
+                .sqrt()
         };
         assert!(err(&coarse) > err(&medium));
     }

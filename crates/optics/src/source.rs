@@ -229,7 +229,7 @@ mod tests {
         for &(sx, sy) in &grid.points {
             assert_eq!(shape.intensity(sx, sy), 1.0);
             let r = (sx * sx + sy * sy).sqrt();
-            assert!(r >= 0.4 - 1e-9 && r <= 0.8 + 1e-9);
+            assert!((0.4 - 1e-9..=0.8 + 1e-9).contains(&r));
         }
     }
 

@@ -99,7 +99,9 @@ impl TccMatrix {
 
     /// Trace of the TCC matrix (equals the sum of all SOCS eigenvalues).
     pub fn trace(&self) -> f64 {
-        (0..self.matrix.rows()).map(|i| self.matrix[(i, i)].re).sum()
+        (0..self.matrix.rows())
+            .map(|i| self.matrix[(i, i)].re)
+            .sum()
     }
 
     /// Largest deviation from Hermitian symmetry, `max |T - T^H|`; should be at

@@ -61,7 +61,11 @@ fn main() {
     let nitho_seconds = start.elapsed().as_secs_f64();
 
     let area = tile_area * workload.len() as f64;
-    println!("workload               : {} tiles ({:.3} um^2)", workload.len(), area);
+    println!(
+        "workload               : {} tiles ({:.3} um^2)",
+        workload.len(),
+        area
+    );
     println!(
         "rigorous simulator     : {:>8.3} s  ({:>9.4} um^2/s)",
         rigorous_seconds,
@@ -72,5 +76,8 @@ fn main() {
         nitho_seconds,
         area / nitho_seconds
     );
-    println!("speed-up               : {:>8.1}x", rigorous_seconds / nitho_seconds);
+    println!(
+        "speed-up               : {:>8.1}x",
+        rigorous_seconds / nitho_seconds
+    );
 }

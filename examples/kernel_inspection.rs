@@ -39,8 +39,14 @@ fn main() {
     let simulator = HopkinsSimulator::new(&optics);
 
     println!("== physical SOCS kernels ==");
-    println!("kernel grid         : {0}x{0}", simulator.kernel_dims().rows);
-    println!("captured TCC energy : {:.2} %", 100.0 * simulator.captured_energy());
+    println!(
+        "kernel grid         : {0}x{0}",
+        simulator.kernel_dims().rows
+    );
+    println!(
+        "captured TCC energy : {:.2} %",
+        100.0 * simulator.captured_energy()
+    );
     let eigenvalues = simulator.kernels().eigenvalues();
     for (order, value) in eigenvalues.iter().enumerate() {
         println!("  alpha_{order:<2} = {value:.4e}");

@@ -31,7 +31,11 @@ fn main() {
     let simulator = HopkinsSimulator::new(&optics);
     let dataset = Dataset::generate(DatasetKind::B1, 24, &simulator, 7);
     let (train, test) = dataset.split(0.75);
-    println!("dataset            : {} train / {} test tiles", train.len(), test.len());
+    println!(
+        "dataset            : {} train / {} test tiles",
+        train.len(),
+        test.len()
+    );
 
     // 3. Train Nitho from mask–aerial pairs only.
     let config = NithoConfig {
@@ -56,7 +60,16 @@ fn main() {
     let evaluation = model.evaluate(&test, optics.resist_threshold);
     println!("aerial  PSNR       : {:.2} dB", evaluation.aerial.psnr_db);
     println!("aerial  MSE (x1e-5): {:.2}", evaluation.aerial.mse_e5());
-    println!("aerial  ME  (x1e-2): {:.2}", evaluation.aerial.max_error_e2());
-    println!("resist  mPA        : {:.2} %", evaluation.resist.mpa_percent);
-    println!("resist  mIOU       : {:.2} %", evaluation.resist.miou_percent);
+    println!(
+        "aerial  ME  (x1e-2): {:.2}",
+        evaluation.aerial.max_error_e2()
+    );
+    println!(
+        "resist  mPA        : {:.2} %",
+        evaluation.resist.mpa_percent
+    );
+    println!(
+        "resist  mIOU       : {:.2} %",
+        evaluation.resist.miou_percent
+    );
 }

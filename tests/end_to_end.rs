@@ -7,22 +7,19 @@
 //!    while the baselines degrade much more (Table IV's story).
 
 use litho_baselines::{CnnLitho, FnoLitho, ImageRegressor, RegressorConfig, TargetStage};
+use litho_integration::scale;
 use litho_masks::{Dataset, DatasetKind};
 use litho_optics::{HopkinsSimulator, OpticalConfig};
 use nitho::{NithoConfig, NithoModel};
 
 fn optics() -> OpticalConfig {
-    OpticalConfig::builder()
-        .tile_px(64)
-        .pixel_nm(8.0)
-        .kernel_count(6)
-        .build()
+    scale::test_optics(64, 6)
 }
 
 fn nitho_config() -> NithoConfig {
     NithoConfig {
         kernel_side: Some(9),
-        epochs: 30,
+        epochs: scale::epochs(30),
         ..NithoConfig::fast()
     }
 }
@@ -30,7 +27,7 @@ fn nitho_config() -> NithoConfig {
 fn baseline_config() -> RegressorConfig {
     RegressorConfig {
         working_resolution: 16,
-        epochs: 30,
+        epochs: scale::epochs(30),
         ..RegressorConfig::default()
     }
 }
@@ -39,7 +36,7 @@ fn baseline_config() -> RegressorConfig {
 fn nitho_outperforms_image_to_image_baselines() {
     let optics = optics();
     let simulator = HopkinsSimulator::new(&optics);
-    let dataset = Dataset::generate(DatasetKind::B2Metal, 14, &simulator, 21);
+    let dataset = Dataset::generate(DatasetKind::B2Metal, scale::train_tiles(14), &simulator, 21);
     let (train, test) = dataset.split(0.7);
 
     let mut nitho = NithoModel::new(nitho_config(), &optics);
@@ -79,7 +76,7 @@ fn nitho_has_much_smaller_ood_drop_than_baselines() {
     let simulator = HopkinsSimulator::new(&optics);
     // Train on via arrays, test OOD on metal routing — the harder direction in
     // the paper's Table IV (B2v → B2m).
-    let train = Dataset::generate(DatasetKind::B2Via, 12, &simulator, 31);
+    let train = Dataset::generate(DatasetKind::B2Via, scale::train_tiles(12), &simulator, 31);
     let in_dist = Dataset::generate(DatasetKind::B2Via, 5, &simulator, 32);
     let ood = Dataset::generate(DatasetKind::B2Metal, 5, &simulator, 33);
 
@@ -91,8 +88,12 @@ fn nitho_has_much_smaller_ood_drop_than_baselines() {
 
     let mut cnn = CnnLitho::with_channels(baseline_config(), 8);
     cnn.train(&train);
-    let cnn_in = cnn.evaluate(&in_dist, optics.resist_threshold, TargetStage::Aerial).1;
-    let cnn_ood = cnn.evaluate(&ood, optics.resist_threshold, TargetStage::Aerial).1;
+    let cnn_in = cnn
+        .evaluate(&in_dist, optics.resist_threshold, TargetStage::Aerial)
+        .1;
+    let cnn_ood = cnn
+        .evaluate(&ood, optics.resist_threshold, TargetStage::Aerial)
+        .1;
     let cnn_drop = cnn_in.miou_percent - cnn_ood.miou_percent;
 
     // Nitho's kernels are mask-independent, so its mIOU drop must stay small
@@ -117,20 +118,23 @@ fn nitho_learns_from_fewer_samples_than_baselines() {
     // densely, which is the regime the figure studies.
     let optics = optics();
     let simulator = HopkinsSimulator::new(&optics);
-    let full = Dataset::generate(DatasetKind::B2Metal, 12, &simulator, 41);
+    let full = Dataset::generate(DatasetKind::B2Metal, scale::train_tiles(12), &simulator, 41);
     let test = Dataset::generate(DatasetKind::B2Metal, 5, &simulator, 42);
     let small = full.subset_fraction(0.5);
-    assert!(small.len() <= 6);
+    assert!(small.len() <= full.len().div_ceil(2));
 
     let mut nitho_small = NithoModel::new(
         NithoConfig {
-            epochs: 40,
+            epochs: scale::epochs(40),
             ..nitho_config()
         },
         &optics,
     );
     nitho_small.train(&small);
-    let nitho_small_psnr = nitho_small.evaluate(&test, optics.resist_threshold).aerial.psnr_db;
+    let nitho_small_psnr = nitho_small
+        .evaluate(&test, optics.resist_threshold)
+        .aerial
+        .psnr_db;
 
     let mut cnn_full = CnnLitho::with_channels(baseline_config(), 8);
     cnn_full.train(&full);

@@ -1,6 +1,7 @@
 //! Cross-crate physics consistency checks: the learned pipeline and the
 //! rigorous golden engine must agree wherever the mathematics says they must.
 
+use litho_integration::scale;
 use litho_masks::{Dataset, DatasetKind};
 use litho_math::ComplexMatrix;
 use litho_metrics::psnr;
@@ -11,11 +12,7 @@ use litho_optics::{HopkinsSimulator, OpticalConfig, SocsKernels, TccMatrix};
 use nitho::{NithoConfig, NithoModel, PositionalEncoding};
 
 fn optics() -> OpticalConfig {
-    OpticalConfig::builder()
-        .tile_px(64)
-        .pixel_nm(8.0)
-        .kernel_count(8)
-        .build()
+    scale::test_optics(64, 8)
 }
 
 #[test]
@@ -35,7 +32,14 @@ fn hopkins_and_abbe_agree_through_the_full_dataset_pipeline() {
     let dataset = Dataset::generate(DatasetKind::B2Via, 3, &simulator, 9);
     for sample in dataset.samples() {
         let hopkins = socs.aerial_image(&sample.mask);
-        let abbe = abbe_aerial_image(&sample.mask, &config, dims, &grid, 64, 64);
+        let abbe = abbe_aerial_image(
+            &sample.mask,
+            &config,
+            dims,
+            &grid,
+            config.tile_px,
+            config.tile_px,
+        );
         let quality = psnr(&abbe, &hopkins);
         assert!(quality > 60.0, "Hopkins vs Abbe PSNR only {quality:.1} dB");
     }
@@ -64,11 +68,11 @@ fn learned_kernels_span_the_same_band_as_physical_kernels() {
     // support must stay negligible compared to the in-band energy.
     let optics = optics();
     let simulator = HopkinsSimulator::new(&optics);
-    let train = Dataset::generate(DatasetKind::B2Metal, 10, &simulator, 17);
+    let train = Dataset::generate(DatasetKind::B2Metal, scale::train_tiles(10), &simulator, 17);
     let mut model = NithoModel::new(
         NithoConfig {
             kernel_side: Some(11),
-            epochs: 30,
+            epochs: scale::epochs(30),
             ..NithoConfig::fast()
         },
         &optics,
@@ -111,22 +115,29 @@ fn kernel_dimension_formula_saturates_accuracy() {
     // gives no further benefit, while a severely truncated kernel hurts.
     let optics = optics();
     let simulator = HopkinsSimulator::new(&optics);
-    let train = Dataset::generate(DatasetKind::B1, 10, &simulator, 23);
+    let train = Dataset::generate(DatasetKind::B1, scale::train_tiles(10), &simulator, 23);
     let test = Dataset::generate(DatasetKind::B1, 4, &simulator, 24);
-    let optimum = kernel_side(optics.tile_nm(), optics.wavelength_nm, optics.numerical_aperture);
+    let optimum = kernel_side(
+        optics.tile_nm(),
+        optics.wavelength_nm,
+        optics.numerical_aperture,
+    );
     assert_eq!(optimum, 15);
 
     let psnr_for = |side: usize| {
         let mut model = NithoModel::new(
             NithoConfig {
                 kernel_side: Some(side),
-                epochs: 30,
+                epochs: scale::epochs(30),
                 ..NithoConfig::fast()
             },
             &optics,
         );
         model.train(&train);
-        model.evaluate(&test, optics.resist_threshold).aerial.psnr_db
+        model
+            .evaluate(&test, optics.resist_threshold)
+            .aerial
+            .psnr_db
     };
 
     let tiny = psnr_for(3);

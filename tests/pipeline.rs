@@ -4,24 +4,21 @@
 use std::time::Instant;
 
 use litho_analysis::{mask_features, pca, separation_score, tsne, TsneConfig};
+use litho_integration::scale;
 use litho_masks::{Dataset, DatasetKind};
 use litho_math::RealMatrix;
 use litho_optics::{HopkinsSimulator, OpticalConfig};
 use nitho::{NithoConfig, NithoModel};
 
 fn optics() -> OpticalConfig {
-    OpticalConfig::builder()
-        .tile_px(64)
-        .pixel_nm(8.0)
-        .kernel_count(6)
-        .build()
+    scale::test_optics(64, 6)
 }
 
 fn quick_model(optics: &OpticalConfig, train: &Dataset) -> NithoModel {
     let mut model = NithoModel::new(
         NithoConfig {
             kernel_side: Some(9),
-            epochs: 25,
+            epochs: scale::epochs(25),
             ..NithoConfig::fast()
         },
         optics,
@@ -40,7 +37,7 @@ fn stored_kernel_inference_is_faster_than_rigorous_simulation() {
         ..optics.clone()
     });
     let labeller = HopkinsSimulator::new(&optics);
-    let train = Dataset::generate(DatasetKind::B2Metal, 8, &labeller, 51);
+    let train = Dataset::generate(DatasetKind::B2Metal, scale::train_tiles(8), &labeller, 51);
     let workload = Dataset::generate(DatasetKind::B2Via, 10, &labeller, 52);
     let model = quick_model(&optics, &train);
 
@@ -66,7 +63,7 @@ fn stored_kernel_inference_is_faster_than_rigorous_simulation() {
 fn model_round_trips_through_disk() {
     let optics = optics();
     let simulator = HopkinsSimulator::new(&optics);
-    let train = Dataset::generate(DatasetKind::B1, 8, &simulator, 61);
+    let train = Dataset::generate(DatasetKind::B1, scale::train_tiles(8), &simulator, 61);
     let model = quick_model(&optics, &train);
 
     let dir = std::env::temp_dir().join("nitho_integration_persistence");
@@ -99,12 +96,21 @@ fn low_resolution_training_path_matches_full_resolution_labels() {
     // still be accurate when evaluated at full tile resolution.
     let optics = optics();
     let simulator = HopkinsSimulator::new(&optics);
-    let dataset = Dataset::generate(DatasetKind::B2Via, 12, &simulator, 71);
+    let dataset = Dataset::generate(DatasetKind::B2Via, scale::train_tiles(12), &simulator, 71);
     let (train, test) = dataset.split(0.7);
     let model = quick_model(&optics, &train);
-    assert!(model.training_resolution() < optics.tile_px);
+    // At the 32 px floor the band-limited training resolution coincides with
+    // the full tile; the path is only strictly hierarchical above it.
+    assert!(model.training_resolution() <= optics.tile_px);
+    if optics.tile_px > 32 {
+        assert!(model.training_resolution() < optics.tile_px);
+    }
     let eval = model.evaluate(&test, optics.resist_threshold);
-    assert!(eval.aerial.psnr_db > 24.0, "PSNR {:.2}", eval.aerial.psnr_db);
+    assert!(
+        eval.aerial.psnr_db > 24.0,
+        "PSNR {:.2}",
+        eval.aerial.psnr_db
+    );
 }
 
 #[test]
@@ -134,7 +140,10 @@ fn dataset_families_form_separable_clusters() {
     let metal_idx: Vec<usize> = (0..10).collect();
     let via_idx: Vec<usize> = (10..20).collect();
     let score = separation_score(&embedding, &metal_idx, &via_idx);
-    assert!(score > 0.0, "families should separate in the embedding, score {score}");
+    assert!(
+        score > 0.0,
+        "families should separate in the embedding, score {score}"
+    );
 }
 
 #[test]
@@ -143,8 +152,8 @@ fn merged_dataset_training_keeps_accuracy_on_both_families() {
     // Nitho, because the kernels are shared physics, not per-family fits.
     let optics = optics();
     let simulator = HopkinsSimulator::new(&optics);
-    let metal = Dataset::generate(DatasetKind::B2Metal, 7, &simulator, 91);
-    let vias = Dataset::generate(DatasetKind::B2Via, 7, &simulator, 92);
+    let metal = Dataset::generate(DatasetKind::B2Metal, scale::train_tiles(7), &simulator, 91);
+    let vias = Dataset::generate(DatasetKind::B2Via, scale::train_tiles(7), &simulator, 92);
     let merged = metal.merged(&vias).shuffled(3);
     let metal_test = Dataset::generate(DatasetKind::B2Metal, 4, &simulator, 93);
     let via_test = Dataset::generate(DatasetKind::B2Via, 4, &simulator, 94);
@@ -152,12 +161,28 @@ fn merged_dataset_training_keeps_accuracy_on_both_families() {
     let model = quick_model(&optics, &merged);
     let metal_eval = model.evaluate(&metal_test, optics.resist_threshold);
     let via_eval = model.evaluate(&via_test, optics.resist_threshold);
-    assert!(metal_eval.aerial.psnr_db > 24.0, "metal PSNR {:.2}", metal_eval.aerial.psnr_db);
-    assert!(via_eval.aerial.psnr_db > 24.0, "via PSNR {:.2}", via_eval.aerial.psnr_db);
-    assert!(metal_eval.resist.miou_percent > 85.0, "metal mIOU {:.2}", metal_eval.resist.miou_percent);
+    assert!(
+        metal_eval.aerial.psnr_db > 24.0,
+        "metal PSNR {:.2}",
+        metal_eval.aerial.psnr_db
+    );
+    assert!(
+        via_eval.aerial.psnr_db > 24.0,
+        "via PSNR {:.2}",
+        via_eval.aerial.psnr_db
+    );
+    assert!(
+        metal_eval.resist.miou_percent > 85.0,
+        "metal mIOU {:.2}",
+        metal_eval.resist.miou_percent
+    );
     // Isolated contacts are tiny and print close to the dose threshold, so a
     // one-pixel contour shift already costs several IoU points at this coarse
     // 8 nm/px test resolution; the experiment-scale run (table3_accuracy)
     // operates at 4 nm/px where the margin is much larger.
-    assert!(via_eval.resist.miou_percent > 60.0, "via mIOU {:.2}", via_eval.resist.miou_percent);
+    assert!(
+        via_eval.resist.miou_percent > 60.0,
+        "via mIOU {:.2}",
+        via_eval.resist.miou_percent
+    );
 }
