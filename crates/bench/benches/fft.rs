@@ -1,21 +1,42 @@
 //! Microbenchmark: 2-D FFTs at the sizes used by the training loop and the
 //! full-resolution SOCS synthesis.
+//!
+//! Three execution strategies are compared at each size:
+//! `unplanned` (per-call twiddle recomputation, serial — the pre-engine
+//! baseline), `planned/1t` (cached plans, single thread) and `planned/Nt`
+//! (cached plans, row/column passes over `litho_parallel` workers), plus the
+//! explicit [`FftPlan`] 2-D entry point.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use litho_fft::{fft2, FftPlan};
+use litho_fft::{fft2, unplanned, FftPlan};
 use litho_math::{ComplexMatrix, DeterministicRng};
 
 fn bench_fft2(c: &mut Criterion) {
+    let threads = litho_parallel::max_threads();
     let mut group = c.benchmark_group("fft2");
     group.sample_size(20);
-    for &n in &[32usize, 64, 128] {
+    for &n in &[32usize, 64, 128, 256] {
         let mut rng = DeterministicRng::new(n as u64);
         let m = ComplexMatrix::from_fn(n, n, |_, _| rng.normal_complex(0.0, 1.0));
-        group.bench_with_input(BenchmarkId::new("direct", n), &m, |b, m| {
-            b.iter(|| fft2(m));
+        group.bench_with_input(BenchmarkId::new("unplanned", n), &m, |b, m| {
+            b.iter(|| unplanned::fft2(m));
         });
+        group.bench_with_input(BenchmarkId::new("planned/1t", n), &m, |b, m| {
+            b.iter(|| litho_parallel::with_threads(1, || fft2(m)));
+        });
+        // On a single-core runner this id would collide with "planned/1t",
+        // which real criterion rejects.
+        if threads > 1 {
+            group.bench_with_input(
+                BenchmarkId::new(format!("planned/{threads}t"), n),
+                &m,
+                |b, m| {
+                    b.iter(|| litho_parallel::with_threads(threads, || fft2(m)));
+                },
+            );
+        }
         let plan = FftPlan::new(n);
-        group.bench_with_input(BenchmarkId::new("planned", n), &m, |b, m| {
+        group.bench_with_input(BenchmarkId::new("explicit_plan", n), &m, |b, m| {
             b.iter(|| plan.forward2(m));
         });
     }

@@ -1,0 +1,121 @@
+//! SOCS aerial-image throughput on a production-sized 64-kernel bank:
+//! serial/unplanned baseline vs the planned engine at 1 and N threads.
+//!
+//! Besides the criterion-style console lines, this bench emits a
+//! `BENCH_socs.json` summary (written to the workspace root) so the
+//! speedups can be tracked across commits.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use litho_fft::ifftshift;
+use litho_masks::{Dataset, DatasetKind};
+use litho_math::util::center_pad;
+use litho_math::{ComplexMatrix, RealMatrix};
+use litho_optics::source::SourceGrid;
+use litho_optics::{HopkinsSimulator, OpticalConfig, SocsKernels, TccMatrix};
+
+const TILE_PX: usize = 128;
+const KERNEL_COUNT: usize = 64;
+
+/// The pre-engine aerial synthesis: per-call twiddle recomputation, one
+/// kernel at a time, no plan cache, no workers. Normalization is omitted —
+/// it is a single DC lookup per kernel plus one matrix scale, noise compared
+/// to the 2·r 2-D FFTs being timed.
+fn unplanned_serial_aerial(socs: &SocsKernels, spectrum: &ComplexMatrix, out: usize) -> RealMatrix {
+    let mut intensity = RealMatrix::zeros(out, out);
+    for kernel in socs.kernels() {
+        let product = kernel.hadamard(spectrum);
+        let padded = center_pad(&product, out, out);
+        let field = litho_fft::unplanned::ifft2(&ifftshift(&padded));
+        intensity = intensity.zip_map(&field.abs_sq(), |acc, v| acc + v);
+    }
+    intensity
+}
+
+/// Mean wall time per iteration in milliseconds (1 warm-up + `iters` timed).
+fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+fn bench_socs(c: &mut Criterion) {
+    let config = OpticalConfig::builder()
+        .tile_px(TILE_PX)
+        .pixel_nm(4.0)
+        .kernel_count(KERNEL_COUNT)
+        .build();
+    let dims = config.kernel_dims_with_side(9);
+    let grid = SourceGrid::sample(&config.source, 13);
+    let tcc = TccMatrix::assemble(&config, dims, &grid);
+    let socs = SocsKernels::from_tcc(&tcc);
+    assert_eq!(socs.kernels().len(), KERNEL_COUNT);
+
+    let labeller = HopkinsSimulator::new(&config);
+    let mask = Dataset::generate(DatasetKind::B2Metal, 1, &labeller, 11).samples()[0]
+        .mask
+        .clone();
+    let spectrum = socs.cropped_mask_spectrum(&mask);
+    let mask_pixels = mask.len();
+    let threads = litho_parallel::max_threads();
+
+    let mut group = c.benchmark_group("socs_aerial_64_kernels");
+    group.sample_size(10);
+    group.bench_function("unplanned_serial", |b| {
+        b.iter(|| unplanned_serial_aerial(&socs, &spectrum, TILE_PX));
+    });
+    group.bench_function("planned_1_thread", |b| {
+        b.iter(|| {
+            litho_parallel::with_threads(1, || {
+                socs.aerial_from_cropped_spectrum(&spectrum, mask_pixels, TILE_PX, TILE_PX)
+            })
+        });
+    });
+    // Only meaningful (and unambiguous) when there is real parallelism.
+    if threads > 1 {
+        group.bench_function(format!("planned_{threads}_threads"), |b| {
+            b.iter(|| {
+                litho_parallel::with_threads(threads, || {
+                    socs.aerial_from_cropped_spectrum(&spectrum, mask_pixels, TILE_PX, TILE_PX)
+                })
+            });
+        });
+    }
+    group.finish();
+
+    // JSON summary for the README / CI perf tracking.
+    let iters = 5;
+    let unplanned_ms = time_ms(iters, || {
+        black_box(unplanned_serial_aerial(&socs, &spectrum, TILE_PX));
+    });
+    let planned_serial_ms = time_ms(iters, || {
+        litho_parallel::with_threads(1, || {
+            black_box(socs.aerial_from_cropped_spectrum(&spectrum, mask_pixels, TILE_PX, TILE_PX));
+        });
+    });
+    let planned_parallel_ms = time_ms(iters, || {
+        litho_parallel::with_threads(threads, || {
+            black_box(socs.aerial_from_cropped_spectrum(&spectrum, mask_pixels, TILE_PX, TILE_PX));
+        });
+    });
+
+    let json = format!(
+        "{{\n  \"bench\": \"socs_aerial\",\n  \"tile_px\": {TILE_PX},\n  \"kernel_count\": {KERNEL_COUNT},\n  \"threads\": {threads},\n  \"unplanned_serial_ms\": {unplanned_ms:.3},\n  \"planned_1_thread_ms\": {planned_serial_ms:.3},\n  \"planned_parallel_ms\": {planned_parallel_ms:.3},\n  \"planned_speedup\": {:.3},\n  \"parallel_speedup\": {:.3}\n}}\n",
+        unplanned_ms / planned_serial_ms,
+        unplanned_ms / planned_parallel_ms,
+    );
+    // Cargo runs benches with the package directory as CWD; anchor the report
+    // at the workspace root instead.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_socs.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote BENCH_socs.json:\n{json}"),
+        Err(err) => eprintln!("could not write BENCH_socs.json: {err}"),
+    }
+}
+
+criterion_group!(benches, bench_socs);
+criterion_main!(benches);

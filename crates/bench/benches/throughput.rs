@@ -31,14 +31,31 @@ fn bench_throughput(c: &mut Criterion) {
     );
     model.train(&train);
 
+    let threads = litho_parallel::max_threads();
     let mut group = c.benchmark_group("throughput");
     group.sample_size(10);
-    group.bench_function("rigorous_tile_128", |b| {
-        b.iter(|| rigorous.simulate(&mask));
+    group.bench_function("rigorous_tile_128/1t", |b| {
+        b.iter(|| litho_parallel::with_threads(1, || rigorous.simulate(&mask)));
     });
-    group.bench_function("nitho_tile_128", |b| {
-        b.iter(|| model.predict_resist(&mask, optics.resist_threshold));
+    group.bench_function("nitho_tile_128/1t", |b| {
+        b.iter(|| {
+            litho_parallel::with_threads(1, || model.predict_resist(&mask, optics.resist_threshold))
+        });
     });
+    // On a single-core runner these ids would collide with the "/1t" cases,
+    // which real criterion rejects.
+    if threads > 1 {
+        group.bench_function(format!("rigorous_tile_128/{threads}t"), |b| {
+            b.iter(|| litho_parallel::with_threads(threads, || rigorous.simulate(&mask)));
+        });
+        group.bench_function(format!("nitho_tile_128/{threads}t"), |b| {
+            b.iter(|| {
+                litho_parallel::with_threads(threads, || {
+                    model.predict_resist(&mask, optics.resist_threshold)
+                })
+            });
+        });
+    }
     group.finish();
 }
 

@@ -3,7 +3,7 @@
 
 use std::path::Path;
 
-use litho_autodiff::{Adam, Optimizer, Tape};
+use litho_autodiff::{Adam, Optimizer, ParamId, Tape};
 use litho_fft::{ifft2, ifftshift};
 use litho_masks::Dataset;
 use litho_math::util::{center_crop, center_pad};
@@ -161,6 +161,11 @@ impl NithoModel {
     /// Runs the forward training procedure (Algorithm 1) on the mask–aerial
     /// pairs of `dataset`, returning the per-epoch loss trace.
     ///
+    /// Within each mini-batch, samples are evaluated on independent autodiff
+    /// tapes distributed over `litho_parallel` workers (`NITHO_THREADS`);
+    /// losses and gradients are reduced in fixed sample order, so the trained
+    /// parameters are bit-identical for any thread count.
+    ///
     /// # Panics
     ///
     /// Panics if the dataset is empty or its tiles do not match the model's
@@ -203,17 +208,28 @@ impl NithoModel {
             let mut batches = 0usize;
 
             for batch in order.chunks(self.config.batch_size) {
-                let mut tape = Tape::new();
-                let coords = tape.constant(self.encoded_coords.clone());
-                let (output, leaves) = self.cmlp.forward(&mut tape, coords);
+                let inv_batch = 1.0 / batch.len() as f64;
 
-                // Slice the CMLP output into r kernel nodes (one per column).
-                let kernel_nodes: Vec<_> = (0..self.dims.count)
-                    .map(|k| tape.column_as_matrix(output, k, self.dims.rows, self.dims.cols))
-                    .collect();
+                // Forward/backward each sample on its own tape. Samples are
+                // independent, so they spread over litho_parallel workers; the
+                // per-sample work (CMLP forward, SOCS synthesis, reverse pass)
+                // never depends on the thread count. The small CMLP forward is
+                // deliberately repeated per sample: sharing it would couple the
+                // samples onto one tape, and the decomposition must stay fixed
+                // for the trained parameters to be bit-identical at any thread
+                // count. The per-sample SOCS chain (r ifft2 pairs at training
+                // resolution) dominates the batch cost.
+                let per_sample = litho_parallel::par_map(batch.len(), |b| {
+                    let sample_idx = batch[b];
+                    let mut tape = Tape::new();
+                    let coords = tape.constant(self.encoded_coords.clone());
+                    let (output, leaves) = self.cmlp.forward(&mut tape, coords);
 
-                let mut batch_loss = None;
-                for &sample_idx in batch {
+                    // Slice the CMLP output into r kernel nodes (one per column).
+                    let kernel_nodes: Vec<_> = (0..self.dims.count)
+                        .map(|k| tape.column_as_matrix(output, k, self.dims.rows, self.dims.cols))
+                        .collect();
+
                     let spectrum = tape.constant(spectra[sample_idx].clone());
                     let scale = ((t_res * t_res) as f64 / mask_pixels[sample_idx] as f64).powi(2);
                     // SOCS synthesis (Algorithm 1 lines 10–12).
@@ -232,20 +248,46 @@ impl NithoModel {
                     let raw = intensity.expect("at least one kernel");
                     let normalized = tape.scale_re(raw, scale);
                     let sample_loss = tape.mse_loss(normalized, &targets[sample_idx]);
-                    batch_loss = Some(match batch_loss {
-                        None => sample_loss,
-                        Some(acc) => tape.add(acc, sample_loss),
-                    });
+                    tape.backward(sample_loss);
+
+                    let loss_value = tape.value(sample_loss)[(0, 0)].re;
+                    let grads: Vec<(ParamId, Option<ComplexMatrix>)> = leaves
+                        .iter()
+                        .map(|(pid, nid)| (*pid, tape.grad(*nid).cloned()))
+                        .collect();
+                    (loss_value, grads)
+                });
+
+                // Reduce losses and per-parameter gradients in fixed sample
+                // order, then average — bit-identical for any thread count.
+                let mut batch_loss = 0.0;
+                let mut grad_sums: Vec<(ParamId, Option<ComplexMatrix>)> = Vec::new();
+                for (loss_value, sample_grads) in per_sample {
+                    batch_loss += loss_value;
+                    if grad_sums.is_empty() {
+                        grad_sums = sample_grads;
+                        continue;
+                    }
+                    for ((acc_pid, acc), (grad_pid, grad)) in grad_sums.iter_mut().zip(sample_grads)
+                    {
+                        debug_assert_eq!(
+                            *acc_pid, grad_pid,
+                            "per-sample tapes must yield leaves in identical order"
+                        );
+                        if let Some(grad) = grad {
+                            match acc {
+                                Some(sum) => *sum += &grad,
+                                None => *acc = Some(grad),
+                            }
+                        }
+                    }
                 }
-                let total = batch_loss.expect("non-empty batch");
-                let loss = tape.scale_re(total, 1.0 / batch.len() as f64);
-                tape.backward(loss);
-                epoch_loss += tape.value(loss)[(0, 0)].re;
+                epoch_loss += batch_loss * inv_batch;
                 batches += 1;
 
-                let grads: Vec<_> = leaves
-                    .iter()
-                    .filter_map(|(pid, nid)| tape.grad(*nid).map(|g| (*pid, g.clone())))
+                let grads: Vec<(ParamId, ComplexMatrix)> = grad_sums
+                    .into_iter()
+                    .filter_map(|(pid, sum)| sum.map(|g| (pid, g.scale_re(inv_batch))))
                     .collect();
                 adam.step(self.cmlp.params_mut(), &grads);
             }

@@ -1,0 +1,285 @@
+//! Process-wide FFT plan cache and the Bluestein chirp-z plan.
+//!
+//! SOCS aerial-image synthesis performs the same-size transform once per
+//! optical kernel per mask — thousands of times per training epoch — so the
+//! module-level [`fft`](crate::fft)/[`ifft2`](crate::ifft2) entry points route
+//! through plans cached here instead of recomputing twiddle factors and
+//! bit-reversal tables on every call:
+//!
+//! * [`plan_for`] returns the shared radix-2 [`FftPlan`] for a power-of-two
+//!   length.
+//! * [`bluestein_plan_for`] returns the shared [`BluesteinPlan`] for any other
+//!   length, with the chirp and the forward spectrum of the chirp-convolution
+//!   kernel (the "B spectrum") precomputed once.
+//!
+//! Plans are immutable after construction and shared as `Arc`s behind a
+//! `Mutex`-guarded map, so every thread — including the short-lived scoped
+//! workers of `litho_parallel` — sees the same cache. Per-transform scratch is
+//! a thread-local buffer reused across calls on long-lived threads.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use litho_math::Complex64;
+
+use crate::plan::FftPlan;
+
+static RADIX2_PLANS: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+static BLUESTEIN_PLANS: OnceLock<Mutex<HashMap<usize, Arc<BluesteinPlan>>>> = OnceLock::new();
+
+thread_local! {
+    /// Reused Bluestein convolution scratch (length `m` of the most recent
+    /// plan); avoids one heap allocation per transform on the hot path.
+    static SCRATCH: RefCell<Vec<Complex64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Returns the shared, cached [`FftPlan`] for a power-of-two length.
+///
+/// # Panics
+///
+/// Panics if `len` is not a power of two (see [`FftPlan::new`]).
+pub fn plan_for(len: usize) -> Arc<FftPlan> {
+    let cache = RADIX2_PLANS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("FFT plan cache poisoned");
+    Arc::clone(
+        map.entry(len)
+            .or_insert_with(|| Arc::new(FftPlan::new(len))),
+    )
+}
+
+/// Returns the shared, cached [`BluesteinPlan`] for an arbitrary length.
+///
+/// # Panics
+///
+/// Panics if `len == 0`.
+pub fn bluestein_plan_for(len: usize) -> Arc<BluesteinPlan> {
+    let cache = BLUESTEIN_PLANS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("Bluestein plan cache poisoned");
+    Arc::clone(
+        map.entry(len)
+            .or_insert_with(|| Arc::new(BluesteinPlan::new(len))),
+    )
+}
+
+/// Per-direction Bluestein tables: the chirp `w_k = e^{±iπ k²/n}` and the
+/// forward FFT of the chirp convolution kernel.
+#[derive(Debug, Clone)]
+struct ChirpTables {
+    chirp: Vec<Complex64>,
+    b_spectrum: Vec<Complex64>,
+}
+
+/// A reusable chirp-z (Bluestein) DFT plan for one fixed length.
+///
+/// Bluestein's identity `nk = (n² + k² - (k-n)²)/2` turns an arbitrary-length
+/// DFT into a cyclic convolution of length `m = next_pow2(2n-1)`, evaluated
+/// with radix-2 FFTs. Everything that does not depend on the input — the
+/// chirp for both directions, the padded convolution kernel's spectrum, and
+/// the inner power-of-two plan — is computed once here and reused for every
+/// transform.
+///
+/// # Example
+///
+/// ```
+/// use litho_fft::BluesteinPlan;
+/// use litho_math::Complex64;
+///
+/// let plan = BluesteinPlan::new(5);
+/// let signal: Vec<Complex64> = (0..5).map(|i| Complex64::new(i as f64, 0.0)).collect();
+/// let mut data = signal.clone();
+/// plan.forward_in_place(&mut data);
+/// plan.inverse_in_place(&mut data);
+/// for (a, b) in data.iter().zip(signal.iter()) {
+///     assert!((*a - *b).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BluesteinPlan {
+    len: usize,
+    m: usize,
+    inner: Arc<FftPlan>,
+    forward: ChirpTables,
+    inverse: ChirpTables,
+}
+
+impl BluesteinPlan {
+    /// Creates a plan for transforms of length `len` (any positive length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "BluesteinPlan requires a positive length");
+        let m = (2 * len - 1).next_power_of_two();
+        let inner = plan_for(m);
+        let forward = Self::tables(len, m, &inner, -1.0);
+        let inverse = Self::tables(len, m, &inner, 1.0);
+        Self {
+            len,
+            m,
+            inner,
+            forward,
+            inverse,
+        }
+    }
+
+    fn tables(len: usize, m: usize, inner: &FftPlan, sign: f64) -> ChirpTables {
+        // Chirp: w_k = e^{sign·iπ k² / n}, with k² reduced mod 2n to keep the
+        // angle argument small for large k.
+        let chirp: Vec<Complex64> = (0..len)
+            .map(|k| {
+                let k2 = (k as u128 * k as u128) % (2 * len as u128);
+                Complex64::cis(sign * std::f64::consts::PI * k2 as f64 / len as f64)
+            })
+            .collect();
+
+        let mut b = vec![Complex64::ZERO; m];
+        b[0] = chirp[0].conj();
+        for k in 1..len {
+            let val = chirp[k].conj();
+            b[k] = val;
+            b[m - k] = val;
+        }
+        inner.forward_in_place(&mut b);
+        ChirpTables {
+            chirp,
+            b_spectrum: b,
+        }
+    }
+
+    /// Transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always `false`; plans have positive length by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Length of the internal power-of-two convolution.
+    pub fn convolution_len(&self) -> usize {
+        self.m
+    }
+
+    /// In-place forward DFT (unnormalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the planned length.
+    pub fn forward_in_place(&self, data: &mut [Complex64]) {
+        self.run(data, &self.forward);
+    }
+
+    /// In-place inverse DFT (normalized by `1/N`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the planned length.
+    pub fn inverse_in_place(&self, data: &mut [Complex64]) {
+        self.run(data, &self.inverse);
+        let scale = 1.0 / self.len as f64;
+        for z in data.iter_mut() {
+            *z *= scale;
+        }
+    }
+
+    fn run(&self, data: &mut [Complex64], tables: &ChirpTables) {
+        assert_eq!(data.len(), self.len, "buffer length does not match plan");
+        SCRATCH.with(|scratch| {
+            let mut a = scratch.borrow_mut();
+            a.clear();
+            a.resize(self.m, Complex64::ZERO);
+            for (slot, (&x, &w)) in a.iter_mut().zip(data.iter().zip(tables.chirp.iter())) {
+                *slot = x * w;
+            }
+            self.inner.forward_in_place(&mut a);
+            for (slot, &bs) in a.iter_mut().zip(tables.b_spectrum.iter()) {
+                *slot *= bs;
+            }
+            // The inner inverse includes the 1/m convolution normalization.
+            self.inner.inverse_in_place(&mut a);
+            for (out, (&conv, &w)) in data.iter_mut().zip(a.iter().zip(tables.chirp.iter())) {
+                *out = conv * w;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft_reference;
+    use litho_math::DeterministicRng;
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut rng = DeterministicRng::new(seed);
+        (0..n).map(|_| rng.normal_complex(0.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn cached_plans_are_shared() {
+        let a = plan_for(32);
+        let b = plan_for(32);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = bluestein_plan_for(15);
+        let d = bluestein_plan_for(15);
+        assert!(Arc::ptr_eq(&c, &d));
+        assert_eq!(c.len(), 15);
+        assert!(!c.is_empty());
+        assert_eq!(c.convolution_len(), 32);
+    }
+
+    #[test]
+    fn bluestein_plan_matches_reference_dft() {
+        for &n in &[2usize, 3, 5, 7, 11, 13, 21, 33, 100] {
+            let x = random_signal(n, 1000 + n as u64);
+            let mut fwd = x.clone();
+            bluestein_plan_for(n).forward_in_place(&mut fwd);
+            let slow = dft_reference(&x, false);
+            for (a, b) in fwd.iter().zip(slow.iter()) {
+                assert!((*a - *b).abs() < 1e-8, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bluestein_plan_inverse_round_trip() {
+        for &n in &[1usize, 3, 5, 12, 17, 31] {
+            let x = random_signal(n, 2000 + n as u64);
+            let plan = BluesteinPlan::new(n);
+            let mut data = x.clone();
+            plan.forward_in_place(&mut data);
+            plan.inverse_in_place(&mut data);
+            for (a, b) in data.iter().zip(x.iter()) {
+                assert!((*a - *b).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bluestein_length_one_is_identity() {
+        let plan = BluesteinPlan::new(1);
+        let original = Complex64::new(-0.75, 4.0);
+        let mut data = vec![original];
+        plan.forward_in_place(&mut data);
+        assert!((data[0] - original).abs() < 1e-15);
+        plan.inverse_in_place(&mut data);
+        assert!((data[0] - original).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match plan")]
+    fn wrong_buffer_length_panics() {
+        let plan = BluesteinPlan::new(5);
+        let mut data = vec![Complex64::ZERO; 4];
+        plan.forward_in_place(&mut data);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn zero_length_panics() {
+        let _ = BluesteinPlan::new(0);
+    }
+}

@@ -13,6 +13,20 @@
 //!   center, matching the `fftshift(fft2(M))` convention of the paper's
 //!   Algorithm 1.
 //!
+//! # Execution engine
+//!
+//! All entry points are *planned*: twiddle factors, bit-reversal tables and
+//! (for non-power-of-two lengths) the Bluestein chirp plus the precomputed
+//! spectrum of its convolution kernel are built once per length and served
+//! from a process-wide cache ([`plan_for`] / [`bluestein_plan_for`]). The
+//! independent row and column passes of the 2-D transforms are distributed
+//! over `litho_parallel` workers for large matrices; because every 1-D
+//! transform is computed by exactly one worker and rows are written to
+//! disjoint slices, results are **bit-identical for any thread count**.
+//!
+//! The original per-call-twiddle serial implementation is retained in
+//! [`unplanned`] as the equivalence baseline for tests and benchmarks.
+//!
 //! Conventions: the forward transform is un-normalized
 //! (`X_k = Σ x_n e^{-2πi nk/N}`), the inverse divides by `N`, so
 //! `ifft(fft(x)) == x`.
@@ -33,10 +47,19 @@
 
 #![forbid(unsafe_code)]
 
+use std::sync::Arc;
+
 use litho_math::{Complex64, ComplexMatrix, Matrix, RealMatrix};
 
+mod cache;
 mod plan;
+pub use cache::{bluestein_plan_for, plan_for, BluesteinPlan};
 pub use plan::FftPlan;
+
+/// 2-D transforms whose matrices have at least this many elements spread the
+/// row/column passes over `litho_parallel` workers; smaller transforms are not
+/// worth the scoped-thread spawn cost.
+const PARALLEL_MIN_ELEMENTS: usize = 4096;
 
 /// Direction of a transform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,94 +111,39 @@ pub fn dft_reference(input: &[Complex64], inverse: bool) -> Vec<Complex64> {
     out
 }
 
+/// A resolved 1-D transform strategy for one length: identity for trivial
+/// lengths, a cached radix-2 plan for powers of two, a cached Bluestein plan
+/// otherwise. Cheap to look up, `Sync`, and shared across worker threads.
+enum Planned {
+    Identity,
+    Radix2(Arc<FftPlan>),
+    Bluestein(Arc<BluesteinPlan>),
+}
+
+impl Planned {
+    fn for_len(n: usize) -> Self {
+        if n <= 1 {
+            Planned::Identity
+        } else if n.is_power_of_two() {
+            Planned::Radix2(plan_for(n))
+        } else {
+            Planned::Bluestein(bluestein_plan_for(n))
+        }
+    }
+
+    fn apply(&self, data: &mut [Complex64], direction: Direction) {
+        match (self, direction) {
+            (Planned::Identity, _) => {}
+            (Planned::Radix2(plan), Direction::Forward) => plan.forward_in_place(data),
+            (Planned::Radix2(plan), Direction::Inverse) => plan.inverse_in_place(data),
+            (Planned::Bluestein(plan), Direction::Forward) => plan.forward_in_place(data),
+            (Planned::Bluestein(plan), Direction::Inverse) => plan.inverse_in_place(data),
+        }
+    }
+}
+
 fn transform_in_place(data: &mut [Complex64], direction: Direction) {
-    let n = data.len();
-    if n <= 1 {
-        return;
-    }
-    if n.is_power_of_two() {
-        radix2_in_place(data, direction);
-    } else {
-        let out = bluestein(data, direction);
-        data.copy_from_slice(&out);
-    }
-    if direction == Direction::Inverse {
-        let scale = 1.0 / n as f64;
-        for z in data.iter_mut() {
-            *z *= scale;
-        }
-    }
-}
-
-/// Iterative radix-2 Cooley–Tukey FFT (unnormalized).
-fn radix2_in_place(data: &mut [Complex64], direction: Direction) {
-    let n = data.len();
-    debug_assert!(n.is_power_of_two());
-
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
-        if j > i {
-            data.swap(i, j);
-        }
-    }
-
-    let sign = direction.sign();
-    let mut len = 2;
-    while len <= n {
-        let angle_step = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let w_len = Complex64::cis(angle_step);
-        for start in (0..n).step_by(len) {
-            let mut w = Complex64::ONE;
-            for k in 0..len / 2 {
-                let a = data[start + k];
-                let b = data[start + k + len / 2] * w;
-                data[start + k] = a + b;
-                data[start + k + len / 2] = a - b;
-                w *= w_len;
-            }
-        }
-        len <<= 1;
-    }
-}
-
-/// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
-/// convolution, evaluated with power-of-two FFTs.
-fn bluestein(input: &[Complex64], direction: Direction) -> Vec<Complex64> {
-    let n = input.len();
-    let sign = direction.sign();
-    let m = (2 * n - 1).next_power_of_two();
-
-    // Chirp: w_k = e^{sign·iπ k² / n}.
-    let chirp: Vec<Complex64> = (0..n)
-        .map(|k| {
-            let k2 = (k as u128 * k as u128) % (2 * n as u128);
-            Complex64::cis(sign * std::f64::consts::PI * k2 as f64 / n as f64)
-        })
-        .collect();
-
-    let mut a = vec![Complex64::ZERO; m];
-    for k in 0..n {
-        a[k] = input[k] * chirp[k];
-    }
-    let mut b = vec![Complex64::ZERO; m];
-    b[0] = chirp[0].conj();
-    for k in 1..n {
-        let val = chirp[k].conj();
-        b[k] = val;
-        b[m - k] = val;
-    }
-
-    radix2_in_place(&mut a, Direction::Forward);
-    radix2_in_place(&mut b, Direction::Forward);
-    for k in 0..m {
-        a[k] *= b[k];
-    }
-    radix2_in_place(&mut a, Direction::Inverse);
-    let scale = 1.0 / m as f64;
-
-    (0..n).map(|k| a[k] * chirp[k] * scale).collect()
+    Planned::for_len(data.len()).apply(data, direction);
 }
 
 /// Forward 2-D FFT over a complex matrix (rows, then columns).
@@ -194,30 +162,236 @@ pub fn fft2_real(input: &RealMatrix) -> ComplexMatrix {
     fft2(&input.to_complex())
 }
 
+/// `true` when every element is exactly zero. The DFT of an exactly zero
+/// vector is exactly zero in both directions, so such rows/columns can skip
+/// the transform entirely — the dominant saving for the center-padded spectra
+/// of the SOCS synthesis, where all but a few kernel-grid rows are zero.
+/// The check depends only on the data, never on the thread count, so pruning
+/// preserves the bit-identity contract.
+fn is_all_zero(data: &[Complex64]) -> bool {
+    data.iter().all(|z| z.re == 0.0 && z.im == 0.0)
+}
+
+/// Transforms every length-`row_len` row of `data` in place, spreading rows
+/// over workers when the matrix is large enough to amortize the spawn cost.
+fn row_pass(data: &mut [Complex64], row_len: usize, plan: &Planned, direction: Direction) {
+    let rows = data.len() / row_len;
+    let apply = |row: &mut [Complex64]| {
+        if !is_all_zero(row) {
+            plan.apply(row, direction);
+        }
+    };
+    if rows >= 2 && data.len() >= PARALLEL_MIN_ELEMENTS && litho_parallel::max_threads() > 1 {
+        litho_parallel::par_chunks_mut(data, row_len, |_, row| apply(row));
+    } else {
+        for row in data.chunks_mut(row_len) {
+            apply(row);
+        }
+    }
+}
+
 fn transform2(input: &ComplexMatrix, direction: Direction) -> ComplexMatrix {
     let (rows, cols) = input.shape();
     let mut out = input.clone();
 
-    // Transform each row.
-    let mut row_buf = vec![Complex64::ZERO; cols];
-    for i in 0..rows {
-        row_buf.copy_from_slice(out.row(i));
-        transform_in_place(&mut row_buf, direction);
-        out.row_mut(i).copy_from_slice(&row_buf);
+    // Row pass.
+    let row_plan = Planned::for_len(cols);
+    row_pass(out.as_mut_slice(), cols, &row_plan, direction);
+
+    // Column pass. Both strategies below feed every column through the same
+    // planned 1-D kernel, so they produce identical bits; they only differ in
+    // how the data is moved.
+    let col_plan = if rows == cols {
+        row_plan
+    } else {
+        Planned::for_len(rows)
+    };
+    let parallel = rows >= 2
+        && cols >= 2
+        && rows * cols >= PARALLEL_MIN_ELEMENTS
+        && litho_parallel::max_threads() > 1;
+    if parallel {
+        // Transpose so columns become contiguous rows that distribute over
+        // workers, then transpose back.
+        let mut transposed = out.transpose();
+        row_pass(transposed.as_mut_slice(), rows, &col_plan, direction);
+        transposed.transpose()
+    } else {
+        // Serial gather/scatter with one reused column buffer — cheaper than
+        // two transposes when there is nothing to fan out.
+        let mut col_buf = vec![Complex64::ZERO; rows];
+        for j in 0..cols {
+            for i in 0..rows {
+                col_buf[i] = out[(i, j)];
+            }
+            if is_all_zero(&col_buf) {
+                continue;
+            }
+            col_plan.apply(&mut col_buf, direction);
+            for i in 0..rows {
+                out[(i, j)] = col_buf[i];
+            }
+        }
+        out
+    }
+}
+
+/// The original serial, per-call-twiddle transforms.
+///
+/// These are the pre-planning implementations, kept as the independent
+/// baseline that the planned engine is tested against
+/// (`planned_matches_unplanned_*`) and benchmarked against
+/// (`cargo bench -p litho_bench --bench fft`, `--bench socs`). They share no
+/// code with the planned path except the bit-reversal hardening.
+pub mod unplanned {
+    use super::{Complex64, ComplexMatrix, Direction, RealMatrix};
+    use crate::plan::bit_reverse_table;
+
+    /// Forward 1-D FFT (unplanned baseline). Works for any length.
+    pub fn fft(input: &[Complex64]) -> Vec<Complex64> {
+        let mut data = input.to_vec();
+        transform_in_place(&mut data, Direction::Forward);
+        data
     }
 
-    // Transform each column.
-    let mut col_buf = vec![Complex64::ZERO; rows];
-    for j in 0..cols {
-        for i in 0..rows {
-            col_buf[i] = out[(i, j)];
+    /// Inverse 1-D FFT (unplanned baseline, normalized by `1/N`).
+    pub fn ifft(input: &[Complex64]) -> Vec<Complex64> {
+        let mut data = input.to_vec();
+        transform_in_place(&mut data, Direction::Inverse);
+        data
+    }
+
+    /// Forward 2-D FFT (unplanned baseline).
+    pub fn fft2(input: &ComplexMatrix) -> ComplexMatrix {
+        transform2(input, Direction::Forward)
+    }
+
+    /// Inverse 2-D FFT (unplanned baseline, normalized by `1/(rows·cols)`).
+    pub fn ifft2(input: &ComplexMatrix) -> ComplexMatrix {
+        transform2(input, Direction::Inverse)
+    }
+
+    /// Forward 2-D FFT of a real matrix (unplanned baseline).
+    pub fn fft2_real(input: &RealMatrix) -> ComplexMatrix {
+        fft2(&input.to_complex())
+    }
+
+    pub(crate) fn transform_in_place(data: &mut [Complex64], direction: Direction) {
+        let n = data.len();
+        if n <= 1 {
+            return;
         }
-        transform_in_place(&mut col_buf, direction);
-        for i in 0..rows {
-            out[(i, j)] = col_buf[i];
+        if n.is_power_of_two() {
+            radix2_in_place(data, direction);
+        } else {
+            let out = bluestein(data, direction);
+            data.copy_from_slice(&out);
+        }
+        if direction == Direction::Inverse {
+            let scale = 1.0 / n as f64;
+            for z in data.iter_mut() {
+                *z *= scale;
+            }
         }
     }
-    out
+
+    /// Iterative radix-2 Cooley–Tukey FFT (unnormalized), recomputing the
+    /// twiddle factors on every call.
+    pub(crate) fn radix2_in_place(data: &mut [Complex64], direction: Direction) {
+        let n = data.len();
+        debug_assert!(n.is_power_of_two());
+
+        // Bit-reversal permutation (hardened against n == 1, where the shift
+        // by `usize::BITS - 0` would overflow; see `bit_reverse_table`).
+        for (i, j) in bit_reverse_table(n).into_iter().enumerate() {
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+
+        let sign = direction.sign();
+        let mut len = 2;
+        while len <= n {
+            let angle_step = sign * 2.0 * std::f64::consts::PI / len as f64;
+            let w_len = Complex64::cis(angle_step);
+            for start in (0..n).step_by(len) {
+                let mut w = Complex64::ONE;
+                for k in 0..len / 2 {
+                    let a = data[start + k];
+                    let b = data[start + k + len / 2] * w;
+                    data[start + k] = a + b;
+                    data[start + k + len / 2] = a - b;
+                    w *= w_len;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
+    /// convolution, evaluated with power-of-two FFTs. Chirp and kernel
+    /// spectrum are recomputed on every call.
+    fn bluestein(input: &[Complex64], direction: Direction) -> Vec<Complex64> {
+        let n = input.len();
+        let sign = direction.sign();
+        let m = (2 * n - 1).next_power_of_two();
+
+        // Chirp: w_k = e^{sign·iπ k² / n}.
+        let chirp: Vec<Complex64> = (0..n)
+            .map(|k| {
+                let k2 = (k as u128 * k as u128) % (2 * n as u128);
+                Complex64::cis(sign * std::f64::consts::PI * k2 as f64 / n as f64)
+            })
+            .collect();
+
+        let mut a = vec![Complex64::ZERO; m];
+        for k in 0..n {
+            a[k] = input[k] * chirp[k];
+        }
+        let mut b = vec![Complex64::ZERO; m];
+        b[0] = chirp[0].conj();
+        for k in 1..n {
+            let val = chirp[k].conj();
+            b[k] = val;
+            b[m - k] = val;
+        }
+
+        radix2_in_place(&mut a, Direction::Forward);
+        radix2_in_place(&mut b, Direction::Forward);
+        for k in 0..m {
+            a[k] *= b[k];
+        }
+        radix2_in_place(&mut a, Direction::Inverse);
+        let scale = 1.0 / m as f64;
+
+        (0..n).map(|k| a[k] * chirp[k] * scale).collect()
+    }
+
+    fn transform2(input: &ComplexMatrix, direction: Direction) -> ComplexMatrix {
+        let (rows, cols) = input.shape();
+        let mut out = input.clone();
+
+        // Transform each row.
+        let mut row_buf = vec![Complex64::ZERO; cols];
+        for i in 0..rows {
+            row_buf.copy_from_slice(out.row(i));
+            transform_in_place(&mut row_buf, direction);
+            out.row_mut(i).copy_from_slice(&row_buf);
+        }
+
+        // Transform each column.
+        let mut col_buf = vec![Complex64::ZERO; rows];
+        for j in 0..cols {
+            for i in 0..rows {
+                col_buf[i] = out[(i, j)];
+            }
+            transform_in_place(&mut col_buf, direction);
+            for i in 0..rows {
+                out[(i, j)] = col_buf[i];
+            }
+        }
+        out
+    }
 }
 
 /// Moves the zero-frequency bin to the center of the matrix.
@@ -268,6 +442,11 @@ mod tests {
         (0..n).map(|_| rng.normal_complex(0.0, 1.0)).collect()
     }
 
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> ComplexMatrix {
+        let mut rng = DeterministicRng::new(seed);
+        ComplexMatrix::from_fn(rows, cols, |_, _| rng.normal_complex(0.0, 1.0))
+    }
+
     fn max_abs_diff(a: &[Complex64], b: &[Complex64]) -> f64 {
         a.iter()
             .zip(b.iter())
@@ -307,10 +486,96 @@ mod tests {
 
     #[test]
     fn round_trip_identity() {
-        for &n in &[2usize, 8, 12, 17, 31, 128] {
+        // Even, odd, prime and length-1 sizes all round-trip through the
+        // planned radix-2 / Bluestein paths.
+        for &n in &[1usize, 2, 7, 8, 12, 13, 17, 31, 128] {
             let x = random_signal(n, 3 * n as u64);
             let back = ifft(&fft(&x));
             assert!(max_abs_diff(&x, &back) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn length_one_transforms_are_identity() {
+        // Regression companion to `FftPlan::new(1)`: both 1-D entry points and
+        // the unplanned baseline must accept length-1 buffers.
+        let x = vec![Complex64::new(3.25, -0.5)];
+        assert_eq!(fft(&x), x);
+        assert_eq!(ifft(&x), x);
+        assert_eq!(unplanned::fft(&x), x);
+        assert_eq!(unplanned::ifft(&x), x);
+    }
+
+    #[test]
+    fn unplanned_radix2_accepts_length_one() {
+        // The bit-reversal hardening must also protect a direct call into the
+        // radix-2 kernel, which is otherwise shielded only by the `n <= 1`
+        // early return in `transform_in_place`.
+        let original = Complex64::new(1.25, 2.5);
+        let mut data = vec![original];
+        unplanned::radix2_in_place(&mut data, Direction::Forward);
+        assert_eq!(data[0], original);
+        unplanned::radix2_in_place(&mut data, Direction::Inverse);
+        assert_eq!(data[0], original);
+    }
+
+    #[test]
+    fn planned_matches_unplanned_1d() {
+        for &n in &[1usize, 2, 3, 4, 5, 7, 8, 12, 16, 29, 31, 64, 100] {
+            let x = random_signal(n, 500 + n as u64);
+            assert!(
+                max_abs_diff(&fft(&x), &unplanned::fft(&x)) < 1e-9,
+                "forward n={n}"
+            );
+            assert!(
+                max_abs_diff(&ifft(&x), &unplanned::ifft(&x)) < 1e-9,
+                "inverse n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn planned_matches_unplanned_2d() {
+        for &(r, c) in &[
+            (1usize, 1usize),
+            (4, 4),
+            (6, 10),
+            (7, 5),
+            (13, 13),
+            (32, 12),
+        ] {
+            let m = random_matrix(r, c, (r * 1000 + c) as u64);
+            let planned = fft2(&m);
+            let baseline = unplanned::fft2(&m);
+            let inv_planned = ifft2(&m);
+            let inv_baseline = unplanned::ifft2(&m);
+            for i in 0..r {
+                for j in 0..c {
+                    assert!(
+                        (planned[(i, j)] - baseline[(i, j)]).abs() < 1e-9,
+                        "forward ({r}x{c}) at ({i},{j})"
+                    );
+                    assert!(
+                        (inv_planned[(i, j)] - inv_baseline[(i, j)]).abs() < 1e-9,
+                        "inverse ({r}x{c}) at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fft2_bit_identical_across_thread_counts() {
+        // 64×64 crosses the parallel threshold; the parallel row/column
+        // passes must produce the same bits as the single-threaded path.
+        let m = random_matrix(64, 64, 77);
+        let serial = litho_parallel::with_threads(1, || fft2(&m));
+        for threads in [2usize, 4] {
+            let parallel = litho_parallel::with_threads(threads, || fft2(&m));
+            for (a, b) in serial.iter().zip(parallel.iter()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "threads={threads}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "threads={threads}");
+            }
         }
     }
 
@@ -366,8 +631,7 @@ mod tests {
 
     #[test]
     fn fft2_matches_row_column_reference() {
-        let mut rng = DeterministicRng::new(17);
-        let m = ComplexMatrix::from_fn(6, 10, |_, _| rng.normal_complex(0.0, 1.0));
+        let m = random_matrix(6, 10, 17);
         let fast = fft2(&m);
         // Reference: 2-D DFT definition.
         let (rows, cols) = m.shape();
@@ -389,8 +653,7 @@ mod tests {
 
     #[test]
     fn fft2_round_trip() {
-        let mut rng = DeterministicRng::new(23);
-        let m = ComplexMatrix::from_fn(12, 7, |_, _| rng.normal_complex(0.0, 1.0));
+        let m = random_matrix(12, 7, 23);
         let back = ifft2(&fft2(&m));
         for i in 0..12 {
             for j in 0..7 {
@@ -410,8 +673,7 @@ mod tests {
     #[test]
     fn fftshift_ifftshift_roundtrip_even_and_odd() {
         for &(r, c) in &[(8usize, 8usize), (7, 9), (6, 5)] {
-            let mut rng = DeterministicRng::new((r * 100 + c) as u64);
-            let m = ComplexMatrix::from_fn(r, c, |_, _| rng.normal_complex(0.0, 1.0));
+            let m = random_matrix(r, c, (r * 100 + c) as u64);
             let round = ifftshift(&fftshift(&m));
             for i in 0..r {
                 for j in 0..c {
@@ -477,14 +739,20 @@ mod tests {
 
         #[test]
         fn prop_fft2_round_trip(rows in 1usize..12, cols in 1usize..12, seed in 0u64..100) {
-            let mut rng = DeterministicRng::new(seed);
-            let m = ComplexMatrix::from_fn(rows, cols, |_, _| rng.normal_complex(0.0, 1.0));
+            let m = random_matrix(rows, cols, seed);
             let back = ifft2(&fft2(&m));
             for i in 0..rows {
                 for j in 0..cols {
                     prop_assert!((back[(i, j)] - m[(i, j)]).abs() < 1e-8);
                 }
             }
+        }
+
+        #[test]
+        fn prop_planned_matches_unplanned(n in 1usize..48, seed in 0u64..1000) {
+            let x = random_signal(n, seed);
+            prop_assert!(max_abs_diff(&fft(&x), &unplanned::fft(&x)) < 1e-8);
+            prop_assert!(max_abs_diff(&ifft(&x), &unplanned::ifft(&x)) < 1e-8);
         }
     }
 }

@@ -8,6 +8,23 @@
 
 use litho_math::{Complex64, ComplexMatrix};
 
+/// Bit-reversal permutation table for a power-of-two length.
+///
+/// Hardened against the `len == 1` edge: with zero significant bits the naive
+/// `x.reverse_bits() >> (usize::BITS - bits)` shifts by the full word width,
+/// which panics in debug builds (attempt to shift right with overflow) and is
+/// undefined-ish in release. A 1-point permutation is the identity.
+pub(crate) fn bit_reverse_table(len: usize) -> Vec<usize> {
+    debug_assert!(len.is_power_of_two());
+    let bits = len.trailing_zeros();
+    if bits == 0 {
+        return vec![0];
+    }
+    (0..len)
+        .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) & (len - 1))
+        .collect()
+}
+
 /// A reusable FFT plan for a fixed power-of-two length.
 ///
 /// # Example
@@ -46,10 +63,7 @@ impl FftPlan {
             len.is_power_of_two() && len > 0,
             "FftPlan requires a power-of-two length"
         );
-        let bits = len.trailing_zeros();
-        let bit_reverse = (0..len)
-            .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) & (len - 1))
-            .collect();
+        let bit_reverse = bit_reverse_table(len);
 
         let build = |sign: f64| {
             let mut tables = Vec::new();
@@ -236,6 +250,23 @@ mod tests {
                 assert!((inv_a[(i, j)] - m[(i, j)]).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn length_one_plan_is_identity() {
+        // Regression: the bit-reversal table used to compute
+        // `x >> (usize::BITS - 0)`, panicking in debug builds for len == 1.
+        let plan = FftPlan::new(1);
+        assert_eq!(plan.len(), 1);
+        let original = Complex64::new(2.5, -1.5);
+        let mut data = vec![original];
+        plan.forward_in_place(&mut data);
+        assert_eq!(data[0], original, "1-point forward DFT is the identity");
+        plan.inverse_in_place(&mut data);
+        assert_eq!(data[0], original, "1-point inverse DFT is the identity");
+        let m = ComplexMatrix::filled(1, 1, original);
+        assert_eq!(plan.forward2(&m)[(0, 0)], original);
+        assert_eq!(plan.inverse2(&m)[(0, 0)], original);
     }
 
     #[test]

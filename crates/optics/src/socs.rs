@@ -110,11 +110,16 @@ impl SocsKernels {
 
     /// Fraction of total TCC energy captured by the retained kernels, given
     /// the TCC trace (`Σ` of *all* eigenvalues).
+    ///
+    /// Clamped to `[0, 1]`: [`SocsKernels::from_tcc`] floors negative
+    /// eigenvalues (numerical noise of a PSD matrix) to zero, so the retained
+    /// sum can slightly exceed the trace-derived total and would otherwise
+    /// report more than 100 % captured energy.
     pub fn captured_energy(&self, tcc_trace: f64) -> f64 {
         if tcc_trace <= 0.0 {
             return 0.0;
         }
-        self.eigenvalues.iter().sum::<f64>() / tcc_trace
+        (self.eigenvalues.iter().sum::<f64>() / tcc_trace).clamp(0.0, 1.0)
     }
 
     /// Normalization constant such that an open-frame (all-ones) mask of
@@ -158,12 +163,26 @@ impl SocsKernels {
             out_rows >= self.dims.rows && out_cols >= self.dims.cols,
             "output resolution must be at least the kernel grid"
         );
+        // Each kernel's |F⁻¹(Kᵢ ⊙ F(M))|² term is independent — compute them
+        // across litho_parallel workers and accumulate in fixed kernel order
+        // so the image is bit-identical for any thread count. Kernels are
+        // processed in fixed-size groups to bound peak memory at
+        // KERNEL_GROUP full-resolution terms (instead of one per kernel);
+        // the group size never depends on the thread count, and the fold
+        // still visits every kernel in ascending order.
+        const KERNEL_GROUP: usize = 16;
         let mut intensity = RealMatrix::zeros(out_rows, out_cols);
-        for kernel in &self.kernels {
-            let product = kernel.hadamard(spectrum);
-            let padded = center_pad(&product, out_rows, out_cols);
-            let field = ifft2(&ifftshift(&padded));
-            intensity = intensity.zip_map(&field.abs_sq(), |acc, v| acc + v);
+        for group_start in (0..self.kernels.len()).step_by(KERNEL_GROUP) {
+            let group_len = KERNEL_GROUP.min(self.kernels.len() - group_start);
+            let terms = litho_parallel::par_map(group_len, |offset| {
+                let product = self.kernels[group_start + offset].hadamard(spectrum);
+                let padded = center_pad(&product, out_rows, out_cols);
+                let field = ifft2(&ifftshift(&padded));
+                field.abs_sq()
+            });
+            for term in &terms {
+                intensity += term;
+            }
         }
         let norm = self.clear_field_intensity(mask_pixels, out_rows, out_cols);
         if norm > 0.0 {
@@ -306,6 +325,36 @@ mod tests {
         assert!(many > few);
         assert!(many <= 1.0 + 1e-9);
         assert!(few > 0.0);
+    }
+
+    #[test]
+    fn captured_energy_is_clamped_to_unit_interval() {
+        // from_tcc floors negative eigenvalues to zero, so the retained sum
+        // can exceed the trace-derived total; the report must cap at 100 %.
+        let bank = SocsKernels::from_kernels(vec![ComplexMatrix::filled(3, 3, C::new(1.0, 0.0))]);
+        let retained: f64 = bank.eigenvalues().iter().sum();
+        assert!(retained > 0.0);
+        // A trace slightly below the retained energy (the negative-eigenvalue
+        // scenario) must not report > 1.
+        assert_eq!(bank.captured_energy(retained * 0.5), 1.0);
+        assert!((bank.captured_energy(retained * 2.0) - 0.5).abs() < 1e-12);
+        // Degenerate traces report zero.
+        assert_eq!(bank.captured_energy(0.0), 0.0);
+        assert_eq!(bank.captured_energy(-1.0), 0.0);
+    }
+
+    #[test]
+    fn aerial_image_bit_identical_across_thread_counts() {
+        let config = test_config();
+        let (_, socs) = build_socs(&config, 9);
+        let mask = test_mask(64);
+        let serial = litho_parallel::with_threads(1, || socs.aerial_image(&mask));
+        for threads in [2usize, 4] {
+            let parallel = litho_parallel::with_threads(threads, || socs.aerial_image(&mask));
+            for (a, b) in serial.iter().zip(parallel.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

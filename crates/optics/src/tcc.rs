@@ -46,33 +46,38 @@ impl TccMatrix {
             })
             .collect();
 
-        // Pre-compute H(s + f) for every source point and grid offset.
+        // Pre-compute H(s + f) for every source point and grid offset, one
+        // source point per parallel work item.
         let mut pupil_samples = vec![Complex64::ZERO; source_grid.len() * n];
-        for (s_idx, &(sx, sy)) in source_grid.points.iter().enumerate() {
-            for (o_idx, &(fx, fy)) in offsets.iter().enumerate() {
-                pupil_samples[s_idx * n + o_idx] = pupil.transmission(sx + fx, sy + fy);
+        litho_parallel::par_chunks_mut(&mut pupil_samples, n, |s_idx, samples| {
+            let (sx, sy) = source_grid.points[s_idx];
+            for (sample, &(fx, fy)) in samples.iter_mut().zip(offsets.iter()) {
+                *sample = pupil.transmission(sx + fx, sy + fy);
             }
-        }
+        });
 
+        // Assemble row-by-row: every matrix row depends only on the shared
+        // pupil samples, so rows distribute over workers. Each entry still
+        // accumulates its source contributions in ascending source order,
+        // keeping the matrix bit-identical to the serial assembly.
         let total_weight = source_grid.total_weight();
         let mut matrix = ComplexMatrix::zeros(n, n);
-        for (s_idx, &w) in source_grid.weights.iter().enumerate() {
-            let row = &pupil_samples[s_idx * n..(s_idx + 1) * n];
-            for i in 0..n {
+        litho_parallel::par_chunks_mut(matrix.as_mut_slice(), n, |i, out_row| {
+            for (s_idx, &w) in source_grid.weights.iter().enumerate() {
+                let row = &pupil_samples[s_idx * n..(s_idx + 1) * n];
                 let hi = row[i];
                 if hi == Complex64::ZERO {
                     continue;
                 }
                 let hi_w = hi.scale(w / total_weight);
-                for j in 0..n {
-                    let hj = row[j];
+                for (out, &hj) in out_row.iter_mut().zip(row.iter()) {
                     if hj == Complex64::ZERO {
                         continue;
                     }
-                    matrix[(i, j)] += hi_w * hj.conj();
+                    *out += hi_w * hj.conj();
                 }
             }
-        }
+        });
 
         Self {
             matrix,
@@ -156,6 +161,22 @@ mod tests {
         let dims = config.kernel_dims_with_side(5);
         let grid = SourceGrid::sample(&config.source, 9);
         TccMatrix::assemble(&config, dims, &grid)
+    }
+
+    #[test]
+    fn tcc_assembly_bit_identical_across_thread_counts() {
+        let config = small_config();
+        let dims = config.kernel_dims_with_side(5);
+        let grid = SourceGrid::sample(&config.source, 9);
+        let serial = litho_parallel::with_threads(1, || TccMatrix::assemble(&config, dims, &grid));
+        for threads in [2usize, 4] {
+            let parallel =
+                litho_parallel::with_threads(threads, || TccMatrix::assemble(&config, dims, &grid));
+            for (a, b) in serial.matrix().iter().zip(parallel.matrix().iter()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "threads={threads}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Deterministic data-parallel execution for the Nitho workspace.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! small slice of `rayon` the lithography stack actually needs, built on
+//! [`std::thread::scope`] alone:
+//!
+//! * [`par_map`] — evaluate `f(0..n)` across threads, collecting results into
+//!   a `Vec` **in index order**.
+//! * [`par_map_reduce`] — [`par_map`] followed by a sequential fold in index
+//!   order on the calling thread.
+//! * [`par_chunks_mut`] — process equally sized chunks of a mutable slice in
+//!   parallel (rows of a matrix, sub-ranges of a sample buffer).
+//!
+//! # Determinism contract
+//!
+//! Every helper computes the *same* per-item values regardless of the thread
+//! count (each item is evaluated by exactly one closure call with no shared
+//! mutable state) and every reduction happens **sequentially in item order on
+//! the calling thread**. Floating-point results are therefore bit-identical
+//! for 1, 2, or N threads — the property the workspace's
+//! `NITHO_THREADS=1` vs `NITHO_THREADS=4` regression tests pin down.
+//!
+//! # Thread-count selection
+//!
+//! The effective worker count is, in priority order:
+//!
+//! 1. `1` inside a worker spawned by this crate (nested parallel regions run
+//!    serially instead of oversubscribing),
+//! 2. an active [`with_threads`] override on the calling thread,
+//! 3. the `NITHO_THREADS` environment variable,
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! # Example
+//!
+//! ```
+//! let squares = litho_parallel::par_map(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! let total = litho_parallel::par_map_reduce(8, |i| i as f64, 0.0, |a, b| a + b);
+//! assert_eq!(total, 28.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Set on worker threads spawned by this crate; forces nested parallel
+    /// regions to run serially.
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Scoped thread-count override installed by [`with_threads`].
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Upper bound on worker threads; far above any sane `NITHO_THREADS` value,
+/// only guards against pathological configuration.
+const MAX_THREADS: usize = 256;
+
+/// The maximum number of worker threads a parallel region started on this
+/// thread may use.
+///
+/// Resolution order: worker context (`1`) → [`with_threads`] override →
+/// `NITHO_THREADS` → [`std::thread::available_parallelism`].
+pub fn max_threads() -> usize {
+    if IS_WORKER.with(Cell::get) {
+        return 1;
+    }
+    if let Some(n) = OVERRIDE.with(Cell::get) {
+        return n.clamp(1, MAX_THREADS);
+    }
+    if let Ok(value) = std::env::var("NITHO_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(MAX_THREADS);
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// `true` when called from inside a worker of a parallel region (where nested
+/// regions degrade to serial execution).
+pub fn in_parallel_region() -> bool {
+    IS_WORKER.with(Cell::get)
+}
+
+/// Runs `f` with the calling thread's worker count pinned to `threads`
+/// (clamped to at least 1), restoring the previous setting afterwards —
+/// including on unwind.
+///
+/// This is the race-free alternative to mutating the process-global
+/// `NITHO_THREADS` variable from tests that compare thread counts.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _guard = Restore(OVERRIDE.with(|o| o.replace(Some(threads.max(1)))));
+    f()
+}
+
+/// Worker count actually used for `items` independent work items. Whether a
+/// workload is heavy enough to justify spawning at all is the caller's
+/// decision (e.g. `litho_fft` gates on matrix size).
+fn effective_threads(items: usize) -> usize {
+    max_threads().min(items).max(1)
+}
+
+fn mark_worker() {
+    IS_WORKER.with(|w| w.set(true));
+}
+
+/// Evaluates `f(i)` for every `i in 0..n` and returns the results in index
+/// order. Items are distributed over at most [`max_threads`] scoped workers in
+/// contiguous blocks; with one worker (or `n <= 1`) everything runs inline on
+/// the calling thread.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads(n);
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let block = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (block_idx, block_slots) in slots.chunks_mut(block).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                mark_worker();
+                for (offset, slot) in block_slots.iter_mut().enumerate() {
+                    *slot = Some(f(block_idx * block + offset));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+/// [`par_map`] followed by a sequential left fold in index order on the
+/// calling thread: `reduce(...reduce(reduce(init, f(0)), f(1))..., f(n-1))`.
+///
+/// Because the fold order never depends on the thread count, floating-point
+/// reductions are bit-identical across 1..N threads.
+pub fn par_map_reduce<T, A, F, R>(n: usize, f: F, init: A, mut reduce: R) -> A
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    R: FnMut(A, T) -> A,
+{
+    let mut acc = init;
+    for item in par_map(n, f) {
+        acc = reduce(acc, item);
+    }
+    acc
+}
+
+/// Splits `data` into consecutive chunks of exactly `chunk_len` elements and
+/// calls `f(chunk_index, chunk)` for each, distributing contiguous runs of
+/// chunks over at most [`max_threads`] scoped workers.
+///
+/// This is the mutable-access primitive: each chunk is visited by exactly one
+/// closure call, so rows of a row-major matrix can be transformed in place
+/// concurrently with no locking.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero or does not evenly divide `data.len()`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    assert_eq!(
+        data.len() % chunk_len,
+        0,
+        "chunk_len {} must divide data length {}",
+        chunk_len,
+        data.len()
+    );
+    let n_chunks = data.len() / chunk_len;
+    let threads = effective_threads(n_chunks);
+    if threads <= 1 || n_chunks <= 1 {
+        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(idx, chunk);
+        }
+        return;
+    }
+    let chunks_per_worker = n_chunks.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (block_idx, block) in data.chunks_mut(chunks_per_worker * chunk_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                mark_worker();
+                for (offset, chunk) in block.chunks_mut(chunk_len).enumerate() {
+                    f(block_idx * chunks_per_worker + offset, chunk);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = with_threads(threads, || par_map(17, |i| i * 3));
+            assert_eq!(out, (0..17).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert_eq!(par_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn par_map_reduce_is_bit_identical_across_thread_counts() {
+        // Sums of values at very different magnitudes are rounding-order
+        // sensitive; identical bits across thread counts prove the fixed-order
+        // reduction contract.
+        let f = |i: usize| (1.0f64 + i as f64).recip() * 10f64.powi((i % 7) as i32 - 3);
+        let reference = with_threads(1, || par_map_reduce(100, f, 0.0f64, |a, b| a + b));
+        for threads in [2, 3, 4, 7] {
+            let parallel = with_threads(threads, || par_map_reduce(100, f, 0.0f64, |a, b| a + b));
+            assert_eq!(reference.to_bits(), parallel.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_once() {
+        for threads in [1, 2, 5] {
+            let mut data = vec![0usize; 24];
+            with_threads(threads, || {
+                par_chunks_mut(&mut data, 4, |idx, chunk| {
+                    for (k, v) in chunk.iter_mut().enumerate() {
+                        *v += idx * 100 + k + 1;
+                    }
+                });
+            });
+            for (flat, &v) in data.iter().enumerate() {
+                assert_eq!(v, (flat / 4) * 100 + flat % 4 + 1, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn par_chunks_mut_rejects_ragged_chunks() {
+        let mut data = vec![0u8; 10];
+        par_chunks_mut(&mut data, 3, |_, _| {});
+    }
+
+    #[test]
+    fn nested_regions_run_serially() {
+        let nested_threads = with_threads(4, || {
+            par_map(4, |_| {
+                assert!(in_parallel_region());
+                max_threads()
+            })
+        });
+        assert_eq!(nested_threads, vec![1, 1, 1, 1]);
+        assert!(!in_parallel_region());
+    }
+
+    #[test]
+    fn with_threads_restores_previous_override() {
+        let ambient = max_threads();
+        with_threads(3, || {
+            assert_eq!(max_threads(), 3);
+            with_threads(2, || assert_eq!(max_threads(), 2));
+            assert_eq!(max_threads(), 3);
+        });
+        assert_eq!(max_threads(), ambient);
+    }
+
+    #[test]
+    fn with_threads_clamps_zero_to_one() {
+        with_threads(0, || assert_eq!(max_threads(), 1));
+    }
+}

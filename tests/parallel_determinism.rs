@@ -1,0 +1,116 @@
+//! Workspace-level determinism contract of the parallel execution engine:
+//! the thread count (`NITHO_THREADS` / `litho_parallel::with_threads`) may
+//! change wall time, never bits.
+//!
+//! The full pipeline is pinned at two levels: the golden Hopkins simulator
+//! (TCC assembly → SOCS → aerial image) and one complete Nitho training
+//! epoch (per-sample parallel forward/backward with fixed-order gradient
+//! reduction → Adam update → cached kernels).
+
+use litho_masks::{Dataset, DatasetKind};
+use litho_math::RealMatrix;
+use litho_optics::{HopkinsSimulator, OpticalConfig};
+use litho_parallel::with_threads;
+use nitho::{NithoConfig, NithoModel};
+
+fn optics() -> OpticalConfig {
+    OpticalConfig::builder()
+        .tile_px(64)
+        .pixel_nm(8.0)
+        .kernel_count(6)
+        .build()
+}
+
+fn assert_bits_equal(a: &RealMatrix, b: &RealMatrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (idx, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: bit mismatch at flat index {idx} ({x:e} vs {y:e})"
+        );
+    }
+}
+
+#[test]
+fn golden_simulator_is_bit_identical_across_thread_counts() {
+    let mask = RealMatrix::from_fn(64, 64, |i, j| {
+        let line = (i / 8) % 2 == 0 && (8..56).contains(&j);
+        let via = (24..32).contains(&i) && (40..48).contains(&j);
+        if line || via {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    // Build + simulate entirely under each thread count: TCC assembly, the
+    // eigendecomposition input, and the SOCS aerial sum all sit on the
+    // parallel paths.
+    let serial = with_threads(1, || {
+        let simulator = HopkinsSimulator::new(&optics());
+        simulator.simulate(&mask)
+    });
+    for threads in [2usize, 4] {
+        let parallel = with_threads(threads, || {
+            let simulator = HopkinsSimulator::new(&optics());
+            simulator.simulate(&mask)
+        });
+        assert_bits_equal(
+            &serial.0,
+            &parallel.0,
+            &format!("aerial image, {threads} threads"),
+        );
+        assert_bits_equal(
+            &serial.1,
+            &parallel.1,
+            &format!("resist image, {threads} threads"),
+        );
+    }
+}
+
+#[test]
+fn one_training_epoch_is_bit_identical_across_thread_counts() {
+    let optics = optics();
+    let simulator = HopkinsSimulator::new(&optics);
+    let dataset = Dataset::generate(DatasetKind::B1, 4, &simulator, 3);
+    let config = NithoConfig {
+        kernel_side: Some(9),
+        epochs: 1,
+        batch_size: 4,
+        ..NithoConfig::fast()
+    };
+
+    let train_under = |threads: usize| {
+        with_threads(threads, || {
+            let mut model = NithoModel::new(config.clone(), &optics);
+            let report = model.train(&dataset);
+            let kernels = model.kernels().expect("training caches kernels").to_vec();
+            (report, kernels)
+        })
+    };
+
+    let (serial_report, serial_kernels) = train_under(1);
+    for threads in [2usize, 4] {
+        let (report, kernels) = train_under(threads);
+        assert_eq!(
+            serial_report.epoch_losses[0].to_bits(),
+            report.epoch_losses[0].to_bits(),
+            "epoch loss differs at {threads} threads"
+        );
+        assert_eq!(serial_kernels.len(), kernels.len());
+        for (k, (a, b)) in serial_kernels.iter().zip(kernels.iter()).enumerate() {
+            for (idx, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                assert_eq!(
+                    x.re.to_bits(),
+                    y.re.to_bits(),
+                    "kernel {k} re at {idx}, {threads} threads"
+                );
+                assert_eq!(
+                    x.im.to_bits(),
+                    y.im.to_bits(),
+                    "kernel {k} im at {idx}, {threads} threads"
+                );
+            }
+        }
+    }
+}
