@@ -147,6 +147,16 @@ impl ParamStore {
     /// Returns any I/O error from writing the file.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let mut w = BufWriter::new(File::create(path)?);
+        self.write_to(&mut w)
+    }
+
+    /// Writes the `NITHOPRM` stream (magic + entries) to a writer; the
+    /// embedded-payload form used by higher-level checkpoint formats.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         w.write_all(b"NITHOPRM")?;
         w.write_all(&(self.values.len() as u64).to_le_bytes())?;
         for (name, value) in self.names.iter().zip(self.values.iter()) {
@@ -167,32 +177,63 @@ impl ParamStore {
     ///
     /// # Errors
     ///
-    /// Returns an error if the file cannot be read or has an invalid header.
+    /// Returns an error if the file cannot be read or has an invalid header;
+    /// size fields are validated against the file length, so a truncated or
+    /// corrupted file yields `InvalidData` instead of an absurd allocation.
     pub fn load(path: &Path) -> io::Result<Self> {
+        let budget = std::fs::metadata(path)?.len();
         let mut r = BufReader::new(File::open(path)?);
+        Self::read_from(&mut r, budget)
+    }
+
+    /// Reads a `NITHOPRM` stream (magic + entries) from a reader.
+    ///
+    /// `budget` is the number of bytes the stream may still legitimately
+    /// contain (the remaining file size); every size field read from the
+    /// stream is validated against it before anything is allocated.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on a bad magic, a size field exceeding the budget, or a
+    /// malformed entry; otherwise any underlying reader error.
+    pub fn read_from<R: Read>(r: &mut R, mut budget: u64) -> io::Result<Self> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != b"NITHOPRM" {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "bad parameter file header",
-            ));
+            return Err(invalid_data("bad parameter file header"));
         }
-        let count = read_u64(&mut r)? as usize;
+        take(&mut budget, 8, "header")?;
+        let count = read_u64(r, &mut budget, "entry count")? as usize;
+        // Every entry occupies at least its three size fields.
+        if count as u64 > budget / 24 {
+            return Err(invalid_data("entry count exceeds the file size"));
+        }
         let mut store = Self::new();
         for _ in 0..count {
-            let name_len = read_u64(&mut r)? as usize;
+            let name_len = read_u64(r, &mut budget, "name length")? as usize;
+            take(&mut budget, name_len as u64, "parameter name")?;
             let mut name_bytes = vec![0u8; name_len];
             r.read_exact(&mut name_bytes)?;
-            let name = String::from_utf8(name_bytes).map_err(|_| {
-                io::Error::new(io::ErrorKind::InvalidData, "invalid parameter name")
-            })?;
-            let rows = read_u64(&mut r)? as usize;
-            let cols = read_u64(&mut r)? as usize;
-            let mut data = Vec::with_capacity(rows * cols);
-            for _ in 0..rows * cols {
-                let re = read_f64(&mut r)?;
-                let im = read_f64(&mut r)?;
+            let name = String::from_utf8(name_bytes)
+                .map_err(|_| invalid_data("invalid parameter name"))?;
+            let rows = read_u64(r, &mut budget, "row count")? as usize;
+            let cols = read_u64(r, &mut budget, "column count")? as usize;
+            if rows == 0 || cols == 0 {
+                return Err(invalid_data("parameter matrix has a zero dimension"));
+            }
+            let elements = rows
+                .checked_mul(cols)
+                .ok_or_else(|| invalid_data("parameter shape overflows"))?;
+            let data_bytes = (elements as u64)
+                .checked_mul(16)
+                .ok_or_else(|| invalid_data("parameter shape overflows"))?;
+            take(&mut budget, data_bytes, "matrix data")?;
+            let mut data = Vec::with_capacity(elements);
+            let mut buf = [0u8; 16];
+            for _ in 0..elements {
+                r.read_exact(&mut buf)?;
+                let re = f64::from_le_bytes(buf[..8].try_into().expect("8-byte slice"));
+                let im = f64::from_le_bytes(buf[8..].try_into().expect("8-byte slice"));
                 data.push(Complex64::new(re, im));
             }
             store.add(&name, Matrix::from_vec(rows, cols, data));
@@ -201,16 +242,27 @@ impl ParamStore {
     }
 }
 
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+fn invalid_data(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Charges `n` bytes against the remaining stream budget; `InvalidData` when
+/// a size field claims more data than the file can hold.
+fn take(budget: &mut u64, n: u64, what: &str) -> io::Result<()> {
+    if *budget < n {
+        return Err(invalid_data(&format!(
+            "{what} exceeds the remaining file size ({n} > {budget} bytes)"
+        )));
+    }
+    *budget -= n;
+    Ok(())
+}
+
+fn read_u64<R: Read>(r: &mut R, budget: &mut u64, what: &str) -> io::Result<u64> {
+    take(budget, 8, what)?;
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     Ok(u64::from_le_bytes(buf))
-}
-
-fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
-    let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
-    Ok(f64::from_le_bytes(buf))
 }
 
 #[cfg(test)]
@@ -272,6 +324,75 @@ mod tests {
             assert_eq!(v1, v2);
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    /// A malformed header must be rejected by arithmetic, not by attempting
+    /// the absurd allocation it requests.
+    #[test]
+    fn load_rejects_oversized_size_fields() {
+        let dir = std::env::temp_dir().join("nitho_param_test_sizes");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+
+        let entry_count_lies = {
+            let mut bytes = b"NITHOPRM".to_vec();
+            bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+            bytes
+        };
+        let name_len_lies = {
+            let mut bytes = b"NITHOPRM".to_vec();
+            bytes.extend_from_slice(&1u64.to_le_bytes());
+            bytes.extend_from_slice(&(1u64 << 60).to_le_bytes());
+            bytes.extend_from_slice(b"w");
+            bytes
+        };
+        let shape_lies = {
+            let mut bytes = b"NITHOPRM".to_vec();
+            bytes.extend_from_slice(&1u64.to_le_bytes());
+            bytes.extend_from_slice(&1u64.to_le_bytes());
+            bytes.extend_from_slice(b"w");
+            // rows * cols overflows usize; rows alone dwarfs the file.
+            bytes.extend_from_slice(&(u64::MAX / 2).to_le_bytes());
+            bytes.extend_from_slice(&3u64.to_le_bytes());
+            bytes
+        };
+        let byte_count_overflows = {
+            let mut bytes = b"NITHOPRM".to_vec();
+            bytes.extend_from_slice(&1u64.to_le_bytes());
+            bytes.extend_from_slice(&1u64.to_le_bytes());
+            bytes.extend_from_slice(b"w");
+            // rows * cols fits in a u64, but *16 bytes wraps: must be caught
+            // by checked arithmetic, not a debug overflow panic.
+            bytes.extend_from_slice(&(1u64 << 61).to_le_bytes());
+            bytes.extend_from_slice(&2u64.to_le_bytes());
+            bytes
+        };
+        let truncated_data = {
+            let mut bytes = b"NITHOPRM".to_vec();
+            bytes.extend_from_slice(&1u64.to_le_bytes());
+            bytes.extend_from_slice(&1u64.to_le_bytes());
+            bytes.extend_from_slice(b"w");
+            bytes.extend_from_slice(&1000u64.to_le_bytes());
+            bytes.extend_from_slice(&1000u64.to_le_bytes());
+            bytes.extend_from_slice(&[0u8; 32]); // far short of 1000*1000*16
+            bytes
+        };
+        for (label, bytes) in [
+            ("entry count", entry_count_lies),
+            ("name length", name_len_lies),
+            ("shape overflow", shape_lies),
+            ("byte count overflow", byte_count_overflows),
+            ("truncated data", truncated_data),
+        ] {
+            let path = dir.join("malformed.bin");
+            std::fs::write(&path, &bytes).expect("write file");
+            let err = ParamStore::load(&path).expect_err(label);
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::InvalidData,
+                "{label}: {err}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Stitched full-chip throughput through the `litho_serve` tiling engine:
+//! Nitho's stored regressed kernels vs the rigorous Hopkins engine, at 1 and
+//! N worker threads, on the same guard-band workload.
+//!
+//! Besides the criterion-style console lines, this bench emits a
+//! `BENCH_chip.json` summary (written to the workspace root) so the
+//! full-chip speed-up can be tracked across commits.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use litho_masks::{chip_mosaic, Dataset, DatasetKind, GeneratorConfig};
+use litho_optics::{HopkinsSimulator, OpticalConfig};
+use litho_serve::{ChipPipeline, Json, TileSimulator};
+use nitho::{NithoConfig, NithoModel};
+
+const TILE_PX: usize = 64;
+const PIXEL_NM: f64 = 8.0;
+/// Production TCC decompositions retain tens of kernels; Nitho regresses
+/// an order of magnitude fewer (the source of the Fig. 5 speed-up).
+const RIGOROUS_KERNELS: usize = 32;
+const NITHO_KERNELS: usize = 6;
+/// 4×4 mosaic: a 256-px chip, 16× the training-tile area.
+const MOSAIC: usize = 4;
+
+/// Mean wall time per iteration in milliseconds (1 warm-up + `iters` timed).
+fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+fn bench_chip(c: &mut Criterion) {
+    let optics = OpticalConfig::builder()
+        .tile_px(TILE_PX)
+        .pixel_nm(PIXEL_NM)
+        .kernel_count(NITHO_KERNELS)
+        .build();
+    let rigorous = HopkinsSimulator::new(&OpticalConfig {
+        kernel_count: RIGOROUS_KERNELS,
+        ..optics.clone()
+    });
+
+    let labeller = HopkinsSimulator::new(&optics);
+    let train = Dataset::generate(DatasetKind::B2Metal, 6, &labeller, 21);
+    let mut model = NithoModel::new(
+        NithoConfig {
+            epochs: 6,
+            ..NithoConfig::fast()
+        },
+        &optics,
+    );
+    model.train(&train);
+
+    let chip = chip_mosaic(
+        DatasetKind::B2Metal,
+        MOSAIC,
+        MOSAIC,
+        &GeneratorConfig::new(TILE_PX, PIXEL_NM),
+        22,
+    );
+    let mask = chip.rasterize();
+    let threads = litho_parallel::max_threads();
+
+    let mut group = c.benchmark_group("chip_stitched");
+    group.sample_size(10);
+    group.bench_function("hopkins_1_thread", |b| {
+        b.iter(|| litho_parallel::with_threads(1, || ChipPipeline::new(&rigorous).aerial(&mask)));
+    });
+    group.bench_function("nitho_1_thread", |b| {
+        b.iter(|| litho_parallel::with_threads(1, || ChipPipeline::new(&model).aerial(&mask)));
+    });
+    if threads > 1 {
+        group.bench_function(format!("nitho_{threads}_threads"), |b| {
+            b.iter(|| {
+                litho_parallel::with_threads(threads, || ChipPipeline::new(&model).aerial(&mask))
+            });
+        });
+    }
+    group.finish();
+
+    // JSON summary for the README / CI perf tracking.
+    let iters = 3;
+    let run = |sim: &dyn TileSimulator, threads: usize| {
+        let pipeline = ChipPipeline::new(sim);
+        time_ms(iters, || {
+            litho_parallel::with_threads(threads, || {
+                black_box(pipeline.simulate(&mask));
+            })
+        })
+    };
+    let hopkins_serial_ms = run(&rigorous, 1);
+    let hopkins_parallel_ms = run(&rigorous, threads);
+    let nitho_serial_ms = run(&model, 1);
+    let nitho_parallel_ms = run(&model, threads);
+
+    let tiles = ChipPipeline::new(&model)
+        .plan(mask.rows(), mask.cols())
+        .len();
+    let area_um2 =
+        (mask.rows() as f64 * PIXEL_NM / 1000.0) * (mask.cols() as f64 * PIXEL_NM / 1000.0);
+    // The serving crate's insertion-ordered Json keeps the report fields
+    // deterministic without hand-balancing braces and escapes.
+    let round3 = |v: f64| (v * 1e3).round() / 1e3;
+    let json = Json::object(vec![
+        ("bench", Json::string("chip_stitched")),
+        (
+            "chip_px",
+            Json::NumberArray(vec![mask.rows() as f64, mask.cols() as f64]),
+        ),
+        ("chip_um2", Json::Number(round3(area_um2))),
+        ("tile_px", Json::Number(TILE_PX as f64)),
+        ("tiles", Json::Number(tiles as f64)),
+        ("rigorous_kernels", Json::Number(RIGOROUS_KERNELS as f64)),
+        ("nitho_kernels", Json::Number(NITHO_KERNELS as f64)),
+        ("threads", Json::Number(threads as f64)),
+        (
+            "hopkins_1_thread_ms",
+            Json::Number(round3(hopkins_serial_ms)),
+        ),
+        (
+            "hopkins_parallel_ms",
+            Json::Number(round3(hopkins_parallel_ms)),
+        ),
+        ("nitho_1_thread_ms", Json::Number(round3(nitho_serial_ms))),
+        ("nitho_parallel_ms", Json::Number(round3(nitho_parallel_ms))),
+        (
+            "nitho_tiles_per_s",
+            Json::Number(round3(tiles as f64 / (nitho_parallel_ms / 1e3))),
+        ),
+        (
+            "nitho_um2_per_s",
+            Json::Number(round3(area_um2 / (nitho_parallel_ms / 1e3))),
+        ),
+        (
+            "hopkins_um2_per_s",
+            Json::Number(round3(area_um2 / (hopkins_parallel_ms / 1e3))),
+        ),
+        (
+            "nitho_speedup_1_thread",
+            Json::Number(round3(hopkins_serial_ms / nitho_serial_ms)),
+        ),
+        (
+            "nitho_speedup_parallel",
+            Json::Number(round3(hopkins_parallel_ms / nitho_parallel_ms)),
+        ),
+    ])
+    .to_string()
+        + "\n";
+    // Cargo runs benches with the package directory as CWD; anchor the report
+    // at the workspace root instead.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chip.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote BENCH_chip.json:\n{json}"),
+        Err(err) => eprintln!("could not write BENCH_chip.json: {err}"),
+    }
+}
+
+criterion_group!(benches, bench_chip);
+criterion_main!(benches);

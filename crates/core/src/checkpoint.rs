@@ -1,0 +1,247 @@
+//! Versioned `NITHOCKPT` model checkpoints.
+//!
+//! A raw parameter dump (`NITHOPRM`, see `litho_autodiff::ParamStore`) is
+//! unsafe to serve from: loading weights into a model with different optics
+//! or hyper-parameters silently mispredicts. A checkpoint therefore prefixes
+//! the parameter stream with a header binding it to the configuration it was
+//! trained for:
+//!
+//! ```text
+//! "NITHOCKPT"  9 bytes   magic
+//! version      u32 le    format version (currently 1)
+//! fingerprint  u64 le    FNV-1a of the canonical NithoConfig + OpticalConfig
+//! <NITHOPRM parameter stream>
+//! ```
+//!
+//! Loading validates the version and the fingerprint against the target
+//! model and fails with `InvalidData` on mismatch. Legacy `NITHOPRM` files
+//! (written before the header existed) still load, with a warning, so old
+//! experiments stay reproducible.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use litho_autodiff::ParamStore;
+use litho_optics::OpticalConfig;
+
+use crate::training::NithoConfig;
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+const CHECKPOINT_MAGIC: &[u8; 9] = b"NITHOCKPT";
+const LEGACY_MAGIC: &[u8; 8] = b"NITHOPRM";
+/// Magic + version + fingerprint.
+const HEADER_BYTES: u64 = 9 + 4 + 8;
+
+/// Header of a checkpoint file, as read by [`checkpoint_info`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// Format version (0 for legacy `NITHOPRM` files).
+    pub version: u32,
+    /// Configuration fingerprint (0 for legacy files).
+    pub fingerprint: u64,
+    /// `true` when the file is a headerless legacy parameter dump.
+    pub legacy: bool,
+}
+
+/// Fingerprint binding a checkpoint to its model + optics configuration:
+/// FNV-1a over the fields that determine what the saved weights *mean* —
+/// the network architecture and positional encoding (input/output
+/// semantics) and the optical system the kernels were regressed for.
+/// Training-only knobs (epochs, batch size, learning rate, shuffle seed,
+/// training resolution) are deliberately excluded, so the documented
+/// `NITHO_EPOCHS`-style scaling knobs never invalidate an
+/// otherwise-compatible checkpoint. `resist_threshold` and the rigorous
+/// engine's `kernel_count` are serving-time choices, not weight semantics,
+/// and are excluded for the same reason.
+pub fn config_fingerprint(config: &NithoConfig, optics: &OpticalConfig) -> u64 {
+    let canonical = format!(
+        "arch:{:?}/{}/{}/{}|enc:{:?}|optics:{}/{}/{:?}/{}/{}/{}",
+        config.kernel_side,
+        config.kernel_count,
+        config.hidden_dim,
+        config.hidden_blocks,
+        config.encoding,
+        optics.wavelength_nm,
+        optics.numerical_aperture,
+        optics.source,
+        optics.defocus_nm,
+        optics.tile_px,
+        optics.pixel_nm,
+    );
+    fnv1a(canonical.as_bytes())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn invalid_data(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Reads just the header of a checkpoint file.
+///
+/// # Errors
+///
+/// `InvalidData` when the file is neither a `NITHOCKPT` checkpoint nor a
+/// legacy `NITHOPRM` dump; otherwise any I/O error.
+pub fn checkpoint_info(path: &Path) -> io::Result<CheckpointInfo> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic == LEGACY_MAGIC {
+        return Ok(CheckpointInfo {
+            version: 0,
+            fingerprint: 0,
+            legacy: true,
+        });
+    }
+    finish_header(&mut r, &magic, path)
+}
+
+/// Consumes the tail of the `NITHOCKPT` header after the first 8 magic bytes.
+fn finish_header<R: Read>(r: &mut R, first8: &[u8; 8], path: &Path) -> io::Result<CheckpointInfo> {
+    let mut ninth = [0u8; 1];
+    if first8 != &CHECKPOINT_MAGIC[..8]
+        || r.read_exact(&mut ninth).is_err()
+        || ninth[0] != CHECKPOINT_MAGIC[8]
+    {
+        return Err(invalid_data(format!(
+            "{} is not a Nitho checkpoint or parameter file",
+            path.display()
+        )));
+    }
+    let mut version = [0u8; 4];
+    r.read_exact(&mut version)?;
+    let mut fingerprint = [0u8; 8];
+    r.read_exact(&mut fingerprint)?;
+    Ok(CheckpointInfo {
+        version: u32::from_le_bytes(version),
+        fingerprint: u64::from_le_bytes(fingerprint),
+        legacy: false,
+    })
+}
+
+/// Writes a versioned checkpoint: header + parameter stream.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub(crate) fn save(path: &Path, fingerprint: u64, params: &ParamStore) -> io::Result<()> {
+    // Write-then-rename so a crash or full disk mid-save never leaves a
+    // truncated checkpoint at the final path.
+    let tmp = path.with_extension("ckpt.tmp");
+    {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        w.write_all(CHECKPOINT_MAGIC)?;
+        w.write_all(&CHECKPOINT_VERSION.to_le_bytes())?;
+        w.write_all(&fingerprint.to_le_bytes())?;
+        params.write_to(&mut w)?;
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads a checkpoint, validating version and fingerprint; legacy
+/// `NITHOPRM` files load with a warning (no fingerprint to check).
+///
+/// # Errors
+///
+/// `InvalidData` on an unknown format, an unsupported version, or a
+/// fingerprint that does not match `expected_fingerprint`.
+pub(crate) fn load(path: &Path, expected_fingerprint: u64) -> io::Result<ParamStore> {
+    let file_len = std::fs::metadata(path)?.len();
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic == LEGACY_MAGIC {
+        eprintln!(
+            "warning: {} is a legacy NITHOPRM parameter file with no config \
+             fingerprint; loading without compatibility checks",
+            path.display()
+        );
+        // Replay the already-consumed magic so the parameter reader sees the
+        // full stream.
+        let mut replay = io::Cursor::new(magic).chain(r);
+        return ParamStore::read_from(&mut replay, file_len);
+    }
+    let info = finish_header(&mut r, &magic, path)?;
+    if info.version == 0 || info.version > CHECKPOINT_VERSION {
+        return Err(invalid_data(format!(
+            "unsupported checkpoint version {} (this build reads <= {})",
+            info.version, CHECKPOINT_VERSION
+        )));
+    }
+    if info.fingerprint != expected_fingerprint {
+        return Err(invalid_data(format!(
+            "checkpoint fingerprint {:#018x} does not match the target model's \
+             configuration ({expected_fingerprint:#018x}): it was saved for \
+             different optics or hyper-parameters",
+            info.fingerprint
+        )));
+    }
+    ParamStore::read_from(&mut r, file_len - HEADER_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_tracks_semantic_fields_only() {
+        let optics = OpticalConfig::default();
+        let config = NithoConfig::default();
+        let base = config_fingerprint(&config, &optics);
+        assert_eq!(base, config_fingerprint(&config, &optics));
+
+        // Architecture and optics changes invalidate checkpoints…
+        let other_config = NithoConfig {
+            hidden_dim: config.hidden_dim + 1,
+            ..config.clone()
+        };
+        assert_ne!(base, config_fingerprint(&other_config, &optics));
+        let other_optics = OpticalConfig {
+            defocus_nm: 25.0,
+            ..optics.clone()
+        };
+        assert_ne!(base, config_fingerprint(&config, &other_optics));
+
+        // …but training-only and serving-time knobs must not: the NITHO_*
+        // scale knobs would otherwise reject every checkpoint they didn't
+        // themselves write.
+        let retuned = NithoConfig {
+            epochs: 5,
+            batch_size: 2,
+            learning_rate: 9e-3,
+            training_resolution: Some(32),
+            seed: 7,
+            ..config.clone()
+        };
+        assert_eq!(base, config_fingerprint(&retuned, &optics));
+        let rethresholded = OpticalConfig {
+            resist_threshold: 0.3,
+            kernel_count: 60,
+            ..optics.clone()
+        };
+        assert_eq!(base, config_fingerprint(&config, &rethresholded));
+    }
+
+    #[test]
+    fn unknown_magic_is_rejected() {
+        let dir = std::env::temp_dir().join("nitho_ckpt_magic_test");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("garbage.ckpt");
+        std::fs::write(&path, b"GARBAGE!!data").expect("write");
+        assert!(checkpoint_info(&path).is_err());
+        assert!(load(&path, 0).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -42,11 +42,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod cmlp;
 pub mod encoding;
 pub mod model;
 pub mod training;
 
+pub use checkpoint::{checkpoint_info, CheckpointInfo, CHECKPOINT_VERSION};
 pub use cmlp::Cmlp;
 pub use encoding::PositionalEncoding;
 pub use model::{EvaluationReport, NithoModel};

@@ -371,37 +371,61 @@ impl NithoModel {
         }
     }
 
-    /// Saves the CMLP parameters to a binary file.
+    /// Fingerprint of this model's `NithoConfig` + `OpticalConfig`, embedded
+    /// in checkpoints so weights can never be loaded into a mismatched model.
+    pub fn checkpoint_fingerprint(&self) -> u64 {
+        crate::checkpoint::config_fingerprint(&self.config, &self.optics)
+    }
+
+    /// Saves a versioned `NITHOCKPT` checkpoint: format header + config
+    /// fingerprint + the CMLP parameters.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from writing the file.
     pub fn save_parameters(&self, path: &Path) -> std::io::Result<()> {
-        self.cmlp.params().save(path)
+        crate::checkpoint::save(path, self.checkpoint_fingerprint(), self.cmlp.params())
     }
 
-    /// Loads CMLP parameters previously saved with
+    /// Loads a checkpoint previously saved with
     /// [`NithoModel::save_parameters`] and refreshes the kernel cache.
+    /// Legacy headerless `NITHOPRM` files load with a warning; `NITHOCKPT`
+    /// files are rejected unless their config fingerprint matches this model.
     ///
     /// # Errors
     ///
-    /// Returns an error if the file cannot be read or does not match the
-    /// model architecture.
+    /// Returns an error if the file cannot be read, was saved for a
+    /// different configuration, or does not match the model architecture.
     pub fn load_parameters(&mut self, path: &Path) -> std::io::Result<()> {
-        let loaded = litho_autodiff::ParamStore::load(path)?;
+        let loaded = crate::checkpoint::load(path, self.checkpoint_fingerprint())?;
         if loaded.len() != self.cmlp.params().len() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 "parameter file does not match the model architecture",
             ));
         }
-        for (id, _, value) in loaded.iter() {
+        // Validate every name and shape before touching any weight, so a
+        // malformed (or reordered legacy) file can never leave the model
+        // half-overwritten or silently load weights into the wrong slots.
+        for (id, name, value) in loaded.iter() {
+            if name != self.cmlp.params().name(id) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "parameter order mismatch while loading: found {name:?} where \
+                         {:?} was expected",
+                        self.cmlp.params().name(id)
+                    ),
+                ));
+            }
             if value.shape() != self.cmlp.params().value(id).shape() {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
                     "parameter shape mismatch while loading",
                 ));
             }
+        }
+        for (id, _, value) in loaded.iter() {
             *self.cmlp.params_mut().value_mut(id) = value.clone();
         }
         self.refresh_kernels();
@@ -568,6 +592,71 @@ mod tests {
         let max_diff = a.zip_map(&b, |x, y| (x - y).abs()).max();
         assert!(max_diff < 1e-12, "restored model differs by {max_diff}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_rejects_mismatched_configuration() {
+        let optics = fast_optics();
+        let mut model = NithoModel::new(fast_nitho_config(), &optics);
+        model.refresh_kernels();
+        let dir = std::env::temp_dir().join("nitho_ckpt_mismatch_test");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("model.ckpt");
+        model.save_parameters(&path).expect("save");
+
+        // Same architecture, different optics: the weights would load shape-
+        // wise, but the kernels they encode belong to other physics.
+        let other_optics = OpticalConfig {
+            pixel_nm: 4.0,
+            ..fast_optics()
+        };
+        let mut victim = NithoModel::new(fast_nitho_config(), &other_optics);
+        let err = victim.load_parameters(&path).expect_err("optics mismatch");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+
+        // A different architecture is rejected the same way (before any
+        // shape comparison runs).
+        let config = NithoConfig {
+            hidden_blocks: 2,
+            ..fast_nitho_config()
+        };
+        let mut victim = NithoModel::new(config, &optics);
+        assert!(victim.load_parameters(&path).is_err());
+
+        // Training-only knobs do not invalidate a checkpoint.
+        let config = NithoConfig {
+            epochs: 99,
+            learning_rate: 9e-3,
+            ..fast_nitho_config()
+        };
+        let mut compatible = NithoModel::new(config, &optics);
+        compatible.load_parameters(&path).expect("retuned load");
+
+        // The original model still round-trips.
+        let mut restored = NithoModel::new(fast_nitho_config(), &optics);
+        restored.load_parameters(&path).expect("matching load");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_parameter_files_load_with_warning_path() {
+        let optics = fast_optics();
+        let mut model = NithoModel::new(fast_nitho_config(), &optics);
+        model.refresh_kernels();
+        let dir = std::env::temp_dir().join("nitho_ckpt_legacy_test");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("legacy.bin");
+        // A pre-NITHOCKPT dump: raw parameters, no header.
+        model.cmlp().params().save(&path).expect("legacy save");
+
+        let mut restored = NithoModel::new(fast_nitho_config(), &optics);
+        restored.load_parameters(&path).expect("legacy load");
+        let mask = RealMatrix::filled(64, 64, 1.0);
+        let a = model.predict_aerial(&mask);
+        let b = restored.predict_aerial(&mask);
+        assert!(a.zip_map(&b, |x, y| (x - y).abs()).max() < 1e-12);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Multi-tile chip layouts: rectangle unions on arbitrarily large,
+//! possibly non-square rasters.
+//!
+//! [`Layout`](crate::Layout) is deliberately bound to one square training
+//! tile; a [`ChipLayout`] is the full-chip counterpart consumed by the
+//! `litho_serve` tiling engine. [`chip_mosaic`] scales the per-tile dataset
+//! generators up to whole layouts by planting an independently generated
+//! tile of the chosen family at every grid position — the qualitative
+//! statistics of each family are preserved while the total extent grows
+//! without bound.
+
+use litho_math::{DeterministicRng, RealMatrix};
+
+use crate::dataset::DatasetKind;
+use crate::generators::{self, GeneratorConfig};
+use crate::layout::Rect;
+
+/// A mask layout on a `rows_px × cols_px` chip raster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipLayout {
+    rows_px: usize,
+    cols_px: usize,
+    rects: Vec<Rect>,
+}
+
+impl ChipLayout {
+    /// Creates an empty chip layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows_px: usize, cols_px: usize) -> Self {
+        assert!(
+            rows_px > 0 && cols_px > 0,
+            "chip dimensions must be non-zero"
+        );
+        Self {
+            rows_px,
+            cols_px,
+            rects: Vec::new(),
+        }
+    }
+
+    /// Chip raster dimensions `(rows, cols)` in pixels.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows_px, self.cols_px)
+    }
+
+    /// The rectangles (clipped only at rasterization time).
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Number of rectangles.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// `true` when the layout holds no rectangles.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Adds a rectangle; geometry outside the chip is kept and clipped later.
+    pub fn push(&mut self, rect: Rect) {
+        self.rects.push(rect);
+    }
+
+    /// Fraction of the chip covered by geometry.
+    pub fn density(&self) -> f64 {
+        let mask = self.rasterize();
+        mask.sum() / mask.len() as f64
+    }
+
+    /// Rasterizes to a binary chip mask: 1 inside any rectangle, 0 elsewhere.
+    pub fn rasterize(&self) -> RealMatrix {
+        let mut mask = RealMatrix::zeros(self.rows_px, self.cols_px);
+        for rect in &self.rects {
+            let x0 = rect.x0.clamp(0, self.cols_px as i64) as usize;
+            let x1 = rect.x1.clamp(0, self.cols_px as i64) as usize;
+            let y0 = rect.y0.clamp(0, self.rows_px as i64) as usize;
+            let y1 = rect.y1.clamp(0, self.rows_px as i64) as usize;
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    mask[(y, x)] = 1.0;
+                }
+            }
+        }
+        mask
+    }
+}
+
+/// Generates a `tiles_y × tiles_x` mosaic chip of the given dataset family:
+/// every grid cell carries an independently generated tile-sized layout,
+/// offset to its position. Deterministic per seed.
+///
+/// # Panics
+///
+/// Panics if either grid dimension is zero (tile geometry is validated by
+/// [`GeneratorConfig`]).
+pub fn chip_mosaic(
+    kind: DatasetKind,
+    tiles_y: usize,
+    tiles_x: usize,
+    tile: &GeneratorConfig,
+    seed: u64,
+) -> ChipLayout {
+    assert!(tiles_y > 0 && tiles_x > 0, "mosaic grid must be non-empty");
+    let t = tile.tile_px as i64;
+    let mut chip = ChipLayout::new(tiles_y * tile.tile_px, tiles_x * tile.tile_px);
+    let mut rng = DeterministicRng::new(seed);
+    for ty in 0..tiles_y {
+        for tx in 0..tiles_x {
+            let layout = match kind {
+                DatasetKind::B1 => generators::iccad_clip(tile, &mut rng),
+                DatasetKind::B1Opc => {
+                    let base = generators::iccad_clip(tile, &mut rng);
+                    generators::apply_opc(&base, tile, &mut rng)
+                }
+                DatasetKind::B2Metal => generators::metal_layer(tile, &mut rng),
+                DatasetKind::B2Via => generators::via_layer(tile, &mut rng),
+            };
+            let (dy, dx) = (ty as i64 * t, tx as i64 * t);
+            for rect in layout.rects() {
+                // Clip to the source cell first so a tile's geometry cannot
+                // bleed into its neighbours, then translate into place.
+                if let Some(clipped) = rect.clipped(t) {
+                    chip.push(Rect::new(
+                        clipped.x0 + dx,
+                        clipped.y0 + dy,
+                        clipped.x1 + dx,
+                        clipped.y1 + dy,
+                    ));
+                }
+            }
+        }
+    }
+    chip
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile_config() -> GeneratorConfig {
+        GeneratorConfig::new(64, 8.0)
+    }
+
+    #[test]
+    fn chip_layout_rasterizes_non_square() {
+        let mut chip = ChipLayout::new(40, 100);
+        chip.push(Rect::new(0, 0, 10, 10));
+        chip.push(Rect::new(90, 30, 120, 60)); // clipped at both edges
+        assert_eq!(chip.shape(), (40, 100));
+        assert_eq!(chip.len(), 2);
+        assert!(!chip.is_empty());
+        let mask = chip.rasterize();
+        assert_eq!(mask.shape(), (40, 100));
+        assert_eq!(mask.sum() as i64, 100 + 10 * 10);
+        assert!((chip.density() - 200.0 / 4000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mosaic_covers_every_cell() {
+        let tile = tile_config();
+        let chip = chip_mosaic(DatasetKind::B2Via, 3, 2, &tile, 5);
+        assert_eq!(chip.shape(), (192, 128));
+        let mask = chip.rasterize();
+        // Generators never emit an empty tile, so every cell has geometry.
+        for ty in 0..3 {
+            for tx in 0..2 {
+                let cell = mask.submatrix(ty * 64, tx * 64, 64, 64);
+                assert!(
+                    cell.sum() > 0.0,
+                    "mosaic cell ({ty}, {tx}) must carry geometry"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mosaic_cells_stay_inside_their_cell() {
+        let tile = tile_config();
+        let chip = chip_mosaic(DatasetKind::B2Metal, 2, 2, &tile, 9);
+        for rect in chip.rects() {
+            assert!(rect.x0 >= 0 && rect.y0 >= 0);
+            assert!(rect.x1 <= 128 && rect.y1 <= 128);
+            // Each rect stays inside the 64-px cell it was generated for.
+            assert_eq!(rect.x0 / 64, (rect.x1 - 1) / 64, "{rect:?} spans cells");
+            assert_eq!(rect.y0 / 64, (rect.y1 - 1) / 64, "{rect:?} spans cells");
+        }
+    }
+
+    #[test]
+    fn mosaic_is_deterministic_and_varied() {
+        let tile = tile_config();
+        let a = chip_mosaic(DatasetKind::B1, 2, 2, &tile, 1);
+        let b = chip_mosaic(DatasetKind::B1, 2, 2, &tile, 1);
+        let c = chip_mosaic(DatasetKind::B1, 2, 2, &tile, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Cells differ from each other (independent generator draws).
+        let mask = a.rasterize();
+        let first = mask.submatrix(0, 0, 64, 64);
+        let second = mask.submatrix(0, 64, 64, 64);
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_mosaic_grid_panics() {
+        let _ = chip_mosaic(DatasetKind::B1, 0, 2, &tile_config(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_sized_chip_panics() {
+        let _ = ChipLayout::new(0, 10);
+    }
+}

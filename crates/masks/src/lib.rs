@@ -11,13 +11,17 @@
 //! * [`layout`] — rectangle-based layout IR and rasterization.
 //! * [`generators`] — the four dataset families (B1, B1opc, B2m, B2v).
 //! * [`dataset`] — labelled samples, train/test splits, merging and subsets.
+//! * [`chip`] — multi-tile chip layouts and the mosaic generator feeding the
+//!   full-chip tiling engine.
 
 #![forbid(unsafe_code)]
 
+pub mod chip;
 pub mod dataset;
 pub mod generators;
 pub mod layout;
 
+pub use chip::{chip_mosaic, ChipLayout};
 pub use dataset::{Dataset, DatasetKind, LithoSample};
 pub use generators::GeneratorConfig;
 pub use layout::{Layout, Rect};

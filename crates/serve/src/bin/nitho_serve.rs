@@ -1,0 +1,197 @@
+//! `nitho-serve` — the full-chip lithography inference server.
+//!
+//! Registers a rigorous Hopkins reference engine and a trained Nitho model
+//! (restored from a versioned checkpoint when one exists), then serves the
+//! JSON protocol of `litho_serve::service` plus an admin
+//! `POST /v1/shutdown` route for clean teardown.
+//!
+//! ```text
+//! nitho-serve [--addr 127.0.0.1] [--port 8425] [--port-file PATH]
+//!             [--checkpoint-dir DIR] [--fast]
+//! ```
+//!
+//! * `--port 0` binds an ephemeral port; combine with `--port-file` so
+//!   scripts can discover it (the file is written after the bind succeeds).
+//! * `--checkpoint-dir` persists the Nitho checkpoint across restarts
+//!   (default `./nitho-serve-ckpt`).
+//! * `--fast` serves a smaller, quicker-to-train model (CI smoke scale).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use litho_masks::{Dataset, DatasetKind};
+use litho_optics::{HopkinsSimulator, OpticalConfig};
+use litho_serve::{HttpServer, ModelRegistry, Response, Service};
+use nitho::NithoConfig;
+
+struct Options {
+    addr: String,
+    port: u16,
+    port_file: Option<PathBuf>,
+    checkpoint_dir: PathBuf,
+    fast: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        addr: "127.0.0.1".to_owned(),
+        port: 8425,
+        port_file: None,
+        checkpoint_dir: PathBuf::from("nitho-serve-ckpt"),
+        fast: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => options.addr = value("--addr")?,
+            "--port" => {
+                options.port = value("--port")?
+                    .parse()
+                    .map_err(|_| "--port must be 0..=65535".to_owned())?
+            }
+            "--port-file" => options.port_file = Some(PathBuf::from(value("--port-file")?)),
+            "--checkpoint-dir" => {
+                options.checkpoint_dir = PathBuf::from(value("--checkpoint-dir")?)
+            }
+            "--fast" => options.fast = true,
+            "--help" | "-h" => {
+                return Err("usage: nitho-serve [--addr A] [--port P] [--port-file F] \
+                            [--checkpoint-dir D] [--fast]"
+                    .to_owned())
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Serving-scale knobs: `--fast` is the CI smoke profile, the default is a
+/// demo-quality model.
+fn profiles(fast: bool) -> (OpticalConfig, NithoConfig, usize) {
+    if fast {
+        let optics = OpticalConfig::builder()
+            .tile_px(64)
+            .pixel_nm(8.0)
+            .kernel_count(6)
+            .build();
+        let config = NithoConfig {
+            epochs: 8,
+            ..NithoConfig::fast()
+        };
+        (optics, config, 8)
+    } else {
+        let optics = OpticalConfig::builder()
+            .tile_px(128)
+            .pixel_nm(4.0)
+            .kernel_count(8)
+            .build();
+        let config = NithoConfig {
+            kernel_count: 8,
+            hidden_dim: 48,
+            epochs: 25,
+            ..NithoConfig::fast()
+        };
+        (optics, config, 16)
+    }
+}
+
+fn build_registry(options: &Options) -> std::io::Result<ModelRegistry> {
+    let (optics, config, train_tiles) = profiles(options.fast);
+    let mut registry = ModelRegistry::new();
+
+    eprintln!(
+        "nitho-serve: building rigorous Hopkins engine ({} px tile)",
+        optics.tile_px
+    );
+    let labeller = HopkinsSimulator::new(&optics);
+    registry.register_nitho_checkpointed(
+        "nitho",
+        config,
+        &optics,
+        &options.checkpoint_dir,
+        |model| {
+            eprintln!("nitho-serve: no usable checkpoint; training {train_tiles} tiles");
+            let train = Dataset::generate(DatasetKind::B2Metal, train_tiles, &labeller, 21)
+                .merged(&Dataset::generate(
+                    DatasetKind::B2Via,
+                    train_tiles / 2,
+                    &labeller,
+                    22,
+                ))
+                .shuffled(7);
+            model.train(&train);
+        },
+    )?;
+    registry.register_hopkins("hopkins", labeller);
+    Ok(registry)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let registry = match build_registry(&options) {
+        Ok(registry) => registry,
+        Err(err) => {
+            eprintln!("nitho-serve: failed to build the model registry: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for info in registry.models() {
+        eprintln!(
+            "nitho-serve: model {:?} ({}, {} px tile, halo {} px{})",
+            info.name,
+            info.kind,
+            info.tile_px,
+            info.halo_px,
+            match info.checkpoint.as_ref() {
+                Some(path) => format!(
+                    ", checkpoint {} v{}",
+                    path.display(),
+                    info.checkpoint_version
+                ),
+                None => String::new(),
+            }
+        );
+    }
+    let service = Service::new(registry);
+
+    let server = match HttpServer::bind(&format!("{}:{}", options.addr, options.port)) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("nitho-serve: bind failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr().expect("bound server has an address");
+    if let Some(path) = &options.port_file {
+        if let Err(err) = std::fs::write(path, format!("{}\n", addr.port())) {
+            eprintln!(
+                "nitho-serve: cannot write port file {}: {err}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("nitho-serve listening on http://{addr}");
+
+    let shutdown = server.shutdown_handle();
+    server.serve(move |request| {
+        if (request.method.as_str(), request.path.as_str()) == ("POST", "/v1/shutdown") {
+            shutdown.shutdown();
+            return Response::json(200, r#"{"status":"shutting down"}"#.to_owned());
+        }
+        service.handle(request)
+    });
+    println!("nitho-serve: shut down cleanly");
+    ExitCode::SUCCESS
+}

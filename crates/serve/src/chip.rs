@@ -1,0 +1,270 @@
+//! Full-chip simulation: guard-band tiling fan-out over a [`TileSimulator`].
+//!
+//! A [`ChipPipeline`] decomposes a chip-sized mask with [`TileGrid`], runs
+//! every tile window through the wrapped simulator on `litho_parallel`
+//! workers, and stitches the tile cores back into a seamless aerial/resist
+//! image.
+//!
+//! # Determinism
+//!
+//! Tiles are independent work items: each tile's aerial image is computed by
+//! exactly one closure call, simulator internals degrade to serial inside
+//! workers (`litho_parallel` nested-region rule), and the planned FFT stack
+//! is itself bit-identical for any thread count. Stitching copies disjoint
+//! owned regions sequentially in tile order on the calling thread, so the
+//! stitched output is bit-identical for `NITHO_THREADS = 1, 2, …, N` —
+//! the same contract the rest of the workspace pins in
+//! `tests/parallel_determinism.rs`.
+
+use litho_math::RealMatrix;
+use litho_optics::HopkinsSimulator;
+use nitho::NithoModel;
+
+use crate::tiling::{TileGrid, TilingConfig};
+
+/// A lithography engine that simulates fixed-size square tiles — the common
+/// interface the chip pipeline drives, implemented by both the regressed
+/// Nitho model and the rigorous Hopkins reference.
+pub trait TileSimulator: Send + Sync {
+    /// Edge length of the tiles this simulator accepts, in pixels.
+    fn tile_px(&self) -> usize;
+
+    /// Resist development threshold relative to clear-field intensity.
+    fn resist_threshold(&self) -> f64;
+
+    /// Physical pixel pitch in nanometres.
+    fn pixel_nm(&self) -> f64;
+
+    /// Theoretical resolution element `R = 0.5·λ/NA` in nanometres; sizes
+    /// the default guard band.
+    fn resolution_nm(&self) -> f64;
+
+    /// Computes the aerial image of one `tile_px × tile_px` mask tile,
+    /// normalized to clear-field intensity 1.
+    fn simulate_tile(&self, tile: &RealMatrix) -> RealMatrix;
+
+    /// Guard-band width: two resolution elements (the optical ambit beyond
+    /// which kernel tails are negligible), clamped so a tile core remains.
+    fn default_halo_px(&self) -> usize {
+        let ambit = (2.0 * self.resolution_nm() / self.pixel_nm()).ceil() as usize;
+        ambit.min((self.tile_px() - 1) / 2 - 1)
+    }
+}
+
+impl TileSimulator for NithoModel {
+    fn tile_px(&self) -> usize {
+        self.optics().tile_px
+    }
+
+    fn resist_threshold(&self) -> f64 {
+        self.optics().resist_threshold
+    }
+
+    fn pixel_nm(&self) -> f64 {
+        self.optics().pixel_nm
+    }
+
+    fn resolution_nm(&self) -> f64 {
+        self.optics().resolution_nm()
+    }
+
+    fn simulate_tile(&self, tile: &RealMatrix) -> RealMatrix {
+        self.predict_aerial(tile)
+    }
+}
+
+impl TileSimulator for HopkinsSimulator {
+    fn tile_px(&self) -> usize {
+        self.config().tile_px
+    }
+
+    fn resist_threshold(&self) -> f64 {
+        self.config().resist_threshold
+    }
+
+    fn pixel_nm(&self) -> f64 {
+        self.config().pixel_nm
+    }
+
+    fn resolution_nm(&self) -> f64 {
+        self.config().resolution_nm()
+    }
+
+    fn simulate_tile(&self, tile: &RealMatrix) -> RealMatrix {
+        self.aerial_image(tile)
+    }
+}
+
+/// Stitched full-chip simulation result.
+#[derive(Debug, Clone)]
+pub struct ChipResult {
+    /// Stitched aerial image at chip resolution.
+    pub aerial: RealMatrix,
+    /// Binary resist image (thresholded aerial).
+    pub resist: RealMatrix,
+    /// Number of tiles simulated.
+    pub tiles: usize,
+    /// Tile-grid dimensions `(tiles_y, tiles_x)`.
+    pub grid: (usize, usize),
+    /// Guard-band width used, in pixels.
+    pub halo_px: usize,
+}
+
+/// The full-chip pipeline: guard-band tiling + parallel tile simulation +
+/// deterministic stitching over any [`TileSimulator`].
+pub struct ChipPipeline<'a> {
+    simulator: &'a dyn TileSimulator,
+    tiling: TilingConfig,
+}
+
+impl<'a> ChipPipeline<'a> {
+    /// Wraps a simulator with its [default halo](TileSimulator::default_halo_px).
+    pub fn new(simulator: &'a dyn TileSimulator) -> Self {
+        let halo = simulator.default_halo_px();
+        Self::with_halo(simulator, halo)
+    }
+
+    /// Wraps a simulator with an explicit guard-band width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the halo leaves no tile core (`2·halo >= tile_px`).
+    pub fn with_halo(simulator: &'a dyn TileSimulator, halo_px: usize) -> Self {
+        Self {
+            simulator,
+            tiling: TilingConfig::new(simulator.tile_px(), halo_px),
+        }
+    }
+
+    /// The tiling geometry in use.
+    pub fn tiling(&self) -> TilingConfig {
+        self.tiling
+    }
+
+    /// Plans the tile grid for a chip without simulating it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either chip dimension is zero.
+    pub fn plan(&self, chip_rows: usize, chip_cols: usize) -> TileGrid {
+        TileGrid::new(self.tiling, chip_rows, chip_cols)
+    }
+
+    /// Simulates a full chip mask of any dimensions, returning the stitched
+    /// aerial image.
+    pub fn aerial(&self, chip: &RealMatrix) -> RealMatrix {
+        let grid = self.plan(chip.rows(), chip.cols());
+        // Fan the tile windows out over litho_parallel workers; par_map
+        // returns the per-tile aerials in tile order regardless of the
+        // thread count.
+        let tile_aerials = litho_parallel::par_map(grid.len(), |index| {
+            let tile = grid.tile(index);
+            let window = grid.extract_window(chip, &tile);
+            self.simulator.simulate_tile(&window)
+        });
+        let mut stitched = RealMatrix::zeros(chip.rows(), chip.cols());
+        for (index, tile_aerial) in tile_aerials.iter().enumerate() {
+            let tile = grid.tile(index);
+            grid.stitch_owned(&mut stitched, &tile, tile_aerial);
+        }
+        stitched
+    }
+
+    /// Simulates a full chip mask end to end: stitched aerial plus the
+    /// thresholded resist image.
+    pub fn simulate(&self, chip: &RealMatrix) -> ChipResult {
+        let grid = self.plan(chip.rows(), chip.cols());
+        let aerial = self.aerial(chip);
+        let resist = aerial.threshold(self.simulator.resist_threshold());
+        ChipResult {
+            aerial,
+            resist,
+            tiles: grid.len(),
+            grid: grid.grid_shape(),
+            halo_px: self.tiling.halo_px,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litho_optics::OpticalConfig;
+
+    fn fast_optics() -> OpticalConfig {
+        OpticalConfig::builder()
+            .tile_px(64)
+            .pixel_nm(8.0)
+            .kernel_count(6)
+            .build()
+    }
+
+    #[test]
+    fn hopkins_implements_tile_simulator() {
+        let optics = fast_optics();
+        let sim = HopkinsSimulator::new(&optics);
+        let tiled: &dyn TileSimulator = &sim;
+        assert_eq!(tiled.tile_px(), 64);
+        assert_eq!(tiled.resist_threshold(), optics.resist_threshold);
+        assert_eq!(tiled.pixel_nm(), 8.0);
+        // 2R = 142.96 nm -> 18 px at 8 nm/px.
+        assert_eq!(tiled.default_halo_px(), 18);
+        let aerial = tiled.simulate_tile(&RealMatrix::filled(64, 64, 1.0));
+        assert_eq!(aerial.shape(), (64, 64));
+    }
+
+    #[test]
+    fn nitho_implements_tile_simulator() {
+        let optics = fast_optics();
+        let mut model = nitho::NithoModel::new(
+            nitho::NithoConfig {
+                kernel_side: Some(9),
+                ..nitho::NithoConfig::fast()
+            },
+            &optics,
+        );
+        model.refresh_kernels();
+        let tiled: &dyn TileSimulator = &model;
+        assert_eq!(tiled.tile_px(), 64);
+        let aerial = tiled.simulate_tile(&RealMatrix::zeros(64, 64));
+        assert_eq!(aerial.shape(), (64, 64));
+    }
+
+    #[test]
+    fn dark_chip_yields_dark_stitched_image() {
+        let sim = HopkinsSimulator::new(&fast_optics());
+        let pipeline = ChipPipeline::new(&sim);
+        let result = pipeline.simulate(&RealMatrix::zeros(100, 150));
+        assert_eq!(result.aerial.shape(), (100, 150));
+        assert!(result.aerial.max() < 1e-20);
+        assert!(result.resist.iter().all(|&v| v == 0.0));
+        assert_eq!(result.grid.0 * result.grid.1, result.tiles);
+        assert_eq!(result.halo_px, pipeline.tiling().halo_px);
+    }
+
+    #[test]
+    fn clear_chip_interior_prints_near_unit_intensity() {
+        let sim = HopkinsSimulator::new(&fast_optics());
+        let pipeline = ChipPipeline::new(&sim);
+        let aerial = pipeline.aerial(&RealMatrix::filled(128, 128, 1.0));
+        // Away from the chip boundary (where the dark field bleeds in) the
+        // clear field must print at intensity ~1.
+        let interior = aerial.submatrix(32, 32, 64, 64);
+        assert!(
+            (interior.mean() - 1.0).abs() < 0.05,
+            "interior clear-field intensity {}",
+            interior.mean()
+        );
+    }
+
+    #[test]
+    fn chip_pipeline_handles_chip_smaller_than_tile() {
+        let sim = HopkinsSimulator::new(&fast_optics());
+        let pipeline = ChipPipeline::with_halo(&sim, 16); // 32-px core
+        let result = pipeline.simulate(&RealMatrix::filled(24, 32, 1.0));
+        assert_eq!(result.aerial.shape(), (24, 32));
+        assert_eq!(result.tiles, 1);
+        // A dimension one pixel past the core takes a second tile.
+        assert_eq!(pipeline.simulate(&RealMatrix::filled(24, 33, 1.0)).tiles, 2);
+    }
+}

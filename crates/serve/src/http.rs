@@ -1,0 +1,515 @@
+//! Hand-rolled HTTP/1.1 server on [`std::net::TcpListener`].
+//!
+//! crates.io is unreachable, so the service speaks a deliberately small but
+//! correct slice of HTTP/1.1: request line + headers + `Content-Length`
+//! bodies in, status line + headers + body out, one request per connection
+//! (`Connection: close`). Connections are handled on scoped worker threads;
+//! a [`ShutdownHandle`] lets tests and the `/v1/shutdown` endpoint stop the
+//! accept loop cleanly from another thread.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upper bound on request bodies (64 MiB — a 2048² chip of f64 pixels fits).
+const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+/// Upper bound on concurrently served connections; excess clients get 503.
+const MAX_CONNECTIONS: usize = 64;
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Per-connection socket timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), upper-case as received.
+    pub method: String,
+    /// Request path including any query string (e.g. `/v1/simulate`).
+    pub path: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    pub fn body_text(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 404, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json".to_owned(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: &str) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8".to_owned(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn status_reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            503 => "Service Unavailable",
+            _ => "Internal Server Error",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.status,
+            self.status_reason(),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Handle that stops a running [`HttpServer`] accept loop from any thread.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown: sets the stop flag and pokes the listener with a
+    /// throwaway connection so a blocked `accept` returns.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // A wildcard bind address (0.0.0.0 / ::) is not connectable on every
+        // platform; poke the loopback of the same family instead.
+        let mut poke = self.addr;
+        if poke.ip().is_unspecified() {
+            poke.set_ip(match poke.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        // Ignore errors: if the listener is already gone, we are done.
+        let _ = TcpStream::connect_timeout(&poke, Duration::from_secs(1));
+    }
+
+    /// `true` once shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// A minimal threaded HTTP/1.1 server.
+pub struct HttpServer {
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+}
+
+impl HttpServer {
+    /// Binds to an address (`port 0` selects an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error from the OS.
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound socket address (reports the ephemeral port after `bind`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error when the socket is gone.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server from another thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the local address cannot be resolved (the listener is bound,
+    /// so this cannot happen in practice).
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.local_addr().expect("bound listener has an address"),
+        }
+    }
+
+    /// Runs the accept loop until [`ShutdownHandle::shutdown`] is called.
+    /// Each connection is served on its own scoped thread by `handler`
+    /// (handler panics are confined to their connection); connections above
+    /// [`MAX_CONNECTIONS`] are turned away with a 503 instead of spawning
+    /// unboundedly.
+    pub fn serve<H>(&self, handler: H)
+    where
+        H: Fn(&Request) -> Response + Send + Sync,
+    {
+        let active = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for stream in self.listener.incoming() {
+                if self.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                if active.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
+                    // Shedding happens off the accept thread too: the request
+                    // must be drained (cheaply, into a sink) before the 503,
+                    // or closing with unread data makes the kernel RST the
+                    // response away.
+                    scope.spawn(move || {
+                        let _ = drain_and_reject(stream);
+                    });
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                let handler = &handler;
+                let active = Arc::clone(&active);
+                scope.spawn(move || {
+                    let _ = serve_connection(stream, handler);
+                    active.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+    }
+}
+
+fn serve_connection<H>(mut stream: TcpStream, handler: &H) -> io::Result<()>
+where
+    H: Fn(&Request) -> Response,
+{
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let response = match read_request(&mut stream) {
+        // A handler panic (e.g. an assert deep in the simulators) must not
+        // take the accept loop down with it; the client gets a 500.
+        Ok(request) => {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request))) {
+                Ok(response) => response,
+                Err(_) => Response::text(500, "internal error"),
+            }
+        }
+        Err(err) if err.kind() == io::ErrorKind::InvalidData => {
+            Response::text(400, &format!("bad request: {err}"))
+        }
+        Err(err) if err.kind() == io::ErrorKind::FileTooLarge => {
+            Response::text(413, "request too large")
+        }
+        // A closed or timed-out socket cannot carry a response.
+        Err(err) => return Err(err),
+    };
+    response.write_to(&mut stream)
+}
+
+/// Overload path: drains the request (head parsed line-wise, body copied to
+/// a sink, never buffered) and answers 503 — so the shedding response
+/// actually reaches the client instead of being discarded by a TCP reset,
+/// at O(1) memory per rejected connection.
+fn drain_and_reject(mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(&mut stream);
+    let mut content_length: u64 = 0;
+    let mut head_bytes = 0usize;
+    loop {
+        let mut line = String::new();
+        if read_line_bounded(&mut reader, &mut line).is_err() {
+            break;
+        }
+        head_bytes += line.len();
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() || head_bytes > MAX_HEAD_BYTES {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let _ = io::copy(
+        &mut reader.take(content_length.min(MAX_BODY_BYTES as u64)),
+        &mut io::sink(),
+    );
+    Response::text(503, "server busy").write_to(&mut stream)
+}
+
+fn invalid(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Reads and parses one HTTP/1.1 request from a stream.
+///
+/// # Errors
+///
+/// `InvalidData` for malformed requests, `FileTooLarge` for oversized heads
+/// or bodies, or any underlying socket error.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+
+    let mut request_line = String::new();
+    read_line_bounded(&mut reader, &mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| invalid("empty request line"))?
+        .to_owned();
+    let path = parts
+        .next()
+        .ok_or_else(|| invalid("request line has no path"))?
+        .to_owned();
+    let version = parts.next().ok_or_else(|| invalid("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid("unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    let mut head_bytes = request_line.len();
+    loop {
+        let mut line = String::new();
+        read_line_bounded(&mut reader, &mut line)?;
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::FileTooLarge,
+                "head too large",
+            ));
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| invalid("bad header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| invalid("bad content-length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::FileTooLarge,
+            "body too large",
+        ));
+    }
+    // Read incrementally instead of allocating content_length up front, so a
+    // client claiming a huge body without sending one cannot pin memory for
+    // the whole socket timeout.
+    let mut body = Vec::with_capacity(content_length.min(64 * 1024));
+    reader.take(content_length as u64).read_to_end(&mut body)?;
+    if body.len() != content_length {
+        return Err(invalid("connection closed mid-body"));
+    }
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+fn read_line_bounded<R: BufRead>(reader: &mut R, out: &mut String) -> io::Result<()> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        let n = reader.read(&mut byte)?;
+        if n == 0 {
+            return Err(invalid("connection closed mid-request"));
+        }
+        buf.push(byte[0]);
+        if byte[0] == b'\n' {
+            break;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(io::Error::new(io::ErrorKind::FileTooLarge, "line too long"));
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf).map_err(|_| invalid("non-UTF-8 head"))?);
+    Ok(())
+}
+
+/// Issues one HTTP request over a fresh connection and returns
+/// `(status, body)`. Shared by tests, the client example and smoke checks —
+/// the server always closes the connection after responding, so a plain
+/// read-to-end sees the full body.
+///
+/// # Errors
+///
+/// Returns connection errors or `InvalidData` on a malformed response head.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw).map_err(|_| invalid("non-UTF-8 response"))?;
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| invalid("malformed response"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| invalid("malformed status line"))?;
+    Ok((status, payload.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> (ShutdownHandle, SocketAddr, std::thread::JoinHandle<()>) {
+        let server = HttpServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = server.shutdown_handle();
+        let join = std::thread::spawn(move || {
+            server.serve(|request| {
+                Response::json(
+                    200,
+                    format!(
+                        "{{\"method\":\"{}\",\"path\":\"{}\",\"body_len\":{}}}",
+                        request.method,
+                        request.path,
+                        request.body.len()
+                    ),
+                )
+            });
+        });
+        (handle, addr, join)
+    }
+
+    #[test]
+    fn roundtrip_get_and_post() {
+        let (handle, addr, join) = echo_server();
+        let (status, body) = http_request(addr, "GET", "/healthz", None).expect("GET");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"method\":\"GET\""), "{body}");
+        assert!(body.contains("\"path\":\"/healthz\""), "{body}");
+
+        let (status, body) =
+            http_request(addr, "POST", "/v1/echo", Some("hello world")).expect("POST");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"body_len\":11"), "{body}");
+
+        handle.shutdown();
+        join.join().expect("server thread");
+        assert!(handle.is_shutdown());
+    }
+
+    #[test]
+    fn concurrent_requests_are_all_served() {
+        let (handle, addr, join) = echo_server();
+        let responses: Vec<_> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..8)
+                .map(|i| {
+                    scope.spawn(move || {
+                        http_request(addr, "POST", &format!("/r{i}"), Some("x")).expect("request")
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("join"))
+                .collect()
+        });
+        for (i, (status, body)) in responses.iter().enumerate() {
+            assert_eq!(*status, 200);
+            assert!(body.contains(&format!("/r{i}")));
+        }
+        handle.shutdown();
+        join.join().expect("server thread");
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let (handle, addr, join) = echo_server();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"NONSENSE\r\n\r\n")
+            .expect("write garbage");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        handle.shutdown();
+        join.join().expect("server thread");
+    }
+
+    #[test]
+    fn oversized_content_length_gets_413() {
+        let (handle, addr, join) = echo_server();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST / HTTP/1.1\r\ncontent-length: 999999999999\r\n\r\n")
+            .expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+        handle.shutdown();
+        join.join().expect("server thread");
+    }
+}

@@ -1,0 +1,565 @@
+//! Minimal in-crate JSON encode/decode for the wire protocol.
+//!
+//! crates.io (and therefore `serde`) is unreachable in the build
+//! environment, so the service speaks JSON through this small value type.
+//! It supports exactly what the protocol needs: objects, arrays, finite
+//! numbers, strings (with `\uXXXX` escapes), booleans and null. Objects
+//! preserve insertion order so responses serialize deterministically.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// A homogeneous numeric array stored flat, avoiding one boxed [`Json`]
+    /// per element. Serializes exactly like `Array` of `Number`s; the parser
+    /// produces it for every non-empty all-numeric array (image payloads),
+    /// falling back to `Array` on mixed content.
+    NumberArray(Vec<f64>),
+    /// An object; insertion-ordered key/value pairs.
+    Object(Vec<(String, Json)>),
+}
+
+/// Error produced by [`Json::parse`], with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Convenience constructor for an object.
+    pub fn object(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Convenience constructor for a string value.
+    pub fn string(s: &str) -> Json {
+        Json::String(s.to_owned())
+    }
+
+    /// Member lookup on an object; `None` for other variants or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer (rejects fractional numbers).
+    pub fn as_usize(&self) -> Option<usize> {
+        let n = self.as_f64()?;
+        if n >= 0.0 && n.fract() == 0.0 && n <= u32::MAX as f64 {
+            Some(n as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice (boxed arrays only; see
+    /// [`Json::to_numbers`] for numeric arrays).
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a flat numeric slice (`NumberArray` only — what the
+    /// parser yields for non-empty all-numeric arrays).
+    pub fn as_number_slice(&self) -> Option<&[f64]> {
+        match self {
+            Json::NumberArray(values) => Some(values),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of either array variant: borrows nothing, returns the
+    /// values as an owned vector (`None` if any element is not a number).
+    pub fn to_numbers(&self) -> Option<Vec<f64>> {
+        match self {
+            Json::NumberArray(values) => Some(values.clone()),
+            Json::Array(items) => items.iter().map(Json::as_f64).collect(),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(n) => write_number(*n, out),
+            Json::String(s) => write_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::NumberArray(values) => {
+                out.push('[');
+                for (i, &value) in values.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_number(value, out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (one value followed only by whitespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] with a byte offset on malformed input.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value(0)?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+}
+
+/// Compact JSON serialization (`value.to_string()` yields the wire form).
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; the protocol never produces them, but the
+        // encoder must still emit valid JSON.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum nesting depth accepted by the parser (stack-overflow guard).
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(Vec::new()));
+        }
+        // Accumulate plain numbers flat; a pixels array of millions of
+        // values must not cost one boxed Json per element. The first
+        // non-numeric element demotes the accumulator to boxed items.
+        let mut numbers = Some(Vec::new());
+        let mut items: Vec<Json> = Vec::new();
+        loop {
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            match (&mut numbers, &value) {
+                (Some(flat), Json::Number(n)) => flat.push(*n),
+                (Some(flat), _) => {
+                    items = flat.drain(..).map(Json::Number).collect();
+                    items.push(value);
+                    numbers = None;
+                }
+                (None, _) => items.push(value),
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(match numbers {
+                        Some(flat) => Json::NumberArray(flat),
+                        None => Json::Array(items),
+                    });
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let code = self.unicode_escape()?;
+                            out.push(code);
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a valid &str).
+                    let rest = &self.bytes[self.pos..];
+                    let len = utf8_len(rest[0]);
+                    let chunk = std::str::from_utf8(&rest[..len.min(rest.len())])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.pos += chunk.len();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        self.pos += 1; // consume 'u'
+        let code = self.hex4()?;
+        // Surrogate pair handling for completeness.
+        if (0xd800..0xdc00).contains(&code) {
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let low = self.hex4()?;
+                if (0xdc00..0xe000).contains(&low) {
+                    let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                    return char::from_u32(combined).ok_or_else(|| self.error("invalid surrogate"));
+                }
+            }
+            return Err(self.error("unpaired surrogate"));
+        }
+        char::from_u32(code).ok_or_else(|| self.error("invalid code point"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                _ => return Err(self.error("invalid \\u escape")),
+            };
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Number(n)),
+            _ => Err(self.error("invalid number")),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple_document() {
+        let doc = Json::object(vec![
+            ("status", Json::string("ok")),
+            ("count", Json::Number(3.0)),
+            ("ratio", Json::Number(0.5)),
+            ("flag", Json::Bool(true)),
+            ("nothing", Json::Null),
+            ("items", Json::NumberArray(vec![1.0, 2.0])),
+            (
+                "mixed",
+                Json::Array(vec![Json::Number(1.0), Json::string("two")]),
+            ),
+        ]);
+        let text = doc.to_string();
+        assert_eq!(
+            text,
+            r#"{"status":"ok","count":3,"ratio":0.5,"flag":true,"nothing":null,"items":[1,2],"mixed":[1,"two"]}"#
+        );
+        assert_eq!(Json::parse(&text).expect("parse"), doc);
+    }
+
+    #[test]
+    fn accessors_extract_fields() {
+        let doc = Json::parse(r#"{"model":"nitho","rows":96,"mask":[0,1,1]}"#).expect("parse");
+        assert_eq!(doc.get("model").and_then(Json::as_str), Some("nitho"));
+        assert_eq!(doc.get("rows").and_then(Json::as_usize), Some(96));
+        // All-numeric arrays parse to the flat representation.
+        assert_eq!(
+            doc.get("mask").and_then(Json::as_number_slice),
+            Some([0.0, 1.0, 1.0].as_slice())
+        );
+        assert_eq!(
+            doc.get("mask").and_then(Json::to_numbers).map(|v| v.len()),
+            Some(3)
+        );
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Json::Number(1.5).as_usize(), None);
+        assert_eq!(Json::Number(-1.0).as_usize(), None);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = Json::string("line\nbreak \"quoted\" back\\slash \u{1}");
+        let text = original.to_string();
+        assert_eq!(Json::parse(&text).expect("parse"), original);
+        let unicode = Json::parse(r#""\u00e9\u20ac\ud83d\ude00""#).expect("parse");
+        assert_eq!(unicode.as_str(), Some("é€😀"));
+    }
+
+    #[test]
+    fn whitespace_and_nesting_parse() {
+        let doc = Json::parse(" { \"a\" : [ 1 , { \"b\" : [ ] } ] } ").expect("parse");
+        assert!(doc.get("a").is_some());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1.2.3",
+            "[1] trailing",
+            "{\"a\":1,}",
+            "\"\\q\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn number_array_serializes_like_array_of_numbers() {
+        let flat = Json::NumberArray(vec![0.0, 1.0, 0.5]);
+        assert_eq!(flat.to_string(), "[0,1,0.5]");
+        let boxed = Json::Array(vec![
+            Json::Number(0.0),
+            Json::Number(1.0),
+            Json::Number(0.5),
+        ]);
+        assert_eq!(flat.to_string(), boxed.to_string());
+        // The wire form round-trips through the parser back to the flat form.
+        assert_eq!(Json::parse(&flat.to_string()).expect("parse"), flat);
+        assert_eq!(flat.to_numbers(), boxed.to_numbers());
+    }
+
+    #[test]
+    fn numbers_serialize_compactly() {
+        assert_eq!(Json::Number(42.0).to_string(), "42");
+        assert_eq!(Json::Number(-7.0).to_string(), "-7");
+        assert_eq!(Json::Number(0.125).to_string(), "0.125");
+        assert_eq!(Json::Number(f64::NAN).to_string(), "null");
+        let parsed = Json::parse("1e3").expect("parse");
+        assert_eq!(parsed.as_f64(), Some(1000.0));
+    }
+}

@@ -1,0 +1,38 @@
+//! Full-chip lithography serving: guard-band tiling + a std-only HTTP
+//! inference service.
+//!
+//! The paper's economic argument is that regressed optical kernels make
+//! *full-chip* simulation cheap; this crate is the deployment path that
+//! cashes that in. It has two layers:
+//!
+//! * **Chip pipeline** — [`tiling`] decomposes an arbitrarily large mask
+//!   into overlapping guard-band tiles sized to the model's training
+//!   resolution; [`chip`] fans the tiles out over `litho_parallel` workers
+//!   through the [`TileSimulator`] trait (implemented by both
+//!   [`nitho::NithoModel`] and [`litho_optics::HopkinsSimulator`]) and
+//!   stitches the tile cores into a seamless aerial/resist image. Stitched
+//!   output is bit-identical for any `NITHO_THREADS` value.
+//! * **Service** — [`http`] is a hand-rolled HTTP/1.1 server on
+//!   [`std::net::TcpListener`] (crates.io is unreachable, so [`json`]
+//!   provides the wire encoding in-crate); [`service`] exposes `/healthz`,
+//!   `/v1/models` and `/v1/simulate` over a [`registry`] of named models
+//!   restored from versioned checkpoints at startup. The `nitho-serve`
+//!   binary wires the two together.
+//!
+//! See DESIGN.md §5 for the tiling math, halo sizing rule and wire protocol.
+
+#![forbid(unsafe_code)]
+
+pub mod chip;
+pub mod http;
+pub mod json;
+pub mod registry;
+pub mod service;
+pub mod tiling;
+
+pub use chip::{ChipPipeline, ChipResult, TileSimulator};
+pub use http::{http_request, HttpServer, Request, Response, ShutdownHandle};
+pub use json::Json;
+pub use registry::{ModelInfo, ModelRegistry};
+pub use service::Service;
+pub use tiling::{Tile, TileGrid, TilingConfig};

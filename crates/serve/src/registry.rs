@@ -1,0 +1,281 @@
+//! Named model registry backing the inference service.
+//!
+//! A [`ModelRegistry`] maps model names to ready-to-serve
+//! [`TileSimulator`]s. Nitho entries can be restored from versioned
+//! `NITHOCKPT` checkpoints at startup (see `nitho::NithoModel`'s checkpoint
+//! format): [`ModelRegistry::register_nitho_checkpointed`] loads a matching
+//! checkpoint when one exists, otherwise trains the model and saves a fresh
+//! checkpoint so the next startup is instant.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use litho_optics::HopkinsSimulator;
+use nitho::{checkpoint_info, NithoConfig, NithoModel};
+
+use crate::chip::TileSimulator;
+
+/// Serving metadata for one registered model.
+#[derive(Debug, Clone)]
+pub struct ModelInfo {
+    /// Registry name (the `model` field of a simulate request).
+    pub name: String,
+    /// Engine kind: `"nitho"` (regressed kernels) or `"hopkins"` (rigorous).
+    pub kind: String,
+    /// Tile edge length in pixels.
+    pub tile_px: usize,
+    /// Default guard-band width in pixels.
+    pub halo_px: usize,
+    /// Resist development threshold.
+    pub resist_threshold: f64,
+    /// Checkpoint file backing this model, when one exists.
+    pub checkpoint: Option<PathBuf>,
+    /// Checkpoint format version (0 = not checkpoint-backed or legacy file).
+    pub checkpoint_version: u32,
+}
+
+/// A name → simulator map with serving metadata.
+#[derive(Default)]
+pub struct ModelRegistry {
+    entries: Vec<(ModelInfo, Box<dyn TileSimulator>)>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registers a simulator under a name, deriving the serving metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn register(&mut self, name: &str, kind: &str, simulator: Box<dyn TileSimulator>) {
+        self.register_with_checkpoint(name, kind, simulator, None, 0);
+    }
+
+    fn register_with_checkpoint(
+        &mut self,
+        name: &str,
+        kind: &str,
+        simulator: Box<dyn TileSimulator>,
+        checkpoint: Option<PathBuf>,
+        checkpoint_version: u32,
+    ) {
+        assert!(
+            self.get(name).is_none(),
+            "model name {name:?} is already registered"
+        );
+        let info = ModelInfo {
+            name: name.to_owned(),
+            kind: kind.to_owned(),
+            tile_px: simulator.tile_px(),
+            halo_px: simulator.default_halo_px(),
+            resist_threshold: simulator.resist_threshold(),
+            checkpoint,
+            checkpoint_version,
+        };
+        self.entries.push((info, simulator));
+    }
+
+    /// Registers a rigorous Hopkins reference engine.
+    pub fn register_hopkins(&mut self, name: &str, simulator: HopkinsSimulator) {
+        self.register(name, "hopkins", Box::new(simulator));
+    }
+
+    /// Registers a trained Nitho model.
+    pub fn register_nitho(&mut self, name: &str, model: NithoModel) {
+        self.register(name, "nitho", Box::new(model));
+    }
+
+    /// Registers a Nitho model backed by `<dir>/<name>.ckpt`.
+    ///
+    /// When a checkpoint with a matching config fingerprint exists it is
+    /// loaded (no training); otherwise `train` is invoked on the fresh model
+    /// and the result is saved for the next startup. The checkpoint version
+    /// served is recorded in the model metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns checkpoint I/O errors; a fingerprint mismatch falls back to
+    /// retraining (the stale checkpoint is overwritten), so version upgrades
+    /// are self-healing.
+    pub fn register_nitho_checkpointed(
+        &mut self,
+        name: &str,
+        config: NithoConfig,
+        optics: &litho_optics::OpticalConfig,
+        dir: &Path,
+        train: impl FnOnce(&mut NithoModel),
+    ) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.ckpt"));
+        let mut model = NithoModel::new(config.clone(), optics);
+        let mut loaded = false;
+        if path.exists() {
+            match model.load_parameters(&path) {
+                Ok(()) => loaded = true,
+                // A mismatched fingerprint (InvalidData) or a file truncated
+                // mid-write (UnexpectedEof) both mean "this checkpoint is
+                // unusable": retrain and overwrite rather than refusing to
+                // start until an operator deletes the file.
+                Err(err)
+                    if matches!(
+                        err.kind(),
+                        io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+                    ) =>
+                {
+                    eprintln!(
+                        "nitho-serve: checkpoint {} is unusable for the configured model \
+                         ({err}); retraining",
+                        path.display()
+                    );
+                    // The failed load may have touched the weights; start over
+                    // from a deterministic fresh initialization.
+                    model = NithoModel::new(config.clone(), optics);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        if !loaded {
+            train(&mut model);
+            model.save_parameters(&path)?;
+        }
+        let version = checkpoint_info(&path)?.version;
+        self.register_with_checkpoint(name, "nitho", Box::new(model), Some(path), version);
+        Ok(())
+    }
+
+    /// Looks a model up by name.
+    pub fn get(&self, name: &str) -> Option<(&ModelInfo, &dyn TileSimulator)> {
+        self.entries
+            .iter()
+            .find(|(info, _)| info.name == name)
+            .map(|(info, sim)| (info, sim.as_ref()))
+    }
+
+    /// The default model: the first registered entry.
+    pub fn default_model(&self) -> Option<(&ModelInfo, &dyn TileSimulator)> {
+        self.entries.first().map(|(info, sim)| (info, sim.as_ref()))
+    }
+
+    /// Iterates over the registered model metadata in registration order.
+    pub fn models(&self) -> impl Iterator<Item = &ModelInfo> {
+        self.entries.iter().map(|(info, _)| info)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litho_optics::OpticalConfig;
+
+    fn fast_optics() -> OpticalConfig {
+        OpticalConfig::builder()
+            .tile_px(64)
+            .pixel_nm(8.0)
+            .kernel_count(6)
+            .build()
+    }
+
+    fn fast_config() -> NithoConfig {
+        NithoConfig {
+            kernel_side: Some(9),
+            ..NithoConfig::fast()
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let optics = fast_optics();
+        let mut registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+        registry.register_hopkins("hopkins", HopkinsSimulator::new(&optics));
+        let mut model = NithoModel::new(fast_config(), &optics);
+        model.refresh_kernels();
+        registry.register_nitho("nitho", model);
+
+        assert_eq!(registry.len(), 2);
+        let (info, sim) = registry.get("hopkins").expect("hopkins registered");
+        assert_eq!(info.kind, "hopkins");
+        assert_eq!(info.tile_px, 64);
+        assert_eq!(sim.tile_px(), 64);
+        assert!(info.checkpoint.is_none());
+        assert_eq!(registry.default_model().expect("default").0.name, "hopkins");
+        assert!(registry.get("missing").is_none());
+        let names: Vec<&str> = registry.models().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["hopkins", "nitho"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_name_panics() {
+        let optics = fast_optics();
+        let mut registry = ModelRegistry::new();
+        registry.register_hopkins("m", HopkinsSimulator::new(&optics));
+        registry.register_hopkins("m", HopkinsSimulator::new(&optics));
+    }
+
+    #[test]
+    fn checkpointed_registration_trains_once_then_loads() {
+        let optics = fast_optics();
+        let dir = std::env::temp_dir().join("nitho_registry_ckpt_test");
+        std::fs::remove_dir_all(&dir).ok();
+
+        let mut trained = 0usize;
+        let mut registry = ModelRegistry::new();
+        registry
+            .register_nitho_checkpointed("served", fast_config(), &optics, &dir, |model| {
+                trained += 1;
+                model.refresh_kernels();
+            })
+            .expect("first registration");
+        assert_eq!(trained, 1);
+        let version = registry.get("served").expect("entry").0.checkpoint_version;
+        assert!(version >= 1);
+
+        // Second startup: the checkpoint exists and matches, so the train
+        // closure must not run.
+        let mut registry = ModelRegistry::new();
+        registry
+            .register_nitho_checkpointed("served", fast_config(), &optics, &dir, |_| {
+                panic!("checkpoint should satisfy the second startup")
+            })
+            .expect("second registration");
+        let (info, sim) = registry.get("served").expect("entry");
+        assert_eq!(info.checkpoint_version, version);
+        assert!(info.checkpoint.as_ref().expect("path").exists());
+        // The restored model serves predictions.
+        let aerial = sim.simulate_tile(&litho_math::RealMatrix::zeros(64, 64));
+        assert_eq!(aerial.shape(), (64, 64));
+
+        // A config change invalidates the checkpoint; registration retrains
+        // instead of serving mismatched weights.
+        let other_optics = OpticalConfig {
+            pixel_nm: 4.0,
+            ..fast_optics()
+        };
+        let mut retrained = false;
+        let mut registry = ModelRegistry::new();
+        registry
+            .register_nitho_checkpointed("served", fast_config(), &other_optics, &dir, |model| {
+                retrained = true;
+                model.refresh_kernels();
+            })
+            .expect("mismatch registration");
+        assert!(retrained, "stale checkpoint must trigger retraining");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,489 @@
+//! The inference service: JSON wire protocol over the HTTP layer.
+//!
+//! Routes (see DESIGN.md §5 for the full protocol):
+//!
+//! * `GET /healthz` — liveness, model count.
+//! * `GET /v1/models` — registered models with serving metadata.
+//! * `POST /v1/simulate` — full-chip simulation: mask in (rectangles or raw
+//!   pixels), stitched aerial/resist out.
+//!
+//! The service itself is transport-free (`handle` maps requests to
+//! responses); `nitho-serve` wires it to an [`HttpServer`](crate::http) and
+//! adds the admin `POST /v1/shutdown` route.
+
+use std::time::Instant;
+
+use litho_masks::ChipLayout;
+use litho_masks::Rect;
+use litho_math::RealMatrix;
+
+use crate::chip::ChipPipeline;
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::registry::ModelRegistry;
+
+/// Largest accepted chip, in pixels (a 4096 × 4096 layout).
+const MAX_CHIP_PIXELS: usize = 4096 * 4096;
+
+/// The HTTP-facing inference service over a [`ModelRegistry`].
+pub struct Service {
+    registry: ModelRegistry,
+}
+
+/// A protocol error: HTTP status plus a message for the error body.
+struct ServiceError {
+    status: u16,
+    message: String,
+}
+
+impl ServiceError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    fn not_found(message: impl Into<String>) -> Self {
+        Self {
+            status: 404,
+            message: message.into(),
+        }
+    }
+}
+
+impl Service {
+    /// Wraps a registry (which should not be empty — an empty registry can
+    /// only serve `/healthz` and an empty model list).
+    pub fn new(registry: ModelRegistry) -> Self {
+        Self { registry }
+    }
+
+    /// The wrapped registry.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Dispatches one request to its route.
+    pub fn handle(&self, request: &Request) -> Response {
+        let result = match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => Ok(self.healthz()),
+            ("GET", "/v1/models") => Ok(self.models()),
+            ("POST", "/v1/simulate") => self.simulate(request),
+            (_, "/healthz" | "/v1/models" | "/v1/simulate") => Err(ServiceError {
+                status: 405,
+                message: "method not allowed".to_owned(),
+            }),
+            _ => Err(ServiceError::not_found("no such route")),
+        };
+        match result {
+            Ok(response) => response,
+            Err(err) => Response::json(
+                err.status,
+                Json::object(vec![("error", Json::String(err.message))]).to_string(),
+            ),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        Response::json(
+            200,
+            Json::object(vec![
+                ("status", Json::string("ok")),
+                ("models", Json::Number(self.registry.len() as f64)),
+            ])
+            .to_string(),
+        )
+    }
+
+    fn models(&self) -> Response {
+        let models: Vec<Json> = self
+            .registry
+            .models()
+            .map(|info| {
+                Json::object(vec![
+                    ("name", Json::string(&info.name)),
+                    ("kind", Json::string(&info.kind)),
+                    ("tile_px", Json::Number(info.tile_px as f64)),
+                    ("halo_px", Json::Number(info.halo_px as f64)),
+                    ("resist_threshold", Json::Number(info.resist_threshold)),
+                    (
+                        "checkpoint",
+                        match &info.checkpoint {
+                            Some(path) => Json::string(&path.display().to_string()),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "checkpoint_version",
+                        Json::Number(info.checkpoint_version as f64),
+                    ),
+                ])
+            })
+            .collect();
+        Response::json(
+            200,
+            Json::object(vec![("models", Json::Array(models))]).to_string(),
+        )
+    }
+
+    fn simulate(&self, request: &Request) -> Result<Response, ServiceError> {
+        let started = Instant::now();
+        let text = request
+            .body_text()
+            .ok_or_else(|| ServiceError::bad_request("body is not UTF-8"))?;
+        let doc = Json::parse(text)
+            .map_err(|err| ServiceError::bad_request(format!("invalid JSON: {err}")))?;
+
+        let (info, simulator) = match doc.get("model") {
+            Some(value) => {
+                let name = value
+                    .as_str()
+                    .ok_or_else(|| ServiceError::bad_request("\"model\" must be a string"))?;
+                self.registry
+                    .get(name)
+                    .ok_or_else(|| ServiceError::not_found(format!("unknown model {name:?}")))?
+            }
+            None => self
+                .registry
+                .default_model()
+                .ok_or_else(|| ServiceError::not_found("no models registered"))?,
+        };
+
+        let mask = parse_mask(&doc)?;
+        let pipeline = match doc.get("halo_px") {
+            Some(value) => {
+                let halo = value
+                    .as_usize()
+                    .ok_or_else(|| ServiceError::bad_request("\"halo_px\" must be an integer"))?;
+                if 2 * halo >= info.tile_px {
+                    return Err(ServiceError::bad_request(format!(
+                        "halo_px {halo} leaves no core in a {} px tile",
+                        info.tile_px
+                    )));
+                }
+                ChipPipeline::with_halo(simulator, halo)
+            }
+            None => ChipPipeline::new(simulator),
+        };
+
+        let (want_aerial, want_resist) = parse_outputs(&doc)?;
+        let result = pipeline.simulate(&mask);
+        let crate::chip::ChipResult {
+            aerial,
+            resist,
+            tiles,
+            grid,
+            halo_px,
+        } = result;
+
+        let mut fields = vec![
+            ("model", Json::string(&info.name)),
+            ("rows", Json::Number(mask.rows() as f64)),
+            ("cols", Json::Number(mask.cols() as f64)),
+            ("tiles", Json::Number(tiles as f64)),
+            (
+                "grid",
+                Json::NumberArray(vec![grid.0 as f64, grid.1 as f64]),
+            ),
+            ("halo_px", Json::Number(halo_px as f64)),
+            (
+                "elapsed_ms",
+                Json::Number(started.elapsed().as_secs_f64() * 1e3),
+            ),
+        ];
+        // The images are moved, not cloned, into the response value — a
+        // full-chip aerial is tens of megabytes.
+        if want_aerial {
+            fields.push(("aerial", Json::NumberArray(aerial.into_vec())));
+        }
+        if want_resist {
+            fields.push(("resist", Json::NumberArray(resist.into_vec())));
+        }
+        Ok(Response::json(200, Json::object(fields).to_string()))
+    }
+}
+
+fn parse_outputs(doc: &Json) -> Result<(bool, bool), ServiceError> {
+    match doc.get("outputs") {
+        None => Ok((true, true)),
+        Some(value) => {
+            let items = value
+                .as_array()
+                .ok_or_else(|| ServiceError::bad_request("\"outputs\" must be an array"))?;
+            let mut aerial = false;
+            let mut resist = false;
+            for item in items {
+                match item.as_str() {
+                    Some("aerial") => aerial = true,
+                    Some("resist") => resist = true,
+                    _ => {
+                        return Err(ServiceError::bad_request(
+                            "\"outputs\" entries must be \"aerial\" or \"resist\"",
+                        ))
+                    }
+                }
+            }
+            if !aerial && !resist {
+                return Err(ServiceError::bad_request("\"outputs\" selects nothing"));
+            }
+            Ok((aerial, resist))
+        }
+    }
+}
+
+/// Decodes the `mask` member: `rows`/`cols` plus either `rects`
+/// (`[x0, y0, x1, y1]` corner quadruples, half-open, clipped to the chip) or
+/// `pixels` (row-major values in `[0, 1]`).
+fn parse_mask(doc: &Json) -> Result<RealMatrix, ServiceError> {
+    let mask = doc
+        .get("mask")
+        .ok_or_else(|| ServiceError::bad_request("missing \"mask\""))?;
+    let rows = mask
+        .get("rows")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| ServiceError::bad_request("\"mask.rows\" must be a positive integer"))?;
+    let cols = mask
+        .get("cols")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| ServiceError::bad_request("\"mask.cols\" must be a positive integer"))?;
+    if rows == 0 || cols == 0 {
+        return Err(ServiceError::bad_request(
+            "mask dimensions must be non-zero",
+        ));
+    }
+    if rows.saturating_mul(cols) > MAX_CHIP_PIXELS {
+        return Err(ServiceError::bad_request(format!(
+            "mask {rows}x{cols} exceeds the {MAX_CHIP_PIXELS}-pixel limit"
+        )));
+    }
+
+    match (mask.get("rects"), mask.get("pixels")) {
+        (Some(rects), None) => {
+            let rects = rects
+                .as_array()
+                .ok_or_else(|| ServiceError::bad_request("\"mask.rects\" must be an array"))?;
+            let mut layout = ChipLayout::new(rows, cols);
+            for (idx, rect) in rects.iter().enumerate() {
+                let quad = rect.to_numbers().filter(|q| q.len() == 4).ok_or_else(|| {
+                    ServiceError::bad_request(format!(
+                        "rect {idx} must be a [x0, y0, x1, y1] quadruple"
+                    ))
+                })?;
+                let mut corner = [0i64; 4];
+                for (slot, &n) in corner.iter_mut().zip(&quad) {
+                    if n.fract() != 0.0 || n.abs() > 1e9 {
+                        return Err(ServiceError::bad_request(format!(
+                            "rect {idx} corners must be integers"
+                        )));
+                    }
+                    *slot = n as i64;
+                }
+                let [x0, y0, x1, y1] = corner;
+                if x1 <= x0 || y1 <= y0 {
+                    return Err(ServiceError::bad_request(format!(
+                        "rect {idx} must have positive extent"
+                    )));
+                }
+                layout.push(Rect::new(x0, y0, x1, y1));
+            }
+            Ok(layout.rasterize())
+        }
+        (None, Some(pixels)) => {
+            // The parser stores all-numeric arrays flat, so a chip-sized
+            // pixel payload is validated in place with no per-pixel boxing.
+            let values: &[f64] = match pixels {
+                Json::NumberArray(values) => values,
+                Json::Array(items) if items.is_empty() => &[],
+                _ => {
+                    return Err(ServiceError::bad_request(
+                        "\"mask.pixels\" must be a flat numeric array",
+                    ))
+                }
+            };
+            if values.len() != rows * cols {
+                return Err(ServiceError::bad_request(format!(
+                    "\"mask.pixels\" has {} values, expected {}",
+                    values.len(),
+                    rows * cols
+                )));
+            }
+            if !values.iter().all(|v| (0.0..=1.0).contains(v)) {
+                return Err(ServiceError::bad_request(
+                    "\"mask.pixels\" values must lie in [0, 1]",
+                ));
+            }
+            Ok(RealMatrix::from_vec(rows, cols, values.to_vec()))
+        }
+        _ => Err(ServiceError::bad_request(
+            "\"mask\" needs exactly one of \"rects\" or \"pixels\"",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litho_optics::{HopkinsSimulator, OpticalConfig};
+
+    fn service() -> Service {
+        let optics = OpticalConfig::builder()
+            .tile_px(64)
+            .pixel_nm(8.0)
+            .kernel_count(6)
+            .build();
+        let mut registry = ModelRegistry::new();
+        registry.register_hopkins("hopkins", HopkinsSimulator::new(&optics));
+        Service::new(registry)
+    }
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn parse_body(response: &Response) -> Json {
+        Json::parse(std::str::from_utf8(&response.body).expect("UTF-8 body")).expect("JSON body")
+    }
+
+    #[test]
+    fn healthz_reports_models() {
+        let service = service();
+        let response = service.handle(&request("GET", "/healthz", ""));
+        assert_eq!(response.status, 200);
+        let doc = parse_body(&response);
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(doc.get("models").and_then(Json::as_usize), Some(1));
+    }
+
+    #[test]
+    fn models_lists_metadata() {
+        let service = service();
+        let response = service.handle(&request("GET", "/v1/models", ""));
+        assert_eq!(response.status, 200);
+        let doc = parse_body(&response);
+        let models = doc.get("models").and_then(Json::as_array).expect("array");
+        assert_eq!(models.len(), 1);
+        assert_eq!(
+            models[0].get("name").and_then(Json::as_str),
+            Some("hopkins")
+        );
+        assert_eq!(models[0].get("tile_px").and_then(Json::as_usize), Some(64));
+        assert_eq!(models[0].get("checkpoint"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn simulate_rect_mask_roundtrip() {
+        let service = service();
+        let body = r#"{
+            "model": "hopkins",
+            "mask": {"rows": 96, "cols": 96, "rects": [[16, 16, 80, 40], [40, 56, 56, 88]]},
+            "halo_px": 16
+        }"#;
+        let response = service.handle(&request("POST", "/v1/simulate", body));
+        assert_eq!(
+            response.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        let doc = parse_body(&response);
+        assert_eq!(doc.get("rows").and_then(Json::as_usize), Some(96));
+        assert_eq!(doc.get("tiles").and_then(Json::as_usize), Some(9));
+        assert_eq!(doc.get("halo_px").and_then(Json::as_usize), Some(16));
+        let aerial = doc
+            .get("aerial")
+            .and_then(Json::as_number_slice)
+            .expect("aerial");
+        assert_eq!(aerial.len(), 96 * 96);
+        assert!(aerial.iter().all(|v| v.is_finite()));
+        let resist = doc
+            .get("resist")
+            .and_then(Json::as_number_slice)
+            .expect("resist");
+        assert!(resist.iter().all(|&v| v == 0.0 || v == 1.0));
+        // Geometry prints: the resist is neither empty nor full.
+        let printed: f64 = resist.iter().sum();
+        assert!(printed > 0.0 && printed < (96 * 96) as f64);
+    }
+
+    #[test]
+    fn simulate_pixels_mask_and_output_selection() {
+        let service = service();
+        let mut pixels = vec!["0"; 48 * 48];
+        for r in 16..32 {
+            for c in 8..40 {
+                pixels[r * 48 + c] = "1";
+            }
+        }
+        let body = format!(
+            r#"{{"mask": {{"rows": 48, "cols": 48, "pixels": [{}]}}, "outputs": ["resist"]}}"#,
+            pixels.join(",")
+        );
+        let response = service.handle(&request("POST", "/v1/simulate", &body));
+        assert_eq!(response.status, 200);
+        let doc = parse_body(&response);
+        assert!(doc.get("aerial").is_none(), "aerial was not requested");
+        assert_eq!(
+            doc.get("resist")
+                .and_then(Json::as_number_slice)
+                .map(|a| a.len()),
+            Some(48 * 48)
+        );
+    }
+
+    #[test]
+    fn protocol_errors_are_4xx() {
+        let service = service();
+        let cases = [
+            ("POST", "/v1/simulate", "not json", 400),
+            ("POST", "/v1/simulate", "{}", 400),
+            (
+                "POST",
+                "/v1/simulate",
+                r#"{"model":"missing","mask":{"rows":64,"cols":64,"rects":[[0,0,8,8]]}}"#,
+                404,
+            ),
+            (
+                "POST",
+                "/v1/simulate",
+                r#"{"mask":{"rows":64,"cols":64,"rects":[[0,0,8,8]],"pixels":[0]}}"#,
+                400,
+            ),
+            (
+                "POST",
+                "/v1/simulate",
+                r#"{"mask":{"rows":64,"cols":64,"rects":[[8,8,0,0]]}}"#,
+                400,
+            ),
+            (
+                "POST",
+                "/v1/simulate",
+                r#"{"halo_px":32,"mask":{"rows":64,"cols":64,"rects":[[0,0,8,8]]}}"#,
+                400,
+            ),
+            (
+                "POST",
+                "/v1/simulate",
+                r#"{"mask":{"rows":99999,"cols":99999,"rects":[[0,0,8,8]]}}"#,
+                400,
+            ),
+            ("GET", "/v1/nothing", "", 404),
+            ("DELETE", "/healthz", "", 405),
+        ];
+        for (method, path, body, expected) in cases {
+            let response = service.handle(&request(method, path, body));
+            assert_eq!(
+                response.status,
+                expected,
+                "{method} {path} {body}: {}",
+                String::from_utf8_lossy(&response.body)
+            );
+            assert!(parse_body(&response).get("error").is_some());
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Guard-band tiling of an arbitrarily large chip onto fixed-size tiles.
+//!
+//! Optical kernels are regressed on a fixed training-tile geometry, so a
+//! full-chip mask must be decomposed into tiles of exactly that size before
+//! simulation. Naively abutting tiles produces seams: the aerial intensity at
+//! a pixel depends on mask geometry within the optical ambit (a few
+//! resolution elements `R = 0.5·λ/NA`), and a tile boundary cuts that
+//! neighbourhood off. The classical fix — used by every production OPC/litho
+//! engine — is a **guard band**: tiles overlap by a halo of `h` pixels, each
+//! tile is simulated in full, and only the interior `(T - 2h)²` core of each
+//! simulated tile is written to the stitched result.
+//!
+//! [`TileGrid`] owns the index arithmetic: it partitions the chip into
+//! disjoint *owned* regions (one per tile, covering the chip exactly) and
+//! assigns every tile a `T × T` *window* centred on its owned region. Windows
+//! may extend past the chip edge; the out-of-chip region is dark (mask = 0),
+//! which matches the physical situation of an isolated layout on an opaque
+//! reticle.
+
+use litho_math::RealMatrix;
+
+/// Geometry of a guard-band tiling: tile edge and halo width in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilingConfig {
+    /// Tile edge length in pixels (the simulator's training-tile size).
+    pub tile_px: usize,
+    /// Guard-band width in pixels discarded on every tile side.
+    pub halo_px: usize,
+}
+
+impl TilingConfig {
+    /// Creates a tiling configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is empty or the halo leaves no tile core
+    /// (`2·halo >= tile`).
+    pub fn new(tile_px: usize, halo_px: usize) -> Self {
+        assert!(tile_px > 0, "tile size must be positive");
+        assert!(
+            2 * halo_px < tile_px,
+            "halo {halo_px} px leaves no core in a {tile_px} px tile"
+        );
+        Self { tile_px, halo_px }
+    }
+
+    /// Tile core edge length: the pixels of each tile that survive stitching.
+    pub fn core_px(&self) -> usize {
+        self.tile_px - 2 * self.halo_px
+    }
+}
+
+/// One tile of a [`TileGrid`]: its window on the chip and the owned region it
+/// contributes to the stitched output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Flat tile index in row-major grid order.
+    pub index: usize,
+    /// Grid position `(tile_row, tile_col)`.
+    pub grid: (usize, usize),
+    /// Top-left corner of the tile window in chip coordinates (may be
+    /// negative: windows of boundary tiles extend into the dark field).
+    pub window_origin: (i64, i64),
+    /// Owned region in chip coordinates: `[row0, row1) × [col0, col1)`.
+    /// Owned regions of all tiles partition the chip exactly.
+    pub owned_rows: (usize, usize),
+    /// Owned column range `[col0, col1)`.
+    pub owned_cols: (usize, usize),
+}
+
+impl Tile {
+    /// Owned-region height in pixels.
+    pub fn owned_height(&self) -> usize {
+        self.owned_rows.1 - self.owned_rows.0
+    }
+
+    /// Owned-region width in pixels.
+    pub fn owned_width(&self) -> usize {
+        self.owned_cols.1 - self.owned_cols.0
+    }
+}
+
+/// A guard-band decomposition of a `rows × cols` chip.
+#[derive(Debug, Clone)]
+pub struct TileGrid {
+    config: TilingConfig,
+    chip_rows: usize,
+    chip_cols: usize,
+    tiles_y: usize,
+    tiles_x: usize,
+}
+
+impl TileGrid {
+    /// Plans the tiling of a `chip_rows × chip_cols` mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either chip dimension is zero.
+    pub fn new(config: TilingConfig, chip_rows: usize, chip_cols: usize) -> Self {
+        assert!(
+            chip_rows > 0 && chip_cols > 0,
+            "chip dimensions must be non-zero"
+        );
+        let core = config.core_px();
+        Self {
+            config,
+            chip_rows,
+            chip_cols,
+            tiles_y: chip_rows.div_ceil(core),
+            tiles_x: chip_cols.div_ceil(core),
+        }
+    }
+
+    /// The tiling configuration.
+    pub fn config(&self) -> TilingConfig {
+        self.config
+    }
+
+    /// Chip dimensions `(rows, cols)` in pixels.
+    pub fn chip_shape(&self) -> (usize, usize) {
+        (self.chip_rows, self.chip_cols)
+    }
+
+    /// Grid dimensions `(tiles_y, tiles_x)`.
+    pub fn grid_shape(&self) -> (usize, usize) {
+        (self.tiles_y, self.tiles_x)
+    }
+
+    /// Total number of tiles.
+    pub fn len(&self) -> usize {
+        self.tiles_y * self.tiles_x
+    }
+
+    /// `true` when the grid holds no tiles (never: chips are non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The tile at flat index `index` (row-major grid order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn tile(&self, index: usize) -> Tile {
+        assert!(index < self.len(), "tile index out of range");
+        let ty = index / self.tiles_x;
+        let tx = index % self.tiles_x;
+        let core = self.config.core_px() as i64;
+        let halo = self.config.halo_px as i64;
+        let row0 = ty as i64 * core;
+        let col0 = tx as i64 * core;
+        Tile {
+            index,
+            grid: (ty, tx),
+            window_origin: (row0 - halo, col0 - halo),
+            owned_rows: (row0 as usize, ((row0 + core) as usize).min(self.chip_rows)),
+            owned_cols: (col0 as usize, ((col0 + core) as usize).min(self.chip_cols)),
+        }
+    }
+
+    /// Iterates over all tiles in row-major grid order.
+    pub fn tiles(&self) -> impl Iterator<Item = Tile> + '_ {
+        (0..self.len()).map(|i| self.tile(i))
+    }
+
+    /// Extracts the `tile_px × tile_px` mask window of a tile from the chip,
+    /// zero-padding where the window extends past the chip (dark field).
+    pub fn extract_window(&self, chip: &RealMatrix, tile: &Tile) -> RealMatrix {
+        debug_assert_eq!(chip.shape(), (self.chip_rows, self.chip_cols));
+        let t = self.config.tile_px;
+        let (or, oc) = tile.window_origin;
+        RealMatrix::from_fn(t, t, |i, j| {
+            let r = or + i as i64;
+            let c = oc + j as i64;
+            if r < 0 || c < 0 || r >= self.chip_rows as i64 || c >= self.chip_cols as i64 {
+                0.0
+            } else {
+                chip[(r as usize, c as usize)]
+            }
+        })
+    }
+
+    /// Copies the owned region of a simulated tile image into the stitched
+    /// chip-sized output. `tile_image` must be `tile_px × tile_px`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile image has the wrong shape.
+    pub fn stitch_owned(&self, out: &mut RealMatrix, tile: &Tile, tile_image: &RealMatrix) {
+        assert_eq!(
+            tile_image.shape(),
+            (self.config.tile_px, self.config.tile_px),
+            "tile image does not match the tile size"
+        );
+        let (or, oc) = tile.window_origin;
+        for r in tile.owned_rows.0..tile.owned_rows.1 {
+            for c in tile.owned_cols.0..tile.owned_cols.1 {
+                let ti = (r as i64 - or) as usize;
+                let tj = (c as i64 - oc) as usize;
+                out[(r, c)] = tile_image[(ti, tj)];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_reports_core() {
+        let c = TilingConfig::new(64, 16);
+        assert_eq!(c.core_px(), 32);
+        assert_eq!(TilingConfig::new(64, 0).core_px(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves no core")]
+    fn oversized_halo_panics() {
+        let _ = TilingConfig::new(64, 32);
+    }
+
+    #[test]
+    fn owned_regions_partition_the_chip() {
+        for (rows, cols, halo) in [(96, 96, 16), (100, 70, 10), (64, 64, 16), (30, 200, 8)] {
+            let grid = TileGrid::new(TilingConfig::new(64, halo), rows, cols);
+            let mut covered = RealMatrix::zeros(rows, cols);
+            for tile in grid.tiles() {
+                for r in tile.owned_rows.0..tile.owned_rows.1 {
+                    for c in tile.owned_cols.0..tile.owned_cols.1 {
+                        covered[(r, c)] += 1.0;
+                    }
+                }
+            }
+            assert!(
+                covered.iter().all(|&v| v == 1.0),
+                "{rows}x{cols} halo {halo}: owned regions must tile the chip exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_shape_matches_core_stride() {
+        let grid = TileGrid::new(TilingConfig::new(64, 16), 96, 96);
+        assert_eq!(grid.grid_shape(), (3, 3));
+        assert_eq!(grid.len(), 9);
+        assert!(!grid.is_empty());
+        // 4x the tile area stitches from a 2x2 core grid at halo 0.
+        let grid = TileGrid::new(TilingConfig::new(64, 0), 128, 128);
+        assert_eq!(grid.grid_shape(), (2, 2));
+    }
+
+    #[test]
+    fn chip_smaller_than_tile_uses_one_padded_tile() {
+        let grid = TileGrid::new(TilingConfig::new(64, 16), 20, 20);
+        assert_eq!(grid.len(), 1);
+        let tile = grid.tile(0);
+        assert_eq!(tile.window_origin, (-16, -16));
+        assert_eq!(tile.owned_rows, (0, 20));
+        let chip = RealMatrix::filled(20, 20, 1.0);
+        let window = grid.extract_window(&chip, &tile);
+        assert_eq!(window.shape(), (64, 64));
+        // Pixels inside the chip are copied, the dark field is zero.
+        assert_eq!(window[(16, 16)], 1.0);
+        assert_eq!(window[(0, 0)], 0.0);
+        assert_eq!(window[(63, 63)], 0.0);
+        assert_eq!(window.sum() as usize, 400);
+    }
+
+    #[test]
+    fn extract_and_stitch_roundtrip_identity() {
+        // Simulating with the identity map must reproduce the chip exactly:
+        // every owned pixel comes from inside its tile's window.
+        let rows = 90;
+        let cols = 130;
+        let chip = RealMatrix::from_fn(rows, cols, |i, j| (i * 1000 + j) as f64);
+        let grid = TileGrid::new(TilingConfig::new(64, 12), rows, cols);
+        let mut out = RealMatrix::zeros(rows, cols);
+        for tile in grid.tiles() {
+            let window = grid.extract_window(&chip, &tile);
+            grid.stitch_owned(&mut out, &tile, &window);
+        }
+        assert_eq!(out, chip);
+    }
+
+    #[test]
+    fn tile_indexing_is_row_major() {
+        let grid = TileGrid::new(TilingConfig::new(64, 16), 96, 96);
+        let tile = grid.tile(5);
+        assert_eq!(tile.grid, (1, 2));
+        assert_eq!(tile.index, 5);
+        assert_eq!(tile.owned_rows, (32, 64));
+        assert_eq!(tile.owned_cols, (64, 96));
+        assert_eq!(tile.owned_height(), 32);
+        assert_eq!(tile.owned_width(), 32);
+    }
+}

@@ -1,10 +1,11 @@
-//! Throughput comparison between the rigorous Hopkins simulator and Nitho's
-//! stored-kernel fast-lithography path — a miniature of the paper's Fig. 5.
+//! Full-chip throughput on the `litho_serve` tiling engine — the paper's
+//! Fig. 5 argument at deployment scale: one large stitched layout instead of
+//! a stream of isolated training tiles.
 //!
-//! Nitho needs no network inference after training: the predicted kernels are
-//! applied with the same SOCS arithmetic as a production simulator, but with
-//! far fewer kernels than the rigorous decomposition, which is where the
-//! speed-up comes from.
+//! A 4×4-tile mosaic chip is decomposed into guard-band tiles, fanned out
+//! over `litho_parallel` workers, and stitched back; the same pipeline runs
+//! the rigorous Hopkins engine (production-sized kernel bank) and Nitho's
+//! stored regressed kernels, which is where the speed-up comes from.
 //!
 //! ```text
 //! cargo run --release --example full_chip_throughput
@@ -12,8 +13,9 @@
 
 use std::time::Instant;
 
-use litho_masks::{Dataset, DatasetKind};
+use litho_masks::{chip_mosaic, Dataset, DatasetKind, GeneratorConfig};
 use litho_optics::{HopkinsSimulator, OpticalConfig};
+use litho_serve::{ChipPipeline, TileSimulator};
 use nitho::{NithoConfig, NithoModel};
 
 fn main() {
@@ -23,10 +25,9 @@ fn main() {
         .kernel_count(8)
         .build();
 
-    // A "full-chip" workload: a stream of metal and via tiles.
+    // Rigorous reference retains many more kernels, as production TCC
+    // decompositions do.
     let rigorous_config = OpticalConfig {
-        // Rigorous reference retains many more kernels, as production TCC
-        // decompositions do.
         kernel_count: 40,
         ..optics.clone()
     };
@@ -34,9 +35,6 @@ fn main() {
     let labeller = HopkinsSimulator::new(&optics);
 
     let train = Dataset::generate(DatasetKind::B2Metal, 16, &labeller, 21);
-    let workload = Dataset::generate(DatasetKind::B2Via, 24, &labeller, 22)
-        .merged(&Dataset::generate(DatasetKind::B2Metal, 24, &labeller, 23));
-
     let mut model = NithoModel::new(
         NithoConfig {
             epochs: 30,
@@ -46,36 +44,40 @@ fn main() {
     );
     model.train(&train);
 
-    let tile_area = optics.tile_area_um2();
-
-    let start = Instant::now();
-    for sample in workload.samples() {
-        let _ = rigorous.simulate(&sample.mask);
-    }
-    let rigorous_seconds = start.elapsed().as_secs_f64();
-
-    let start = Instant::now();
-    for sample in workload.samples() {
-        let _ = model.predict_resist(&sample.mask, optics.resist_threshold);
-    }
-    let nitho_seconds = start.elapsed().as_secs_f64();
-
-    let area = tile_area * workload.len() as f64;
-    println!(
-        "workload               : {} tiles ({:.3} um^2)",
-        workload.len(),
-        area
+    // One contiguous 512×512-px chip (4×4 mosaic of metal/via geometry).
+    let chip = chip_mosaic(
+        DatasetKind::B2Metal,
+        4,
+        4,
+        &GeneratorConfig::new(128, 4.0),
+        22,
     );
+    let mask = chip.rasterize();
+    let (rows, cols) = mask.shape();
+    let area_um2 =
+        (rows as f64 * optics.pixel_nm / 1000.0) * (cols as f64 * optics.pixel_nm / 1000.0);
+
+    let run = |name: &str, simulator: &dyn TileSimulator| -> f64 {
+        let pipeline = ChipPipeline::new(simulator);
+        let start = Instant::now();
+        let result = pipeline.simulate(&mask);
+        let seconds = start.elapsed().as_secs_f64();
+        println!(
+            "{name:<22} : {seconds:>8.3} s  ({:>9.4} um^2/s, {:>6.1} tiles/s, {} tiles, halo {} px)",
+            area_um2 / seconds,
+            result.tiles as f64 / seconds,
+            result.tiles,
+            result.halo_px,
+        );
+        seconds
+    };
+
     println!(
-        "rigorous simulator     : {:>8.3} s  ({:>9.4} um^2/s)",
-        rigorous_seconds,
-        area / rigorous_seconds
+        "chip                   : {rows}x{cols} px ({area_um2:.3} um^2), {} worker thread(s)",
+        litho_parallel::max_threads()
     );
-    println!(
-        "nitho stored kernels   : {:>8.3} s  ({:>9.4} um^2/s)",
-        nitho_seconds,
-        area / nitho_seconds
-    );
+    let rigorous_seconds = run("rigorous simulator", &rigorous);
+    let nitho_seconds = run("nitho stored kernels", &model);
     println!(
         "speed-up               : {:>8.1}x",
         rigorous_seconds / nitho_seconds

@@ -1,0 +1,97 @@
+//! `nitho-serve` client walkthrough: starts the inference service in-process
+//! on an ephemeral port, then talks to it exactly like a network client —
+//! `/healthz`, `/v1/models`, and a `/v1/simulate` round-trip whose resist
+//! image is rendered as ASCII art.
+//!
+//! ```text
+//! cargo run --release --example serve_client
+//! ```
+//!
+//! Against a standalone server (`cargo run --release -p litho_serve --bin
+//! nitho-serve`), the same three requests work over plain `curl`; see the
+//! README quick-start.
+
+use litho_masks::{Dataset, DatasetKind};
+use litho_optics::{HopkinsSimulator, OpticalConfig};
+use litho_serve::{http_request, HttpServer, Json, ModelRegistry, Service};
+use nitho::{NithoConfig, NithoModel};
+
+fn main() {
+    // --- Server side: registry with a rigorous engine and a trained model.
+    let optics = OpticalConfig::builder()
+        .tile_px(64)
+        .pixel_nm(8.0)
+        .kernel_count(8)
+        .build();
+    let labeller = HopkinsSimulator::new(&optics);
+    println!("training a small Nitho model for the registry...");
+    let train = Dataset::generate(DatasetKind::B2Metal, 8, &labeller, 21);
+    let mut model = NithoModel::new(
+        NithoConfig {
+            epochs: 12,
+            ..NithoConfig::fast()
+        },
+        &optics,
+    );
+    model.train(&train);
+
+    let mut registry = ModelRegistry::new();
+    registry.register_nitho("nitho", model);
+    registry.register_hopkins("hopkins", labeller);
+    let service = Service::new(registry);
+
+    let server = HttpServer::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || {
+        server.serve(move |request| service.handle(request));
+    });
+    println!("serving on http://{addr}\n");
+
+    // --- Client side: plain HTTP/1.1 over a TcpStream.
+    let (status, body) = http_request(addr, "GET", "/healthz", None).expect("healthz");
+    println!("GET /healthz      -> {status} {body}");
+
+    let (status, body) = http_request(addr, "GET", "/v1/models", None).expect("models");
+    println!("GET /v1/models    -> {status} {body}\n");
+
+    // A 160×128 layout (5×4 tile cores at halo 16): three metal lines and a
+    // via field, sent as rectangles.
+    let simulate = r#"{
+        "model": "nitho",
+        "halo_px": 16,
+        "mask": {
+            "rows": 160, "cols": 128,
+            "rects": [
+                [8, 16, 120, 32], [8, 48, 96, 64], [40, 80, 120, 96],
+                [16, 112, 28, 124], [52, 112, 64, 124], [88, 112, 100, 124],
+                [16, 136, 28, 148], [52, 136, 64, 148], [88, 136, 100, 148]
+            ]
+        },
+        "outputs": ["resist"]
+    }"#;
+    let (status, body) =
+        http_request(addr, "POST", "/v1/simulate", Some(simulate)).expect("simulate");
+    let doc = Json::parse(&body).expect("simulate JSON");
+    println!(
+        "POST /v1/simulate -> {status}: {} tiles, grid {:?}, halo {} px, {:.1} ms",
+        doc.get("tiles").and_then(Json::as_usize).unwrap_or(0),
+        doc.get("grid").map(|g| g.to_string()).unwrap_or_default(),
+        doc.get("halo_px").and_then(Json::as_usize).unwrap_or(0),
+        doc.get("elapsed_ms").and_then(Json::as_f64).unwrap_or(0.0),
+    );
+
+    let rows = doc.get("rows").and_then(Json::as_usize).expect("rows");
+    let cols = doc.get("cols").and_then(Json::as_usize).expect("cols");
+    let resist = doc
+        .get("resist")
+        .and_then(Json::to_numbers)
+        .expect("resist");
+    let image = litho_math::RealMatrix::from_vec(rows, cols, resist);
+    println!("\npredicted resist image ({rows}x{cols}):");
+    println!("{}", litho_bench::ascii_image(&image, 64));
+
+    shutdown.shutdown();
+    server_thread.join().expect("server thread");
+    println!("server shut down cleanly");
+}

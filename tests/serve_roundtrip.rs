@@ -1,0 +1,104 @@
+//! End-to-end round-trip through the `litho_serve` HTTP service: a real
+//! TCP server on an ephemeral port, JSON in, stitched simulation out, clean
+//! shutdown — the same exchange the CI smoke job drives against the
+//! `nitho-serve` binary.
+
+use litho_optics::{HopkinsSimulator, OpticalConfig};
+use litho_serve::{http_request, HttpServer, Json, ModelRegistry, Response, Service};
+
+fn start_service() -> (
+    std::net::SocketAddr,
+    litho_serve::ShutdownHandle,
+    std::thread::JoinHandle<()>,
+) {
+    let optics = OpticalConfig::builder()
+        .tile_px(64)
+        .pixel_nm(8.0)
+        .kernel_count(6)
+        .build();
+    let mut registry = ModelRegistry::new();
+    registry.register_hopkins("hopkins", HopkinsSimulator::new(&optics));
+    let service = Service::new(registry);
+
+    let server = HttpServer::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let admin = shutdown.clone();
+    let join = std::thread::spawn(move || {
+        server.serve(move |request| {
+            if (request.method.as_str(), request.path.as_str()) == ("POST", "/v1/shutdown") {
+                admin.shutdown();
+                return Response::json(200, r#"{"status":"shutting down"}"#.to_owned());
+            }
+            service.handle(request)
+        });
+    });
+    (addr, shutdown, join)
+}
+
+#[test]
+fn simulate_roundtrip_over_real_sockets() {
+    let (addr, _shutdown, join) = start_service();
+
+    let (status, body) = http_request(addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).expect("healthz JSON");
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+
+    let (status, body) = http_request(addr, "GET", "/v1/models", None).expect("models");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).expect("models JSON");
+    let models = doc.get("models").and_then(Json::as_array).expect("array");
+    assert_eq!(
+        models[0].get("name").and_then(Json::as_str),
+        Some("hopkins")
+    );
+
+    // A 128×128 layout — 4× the 64-px tile area — through /v1/simulate.
+    let request_body = r#"{
+        "model": "hopkins",
+        "mask": {
+            "rows": 128, "cols": 128,
+            "rects": [[16, 16, 112, 40], [16, 56, 48, 112], [72, 64, 112, 104]]
+        }
+    }"#;
+    let (status, body) =
+        http_request(addr, "POST", "/v1/simulate", Some(request_body)).expect("simulate");
+    assert_eq!(status, 200, "{body}");
+    let doc = Json::parse(&body).expect("simulate JSON");
+    assert_eq!(doc.get("rows").and_then(Json::as_usize), Some(128));
+    assert_eq!(doc.get("cols").and_then(Json::as_usize), Some(128));
+    assert!(doc.get("tiles").and_then(Json::as_usize).expect("tiles") >= 4);
+    let aerial = doc
+        .get("aerial")
+        .and_then(Json::as_number_slice)
+        .expect("aerial");
+    assert_eq!(aerial.len(), 128 * 128);
+    assert!(aerial.iter().all(|&x| x.is_finite() && x >= 0.0));
+    let resist = doc
+        .get("resist")
+        .and_then(Json::as_number_slice)
+        .expect("resist");
+    let printed: f64 = resist.iter().sum();
+    assert!(
+        printed > 0.0 && printed < (128 * 128) as f64,
+        "resist should print part of the layout ({printed} px)"
+    );
+
+    // Unknown models are a client error, not a crash.
+    let (status, _) = http_request(
+        addr,
+        "POST",
+        "/v1/simulate",
+        Some(r#"{"model":"nope","mask":{"rows":64,"cols":64,"rects":[[0,0,8,8]]}}"#),
+    )
+    .expect("unknown model");
+    assert_eq!(status, 404);
+
+    // Clean shutdown: the admin route stops the accept loop and the server
+    // thread exits.
+    let (status, body) = http_request(addr, "POST", "/v1/shutdown", None).expect("shutdown");
+    assert_eq!(status, 200);
+    assert!(body.contains("shutting down"));
+    join.join().expect("server thread exits cleanly");
+}
