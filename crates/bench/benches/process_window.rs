@@ -1,0 +1,118 @@
+//! Process-window throughput: one conditioned Nitho neural field vs.
+//! per-condition rigorous Hopkins re-decomposition on a focus × dose grid.
+//!
+//! The rigorous path must rebuild its TCC and re-run the eigendecomposition
+//! for *every* focus value (the expensive part of process-window analysis);
+//! the conditioned field replaces that with a single CMLP inference per
+//! condition followed by the same cheap SOCS synthesis. This bench times a
+//! full ≥3×3 grid sweep of one chip tile through both engines and emits a
+//! `BENCH_pw.json` summary (written to the workspace root) so the speedup is
+//! tracked across commits.
+//!
+//! Knobs: `NITHO_PW_FOCUS_STEPS` / `NITHO_PW_DOSE_STEPS` (default 3×3) scale
+//! the grid; the tile setup mirrors the socs bench (128 px at 4 nm).
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use litho_masks::{Dataset, DatasetKind, ProcessDataset};
+use litho_optics::{HopkinsSimulator, OpticalConfig, ProcessWindow};
+use nitho::{ConditionEncoding, NithoConfig, NithoModel};
+
+const TILE_PX: usize = 128;
+
+fn optics() -> OpticalConfig {
+    OpticalConfig::builder()
+        .tile_px(TILE_PX)
+        .pixel_nm(4.0)
+        .kernel_count(8)
+        .build()
+}
+
+/// Mean wall time per iteration in milliseconds (1 warm-up + `iters` timed).
+fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+fn bench_process_window(c: &mut Criterion) {
+    let optics = optics();
+    let focus_steps = litho_bench::env_usize("NITHO_PW_FOCUS_STEPS", 3);
+    let dose_steps = litho_bench::env_usize("NITHO_PW_DOSE_STEPS", 3);
+    let window = ProcessWindow::symmetric(80.0, focus_steps, 0.05, dose_steps);
+    let conditions = window.conditions();
+
+    eprintln!(
+        "process_window bench: building the rigorous engine and training a \
+         conditioned model on a {focus_steps}x{dose_steps} grid"
+    );
+    let simulator = HopkinsSimulator::new(&optics);
+    let pd = ProcessDataset::generate(DatasetKind::B2Metal, 6, &simulator, &conditions, 17);
+    let config = NithoConfig {
+        kernel_side: Some(9),
+        kernel_count: 8,
+        epochs: litho_bench::env_usize("NITHO_EPOCHS", 12),
+        condition: Some(ConditionEncoding {
+            focus_span_nm: 80.0,
+            dose_span: 0.05,
+            ..ConditionEncoding::default()
+        }),
+        ..NithoConfig::fast()
+    };
+    let mut model = NithoModel::new(config, &optics);
+    model.train_process_window(pd.groups());
+
+    let mask = Dataset::generate(DatasetKind::B2Metal, 1, &simulator, 11).samples()[0]
+        .mask
+        .clone();
+
+    // Full grid sweep through each engine: aerial + resist per condition.
+    let nitho_sweep = || {
+        for condition in &conditions {
+            let frozen = model.at_condition(condition).expect("conditioned model");
+            let aerial = frozen.predict_aerial(&mask);
+            black_box(aerial.threshold(frozen.effective_resist_threshold()));
+        }
+    };
+    let rigorous_sweep = || {
+        for condition in &conditions {
+            let rebuilt = simulator.at_condition(condition);
+            let (aerial, resist) = rebuilt.simulate(&mask);
+            black_box((aerial, resist));
+        }
+    };
+
+    let mut group = c.benchmark_group(format!("process_window_{focus_steps}x{dose_steps}"));
+    group.sample_size(10);
+    group.bench_function("conditioned_nitho", |b| b.iter(nitho_sweep));
+    group.bench_function("rigorous_redecomposition", |b| b.iter(rigorous_sweep));
+    group.finish();
+
+    // JSON summary for the README / CI perf tracking.
+    let nitho_ms = time_ms(3, nitho_sweep);
+    let rigorous_ms = time_ms(3, rigorous_sweep);
+    let json = format!(
+        "{{\n  \"bench\": \"process_window\",\n  \"tile_px\": {TILE_PX},\n  \
+         \"kernel_count\": 8,\n  \"focus_steps\": {focus_steps},\n  \
+         \"dose_steps\": {dose_steps},\n  \"conditions\": {},\n  \
+         \"conditioned_nitho_ms\": {nitho_ms:.3},\n  \
+         \"rigorous_redecomposition_ms\": {rigorous_ms:.3},\n  \
+         \"speedup\": {:.3}\n}}\n",
+        conditions.len(),
+        rigorous_ms / nitho_ms,
+    );
+    // Cargo runs benches with the package directory as CWD; anchor the report
+    // at the workspace root instead.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pw.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote BENCH_pw.json:\n{json}"),
+        Err(err) => eprintln!("could not write BENCH_pw.json: {err}"),
+    }
+}
+
+criterion_group!(benches, bench_process_window);
+criterion_main!(benches);

@@ -57,7 +57,7 @@ pub struct CheckpointInfo {
 /// engine's `kernel_count` are serving-time choices, not weight semantics,
 /// and are excluded for the same reason.
 pub fn config_fingerprint(config: &NithoConfig, optics: &OpticalConfig) -> u64 {
-    let canonical = format!(
+    let mut canonical = format!(
         "arch:{:?}/{}/{}/{}|enc:{:?}|optics:{}/{}/{:?}/{}/{}/{}",
         config.kernel_side,
         config.kernel_count,
@@ -71,6 +71,13 @@ pub fn config_fingerprint(config: &NithoConfig, optics: &OpticalConfig) -> u64 {
         optics.tile_px,
         optics.pixel_nm,
     );
+    // Process-window conditioning changes the network's input semantics, so
+    // it is part of the fingerprint — but only when present, so every
+    // pre-conditioning nominal checkpoint keeps its original fingerprint and
+    // still loads (as nominal-only) without retraining.
+    if let Some(condition) = &config.condition {
+        canonical.push_str(&format!("|cond:{condition:?}"));
+    }
     fnv1a(canonical.as_bytes())
 }
 
@@ -232,6 +239,34 @@ mod tests {
             ..optics.clone()
         };
         assert_eq!(base, config_fingerprint(&config, &rethresholded));
+    }
+
+    #[test]
+    fn conditioning_changes_the_fingerprint_but_none_preserves_it() {
+        use crate::encoding::ConditionEncoding;
+        let optics = OpticalConfig::default();
+        let nominal = NithoConfig::default();
+        assert!(nominal.condition.is_none());
+        let base = config_fingerprint(&nominal, &optics);
+
+        // A conditioned model is a different network (extra inputs): its
+        // checkpoints must never load into a nominal model or vice versa.
+        let conditioned = NithoConfig {
+            condition: Some(ConditionEncoding::default()),
+            ..nominal.clone()
+        };
+        let conditioned_fp = config_fingerprint(&conditioned, &optics);
+        assert_ne!(base, conditioned_fp);
+
+        // Different conditioning spans are different fields too.
+        let wider = NithoConfig {
+            condition: Some(ConditionEncoding {
+                focus_span_nm: 200.0,
+                ..ConditionEncoding::default()
+            }),
+            ..nominal
+        };
+        assert_ne!(conditioned_fp, config_fingerprint(&wider, &optics));
     }
 
     #[test]

@@ -5,8 +5,14 @@
 //! (Table V): no encoding, NeRF's axis-aligned sinusoidal encoding
 //! (Eq. (14)), and the complex Gaussian random-Fourier-feature (RFF) mapping
 //! it ultimately adopts (Eq. (15)).
+//!
+//! For process-window conditioning, [`ConditionEncoding`] extends the input
+//! with Fourier features of the normalized `(defocus, dose)` perturbation, so
+//! one neural field regresses the kernels *as a function of the process
+//! condition* (cf. Fourier-feature networks for perturbed optical fields).
 
 use litho_math::{Complex64, ComplexMatrix, DeterministicRng, Matrix, RealMatrix};
+use litho_optics::ProcessCondition;
 
 /// A positional encoding applied to normalized kernel coordinates.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,6 +132,101 @@ impl PositionalEncoding {
                 })
             }
         }
+    }
+}
+
+/// Fourier-feature encoding of a process condition `(defocus, dose)`,
+/// appended to every row of the spatial encoding when a model is
+/// process-window conditioned.
+///
+/// The condition is first normalized — defocus by `focus_span_nm`, dose as
+/// `(dose − 1) / dose_span` — so both channels live on comparable `≈[−1, 1]`
+/// scales over the intended process window, then mapped through the same
+/// complex Gaussian RFF form as the spatial coordinates (Eq. (15)):
+/// `[cos(2πBc)·(1+j), sin(2πBc)·(1+j)]` with `B ∈ R^{features × 2}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConditionEncoding {
+    /// Defocus normalization span in nanometres (`f_norm = Δz / span`).
+    pub focus_span_nm: f64,
+    /// Dose normalization span (`d_norm = (d − 1) / span`).
+    pub dose_span: f64,
+    /// Number of random condition frequencies.
+    pub features: usize,
+    /// Standard deviation of the frequency-matrix entries.
+    pub sigma: f64,
+    /// Seed for the (fixed) condition frequency matrix.
+    pub seed: u64,
+}
+
+impl Default for ConditionEncoding {
+    fn default() -> Self {
+        Self {
+            focus_span_nm: 100.0,
+            dose_span: 0.1,
+            features: 8,
+            sigma: 1.0,
+            seed: 0x636f_6e64, // "cond"
+        }
+    }
+}
+
+impl ConditionEncoding {
+    /// Number of complex features appended per input row.
+    pub fn output_dim(&self) -> usize {
+        2 * self.features
+    }
+
+    /// Validates the encoding parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any span, the feature count or sigma is not positive.
+    pub fn validate(&self) {
+        assert!(
+            self.focus_span_nm > 0.0,
+            "condition focus span must be positive"
+        );
+        assert!(self.dose_span > 0.0, "condition dose span must be positive");
+        assert!(
+            self.features > 0,
+            "condition encoding needs at least one feature"
+        );
+        assert!(self.sigma > 0.0, "condition RFF sigma must be positive");
+    }
+
+    /// The normalized `(focus, dose)` channels of a condition.
+    pub fn normalized(&self, condition: &ProcessCondition) -> (f64, f64) {
+        (
+            condition.defocus_nm / self.focus_span_nm,
+            (condition.dose - 1.0) / self.dose_span,
+        )
+    }
+
+    /// Encodes one condition into its `output_dim` complex features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoding parameters or the condition are invalid.
+    pub fn encode(&self, condition: &ProcessCondition) -> Vec<Complex64> {
+        self.validate();
+        condition.validate();
+        let (f, d) = self.normalized(condition);
+        let frequencies = rff_frequencies(self.features, self.sigma, self.seed);
+        let one_plus_j = Complex64::new(1.0, 1.0);
+        let mut features = Vec::with_capacity(self.output_dim());
+        for slot in 0..self.output_dim() {
+            let feature = slot % self.features;
+            let phase = 2.0
+                * std::f64::consts::PI
+                * (frequencies[(feature, 0)] * f + frequencies[(feature, 1)] * d);
+            let value = if slot < self.features {
+                phase.cos()
+            } else {
+                phase.sin()
+            };
+            features.push(one_plus_j.scale(value));
+        }
+        features
     }
 }
 
@@ -260,6 +361,67 @@ mod tests {
     #[should_panic(expected = "at least one level")]
     fn zero_level_nerf_panics() {
         let _ = PositionalEncoding::Nerf { levels: 0 }.encode(&[(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn condition_encoding_normalizes_and_is_deterministic() {
+        let enc = ConditionEncoding::default();
+        enc.validate();
+        assert_eq!(enc.output_dim(), 16);
+        let condition = ProcessCondition::new(50.0, 1.05);
+        let (f, d) = enc.normalized(&condition);
+        assert!((f - 0.5).abs() < 1e-12);
+        assert!((d - 0.5).abs() < 1e-12);
+        let a = enc.encode(&condition);
+        let b = enc.encode(&condition);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        // Every feature has the (1+j)·cos/sin shape of Eq. (15).
+        for z in &a {
+            assert!((z.re - z.im).abs() < 1e-12);
+            assert!(z.re.abs() <= 1.0 + 1e-12);
+        }
+        // A different condition maps to different features.
+        let c = enc.encode(&ProcessCondition::new(-50.0, 0.95));
+        assert_ne!(a, c);
+        // The nominal condition is the coordinate origin of the encoding:
+        // cos features are exactly (1+j), sin features exactly 0.
+        let nominal = enc.encode(&ProcessCondition::nominal());
+        for (slot, z) in nominal.iter().enumerate() {
+            if slot < enc.features {
+                assert!((z.re - 1.0).abs() < 1e-12);
+            } else {
+                assert!(z.re.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn condition_encoding_separates_nearby_conditions() {
+        let enc = ConditionEncoding {
+            features: 16,
+            sigma: 2.0,
+            ..ConditionEncoding::default()
+        };
+        let a = enc.encode(&ProcessCondition::new(0.0, 1.0));
+        let b = enc.encode(&ProcessCondition::new(10.0, 1.0));
+        let distance: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (*x - *y).abs_sq())
+            .sum::<f64>()
+            .sqrt();
+        assert!(distance > 0.1, "distance {distance}");
+    }
+
+    #[test]
+    #[should_panic(expected = "focus span must be positive")]
+    fn invalid_condition_span_panics() {
+        let enc = ConditionEncoding {
+            focus_span_nm: 0.0,
+            ..ConditionEncoding::default()
+        };
+        let _ = enc.encode(&ProcessCondition::nominal());
     }
 
     proptest! {

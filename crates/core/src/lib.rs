@@ -50,6 +50,6 @@ pub mod training;
 
 pub use checkpoint::{checkpoint_info, CheckpointInfo, CHECKPOINT_VERSION};
 pub use cmlp::Cmlp;
-pub use encoding::PositionalEncoding;
-pub use model::{EvaluationReport, NithoModel};
+pub use encoding::{ConditionEncoding, PositionalEncoding};
+pub use model::{ConditionedKernels, EvaluationReport, NithoModel};
 pub use training::{NithoConfig, TrainingReport};

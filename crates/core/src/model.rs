@@ -10,7 +10,7 @@ use litho_math::util::{center_crop, center_pad};
 use litho_math::{ComplexMatrix, DeterministicRng, RealMatrix};
 use litho_metrics::{AerialMetrics, ResistMetrics};
 use litho_optics::config::{kernel_side, KernelDims};
-use litho_optics::OpticalConfig;
+use litho_optics::{OpticalConfig, ProcessCondition};
 
 use crate::cmlp::{Cmlp, CmlpArchitecture};
 use crate::training::{NithoConfig, TrainingReport};
@@ -82,9 +82,13 @@ impl NithoModel {
         );
 
         let encoded_coords = config.encoding.encode_grid(dims.rows, dims.cols);
+        let condition_dim = config
+            .condition
+            .as_ref()
+            .map_or(0, crate::encoding::ConditionEncoding::output_dim);
         let mut rng = DeterministicRng::new(config.seed);
         let architecture = CmlpArchitecture {
-            input_dim: config.encoding.output_dim(),
+            input_dim: config.encoding.output_dim() + condition_dim,
             hidden_dim: config.hidden_dim,
             hidden_blocks: config.hidden_blocks,
             output_dim: config.kernel_count,
@@ -137,25 +141,95 @@ impl NithoModel {
         &self.cmlp
     }
 
-    /// The predicted optical kernels, if the model has been trained (or the
-    /// kernels refreshed with [`NithoModel::refresh_kernels`]).
+    /// The predicted optical kernels at the nominal condition, if the model
+    /// has been trained (or the kernels refreshed with
+    /// [`NithoModel::refresh_kernels`]).
     pub fn kernels(&self) -> Option<&[ComplexMatrix]> {
         self.cached_kernels.as_deref()
     }
 
-    /// Re-evaluates the CMLP on the coordinate grid and caches the predicted
-    /// kernels for fast inference.
-    pub fn refresh_kernels(&mut self) {
-        let output = self.cmlp.infer(&self.encoded_coords);
-        let mut kernels = Vec::with_capacity(self.dims.count);
-        for k in 0..self.dims.count {
-            kernels.push(ComplexMatrix::from_fn(
-                self.dims.rows,
-                self.dims.cols,
-                |i, j| output[(i * self.dims.cols + j, k)],
-            ));
+    /// `true` when the model can evaluate kernels at this condition: any
+    /// condition for a conditioned model, only the nominal point otherwise.
+    pub fn supports_condition(&self, condition: &ProcessCondition) -> bool {
+        self.config.is_conditioned() || condition.is_nominal()
+    }
+
+    /// The CMLP input matrix for a process condition: the spatial positional
+    /// encoding, with the encoded condition appended to every row for
+    /// conditioned models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not [support](NithoModel::supports_condition)
+    /// the condition.
+    fn conditioned_input(&self, condition: &ProcessCondition) -> ComplexMatrix {
+        let Some(encoding) = &self.config.condition else {
+            assert!(
+                condition.is_nominal(),
+                "model is not process-window conditioned; it can only be \
+                 evaluated at the nominal condition"
+            );
+            return self.encoded_coords.clone();
+        };
+        let features = encoding.encode(condition);
+        let spatial_dim = self.encoded_coords.cols();
+        ComplexMatrix::from_fn(
+            self.encoded_coords.rows(),
+            spatial_dim + features.len(),
+            |i, j| {
+                if j < spatial_dim {
+                    self.encoded_coords[(i, j)]
+                } else {
+                    features[j - spatial_dim]
+                }
+            },
+        )
+    }
+
+    /// Slices a `grid_points × r` CMLP output into `r` kernel matrices.
+    fn slice_kernels(&self, output: &ComplexMatrix) -> Vec<ComplexMatrix> {
+        (0..self.dims.count)
+            .map(|k| {
+                ComplexMatrix::from_fn(self.dims.rows, self.dims.cols, |i, j| {
+                    output[(i * self.dims.cols + j, k)]
+                })
+            })
+            .collect()
+    }
+
+    /// Evaluates the neural field at a process condition, returning the `r`
+    /// predicted optical kernels (one network inference; no cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not [support](NithoModel::supports_condition)
+    /// the condition.
+    pub fn kernels_at(&self, condition: &ProcessCondition) -> Vec<ComplexMatrix> {
+        let output = self.cmlp.infer(&self.conditioned_input(condition));
+        self.slice_kernels(&output)
+    }
+
+    /// Freezes the neural field at a process condition into a standalone
+    /// fast-inference engine (the kernels are evaluated once; subsequent
+    /// aerial predictions are pure SOCS synthesis). Returns `None` when the
+    /// model cannot serve the condition (nominal-only model asked for an
+    /// off-nominal point).
+    pub fn at_condition(&self, condition: &ProcessCondition) -> Option<ConditionedKernels> {
+        if !self.supports_condition(condition) {
+            return None;
         }
-        self.cached_kernels = Some(kernels);
+        Some(ConditionedKernels {
+            optics: self.optics.clone(),
+            dims: self.dims,
+            condition: *condition,
+            kernels: self.kernels_at(condition),
+        })
+    }
+
+    /// Re-evaluates the CMLP on the coordinate grid (at the nominal process
+    /// condition) and caches the predicted kernels for fast inference.
+    pub fn refresh_kernels(&mut self) {
+        self.cached_kernels = Some(self.kernels_at(&ProcessCondition::nominal()));
     }
 
     /// Runs the forward training procedure (Algorithm 1) on the mask–aerial
@@ -171,30 +245,72 @@ impl NithoModel {
     /// Panics if the dataset is empty or its tiles do not match the model's
     /// optical configuration.
     pub fn train(&mut self, dataset: &Dataset) -> TrainingReport {
-        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        self.train_groups(&[(ProcessCondition::nominal(), dataset)])
+    }
+
+    /// Trains one conditioned model across a process window: each group pairs
+    /// a process condition with the dataset labelled by the rigorous
+    /// simulator *at that condition*, and the condition is fed to the network
+    /// alongside the kernel coordinates (see
+    /// [`ConditionEncoding`](crate::encoding::ConditionEncoding)).
+    ///
+    /// Determinism matches [`NithoModel::train`]: per-sample tapes over
+    /// `litho_parallel`, fixed-order reduction, bit-identical parameters for
+    /// any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty, any group's dataset is empty or
+    /// mismatched with the optics, or the model does not
+    /// [support](NithoModel::supports_condition) one of the conditions (a
+    /// nominal-only model can only train on the nominal condition).
+    pub fn train_process_window(
+        &mut self,
+        groups: &[(ProcessCondition, Dataset)],
+    ) -> TrainingReport {
+        let by_ref: Vec<(ProcessCondition, &Dataset)> =
+            groups.iter().map(|(c, d)| (*c, d)).collect();
+        self.train_groups(&by_ref)
+    }
+
+    fn train_groups(&mut self, groups: &[(ProcessCondition, &Dataset)]) -> TrainingReport {
+        assert!(!groups.is_empty(), "cannot train on an empty dataset");
         let tile = self.optics.tile_px;
         let t_res = self.training_resolution;
 
-        // Pre-compute the non-parametric mask operations once per sample:
-        // cropped, centered spectrum (Algorithm 1 lines 6–7) and the
+        // Pre-compute the non-parametric operations once: the CMLP input per
+        // condition (spatial encoding + condition features), and per sample
+        // the cropped, centered spectrum (Algorithm 1 lines 6–7) and the
         // band-limited training target.
-        let mut spectra = Vec::with_capacity(dataset.len());
-        let mut targets = Vec::with_capacity(dataset.len());
-        let mut mask_pixels = Vec::with_capacity(dataset.len());
-        for sample in dataset.samples() {
-            assert_eq!(
-                sample.mask.shape(),
-                (tile, tile),
-                "dataset tile size does not match the optical configuration"
+        let mut inputs = Vec::with_capacity(groups.len());
+        let mut input_idx = Vec::new();
+        let mut spectra = Vec::new();
+        let mut targets = Vec::new();
+        let mut mask_pixels = Vec::new();
+        for (group, (condition, dataset)) in groups.iter().enumerate() {
+            assert!(
+                self.supports_condition(condition),
+                "model is not conditioned; train at the nominal condition or \
+                 configure NithoConfig::condition"
             );
-            let spectrum = litho_fft::centered_spectrum(&sample.mask);
-            spectra.push(center_crop(&spectrum, self.dims.rows, self.dims.cols));
-            targets.push(litho_optics::socs::band_limited_resample(
-                &sample.aerial,
-                t_res,
-                t_res,
-            ));
-            mask_pixels.push(sample.mask.len());
+            assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+            inputs.push(self.conditioned_input(condition));
+            for sample in dataset.samples() {
+                assert_eq!(
+                    sample.mask.shape(),
+                    (tile, tile),
+                    "dataset tile size does not match the optical configuration"
+                );
+                let spectrum = litho_fft::centered_spectrum(&sample.mask);
+                spectra.push(center_crop(&spectrum, self.dims.rows, self.dims.cols));
+                targets.push(litho_optics::socs::band_limited_resample(
+                    &sample.aerial,
+                    t_res,
+                    t_res,
+                ));
+                mask_pixels.push(sample.mask.len());
+                input_idx.push(group);
+            }
         }
 
         let mut rng = DeterministicRng::new(self.config.seed ^ 0x7261_696e);
@@ -202,7 +318,7 @@ impl NithoModel {
         let mut report = TrainingReport::default();
 
         for _epoch in 0..self.config.epochs {
-            let mut order: Vec<usize> = (0..dataset.len()).collect();
+            let mut order: Vec<usize> = (0..spectra.len()).collect();
             rng.shuffle(&mut order);
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
@@ -222,7 +338,7 @@ impl NithoModel {
                 let per_sample = litho_parallel::par_map(batch.len(), |b| {
                     let sample_idx = batch[b];
                     let mut tape = Tape::new();
-                    let coords = tape.constant(self.encoded_coords.clone());
+                    let coords = tape.constant(inputs[input_idx[sample_idx]].clone());
                     let (output, leaves) = self.cmlp.forward(&mut tape, coords);
 
                     // Slice the CMLP output into r kernel nodes (one per column).
@@ -321,22 +437,24 @@ impl NithoModel {
             .cached_kernels
             .as_ref()
             .expect("model must be trained (or kernels refreshed) before prediction");
-        assert!(
-            out >= self.dims.rows && out >= self.dims.cols,
-            "output resolution is smaller than the kernel grid"
-        );
-        let spectrum = litho_fft::centered_spectrum(mask);
-        let cropped = center_crop(&spectrum, self.dims.rows, self.dims.cols);
-        let scale = ((out * out) as f64 / mask.len() as f64).powi(2);
+        synthesize_aerial(kernels, self.dims, mask, out)
+    }
 
-        let mut intensity = RealMatrix::zeros(out, out);
-        for kernel in kernels {
-            let product = kernel.hadamard(&cropped);
-            let padded = center_pad(&product, out, out);
-            let field = ifft2(&ifftshift(&padded));
-            intensity = intensity.zip_map(&field.abs_sq(), |acc, v| acc + v);
-        }
-        intensity.scale(scale)
+    /// Predicts the aerial image of a mask at a process condition (one CMLP
+    /// inference for the condition's kernels, then SOCS synthesis). For
+    /// repeated predictions at one condition, freeze it once with
+    /// [`NithoModel::at_condition`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not [support](NithoModel::supports_condition)
+    /// the condition or the mask is smaller than the kernel grid.
+    pub fn predict_aerial_at_condition(
+        &self,
+        mask: &RealMatrix,
+        condition: &ProcessCondition,
+    ) -> RealMatrix {
+        synthesize_aerial(&self.kernels_at(condition), self.dims, mask, mask.rows())
     }
 
     /// Predicts the binary resist image by thresholding the predicted aerial
@@ -362,6 +480,40 @@ impl NithoModel {
         for sample in dataset.samples() {
             let predicted_aerial = self.predict_aerial(&sample.mask);
             let predicted_resist = predicted_aerial.threshold(resist_threshold);
+            aerial_pairs.push((sample.aerial.clone(), predicted_aerial));
+            resist_pairs.push((sample.resist.clone(), predicted_resist));
+        }
+        EvaluationReport {
+            aerial: AerialMetrics::evaluate(aerial_pairs.iter().map(|(a, b)| (a, b))),
+            resist: ResistMetrics::evaluate(resist_pairs.iter().map(|(a, b)| (a, b))),
+        }
+    }
+
+    /// Evaluates the model on a dataset labelled *at the given process
+    /// condition* (e.g. one group of a
+    /// [`ProcessDataset`](litho_masks::ProcessDataset)): kernels are
+    /// evaluated at the condition and the resist threshold carries the
+    /// condition's dose (`t/d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or the model does not
+    /// [support](NithoModel::supports_condition) the condition.
+    pub fn evaluate_at_condition(
+        &self,
+        dataset: &Dataset,
+        condition: &ProcessCondition,
+        resist_threshold: f64,
+    ) -> EvaluationReport {
+        assert!(!dataset.is_empty(), "cannot evaluate on an empty dataset");
+        let kernels = self.kernels_at(condition);
+        let effective_threshold = resist_threshold / condition.dose;
+        let mut aerial_pairs = Vec::with_capacity(dataset.len());
+        let mut resist_pairs = Vec::with_capacity(dataset.len());
+        for sample in dataset.samples() {
+            let predicted_aerial =
+                synthesize_aerial(&kernels, self.dims, &sample.mask, sample.mask.rows());
+            let predicted_resist = predicted_aerial.threshold(effective_threshold);
             aerial_pairs.push((sample.aerial.clone(), predicted_aerial));
             resist_pairs.push((sample.resist.clone(), predicted_resist));
         }
@@ -430,6 +582,102 @@ impl NithoModel {
         }
         self.refresh_kernels();
         Ok(())
+    }
+}
+
+/// SOCS synthesis with predicted kernels (the paper's fast-lithography path,
+/// shared by [`NithoModel`] and [`ConditionedKernels`]): crop the centered
+/// mask spectrum to the kernel grid, multiply by each kernel, inverse
+/// transform, and accumulate `|·|²`.
+///
+/// # Panics
+///
+/// Panics if the output resolution is smaller than the kernel grid.
+fn synthesize_aerial(
+    kernels: &[ComplexMatrix],
+    dims: KernelDims,
+    mask: &RealMatrix,
+    out: usize,
+) -> RealMatrix {
+    assert!(
+        out >= dims.rows && out >= dims.cols,
+        "output resolution is smaller than the kernel grid"
+    );
+    let spectrum = litho_fft::centered_spectrum(mask);
+    let cropped = center_crop(&spectrum, dims.rows, dims.cols);
+    let scale = ((out * out) as f64 / mask.len() as f64).powi(2);
+
+    let mut intensity = RealMatrix::zeros(out, out);
+    for kernel in kernels {
+        let product = kernel.hadamard(&cropped);
+        let padded = center_pad(&product, out, out);
+        let field = ifft2(&ifftshift(&padded));
+        intensity = intensity.zip_map(&field.abs_sq(), |acc, v| acc + v);
+    }
+    intensity.scale(scale)
+}
+
+/// A neural field frozen at one process condition: the kernels were evaluated
+/// once by [`NithoModel::at_condition`], so aerial prediction is pure SOCS
+/// synthesis with no network in the loop — the object the serving layer fans
+/// a process-window matrix over.
+#[derive(Debug, Clone)]
+pub struct ConditionedKernels {
+    optics: OpticalConfig,
+    dims: KernelDims,
+    condition: ProcessCondition,
+    kernels: Vec<ComplexMatrix>,
+}
+
+impl ConditionedKernels {
+    /// The optical configuration of the parent model.
+    pub fn optics(&self) -> &OpticalConfig {
+        &self.optics
+    }
+
+    /// The process condition the kernels were evaluated at.
+    pub fn condition(&self) -> ProcessCondition {
+        self.condition
+    }
+
+    /// The frozen kernels.
+    pub fn kernels(&self) -> &[ComplexMatrix] {
+        &self.kernels
+    }
+
+    /// Resist development threshold with the condition's dose folded in
+    /// (`t / d`, see `litho_optics::resist`).
+    pub fn effective_resist_threshold(&self) -> f64 {
+        self.optics.resist_threshold / self.condition.dose
+    }
+
+    /// Predicts the aerial image of a mask at the mask's own resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask is smaller than the kernel grid.
+    pub fn predict_aerial(&self, mask: &RealMatrix) -> RealMatrix {
+        self.predict_aerial_at(mask, mask.rows())
+    }
+
+    /// Predicts the aerial image at an explicit square output resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output resolution is smaller than the kernel grid.
+    pub fn predict_aerial_at(&self, mask: &RealMatrix, out: usize) -> RealMatrix {
+        synthesize_aerial(&self.kernels, self.dims, mask, out)
+    }
+
+    /// Predicts the binary resist image at the condition's effective
+    /// threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask is smaller than the kernel grid.
+    pub fn predict_resist(&self, mask: &RealMatrix) -> RealMatrix {
+        self.predict_aerial(mask)
+            .threshold(self.effective_resist_threshold())
     }
 }
 
@@ -696,6 +944,194 @@ mod tests {
             rff > none + 2.0,
             "RFF ({rff:.2} dB) should clearly beat no encoding ({none:.2} dB)"
         );
+    }
+
+    fn conditioned_config() -> NithoConfig {
+        NithoConfig {
+            condition: Some(crate::encoding::ConditionEncoding {
+                focus_span_nm: 120.0,
+                dose_span: 0.1,
+                features: 8,
+                sigma: 1.0,
+                seed: 11,
+            }),
+            ..fast_nitho_config()
+        }
+    }
+
+    #[test]
+    fn conditioned_model_widens_the_input_and_varies_kernels() {
+        let optics = fast_optics();
+        let nominal_model = NithoModel::new(fast_nitho_config(), &optics);
+        let conditioned = NithoModel::new(conditioned_config(), &optics);
+        // 16 extra complex input features (8 RFF frequencies × cos/sin).
+        assert_eq!(
+            conditioned.cmlp().architecture().input_dim,
+            nominal_model.cmlp().architecture().input_dim + 16
+        );
+
+        let focus = ProcessCondition::nominal();
+        let defocused = ProcessCondition::new(80.0, 1.0);
+        assert!(conditioned.supports_condition(&focus));
+        assert!(conditioned.supports_condition(&defocused));
+        assert!(nominal_model.supports_condition(&focus));
+        assert!(!nominal_model.supports_condition(&defocused));
+
+        // Even untrained, the field must map different conditions to
+        // different kernels (the condition features reach the network).
+        let k_nominal = conditioned.kernels_at(&focus);
+        let k_defocus = conditioned.kernels_at(&defocused);
+        assert_eq!(k_nominal.len(), 6);
+        let diff = k_nominal[0]
+            .zip_map(&k_defocus[0], |a, b| (a - b).abs())
+            .max();
+        assert!(diff > 1e-9, "condition input must reach the kernels");
+
+        // refresh_kernels caches exactly the nominal evaluation.
+        let mut refreshed = NithoModel::new(conditioned_config(), &optics);
+        refreshed.refresh_kernels();
+        assert_eq!(refreshed.kernels().expect("cached"), &k_nominal[..]);
+    }
+
+    #[test]
+    fn at_condition_freezes_a_consistent_fast_engine() {
+        let optics = fast_optics();
+        let mut model = NithoModel::new(conditioned_config(), &optics);
+        model.refresh_kernels();
+        let mask = RealMatrix::from_fn(64, 64, |i, j| {
+            if (24..40).contains(&i) && (16..48).contains(&j) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+
+        // The frozen nominal engine matches the model's cached-kernel path.
+        let frozen = model
+            .at_condition(&ProcessCondition::nominal())
+            .expect("nominal supported");
+        let a = model.predict_aerial(&mask);
+        let b = frozen.predict_aerial(&mask);
+        assert!(a.zip_map(&b, |x, y| (x - y).abs()).max() < 1e-15);
+        assert_eq!(frozen.condition(), ProcessCondition::nominal());
+        assert_eq!(frozen.optics().tile_px, 64);
+        assert_eq!(frozen.kernels().len(), 6);
+
+        // A dosed engine shifts the development threshold.
+        let dosed = model
+            .at_condition(&ProcessCondition::new(0.0, 1.25))
+            .expect("conditioned model serves any condition");
+        assert!(
+            (dosed.effective_resist_threshold() - optics.resist_threshold / 1.25).abs() < 1e-15
+        );
+        let resist = dosed.predict_resist(&mask);
+        assert!(resist.iter().all(|&v| v == 0.0 || v == 1.0));
+
+        // The one-shot prediction path agrees with the frozen engine.
+        let defocused = ProcessCondition::new(60.0, 1.0);
+        let one_shot = model.predict_aerial_at_condition(&mask, &defocused);
+        let frozen_defocus = model.at_condition(&defocused).expect("supported");
+        let c = frozen_defocus.predict_aerial(&mask);
+        assert!(one_shot.zip_map(&c, |x, y| (x - y).abs()).max() < 1e-15);
+
+        // Nominal-only models refuse off-nominal conditions.
+        let mut nominal_model = NithoModel::new(fast_nitho_config(), &optics);
+        nominal_model.refresh_kernels();
+        assert!(nominal_model.at_condition(&defocused).is_none());
+        assert!(nominal_model
+            .at_condition(&ProcessCondition::nominal())
+            .is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not process-window conditioned")]
+    fn unconditioned_kernels_at_off_nominal_panics() {
+        let optics = fast_optics();
+        let model = NithoModel::new(fast_nitho_config(), &optics);
+        let _ = model.kernels_at(&ProcessCondition::new(50.0, 1.0));
+    }
+
+    #[test]
+    fn conditioned_training_learns_the_focus_axis() {
+        use litho_masks::ProcessDataset;
+        let optics = fast_optics();
+        let simulator = HopkinsSimulator::new(&optics);
+        let conditions = [
+            ProcessCondition::nominal(),
+            ProcessCondition::new(120.0, 1.0),
+        ];
+        let pd = ProcessDataset::generate(DatasetKind::B1, 6, &simulator, &conditions, 13);
+        let config = NithoConfig {
+            epochs: 20,
+            ..conditioned_config()
+        };
+        let mut model = NithoModel::new(config, &optics);
+        let report = model.train_process_window(pd.groups());
+        assert_eq!(report.len(), 20);
+        assert!(
+            report.improvement_ratio() < 0.5,
+            "conditioned training must reduce the loss: {} → {}",
+            report.initial_loss(),
+            report.final_loss()
+        );
+
+        // The trained field must track the condition: at each trained
+        // condition, its prediction is closer to that condition's rigorous
+        // reference than to the other condition's.
+        let mask = &pd.groups()[0].1.samples()[0].mask;
+        let ref_nominal = &pd.groups()[0].1.samples()[0].aerial;
+        let ref_defocus = &pd.groups()[1].1.samples()[0].aerial;
+        let rms =
+            |a: &RealMatrix, b: &RealMatrix| a.zip_map(b, |x, y| (x - y) * (x - y)).mean().sqrt();
+        let at_defocus = model.predict_aerial_at_condition(mask, &conditions[1]);
+        assert!(rms(&at_defocus, ref_defocus) < rms(&at_defocus, ref_nominal));
+        let at_nominal = model.predict_aerial_at_condition(mask, &conditions[0]);
+        assert!(rms(&at_nominal, ref_nominal) < rms(&at_nominal, ref_defocus));
+    }
+
+    #[test]
+    #[should_panic(expected = "model is not conditioned")]
+    fn unconditioned_model_rejects_off_nominal_training() {
+        let optics = fast_optics();
+        let simulator = HopkinsSimulator::new(&optics);
+        let condition = ProcessCondition::new(100.0, 1.0);
+        let pd =
+            litho_masks::ProcessDataset::generate(DatasetKind::B1, 2, &simulator, &[condition], 5);
+        let mut model = NithoModel::new(fast_nitho_config(), &optics);
+        let _ = model.train_process_window(pd.groups());
+    }
+
+    #[test]
+    fn conditioned_checkpoint_roundtrip_preserves_conditioned_predictions() {
+        let optics = fast_optics();
+        let mut model = NithoModel::new(conditioned_config(), &optics);
+        model.refresh_kernels();
+        let dir = std::env::temp_dir().join("nitho_conditioned_ckpt_test");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("conditioned.ckpt");
+        model.save_parameters(&path).expect("save");
+
+        let mut restored = NithoModel::new(conditioned_config(), &optics);
+        restored.load_parameters(&path).expect("load");
+        let mask = RealMatrix::filled(64, 64, 1.0);
+        for condition in [
+            ProcessCondition::nominal(),
+            ProcessCondition::new(-90.0, 0.95),
+            ProcessCondition::new(45.0, 1.08),
+        ] {
+            let a = model.predict_aerial_at_condition(&mask, &condition);
+            let b = restored.predict_aerial_at_condition(&mask, &condition);
+            assert!(a.zip_map(&b, |x, y| (x - y).abs()).max() < 1e-12);
+        }
+
+        // A conditioned checkpoint never loads into a nominal model (and
+        // vice versa): the input semantics differ.
+        let mut nominal_model = NithoModel::new(fast_nitho_config(), &optics);
+        let err = nominal_model
+            .load_parameters(&path)
+            .expect_err("conditioned checkpoint into nominal model");
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

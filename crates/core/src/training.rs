@@ -1,7 +1,7 @@
 //! Training configuration and reports for the Nitho forward training
 //! procedure (Algorithm 1).
 
-use crate::encoding::PositionalEncoding;
+use crate::encoding::{ConditionEncoding, PositionalEncoding};
 
 /// Hyper-parameters of a [`NithoModel`](crate::NithoModel).
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +17,13 @@ pub struct NithoConfig {
     pub hidden_blocks: usize,
     /// Positional encoding applied to kernel coordinates.
     pub encoding: PositionalEncoding,
+    /// Process-window conditioning: when set, the neural field additionally
+    /// takes the encoded `(defocus, dose)` condition as input and can be
+    /// trained across a focus × dose grid
+    /// ([`NithoModel::train_process_window`](crate::NithoModel::train_process_window)).
+    /// `None` keeps the paper's nominal-only model (and its checkpoint
+    /// fingerprint).
+    pub condition: Option<ConditionEncoding>,
     /// Output resolution used while training. `None` picks the smallest
     /// power of two that comfortably contains the kernel grid — the
     /// "hierarchical" fast path; the loss is mathematically identical to
@@ -40,6 +47,7 @@ impl Default for NithoConfig {
             hidden_dim: 64,
             hidden_blocks: 2,
             encoding: PositionalEncoding::default(),
+            condition: None,
             training_resolution: None,
             epochs: 60,
             batch_size: 4,
@@ -85,6 +93,14 @@ impl NithoConfig {
         assert!(self.epochs > 0, "epoch count must be positive");
         assert!(self.batch_size > 0, "batch size must be positive");
         assert!(self.learning_rate > 0.0, "learning rate must be positive");
+        if let Some(condition) = &self.condition {
+            condition.validate();
+        }
+    }
+
+    /// `true` when the model takes a process condition as input.
+    pub fn is_conditioned(&self) -> bool {
+        self.condition.is_some()
     }
 }
 

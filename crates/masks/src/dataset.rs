@@ -5,7 +5,7 @@
 //! benchmarks were labelled by lithosim / Calibre (Table II).
 
 use litho_math::{DeterministicRng, RealMatrix};
-use litho_optics::HopkinsSimulator;
+use litho_optics::{HopkinsSimulator, ProcessCondition};
 
 use crate::generators::{self, GeneratorConfig};
 
@@ -218,6 +218,146 @@ impl Dataset {
     }
 }
 
+/// A process-window training corpus: one shared mask set, labelled by the
+/// rigorous simulator at every condition of a focus × dose grid.
+///
+/// All conditions see the *same* masks (the realistic focus-exposure-matrix
+/// setup: one layout, many exposures), so a conditioned model can attribute
+/// every label difference to the condition alone. Simulators are rebuilt once
+/// per unique defocus; dose variants reuse the defocus group's aerial images
+/// and only re-develop the resist (dose never changes the normalized aerial).
+#[derive(Debug, Clone, Default)]
+pub struct ProcessDataset {
+    name: String,
+    groups: Vec<(ProcessCondition, Dataset)>,
+}
+
+impl ProcessDataset {
+    /// Generates `count` masks of the given family and labels them at every
+    /// condition (in the given order), using the nominal simulator's
+    /// geometry. The nominal `simulator` itself is reused for any condition
+    /// at best focus and unit dose.
+    pub fn generate(
+        kind: DatasetKind,
+        count: usize,
+        simulator: &HopkinsSimulator,
+        conditions: &[ProcessCondition],
+        seed: u64,
+    ) -> Self {
+        assert!(
+            !conditions.is_empty(),
+            "need at least one process condition"
+        );
+        let optics = simulator.config();
+        let generator_config = GeneratorConfig::new(optics.tile_px, optics.pixel_nm);
+        let mut rng = DeterministicRng::new(seed);
+        let masks: Vec<RealMatrix> = (0..count)
+            .map(|_| {
+                let layout = match kind {
+                    DatasetKind::B1 => generators::iccad_clip(&generator_config, &mut rng),
+                    DatasetKind::B1Opc => {
+                        let base = generators::iccad_clip(&generator_config, &mut rng);
+                        generators::apply_opc(&base, &generator_config, &mut rng)
+                    }
+                    DatasetKind::B2Metal => generators::metal_layer(&generator_config, &mut rng),
+                    DatasetKind::B2Via => generators::via_layer(&generator_config, &mut rng),
+                };
+                layout.rasterize()
+            })
+            .collect();
+
+        // One simulator (and one aerial pass) per unique defocus; dose
+        // variants share the aerials and differ only in development.
+        let mut defocus_cache: Vec<(f64, HopkinsSimulator, Vec<RealMatrix>)> = Vec::new();
+        let mut groups = Vec::with_capacity(conditions.len());
+        for condition in conditions {
+            condition.validate();
+            let cache_idx = match defocus_cache
+                .iter()
+                .position(|(f, _, _)| *f == condition.defocus_nm)
+            {
+                Some(idx) => idx,
+                None => {
+                    let sim = simulator.at_condition(&ProcessCondition {
+                        defocus_nm: condition.defocus_nm,
+                        dose: 1.0,
+                    });
+                    let aerials = masks.iter().map(|m| sim.aerial_image(m)).collect();
+                    defocus_cache.push((condition.defocus_nm, sim, aerials));
+                    defocus_cache.len() - 1
+                }
+            };
+            let (_, sim, aerials) = &defocus_cache[cache_idx];
+            let resist =
+                litho_optics::ResistModel::with_dose(sim.config().resist_threshold, condition.dose);
+            let mut dataset = Dataset::new(&format!("{}@{condition}", kind.alias()));
+            for (mask, aerial) in masks.iter().zip(aerials) {
+                dataset.push(LithoSample {
+                    mask: mask.clone(),
+                    aerial: aerial.clone(),
+                    resist: resist.develop(aerial),
+                });
+            }
+            groups.push((*condition, dataset));
+        }
+        Self {
+            name: kind.alias().to_owned(),
+            groups,
+        }
+    }
+
+    /// Dataset family name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-condition groups, in generation order.
+    pub fn groups(&self) -> &[(ProcessCondition, Dataset)] {
+        &self.groups
+    }
+
+    /// Number of conditions.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` when there are no condition groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The group labelled at `condition`, if present.
+    pub fn group(&self, condition: &ProcessCondition) -> Option<&Dataset> {
+        self.groups
+            .iter()
+            .find(|(c, _)| c == condition)
+            .map(|(_, d)| d)
+    }
+
+    /// Splits every condition group into `(train, test)` with the same
+    /// fraction (see [`Dataset::split`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Dataset::split`].
+    pub fn split(&self, train_fraction: f64) -> (ProcessDataset, ProcessDataset) {
+        let mut train = ProcessDataset {
+            name: format!("{}-train", self.name),
+            groups: Vec::with_capacity(self.groups.len()),
+        };
+        let mut test = ProcessDataset {
+            name: format!("{}-test", self.name),
+            groups: Vec::with_capacity(self.groups.len()),
+        };
+        for (condition, dataset) in &self.groups {
+            let (tr, te) = dataset.split(train_fraction);
+            train.groups.push((*condition, tr));
+            test.groups.push((*condition, te));
+        }
+        (train, test)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,5 +458,48 @@ mod tests {
         let sim = small_simulator();
         let dataset = Dataset::generate(DatasetKind::B1, 4, &sim, 1);
         let _ = dataset.split(1.0);
+    }
+
+    #[test]
+    fn process_dataset_shares_masks_and_varies_labels() {
+        let sim = small_simulator();
+        let conditions = [
+            ProcessCondition::nominal(),
+            ProcessCondition::new(120.0, 1.0),
+            ProcessCondition::new(0.0, 1.3),
+        ];
+        let pd = ProcessDataset::generate(DatasetKind::B1, 3, &sim, &conditions, 9);
+        assert_eq!(pd.len(), 3);
+        assert!(!pd.is_empty());
+        assert_eq!(pd.name(), "B1");
+        let nominal = pd.group(&conditions[0]).expect("nominal group");
+        let defocused = pd.group(&conditions[1]).expect("defocused group");
+        let dosed = pd.group(&conditions[2]).expect("dosed group");
+        assert_eq!(nominal.len(), 3);
+        for i in 0..3 {
+            // Same masks everywhere.
+            assert_eq!(nominal.samples()[i].mask, defocused.samples()[i].mask);
+            assert_eq!(nominal.samples()[i].mask, dosed.samples()[i].mask);
+            // Defocus changes the aerial; dose does not.
+            let diff = nominal.samples()[i]
+                .aerial
+                .zip_map(&defocused.samples()[i].aerial, |a, b| (a - b).abs())
+                .max();
+            assert!(diff > 1e-6, "defocus must change the aerial");
+            assert_eq!(nominal.samples()[i].aerial, dosed.samples()[i].aerial);
+        }
+        // Overdose prints at least as much as nominal.
+        let printed = |d: &Dataset| d.samples().iter().map(|s| s.resist.sum()).sum::<f64>();
+        assert!(printed(dosed) >= printed(nominal));
+        // Nominal group matches the plain simulator labels exactly.
+        let (aerial, resist) = sim.simulate(&nominal.samples()[0].mask);
+        assert_eq!(nominal.samples()[0].aerial, aerial);
+        assert_eq!(nominal.samples()[0].resist, resist);
+        // Split preserves the grid structure.
+        let (train, test) = pd.split(0.67);
+        assert_eq!(train.len(), 3);
+        assert_eq!(train.groups()[0].1.len(), 2);
+        assert_eq!(test.groups()[0].1.len(), 1);
+        assert!(pd.group(&ProcessCondition::new(999.0, 1.0)).is_none());
     }
 }

@@ -22,6 +22,6 @@ pub mod generators;
 pub mod layout;
 
 pub use chip::{chip_mosaic, ChipLayout};
-pub use dataset::{Dataset, DatasetKind, LithoSample};
+pub use dataset::{Dataset, DatasetKind, LithoSample, ProcessDataset};
 pub use generators::GeneratorConfig;
 pub use layout::{Layout, Rect};

@@ -1,8 +1,16 @@
 //! Image-quality and segmentation metrics used throughout the paper's
 //! evaluation (Section II-B): MSE, PSNR and max error for aerial images,
-//! mIOU and mPA for resist images.
+//! mIOU and mPA for resist images — plus the process-window [`metrology`]
+//! module (CD, EPE, PVB).
 
 #![forbid(unsafe_code)]
+
+pub mod metrology;
+
+pub use metrology::{
+    cd_px, epe, epe_with_thresholds, printed_length, pvb_band, pvb_summary, threshold_segments,
+    Cutline, EpeStats, PvbSummary,
+};
 
 use litho_math::RealMatrix;
 

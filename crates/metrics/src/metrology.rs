@@ -1,0 +1,512 @@
+//! Process-window metrology: critical dimension (CD), edge-placement error
+//! (EPE) and process-variation band (PVB).
+//!
+//! These are the quantities fabs actually gate on. All three are defined on
+//! top of one primitive: the **sub-pixel super-level set** of a 1-D intensity
+//! profile. The profile samples are interpreted as a piecewise-linear
+//! function of the pixel coordinate; the segments where it meets or exceeds
+//! the development threshold are found by linear interpolation at each
+//! threshold crossing, so edge positions (and therefore CDs and EPEs) resolve
+//! to a fraction of a pixel.
+//!
+//! * **CD** — the width of the widest printed segment along a cutline.
+//!   Because the super-level set at a higher threshold is a subset of the one
+//!   at a lower threshold, both the total printed length and the widest
+//!   segment are monotone non-increasing in the threshold.
+//! * **EPE** — for every edge (segment endpoint) of a reference image's
+//!   cutline contour, the distance to the nearest edge of the prediction's
+//!   contour on the same cutline.
+//! * **PVB** — the set of pixels printed under *some but not all* conditions
+//!   of a resist stack; its area is the standard scalar summary of
+//!   process-window robustness.
+
+use litho_math::RealMatrix;
+
+/// A metrology cutline through an image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cutline {
+    /// A horizontal cut along the given row.
+    Row(usize),
+    /// A vertical cut along the given column.
+    Col(usize),
+}
+
+impl Cutline {
+    /// The intensity profile of an image along this cutline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cutline lies outside the image.
+    pub fn profile(&self, image: &RealMatrix) -> Vec<f64> {
+        match *self {
+            Cutline::Row(row) => {
+                assert!(row < image.rows(), "cutline row {row} outside the image");
+                (0..image.cols()).map(|j| image[(row, j)]).collect()
+            }
+            Cutline::Col(col) => {
+                assert!(col < image.cols(), "cutline column {col} outside the image");
+                (0..image.rows()).map(|i| image[(i, col)]).collect()
+            }
+        }
+    }
+
+    /// The two center cutlines of an image (the default CD measurement
+    /// sites).
+    pub fn center(rows: usize, cols: usize) -> [Cutline; 2] {
+        [Cutline::Row(rows / 2), Cutline::Col(cols / 2)]
+    }
+}
+
+/// Segments (in sub-pixel coordinates) where the piecewise-linear
+/// interpolation of `profile` meets or exceeds `threshold`, as half-open
+/// `(start, end)` pairs with `start < end` ordered left to right.
+///
+/// Degenerate touch points (a single sample equal to the threshold with both
+/// neighbors below) produce zero-width segments and are dropped.
+///
+/// # Panics
+///
+/// Panics if the profile is empty or contains non-finite values.
+pub fn threshold_segments(profile: &[f64], threshold: f64) -> Vec<(f64, f64)> {
+    assert!(!profile.is_empty(), "profile cannot be empty");
+    assert!(
+        profile.iter().all(|v| v.is_finite()),
+        "profile must be finite"
+    );
+    let above = |v: f64| v >= threshold;
+    let mut segments = Vec::new();
+    let mut start = above(profile[0]).then_some(0.0);
+    for i in 0..profile.len().saturating_sub(1) {
+        let (a, b) = (profile[i], profile[i + 1]);
+        if above(a) == above(b) {
+            continue;
+        }
+        // Exactly one crossing on this interval; linear interpolation puts it
+        // at the sub-pixel coordinate x.
+        let x = i as f64 + (threshold - a) / (b - a);
+        if above(a) {
+            let s = start.take().expect("open segment at a falling edge");
+            if x > s {
+                segments.push((s, x));
+            }
+        } else {
+            start = Some(x);
+        }
+    }
+    if let Some(s) = start {
+        let end = (profile.len() - 1) as f64;
+        if end > s {
+            segments.push((s, end));
+        }
+    }
+    segments
+}
+
+/// Total printed length along a profile (sum of segment widths, in pixels).
+pub fn printed_length(profile: &[f64], threshold: f64) -> f64 {
+    threshold_segments(profile, threshold)
+        .iter()
+        .map(|(s, e)| e - s)
+        .sum()
+}
+
+/// Critical dimension along a cutline: the width (in pixels) of the widest
+/// segment at or above the threshold, or `None` when nothing prints on the
+/// cutline.
+///
+/// # Panics
+///
+/// Panics if the cutline lies outside the image.
+pub fn cd_px(image: &RealMatrix, cutline: Cutline, threshold: f64) -> Option<f64> {
+    threshold_segments(&cutline.profile(image), threshold)
+        .iter()
+        .map(|(s, e)| e - s)
+        .fold(None, |acc: Option<f64>, w| {
+            Some(acc.map_or(w, |best| best.max(w)))
+        })
+}
+
+/// Edge-placement-error statistics over a set of cutlines.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EpeStats {
+    /// Mean absolute edge displacement in pixels.
+    pub mean_abs_px: f64,
+    /// Largest absolute edge displacement in pixels.
+    pub max_abs_px: f64,
+    /// Number of reference edges that found a counterpart.
+    pub matched_edges: usize,
+    /// Number of reference edges with no predicted edge on their cutline.
+    pub unmatched_edges: usize,
+}
+
+/// Edge positions (sub-pixel) of a profile's threshold contour.
+fn edge_positions(profile: &[f64], threshold: f64) -> Vec<f64> {
+    let mut edges = Vec::new();
+    for (s, e) in threshold_segments(profile, threshold) {
+        edges.push(s);
+        edges.push(e);
+    }
+    edges
+}
+
+/// Edge-placement error of `prediction` against `reference` along the given
+/// cutlines: every reference edge is matched to the nearest predicted edge on
+/// the same cutline.
+///
+/// Identical images yield exactly zero (`EPE(x, x) == 0`). Reference edges on
+/// cutlines where the prediction prints nothing are counted as unmatched and
+/// excluded from the displacement statistics.
+///
+/// # Panics
+///
+/// Panics if the image shapes differ or a cutline lies outside the images.
+pub fn epe(
+    reference: &RealMatrix,
+    prediction: &RealMatrix,
+    cutlines: &[Cutline],
+    threshold: f64,
+) -> EpeStats {
+    epe_with_thresholds(reference, threshold, prediction, threshold, cutlines)
+}
+
+/// [`epe`] with independent development thresholds for the two images — the
+/// process-window case, where a dose change shifts the prediction's
+/// effective threshold while the reference contour stays at nominal dose.
+///
+/// # Panics
+///
+/// Panics if the image shapes differ or a cutline lies outside the images.
+pub fn epe_with_thresholds(
+    reference: &RealMatrix,
+    reference_threshold: f64,
+    prediction: &RealMatrix,
+    prediction_threshold: f64,
+    cutlines: &[Cutline],
+) -> EpeStats {
+    assert_eq!(
+        reference.shape(),
+        prediction.shape(),
+        "shape mismatch in epe"
+    );
+    let mut stats = EpeStats::default();
+    let mut sum_abs = 0.0;
+    for &cutline in cutlines {
+        let ref_edges = edge_positions(&cutline.profile(reference), reference_threshold);
+        let pred_edges = edge_positions(&cutline.profile(prediction), prediction_threshold);
+        for re in ref_edges {
+            let nearest = pred_edges
+                .iter()
+                .map(|pe| (pe - re).abs())
+                .fold(None, |acc: Option<f64>, d| {
+                    Some(acc.map_or(d, |best| best.min(d)))
+                });
+            match nearest {
+                Some(d) => {
+                    stats.matched_edges += 1;
+                    sum_abs += d;
+                    stats.max_abs_px = stats.max_abs_px.max(d);
+                }
+                None => stats.unmatched_edges += 1,
+            }
+        }
+    }
+    if stats.matched_edges > 0 {
+        stats.mean_abs_px = sum_abs / stats.matched_edges as f64;
+    }
+    stats
+}
+
+/// Summary of a process-variation band.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PvbSummary {
+    /// Number of pixels printed under at least one condition.
+    pub union_px: f64,
+    /// Number of pixels printed under every condition.
+    pub intersection_px: f64,
+    /// Band area: pixels printed under some but not all conditions.
+    pub area_px: f64,
+    /// Band area as a fraction of the image.
+    pub area_fraction: f64,
+}
+
+/// The process-variation band of a stack of binary resist images (one per
+/// process condition, all the same shape): 1 where the condition stack
+/// disagrees (printed somewhere, not everywhere), 0 elsewhere. Images are
+/// treated as binary with a 0.5 cut, like the other resist metrics.
+///
+/// # Panics
+///
+/// Panics if the stack is empty or the shapes differ.
+pub fn pvb_band(stack: &[RealMatrix]) -> RealMatrix {
+    assert!(!stack.is_empty(), "PVB needs at least one resist image");
+    let shape = stack[0].shape();
+    for image in stack {
+        assert_eq!(image.shape(), shape, "shape mismatch in PVB stack");
+    }
+    RealMatrix::from_fn(shape.0, shape.1, |i, j| {
+        let mut any = false;
+        let mut all = true;
+        for image in stack {
+            let printed = image[(i, j)] >= 0.5;
+            any |= printed;
+            all &= printed;
+        }
+        if any && !all {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Computes the [`PvbSummary`] of a resist stack (see [`pvb_band`]).
+///
+/// A single-condition stack always has zero band area.
+///
+/// # Panics
+///
+/// Panics if the stack is empty or the shapes differ.
+pub fn pvb_summary(stack: &[RealMatrix]) -> PvbSummary {
+    assert!(!stack.is_empty(), "PVB needs at least one resist image");
+    let shape = stack[0].shape();
+    for image in stack {
+        assert_eq!(image.shape(), shape, "shape mismatch in PVB stack");
+    }
+    let mut union = 0usize;
+    let mut intersection = 0usize;
+    let total = shape.0 * shape.1;
+    for i in 0..shape.0 {
+        for j in 0..shape.1 {
+            let mut any = false;
+            let mut all = true;
+            for image in stack {
+                let printed = image[(i, j)] >= 0.5;
+                any |= printed;
+                all &= printed;
+            }
+            union += usize::from(any);
+            intersection += usize::from(all);
+        }
+    }
+    let area = (union - intersection) as f64;
+    PvbSummary {
+        union_px: union as f64,
+        intersection_px: intersection as f64,
+        area_px: area,
+        area_fraction: if total > 0 { area / total as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A trapezoidal line profile: ramps 0 → 1 → 0 around a plateau.
+    fn trapezoid(n: usize, left: f64, right: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64;
+                if x < left - 2.0 || x > right + 2.0 {
+                    0.0
+                } else if x < left {
+                    (x - (left - 2.0)) / 2.0
+                } else if x <= right {
+                    1.0
+                } else {
+                    ((right + 2.0) - x) / 2.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn segments_interpolate_subpixel_edges() {
+        // Profile crosses 0.5 exactly halfway between samples 1-2 and 4-5.
+        let profile = [0.0, 0.0, 1.0, 1.0, 1.0, 0.0];
+        let segments = threshold_segments(&profile, 0.5);
+        assert_eq!(segments.len(), 1);
+        let (s, e) = segments[0];
+        assert!((s - 1.5).abs() < 1e-12, "start {s}");
+        assert!((e - 4.5).abs() < 1e-12, "end {e}");
+        assert!((printed_length(&profile, 0.5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segments_handle_boundary_plateaus() {
+        // Profile already above threshold at both ends.
+        let profile = [1.0, 0.0, 1.0];
+        let segments = threshold_segments(&profile, 0.5);
+        assert_eq!(segments.len(), 2);
+        assert!((segments[0].0 - 0.0).abs() < 1e-12);
+        assert!((segments[0].1 - 0.5).abs() < 1e-12);
+        assert!((segments[1].0 - 1.5).abs() < 1e-12);
+        assert!((segments[1].1 - 2.0).abs() < 1e-12);
+        // Fully-below and fully-above profiles.
+        assert!(threshold_segments(&[0.1, 0.2], 0.5).is_empty());
+        assert_eq!(threshold_segments(&[0.9, 0.8], 0.5), vec![(0.0, 1.0)]);
+    }
+
+    #[test]
+    fn cd_measures_the_widest_feature() {
+        let n = 32;
+        let profile = trapezoid(n, 10.0, 20.0);
+        let image = RealMatrix::from_fn(4, n, |_, j| profile[j]);
+        // At threshold 0.5 the ramps cross one pixel outside the plateau.
+        let cd = cd_px(&image, Cutline::Row(1), 0.5).expect("feature prints");
+        assert!((cd - 12.0).abs() < 1e-9, "cd {cd}");
+        // Higher threshold → narrower line.
+        let tight = cd_px(&image, Cutline::Row(1), 0.9).expect("feature prints");
+        assert!(tight < cd);
+        // A dark cutline measures nothing.
+        let dark = RealMatrix::zeros(4, 4);
+        assert_eq!(cd_px(&dark, Cutline::Col(2), 0.5), None);
+    }
+
+    #[test]
+    fn cutline_profiles_and_centers() {
+        let image = RealMatrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        assert_eq!(Cutline::Row(1).profile(&image), vec![4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(Cutline::Col(2).profile(&image), vec![2.0, 6.0, 10.0]);
+        assert_eq!(Cutline::center(3, 4), [Cutline::Row(1), Cutline::Col(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the image")]
+    fn out_of_range_cutline_panics() {
+        let _ = Cutline::Row(9).profile(&RealMatrix::zeros(4, 4));
+    }
+
+    #[test]
+    fn epe_of_identical_images_is_zero() {
+        let n = 32;
+        let profile = trapezoid(n, 8.0, 18.0);
+        let image = RealMatrix::from_fn(n, n, |_, j| profile[j]);
+        let cutlines = Cutline::center(n, n);
+        let stats = epe(&image, &image, &cutlines, 0.5);
+        assert_eq!(stats.mean_abs_px, 0.0);
+        assert_eq!(stats.max_abs_px, 0.0);
+        assert!(stats.matched_edges > 0);
+        assert_eq!(stats.unmatched_edges, 0);
+    }
+
+    #[test]
+    fn epe_measures_a_known_shift() {
+        let n = 32;
+        let reference_profile = trapezoid(n, 10.0, 20.0);
+        let shifted_profile = trapezoid(n, 11.0, 21.0);
+        let reference = RealMatrix::from_fn(4, n, |_, j| reference_profile[j]);
+        let shifted = RealMatrix::from_fn(4, n, |_, j| shifted_profile[j]);
+        let stats = epe(&reference, &shifted, &[Cutline::Row(2)], 0.5);
+        assert_eq!(stats.matched_edges, 2);
+        assert!((stats.mean_abs_px - 1.0).abs() < 1e-9, "{stats:?}");
+        assert!((stats.max_abs_px - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epe_counts_unmatched_edges() {
+        let n = 32;
+        let profile = trapezoid(n, 10.0, 20.0);
+        let reference = RealMatrix::from_fn(4, n, |_, j| profile[j]);
+        let dark = RealMatrix::zeros(4, n);
+        let stats = epe(&reference, &dark, &[Cutline::Row(2)], 0.5);
+        assert_eq!(stats.matched_edges, 0);
+        assert_eq!(stats.unmatched_edges, 2);
+        assert_eq!(stats.mean_abs_px, 0.0);
+    }
+
+    #[test]
+    fn pvb_band_flags_disagreement_only() {
+        let a = RealMatrix::from_fn(4, 4, |_, j| if j < 2 { 1.0 } else { 0.0 });
+        let b = RealMatrix::from_fn(4, 4, |_, j| if j < 3 { 1.0 } else { 0.0 });
+        let band = pvb_band(&[a.clone(), b.clone()]);
+        // Only column 2 differs.
+        assert_eq!(band.sum(), 4.0);
+        assert!(band.iter().all(|&v| v == 0.0 || v == 1.0));
+        let summary = pvb_summary(&[a, b]);
+        assert_eq!(summary.union_px, 12.0);
+        assert_eq!(summary.intersection_px, 8.0);
+        assert_eq!(summary.area_px, 4.0);
+        assert!((summary.area_fraction - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resist image")]
+    fn empty_pvb_stack_panics() {
+        let _ = pvb_summary(&[]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_cd_monotone_nonincreasing_in_threshold(seed in 0u64..500, t1 in 0.2..0.5f64, dt in 0.0..0.4f64) {
+            let mut rng = litho_math::DeterministicRng::new(seed);
+            let image = RealMatrix::from_fn(8, 24, |_, _| rng.uniform(0.0, 1.0));
+            let t2 = t1 + dt;
+            for cutline in [Cutline::Row(3), Cutline::Col(11)] {
+                let wide = cd_px(&image, cutline, t1);
+                let tight = cd_px(&image, cutline, t2);
+                // The super-level set shrinks, so the widest segment and the
+                // printed length can only shrink (or vanish).
+                match (wide, tight) {
+                    (Some(w), Some(t)) => prop_assert!(t <= w + 1e-12),
+                    (None, Some(_)) => prop_assert!(false, "feature appeared at a higher threshold"),
+                    _ => {}
+                }
+                let profile = cutline.profile(&image);
+                prop_assert!(printed_length(&profile, t2) <= printed_length(&profile, t1) + 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_epe_self_is_zero(seed in 0u64..200) {
+            let mut rng = litho_math::DeterministicRng::new(seed);
+            let image = RealMatrix::from_fn(12, 12, |_, _| rng.uniform(0.0, 1.0));
+            let cutlines: Vec<Cutline> = (0..12).map(Cutline::Row).chain((0..12).map(Cutline::Col)).collect();
+            let stats = epe(&image, &image, &cutlines, 0.45);
+            prop_assert_eq!(stats.mean_abs_px, 0.0);
+            prop_assert_eq!(stats.max_abs_px, 0.0);
+            prop_assert_eq!(stats.unmatched_edges, 0);
+        }
+
+        #[test]
+        fn prop_pvb_nonnegative_and_zero_for_single_stack(seed in 0u64..200, conditions in 1usize..5) {
+            let mut rng = litho_math::DeterministicRng::new(seed);
+            let stack: Vec<RealMatrix> = (0..conditions)
+                .map(|_| RealMatrix::from_fn(6, 6, |_, _| rng.uniform(0.0, 1.0)).threshold(0.5))
+                .collect();
+            let summary = pvb_summary(&stack);
+            prop_assert!(summary.area_px >= 0.0);
+            prop_assert!(summary.area_fraction >= 0.0 && summary.area_fraction <= 1.0);
+            prop_assert!(summary.intersection_px <= summary.union_px);
+            // The band image and the scalar summary agree.
+            prop_assert_eq!(pvb_band(&stack).sum(), summary.area_px);
+            if conditions == 1 {
+                prop_assert_eq!(summary.area_px, 0.0);
+            }
+        }
+
+        #[test]
+        fn prop_segments_partition_profile(seed in 0u64..200, t in 0.1..0.9f64) {
+            let mut rng = litho_math::DeterministicRng::new(seed);
+            let profile: Vec<f64> = (0..16).map(|_| rng.uniform(0.0, 1.0)).collect();
+            let segments = threshold_segments(&profile, t);
+            let span = (profile.len() - 1) as f64;
+            let mut previous_end = 0.0;
+            for (s, e) in &segments {
+                prop_assert!(*s >= previous_end - 1e-12);
+                prop_assert!(e > s);
+                prop_assert!(*s >= 0.0 && *e <= span + 1e-12);
+                previous_end = *e;
+            }
+            // Every sample at or above the threshold lies inside a segment.
+            for (i, &v) in profile.iter().enumerate() {
+                if v >= t {
+                    let x = i as f64;
+                    prop_assert!(segments.iter().any(|(s, e)| *s <= x && x <= *e));
+                }
+            }
+        }
+    }
+}

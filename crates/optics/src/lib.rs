@@ -15,8 +15,11 @@
 //!   image synthesis (Eq. (4)).
 //! * [`abbe`] — direct Abbe source-point summation, used as an independent
 //!   cross-check of the TCC/SOCS path.
-//! * [`resist`] — constant-threshold resist development model.
-//! * [`HopkinsSimulator`] — the end-to-end mask → aerial → resist pipeline.
+//! * [`resist`] — constant-threshold resist development model with dose
+//!   scaling.
+//! * [`process`] — defocus/dose process-window conditions and grids.
+//! * [`HopkinsSimulator`] — the end-to-end mask → aerial → resist pipeline,
+//!   rebuildable per process condition.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@
 
 pub mod abbe;
 pub mod config;
+pub mod process;
 pub mod pupil;
 pub mod resist;
 pub mod simulator;
@@ -51,6 +55,7 @@ pub mod source;
 pub mod tcc;
 
 pub use config::{KernelDims, OpticalConfig, OpticalConfigBuilder};
+pub use process::{ProcessCondition, ProcessWindow};
 pub use resist::ResistModel;
 pub use simulator::HopkinsSimulator;
 pub use socs::SocsKernels;

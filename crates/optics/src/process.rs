@@ -1,0 +1,267 @@
+//! Process-window conditions: defocus and exposure dose.
+//!
+//! A lithographic process never runs exactly at best focus and nominal dose —
+//! the *process window* is the region of (defocus, dose) space over which a
+//! layout still prints within specification. This module provides the
+//! [`ProcessCondition`] perturbation type shared by the rigorous simulator
+//! (which rebuilds its TCC/SOCS stack per condition), the conditioned Nitho
+//! neural field (which takes the condition as an extra network input) and the
+//! serving layer's `/v1/process_window` endpoint.
+//!
+//! Physics:
+//!
+//! * **Defocus** `Δz` enters the pupil as the paraxial phase
+//!   `exp(iπ·Δz·NA²·ρ²/λ)` (see [`crate::pupil::Pupil::transmission`]) and
+//!   therefore changes the optical kernels themselves.
+//! * **Dose** `d` scales the delivered intensity, `I_exposed = d·I`. With a
+//!   constant-threshold resist this is exactly equivalent to dividing the
+//!   development threshold by the dose: `H(d·I − t) = H(I − t/d)`, which is
+//!   how [`crate::resist::ResistModel`] implements it. Dose never changes the
+//!   (clear-field-normalized) aerial image.
+
+/// One point of the process window: absolute defocus and relative dose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessCondition {
+    /// Defocus in nanometres (0 = best focus).
+    pub defocus_nm: f64,
+    /// Relative exposure dose (1 = nominal; must be positive).
+    pub dose: f64,
+}
+
+impl ProcessCondition {
+    /// Creates a condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is non-finite or the dose is not positive.
+    pub fn new(defocus_nm: f64, dose: f64) -> Self {
+        let condition = Self { defocus_nm, dose };
+        condition.validate();
+        condition
+    }
+
+    /// The nominal process point: best focus, unit dose.
+    pub fn nominal() -> Self {
+        Self {
+            defocus_nm: 0.0,
+            dose: 1.0,
+        }
+    }
+
+    /// `true` when this is exactly the nominal point.
+    pub fn is_nominal(&self) -> bool {
+        self.defocus_nm == 0.0 && self.dose == 1.0
+    }
+
+    /// Validates the condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is non-finite or the dose is not positive.
+    pub fn validate(&self) {
+        assert!(
+            self.defocus_nm.is_finite(),
+            "defocus must be finite, got {}",
+            self.defocus_nm
+        );
+        assert!(
+            self.dose.is_finite() && self.dose > 0.0,
+            "dose must be positive and finite, got {}",
+            self.dose
+        );
+    }
+}
+
+impl Default for ProcessCondition {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+impl std::fmt::Display for ProcessCondition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Δz={}nm d={}", self.defocus_nm, self.dose)
+    }
+}
+
+/// A rectangular focus × dose grid of process conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessWindow {
+    focus_nm: Vec<f64>,
+    dose: Vec<f64>,
+}
+
+impl ProcessWindow {
+    /// Builds a window from explicit focus and dose axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty, any value is non-finite, or any dose
+    /// is not positive.
+    pub fn new(focus_nm: Vec<f64>, dose: Vec<f64>) -> Self {
+        assert!(
+            !focus_nm.is_empty() && !dose.is_empty(),
+            "process window axes cannot be empty"
+        );
+        for &f in &focus_nm {
+            assert!(f.is_finite(), "defocus must be finite, got {f}");
+        }
+        for &d in &dose {
+            assert!(
+                d.is_finite() && d > 0.0,
+                "dose must be positive and finite, got {d}"
+            );
+        }
+        Self { focus_nm, dose }
+    }
+
+    /// A symmetric window: `focus_steps` focus values spanning
+    /// `±focus_half_range_nm` and `dose_steps` dose values spanning
+    /// `1 ± dose_half_range`, both including the nominal point when the step
+    /// count is odd.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either step count is zero or the dose half-range reaches 1.
+    pub fn symmetric(
+        focus_half_range_nm: f64,
+        focus_steps: usize,
+        dose_half_range: f64,
+        dose_steps: usize,
+    ) -> Self {
+        assert!(
+            focus_steps > 0 && dose_steps > 0,
+            "process window needs at least one step per axis"
+        );
+        assert!(
+            (0.0..1.0).contains(&dose_half_range),
+            "dose half-range must lie in [0, 1)"
+        );
+        let axis = |half: f64, steps: usize, center: f64| -> Vec<f64> {
+            if steps == 1 {
+                return vec![center];
+            }
+            (0..steps)
+                .map(|i| center - half + 2.0 * half * i as f64 / (steps - 1) as f64)
+                .collect()
+        };
+        Self::new(
+            axis(focus_half_range_nm, focus_steps, 0.0),
+            axis(dose_half_range, dose_steps, 1.0),
+        )
+    }
+
+    /// The focus axis in nanometres.
+    pub fn focus_nm(&self) -> &[f64] {
+        &self.focus_nm
+    }
+
+    /// The dose axis.
+    pub fn dose(&self) -> &[f64] {
+        &self.dose
+    }
+
+    /// Grid shape `(focus_steps, dose_steps)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.focus_nm.len(), self.dose.len())
+    }
+
+    /// Number of conditions in the grid.
+    pub fn len(&self) -> usize {
+        self.focus_nm.len() * self.dose.len()
+    }
+
+    /// `true` when the grid is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All conditions in row-major order (focus outer, dose inner) — the
+    /// canonical traversal order used by training, serving and benches.
+    pub fn conditions(&self) -> Vec<ProcessCondition> {
+        let mut out = Vec::with_capacity(self.len());
+        for &f in &self.focus_nm {
+            for &d in &self.dose {
+                out.push(ProcessCondition {
+                    defocus_nm: f,
+                    dose: d,
+                });
+            }
+        }
+        out
+    }
+
+    /// `true` when the grid contains the nominal point.
+    pub fn contains_nominal(&self) -> bool {
+        self.focus_nm.contains(&0.0) && self.dose.contains(&1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_condition() {
+        let nominal = ProcessCondition::nominal();
+        assert!(nominal.is_nominal());
+        assert_eq!(nominal, ProcessCondition::default());
+        assert_eq!(nominal, ProcessCondition::new(0.0, 1.0));
+        assert!(!ProcessCondition::new(50.0, 1.0).is_nominal());
+        assert!(!ProcessCondition::new(0.0, 1.05).is_nominal());
+        assert_eq!(nominal.to_string(), "Δz=0nm d=1");
+    }
+
+    #[test]
+    #[should_panic(expected = "dose must be positive")]
+    fn zero_dose_panics() {
+        let _ = ProcessCondition::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "defocus must be finite")]
+    fn nan_defocus_panics() {
+        let _ = ProcessCondition::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn symmetric_window_includes_nominal_for_odd_steps() {
+        let window = ProcessWindow::symmetric(60.0, 3, 0.05, 3);
+        assert_eq!(window.shape(), (3, 3));
+        assert_eq!(window.len(), 9);
+        assert!(!window.is_empty());
+        assert!(window.contains_nominal());
+        assert_eq!(window.focus_nm(), &[-60.0, 0.0, 60.0]);
+        let doses = window.dose();
+        assert!((doses[0] - 0.95).abs() < 1e-12);
+        assert!((doses[1] - 1.0).abs() < 1e-12);
+        assert!((doses[2] - 1.05).abs() < 1e-12);
+        let conditions = window.conditions();
+        assert_eq!(conditions.len(), 9);
+        // Row-major: focus outer, dose inner.
+        assert_eq!(conditions[0].defocus_nm, -60.0);
+        assert!((conditions[0].dose - 0.95).abs() < 1e-12);
+        assert_eq!(conditions[4], ProcessCondition::nominal());
+    }
+
+    #[test]
+    fn single_step_axes_collapse_to_center() {
+        let window = ProcessWindow::symmetric(100.0, 1, 0.1, 1);
+        assert_eq!(window.conditions(), vec![ProcessCondition::nominal()]);
+    }
+
+    #[test]
+    fn explicit_axes_are_preserved() {
+        let window = ProcessWindow::new(vec![0.0, 80.0], vec![1.0]);
+        assert_eq!(window.shape(), (2, 1));
+        assert!(window.contains_nominal());
+        let off = ProcessWindow::new(vec![40.0], vec![0.9]);
+        assert!(!off.contains_nominal());
+    }
+
+    #[test]
+    #[should_panic(expected = "axes cannot be empty")]
+    fn empty_axis_panics() {
+        let _ = ProcessWindow::new(vec![], vec![1.0]);
+    }
+}

@@ -5,6 +5,11 @@
 //! A light Gaussian acid-diffusion blur can be enabled to mimic chemically
 //! amplified resists; it defaults to off, matching the paper's constant
 //! threshold model.
+//!
+//! Exposure dose `d` scales the delivered intensity, `I_exposed = d·I`. With
+//! a constant threshold this commutes with development,
+//! `H(d·I − t) = H(I − t/d)`, so the model folds the dose into an *effective
+//! threshold* `t/d` and aerial images stay clear-field-normalized.
 
 use litho_fft::{fft2_real, ifft2};
 use litho_math::{Complex64, ComplexMatrix, RealMatrix};
@@ -14,10 +19,11 @@ use litho_math::{Complex64, ComplexMatrix, RealMatrix};
 pub struct ResistModel {
     threshold: f64,
     diffusion_sigma_px: f64,
+    dose: f64,
 }
 
 impl ResistModel {
-    /// Creates a constant-threshold model (no diffusion).
+    /// Creates a constant-threshold model (no diffusion, nominal dose).
     ///
     /// # Panics
     ///
@@ -44,12 +50,51 @@ impl ResistModel {
         Self {
             threshold,
             diffusion_sigma_px,
+            dose: 1.0,
         }
     }
 
-    /// The development threshold relative to clear-field intensity.
+    /// Creates a constant-threshold model at a relative exposure dose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not in `(0, 1)` or the dose is not positive
+    /// and finite.
+    pub fn with_dose(threshold: f64, dose: f64) -> Self {
+        Self::new(threshold).at_dose(dose)
+    }
+
+    /// Returns this model re-exposed at a relative dose (thresholds and
+    /// diffusion unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dose is not positive and finite.
+    pub fn at_dose(mut self, dose: f64) -> Self {
+        assert!(
+            dose.is_finite() && dose > 0.0,
+            "dose must be positive and finite"
+        );
+        self.dose = dose;
+        self
+    }
+
+    /// The development threshold relative to clear-field intensity at nominal
+    /// dose.
     pub fn threshold(&self) -> f64 {
         self.threshold
+    }
+
+    /// The relative exposure dose (1 = nominal).
+    pub fn dose(&self) -> f64 {
+        self.dose
+    }
+
+    /// The threshold actually applied to the clear-field-normalized aerial
+    /// image: `t/d` (dose scales the exposure, equivalently lowers the
+    /// threshold).
+    pub fn effective_threshold(&self) -> f64 {
+        self.threshold / self.dose
     }
 
     /// Develops an aerial image into a binary resist image (1 = resist
@@ -62,7 +107,7 @@ impl ResistModel {
         } else {
             aerial
         };
-        image.threshold(self.threshold)
+        image.threshold(self.effective_threshold())
     }
 }
 
@@ -143,6 +188,29 @@ mod tests {
         let _ = gaussian_blur(&RealMatrix::zeros(4, 4), 0.0);
     }
 
+    #[test]
+    fn dose_lowers_the_effective_threshold() {
+        let model = ResistModel::with_dose(0.3, 1.5);
+        assert_eq!(model.threshold(), 0.3);
+        assert_eq!(model.dose(), 1.5);
+        assert!((model.effective_threshold() - 0.2).abs() < 1e-15);
+        // Overdosing prints more, underdosing prints less.
+        let aerial = RealMatrix::from_vec(1, 3, vec![0.15, 0.25, 0.45]);
+        let nominal = ResistModel::new(0.3).develop(&aerial);
+        let over = ResistModel::with_dose(0.3, 1.5).develop(&aerial);
+        let under = ResistModel::with_dose(0.3, 0.7).develop(&aerial);
+        assert!(over.sum() >= nominal.sum());
+        assert!(under.sum() <= nominal.sum());
+        assert_eq!(over.as_slice(), &[0.0, 1.0, 1.0]);
+        assert_eq!(under.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dose must be positive")]
+    fn non_positive_dose_panics() {
+        let _ = ResistModel::with_dose(0.3, 0.0);
+    }
+
     proptest! {
         #[test]
         fn prop_develop_is_monotone_in_threshold(t1 in 0.1..0.45f64, t2 in 0.5..0.9f64) {
@@ -151,6 +219,35 @@ mod tests {
             let high = ResistModel::new(t2).develop(&aerial);
             // Raising the threshold can only shrink the printed region.
             prop_assert!(low.sum() >= high.sum());
+        }
+
+        #[test]
+        fn prop_dose_commutes_with_thresholding(dose in 0.5..2.0f64, t in 0.1..0.9f64, seed in 0u64..50) {
+            // resist(dose·I, t) == resist(I, t/dose): scaling the exposure is
+            // exactly an effective-threshold change. Pixels within float
+            // noise of the development boundary are excluded — there the two
+            // float expressions (d·v ≥ t vs v ≥ t/d) may legitimately round
+            // to opposite sides.
+            let mut rng = litho_math::DeterministicRng::new(seed);
+            let aerial = RealMatrix::from_fn(8, 8, |_, _| rng.uniform(0.0, 1.2));
+            let scaled = aerial.scale(dose);
+            let exposed = ResistModel::new(t).develop(&scaled);
+            let dosed = ResistModel::with_dose(t, dose).develop(&aerial);
+            for ((&a, &b), &v) in exposed.iter().zip(dosed.iter()).zip(aerial.iter()) {
+                if (v * dose - t).abs() > 1e-9 {
+                    prop_assert_eq!(a, b);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_dose_is_monotone_in_printed_area(d1 in 0.5..0.99f64, d2 in 1.01..2.0f64, seed in 0u64..50) {
+            let mut rng = litho_math::DeterministicRng::new(seed);
+            let aerial = RealMatrix::from_fn(8, 8, |_, _| rng.uniform(0.0, 1.0));
+            let low = ResistModel::with_dose(0.4, d1).develop(&aerial);
+            let high = ResistModel::with_dose(0.4, d2).develop(&aerial);
+            // More dose can only grow the printed region.
+            prop_assert!(high.sum() >= low.sum());
         }
     }
 }

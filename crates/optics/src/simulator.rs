@@ -9,6 +9,7 @@
 use litho_math::RealMatrix;
 
 use crate::config::{KernelDims, OpticalConfig};
+use crate::process::ProcessCondition;
 use crate::resist::ResistModel;
 use crate::socs::SocsKernels;
 use crate::source::SourceGrid;
@@ -46,6 +47,28 @@ impl HopkinsSimulator {
             socs,
             resist,
         }
+    }
+
+    /// Rebuilds the simulator at a process condition: the defocus replaces
+    /// the configured value (new pupil phase → new TCC → new SOCS kernels)
+    /// and the dose is folded into the resist model's effective threshold.
+    ///
+    /// This is the *rigorous* process-window path — a full TCC assembly and
+    /// eigendecomposition per condition — that the conditioned Nitho model is
+    /// benchmarked against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the condition is invalid (non-finite, non-positive dose).
+    pub fn at_condition(&self, condition: &ProcessCondition) -> Self {
+        condition.validate();
+        let config = OpticalConfig {
+            defocus_nm: condition.defocus_nm,
+            ..self.config.clone()
+        };
+        let mut simulator = Self::with_kernel_dims(&config, self.dims);
+        simulator.resist = ResistModel::with_dose(config.resist_threshold, condition.dose);
+        simulator
     }
 
     /// The optical configuration this simulator was built for.
@@ -214,6 +237,45 @@ mod tests {
             .mean()
             .sqrt();
         assert!(rms < 1e-7, "rms {rms}");
+    }
+
+    #[test]
+    fn at_condition_rebuilds_defocus_and_folds_dose() {
+        use crate::process::ProcessCondition;
+        let base = HopkinsSimulator::new(&fast_config());
+        let mask = dense_lines_mask(64, 20, 10);
+
+        // Nominal condition reproduces the base simulator exactly.
+        let nominal = base.at_condition(&ProcessCondition::nominal());
+        let a = base.aerial_image(&mask);
+        let b = nominal.aerial_image(&mask);
+        assert!(a.zip_map(&b, |x, y| (x - y).abs()).max() < 1e-15);
+        assert_eq!(nominal.resist_model(), base.resist_model());
+
+        // Defocus must match a simulator built directly at that defocus.
+        let condition = ProcessCondition::new(150.0, 1.0);
+        let rebuilt = base.at_condition(&condition);
+        let direct_config = OpticalConfig {
+            defocus_nm: 150.0,
+            ..fast_config()
+        };
+        let direct = HopkinsSimulator::new(&direct_config);
+        let r = rebuilt.aerial_image(&mask);
+        let d = direct.aerial_image(&mask);
+        assert!(r.zip_map(&d, |x, y| (x - y).abs()).max() < 1e-15);
+        assert_eq!(rebuilt.config().defocus_nm, 150.0);
+
+        // Dose leaves the aerial untouched but shifts the resist threshold.
+        let dosed = base.at_condition(&ProcessCondition::new(0.0, 1.25));
+        let da = dosed.aerial_image(&mask);
+        assert!(a.zip_map(&da, |x, y| (x - y).abs()).max() < 1e-15);
+        assert!(
+            (dosed.resist_model().effective_threshold() - base.config().resist_threshold / 1.25)
+                .abs()
+                < 1e-15
+        );
+        // Overdose prints at least as much area.
+        assert!(dosed.resist_image(&da).sum() >= base.resist_image(&a).sum());
     }
 
     #[test]

@@ -19,10 +19,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use litho_masks::{Dataset, DatasetKind};
-use litho_optics::{HopkinsSimulator, OpticalConfig};
+use litho_masks::{DatasetKind, ProcessDataset};
+use litho_optics::{HopkinsSimulator, OpticalConfig, ProcessWindow};
 use litho_serve::{HttpServer, ModelRegistry, Response, Service};
-use nitho::NithoConfig;
+use nitho::{ConditionEncoding, NithoConfig};
 
 struct Options {
     addr: String,
@@ -70,8 +70,17 @@ fn parse_args() -> Result<Options, String> {
 }
 
 /// Serving-scale knobs: `--fast` is the CI smoke profile, the default is a
-/// demo-quality model.
-fn profiles(fast: bool) -> (OpticalConfig, NithoConfig, usize) {
+/// demo-quality model. Both profiles serve a process-window-conditioned
+/// model trained across a 3×3 focus × dose grid, so `/v1/process_window`
+/// works on the `nitho` entry out of the box (the `hopkins` entry serves any
+/// condition by rigorous re-decomposition).
+fn profiles(fast: bool) -> (OpticalConfig, NithoConfig, usize, ProcessWindow) {
+    let window = ProcessWindow::symmetric(60.0, 3, 0.05, 3);
+    let condition = Some(ConditionEncoding {
+        focus_span_nm: 60.0,
+        dose_span: 0.05,
+        ..ConditionEncoding::default()
+    });
     if fast {
         let optics = OpticalConfig::builder()
             .tile_px(64)
@@ -79,10 +88,11 @@ fn profiles(fast: bool) -> (OpticalConfig, NithoConfig, usize) {
             .kernel_count(6)
             .build();
         let config = NithoConfig {
-            epochs: 8,
+            epochs: 6,
+            condition,
             ..NithoConfig::fast()
         };
-        (optics, config, 8)
+        (optics, config, 4, window)
     } else {
         let optics = OpticalConfig::builder()
             .tile_px(128)
@@ -93,14 +103,15 @@ fn profiles(fast: bool) -> (OpticalConfig, NithoConfig, usize) {
             kernel_count: 8,
             hidden_dim: 48,
             epochs: 25,
+            condition,
             ..NithoConfig::fast()
         };
-        (optics, config, 16)
+        (optics, config, 12, window)
     }
 }
 
 fn build_registry(options: &Options) -> std::io::Result<ModelRegistry> {
-    let (optics, config, train_tiles) = profiles(options.fast);
+    let (optics, config, train_tiles, window) = profiles(options.fast);
     let mut registry = ModelRegistry::new();
 
     eprintln!(
@@ -108,22 +119,43 @@ fn build_registry(options: &Options) -> std::io::Result<ModelRegistry> {
         optics.tile_px
     );
     let labeller = HopkinsSimulator::new(&optics);
+    let conditions = window.conditions();
     registry.register_nitho_checkpointed(
         "nitho",
         config,
         &optics,
         &options.checkpoint_dir,
         |model| {
-            eprintln!("nitho-serve: no usable checkpoint; training {train_tiles} tiles");
-            let train = Dataset::generate(DatasetKind::B2Metal, train_tiles, &labeller, 21)
-                .merged(&Dataset::generate(
-                    DatasetKind::B2Via,
-                    train_tiles / 2,
-                    &labeller,
-                    22,
-                ))
-                .shuffled(7);
-            model.train(&train);
+            eprintln!(
+                "nitho-serve: no usable checkpoint; training {train_tiles} metal + {} via \
+                 tiles across a {}x{} focus x dose grid",
+                train_tiles / 2,
+                window.shape().0,
+                window.shape().1
+            );
+            let metal = ProcessDataset::generate(
+                DatasetKind::B2Metal,
+                train_tiles,
+                &labeller,
+                &conditions,
+                21,
+            );
+            let vias = ProcessDataset::generate(
+                DatasetKind::B2Via,
+                train_tiles / 2,
+                &labeller,
+                &conditions,
+                22,
+            );
+            let mut groups = metal.groups().to_vec();
+            for (condition, dataset) in vias.groups() {
+                let slot = groups
+                    .iter_mut()
+                    .find(|(c, _)| c == condition)
+                    .expect("same condition grid");
+                slot.1 = slot.1.merged(dataset).shuffled(7);
+            }
+            model.train_process_window(&groups);
         },
     )?;
     registry.register_hopkins("hopkins", labeller);

@@ -17,8 +17,8 @@
 //! `tests/parallel_determinism.rs`.
 
 use litho_math::RealMatrix;
-use litho_optics::HopkinsSimulator;
-use nitho::NithoModel;
+use litho_optics::{HopkinsSimulator, ProcessCondition};
+use nitho::{ConditionedKernels, NithoModel};
 
 use crate::tiling::{TileGrid, TilingConfig};
 
@@ -42,6 +42,15 @@ pub trait TileSimulator: Send + Sync {
     /// Computes the aerial image of one `tile_px × tile_px` mask tile,
     /// normalized to clear-field intensity 1.
     fn simulate_tile(&self, tile: &RealMatrix) -> RealMatrix;
+
+    /// Specializes this engine to a process condition, or `None` when it
+    /// cannot serve the condition (e.g. a nominal-only Nitho model asked for
+    /// an off-nominal point).
+    ///
+    /// The returned simulator owns everything it needs (rebuilt SOCS stack
+    /// for the rigorous engine, frozen condition kernels for the neural
+    /// field), so a process-window fan-out holds one per condition.
+    fn for_condition(&self, condition: &ProcessCondition) -> Option<Box<dyn TileSimulator>>;
 
     /// Guard-band width: two resolution elements (the optical ambit beyond
     /// which kernel tails are negligible), clamped so a tile core remains.
@@ -71,6 +80,41 @@ impl TileSimulator for NithoModel {
     fn simulate_tile(&self, tile: &RealMatrix) -> RealMatrix {
         self.predict_aerial(tile)
     }
+
+    fn for_condition(&self, condition: &ProcessCondition) -> Option<Box<dyn TileSimulator>> {
+        self.at_condition(condition)
+            .map(|frozen| Box::new(frozen) as Box<dyn TileSimulator>)
+    }
+}
+
+/// A neural field frozen at one process condition serves tiles with no
+/// network in the loop; its resist threshold carries the condition's dose.
+impl TileSimulator for ConditionedKernels {
+    fn tile_px(&self) -> usize {
+        self.optics().tile_px
+    }
+
+    fn resist_threshold(&self) -> f64 {
+        self.effective_resist_threshold()
+    }
+
+    fn pixel_nm(&self) -> f64 {
+        self.optics().pixel_nm
+    }
+
+    fn resolution_nm(&self) -> f64 {
+        self.optics().resolution_nm()
+    }
+
+    fn simulate_tile(&self, tile: &RealMatrix) -> RealMatrix {
+        self.predict_aerial(tile)
+    }
+
+    fn for_condition(&self, condition: &ProcessCondition) -> Option<Box<dyn TileSimulator>> {
+        // The network was left behind when the kernels were frozen; only the
+        // original condition can be re-served.
+        (*condition == self.condition()).then(|| Box::new(self.clone()) as Box<dyn TileSimulator>)
+    }
 }
 
 impl TileSimulator for HopkinsSimulator {
@@ -79,7 +123,9 @@ impl TileSimulator for HopkinsSimulator {
     }
 
     fn resist_threshold(&self) -> f64 {
-        self.config().resist_threshold
+        // The effective threshold folds in the exposure dose (t/d); at the
+        // nominal dose this is exactly the configured threshold.
+        self.resist_model().effective_threshold()
     }
 
     fn pixel_nm(&self) -> f64 {
@@ -92,6 +138,13 @@ impl TileSimulator for HopkinsSimulator {
 
     fn simulate_tile(&self, tile: &RealMatrix) -> RealMatrix {
         self.aerial_image(tile)
+    }
+
+    fn for_condition(&self, condition: &ProcessCondition) -> Option<Box<dyn TileSimulator>> {
+        // The rigorous engine serves any condition by re-deriving its
+        // TCC/SOCS stack — correct but expensive; this is the baseline the
+        // conditioned neural field is benchmarked against.
+        Some(Box::new(HopkinsSimulator::at_condition(self, condition)))
     }
 }
 
@@ -228,6 +281,63 @@ mod tests {
         assert_eq!(tiled.tile_px(), 64);
         let aerial = tiled.simulate_tile(&RealMatrix::zeros(64, 64));
         assert_eq!(aerial.shape(), (64, 64));
+    }
+
+    #[test]
+    fn for_condition_specializes_every_engine_kind() {
+        let optics = fast_optics();
+        let hopkins = HopkinsSimulator::new(&optics);
+        let defocused = ProcessCondition::new(120.0, 1.1);
+
+        // Rigorous engine: any condition, dose folded into the threshold.
+        let h: &dyn TileSimulator = &hopkins;
+        let rebuilt = h.for_condition(&defocused).expect("hopkins serves all");
+        assert_eq!(rebuilt.tile_px(), 64);
+        assert!((rebuilt.resist_threshold() - optics.resist_threshold / 1.1).abs() < 1e-15);
+        let mask = RealMatrix::from_fn(64, 64, |_, j| if j % 16 < 8 { 1.0 } else { 0.0 });
+        let nominal_aerial = h.simulate_tile(&mask);
+        let defocused_aerial = rebuilt.simulate_tile(&mask);
+        assert!(
+            nominal_aerial
+                .zip_map(&defocused_aerial, |a, b| (a - b).abs())
+                .max()
+                > 1e-6
+        );
+
+        // Nominal-only Nitho: nominal is served, off-nominal refused.
+        let mut model = nitho::NithoModel::new(
+            nitho::NithoConfig {
+                kernel_side: Some(9),
+                ..nitho::NithoConfig::fast()
+            },
+            &optics,
+        );
+        model.refresh_kernels();
+        let n: &dyn TileSimulator = &model;
+        assert!(n.for_condition(&defocused).is_none());
+        let nominal = n
+            .for_condition(&ProcessCondition::nominal())
+            .expect("nominal served");
+        let a = n.simulate_tile(&mask);
+        let b = nominal.simulate_tile(&mask);
+        assert!(a.zip_map(&b, |x, y| (x - y).abs()).max() < 1e-15);
+
+        // Conditioned Nitho: every condition served; the frozen engine only
+        // re-serves its own condition.
+        let mut conditioned = nitho::NithoModel::new(
+            nitho::NithoConfig {
+                kernel_side: Some(9),
+                condition: Some(nitho::ConditionEncoding::default()),
+                ..nitho::NithoConfig::fast()
+            },
+            &optics,
+        );
+        conditioned.refresh_kernels();
+        let c: &dyn TileSimulator = &conditioned;
+        let frozen = c.for_condition(&defocused).expect("conditioned serves all");
+        assert!((frozen.resist_threshold() - optics.resist_threshold / 1.1).abs() < 1e-15);
+        assert!(frozen.for_condition(&defocused).is_some());
+        assert!(frozen.for_condition(&ProcessCondition::nominal()).is_none());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 pub mod chip;
 pub mod http;
 pub mod json;
+pub mod pw;
 pub mod registry;
 pub mod service;
 pub mod tiling;
@@ -33,6 +34,10 @@ pub mod tiling;
 pub use chip::{ChipPipeline, ChipResult, TileSimulator};
 pub use http::{http_request, HttpServer, Request, Response, ShutdownHandle};
 pub use json::Json;
+pub use pw::{
+    ConditionReport, MaskSpec, ProcessWindowRequest, ProcessWindowResponse, PvbReport,
+    MAX_CONDITIONS,
+};
 pub use registry::{ModelInfo, ModelRegistry};
 pub use service::Service;
 pub use tiling::{Tile, TileGrid, TilingConfig};

@@ -1,0 +1,660 @@
+//! Wire types for the `/v1/process_window` endpoint.
+//!
+//! The request names a model, a mask, and the focus × dose axes of the
+//! process grid; the response carries per-condition metrology (printed area,
+//! CD along the center cutlines, EPE against the nominal-condition contour)
+//! plus the process-variation-band summary. Every type serializes to and
+//! parses from the in-crate [`Json`] codec, and `parse ∘ serialize == id`
+//! holds exactly (pinned by a property test below) — which also makes the
+//! endpoint's output bit-identical across runs: the response deliberately
+//! carries no timing field.
+
+use litho_masks::{ChipLayout, Rect};
+use litho_math::RealMatrix;
+
+use crate::json::Json;
+
+/// Maximum number of process conditions (focus × dose) per request.
+pub const MAX_CONDITIONS: usize = 64;
+
+/// The mask member of a request: raw pixels or rectangles, as in
+/// `/v1/simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaskSpec {
+    /// Row-major pixel values in `[0, 1]`.
+    Pixels {
+        /// Chip height in pixels.
+        rows: usize,
+        /// Chip width in pixels.
+        cols: usize,
+        /// `rows · cols` values.
+        values: Vec<f64>,
+    },
+    /// Axis-aligned `[x0, y0, x1, y1]` rectangles (half-open, clipped).
+    Rects {
+        /// Chip height in pixels.
+        rows: usize,
+        /// Chip width in pixels.
+        cols: usize,
+        /// Rectangle corners.
+        rects: Vec<[i64; 4]>,
+    },
+}
+
+impl MaskSpec {
+    /// Chip dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            MaskSpec::Pixels { rows, cols, .. } | MaskSpec::Rects { rows, cols, .. } => {
+                (*rows, *cols)
+            }
+        }
+    }
+
+    /// Serializes to the `mask` JSON member.
+    pub fn to_json(&self) -> Json {
+        match self {
+            MaskSpec::Pixels { rows, cols, values } => Json::object(vec![
+                ("rows", Json::Number(*rows as f64)),
+                ("cols", Json::Number(*cols as f64)),
+                ("pixels", Json::NumberArray(values.clone())),
+            ]),
+            MaskSpec::Rects { rows, cols, rects } => Json::object(vec![
+                ("rows", Json::Number(*rows as f64)),
+                ("cols", Json::Number(*cols as f64)),
+                (
+                    "rects",
+                    Json::Array(
+                        rects
+                            .iter()
+                            .map(|r| Json::NumberArray(r.iter().map(|&v| v as f64).collect()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+
+    /// Parses the `mask` JSON member.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol-level message on any malformed member.
+    pub fn from_json(mask: &Json) -> Result<Self, String> {
+        let rows = mask
+            .get("rows")
+            .and_then(Json::as_usize)
+            .ok_or("\"mask.rows\" must be a positive integer")?;
+        let cols = mask
+            .get("cols")
+            .and_then(Json::as_usize)
+            .ok_or("\"mask.cols\" must be a positive integer")?;
+        if rows == 0 || cols == 0 {
+            return Err("mask dimensions must be non-zero".to_owned());
+        }
+        match (mask.get("rects"), mask.get("pixels")) {
+            (Some(rects), None) => {
+                let items = rects.as_array().ok_or("\"mask.rects\" must be an array")?;
+                let mut parsed = Vec::with_capacity(items.len());
+                for (idx, rect) in items.iter().enumerate() {
+                    let quad = rect
+                        .to_numbers()
+                        .filter(|q| q.len() == 4)
+                        .ok_or(format!("rect {idx} must be a [x0, y0, x1, y1] quadruple"))?;
+                    let mut corner = [0i64; 4];
+                    for (slot, &n) in corner.iter_mut().zip(&quad) {
+                        if n.fract() != 0.0 || n.abs() > 1e9 {
+                            return Err(format!("rect {idx} corners must be integers"));
+                        }
+                        *slot = n as i64;
+                    }
+                    if corner[2] <= corner[0] || corner[3] <= corner[1] {
+                        return Err(format!("rect {idx} must have positive extent"));
+                    }
+                    parsed.push(corner);
+                }
+                Ok(MaskSpec::Rects {
+                    rows,
+                    cols,
+                    rects: parsed,
+                })
+            }
+            (None, Some(pixels)) => {
+                let values: Vec<f64> = match pixels {
+                    Json::NumberArray(values) => values.clone(),
+                    Json::Array(items) if items.is_empty() => Vec::new(),
+                    _ => return Err("\"mask.pixels\" must be a flat numeric array".to_owned()),
+                };
+                if values.len() != rows * cols {
+                    return Err(format!(
+                        "\"mask.pixels\" has {} values, expected {}",
+                        values.len(),
+                        rows * cols
+                    ));
+                }
+                if !values.iter().all(|v| (0.0..=1.0).contains(v)) {
+                    return Err("\"mask.pixels\" values must lie in [0, 1]".to_owned());
+                }
+                Ok(MaskSpec::Pixels { rows, cols, values })
+            }
+            _ => Err("\"mask\" needs exactly one of \"rects\" or \"pixels\"".to_owned()),
+        }
+    }
+
+    /// Rasterizes the spec into the chip mask.
+    pub fn rasterize(&self) -> RealMatrix {
+        match self {
+            MaskSpec::Pixels { rows, cols, values } => {
+                RealMatrix::from_vec(*rows, *cols, values.clone())
+            }
+            MaskSpec::Rects { rows, cols, rects } => {
+                let mut layout = ChipLayout::new(*rows, *cols);
+                for &[x0, y0, x1, y1] in rects {
+                    layout.push(Rect::new(x0, y0, x1, y1));
+                }
+                layout.rasterize()
+            }
+        }
+    }
+}
+
+/// A `/v1/process_window` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessWindowRequest {
+    /// Model name; `None` selects the registry default.
+    pub model: Option<String>,
+    /// The chip mask.
+    pub mask: MaskSpec,
+    /// Focus axis in nanometres (row-major outer loop of the grid).
+    pub focus_nm: Vec<f64>,
+    /// Dose axis (inner loop).
+    pub dose: Vec<f64>,
+    /// Guard-band override in pixels.
+    pub halo_px: Option<usize>,
+    /// When `true`, the response carries the PVB band image.
+    pub include_pvb_band: bool,
+}
+
+impl ProcessWindowRequest {
+    /// Serializes the request body.
+    pub fn to_json(&self) -> Json {
+        let mut fields = Vec::new();
+        if let Some(model) = &self.model {
+            fields.push(("model", Json::string(model)));
+        }
+        fields.push(("mask", self.mask.to_json()));
+        fields.push(("focus_nm", Json::NumberArray(self.focus_nm.clone())));
+        fields.push(("dose", Json::NumberArray(self.dose.clone())));
+        if let Some(halo) = self.halo_px {
+            fields.push(("halo_px", Json::Number(halo as f64)));
+        }
+        if self.include_pvb_band {
+            fields.push(("include_pvb_band", Json::Bool(true)));
+        }
+        Json::object(fields)
+    }
+
+    /// Parses a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol-level message on any malformed member; grid bounds
+    /// (positive doses, `MAX_CONDITIONS`) are enforced here so a malformed
+    /// body can never reach the simulation engine.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let model = match doc.get("model") {
+            None => None,
+            Some(value) => Some(
+                value
+                    .as_str()
+                    .ok_or("\"model\" must be a string")?
+                    .to_owned(),
+            ),
+        };
+        let mask = MaskSpec::from_json(doc.get("mask").ok_or("missing \"mask\"")?)?;
+        let axis = |name: &str, default: f64| -> Result<Vec<f64>, String> {
+            match doc.get(name) {
+                None => Ok(vec![default]),
+                Some(value) => {
+                    let values = value
+                        .to_numbers()
+                        .ok_or(format!("\"{name}\" must be a numeric array"))?;
+                    if values.is_empty() {
+                        return Err(format!("\"{name}\" cannot be empty"));
+                    }
+                    if !values.iter().all(|v| v.is_finite()) {
+                        return Err(format!("\"{name}\" values must be finite"));
+                    }
+                    Ok(values)
+                }
+            }
+        };
+        let focus_nm = axis("focus_nm", 0.0)?;
+        let dose = axis("dose", 1.0)?;
+        if !dose.iter().all(|&d| d > 0.0) {
+            return Err("\"dose\" values must be positive".to_owned());
+        }
+        if focus_nm.len() * dose.len() > MAX_CONDITIONS {
+            return Err(format!(
+                "{}x{} grid exceeds the {MAX_CONDITIONS}-condition limit",
+                focus_nm.len(),
+                dose.len()
+            ));
+        }
+        let halo_px = match doc.get("halo_px") {
+            None => None,
+            Some(value) => Some(
+                value
+                    .as_usize()
+                    .ok_or("\"halo_px\" must be a non-negative integer")?,
+            ),
+        };
+        let include_pvb_band = match doc.get("include_pvb_band") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err("\"include_pvb_band\" must be a boolean".to_owned()),
+        };
+        Ok(Self {
+            model,
+            mask,
+            focus_nm,
+            dose,
+            halo_px,
+            include_pvb_band,
+        })
+    }
+}
+
+/// Per-condition metrology in a response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConditionReport {
+    /// Defocus of this condition in nanometres.
+    pub defocus_nm: f64,
+    /// Relative dose of this condition.
+    pub dose: f64,
+    /// Number of printed resist pixels.
+    pub printed_px: f64,
+    /// CD along the horizontal center cutline, in pixels (`None` when
+    /// nothing prints on the cutline).
+    pub cd_h_px: Option<f64>,
+    /// CD along the vertical center cutline, in pixels.
+    pub cd_v_px: Option<f64>,
+    /// Mean absolute edge-placement error against the nominal contour, in
+    /// pixels.
+    pub epe_mean_px: f64,
+    /// Largest absolute edge-placement error, in pixels.
+    pub epe_max_px: f64,
+    /// Reference edges matched / unmatched on the measurement cutlines.
+    pub epe_matched: usize,
+    /// Reference edges with no counterpart at this condition.
+    pub epe_unmatched: usize,
+}
+
+impl ConditionReport {
+    fn to_json(&self) -> Json {
+        let optional = |v: Option<f64>| v.map_or(Json::Null, Json::Number);
+        Json::object(vec![
+            ("defocus_nm", Json::Number(self.defocus_nm)),
+            ("dose", Json::Number(self.dose)),
+            ("printed_px", Json::Number(self.printed_px)),
+            ("cd_h_px", optional(self.cd_h_px)),
+            ("cd_v_px", optional(self.cd_v_px)),
+            ("epe_mean_px", Json::Number(self.epe_mean_px)),
+            ("epe_max_px", Json::Number(self.epe_max_px)),
+            ("epe_matched", Json::Number(self.epe_matched as f64)),
+            ("epe_unmatched", Json::Number(self.epe_unmatched as f64)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        let number = |name: &str| -> Result<f64, String> {
+            doc.get(name)
+                .and_then(Json::as_f64)
+                .ok_or(format!("condition report misses \"{name}\""))
+        };
+        let optional = |name: &str| -> Result<Option<f64>, String> {
+            match doc.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(value) => value
+                    .as_f64()
+                    .map(Some)
+                    .ok_or(format!("\"{name}\" must be a number or null")),
+            }
+        };
+        let count = |name: &str| -> Result<usize, String> {
+            doc.get(name)
+                .and_then(Json::as_usize)
+                .ok_or(format!("condition report misses \"{name}\""))
+        };
+        Ok(Self {
+            defocus_nm: number("defocus_nm")?,
+            dose: number("dose")?,
+            printed_px: number("printed_px")?,
+            cd_h_px: optional("cd_h_px")?,
+            cd_v_px: optional("cd_v_px")?,
+            epe_mean_px: number("epe_mean_px")?,
+            epe_max_px: number("epe_max_px")?,
+            epe_matched: count("epe_matched")?,
+            epe_unmatched: count("epe_unmatched")?,
+        })
+    }
+}
+
+/// PVB summary in a response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PvbReport {
+    /// Pixels printed under at least one condition.
+    pub union_px: f64,
+    /// Pixels printed under every condition.
+    pub intersection_px: f64,
+    /// Band area (union − intersection), in pixels.
+    pub area_px: f64,
+    /// Band area as a fraction of the chip.
+    pub area_fraction: f64,
+}
+
+impl PvbReport {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("union_px", Json::Number(self.union_px)),
+            ("intersection_px", Json::Number(self.intersection_px)),
+            ("area_px", Json::Number(self.area_px)),
+            ("area_fraction", Json::Number(self.area_fraction)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        let number = |name: &str| -> Result<f64, String> {
+            doc.get(name)
+                .and_then(Json::as_f64)
+                .ok_or(format!("pvb report misses \"{name}\""))
+        };
+        Ok(Self {
+            union_px: number("union_px")?,
+            intersection_px: number("intersection_px")?,
+            area_px: number("area_px")?,
+            area_fraction: number("area_fraction")?,
+        })
+    }
+}
+
+/// A `/v1/process_window` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessWindowResponse {
+    /// Model that served the request.
+    pub model: String,
+    /// Chip height in pixels.
+    pub rows: usize,
+    /// Chip width in pixels.
+    pub cols: usize,
+    /// Process-grid shape `(focus_steps, dose_steps)`.
+    pub grid: (usize, usize),
+    /// Tiles simulated per condition.
+    pub tiles_per_condition: usize,
+    /// Guard-band width used, in pixels.
+    pub halo_px: usize,
+    /// Per-condition metrology, row-major (focus outer, dose inner).
+    pub conditions: Vec<ConditionReport>,
+    /// Process-variation-band summary over the whole grid.
+    pub pvb: PvbReport,
+    /// Row-major PVB band image, when requested.
+    pub pvb_band: Option<Vec<f64>>,
+}
+
+impl ProcessWindowResponse {
+    /// Serializes the response body.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("model", Json::string(&self.model)),
+            ("rows", Json::Number(self.rows as f64)),
+            ("cols", Json::Number(self.cols as f64)),
+            (
+                "grid",
+                Json::NumberArray(vec![self.grid.0 as f64, self.grid.1 as f64]),
+            ),
+            (
+                "tiles_per_condition",
+                Json::Number(self.tiles_per_condition as f64),
+            ),
+            ("halo_px", Json::Number(self.halo_px as f64)),
+            (
+                "conditions",
+                Json::Array(
+                    self.conditions
+                        .iter()
+                        .map(ConditionReport::to_json)
+                        .collect(),
+                ),
+            ),
+            ("pvb", self.pvb.to_json()),
+        ];
+        if let Some(band) = &self.pvb_band {
+            fields.push(("pvb_band", Json::NumberArray(band.clone())));
+        }
+        Json::object(fields)
+    }
+
+    /// Parses a response body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped member.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let count = |name: &str| -> Result<usize, String> {
+            doc.get(name)
+                .and_then(Json::as_usize)
+                .ok_or(format!("response misses \"{name}\""))
+        };
+        let grid = doc
+            .get("grid")
+            .and_then(Json::to_numbers)
+            .filter(|g| g.len() == 2 && g.iter().all(|v| *v >= 0.0 && v.fract() == 0.0))
+            .ok_or("response misses \"grid\"")?;
+        let conditions = doc
+            .get("conditions")
+            .and_then(Json::as_array)
+            .ok_or("response misses \"conditions\"")?
+            .iter()
+            .map(ConditionReport::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let pvb = PvbReport::from_json(doc.get("pvb").ok_or("response misses \"pvb\"")?)?;
+        let pvb_band = match doc.get("pvb_band") {
+            None => None,
+            Some(value) => Some(
+                value
+                    .to_numbers()
+                    .ok_or("\"pvb_band\" must be a numeric array")?,
+            ),
+        };
+        Ok(Self {
+            model: doc
+                .get("model")
+                .and_then(Json::as_str)
+                .ok_or("response misses \"model\"")?
+                .to_owned(),
+            rows: count("rows")?,
+            cols: count("cols")?,
+            grid: (grid[0] as usize, grid[1] as usize),
+            tiles_per_condition: count("tiles_per_condition")?,
+            halo_px: count("halo_px")?,
+            conditions,
+            pvb,
+            pvb_band,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litho_math::DeterministicRng;
+    use proptest::prelude::*;
+
+    fn random_request(rng: &mut DeterministicRng) -> ProcessWindowRequest {
+        let mask = if rng.uniform(0.0, 1.0) < 0.5 {
+            let rows = 8 + (rng.uniform(0.0, 8.0) as usize);
+            let cols = 8 + (rng.uniform(0.0, 8.0) as usize);
+            MaskSpec::Pixels {
+                rows,
+                cols,
+                values: (0..rows * cols)
+                    .map(|_| (rng.uniform(0.0, 4.0).floor() / 4.0).clamp(0.0, 1.0))
+                    .collect(),
+            }
+        } else {
+            MaskSpec::Rects {
+                rows: 32,
+                cols: 48,
+                rects: (0..1 + (rng.uniform(0.0, 3.0) as usize))
+                    .map(|_| {
+                        let x0 = rng.uniform(0.0, 20.0).floor() as i64;
+                        let y0 = rng.uniform(0.0, 20.0).floor() as i64;
+                        [
+                            x0,
+                            y0,
+                            x0 + 1 + rng.uniform(0.0, 20.0).floor() as i64,
+                            y0 + 1 + rng.uniform(0.0, 20.0).floor() as i64,
+                        ]
+                    })
+                    .collect(),
+            }
+        };
+        ProcessWindowRequest {
+            model: (rng.uniform(0.0, 1.0) < 0.5).then(|| "nitho".to_owned()),
+            mask,
+            focus_nm: (0..1 + (rng.uniform(0.0, 4.0) as usize))
+                .map(|_| rng.uniform(-150.0, 150.0))
+                .collect(),
+            dose: (0..1 + (rng.uniform(0.0, 4.0) as usize))
+                .map(|_| rng.uniform(0.5, 1.5))
+                .collect(),
+            halo_px: (rng.uniform(0.0, 1.0) < 0.5).then(|| rng.uniform(0.0, 24.0) as usize),
+            include_pvb_band: rng.uniform(0.0, 1.0) < 0.5,
+        }
+    }
+
+    fn random_response(rng: &mut DeterministicRng) -> ProcessWindowResponse {
+        let grid = (
+            1 + (rng.uniform(0.0, 3.0) as usize),
+            1 + (rng.uniform(0.0, 3.0) as usize),
+        );
+        let conditions = (0..grid.0 * grid.1)
+            .map(|_| ConditionReport {
+                defocus_nm: rng.uniform(-150.0, 150.0),
+                dose: rng.uniform(0.5, 1.5),
+                printed_px: rng.uniform(0.0, 1000.0).floor(),
+                cd_h_px: (rng.uniform(0.0, 1.0) < 0.7).then(|| rng.uniform(0.0, 64.0)),
+                cd_v_px: (rng.uniform(0.0, 1.0) < 0.7).then(|| rng.uniform(0.0, 64.0)),
+                epe_mean_px: rng.uniform(0.0, 4.0),
+                epe_max_px: rng.uniform(0.0, 9.0),
+                epe_matched: rng.uniform(0.0, 9.0) as usize,
+                epe_unmatched: rng.uniform(0.0, 3.0) as usize,
+            })
+            .collect();
+        ProcessWindowResponse {
+            model: "nitho".to_owned(),
+            rows: 96,
+            cols: 96,
+            grid,
+            tiles_per_condition: 9,
+            halo_px: 16,
+            conditions,
+            pvb: PvbReport {
+                union_px: rng.uniform(0.0, 9216.0).floor(),
+                intersection_px: rng.uniform(0.0, 9216.0).floor(),
+                area_px: rng.uniform(0.0, 9216.0).floor(),
+                area_fraction: rng.uniform(0.0, 1.0),
+            },
+            pvb_band: (rng.uniform(0.0, 1.0) < 0.5)
+                .then(|| (0..16).map(|_| rng.uniform(0.0, 2.0).floor()).collect()),
+        }
+    }
+
+    #[test]
+    fn request_parses_defaults() {
+        let doc = Json::parse(r#"{"mask":{"rows":8,"cols":8,"rects":[[0,0,4,4]]}}"#).expect("json");
+        let request = ProcessWindowRequest::from_json(&doc).expect("parse");
+        assert_eq!(request.focus_nm, vec![0.0]);
+        assert_eq!(request.dose, vec![1.0]);
+        assert_eq!(request.model, None);
+        assert_eq!(request.halo_px, None);
+        assert!(!request.include_pvb_band);
+        assert_eq!(request.mask.shape(), (8, 8));
+        let mask = request.mask.rasterize();
+        assert_eq!(mask.sum(), 16.0);
+    }
+
+    #[test]
+    fn request_rejections_name_the_field() {
+        let cases = [
+            (r#"{}"#, "mask"),
+            (r#"{"mask":{"rows":8,"cols":8}}"#, "rects"),
+            (
+                r#"{"mask":{"rows":8,"cols":8,"rects":[[0,0,4,4]]},"focus_nm":[]}"#,
+                "focus_nm",
+            ),
+            (
+                r#"{"mask":{"rows":8,"cols":8,"rects":[[0,0,4,4]]},"dose":[0]}"#,
+                "dose",
+            ),
+            (
+                r#"{"mask":{"rows":8,"cols":8,"rects":[[0,0,4,4]]},"dose":[1,"x"]}"#,
+                "dose",
+            ),
+            (
+                r#"{"mask":{"rows":8,"cols":8,"rects":[[0,0,4,4]]},"halo_px":1.5}"#,
+                "halo_px",
+            ),
+            (r#"{"mask":{"rows":8,"cols":8,"pixels":[0,1]}}"#, "pixels"),
+            (
+                r#"{"mask":{"rows":8,"cols":8,"rects":[[4,4,0,0]]}}"#,
+                "rect 0",
+            ),
+        ];
+        for (body, needle) in cases {
+            let doc = Json::parse(body).expect("json");
+            let err = ProcessWindowRequest::from_json(&doc).expect_err(body);
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn oversized_grid_is_rejected() {
+        let focus: Vec<String> = (0..9).map(|i| format!("{i}")).collect();
+        let dose: Vec<String> = (0..8)
+            .map(|i| format!("{}", 1.0 + i as f64 / 100.0))
+            .collect();
+        let body = format!(
+            r#"{{"mask":{{"rows":8,"cols":8,"rects":[[0,0,4,4]]}},"focus_nm":[{}],"dose":[{}]}}"#,
+            focus.join(","),
+            dose.join(",")
+        );
+        let doc = Json::parse(&body).expect("json");
+        let err = ProcessWindowRequest::from_json(&doc).expect_err("72 conditions");
+        assert!(err.contains("condition limit"), "{err}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_request_roundtrips_through_the_codec(seed in 0u64..10_000) {
+            let mut rng = DeterministicRng::new(seed);
+            let request = random_request(&mut rng);
+            let wire = request.to_json().to_string();
+            let parsed = ProcessWindowRequest::from_json(&Json::parse(&wire).expect("wire JSON"))
+                .expect("round-trip parse");
+            prop_assert_eq!(parsed, request);
+        }
+
+        #[test]
+        fn prop_response_roundtrips_through_the_codec(seed in 0u64..10_000) {
+            let mut rng = DeterministicRng::new(seed);
+            let response = random_response(&mut rng);
+            let wire = response.to_json().to_string();
+            let parsed = ProcessWindowResponse::from_json(&Json::parse(&wire).expect("wire JSON"))
+                .expect("round-trip parse");
+            prop_assert_eq!(parsed, response);
+        }
+    }
+}

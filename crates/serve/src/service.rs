@@ -1,11 +1,13 @@
 //! The inference service: JSON wire protocol over the HTTP layer.
 //!
-//! Routes (see DESIGN.md §5 for the full protocol):
+//! Routes (see DESIGN.md §5–§6 for the full protocol):
 //!
 //! * `GET /healthz` — liveness, model count.
 //! * `GET /v1/models` — registered models with serving metadata.
 //! * `POST /v1/simulate` — full-chip simulation: mask in (rectangles or raw
 //!   pixels), stitched aerial/resist out.
+//! * `POST /v1/process_window` — a focus × dose matrix of full-chip
+//!   simulations with per-condition CD/EPE metrology and the PVB summary.
 //!
 //! The service itself is transport-free (`handle` maps requests to
 //! responses); `nitho-serve` wires it to an [`HttpServer`](crate::http) and
@@ -13,13 +15,16 @@
 
 use std::time::Instant;
 
-use litho_masks::ChipLayout;
-use litho_masks::Rect;
 use litho_math::RealMatrix;
+use litho_metrics::metrology::{self, Cutline};
+use litho_optics::ProcessCondition;
 
-use crate::chip::ChipPipeline;
+use crate::chip::{ChipPipeline, TileSimulator};
 use crate::http::{Request, Response};
 use crate::json::Json;
+use crate::pw::{
+    ConditionReport, MaskSpec, ProcessWindowRequest, ProcessWindowResponse, PvbReport,
+};
 use crate::registry::ModelRegistry;
 
 /// Largest accepted chip, in pixels (a 4096 × 4096 layout).
@@ -70,10 +75,13 @@ impl Service {
             ("GET", "/healthz") => Ok(self.healthz()),
             ("GET", "/v1/models") => Ok(self.models()),
             ("POST", "/v1/simulate") => self.simulate(request),
-            (_, "/healthz" | "/v1/models" | "/v1/simulate") => Err(ServiceError {
-                status: 405,
-                message: "method not allowed".to_owned(),
-            }),
+            ("POST", "/v1/process_window") => self.process_window(request),
+            (_, "/healthz" | "/v1/models" | "/v1/simulate" | "/v1/process_window") => {
+                Err(ServiceError {
+                    status: 405,
+                    message: "method not allowed".to_owned(),
+                })
+            }
             _ => Err(ServiceError::not_found("no such route")),
         };
         match result {
@@ -202,6 +210,161 @@ impl Service {
         }
         Ok(Response::json(200, Json::object(fields).to_string()))
     }
+
+    /// `POST /v1/process_window`: fans a focus × dose matrix of full-chip
+    /// simulations through the guard-band tiling pipeline and returns
+    /// per-condition metrology plus the process-variation-band summary.
+    ///
+    /// The chip is simulated once per *focus* value (dose is exactly an
+    /// effective-threshold change under the constant-threshold resist and
+    /// reuses the aerial); focus values run serially in grid order while
+    /// each chip's tiles fan out over `litho_parallel`, so the response body
+    /// is bit-identical for any `NITHO_THREADS` value — which is also why it
+    /// deliberately carries no timing field.
+    fn process_window(&self, request: &Request) -> Result<Response, ServiceError> {
+        let text = request
+            .body_text()
+            .ok_or_else(|| ServiceError::bad_request("body is not UTF-8"))?;
+        let doc = Json::parse(text)
+            .map_err(|err| ServiceError::bad_request(format!("invalid JSON: {err}")))?;
+        let pw = ProcessWindowRequest::from_json(&doc).map_err(ServiceError::bad_request)?;
+
+        let (info, simulator) = match &pw.model {
+            Some(name) => self
+                .registry
+                .get(name)
+                .ok_or_else(|| ServiceError::not_found(format!("unknown model {name:?}")))?,
+            None => self
+                .registry
+                .default_model()
+                .ok_or_else(|| ServiceError::not_found("no models registered"))?,
+        };
+
+        let (rows, cols) = pw.mask.shape();
+        if rows.saturating_mul(cols) > MAX_CHIP_PIXELS {
+            return Err(ServiceError::bad_request(format!(
+                "mask {rows}x{cols} exceeds the {MAX_CHIP_PIXELS}-pixel limit"
+            )));
+        }
+        let halo = pw.halo_px.unwrap_or_else(|| simulator.default_halo_px());
+        if 2 * halo >= info.tile_px {
+            return Err(ServiceError::bad_request(format!(
+                "halo_px {halo} leaves no core in a {} px tile",
+                info.tile_px
+            )));
+        }
+
+        // Dose scales the exposure, which under the constant-threshold
+        // resist is *exactly* a development-threshold change (t/d — see
+        // litho_optics::resist); it never changes a clear-field-normalized
+        // aerial image. So the engine is specialized — and the chip
+        // simulated — once per unique focus value at unit dose, and the dose
+        // axis reuses that aerial with a scaled threshold. An 8×8 grid costs
+        // 8 simulations, not 64. Engines are specialized up front so an
+        // unservable focus fails fast (400), before any simulation runs.
+        let focus_engines: Vec<Box<dyn TileSimulator>> = pw
+            .focus_nm
+            .iter()
+            .map(|&defocus_nm| {
+                let at_focus = ProcessCondition {
+                    defocus_nm,
+                    dose: 1.0,
+                };
+                simulator.for_condition(&at_focus).ok_or_else(|| {
+                    ServiceError::bad_request(format!(
+                        "model {:?} cannot serve condition {at_focus} \
+                         (nominal-only model; train a conditioned model)",
+                        info.name
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        let mask = pw.mask.rasterize();
+        let cutlines = Cutline::center(rows, cols);
+
+        // One full-chip simulation per focus value, serial over focus values
+        // (tiles parallelize inside the pipeline).
+        let mut tiles_per_condition = 0;
+        let per_focus: Vec<(f64, litho_math::RealMatrix)> = focus_engines
+            .iter()
+            .map(|engine| {
+                let pipeline = ChipPipeline::with_halo(engine.as_ref(), halo);
+                tiles_per_condition = pipeline.plan(rows, cols).len();
+                (engine.resist_threshold(), pipeline.aerial(&mask))
+            })
+            .collect();
+
+        // EPE reference: the nominal-condition contour. Reuse the best-focus
+        // aerial when the grid includes it; otherwise simulate it once.
+        let nominal_extra;
+        let (nominal_threshold, nominal_aerial) = match pw.focus_nm.iter().position(|&f| f == 0.0) {
+            Some(idx) => {
+                let (threshold, aerial) = &per_focus[idx];
+                (*threshold, aerial)
+            }
+            None => {
+                let engine = simulator
+                    .for_condition(&ProcessCondition::nominal())
+                    .ok_or_else(|| {
+                        ServiceError::bad_request("model cannot serve the nominal condition")
+                    })?;
+                let pipeline = ChipPipeline::with_halo(engine.as_ref(), halo);
+                nominal_extra = (engine.resist_threshold(), pipeline.aerial(&mask));
+                (nominal_extra.0, &nominal_extra.1)
+            }
+        };
+
+        // Row-major grid: focus outer, dose inner.
+        let mut reports = Vec::with_capacity(pw.focus_nm.len() * pw.dose.len());
+        let mut resist_stack = Vec::with_capacity(reports.capacity());
+        for (&defocus_nm, (unit_threshold, aerial)) in pw.focus_nm.iter().zip(&per_focus) {
+            for &dose in &pw.dose {
+                let threshold = unit_threshold / dose;
+                let resist = aerial.threshold(threshold);
+                let stats = metrology::epe_with_thresholds(
+                    nominal_aerial,
+                    nominal_threshold,
+                    aerial,
+                    threshold,
+                    &cutlines,
+                );
+                reports.push(ConditionReport {
+                    defocus_nm,
+                    dose,
+                    printed_px: resist.sum(),
+                    cd_h_px: metrology::cd_px(aerial, cutlines[0], threshold),
+                    cd_v_px: metrology::cd_px(aerial, cutlines[1], threshold),
+                    epe_mean_px: stats.mean_abs_px,
+                    epe_max_px: stats.max_abs_px,
+                    epe_matched: stats.matched_edges,
+                    epe_unmatched: stats.unmatched_edges,
+                });
+                resist_stack.push(resist);
+            }
+        }
+
+        let summary = metrology::pvb_summary(&resist_stack);
+        let response = ProcessWindowResponse {
+            model: info.name.clone(),
+            rows,
+            cols,
+            grid: (pw.focus_nm.len(), pw.dose.len()),
+            tiles_per_condition,
+            halo_px: halo,
+            conditions: reports,
+            pvb: PvbReport {
+                union_px: summary.union_px,
+                intersection_px: summary.intersection_px,
+                area_px: summary.area_px,
+                area_fraction: summary.area_fraction,
+            },
+            pvb_band: pw
+                .include_pvb_band
+                .then(|| metrology::pvb_band(&resist_stack).into_vec()),
+        };
+        Ok(Response::json(200, response.to_json().to_string()))
+    }
 }
 
 fn parse_outputs(doc: &Json) -> Result<(bool, bool), ServiceError> {
@@ -232,93 +395,21 @@ fn parse_outputs(doc: &Json) -> Result<(bool, bool), ServiceError> {
     }
 }
 
-/// Decodes the `mask` member: `rows`/`cols` plus either `rects`
-/// (`[x0, y0, x1, y1]` corner quadruples, half-open, clipped to the chip) or
-/// `pixels` (row-major values in `[0, 1]`).
+/// Decodes the `mask` member through the shared [`MaskSpec`] wire type (one
+/// grammar for `/v1/simulate` and `/v1/process_window`) and enforces the
+/// chip-size cap.
 fn parse_mask(doc: &Json) -> Result<RealMatrix, ServiceError> {
     let mask = doc
         .get("mask")
         .ok_or_else(|| ServiceError::bad_request("missing \"mask\""))?;
-    let rows = mask
-        .get("rows")
-        .and_then(Json::as_usize)
-        .ok_or_else(|| ServiceError::bad_request("\"mask.rows\" must be a positive integer"))?;
-    let cols = mask
-        .get("cols")
-        .and_then(Json::as_usize)
-        .ok_or_else(|| ServiceError::bad_request("\"mask.cols\" must be a positive integer"))?;
-    if rows == 0 || cols == 0 {
-        return Err(ServiceError::bad_request(
-            "mask dimensions must be non-zero",
-        ));
-    }
+    let spec = MaskSpec::from_json(mask).map_err(ServiceError::bad_request)?;
+    let (rows, cols) = spec.shape();
     if rows.saturating_mul(cols) > MAX_CHIP_PIXELS {
         return Err(ServiceError::bad_request(format!(
             "mask {rows}x{cols} exceeds the {MAX_CHIP_PIXELS}-pixel limit"
         )));
     }
-
-    match (mask.get("rects"), mask.get("pixels")) {
-        (Some(rects), None) => {
-            let rects = rects
-                .as_array()
-                .ok_or_else(|| ServiceError::bad_request("\"mask.rects\" must be an array"))?;
-            let mut layout = ChipLayout::new(rows, cols);
-            for (idx, rect) in rects.iter().enumerate() {
-                let quad = rect.to_numbers().filter(|q| q.len() == 4).ok_or_else(|| {
-                    ServiceError::bad_request(format!(
-                        "rect {idx} must be a [x0, y0, x1, y1] quadruple"
-                    ))
-                })?;
-                let mut corner = [0i64; 4];
-                for (slot, &n) in corner.iter_mut().zip(&quad) {
-                    if n.fract() != 0.0 || n.abs() > 1e9 {
-                        return Err(ServiceError::bad_request(format!(
-                            "rect {idx} corners must be integers"
-                        )));
-                    }
-                    *slot = n as i64;
-                }
-                let [x0, y0, x1, y1] = corner;
-                if x1 <= x0 || y1 <= y0 {
-                    return Err(ServiceError::bad_request(format!(
-                        "rect {idx} must have positive extent"
-                    )));
-                }
-                layout.push(Rect::new(x0, y0, x1, y1));
-            }
-            Ok(layout.rasterize())
-        }
-        (None, Some(pixels)) => {
-            // The parser stores all-numeric arrays flat, so a chip-sized
-            // pixel payload is validated in place with no per-pixel boxing.
-            let values: &[f64] = match pixels {
-                Json::NumberArray(values) => values,
-                Json::Array(items) if items.is_empty() => &[],
-                _ => {
-                    return Err(ServiceError::bad_request(
-                        "\"mask.pixels\" must be a flat numeric array",
-                    ))
-                }
-            };
-            if values.len() != rows * cols {
-                return Err(ServiceError::bad_request(format!(
-                    "\"mask.pixels\" has {} values, expected {}",
-                    values.len(),
-                    rows * cols
-                )));
-            }
-            if !values.iter().all(|v| (0.0..=1.0).contains(v)) {
-                return Err(ServiceError::bad_request(
-                    "\"mask.pixels\" values must lie in [0, 1]",
-                ));
-            }
-            Ok(RealMatrix::from_vec(rows, cols, values.to_vec()))
-        }
-        _ => Err(ServiceError::bad_request(
-            "\"mask\" needs exactly one of \"rects\" or \"pixels\"",
-        )),
-    }
+    Ok(spec.rasterize())
 }
 
 #[cfg(test)]
@@ -434,6 +525,200 @@ mod tests {
                 .map(|a| a.len()),
             Some(48 * 48)
         );
+    }
+
+    #[test]
+    fn process_window_rigorous_engine_full_grid() {
+        let service = service();
+        let body = r#"{
+            "model": "hopkins",
+            "mask": {"rows": 64, "cols": 64, "rects": [[8, 24, 56, 40]]},
+            "focus_nm": [0, 150],
+            "dose": [0.9, 1.0, 1.1],
+            "halo_px": 16
+        }"#;
+        let response = service.handle(&request("POST", "/v1/process_window", body));
+        assert_eq!(
+            response.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        let doc = parse_body(&response);
+        let parsed = crate::pw::ProcessWindowResponse::from_json(&doc).expect("typed response");
+        assert_eq!(parsed.model, "hopkins");
+        assert_eq!(parsed.grid, (2, 3));
+        assert_eq!(parsed.conditions.len(), 6);
+        assert_eq!(parsed.rows, 64);
+        assert_eq!(parsed.halo_px, 16);
+        assert!(parsed.tiles_per_condition >= 1);
+        assert!(parsed.pvb_band.is_none(), "band was not requested");
+        // Row-major order: focus outer, dose inner.
+        assert_eq!(parsed.conditions[0].defocus_nm, 0.0);
+        assert!((parsed.conditions[0].dose - 0.9).abs() < 1e-12);
+        assert_eq!(parsed.conditions[3].defocus_nm, 150.0);
+        // The grid contains the nominal point; its EPE against itself is 0.
+        let nominal = &parsed.conditions[1];
+        assert!(nominal.dose == 1.0 && nominal.defocus_nm == 0.0);
+        assert_eq!(nominal.epe_mean_px, 0.0);
+        assert_eq!(nominal.epe_max_px, 0.0);
+        assert!(nominal.epe_matched > 0);
+        // A horizontal bar crosses the vertical center cutline: CD measured.
+        assert!(nominal.cd_v_px.is_some());
+        // Dose is monotone in printed area at fixed focus.
+        assert!(parsed.conditions[0].printed_px <= parsed.conditions[1].printed_px);
+        assert!(parsed.conditions[1].printed_px <= parsed.conditions[2].printed_px);
+        // The process window varies, so the band is non-empty but small.
+        assert!(parsed.pvb.area_px > 0.0);
+        assert!(parsed.pvb.area_fraction < 0.5);
+        assert!(parsed.pvb.intersection_px <= parsed.pvb.union_px);
+    }
+
+    fn conditioned_service() -> Service {
+        let optics = OpticalConfig::builder()
+            .tile_px(64)
+            .pixel_nm(8.0)
+            .kernel_count(6)
+            .build();
+        let mut model = nitho::NithoModel::new(
+            nitho::NithoConfig {
+                kernel_side: Some(9),
+                condition: Some(nitho::ConditionEncoding::default()),
+                ..nitho::NithoConfig::fast()
+            },
+            &optics,
+        );
+        model.refresh_kernels();
+        let mut registry = ModelRegistry::new();
+        registry.register_nitho("nitho", model);
+        Service::new(registry)
+    }
+
+    #[test]
+    fn process_window_conditioned_nitho_with_band() {
+        let service = conditioned_service();
+        let body = r#"{
+            "mask": {"rows": 48, "cols": 48, "rects": [[8, 8, 40, 24]]},
+            "focus_nm": [-50, 0, 50],
+            "dose": [1.0],
+            "include_pvb_band": true
+        }"#;
+        let response = service.handle(&request("POST", "/v1/process_window", body));
+        assert_eq!(
+            response.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        let parsed =
+            crate::pw::ProcessWindowResponse::from_json(&parse_body(&response)).expect("typed");
+        assert_eq!(parsed.model, "nitho");
+        assert_eq!(parsed.grid, (3, 1));
+        let band = parsed.pvb_band.expect("band requested");
+        assert_eq!(band.len(), 48 * 48);
+        assert!(band.iter().all(|&v| v == 0.0 || v == 1.0));
+        assert_eq!(band.iter().sum::<f64>(), parsed.pvb.area_px);
+    }
+
+    #[test]
+    fn process_window_rejects_off_nominal_on_nominal_only_models() {
+        // The default service registers an unconditioned engine set... the
+        // hopkins engine serves everything, so register a nominal-only nitho.
+        let optics = OpticalConfig::builder()
+            .tile_px(64)
+            .pixel_nm(8.0)
+            .kernel_count(6)
+            .build();
+        let mut model = nitho::NithoModel::new(
+            nitho::NithoConfig {
+                kernel_side: Some(9),
+                ..nitho::NithoConfig::fast()
+            },
+            &optics,
+        );
+        model.refresh_kernels();
+        let mut registry = ModelRegistry::new();
+        registry.register_nitho("nitho", model);
+        let service = Service::new(registry);
+
+        let off_nominal = r#"{
+            "model": "nitho",
+            "mask": {"rows": 48, "cols": 48, "rects": [[8, 8, 40, 24]]},
+            "focus_nm": [0, 50]
+        }"#;
+        let response = service.handle(&request("POST", "/v1/process_window", off_nominal));
+        assert_eq!(response.status, 400);
+        let body = parse_body(&response);
+        let message = body.get("error").and_then(Json::as_str).expect("error");
+        assert!(message.contains("nominal-only"), "{message}");
+
+        // The nominal-only grid still works.
+        let nominal = r#"{
+            "model": "nitho",
+            "mask": {"rows": 48, "cols": 48, "rects": [[8, 8, 40, 24]]}
+        }"#;
+        let response = service.handle(&request("POST", "/v1/process_window", nominal));
+        assert_eq!(response.status, 200);
+    }
+
+    #[test]
+    fn process_window_malformed_bodies_are_4xx_never_panics() {
+        let service = service();
+        let cases = [
+            ("not json", 400),
+            ("{}", 400),
+            (r#"{"mask":{"rows":64,"cols":64}}"#, 400),
+            (
+                r#"{"model":"missing","mask":{"rows":64,"cols":64,"rects":[[0,0,8,8]]}}"#,
+                404,
+            ),
+            (
+                r#"{"mask":{"rows":64,"cols":64,"rects":[[0,0,8,8]]},"focus_nm":[]}"#,
+                400,
+            ),
+            (
+                r#"{"mask":{"rows":64,"cols":64,"rects":[[0,0,8,8]]},"dose":[-1]}"#,
+                400,
+            ),
+            (
+                r#"{"mask":{"rows":64,"cols":64,"rects":[[0,0,8,8]]},"dose":[0]}"#,
+                400,
+            ),
+            (
+                r#"{"mask":{"rows":64,"cols":64,"rects":[[0,0,8,8]]},"focus_nm":"all"}"#,
+                400,
+            ),
+            (
+                r#"{"mask":{"rows":64,"cols":64,"rects":[[0,0,8,8]]},"halo_px":32}"#,
+                400,
+            ),
+            (
+                r#"{"mask":{"rows":99999,"cols":99999,"rects":[[0,0,8,8]]}}"#,
+                400,
+            ),
+            (r#"{"mask":{"rows":64,"cols":64,"pixels":[1,2,3]}}"#, 400),
+            (
+                r#"{"mask":{"rows":64,"cols":64,"rects":[[0,0,8,8]]},"include_pvb_band":"yes"}"#,
+                400,
+            ),
+            (
+                r#"{"mask":{"rows":64,"cols":64,"rects":[[0,0,8,8]]},"focus_nm":[0,1,2,3,4,5,6,7,8],"dose":[0.9,0.92,0.94,0.96,0.98,1.0,1.02,1.04]}"#,
+                400,
+            ),
+        ];
+        for (body, expected) in cases {
+            let response = service.handle(&request("POST", "/v1/process_window", body));
+            assert_eq!(
+                response.status,
+                expected,
+                "{body}: {}",
+                String::from_utf8_lossy(&response.body)
+            );
+            assert!(parse_body(&response).get("error").is_some());
+        }
+        // Wrong method on the route.
+        let response = service.handle(&request("GET", "/v1/process_window", ""));
+        assert_eq!(response.status, 405);
     }
 
     #[test]

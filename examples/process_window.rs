@@ -1,0 +1,110 @@
+//! Process-window walkthrough: train one defocus/dose-conditioned Nitho
+//! model, sweep a focus × dose grid with it, and compare against the
+//! rigorous per-condition Hopkins reference — printing a focus-exposure
+//! matrix of CD / EPE / printed-area metrology plus the PVB summary.
+//!
+//! ```sh
+//! cargo run --release -p litho_integration --example process_window
+//! ```
+//!
+//! Scale knobs (see `litho_integration::scale`): `NITHO_TILE_PX`,
+//! `NITHO_TRAIN_TILES`, `NITHO_EPOCHS`.
+
+use litho_integration::scale;
+use litho_masks::{DatasetKind, ProcessDataset};
+use litho_metrics::metrology::{cd_px, epe_with_thresholds, pvb_summary, Cutline};
+use litho_optics::{HopkinsSimulator, ProcessCondition, ProcessWindow};
+use nitho::{ConditionEncoding, NithoConfig, NithoModel};
+
+fn main() {
+    let optics = scale::test_optics(64, 6);
+    let simulator = HopkinsSimulator::new(&optics);
+    let window = ProcessWindow::symmetric(80.0, 3, 0.05, 3);
+    let conditions = window.conditions();
+
+    println!(
+        "training a conditioned model on a {}x{} focus x dose grid \
+         ({} px tiles, {} kernels)…",
+        window.shape().0,
+        window.shape().1,
+        optics.tile_px,
+        optics.kernel_count
+    );
+    let pd = ProcessDataset::generate(
+        DatasetKind::B1,
+        scale::train_tiles(8),
+        &simulator,
+        &conditions,
+        7,
+    );
+    let (train, test) = pd.split(0.75);
+    let config = NithoConfig {
+        kernel_side: Some(9),
+        epochs: scale::epochs(25),
+        condition: Some(ConditionEncoding {
+            focus_span_nm: 80.0,
+            dose_span: 0.05,
+            ..ConditionEncoding::default()
+        }),
+        ..NithoConfig::fast()
+    };
+    let mut model = NithoModel::new(config, &optics);
+    let report = model.train_process_window(train.groups());
+    println!(
+        "trained: loss {:.3e} → {:.3e} over {} epochs\n",
+        report.initial_loss(),
+        report.final_loss(),
+        report.len()
+    );
+
+    // Sweep a held-out mask (never seen in training) through the window
+    // with both engines.
+    let mask = test.groups()[0].1.samples()[0].mask.clone();
+    let n = mask.rows();
+    let cutlines = Cutline::center(n, n);
+    let nominal_threshold = optics.resist_threshold;
+    let nominal_reference = model
+        .at_condition(&ProcessCondition::nominal())
+        .expect("conditioned model")
+        .predict_aerial(&mask);
+
+    println!("condition            CD_v[px]  EPE_mean[px]  printed[px]  PSNR_vs_rigorous[dB]");
+    let mut resist_stack = Vec::with_capacity(conditions.len());
+    for condition in &conditions {
+        let frozen = model.at_condition(condition).expect("conditioned model");
+        let aerial = frozen.predict_aerial(&mask);
+        let threshold = frozen.effective_resist_threshold();
+        let resist = aerial.threshold(threshold);
+
+        let rigorous = simulator.at_condition(condition).aerial_image(&mask);
+        let psnr = litho_metrics::psnr(&rigorous, &aerial);
+        let stats = epe_with_thresholds(
+            &nominal_reference,
+            nominal_threshold,
+            &aerial,
+            threshold,
+            &cutlines,
+        );
+        let cd = cd_px(&aerial, cutlines[1], threshold)
+            .map_or("    --".to_owned(), |v| format!("{v:6.2}"));
+        println!(
+            "Δz={:+6.1}nm d={:.2}  {cd}    {:8.3}      {:7.0}        {:6.2}",
+            condition.defocus_nm,
+            condition.dose,
+            stats.mean_abs_px,
+            resist.sum(),
+            psnr
+        );
+        resist_stack.push(resist);
+    }
+
+    let pvb = pvb_summary(&resist_stack);
+    println!(
+        "\nprocess-variation band: {} px ({:.2}% of the tile), union {} / \
+         intersection {} px",
+        pvb.area_px,
+        100.0 * pvb.area_fraction,
+        pvb.union_px,
+        pvb.intersection_px
+    );
+}

@@ -64,6 +64,19 @@ impl TileSimulator for SocsTileSim {
     fn simulate_tile(&self, tile: &RealMatrix) -> RealMatrix {
         self.socs.aerial_image(tile)
     }
+
+    fn for_condition(
+        &self,
+        condition: &litho_optics::ProcessCondition,
+    ) -> Option<Box<dyn TileSimulator>> {
+        // The fixed-source test engine only serves its nominal build.
+        condition.is_nominal().then(|| {
+            Box::new(SocsTileSim {
+                socs: self.socs.clone(),
+                optics: self.optics.clone(),
+            }) as Box<dyn TileSimulator>
+        })
+    }
 }
 
 #[test]

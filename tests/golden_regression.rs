@@ -1,0 +1,248 @@
+//! Golden-regression harness: small committed binary fixtures pin the
+//! physics of the golden engine so numerical drift is caught by CI, not by
+//! eyeballing benches.
+//!
+//! Fixtures live in `tests/golden/` and are regenerated with
+//!
+//! ```text
+//! cargo test -p litho_integration --test golden_regression \
+//!     regen_goldens -- --ignored
+//! ```
+//!
+//! after any *intentional* physics change; the diff then shows up in review
+//! as a fixture change rather than a silent behavior shift. The comparison
+//! tests run in the default tier-1 job with explicit tolerances (exact
+//! reproduction is not required across compilers/libm versions, only
+//! physics-level agreement).
+//!
+//! Fixture format (little-endian):
+//!
+//! * matrices — `NGLDMAT1`, u32 rows, u32 cols, rows·cols f64 values
+//! * tables   — `NGLDTAB1`, u32 count, count f64 values
+
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use litho_masks::{Dataset, DatasetKind};
+use litho_math::RealMatrix;
+use litho_metrics::metrology::{cd_px, Cutline};
+use litho_optics::{HopkinsSimulator, OpticalConfig, ProcessCondition};
+
+const MATRIX_MAGIC: &[u8; 8] = b"NGLDMAT1";
+const TABLE_MAGIC: &[u8; 8] = b"NGLDTAB1";
+
+/// Tolerances: aerial images are clear-field-normalized (O(1) values), so
+/// 1e-9 absolute catches any physics change while ignoring libm jitter.
+const AERIAL_TOLERANCE: f64 = 1e-9;
+const ENERGY_RELATIVE_TOLERANCE: f64 = 1e-9;
+const CD_TOLERANCE_PX: f64 = 1e-6;
+
+fn golden_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/integration; fixtures live at the
+    // conventional workspace-level tests/golden.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn write_matrix(path: &Path, matrix: &RealMatrix) {
+    let mut file = std::fs::File::create(path).expect("create fixture");
+    file.write_all(MATRIX_MAGIC).expect("write magic");
+    file.write_all(&(matrix.rows() as u32).to_le_bytes())
+        .expect("write rows");
+    file.write_all(&(matrix.cols() as u32).to_le_bytes())
+        .expect("write cols");
+    for &v in matrix.iter() {
+        file.write_all(&v.to_le_bytes()).expect("write value");
+    }
+}
+
+fn read_matrix(path: &Path) -> RealMatrix {
+    let mut file = std::fs::File::open(path).unwrap_or_else(|err| {
+        panic!(
+            "missing golden fixture {} ({err}); regenerate with \
+             `cargo test -p litho_integration --test golden_regression \
+             regen_goldens -- --ignored`",
+            path.display()
+        )
+    });
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic).expect("read magic");
+    assert_eq!(&magic, MATRIX_MAGIC, "not a golden matrix fixture");
+    let mut word = [0u8; 4];
+    file.read_exact(&mut word).expect("read rows");
+    let rows = u32::from_le_bytes(word) as usize;
+    file.read_exact(&mut word).expect("read cols");
+    let cols = u32::from_le_bytes(word) as usize;
+    let mut data = Vec::with_capacity(rows * cols);
+    let mut value = [0u8; 8];
+    for _ in 0..rows * cols {
+        file.read_exact(&mut value).expect("read value");
+        data.push(f64::from_le_bytes(value));
+    }
+    RealMatrix::from_vec(rows, cols, data)
+}
+
+fn write_table(path: &Path, values: &[f64]) {
+    let mut file = std::fs::File::create(path).expect("create fixture");
+    file.write_all(TABLE_MAGIC).expect("write magic");
+    file.write_all(&(values.len() as u32).to_le_bytes())
+        .expect("write count");
+    for &v in values {
+        file.write_all(&v.to_le_bytes()).expect("write value");
+    }
+}
+
+fn read_table(path: &Path) -> Vec<f64> {
+    let mut file = std::fs::File::open(path).unwrap_or_else(|err| {
+        panic!(
+            "missing golden fixture {} ({err}); regenerate with \
+             `cargo test -p litho_integration --test golden_regression \
+             regen_goldens -- --ignored`",
+            path.display()
+        )
+    });
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic).expect("read magic");
+    assert_eq!(&magic, TABLE_MAGIC, "not a golden table fixture");
+    let mut word = [0u8; 4];
+    file.read_exact(&mut word).expect("read count");
+    let count = u32::from_le_bytes(word) as usize;
+    let mut values = Vec::with_capacity(count);
+    let mut value = [0u8; 8];
+    for _ in 0..count {
+        file.read_exact(&mut value).expect("read value");
+        values.push(f64::from_le_bytes(value));
+    }
+    values
+}
+
+/// The frozen scenario behind every fixture. Deliberately *not* wired to the
+/// NITHO_* scale knobs: goldens pin one fixed, fast configuration.
+fn golden_simulator() -> HopkinsSimulator {
+    let optics = OpticalConfig::builder()
+        .tile_px(64)
+        .pixel_nm(8.0)
+        .kernel_count(8)
+        .build();
+    HopkinsSimulator::new(&optics)
+}
+
+const DEFOCUS_NM: f64 = 120.0;
+const GOLDEN_SEED: u64 = 4242;
+const CD_THRESHOLDS: [f64; 4] = [0.15, 0.225, 0.3, 0.4];
+
+fn golden_mask(simulator: &HopkinsSimulator) -> RealMatrix {
+    Dataset::generate(DatasetKind::B1, 1, simulator, GOLDEN_SEED).samples()[0]
+        .mask
+        .clone()
+}
+
+/// CD table layout: for each threshold, [nominal row-CD, nominal col-CD,
+/// defocused row-CD, defocused col-CD], with unprinted cutlines encoded as
+/// −1.
+fn cd_table(nominal: &RealMatrix, defocused: &RealMatrix) -> Vec<f64> {
+    let encode = |v: Option<f64>| v.unwrap_or(-1.0);
+    let mut table = Vec::with_capacity(4 * CD_THRESHOLDS.len());
+    for &threshold in &CD_THRESHOLDS {
+        let [row, col] = Cutline::center(nominal.rows(), nominal.cols());
+        table.push(encode(cd_px(nominal, row, threshold)));
+        table.push(encode(cd_px(nominal, col, threshold)));
+        table.push(encode(cd_px(defocused, row, threshold)));
+        table.push(encode(cd_px(defocused, col, threshold)));
+    }
+    table
+}
+
+/// Regenerates every fixture. Run explicitly (`--ignored`) after an
+/// intentional physics change and commit the resulting binaries.
+#[test]
+#[ignore = "regenerates the committed golden fixtures"]
+fn regen_goldens() {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+    let simulator = golden_simulator();
+    let mask = golden_mask(&simulator);
+
+    let nominal = simulator.aerial_image(&mask);
+    write_matrix(&dir.join("aerial_nominal.bin"), &nominal);
+
+    let defocused_sim = simulator.at_condition(&ProcessCondition::new(DEFOCUS_NM, 1.0));
+    let defocused = defocused_sim.aerial_image(&mask);
+    write_matrix(&dir.join("aerial_defocus.bin"), &defocused);
+
+    write_table(
+        &dir.join("kernel_energies.bin"),
+        simulator.kernels().eigenvalues(),
+    );
+    write_table(&dir.join("cd_table.bin"), &cd_table(&nominal, &defocused));
+    println!("regenerated golden fixtures in {}", dir.display());
+}
+
+#[test]
+fn golden_nominal_aerial_matches() {
+    let simulator = golden_simulator();
+    let mask = golden_mask(&simulator);
+    let aerial = simulator.aerial_image(&mask);
+    let golden = read_matrix(&golden_dir().join("aerial_nominal.bin"));
+    assert_eq!(aerial.shape(), golden.shape());
+    let worst = aerial.zip_map(&golden, |a, b| (a - b).abs()).max();
+    assert!(
+        worst < AERIAL_TOLERANCE,
+        "nominal aerial drifted from the golden fixture by {worst:e}"
+    );
+}
+
+#[test]
+fn golden_defocused_aerial_matches() {
+    let simulator = golden_simulator();
+    let mask = golden_mask(&simulator);
+    let defocused = simulator
+        .at_condition(&ProcessCondition::new(DEFOCUS_NM, 1.0))
+        .aerial_image(&mask);
+    let golden = read_matrix(&golden_dir().join("aerial_defocus.bin"));
+    let worst = defocused.zip_map(&golden, |a, b| (a - b).abs()).max();
+    assert!(
+        worst < AERIAL_TOLERANCE,
+        "defocused aerial drifted from the golden fixture by {worst:e}"
+    );
+    // The two fixtures must genuinely differ — defocus is not a no-op.
+    let nominal = read_matrix(&golden_dir().join("aerial_nominal.bin"));
+    assert!(nominal.zip_map(&golden, |a, b| (a - b).abs()).max() > 1e-4);
+}
+
+#[test]
+fn golden_kernel_energies_match() {
+    let simulator = golden_simulator();
+    let energies = simulator.kernels().eigenvalues();
+    let golden = read_table(&golden_dir().join("kernel_energies.bin"));
+    assert_eq!(energies.len(), golden.len(), "kernel count changed");
+    for (i, (&now, &then)) in energies.iter().zip(&golden).enumerate() {
+        let scale = then.abs().max(1e-12);
+        assert!(
+            ((now - then) / scale).abs() < ENERGY_RELATIVE_TOLERANCE,
+            "kernel {i} energy drifted: {now} vs golden {then}"
+        );
+    }
+}
+
+#[test]
+fn golden_cd_table_matches() {
+    let simulator = golden_simulator();
+    let mask = golden_mask(&simulator);
+    let nominal = simulator.aerial_image(&mask);
+    let defocused = simulator
+        .at_condition(&ProcessCondition::new(DEFOCUS_NM, 1.0))
+        .aerial_image(&mask);
+    let table = cd_table(&nominal, &defocused);
+    let golden = read_table(&golden_dir().join("cd_table.bin"));
+    assert_eq!(table.len(), golden.len(), "CD table layout changed");
+    for (i, (&now, &then)) in table.iter().zip(&golden).enumerate() {
+        if then < 0.0 {
+            assert!(now < 0.0, "entry {i}: a cutline started printing");
+        } else {
+            assert!(
+                (now - then).abs() < CD_TOLERANCE_PX,
+                "entry {i}: CD drifted {now} vs golden {then}"
+            );
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Process-window integration suite — the tier-1 contract of the
+//! defocus/dose-conditioned subsystem:
+//!
+//! 1. One conditioned model, trained across a focus × dose grid, matches the
+//!    per-condition rigorous Hopkins reference at a trained condition to the
+//!    same tolerance the nominal model is pinned to today (PSNR > 24 dB,
+//!    mIOU > 88 %).
+//! 2. `/v1/process_window` responses are bit-identical across
+//!    `NITHO_THREADS` 1 / 2 / 4.
+//! 3. Checkpoint compatibility: a pre-conditioning nominal checkpoint (both
+//!    the headerless legacy dump and the fingerprinted `NITHOCKPT` form)
+//!    still loads and serves nominal results without triggering the
+//!    self-heal retrain, while conditioned checkpoints round-trip and never
+//!    cross-load.
+
+use litho_integration::scale;
+use litho_masks::{DatasetKind, ProcessDataset};
+use litho_optics::{HopkinsSimulator, OpticalConfig, ProcessCondition, ProcessWindow};
+use litho_serve::{ModelRegistry, Request, Service};
+use nitho::{ConditionEncoding, NithoConfig, NithoModel};
+
+fn optics() -> OpticalConfig {
+    scale::test_optics(64, 6)
+}
+
+fn conditioned_config() -> NithoConfig {
+    NithoConfig {
+        kernel_side: Some(9),
+        epochs: scale::epochs(30),
+        condition: Some(ConditionEncoding {
+            focus_span_nm: 100.0,
+            dose_span: 0.1,
+            features: 8,
+            sigma: 1.0,
+            seed: 3,
+        }),
+        ..NithoConfig::fast()
+    }
+}
+
+/// Acceptance pin: the conditioned model at a trained off-nominal condition
+/// meets the same accuracy bar the nominal model meets today
+/// (`training_reduces_loss_and_reaches_good_accuracy` pins PSNR > 24 dB and
+/// mIOU > 88 % at nominal).
+#[test]
+fn conditioned_model_matches_rigorous_reference_at_trained_conditions() {
+    let optics = optics();
+    let simulator = HopkinsSimulator::new(&optics);
+    let window = ProcessWindow::new(vec![0.0, 100.0], vec![0.95, 1.05]);
+    let conditions = window.conditions();
+    let pd = ProcessDataset::generate(
+        DatasetKind::B1,
+        scale::train_tiles(12),
+        &simulator,
+        &conditions,
+        3,
+    );
+    let (train, test) = pd.split(0.75);
+
+    let mut model = NithoModel::new(conditioned_config(), &optics);
+    let report = model.train_process_window(train.groups());
+    assert!(
+        report.improvement_ratio() < 0.2,
+        "conditioned loss should drop by at least 5x: {} → {}",
+        report.initial_loss(),
+        report.final_loss()
+    );
+
+    // Every trained condition — including the defocused, off-dose corners —
+    // must meet the nominal-model bar against its own rigorous labels.
+    for (condition, dataset) in test.groups() {
+        let eval = model.evaluate_at_condition(dataset, condition, optics.resist_threshold);
+        assert!(
+            eval.aerial.psnr_db > 24.0,
+            "PSNR too low at {condition}: {:.2} dB",
+            eval.aerial.psnr_db
+        );
+        assert!(
+            eval.resist.miou_percent > 88.0,
+            "mIOU too low at {condition}: {:.1}%",
+            eval.resist.miou_percent
+        );
+    }
+
+    // And the conditioning must matter: evaluating the *nominal* kernels
+    // against the defocused labels has to be clearly worse than evaluating
+    // the matching conditioned kernels.
+    let defocused = ProcessCondition::new(100.0, 1.05);
+    let defocused_set = test.group(&defocused).expect("defocused test group");
+    let matched = model.evaluate_at_condition(defocused_set, &defocused, optics.resist_threshold);
+    let mismatched = model.evaluate_at_condition(
+        defocused_set,
+        &ProcessCondition::new(0.0, 1.05),
+        optics.resist_threshold,
+    );
+    assert!(
+        matched.aerial.psnr_db > mismatched.aerial.psnr_db + 1.0,
+        "conditioning must track defocus: matched {:.2} dB vs mismatched {:.2} dB",
+        matched.aerial.psnr_db,
+        mismatched.aerial.psnr_db
+    );
+}
+
+fn process_window_service() -> Service {
+    let optics = OpticalConfig::builder()
+        .tile_px(64)
+        .pixel_nm(8.0)
+        .kernel_count(6)
+        .build();
+    let mut registry = ModelRegistry::new();
+    registry.register_hopkins("hopkins", HopkinsSimulator::new(&optics));
+    let mut model = NithoModel::new(
+        NithoConfig {
+            kernel_side: Some(9),
+            condition: Some(ConditionEncoding::default()),
+            ..NithoConfig::fast()
+        },
+        &optics,
+    );
+    model.refresh_kernels();
+    registry.register_nitho("nitho", model);
+    Service::new(registry)
+}
+
+/// Acceptance pin: `/v1/process_window` output is bit-identical across
+/// `NITHO_THREADS` 1 / 2 / 4 (the response deliberately carries no timing
+/// field, so whole bodies can be compared byte for byte).
+#[test]
+fn process_window_endpoint_bit_identical_across_thread_counts() {
+    let service = process_window_service();
+    let run = |model: &str, threads: usize| -> Vec<u8> {
+        let body = format!(
+            r#"{{
+                "model": "{model}",
+                "mask": {{"rows": 96, "cols": 96, "rects": [[16, 16, 80, 40], [40, 56, 56, 88]]}},
+                "focus_nm": [-60, 0, 60],
+                "dose": [0.95, 1.0, 1.05],
+                "halo_px": 16,
+                "include_pvb_band": true
+            }}"#
+        );
+        let request = Request {
+            method: "POST".to_owned(),
+            path: "/v1/process_window".to_owned(),
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        };
+        litho_parallel::with_threads(threads, || {
+            let response = service.handle(&request);
+            assert_eq!(
+                response.status,
+                200,
+                "{}",
+                String::from_utf8_lossy(&response.body)
+            );
+            response.body
+        })
+    };
+    for model in ["nitho", "hopkins"] {
+        let serial = run(model, 1);
+        for threads in [2usize, 4] {
+            let parallel = run(model, threads);
+            assert_eq!(
+                serial, parallel,
+                "{model}: response must be bit-identical at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Pre-conditioning checkpoints keep working: the fingerprint only covers
+/// the `condition` field when it is set, so a nominal checkpoint written
+/// before (or without) the process-window subsystem loads into today's
+/// nominal model without the registry's self-heal retrain firing.
+#[test]
+fn pre_conditioning_nominal_checkpoints_serve_without_retraining() {
+    let optics = OpticalConfig::builder()
+        .tile_px(64)
+        .pixel_nm(8.0)
+        .kernel_count(6)
+        .build();
+    let config = NithoConfig {
+        kernel_side: Some(9),
+        ..NithoConfig::fast()
+    };
+    assert!(config.condition.is_none());
+    let dir = std::env::temp_dir().join("nitho_pw_compat_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    // A fingerprinted nominal checkpoint (what every pre-PR server wrote).
+    let mut nominal = NithoModel::new(config.clone(), &optics);
+    nominal.refresh_kernels();
+    nominal
+        .save_parameters(&dir.join("served.ckpt"))
+        .expect("save nominal checkpoint");
+
+    let mut registry = ModelRegistry::new();
+    registry
+        .register_nitho_checkpointed("served", config.clone(), &optics, &dir, |_| {
+            panic!("nominal checkpoint must satisfy the conditioned-era registry")
+        })
+        .expect("register from nominal checkpoint");
+    let (_, sim) = registry.get("served").expect("registered");
+    let aerial = sim.simulate_tile(&litho_math::RealMatrix::filled(64, 64, 1.0));
+    assert_eq!(aerial.shape(), (64, 64));
+    assert!(aerial.iter().all(|v| v.is_finite()));
+
+    // A headerless legacy NITHOPRM dump under the checkpoint name loads too
+    // (with a warning on stderr) — still no retrain.
+    let legacy_dir = dir.join("legacy");
+    std::fs::create_dir_all(&legacy_dir).expect("create legacy dir");
+    nominal
+        .cmlp()
+        .params()
+        .save(&legacy_dir.join("served.ckpt"))
+        .expect("legacy dump");
+    let mut registry = ModelRegistry::new();
+    registry
+        .register_nitho_checkpointed("served", config.clone(), &optics, &legacy_dir, |_| {
+            panic!("legacy dump must load as nominal without retraining")
+        })
+        .expect("register from legacy dump");
+    let (info, sim) = registry.get("served").expect("registered");
+    assert_eq!(info.checkpoint_version, 0, "legacy files have no version");
+    let restored = sim.simulate_tile(&litho_math::RealMatrix::filled(64, 64, 1.0));
+    assert!(
+        aerial.zip_map(&restored, |a, b| (a - b).abs()).max() < 1e-12,
+        "legacy weights must serve identical nominal results"
+    );
+
+    // A conditioned model is a different network: its checkpoint must NOT
+    // load into the nominal registry entry — the self-heal retrain fires.
+    let conditioned_dir = dir.join("conditioned");
+    std::fs::create_dir_all(&conditioned_dir).expect("create conditioned dir");
+    let conditioned_config = NithoConfig {
+        condition: Some(ConditionEncoding::default()),
+        ..config.clone()
+    };
+    let mut conditioned = NithoModel::new(conditioned_config.clone(), &optics);
+    conditioned.refresh_kernels();
+    conditioned
+        .save_parameters(&conditioned_dir.join("served.ckpt"))
+        .expect("save conditioned checkpoint");
+    // Keep a pristine copy: the self-heal below overwrites served.ckpt.
+    conditioned
+        .save_parameters(&conditioned_dir.join("roundtrip.ckpt"))
+        .expect("save round-trip copy");
+    let mut retrained = false;
+    let mut registry = ModelRegistry::new();
+    registry
+        .register_nitho_checkpointed("served", config, &optics, &conditioned_dir, |model| {
+            retrained = true;
+            model.refresh_kernels();
+        })
+        .expect("mismatch falls back to retraining");
+    assert!(
+        retrained,
+        "a conditioned checkpoint must not satisfy a nominal model"
+    );
+
+    // And the conditioned model round-trips through its own checkpoint,
+    // preserving off-nominal predictions exactly.
+    let mut restored = NithoModel::new(conditioned_config, &optics);
+    restored
+        .load_parameters(&conditioned_dir.join("roundtrip.ckpt"))
+        .expect("conditioned load");
+    let mask = litho_math::RealMatrix::filled(64, 64, 1.0);
+    let condition = ProcessCondition::new(-75.0, 1.04);
+    let a = conditioned.predict_aerial_at_condition(&mask, &condition);
+    let b = restored.predict_aerial_at_condition(&mask, &condition);
+    assert!(a.zip_map(&b, |x, y| (x - y).abs()).max() < 1e-12);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The rigorous engine and the serve-layer fan-out agree on the physics:
+/// more defocus can only blur the chip, and the PVB area grows with the
+/// window size.
+#[test]
+fn process_window_physics_sanity_through_the_service() {
+    let optics = OpticalConfig::builder()
+        .tile_px(64)
+        .pixel_nm(8.0)
+        .kernel_count(6)
+        .build();
+    let mut registry = ModelRegistry::new();
+    registry.register_hopkins("hopkins", HopkinsSimulator::new(&optics));
+    let service = Service::new(registry);
+
+    let run = |focus: &str, dose: &str| -> litho_serve::ProcessWindowResponse {
+        let body = format!(
+            r#"{{"model":"hopkins",
+                 "mask":{{"rows":64,"cols":64,"rects":[[8,24,56,40]]}},
+                 "focus_nm":[{focus}],"dose":[{dose}],"halo_px":16}}"#
+        );
+        let request = Request {
+            method: "POST".to_owned(),
+            path: "/v1/process_window".to_owned(),
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        };
+        let response = service.handle(&request);
+        assert_eq!(
+            response.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        let doc = litho_serve::Json::parse(std::str::from_utf8(&response.body).expect("UTF-8"))
+            .expect("JSON");
+        litho_serve::ProcessWindowResponse::from_json(&doc).expect("typed response")
+    };
+
+    // A single-condition "window" has zero PVB area by definition.
+    let single = run("0", "1");
+    assert_eq!(single.pvb.area_px, 0.0);
+    assert_eq!(single.conditions.len(), 1);
+
+    // Widening the dose axis can only grow the band.
+    let narrow = run("0", "0.97,1,1.03");
+    let wide = run("0", "0.9,1,1.1");
+    assert!(narrow.pvb.area_px > 0.0);
+    assert!(wide.pvb.area_px >= narrow.pvb.area_px);
+
+    // EPE against nominal grows with defocus on this pattern.
+    let focus_sweep = run("0,80,160", "1");
+    let epe: Vec<f64> = focus_sweep
+        .conditions
+        .iter()
+        .map(|c| c.epe_mean_px)
+        .collect();
+    assert_eq!(epe[0], 0.0, "nominal vs itself");
+    assert!(
+        epe[2] >= epe[1],
+        "strong defocus must displace edges at least as much: {epe:?}"
+    );
+}
