@@ -20,8 +20,11 @@ const PIXEL_NM: f64 = 8.0;
 /// an order of magnitude fewer (the source of the Fig. 5 speed-up).
 const RIGOROUS_KERNELS: usize = 32;
 const NITHO_KERNELS: usize = 6;
-/// 4×4 mosaic: a 256-px chip, 16× the training-tile area.
-const MOSAIC: usize = 4;
+/// 4×4 mosaic by default: a 256-px chip, 16× the training-tile area.
+/// `NITHO_CHIP_MOSAIC` scales it down for CI's bench-smoke job.
+fn mosaic() -> usize {
+    litho_bench::env_usize("NITHO_CHIP_MOSAIC", 4)
+}
 
 /// Mean wall time per iteration in milliseconds (1 warm-up + `iters` timed).
 fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
@@ -55,10 +58,11 @@ fn bench_chip(c: &mut Criterion) {
     );
     model.train(&train);
 
+    let mosaic = mosaic();
     let chip = chip_mosaic(
         DatasetKind::B2Metal,
-        MOSAIC,
-        MOSAIC,
+        mosaic,
+        mosaic,
         &GeneratorConfig::new(TILE_PX, PIXEL_NM),
         22,
     );

@@ -1,0 +1,99 @@
+//! Frozen CMLP inference throughput: the retained tape-based evaluation vs
+//! the tape-free blocked split-complex path that `kernels_at`/serving use.
+//!
+//! Emits `BENCH_infer.json` at the workspace root so the inference rewrite
+//! has its own trajectory file, separate from the SOCS/chip numbers.
+//!
+//! Knobs: `NITHO_INFER_BATCH` (pixel rows per forward pass, default 2048).
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use litho_math::{Complex64, ComplexMatrix, DeterministicRng};
+use nitho::{Cmlp, CmlpArchitecture};
+
+/// The experiment-sized network (see `litho_bench::nitho_config`): 32 RFF
+/// frequencies → 64 complex input features, two 48-wide hidden blocks, one
+/// kernel value per output column.
+fn architecture() -> CmlpArchitecture {
+    CmlpArchitecture {
+        input_dim: 64,
+        hidden_dim: 48,
+        hidden_blocks: 2,
+        output_dim: 8,
+    }
+}
+
+/// Mean wall time per iteration in milliseconds (1 warm-up + `iters` timed).
+fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let batch = litho_bench::env_usize("NITHO_INFER_BATCH", 2048);
+    let mut rng = DeterministicRng::new(7);
+    let mlp = Cmlp::new(architecture(), &mut rng);
+    let input = ComplexMatrix::from_fn(batch, architecture().input_dim, |i, j| {
+        Complex64::new(
+            ((i * 13 + j) as f64 * 0.07).sin(),
+            ((i + 5 * j) as f64 * 0.11).cos(),
+        )
+    });
+
+    // The two paths must agree (the batched path's accumulation mirrors the
+    // tape matmul), otherwise the comparison is meaningless.
+    let a = mlp.infer(&input);
+    let b = mlp.infer_tape(&input);
+    let max_err = a
+        .iter()
+        .zip(b.iter())
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_err <= 1e-12, "tape/batched divergence {max_err}");
+
+    let mut group = c.benchmark_group(format!("cmlp_frozen_inference_{batch}px"));
+    group.sample_size(10);
+    group.bench_function("tape", |b| b.iter(|| black_box(mlp.infer_tape(&input))));
+    group.bench_function("batched_soa", |b| b.iter(|| black_box(mlp.infer(&input))));
+    group.finish();
+
+    let iters = 10;
+    let tape_ms = time_ms(iters, || {
+        black_box(mlp.infer_tape(&input));
+    });
+    let batched_ms = time_ms(iters, || {
+        black_box(mlp.infer(&input));
+    });
+
+    let arch = architecture();
+    let json = format!(
+        "{{\n  \"bench\": \"cmlp_inference\",\n  \"batch\": {batch},\n  \
+         \"input_dim\": {},\n  \"hidden_dim\": {},\n  \"hidden_blocks\": {},\n  \
+         \"output_dim\": {},\n  \"tape_ms\": {tape_ms:.3},\n  \
+         \"batched_ms\": {batched_ms:.3},\n  \
+         \"tape_pixels_per_s\": {:.0},\n  \"batched_pixels_per_s\": {:.0},\n  \
+         \"speedup\": {:.3}\n}}\n",
+        arch.input_dim,
+        arch.hidden_dim,
+        arch.hidden_blocks,
+        arch.output_dim,
+        batch as f64 / (tape_ms / 1e3),
+        batch as f64 / (batched_ms / 1e3),
+        tape_ms / batched_ms,
+    );
+    // Cargo runs benches with the package directory as CWD; anchor the report
+    // at the workspace root instead.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_infer.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote BENCH_infer.json:\n{json}"),
+        Err(err) => eprintln!("could not write BENCH_infer.json: {err}"),
+    }
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -71,10 +71,14 @@ fn bench_process_window(c: &mut Criterion) {
         .clone();
 
     // Full grid sweep through each engine: aerial + resist per condition.
+    // The cropped mask spectrum is condition-independent, so the conditioned
+    // sweep computes it once per tile and reuses it across the whole grid
+    // (the serving layer does the same; pinned by tests/spectrum_reuse.rs).
     let nitho_sweep = || {
+        let spectrum = model.cropped_spectrum(&mask);
         for condition in &conditions {
             let frozen = model.at_condition(condition).expect("conditioned model");
-            let aerial = frozen.predict_aerial(&mask);
+            let aerial = frozen.predict_aerial_from_spectrum(&spectrum, mask.len(), TILE_PX);
             black_box(aerial.threshold(frozen.effective_resist_threshold()));
         }
     };

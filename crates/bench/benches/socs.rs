@@ -15,8 +15,15 @@ use litho_math::{ComplexMatrix, RealMatrix};
 use litho_optics::source::SourceGrid;
 use litho_optics::{HopkinsSimulator, OpticalConfig, SocsKernels, TccMatrix};
 
-const TILE_PX: usize = 128;
-const KERNEL_COUNT: usize = 64;
+/// Workload knobs (`NITHO_SOCS_TILE_PX`, `NITHO_SOCS_KERNELS`): the defaults
+/// are the production-sized trajectory workload; CI's bench-smoke job runs a
+/// reduced size and only checks the emitted speedup floor.
+fn tile_px() -> usize {
+    litho_bench::env_usize("NITHO_SOCS_TILE_PX", 128)
+}
+fn kernel_count() -> usize {
+    litho_bench::env_usize("NITHO_SOCS_KERNELS", 64)
+}
 
 /// The pre-engine aerial synthesis: per-call twiddle recomputation, one
 /// kernel at a time, no plan cache, no workers. Normalization is omitted —
@@ -44,16 +51,18 @@ fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn bench_socs(c: &mut Criterion) {
+    let tile_px = tile_px();
+    let kernel_count = kernel_count();
     let config = OpticalConfig::builder()
-        .tile_px(TILE_PX)
-        .pixel_nm(4.0)
-        .kernel_count(KERNEL_COUNT)
+        .tile_px(tile_px)
+        .pixel_nm(512.0 / tile_px as f64)
+        .kernel_count(kernel_count)
         .build();
     let dims = config.kernel_dims_with_side(9);
     let grid = SourceGrid::sample(&config.source, 13);
     let tcc = TccMatrix::assemble(&config, dims, &grid);
     let socs = SocsKernels::from_tcc(&tcc);
-    assert_eq!(socs.kernels().len(), KERNEL_COUNT);
+    assert_eq!(socs.kernels().len(), kernel_count);
 
     let labeller = HopkinsSimulator::new(&config);
     let mask = Dataset::generate(DatasetKind::B2Metal, 1, &labeller, 11).samples()[0]
@@ -63,15 +72,22 @@ fn bench_socs(c: &mut Criterion) {
     let mask_pixels = mask.len();
     let threads = litho_parallel::max_threads();
 
-    let mut group = c.benchmark_group("socs_aerial_64_kernels");
+    let mut group = c.benchmark_group(format!("socs_aerial_{kernel_count}_kernels"));
     group.sample_size(10);
     group.bench_function("unplanned_serial", |b| {
-        b.iter(|| unplanned_serial_aerial(&socs, &spectrum, TILE_PX));
+        b.iter(|| unplanned_serial_aerial(&socs, &spectrum, tile_px));
+    });
+    group.bench_function("planned_aos_1_thread", |b| {
+        b.iter(|| {
+            litho_parallel::with_threads(1, || {
+                socs.aerial_from_cropped_spectrum_aos(&spectrum, mask_pixels, tile_px, tile_px)
+            })
+        });
     });
     group.bench_function("planned_1_thread", |b| {
         b.iter(|| {
             litho_parallel::with_threads(1, || {
-                socs.aerial_from_cropped_spectrum(&spectrum, mask_pixels, TILE_PX, TILE_PX)
+                socs.aerial_from_cropped_spectrum(&spectrum, mask_pixels, tile_px, tile_px)
             })
         });
     });
@@ -80,7 +96,7 @@ fn bench_socs(c: &mut Criterion) {
         group.bench_function(format!("planned_{threads}_threads"), |b| {
             b.iter(|| {
                 litho_parallel::with_threads(threads, || {
-                    socs.aerial_from_cropped_spectrum(&spectrum, mask_pixels, TILE_PX, TILE_PX)
+                    socs.aerial_from_cropped_spectrum(&spectrum, mask_pixels, tile_px, tile_px)
                 })
             });
         });
@@ -90,22 +106,33 @@ fn bench_socs(c: &mut Criterion) {
     // JSON summary for the README / CI perf tracking.
     let iters = 5;
     let unplanned_ms = time_ms(iters, || {
-        black_box(unplanned_serial_aerial(&socs, &spectrum, TILE_PX));
+        black_box(unplanned_serial_aerial(&socs, &spectrum, tile_px));
+    });
+    let planned_aos_ms = time_ms(iters, || {
+        litho_parallel::with_threads(1, || {
+            black_box(socs.aerial_from_cropped_spectrum_aos(
+                &spectrum,
+                mask_pixels,
+                tile_px,
+                tile_px,
+            ));
+        });
     });
     let planned_serial_ms = time_ms(iters, || {
         litho_parallel::with_threads(1, || {
-            black_box(socs.aerial_from_cropped_spectrum(&spectrum, mask_pixels, TILE_PX, TILE_PX));
+            black_box(socs.aerial_from_cropped_spectrum(&spectrum, mask_pixels, tile_px, tile_px));
         });
     });
     let planned_parallel_ms = time_ms(iters, || {
         litho_parallel::with_threads(threads, || {
-            black_box(socs.aerial_from_cropped_spectrum(&spectrum, mask_pixels, TILE_PX, TILE_PX));
+            black_box(socs.aerial_from_cropped_spectrum(&spectrum, mask_pixels, tile_px, tile_px));
         });
     });
 
     let json = format!(
-        "{{\n  \"bench\": \"socs_aerial\",\n  \"tile_px\": {TILE_PX},\n  \"kernel_count\": {KERNEL_COUNT},\n  \"threads\": {threads},\n  \"unplanned_serial_ms\": {unplanned_ms:.3},\n  \"planned_1_thread_ms\": {planned_serial_ms:.3},\n  \"planned_parallel_ms\": {planned_parallel_ms:.3},\n  \"planned_speedup\": {:.3},\n  \"parallel_speedup\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"socs_aerial\",\n  \"tile_px\": {tile_px},\n  \"kernel_count\": {kernel_count},\n  \"threads\": {threads},\n  \"unplanned_serial_ms\": {unplanned_ms:.3},\n  \"planned_aos_1_thread_ms\": {planned_aos_ms:.3},\n  \"planned_1_thread_ms\": {planned_serial_ms:.3},\n  \"planned_parallel_ms\": {planned_parallel_ms:.3},\n  \"planned_speedup\": {:.3},\n  \"soa_vs_aos_speedup\": {:.3},\n  \"parallel_speedup\": {:.3}\n}}\n",
         unplanned_ms / planned_serial_ms,
+        planned_aos_ms / planned_serial_ms,
         unplanned_ms / planned_parallel_ms,
     );
     // Cargo runs benches with the package directory as CWD; anchor the report

@@ -7,7 +7,7 @@
 //! network is differentiable end-to-end through the SOCS imaging equations.
 
 use litho_autodiff::{NodeId, ParamId, ParamStore, Tape};
-use litho_math::{ComplexMatrix, DeterministicRng};
+use litho_math::{soa, ComplexMatrix, DeterministicRng};
 
 /// Architecture of a [`Cmlp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,9 +150,122 @@ impl Cmlp {
         (hidden, leaves)
     }
 
-    /// Convenience inference pass: evaluates the network on a constant input
+    /// Frozen inference pass: evaluates the network on a constant input
     /// without keeping gradients, returning the output value.
+    ///
+    /// This is the tape-free batched path: activations live in split-complex
+    /// (SoA) buffers, pixels are processed in cache-sized row blocks, and
+    /// every `X·W` product is a run of fused complex axpys over contiguous
+    /// weight rows — no tape nodes, no per-layer matrix clones. The result is
+    /// bit-identical to the tape evaluation (same multiply/accumulate order),
+    /// pinned by `tape_and_batched_inference_agree` below.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match the architecture.
     pub fn infer(&self, input: &ComplexMatrix) -> ComplexMatrix {
+        assert_eq!(
+            input.cols(),
+            self.architecture.input_dim,
+            "input width must match the CMLP input dimension"
+        );
+        let batch = input.rows();
+        let width = self
+            .architecture
+            .hidden_dim
+            .max(self.architecture.input_dim)
+            .max(self.architecture.output_dim);
+        let layer_count = self.weight_ids.len();
+
+        // Split the parameters once per call (layer matrices are small
+        // compared to the pixel batch).
+        let weights: Vec<soa::ComplexSoa> = self
+            .weight_ids
+            .iter()
+            .map(|&id| soa::ComplexSoa::from_matrix(self.params.value(id)))
+            .collect();
+        let biases: Vec<soa::ComplexSoa> = self
+            .bias_ids
+            .iter()
+            .map(|&id| soa::ComplexSoa::from_matrix(self.params.value(id)))
+            .collect();
+
+        /// Rows per block: activations for one block stay L1/L2-resident
+        /// while the layer weights stream through.
+        const BLOCK_ROWS: usize = 64;
+        let mut out = ComplexMatrix::zeros(batch, self.architecture.output_dim);
+        // Ping-pong activation buffers sized for the widest layer.
+        let mut cur_re = vec![0.0; BLOCK_ROWS * width];
+        let mut cur_im = vec![0.0; BLOCK_ROWS * width];
+        let mut next_re = vec![0.0; BLOCK_ROWS * width];
+        let mut next_im = vec![0.0; BLOCK_ROWS * width];
+
+        for block_start in (0..batch).step_by(BLOCK_ROWS) {
+            let block_len = BLOCK_ROWS.min(batch - block_start);
+            // Load the block in SoA layout.
+            let in_dim = self.architecture.input_dim;
+            for b in 0..block_len {
+                for k in 0..in_dim {
+                    let z = input[(block_start + b, k)];
+                    cur_re[b * in_dim + k] = z.re;
+                    cur_im[b * in_dim + k] = z.im;
+                }
+            }
+            let mut cur_dim = in_dim;
+            for layer in 0..layer_count {
+                let w = &weights[layer];
+                let bias = &biases[layer];
+                let out_dim = w.cols();
+                for b in 0..block_len {
+                    let acc_re = &mut next_re[b * out_dim..(b + 1) * out_dim];
+                    let acc_im = &mut next_im[b * out_dim..(b + 1) * out_dim];
+                    acc_re.fill(0.0);
+                    acc_im.fill(0.0);
+                    // Σₖ x[b,k]·W[k,·] in ascending k — the same accumulation
+                    // order as the tape's cmatmul, so the layouts agree bit
+                    // for bit.
+                    for k in 0..cur_dim {
+                        let (xr, xi) = (cur_re[b * cur_dim + k], cur_im[b * cur_dim + k]);
+                        let (wr, wi) = (
+                            &w.re[k * out_dim..(k + 1) * out_dim],
+                            &w.im[k * out_dim..(k + 1) * out_dim],
+                        );
+                        soa::axpy_in_place(xr, xi, wr, wi, acc_re, acc_im);
+                    }
+                    let last = layer + 1 == layer_count;
+                    for j in 0..out_dim {
+                        let mut re = acc_re[j] + bias.re[j];
+                        let mut im = acc_im[j] + bias.im[j];
+                        if !last {
+                            // CReLU (Eq. (11)), matching the tape op exactly.
+                            re = re.max(0.0);
+                            im = im.max(0.0);
+                        }
+                        acc_re[j] = re;
+                        acc_im[j] = im;
+                    }
+                }
+                std::mem::swap(&mut cur_re, &mut next_re);
+                std::mem::swap(&mut cur_im, &mut next_im);
+                cur_dim = out_dim;
+            }
+            for b in 0..block_len {
+                for j in 0..cur_dim {
+                    out[(block_start + b, j)] = litho_math::Complex64::new(
+                        cur_re[b * cur_dim + j],
+                        cur_im[b * cur_dim + j],
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// The retained tape-based frozen inference (parameters inserted as
+    /// constants, forward evaluated through autodiff ops without gradients).
+    /// Kept as the equivalence baseline for [`Cmlp::infer`] and as the "tape"
+    /// side of the `BENCH_infer.json` comparison.
+    pub fn infer_tape(&self, input: &ComplexMatrix) -> ComplexMatrix {
         let mut tape = Tape::new();
         let input_node = tape.constant(input.clone());
         let (output, _) = self.forward_frozen(&mut tape, input_node);
@@ -160,7 +273,7 @@ impl Cmlp {
     }
 
     /// Forward pass with parameters inserted as constants (no gradients);
-    /// cheaper when only predictions are needed.
+    /// cheaper than [`Cmlp::forward`] when only predictions are needed.
     fn forward_frozen(&self, tape: &mut Tape, input: NodeId) -> (NodeId, Vec<(ParamId, NodeId)>) {
         let mut hidden = input;
         let layer_count = self.weight_ids.len();
@@ -237,6 +350,30 @@ mod tests {
         let out_b = mlp.infer(&input);
         assert_eq!(out_a.shape(), (10, 3));
         assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn tape_and_batched_inference_agree_bitwise() {
+        // The SoA batched path must reproduce the frozen-tape evaluation bit
+        // for bit: same multiply/accumulate order, same bias/CReLU ops. Odd
+        // batch sizes cross the row-block boundary.
+        let mut rng = DeterministicRng::new(11);
+        let mlp = Cmlp::new(small_arch(), &mut rng);
+        for &batch in &[1usize, 5, 64, 81, 130] {
+            let input = ComplexMatrix::from_fn(batch, 6, |i, j| {
+                Complex64::new(
+                    ((i * 7 + j) as f64 * 0.13).sin(),
+                    ((i + 3 * j) as f64 * 0.21).cos() - 0.5,
+                )
+            });
+            let batched = mlp.infer(&input);
+            let taped = mlp.infer_tape(&input);
+            assert_eq!(batched.shape(), taped.shape());
+            for (a, b) in batched.iter().zip(taped.iter()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "batch={batch}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "batch={batch}");
+            }
+        }
     }
 
     #[test]

@@ -4,9 +4,7 @@
 use std::path::Path;
 
 use litho_autodiff::{Adam, Optimizer, ParamId, Tape};
-use litho_fft::{ifft2, ifftshift};
 use litho_masks::Dataset;
-use litho_math::util::{center_crop, center_pad};
 use litho_math::{ComplexMatrix, DeterministicRng, RealMatrix};
 use litho_metrics::{AerialMetrics, ResistMetrics};
 use litho_optics::config::{kernel_side, KernelDims};
@@ -301,8 +299,11 @@ impl NithoModel {
                     (tile, tile),
                     "dataset tile size does not match the optical configuration"
                 );
-                let spectrum = litho_fft::centered_spectrum(&sample.mask);
-                spectra.push(center_crop(&spectrum, self.dims.rows, self.dims.cols));
+                spectra.push(litho_fft::soa::cropped_centered_spectrum(
+                    &sample.mask,
+                    self.dims.rows,
+                    self.dims.cols,
+                ));
                 targets.push(litho_optics::socs::band_limited_resample(
                     &sample.aerial,
                     t_res,
@@ -438,6 +439,38 @@ impl NithoModel {
             .as_ref()
             .expect("model must be trained (or kernels refreshed) before prediction");
         synthesize_aerial(kernels, self.dims, mask, out)
+    }
+
+    /// The cropped, centered mask spectrum on this model's kernel grid — the
+    /// condition-independent half of a prediction. Compute it once per mask
+    /// and fan it across conditions with
+    /// [`NithoModel::predict_aerial_from_spectrum`] /
+    /// [`ConditionedKernels::predict_aerial_from_spectrum`]; the mask never
+    /// changes with focus or dose, so neither does its spectrum.
+    pub fn cropped_spectrum(&self, mask: &RealMatrix) -> ComplexMatrix {
+        litho_fft::soa::cropped_centered_spectrum(mask, self.dims.rows, self.dims.cols)
+    }
+
+    /// Predicts the aerial image from a precomputed
+    /// [`cropped_spectrum`](NithoModel::cropped_spectrum) using the cached
+    /// nominal kernels. `mask_pixels` is the pixel count of the original mask
+    /// and `out` the square output resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no cached kernels, the spectrum does not match
+    /// the kernel grid, or `out` is smaller than the kernel grid.
+    pub fn predict_aerial_from_spectrum(
+        &self,
+        spectrum: &ComplexMatrix,
+        mask_pixels: usize,
+        out: usize,
+    ) -> RealMatrix {
+        let kernels = self
+            .cached_kernels
+            .as_ref()
+            .expect("model must be trained (or kernels refreshed) before prediction");
+        synthesize_aerial_from_spectrum(kernels, self.dims, spectrum, mask_pixels, out)
     }
 
     /// Predicts the aerial image of a mask at a process condition (one CMLP
@@ -587,8 +620,10 @@ impl NithoModel {
 
 /// SOCS synthesis with predicted kernels (the paper's fast-lithography path,
 /// shared by [`NithoModel`] and [`ConditionedKernels`]): crop the centered
-/// mask spectrum to the kernel grid, multiply by each kernel, inverse
-/// transform, and accumulate `|·|²`.
+/// mask spectrum to the kernel grid, then run the fused split-complex
+/// synthesis ([`litho_fft::soa`]) — every kernel's field is accumulated as
+/// `|·|²` straight into the aerial buffer without materializing per-kernel
+/// matrices.
 ///
 /// # Panics
 ///
@@ -599,21 +634,38 @@ fn synthesize_aerial(
     mask: &RealMatrix,
     out: usize,
 ) -> RealMatrix {
+    let cropped = litho_fft::soa::cropped_centered_spectrum(mask, dims.rows, dims.cols);
+    synthesize_aerial_from_spectrum(kernels, dims, &cropped, mask.len(), out)
+}
+
+/// [`synthesize_aerial`] starting from an already cropped, centered mask
+/// spectrum — the reuse point for process-window sweeps, where the mask (and
+/// therefore its spectrum) is constant across all focus/dose conditions and
+/// only the kernels change.
+///
+/// # Panics
+///
+/// Panics if the spectrum does not match the kernel grid or the output
+/// resolution is smaller than the kernel grid.
+fn synthesize_aerial_from_spectrum(
+    kernels: &[ComplexMatrix],
+    dims: KernelDims,
+    cropped: &ComplexMatrix,
+    mask_pixels: usize,
+    out: usize,
+) -> RealMatrix {
+    assert_eq!(
+        cropped.shape(),
+        (dims.rows, dims.cols),
+        "spectrum must match the kernel grid"
+    );
     assert!(
         out >= dims.rows && out >= dims.cols,
         "output resolution is smaller than the kernel grid"
     );
-    let spectrum = litho_fft::centered_spectrum(mask);
-    let cropped = center_crop(&spectrum, dims.rows, dims.cols);
-    let scale = ((out * out) as f64 / mask.len() as f64).powi(2);
-
+    let scale = ((out * out) as f64 / mask_pixels as f64).powi(2);
     let mut intensity = RealMatrix::zeros(out, out);
-    for kernel in kernels {
-        let product = kernel.hadamard(&cropped);
-        let padded = center_pad(&product, out, out);
-        let field = ifft2(&ifftshift(&padded));
-        intensity = intensity.zip_map(&field.abs_sq(), |acc, v| acc + v);
-    }
+    litho_fft::soa::accumulate_socs_intensity(kernels, cropped, &mut intensity);
     intensity.scale(scale)
 }
 
@@ -667,6 +719,30 @@ impl ConditionedKernels {
     /// Panics if the output resolution is smaller than the kernel grid.
     pub fn predict_aerial_at(&self, mask: &RealMatrix, out: usize) -> RealMatrix {
         synthesize_aerial(&self.kernels, self.dims, mask, out)
+    }
+
+    /// The cropped, centered mask spectrum on this engine's kernel grid (see
+    /// [`NithoModel::cropped_spectrum`]): identical for every condition of a
+    /// process window, so compute it once per mask.
+    pub fn cropped_spectrum(&self, mask: &RealMatrix) -> ComplexMatrix {
+        litho_fft::soa::cropped_centered_spectrum(mask, self.dims.rows, self.dims.cols)
+    }
+
+    /// Predicts the aerial image from a precomputed cropped spectrum —
+    /// the per-condition half of a process-window sweep. Bit-identical to
+    /// [`ConditionedKernels::predict_aerial`] on the originating mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spectrum does not match the kernel grid or `out` is
+    /// smaller than the kernel grid.
+    pub fn predict_aerial_from_spectrum(
+        &self,
+        spectrum: &ComplexMatrix,
+        mask_pixels: usize,
+        out: usize,
+    ) -> RealMatrix {
+        synthesize_aerial_from_spectrum(&self.kernels, self.dims, spectrum, mask_pixels, out)
     }
 
     /// Predicts the binary resist image at the condition's effective

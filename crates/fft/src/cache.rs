@@ -17,7 +17,7 @@
 //! workers of `litho_parallel` — sees the same cache. Per-transform scratch is
 //! a thread-local buffer reused across calls on long-lived threads.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -32,6 +32,43 @@ thread_local! {
     /// Reused Bluestein convolution scratch (length `m` of the most recent
     /// plan); avoids one heap allocation per transform on the hot path.
     static SCRATCH: RefCell<Vec<Complex64>> = const { RefCell::new(Vec::new()) };
+    /// Split-complex Bluestein convolution scratch for the SoA path.
+    static SCRATCH_SOA: RefCell<(Vec<f64>, Vec<f64>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Number of radix-2 kernel executions performed *by this thread* (both
+    /// layouts; zero-pruned rows/columns are never counted). Thread-local so
+    /// concurrently running tests cannot disturb each other's accounting.
+    static FFT_1D_TRANSFORMS: Cell<u64> = const { Cell::new(0) };
+    /// Number of plan-cache lookups performed by this thread.
+    static PLAN_REQUESTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of 1-D radix-2 kernel executions this thread has performed since it
+/// started (monotone). Diff two readings around a region of interest to count
+/// the transforms it actually executed — the spectrum-reuse regression tests
+/// use this to pin the per-condition FFT budget of the process-window paths.
+///
+/// The counter is thread-local: transforms run by `litho_parallel` workers on
+/// other threads are not included, so measure under
+/// `litho_parallel::with_threads(1, …)` for exact totals.
+pub fn thread_fft_1d_transforms() -> u64 {
+    FFT_1D_TRANSFORMS.with(Cell::get)
+}
+
+/// Number of plan-cache lookups ([`plan_for`] / [`bluestein_plan_for`]) this
+/// thread has performed since it started (monotone; hits and misses both
+/// count — after warm-up every lookup is a hit).
+pub fn thread_plan_requests() -> u64 {
+    PLAN_REQUESTS.with(Cell::get)
+}
+
+/// Records `n` executed 1-D transforms for this thread.
+pub(crate) fn record_1d_transforms(n: u64) {
+    FFT_1D_TRANSFORMS.with(|c| c.set(c.get() + n));
+}
+
+fn record_plan_request() {
+    PLAN_REQUESTS.with(|c| c.set(c.get() + 1));
 }
 
 /// Returns the shared, cached [`FftPlan`] for a power-of-two length.
@@ -40,6 +77,7 @@ thread_local! {
 ///
 /// Panics if `len` is not a power of two (see [`FftPlan::new`]).
 pub fn plan_for(len: usize) -> Arc<FftPlan> {
+    record_plan_request();
     let cache = RADIX2_PLANS.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = cache.lock().expect("FFT plan cache poisoned");
     Arc::clone(
@@ -54,6 +92,7 @@ pub fn plan_for(len: usize) -> Arc<FftPlan> {
 ///
 /// Panics if `len == 0`.
 pub fn bluestein_plan_for(len: usize) -> Arc<BluesteinPlan> {
+    record_plan_request();
     let cache = BLUESTEIN_PLANS.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = cache.lock().expect("Bluestein plan cache poisoned");
     Arc::clone(
@@ -68,6 +107,11 @@ pub fn bluestein_plan_for(len: usize) -> Arc<BluesteinPlan> {
 struct ChirpTables {
     chirp: Vec<Complex64>,
     b_spectrum: Vec<Complex64>,
+    /// Split-complex copies (same values) for the SoA execution path.
+    chirp_re: Vec<f64>,
+    chirp_im: Vec<f64>,
+    b_spectrum_re: Vec<f64>,
+    b_spectrum_im: Vec<f64>,
 }
 
 /// A reusable chirp-z (Bluestein) DFT plan for one fixed length.
@@ -143,6 +187,10 @@ impl BluesteinPlan {
         }
         inner.forward_in_place(&mut b);
         ChirpTables {
+            chirp_re: chirp.iter().map(|z| z.re).collect(),
+            chirp_im: chirp.iter().map(|z| z.im).collect(),
+            b_spectrum_re: b.iter().map(|z| z.re).collect(),
+            b_spectrum_im: b.iter().map(|z| z.im).collect(),
             chirp,
             b_spectrum: b,
         }
@@ -183,6 +231,68 @@ impl BluesteinPlan {
         for z in data.iter_mut() {
             *z *= scale;
         }
+    }
+
+    /// In-place forward DFT (unnormalized) over a split-complex `(re, im)`
+    /// buffer pair. The inner power-of-two passes run on the Stockham SoA
+    /// engine, so results agree with [`BluesteinPlan::forward_in_place`] to
+    /// roundoff (≤ 1e-12, same contract as
+    /// [`FftPlan::forward_soa_in_place`](crate::FftPlan::forward_soa_in_place)),
+    /// not bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length does not match the planned length.
+    pub fn forward_soa_in_place(&self, re: &mut [f64], im: &mut [f64]) {
+        self.run_soa(re, im, &self.forward);
+    }
+
+    /// In-place inverse DFT (normalized by `1/N`) over a split-complex
+    /// `(re, im)` buffer pair (same ≤ 1e-12 cross-layout contract as
+    /// [`BluesteinPlan::forward_soa_in_place`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length does not match the planned length.
+    pub fn inverse_soa_in_place(&self, re: &mut [f64], im: &mut [f64]) {
+        self.run_soa(re, im, &self.inverse);
+        let scale = 1.0 / self.len as f64;
+        for v in re.iter_mut() {
+            *v *= scale;
+        }
+        for v in im.iter_mut() {
+            *v *= scale;
+        }
+    }
+
+    fn run_soa(&self, re: &mut [f64], im: &mut [f64], tables: &ChirpTables) {
+        assert_eq!(re.len(), self.len, "buffer length does not match plan");
+        assert_eq!(im.len(), self.len, "buffer length does not match plan");
+        SCRATCH_SOA.with(|scratch| {
+            let mut borrow = scratch.borrow_mut();
+            let (ar, ai) = &mut *borrow;
+            ar.clear();
+            ar.resize(self.m, 0.0);
+            ai.clear();
+            ai.resize(self.m, 0.0);
+            // a = x ⊙ chirp, zero-padded to the convolution length.
+            for k in 0..self.len {
+                ar[k] = re[k] * tables.chirp_re[k] - im[k] * tables.chirp_im[k];
+                ai[k] = re[k] * tables.chirp_im[k] + im[k] * tables.chirp_re[k];
+            }
+            self.inner.forward_soa_in_place(ar, ai);
+            for k in 0..self.m {
+                let (r, i) = (ar[k], ai[k]);
+                ar[k] = r * tables.b_spectrum_re[k] - i * tables.b_spectrum_im[k];
+                ai[k] = r * tables.b_spectrum_im[k] + i * tables.b_spectrum_re[k];
+            }
+            // The inner inverse includes the 1/m convolution normalization.
+            self.inner.inverse_soa_in_place(ar, ai);
+            for k in 0..self.len {
+                re[k] = ar[k] * tables.chirp_re[k] - ai[k] * tables.chirp_im[k];
+                im[k] = ar[k] * tables.chirp_im[k] + ai[k] * tables.chirp_re[k];
+            }
+        });
     }
 
     fn run(&self, data: &mut [Complex64], tables: &ChirpTables) {

@@ -49,10 +49,11 @@
 
 use std::sync::Arc;
 
-use litho_math::{Complex64, ComplexMatrix, Matrix, RealMatrix};
+use litho_math::{Complex64, ComplexMatrix, RealMatrix};
 
-mod cache;
+pub mod cache;
 mod plan;
+pub mod soa;
 pub use cache::{bluestein_plan_for, plan_for, BluesteinPlan};
 pub use plan::FftPlan;
 
@@ -399,24 +400,56 @@ pub mod unplanned {
 /// For axis length `n`, bin `k` moves to `(k + n/2) mod n`, matching NumPy's
 /// `fftshift`.
 pub fn fftshift(input: &ComplexMatrix) -> ComplexMatrix {
-    shift(input, true)
+    let mut out = ComplexMatrix::zeros(input.rows(), input.cols());
+    fftshift_into(input, &mut out);
+    out
 }
 
 /// Inverse of [`fftshift`] (identical for even sizes, differs for odd sizes).
 pub fn ifftshift(input: &ComplexMatrix) -> ComplexMatrix {
-    shift(input, false)
+    let mut out = ComplexMatrix::zeros(input.rows(), input.cols());
+    ifftshift_into(input, &mut out);
+    out
 }
 
-fn shift(input: &ComplexMatrix, forward: bool) -> ComplexMatrix {
+/// [`fftshift`] into a caller-provided matrix: no allocation, and the cyclic
+/// rotation is performed with two contiguous segment copies per row instead
+/// of per-element modulo indexing.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn fftshift_into(input: &ComplexMatrix, out: &mut ComplexMatrix) {
+    shift_into(input, out, true);
+}
+
+/// [`ifftshift`] into a caller-provided matrix (see [`fftshift_into`]).
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn ifftshift_into(input: &ComplexMatrix, out: &mut ComplexMatrix) {
+    shift_into(input, out, false);
+}
+
+fn shift_into(input: &ComplexMatrix, out: &mut ComplexMatrix, forward: bool) {
     let (rows, cols) = input.shape();
+    assert_eq!(out.shape(), (rows, cols), "shift output shape mismatch");
     let (dr, dc) = if forward {
         (rows / 2, cols / 2)
     } else {
         (rows - rows / 2, cols - cols / 2)
     };
-    Matrix::from_fn(rows, cols, |i, j| {
-        input[((i + rows - dr) % rows, (j + cols - dc) % cols)]
-    })
+    // out[i][j] = input[(i + rows − dr) % rows][(j + cols − dc) % cols]:
+    // a pure 2-D cyclic rotation. Per output row, the source row is fixed and
+    // the column rotation splits into two contiguous block copies.
+    let col_split = (cols - dc) % cols;
+    for i in 0..rows {
+        let src = input.row((i + rows - dr) % rows);
+        let dst = out.row_mut(i);
+        dst[..cols - col_split].copy_from_slice(&src[col_split..]);
+        dst[cols - col_split..].copy_from_slice(&src[..col_split]);
+    }
 }
 
 /// Computes the centered mask spectrum `fftshift(fft2(mask))` used throughout

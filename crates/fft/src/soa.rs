@@ -1,0 +1,508 @@
+//! Split-complex batched FFT execution: the zero-allocation hot path.
+//!
+//! The SOCS aerial synthesis spends its life in one loop: for every optical
+//! kernel `Kᵢ`, compute `|F⁻¹(ifftshift(pad(Kᵢ ⊙ S)))|²` and accumulate. The
+//! AoS implementation materializes four full-resolution matrices per kernel
+//! (padded product, shifted product, field, magnitude) — megabytes of
+//! allocation per aerial image. This module fuses the whole chain:
+//!
+//! * [`accumulate_socs_intensity`] embeds each kernel-grid product directly
+//!   at its ifftshifted position inside a reusable split-complex scratch
+//!   plane, runs the inverse row pass over only the (few) occupied rows, and
+//!   folds the column pass straight into a `|z|²`-accumulate on the caller's
+//!   aerial buffer. After thread warm-up the loop performs **zero heap
+//!   allocations per kernel** (pinned by `tests/hot_path_alloc.rs`).
+//! * [`ifft2_batch`] runs K same-shape spectra through one shared row/column
+//!   pass setup (single plan lookup, shared scratch).
+//! * [`cropped_centered_spectrum`] fuses `center_crop(fftshift(fft2(mask)))`
+//!   — the non-parametric "mask operation" of Algorithm 1 — without ever
+//!   materializing the shifted full-resolution spectrum.
+//!
+//! # Equivalence contract
+//!
+//! The split-complex 1-D kernel is a Stockham autosort radix-2 engine — the
+//! same DFT as the AoS Cooley–Tukey plan, decimated in the other direction,
+//! so the two layouts agree to roundoff (≈ 1e-15 relative; pinned at
+//! ≤ 1e-12 by this module's tests and `tests/soa_equivalence.rs`, with the
+//! AoS path retained as the baseline). Pad/shift are pure permutations and
+//! per-pixel accumulation visits kernels in slice order, so — like the AoS
+//! engine — every result here is bit-identical across thread counts and
+//! across repeated runs; only the *cross-layout* comparison is
+//! tolerance-based.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use litho_math::{ComplexMatrix, Matrix, RealMatrix};
+
+use crate::cache::{bluestein_plan_for, plan_for, BluesteinPlan};
+use crate::plan::FftPlan;
+
+/// A resolved split-complex 1-D strategy for one length (mirror of the AoS
+/// `Planned` dispatch in `lib.rs`).
+enum SoaPlanned {
+    Identity,
+    Radix2(Arc<FftPlan>),
+    Bluestein(Arc<BluesteinPlan>),
+}
+
+impl SoaPlanned {
+    fn for_len(n: usize) -> Self {
+        if n <= 1 {
+            SoaPlanned::Identity
+        } else if n.is_power_of_two() {
+            SoaPlanned::Radix2(plan_for(n))
+        } else {
+            SoaPlanned::Bluestein(bluestein_plan_for(n))
+        }
+    }
+
+    #[inline]
+    fn forward(&self, re: &mut [f64], im: &mut [f64]) {
+        match self {
+            SoaPlanned::Identity => {}
+            SoaPlanned::Radix2(plan) => plan.forward_soa_in_place(re, im),
+            SoaPlanned::Bluestein(plan) => plan.forward_soa_in_place(re, im),
+        }
+    }
+
+    #[inline]
+    fn inverse(&self, re: &mut [f64], im: &mut [f64]) {
+        match self {
+            SoaPlanned::Identity => {}
+            SoaPlanned::Radix2(plan) => plan.inverse_soa_in_place(re, im),
+            SoaPlanned::Bluestein(plan) => plan.inverse_soa_in_place(re, im),
+        }
+    }
+}
+
+/// Reusable split-complex working memory. One instance lives per thread;
+/// `resize` is a no-op once the thread has seen its steady-state transform
+/// sizes, so the warm hot path never touches the allocator.
+#[derive(Default)]
+struct SoaScratch {
+    plane_re: Vec<f64>,
+    plane_im: Vec<f64>,
+    col_re: Vec<f64>,
+    col_im: Vec<f64>,
+    prod_re: Vec<f64>,
+    prod_im: Vec<f64>,
+    /// Column-major (transposed) intensity accumulator: column `j`'s
+    /// contributions land contiguously instead of one cache line per pixel.
+    acc_t: Vec<f64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<SoaScratch> = RefCell::new(SoaScratch::default());
+}
+
+/// Grows `buf` to at least `len` elements without shrinking its capacity;
+/// newly exposed elements are zeroed, retained elements keep their values
+/// (callers re-zero what they logically need).
+#[inline]
+fn ensure_len(buf: &mut Vec<f64>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+}
+
+#[inline]
+fn is_all_zero(re: &[f64], im: &[f64]) -> bool {
+    re.iter().all(|&v| v == 0.0) && im.iter().all(|&v| v == 0.0)
+}
+
+/// `Σᵢ |F⁻¹(ifftshift(center_pad(Kᵢ ⊙ S, out)))|²` accumulated into `acc`,
+/// where `S` is an already cropped, centered mask spectrum on the kernel grid
+/// and `acc` has the output resolution. This is the fused SOCS synthesis
+/// kernel: per optical kernel it materializes nothing — the product is
+/// scattered straight to its post-shift position in a reused scratch plane,
+/// only occupied rows are row-transformed, and each column transform feeds
+/// `|z|²` directly into `acc`.
+///
+/// Accumulation visits kernels in slice order, so the result never depends on
+/// a thread count, and matches the sequential AoS loop within the module's
+/// ≤ 1e-12 equivalence contract.
+///
+/// # Panics
+///
+/// Panics if the kernels and spectrum do not share one shape, or `acc` is
+/// smaller than the kernel grid.
+pub fn accumulate_socs_intensity(
+    kernels: &[ComplexMatrix],
+    spectrum: &ComplexMatrix,
+    acc: &mut RealMatrix,
+) {
+    let (kr, kc) = spectrum.shape();
+    let (out_rows, out_cols) = acc.shape();
+    assert!(
+        kernels.iter().all(|k| k.shape() == (kr, kc)),
+        "kernels must match the spectrum shape"
+    );
+    assert!(
+        out_rows >= kr && out_cols >= kc,
+        "output resolution must be at least the kernel grid"
+    );
+
+    // Pad placement (top-left of the kernel block inside the padded plane)
+    // and the ifftshift rotation, fused into one index map: padded row
+    // `r0 + u` lands at `(r0 + u + shift_rows) % out_rows` after the shift.
+    let r0 = out_rows / 2 - kr / 2;
+    let c0 = out_cols / 2 - kc / 2;
+    let shift_rows = out_rows - out_rows / 2;
+    let shift_cols = out_cols - out_cols / 2;
+    let row_target = |u: usize| (r0 + u + shift_rows) % out_rows;
+    let col_target = |v: usize| (c0 + v + shift_cols) % out_cols;
+
+    let row_plan = SoaPlanned::for_len(out_cols);
+    let col_plan = SoaPlanned::for_len(out_rows);
+
+    SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let s = &mut *scratch;
+        ensure_len(&mut s.plane_re, out_rows * out_cols);
+        ensure_len(&mut s.plane_im, out_rows * out_cols);
+        ensure_len(&mut s.col_re, out_rows);
+        ensure_len(&mut s.col_im, out_rows);
+        ensure_len(&mut s.prod_re, kr * kc);
+        ensure_len(&mut s.prod_im, kr * kc);
+        ensure_len(&mut s.acc_t, out_rows * out_cols);
+        // The column gather below reads only the occupied rows and assumes
+        // everything else is zero; establish that once per call.
+        s.plane_re[..out_rows * out_cols].fill(0.0);
+        s.plane_im[..out_rows * out_cols].fill(0.0);
+        s.acc_t[..out_rows * out_cols].fill(0.0);
+        for kernel in kernels {
+            // Kernel ⊙ spectrum on the small grid (AoS in, SoA out).
+            for (idx, (k, sp)) in kernel.iter().zip(spectrum.iter()).enumerate() {
+                s.prod_re[idx] = k.re * sp.re - k.im * sp.im;
+                s.prod_im[idx] = k.re * sp.im + k.im * sp.re;
+            }
+
+            // Clear the occupied rows from the previous kernel, then scatter
+            // the product into its padded + shifted position.
+            for u in 0..kr {
+                let ri = row_target(u);
+                s.plane_re[ri * out_cols..(ri + 1) * out_cols].fill(0.0);
+                s.plane_im[ri * out_cols..(ri + 1) * out_cols].fill(0.0);
+            }
+            for u in 0..kr {
+                let ri = row_target(u);
+                for v in 0..kc {
+                    let cj = col_target(v);
+                    s.plane_re[ri * out_cols + cj] = s.prod_re[u * kc + v];
+                    s.plane_im[ri * out_cols + cj] = s.prod_im[u * kc + v];
+                }
+            }
+
+            // Inverse row pass over the occupied rows only — every other row
+            // of the padded plane is exactly zero, which the AoS engine also
+            // skips (its zero-pruning), so this is not an approximation.
+            for u in 0..kr {
+                let ri = row_target(u);
+                let row_re = &mut s.plane_re[ri * out_cols..(ri + 1) * out_cols];
+                let row_im = &mut s.plane_im[ri * out_cols..(ri + 1) * out_cols];
+                row_plan.inverse(row_re, row_im);
+            }
+
+            // Column pass fused with the |z|² accumulate: gather the (sparse)
+            // column, transform, and add the squared magnitudes into the
+            // transposed accumulator (contiguous per column) — the
+            // transformed column is never written back, so the plane stays
+            // sparse for the next kernel.
+            for j in 0..out_cols {
+                s.col_re[..out_rows].fill(0.0);
+                s.col_im[..out_rows].fill(0.0);
+                for u in 0..kr {
+                    let ri = row_target(u);
+                    s.col_re[ri] = s.plane_re[ri * out_cols + j];
+                    s.col_im[ri] = s.plane_im[ri * out_cols + j];
+                }
+                col_plan.inverse(&mut s.col_re[..out_rows], &mut s.col_im[..out_rows]);
+                let acc_col = &mut s.acc_t[j * out_rows..(j + 1) * out_rows];
+                for ((slot, &r), &im) in acc_col
+                    .iter_mut()
+                    .zip(&s.col_re[..out_rows])
+                    .zip(&s.col_im[..out_rows])
+                {
+                    *slot += r * r + im * im;
+                }
+            }
+        }
+
+        // Fold the transposed accumulator into the caller's buffer in one
+        // pass. Per pixel this adds the fully kernel-ordered sum once, so the
+        // result is bit-identical to accumulating row-major per kernel.
+        let acc_data = acc.as_mut_slice();
+        for i in 0..out_rows {
+            let row = &mut acc_data[i * out_cols..(i + 1) * out_cols];
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot += s.acc_t[j * out_rows + i];
+            }
+        }
+    });
+}
+
+/// Inverse 2-D FFT of `K` same-shape spectra through one shared row/column
+/// pass setup: the plans are resolved once, and all transforms run in the
+/// thread's split-complex scratch (no per-matrix working allocations — only
+/// the returned matrices are fresh).
+///
+/// Matches [`ifft2`](crate::ifft2) on every plane within the module's
+/// ≤ 1e-12 equivalence contract.
+///
+/// # Panics
+///
+/// Panics if the spectra do not all share one shape.
+pub fn ifft2_batch(spectra: &[ComplexMatrix]) -> Vec<ComplexMatrix> {
+    let Some(first) = spectra.first() else {
+        return Vec::new();
+    };
+    let (rows, cols) = first.shape();
+    assert!(
+        spectra.iter().all(|m| m.shape() == (rows, cols)),
+        "batch spectra must share one shape"
+    );
+    let row_plan = SoaPlanned::for_len(cols);
+    let col_plan = SoaPlanned::for_len(rows);
+
+    SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let s = &mut *scratch;
+        ensure_len(&mut s.plane_re, rows * cols);
+        ensure_len(&mut s.plane_im, rows * cols);
+        ensure_len(&mut s.col_re, rows);
+        ensure_len(&mut s.col_im, rows);
+
+        spectra
+            .iter()
+            .map(|m| {
+                for (idx, z) in m.iter().enumerate() {
+                    s.plane_re[idx] = z.re;
+                    s.plane_im[idx] = z.im;
+                }
+                for r in 0..rows {
+                    let row_re = &mut s.plane_re[r * cols..(r + 1) * cols];
+                    let row_im = &mut s.plane_im[r * cols..(r + 1) * cols];
+                    if !is_all_zero(row_re, row_im) {
+                        row_plan.inverse(row_re, row_im);
+                    }
+                }
+                for j in 0..cols {
+                    for i in 0..rows {
+                        s.col_re[i] = s.plane_re[i * cols + j];
+                        s.col_im[i] = s.plane_im[i * cols + j];
+                    }
+                    if is_all_zero(&s.col_re[..rows], &s.col_im[..rows]) {
+                        continue;
+                    }
+                    col_plan.inverse(&mut s.col_re[..rows], &mut s.col_im[..rows]);
+                    for i in 0..rows {
+                        s.plane_re[i * cols + j] = s.col_re[i];
+                        s.plane_im[i * cols + j] = s.col_im[i];
+                    }
+                }
+                Matrix::from_fn(rows, cols, |i, j| {
+                    litho_math::Complex64::new(s.plane_re[i * cols + j], s.plane_im[i * cols + j])
+                })
+            })
+            .collect()
+    })
+}
+
+/// The centered, cropped mask spectrum
+/// `center_crop(fftshift(fft2(mask)), out_rows × out_cols)` — Algorithm 1
+/// lines 6–7 — computed without materializing the lifted complex mask, the
+/// full spectrum copy, or the shifted matrix: the full-resolution transform
+/// runs in the thread's split-complex scratch and only the `out_rows ×
+/// out_cols` window around DC is gathered out (the crop/shift fold into one
+/// index map). Matches the unfused composition within the module's ≤ 1e-12
+/// (relative) equivalence contract.
+///
+/// # Panics
+///
+/// Panics if the requested output is larger than the mask.
+pub fn cropped_centered_spectrum(
+    mask: &RealMatrix,
+    out_rows: usize,
+    out_cols: usize,
+) -> ComplexMatrix {
+    let (rows, cols) = mask.shape();
+    assert!(
+        out_rows <= rows && out_cols <= cols,
+        "crop {out_rows}x{out_cols} exceeds the {rows}x{cols} mask"
+    );
+    let row_plan = SoaPlanned::for_len(cols);
+    let col_plan = SoaPlanned::for_len(rows);
+
+    SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let s = &mut *scratch;
+        ensure_len(&mut s.plane_re, rows * cols);
+        ensure_len(&mut s.plane_im, rows * cols);
+        ensure_len(&mut s.col_re, rows);
+        ensure_len(&mut s.col_im, rows);
+        s.plane_re[..rows * cols].copy_from_slice(mask.as_slice());
+        s.plane_im[..rows * cols].fill(0.0);
+
+        for r in 0..rows {
+            let row_re = &mut s.plane_re[r * cols..(r + 1) * cols];
+            let row_im = &mut s.plane_im[r * cols..(r + 1) * cols];
+            if !is_all_zero(row_re, row_im) {
+                row_plan.forward(row_re, row_im);
+            }
+        }
+        // fftshift then crop, folded: output bin (i, j) reads shifted bin
+        // (r0 + i, c0 + j), which is unshifted bin ((r0 + i + rows − rows/2)
+        // mod rows, …). Only the out_cols retained frequency columns feed the
+        // crop, so the column pass transforms exactly those — for a kernel
+        // grid much smaller than the tile this prunes most of the pass.
+        let r0 = rows / 2 - out_rows / 2;
+        let c0 = cols / 2 - out_cols / 2;
+        for j in 0..out_cols {
+            let sc = (c0 + j + cols - cols / 2) % cols;
+            for i in 0..rows {
+                s.col_re[i] = s.plane_re[i * cols + sc];
+                s.col_im[i] = s.plane_im[i * cols + sc];
+            }
+            if is_all_zero(&s.col_re[..rows], &s.col_im[..rows]) {
+                continue;
+            }
+            col_plan.forward(&mut s.col_re[..rows], &mut s.col_im[..rows]);
+            for i in 0..rows {
+                s.plane_re[i * cols + sc] = s.col_re[i];
+                s.plane_im[i * cols + sc] = s.col_im[i];
+            }
+        }
+
+        Matrix::from_fn(out_rows, out_cols, |i, j| {
+            let sr = (r0 + i + rows - rows / 2) % rows;
+            let sc = (c0 + j + cols - cols / 2) % cols;
+            litho_math::Complex64::new(s.plane_re[sr * cols + sc], s.plane_im[sr * cols + sc])
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{centered_spectrum, ifft2, ifftshift};
+    use litho_math::util::{center_crop, center_pad};
+    use litho_math::{Complex64, DeterministicRng};
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> ComplexMatrix {
+        let mut rng = DeterministicRng::new(seed);
+        ComplexMatrix::from_fn(rows, cols, |_, _| rng.normal_complex(0.0, 1.0))
+    }
+
+    fn random_mask(rows: usize, cols: usize, seed: u64) -> RealMatrix {
+        let mut rng = DeterministicRng::new(seed);
+        RealMatrix::from_fn(rows, cols, |_, _| {
+            if rng.uniform(0.0, 1.0) < 0.4 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// The AoS reference chain for one kernel.
+    fn aos_term(kernel: &ComplexMatrix, spectrum: &ComplexMatrix, out: usize) -> RealMatrix {
+        let product = kernel.hadamard(spectrum);
+        let padded = center_pad(&product, out, out);
+        ifft2(&ifftshift(&padded)).abs_sq()
+    }
+
+    #[test]
+    fn fused_socs_matches_aos_chain() {
+        for &(k_side, out) in &[(5usize, 16usize), (9, 32), (7, 24), (9, 9)] {
+            let kernels: Vec<ComplexMatrix> = (0..4)
+                .map(|i| random_matrix(k_side, k_side, 100 + i))
+                .collect();
+            let spectrum = random_matrix(k_side, k_side, 999);
+            let mut acc = RealMatrix::zeros(out, out);
+            accumulate_socs_intensity(&kernels, &spectrum, &mut acc);
+
+            let mut reference = RealMatrix::zeros(out, out);
+            for kernel in &kernels {
+                reference += &aos_term(kernel, &spectrum, out);
+            }
+            let max_err = acc.zip_map(&reference, |a, b| (a - b).abs()).max();
+            assert!(max_err <= 1e-12, "k={k_side} out={out}: max err {max_err}");
+        }
+    }
+
+    #[test]
+    fn fused_socs_handles_non_power_of_two_outputs() {
+        let kernels: Vec<ComplexMatrix> = (0..3).map(|i| random_matrix(5, 5, 30 + i)).collect();
+        let spectrum = random_matrix(5, 5, 77);
+        let mut acc = RealMatrix::zeros(12, 20);
+        accumulate_socs_intensity(&kernels, &spectrum, &mut acc);
+        let mut reference = RealMatrix::zeros(12, 20);
+        for kernel in &kernels {
+            let product = kernel.hadamard(&spectrum);
+            let padded = center_pad(&product, 12, 20);
+            reference += &ifft2(&ifftshift(&padded)).abs_sq();
+        }
+        let max_err = acc.zip_map(&reference, |a, b| (a - b).abs()).max();
+        assert!(max_err <= 1e-12, "max err {max_err}");
+    }
+
+    #[test]
+    fn ifft2_batch_matches_per_matrix_ifft2() {
+        let spectra: Vec<ComplexMatrix> = (0..5).map(|i| random_matrix(12, 10, 40 + i)).collect();
+        let batch = ifft2_batch(&spectra);
+        assert_eq!(batch.len(), 5);
+        for (fast, m) in batch.iter().zip(&spectra) {
+            let reference = ifft2(m);
+            for (a, b) in fast.iter().zip(reference.iter()) {
+                assert!((*a - *b).abs() <= 1e-12);
+            }
+        }
+        assert!(ifft2_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn cropped_centered_spectrum_matches_unfused_chain() {
+        for &(rows, cols, kr, kc) in &[
+            (16usize, 16usize, 5usize, 5usize),
+            (32, 32, 9, 9),
+            (12, 20, 7, 5),
+            (15, 9, 15, 9),
+        ] {
+            let mask = random_mask(rows, cols, (rows * 31 + cols) as u64);
+            let fused = cropped_centered_spectrum(&mask, kr, kc);
+            let reference = center_crop(&centered_spectrum(&mask), kr, kc);
+            // Unnormalized forward spectra scale with the mask sum, so the
+            // roundoff bound is relative to that magnitude.
+            let tol = 1e-12 * (1.0 + mask.sum());
+            for (a, b) in fused.iter().zip(reference.iter()) {
+                assert!((*a - *b).abs() <= tol, "{rows}x{cols}->{kr}x{kc}");
+            }
+        }
+    }
+
+    #[test]
+    fn dark_mask_spectrum_is_zero() {
+        let mask = RealMatrix::zeros(16, 16);
+        let spec = cropped_centered_spectrum(&mask, 7, 7);
+        assert!(spec.iter().all(|z| *z == Complex64::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the kernel grid")]
+    fn undersized_accumulator_panics() {
+        let kernels = vec![random_matrix(9, 9, 1)];
+        let spectrum = random_matrix(9, 9, 2);
+        let mut acc = RealMatrix::zeros(8, 8);
+        accumulate_socs_intensity(&kernels, &spectrum, &mut acc);
+    }
+
+    #[test]
+    #[should_panic(expected = "match the spectrum shape")]
+    fn mismatched_kernel_shape_panics() {
+        let kernels = vec![random_matrix(7, 7, 1)];
+        let spectrum = random_matrix(9, 9, 2);
+        let mut acc = RealMatrix::zeros(16, 16);
+        accumulate_socs_intensity(&kernels, &spectrum, &mut acc);
+    }
+}

@@ -266,6 +266,17 @@ impl ProcessDataset {
             })
             .collect();
 
+        // The cropped mask spectrum is condition-independent (defocus changes
+        // the kernels, never the mask), so it is computed exactly once per
+        // mask and reused by every defocus group — the per-condition FFT
+        // budget is pinned by `tests/spectrum_reuse.rs`. The kernel grid is
+        // the same for every `at_condition` rebuild, so one crop fits all.
+        let tile = optics.tile_px;
+        let spectra: Vec<_> = masks
+            .iter()
+            .map(|m| simulator.kernels().cropped_mask_spectrum(m))
+            .collect();
+
         // One simulator (and one aerial pass) per unique defocus; dose
         // variants share the aerials and differ only in development.
         let mut defocus_cache: Vec<(f64, HopkinsSimulator, Vec<RealMatrix>)> = Vec::new();
@@ -278,11 +289,29 @@ impl ProcessDataset {
             {
                 Some(idx) => idx,
                 None => {
-                    let sim = simulator.at_condition(&ProcessCondition {
-                        defocus_nm: condition.defocus_nm,
-                        dose: 1.0,
-                    });
-                    let aerials = masks.iter().map(|m| sim.aerial_image(m)).collect();
+                    // At best focus the passed-in nominal simulator already
+                    // holds the right TCC/SOCS stack — cloning it skips a
+                    // full TCC assembly + eigendecomposition.
+                    let sim = if condition.defocus_nm == 0.0 {
+                        simulator.clone()
+                    } else {
+                        simulator.at_condition(&ProcessCondition {
+                            defocus_nm: condition.defocus_nm,
+                            dose: 1.0,
+                        })
+                    };
+                    let aerials = masks
+                        .iter()
+                        .zip(&spectra)
+                        .map(|(m, spectrum)| {
+                            sim.kernels().aerial_from_cropped_spectrum(
+                                spectrum,
+                                m.len(),
+                                tile,
+                                tile,
+                            )
+                        })
+                        .collect();
                     defocus_cache.push((condition.defocus_nm, sim, aerials));
                     defocus_cache.len() - 1
                 }

@@ -11,6 +11,8 @@
 //!   SOCS decomposition of the transmission cross-coefficients),
 //! * [`rng`] — deterministic random sampling helpers (uniform / Gaussian)
 //!   built on top of `rand`,
+//! * [`soa`] — split-complex (structure-of-arrays) storage and the fused,
+//!   autovectorizable kernels behind the zero-allocation hot paths,
 //! * [`util`] — centering, cropping, padding and grid helpers shared by the
 //!   FFT and optics crates.
 //!
@@ -32,6 +34,7 @@ pub mod eigen;
 pub mod linalg;
 pub mod matrix;
 pub mod rng;
+pub mod soa;
 pub mod util;
 
 pub use complex::Complex64;

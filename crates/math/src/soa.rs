@@ -1,0 +1,332 @@
+//! Split-complex (structure-of-arrays) storage and fused numeric kernels.
+//!
+//! The hot numeric paths of the workspace — planned FFT passes, SOCS
+//! aerial synthesis, frozen CMLP inference — are dense sweeps over complex
+//! data. The array-of-structs [`Complex64`](crate::Complex64) layout
+//! interleaves real and imaginary lanes, which defeats autovectorization of
+//! the independent per-lane arithmetic. This module provides the
+//! split-complex alternative: real and imaginary parts live in two separate
+//! `f64` arrays, so every fused kernel below compiles to straight-line loops
+//! over contiguous `f64` slices that the compiler vectorizes.
+//!
+//! Every kernel performs *exactly* the same floating-point operations in the
+//! same order as its AoS counterpart (`(a·b).re = a.re·b.re − a.im·b.im`,
+//! `(a·b).im = a.re·b.im + a.im·b.re`, sums accumulated left to right), so
+//! switching a call site between layouts is bit-exact, not merely
+//! approximately equal. The equivalence pins in `litho_fft` and
+//! `litho_optics` rely on this.
+
+use crate::complex::Complex64;
+use crate::matrix::ComplexMatrix;
+
+/// A dense row-major complex matrix in split-complex (SoA) layout.
+///
+/// # Example
+///
+/// ```
+/// use litho_math::soa::ComplexSoa;
+/// use litho_math::{Complex64, ComplexMatrix};
+///
+/// let m = ComplexMatrix::from_fn(2, 3, |i, j| Complex64::new(i as f64, j as f64));
+/// let soa = ComplexSoa::from_matrix(&m);
+/// assert_eq!(soa.shape(), (2, 3));
+/// assert_eq!(soa.to_matrix(), m);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexSoa {
+    rows: usize,
+    cols: usize,
+    /// Real parts, row-major.
+    pub re: Vec<f64>,
+    /// Imaginary parts, row-major.
+    pub im: Vec<f64>,
+}
+
+impl ComplexSoa {
+    /// Creates a zero-filled SoA matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            re: vec![0.0; rows * cols],
+            im: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Converts an AoS matrix into split-complex layout.
+    pub fn from_matrix(m: &ComplexMatrix) -> Self {
+        let (rows, cols) = m.shape();
+        let mut re = Vec::with_capacity(rows * cols);
+        let mut im = Vec::with_capacity(rows * cols);
+        for z in m.iter() {
+            re.push(z.re);
+            im.push(z.im);
+        }
+        Self { rows, cols, re, im }
+    }
+
+    /// Converts back to the AoS matrix layout.
+    pub fn to_matrix(&self) -> ComplexMatrix {
+        ComplexMatrix::from_vec(
+            self.rows,
+            self.cols,
+            self.re
+                .iter()
+                .zip(self.im.iter())
+                .map(|(&r, &i)| Complex64::new(r, i))
+                .collect(),
+        )
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of complex elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.re.len()
+    }
+
+    /// Always `false`: dimensions are non-zero by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Borrows one row as a `(re, im)` slice pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    #[inline]
+    pub fn row(&self, row: usize) -> (&[f64], &[f64]) {
+        assert!(row < self.rows, "row {row} out of bounds");
+        let start = row * self.cols;
+        (
+            &self.re[start..start + self.cols],
+            &self.im[start..start + self.cols],
+        )
+    }
+
+    /// Mutably borrows one row as a `(re, im)` slice pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(row < self.rows, "row {row} out of bounds");
+        let start = row * self.cols;
+        (
+            &mut self.re[start..start + self.cols],
+            &mut self.im[start..start + self.cols],
+        )
+    }
+
+    /// Mutably borrows both planes at once.
+    #[inline]
+    pub fn parts_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.re, &mut self.im)
+    }
+}
+
+/// `out ← a ⊙ b` (element-wise complex product), all operands split-complex.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the slice lengths disagree.
+#[inline]
+pub fn mul_into(
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    out_re: &mut [f64],
+    out_im: &mut [f64],
+) {
+    debug_assert!(
+        ar.len() == ai.len()
+            && ar.len() == br.len()
+            && ar.len() == bi.len()
+            && ar.len() == out_re.len()
+            && ar.len() == out_im.len(),
+        "mul_into length mismatch"
+    );
+    for k in 0..ar.len() {
+        out_re[k] = ar[k] * br[k] - ai[k] * bi[k];
+        out_im[k] = ar[k] * bi[k] + ai[k] * br[k];
+    }
+}
+
+/// `y ← y + α·x` for a complex scalar `α = (alpha_re, alpha_im)` — the fused
+/// complex axpy at the heart of the batched CMLP matmul.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the slice lengths disagree.
+#[inline]
+pub fn axpy_in_place(
+    alpha_re: f64,
+    alpha_im: f64,
+    xr: &[f64],
+    xi: &[f64],
+    yr: &mut [f64],
+    yi: &mut [f64],
+) {
+    debug_assert!(
+        xr.len() == xi.len() && xr.len() == yr.len() && xr.len() == yi.len(),
+        "axpy length mismatch"
+    );
+    for k in 0..xr.len() {
+        yr[k] += alpha_re * xr[k] - alpha_im * xi[k];
+        yi[k] += alpha_re * xi[k] + alpha_im * xr[k];
+    }
+}
+
+/// Scales both planes by a real factor in place.
+#[inline]
+pub fn scale_in_place(re: &mut [f64], im: &mut [f64], s: f64) {
+    for v in re.iter_mut() {
+        *v *= s;
+    }
+    for v in im.iter_mut() {
+        *v *= s;
+    }
+}
+
+/// `acc[k] += re[k]² + im[k]²` — the fused `|z|²`-accumulate of the SOCS
+/// intensity sum, writing straight into the aerial accumulator without
+/// materializing a per-kernel magnitude matrix.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the slice lengths disagree.
+#[inline]
+pub fn accumulate_abs_sq(re: &[f64], im: &[f64], acc: &mut [f64]) {
+    debug_assert!(
+        re.len() == im.len() && re.len() == acc.len(),
+        "accumulate_abs_sq length mismatch"
+    );
+    for k in 0..re.len() {
+        acc[k] += re[k] * re[k] + im[k] * im[k];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeterministicRng;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> ComplexMatrix {
+        let mut rng = DeterministicRng::new(seed);
+        ComplexMatrix::from_fn(rows, cols, |_, _| rng.normal_complex(0.0, 1.0))
+    }
+
+    #[test]
+    fn roundtrip_preserves_bits() {
+        let m = random_matrix(5, 7, 1);
+        let soa = ComplexSoa::from_matrix(&m);
+        let back = soa.to_matrix();
+        for (a, b) in m.iter().zip(back.iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        assert_eq!(soa.len(), 35);
+        assert!(!soa.is_empty());
+        assert_eq!(soa.rows(), 5);
+        assert_eq!(soa.cols(), 7);
+    }
+
+    #[test]
+    fn row_accessors_expose_row_major_planes() {
+        let m = random_matrix(3, 4, 2);
+        let mut soa = ComplexSoa::from_matrix(&m);
+        let (re, im) = soa.row(1);
+        for j in 0..4 {
+            assert_eq!(re[j], m[(1, j)].re);
+            assert_eq!(im[j], m[(1, j)].im);
+        }
+        {
+            let (re_mut, _) = soa.row_mut(2);
+            re_mut[0] = 42.0;
+        }
+        assert_eq!(soa.to_matrix()[(2, 0)].re, 42.0);
+        let (re_all, im_all) = soa.parts_mut();
+        assert_eq!(re_all.len(), 12);
+        assert_eq!(im_all.len(), 12);
+    }
+
+    #[test]
+    fn mul_into_matches_aos_product_bitwise() {
+        let a = random_matrix(4, 4, 3);
+        let b = random_matrix(4, 4, 4);
+        let (sa, sb) = (ComplexSoa::from_matrix(&a), ComplexSoa::from_matrix(&b));
+        let mut out = ComplexSoa::zeros(4, 4);
+        mul_into(&sa.re, &sa.im, &sb.re, &sb.im, &mut out.re, &mut out.im);
+        let aos = a.hadamard(&b);
+        for (x, y) in out.to_matrix().iter().zip(aos.iter()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn axpy_matches_aos_bitwise() {
+        let x = random_matrix(1, 16, 5);
+        let y = random_matrix(1, 16, 6);
+        let alpha = Complex64::new(0.7, -1.3);
+        let sx = ComplexSoa::from_matrix(&x);
+        let mut sy = ComplexSoa::from_matrix(&y);
+        axpy_in_place(alpha.re, alpha.im, &sx.re, &sx.im, &mut sy.re, &mut sy.im);
+        for j in 0..16 {
+            let expect = y[(0, j)] + alpha * x[(0, j)];
+            let got = sy.to_matrix()[(0, j)];
+            assert_eq!(expect.re.to_bits(), got.re.to_bits());
+            assert_eq!(expect.im.to_bits(), got.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn scale_and_abs_sq_accumulate() {
+        let m = random_matrix(2, 8, 7);
+        let mut soa = ComplexSoa::from_matrix(&m);
+        scale_in_place(&mut soa.re, &mut soa.im, 2.0);
+        let scaled = soa.to_matrix();
+        for (a, b) in scaled.iter().zip(m.iter()) {
+            assert_eq!(a.re, b.re * 2.0);
+            assert_eq!(a.im, b.im * 2.0);
+        }
+        let mut acc = vec![1.0; 16];
+        accumulate_abs_sq(&soa.re, &soa.im, &mut acc);
+        for (k, v) in acc.iter().enumerate() {
+            let z = scaled[(k / 8, k % 8)];
+            assert_eq!(*v, 1.0 + (z.re * z.re + z.im * z.im));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        let _ = ComplexSoa::zeros(0, 3);
+    }
+}

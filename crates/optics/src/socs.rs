@@ -13,8 +13,8 @@
 //! physically computed kernels (the golden engine), and by the `nitho` crate
 //! with *predicted* kernels coming out of the complex-valued neural field.
 
-use litho_fft::{centered_spectrum, ifft2, ifftshift};
-use litho_math::util::{center_crop, center_pad};
+use litho_fft::{ifft2, ifftshift};
+use litho_math::util::center_pad;
 use litho_math::{eigen, ComplexMatrix, Matrix, RealMatrix};
 
 use crate::config::KernelDims;
@@ -163,26 +163,71 @@ impl SocsKernels {
             out_rows >= self.dims.rows && out_cols >= self.dims.cols,
             "output resolution must be at least the kernel grid"
         );
-        // Each kernel's |F⁻¹(Kᵢ ⊙ F(M))|² term is independent — compute them
-        // across litho_parallel workers and accumulate in fixed kernel order
-        // so the image is bit-identical for any thread count. Kernels are
-        // processed in fixed-size groups to bound peak memory at
-        // KERNEL_GROUP full-resolution terms (instead of one per kernel);
-        // the group size never depends on the thread count, and the fold
-        // still visits every kernel in ascending order.
+        // Fused split-complex synthesis: kernels are processed in fixed-size
+        // groups; each group accumulates its |F⁻¹(Kᵢ ⊙ F(M))|² terms in
+        // kernel order straight into one group plane through the
+        // zero-allocation SoA engine (no per-kernel matrices). Groups spread
+        // over litho_parallel workers and reduce in ascending group order, so
+        // the image never depends on the thread count. A single group (the
+        // common r ≤ 16 case) degrades to one serial fused pass.
         const KERNEL_GROUP: usize = 16;
+        let group_count = self.kernels.len().div_ceil(KERNEL_GROUP);
+        let mut partials = litho_parallel::par_map(group_count, |g| {
+            let start = g * KERNEL_GROUP;
+            let end = (start + KERNEL_GROUP).min(self.kernels.len());
+            let mut acc = RealMatrix::zeros(out_rows, out_cols);
+            litho_fft::soa::accumulate_socs_intensity(
+                &self.kernels[start..end],
+                spectrum,
+                &mut acc,
+            );
+            acc
+        })
+        .into_iter();
+        let mut intensity = partials.next().expect("at least one kernel group");
+        for partial in partials {
+            intensity += &partial;
+        }
+        let norm = self.clear_field_intensity(mask_pixels, out_rows, out_cols);
+        if norm > 0.0 {
+            intensity.scale(1.0 / norm)
+        } else {
+            intensity
+        }
+    }
+
+    /// The retained array-of-structs synthesis: per kernel, materialize the
+    /// padded product, shift, inverse transform and accumulate `|·|²` — the
+    /// pre-SoA engine, kept as the independent equivalence baseline that
+    /// [`SocsKernels::aerial_from_cropped_spectrum`] is pinned against
+    /// (≤ 1e-12, `tests/soa_equivalence.rs`) and benchmarked against.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`SocsKernels::aerial_from_cropped_spectrum`].
+    pub fn aerial_from_cropped_spectrum_aos(
+        &self,
+        spectrum: &ComplexMatrix,
+        mask_pixels: usize,
+        out_rows: usize,
+        out_cols: usize,
+    ) -> RealMatrix {
+        assert_eq!(
+            spectrum.shape(),
+            (self.dims.rows, self.dims.cols),
+            "spectrum must match the kernel grid"
+        );
+        assert!(
+            out_rows >= self.dims.rows && out_cols >= self.dims.cols,
+            "output resolution must be at least the kernel grid"
+        );
         let mut intensity = RealMatrix::zeros(out_rows, out_cols);
-        for group_start in (0..self.kernels.len()).step_by(KERNEL_GROUP) {
-            let group_len = KERNEL_GROUP.min(self.kernels.len() - group_start);
-            let terms = litho_parallel::par_map(group_len, |offset| {
-                let product = self.kernels[group_start + offset].hadamard(spectrum);
-                let padded = center_pad(&product, out_rows, out_cols);
-                let field = ifft2(&ifftshift(&padded));
-                field.abs_sq()
-            });
-            for term in &terms {
-                intensity += term;
-            }
+        for kernel in &self.kernels {
+            let product = kernel.hadamard(spectrum);
+            let padded = center_pad(&product, out_rows, out_cols);
+            let field = ifft2(&ifftshift(&padded));
+            intensity += &field.abs_sq();
         }
         let norm = self.clear_field_intensity(mask_pixels, out_rows, out_cols);
         if norm > 0.0 {
@@ -205,8 +250,7 @@ impl SocsKernels {
         out_rows: usize,
         out_cols: usize,
     ) -> RealMatrix {
-        let spectrum = centered_spectrum(mask);
-        let cropped = center_crop(&spectrum, self.dims.rows, self.dims.cols);
+        let cropped = self.cropped_mask_spectrum(mask);
         self.aerial_from_cropped_spectrum(&cropped, mask.len(), out_rows, out_cols)
     }
 
@@ -217,10 +261,10 @@ impl SocsKernels {
 
     /// Crops the centered spectrum of a mask to the kernel grid — the
     /// non-parametric "mask operation" shared by the simulator and Nitho
-    /// (Algorithm 1, lines 6–7).
+    /// (Algorithm 1, lines 6–7). Computed through the fused split-complex
+    /// transform (no shifted full-resolution spectrum is materialized).
     pub fn cropped_mask_spectrum(&self, mask: &RealMatrix) -> ComplexMatrix {
-        let spectrum = centered_spectrum(mask);
-        center_crop(&spectrum, self.dims.rows, self.dims.cols)
+        litho_fft::soa::cropped_centered_spectrum(mask, self.dims.rows, self.dims.cols)
     }
 
     /// Total number of complex coefficients stored by the kernel bank.
@@ -258,8 +302,7 @@ pub fn band_limited_resample(image: &RealMatrix, rows: usize, cols: usize) -> Re
         rows <= image.rows() && cols <= image.cols(),
         "band_limited_resample only downsamples"
     );
-    let spectrum = centered_spectrum(image);
-    let cropped = center_crop(&spectrum, rows, cols);
+    let cropped = litho_fft::soa::cropped_centered_spectrum(image, rows, cols);
     let scale = (rows * cols) as f64 / (image.rows() * image.cols()) as f64;
     let field = ifft2(&ifftshift(&cropped));
     field.map(|z| z.re * scale)

@@ -16,7 +16,7 @@
 //! the same contract the rest of the workspace pins in
 //! `tests/parallel_determinism.rs`.
 
-use litho_math::RealMatrix;
+use litho_math::{ComplexMatrix, RealMatrix};
 use litho_optics::{HopkinsSimulator, ProcessCondition};
 use nitho::{ConditionedKernels, NithoModel};
 
@@ -52,6 +52,30 @@ pub trait TileSimulator: Send + Sync {
     /// field), so a process-window fan-out holds one per condition.
     fn for_condition(&self, condition: &ProcessCondition) -> Option<Box<dyn TileSimulator>>;
 
+    /// Kernel-grid shape `(rows, cols)` when this engine can simulate a tile
+    /// from its precomputed cropped mask spectrum, `None` otherwise. All
+    /// engines specialized from one model share the grid, which lets a
+    /// process-window sweep compute each tile's spectrum once and reuse it
+    /// across every condition (see [`aerial_sweep`]).
+    fn spectrum_dims(&self) -> Option<(usize, usize)> {
+        None
+    }
+
+    /// Simulates one tile from its cropped, centered mask spectrum (shape
+    /// [`spectrum_dims`](TileSimulator::spectrum_dims), `mask_pixels` =
+    /// pixel count of the original tile window). Must equal
+    /// [`simulate_tile`](TileSimulator::simulate_tile) on the originating
+    /// window bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine does not support the spectrum path
+    /// (`spectrum_dims` returned `None`).
+    fn simulate_tile_spectrum(&self, spectrum: &ComplexMatrix, mask_pixels: usize) -> RealMatrix {
+        let _ = (spectrum, mask_pixels);
+        panic!("this engine does not support spectrum-domain tile simulation");
+    }
+
     /// Guard-band width: two resolution elements (the optical ambit beyond
     /// which kernel tails are negligible), clamped so a tile core remains.
     fn default_halo_px(&self) -> usize {
@@ -79,6 +103,15 @@ impl TileSimulator for NithoModel {
 
     fn simulate_tile(&self, tile: &RealMatrix) -> RealMatrix {
         self.predict_aerial(tile)
+    }
+
+    fn spectrum_dims(&self) -> Option<(usize, usize)> {
+        let dims = self.kernel_dims();
+        Some((dims.rows, dims.cols))
+    }
+
+    fn simulate_tile_spectrum(&self, spectrum: &ComplexMatrix, mask_pixels: usize) -> RealMatrix {
+        self.predict_aerial_from_spectrum(spectrum, mask_pixels, self.optics().tile_px)
     }
 
     fn for_condition(&self, condition: &ProcessCondition) -> Option<Box<dyn TileSimulator>> {
@@ -110,6 +143,14 @@ impl TileSimulator for ConditionedKernels {
         self.predict_aerial(tile)
     }
 
+    fn spectrum_dims(&self) -> Option<(usize, usize)> {
+        Some(self.kernels()[0].shape())
+    }
+
+    fn simulate_tile_spectrum(&self, spectrum: &ComplexMatrix, mask_pixels: usize) -> RealMatrix {
+        self.predict_aerial_from_spectrum(spectrum, mask_pixels, self.optics().tile_px)
+    }
+
     fn for_condition(&self, condition: &ProcessCondition) -> Option<Box<dyn TileSimulator>> {
         // The network was left behind when the kernels were frozen; only the
         // original condition can be re-served.
@@ -138,6 +179,17 @@ impl TileSimulator for HopkinsSimulator {
 
     fn simulate_tile(&self, tile: &RealMatrix) -> RealMatrix {
         self.aerial_image(tile)
+    }
+
+    fn spectrum_dims(&self) -> Option<(usize, usize)> {
+        let dims = self.kernel_dims();
+        Some((dims.rows, dims.cols))
+    }
+
+    fn simulate_tile_spectrum(&self, spectrum: &ComplexMatrix, mask_pixels: usize) -> RealMatrix {
+        let tile = self.config().tile_px;
+        self.kernels()
+            .aerial_from_cropped_spectrum(spectrum, mask_pixels, tile, tile)
     }
 
     fn for_condition(&self, condition: &ProcessCondition) -> Option<Box<dyn TileSimulator>> {
@@ -237,6 +289,76 @@ impl<'a> ChipPipeline<'a> {
             halo_px: self.tiling.halo_px,
         }
     }
+}
+
+/// Simulates the same chip under several engines (one per process condition)
+/// that share a single tile geometry, returning one stitched aerial image per
+/// engine **in engine order**.
+///
+/// When every engine supports spectrum-domain tiles with one common kernel
+/// grid (the model-derived process-window case), each tile window's cropped
+/// mask spectrum is computed exactly *once* and reused across all engines —
+/// the mask never changes with focus or dose, so recomputing the forward FFT
+/// per condition is pure waste (pinned by `tests/spectrum_reuse.rs`).
+/// Engines with mixed or absent spectrum support fall back to independent
+/// [`ChipPipeline::aerial`] runs.
+///
+/// Tiles fan out over `litho_parallel` workers per engine and stitch in tile
+/// order, so each aerial is bit-identical to `ChipPipeline::aerial` with the
+/// same engine and halo, for any thread count.
+///
+/// # Panics
+///
+/// Panics if `engines` is empty, the engines disagree on `tile_px`, or the
+/// halo leaves no tile core.
+pub fn aerial_sweep(
+    engines: &[Box<dyn TileSimulator>],
+    chip: &RealMatrix,
+    halo_px: usize,
+) -> Vec<RealMatrix> {
+    let first = engines.first().expect("aerial_sweep needs an engine");
+    let tile_px = first.tile_px();
+    assert!(
+        engines.iter().all(|e| e.tile_px() == tile_px),
+        "aerial_sweep engines must share one tile size"
+    );
+    let shared_dims = match first.spectrum_dims() {
+        Some(dims) if engines.iter().all(|e| e.spectrum_dims() == Some(dims)) => Some(dims),
+        _ => None,
+    };
+    let Some((kr, kc)) = shared_dims else {
+        return engines
+            .iter()
+            .map(|engine| ChipPipeline::with_halo(engine.as_ref(), halo_px).aerial(chip))
+            .collect();
+    };
+
+    let grid = TileGrid::new(
+        TilingConfig::new(tile_px, halo_px),
+        chip.rows(),
+        chip.cols(),
+    );
+    // One spectrum per tile window, shared by every condition.
+    let spectra = litho_parallel::par_map(grid.len(), |index| {
+        let tile = grid.tile(index);
+        let window = grid.extract_window(chip, &tile);
+        litho_fft::soa::cropped_centered_spectrum(&window, kr, kc)
+    });
+    let mask_pixels = tile_px * tile_px;
+    engines
+        .iter()
+        .map(|engine| {
+            let tile_aerials = litho_parallel::par_map(grid.len(), |index| {
+                engine.simulate_tile_spectrum(&spectra[index], mask_pixels)
+            });
+            let mut stitched = RealMatrix::zeros(chip.rows(), chip.cols());
+            for (index, tile_aerial) in tile_aerials.iter().enumerate() {
+                let tile = grid.tile(index);
+                grid.stitch_owned(&mut stitched, &tile, tile_aerial);
+            }
+            stitched
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ pub mod registry;
 pub mod service;
 pub mod tiling;
 
-pub use chip::{ChipPipeline, ChipResult, TileSimulator};
+pub use chip::{aerial_sweep, ChipPipeline, ChipResult, TileSimulator};
 pub use http::{http_request, HttpServer, Request, Response, ShutdownHandle};
 pub use json::Json;
 pub use pw::{

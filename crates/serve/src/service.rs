@@ -284,15 +284,17 @@ impl Service {
         let cutlines = Cutline::center(rows, cols);
 
         // One full-chip simulation per focus value, serial over focus values
-        // (tiles parallelize inside the pipeline).
-        let mut tiles_per_condition = 0;
+        // (tiles parallelize inside the sweep). Each tile window's cropped
+        // mask spectrum is computed once and shared by every focus engine —
+        // the mask does not change with the condition.
+        let tiles_per_condition = ChipPipeline::with_halo(focus_engines[0].as_ref(), halo)
+            .plan(rows, cols)
+            .len();
+        let aerials = crate::chip::aerial_sweep(&focus_engines, &mask, halo);
         let per_focus: Vec<(f64, litho_math::RealMatrix)> = focus_engines
             .iter()
-            .map(|engine| {
-                let pipeline = ChipPipeline::with_halo(engine.as_ref(), halo);
-                tiles_per_condition = pipeline.plan(rows, cols).len();
-                (engine.resist_threshold(), pipeline.aerial(&mask))
-            })
+            .map(|engine| engine.resist_threshold())
+            .zip(aerials)
             .collect();
 
         // EPE reference: the nominal-condition contour. Reuse the best-focus

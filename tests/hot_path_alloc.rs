@@ -1,0 +1,88 @@
+//! Scratch-reuse pin: the warm split-complex FFT hot path performs **zero**
+//! heap allocations per transform.
+//!
+//! The whole binary runs under a counting allocator; after one warm-up pass
+//! (which builds plans, twiddle tables and the thread-local scratch arenas)
+//! the fused SOCS accumulate, the in-place SoA plan passes and the Bluestein
+//! SoA path must leave the allocation counter untouched.
+//!
+//! This file deliberately holds a single `#[test]`: the counter is global to
+//! the process, so a sibling test running concurrently would pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use litho_math::{ComplexMatrix, DeterministicRng, RealMatrix};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_fft_hot_path_is_allocation_free() {
+    let mut rng = DeterministicRng::new(9);
+    let kernels: Vec<ComplexMatrix> = (0..8)
+        .map(|_| ComplexMatrix::from_fn(9, 9, |_, _| rng.normal_complex(0.0, 1.0)))
+        .collect();
+    let spectrum = ComplexMatrix::from_fn(9, 9, |_, _| rng.normal_complex(0.0, 1.0));
+    let mut acc = RealMatrix::zeros(64, 64);
+
+    let radix2 = litho_fft::plan_for(64);
+    let bluestein = litho_fft::bluestein_plan_for(48);
+    let mut re = vec![0.5f64; 64];
+    let mut im = vec![-0.25f64; 64];
+    let mut bre = vec![0.125f64; 48];
+    let mut bim = vec![0.75f64; 48];
+
+    // Warm-up: builds plan tables and this thread's scratch arenas.
+    for _ in 0..2 {
+        litho_fft::soa::accumulate_socs_intensity(&kernels, &spectrum, &mut acc);
+        radix2.forward_soa_in_place(&mut re, &mut im);
+        radix2.inverse_soa_in_place(&mut re, &mut im);
+        bluestein.forward_soa_in_place(&mut bre, &mut bim);
+        bluestein.inverse_soa_in_place(&mut bre, &mut bim);
+    }
+
+    let before = allocations();
+    for _ in 0..16 {
+        litho_fft::soa::accumulate_socs_intensity(&kernels, &spectrum, &mut acc);
+        radix2.forward_soa_in_place(&mut re, &mut im);
+        radix2.inverse_soa_in_place(&mut re, &mut im);
+        bluestein.forward_soa_in_place(&mut bre, &mut bim);
+        bluestein.inverse_soa_in_place(&mut bre, &mut bim);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "warm FFT hot path allocated {} times in 16 iterations",
+        after - before
+    );
+
+    // The work above must actually have happened.
+    assert!(acc.iter().all(|v| v.is_finite()));
+    assert!(acc.max() > 0.0);
+}

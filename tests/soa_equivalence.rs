@@ -1,0 +1,167 @@
+//! Equivalence pins for the split-complex (SoA) compute core:
+//!
+//! 1. `ifft2_batch` and the fused SOCS accumulate match the retained AoS
+//!    baseline within 1e-12 on random spectra (property-tested).
+//! 2. One serve round-trip is byte-identical across `NITHO_THREADS` 1/2/4
+//!    after the SoA rewrite (the `/v1/process_window` body carries no timing
+//!    field, so whole responses compare byte for byte).
+
+use litho_math::{ComplexMatrix, DeterministicRng, RealMatrix};
+use litho_optics::{HopkinsSimulator, OpticalConfig, SocsKernels};
+use litho_serve::{Json, ModelRegistry, Request, Service};
+use proptest::prelude::*;
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut DeterministicRng) -> ComplexMatrix {
+    ComplexMatrix::from_fn(rows, cols, |_, _| rng.normal_complex(0.0, 1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `ifft2_batch` vs the retained per-matrix AoS inverse transform.
+    #[test]
+    fn prop_ifft2_batch_matches_aos(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        count in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = DeterministicRng::new(seed);
+        let spectra: Vec<ComplexMatrix> =
+            (0..count).map(|_| random_matrix(rows, cols, &mut rng)).collect();
+        let batch = litho_fft::soa::ifft2_batch(&spectra);
+        for (fast, m) in batch.iter().zip(&spectra) {
+            let reference = litho_fft::unplanned::ifft2(m);
+            for (a, b) in fast.iter().zip(reference.iter()) {
+                prop_assert!((*a - *b).abs() <= 1e-12);
+            }
+        }
+    }
+
+    /// The full fused synthesis (pad + shift + batched inverse FFT + |·|²
+    /// accumulate + clear-field normalization) vs the retained AoS path, on
+    /// random kernels and spectra, power-of-two and odd output sizes alike.
+    #[test]
+    fn prop_fused_socs_matches_aos(
+        k_side in 1usize..10,
+        out_extra in 0usize..24,
+        count in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = DeterministicRng::new(seed ^ 0x50c5);
+        let kernels: Vec<ComplexMatrix> =
+            (0..count).map(|_| random_matrix(k_side, k_side, &mut rng)).collect();
+        let bank = SocsKernels::from_kernels(kernels);
+        let spectrum = random_matrix(k_side, k_side, &mut rng);
+        let out = k_side + out_extra;
+        let mask_pixels = out * out;
+
+        let fused = bank.aerial_from_cropped_spectrum(&spectrum, mask_pixels, out, out);
+        let aos = bank.aerial_from_cropped_spectrum_aos(&spectrum, mask_pixels, out, out);
+        let max_err = fused.zip_map(&aos, |a, b| (a - b).abs()).max();
+        prop_assert!(max_err <= 1e-12, "max abs err {max_err}");
+    }
+}
+
+/// The fused engine must not depend on the thread count: fixed kernel groups,
+/// ordered reduction.
+#[test]
+fn fused_socs_bit_identical_across_thread_counts() {
+    let mut rng = DeterministicRng::new(41);
+    // 40 kernels crosses the 16-kernel group boundary twice.
+    let kernels: Vec<ComplexMatrix> = (0..40).map(|_| random_matrix(9, 9, &mut rng)).collect();
+    let bank = SocsKernels::from_kernels(kernels);
+    let spectrum = random_matrix(9, 9, &mut rng);
+    let serial = litho_parallel::with_threads(1, || {
+        bank.aerial_from_cropped_spectrum(&spectrum, 4096, 64, 64)
+    });
+    for threads in [2usize, 4] {
+        let parallel = litho_parallel::with_threads(threads, || {
+            bank.aerial_from_cropped_spectrum(&spectrum, 4096, 64, 64)
+        });
+        for (a, b) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+        }
+    }
+}
+
+/// One serve round-trip, byte-identical across `NITHO_THREADS` 1/2/4 on the
+/// SoA hot path (rigorous engine; the conditioned-model variant is pinned in
+/// `tests/process_window.rs`).
+#[test]
+fn serve_round_trip_byte_identical_across_thread_counts() {
+    let optics = OpticalConfig::builder()
+        .tile_px(64)
+        .pixel_nm(8.0)
+        .kernel_count(6)
+        .build();
+    let mut registry = ModelRegistry::new();
+    registry.register_hopkins("hopkins", HopkinsSimulator::new(&optics));
+    let service = Service::new(registry);
+    let body = r#"{
+        "model": "hopkins",
+        "mask": {"rows": 96, "cols": 96, "rects": [[16, 16, 80, 40], [40, 56, 56, 88]]},
+        "focus_nm": [0, 120],
+        "dose": [0.95, 1.05],
+        "halo_px": 16,
+        "include_pvb_band": true
+    }"#;
+    let run = |threads: usize| {
+        litho_parallel::with_threads(threads, || {
+            let response = service.handle(&Request {
+                method: "POST".to_owned(),
+                path: "/v1/process_window".to_owned(),
+                headers: Vec::new(),
+                body: body.as_bytes().to_vec(),
+            });
+            assert_eq!(
+                response.status,
+                200,
+                "{}",
+                String::from_utf8_lossy(&response.body)
+            );
+            response.body
+        })
+    };
+    let reference = run(1);
+    // Sanity: the body parses and covers the full grid.
+    let doc = Json::parse(std::str::from_utf8(&reference).expect("UTF-8")).expect("JSON");
+    assert_eq!(
+        doc.get("conditions")
+            .and_then(Json::as_array)
+            .map(|c| c.len()),
+        Some(4)
+    );
+    for threads in [2usize, 4] {
+        assert_eq!(run(threads), reference, "threads={threads}");
+    }
+}
+
+/// Keep a direct pin that the AoS baseline and the fused engine agree on a
+/// *physical* kernel bank too (eigendecomposed TCC, real mask spectrum),
+/// not just random data.
+#[test]
+fn physical_bank_fused_matches_aos() {
+    let optics = OpticalConfig::builder()
+        .tile_px(64)
+        .pixel_nm(8.0)
+        .kernel_count(8)
+        .build();
+    let simulator = HopkinsSimulator::new(&optics);
+    let mask = RealMatrix::from_fn(64, 64, |i, j| {
+        if (20..44).contains(&i) && (12..52).contains(&j) {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    let bank = simulator.kernels();
+    let spectrum = bank.cropped_mask_spectrum(&mask);
+    let fused = bank.aerial_from_cropped_spectrum(&spectrum, mask.len(), 64, 64);
+    let aos = bank.aerial_from_cropped_spectrum_aos(&spectrum, mask.len(), 64, 64);
+    let max_err = fused.zip_map(&aos, |a, b| (a - b).abs()).max();
+    assert!(max_err <= 1e-12, "max abs err {max_err}");
+    // And the end-to-end simulator still produces a sane clear-field scale.
+    let clear = simulator.aerial_image(&RealMatrix::filled(64, 64, 1.0));
+    assert!((clear.mean() - 1.0).abs() < 1e-9);
+}

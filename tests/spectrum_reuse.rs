@@ -1,0 +1,157 @@
+//! Regression pins for spectrum reuse across process-window conditions.
+//!
+//! The cropped mask spectrum depends only on the mask, never on focus or
+//! dose. These tests count actual 1-D FFT kernel executions (the thread-local
+//! counters exposed by `litho_fft::cache`) to pin that:
+//!
+//! 1. a conditioned sweep over C conditions costs exactly
+//!    `spectrum + Σ per-condition synthesis` transforms — the spectrum is
+//!    computed once, not per condition;
+//! 2. `ProcessDataset::generate` adds only synthesis transforms when a second
+//!    defocus group is added — the per-mask spectra are hoisted out of the
+//!    condition loop.
+//!
+//! The counters are thread-local, so everything here runs under
+//! `litho_parallel::with_threads(1, …)` (inline execution on this thread) and
+//! sibling tests on other threads cannot disturb the accounting.
+
+use litho_fft::cache::{thread_fft_1d_transforms, thread_plan_requests};
+use litho_masks::{DatasetKind, ProcessDataset};
+use litho_math::RealMatrix;
+use litho_optics::{HopkinsSimulator, OpticalConfig, ProcessCondition};
+use nitho::{ConditionEncoding, NithoConfig, NithoModel};
+
+fn counted<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = thread_fft_1d_transforms();
+    let result = litho_parallel::with_threads(1, f);
+    (result, thread_fft_1d_transforms() - before)
+}
+
+fn test_optics() -> OpticalConfig {
+    OpticalConfig::builder()
+        .tile_px(32)
+        .pixel_nm(16.0)
+        .kernel_count(4)
+        .build()
+}
+
+#[test]
+fn conditioned_sweep_computes_the_mask_spectrum_once() {
+    let optics = test_optics();
+    let config = NithoConfig {
+        kernel_side: Some(9),
+        kernel_count: 4,
+        condition: Some(ConditionEncoding::default()),
+        ..NithoConfig::fast()
+    };
+    let mut model = NithoModel::new(config, &optics);
+    model.refresh_kernels();
+    let mask = RealMatrix::from_fn(32, 32, |i, j| {
+        if (8..24).contains(&i) && (4..28).contains(&j) {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    let conditions = [
+        ProcessCondition::nominal(),
+        ProcessCondition::new(60.0, 1.0),
+        ProcessCondition::new(-60.0, 1.1),
+    ];
+
+    // Cost of the condition-independent half…
+    let (spectrum, spectrum_cost) = counted(|| model.cropped_spectrum(&mask));
+    assert!(spectrum_cost > 0, "spectrum must run real transforms");
+
+    // …and of each condition's synthesis alone (no spectrum recompute).
+    let mut per_condition = Vec::new();
+    for condition in &conditions {
+        let (_, cost) = counted(|| {
+            let frozen = model.at_condition(condition).expect("conditioned model");
+            frozen.predict_aerial_from_spectrum(&spectrum, mask.len(), 32)
+        });
+        assert!(cost > 0, "synthesis must run real transforms");
+        per_condition.push(cost);
+    }
+
+    // The full hoisted sweep must cost exactly one spectrum plus the
+    // per-condition syntheses — nothing hidden recomputes the mask FFT.
+    let (_, sweep_cost) = counted(|| {
+        let spectrum = model.cropped_spectrum(&mask);
+        for condition in &conditions {
+            let frozen = model.at_condition(condition).expect("conditioned model");
+            let aerial = frozen.predict_aerial_from_spectrum(&spectrum, mask.len(), 32);
+            std::hint::black_box(aerial);
+        }
+    });
+    let expected = spectrum_cost + per_condition.iter().sum::<u64>();
+    assert_eq!(
+        sweep_cost, expected,
+        "sweep must reuse the spectrum: cost {sweep_cost}, expected {expected} \
+         (spectrum {spectrum_cost} + per-condition {per_condition:?})"
+    );
+
+    // And the plan cache served every lookup without growing costs: lookups
+    // happen, but far fewer than transforms (one per pass, not per row).
+    let before_plans = thread_plan_requests();
+    let (_, with_reuse) = counted(|| {
+        let spectrum = model.cropped_spectrum(&mask);
+        std::hint::black_box(spectrum);
+    });
+    assert!(thread_plan_requests() > before_plans);
+    assert_eq!(with_reuse, spectrum_cost, "spectrum cost must be stable");
+}
+
+#[test]
+fn process_dataset_hoists_spectra_out_of_the_condition_loop() {
+    let optics = test_optics();
+    let simulator = HopkinsSimulator::new(&optics);
+    let one_defocus = [ProcessCondition::nominal()];
+    let two_defocus = [
+        ProcessCondition::nominal(),
+        ProcessCondition::new(80.0, 1.0),
+    ];
+
+    let (_, cost_one) =
+        counted(|| ProcessDataset::generate(DatasetKind::B1, 2, &simulator, &one_defocus, 5));
+    let (_, cost_two) =
+        counted(|| ProcessDataset::generate(DatasetKind::B1, 2, &simulator, &two_defocus, 5));
+
+    // The second defocus group may only add per-mask *synthesis* transforms —
+    // measure that synthesis directly on the same masks and spectra.
+    let pd = ProcessDataset::generate(DatasetKind::B1, 2, &simulator, &one_defocus, 5);
+    let masks: Vec<RealMatrix> = pd.groups()[0]
+        .1
+        .samples()
+        .iter()
+        .map(|s| s.mask.clone())
+        .collect();
+    let defocused = simulator.at_condition(&ProcessCondition::new(80.0, 1.0));
+    let spectra: Vec<_> = masks
+        .iter()
+        .map(|m| simulator.kernels().cropped_mask_spectrum(m))
+        .collect();
+    let (_, synthesis_only) = counted(|| {
+        for (mask, spectrum) in masks.iter().zip(&spectra) {
+            let aerial =
+                defocused
+                    .kernels()
+                    .aerial_from_cropped_spectrum(spectrum, mask.len(), 32, 32);
+            std::hint::black_box(aerial);
+        }
+    });
+    assert!(synthesis_only > 0);
+    assert_eq!(
+        cost_two - cost_one,
+        synthesis_only,
+        "adding a defocus group must not recompute mask spectra \
+         (one-group {cost_one}, two-group {cost_two}, synthesis {synthesis_only})"
+    );
+
+    // Dose-only variants reuse the defocus group's aerials entirely: zero
+    // additional transforms.
+    let dosed = [ProcessCondition::nominal(), ProcessCondition::new(0.0, 1.2)];
+    let (_, cost_dosed) =
+        counted(|| ProcessDataset::generate(DatasetKind::B1, 2, &simulator, &dosed, 5));
+    assert_eq!(cost_dosed, cost_one, "dose variants must be FFT-free");
+}
