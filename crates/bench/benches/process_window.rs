@@ -1,29 +1,40 @@
-//! Process-window throughput: one conditioned Nitho neural field vs.
-//! per-condition rigorous Hopkins re-decomposition on a focus × dose grid.
+//! Process-window throughput and memory residency: one conditioned Nitho
+//! neural field vs. per-condition rigorous Hopkins re-decomposition on a
+//! focus × dose grid.
 //!
 //! The rigorous path must rebuild its TCC and re-run the eigendecomposition
 //! for *every* focus value (the expensive part of process-window analysis);
 //! the conditioned field replaces that with a single CMLP inference per
 //! condition followed by the same cheap SOCS synthesis. This bench times a
-//! full ≥3×3 grid sweep of one chip tile through both engines and emits a
-//! `BENCH_pw.json` summary (written to the workspace root) so the speedup is
-//! tracked across commits.
+//! full ≥3×3 grid sweep of one chip tile through both engines.
+//!
+//! The whole binary also runs under the counting allocator, so the sweep is
+//! run twice more — once folding each condition straight into a
+//! [`StreamingPvb`] accumulator (the serving data path), once materializing
+//! the full resist stack before reducing it (the pre-streaming data path) —
+//! and the peak-heap growth of each is recorded. The emitted `BENCH_pw.json`
+//! (written to the workspace root) carries both the speedup and the memory
+//! cliff (`pvb_peak_ratio`) so they are tracked across commits.
 //!
 //! Knobs: `NITHO_PW_FOCUS_STEPS` / `NITHO_PW_DOSE_STEPS` (default 3×3) scale
-//! the grid; the tile setup mirrors the socs bench (128 px at 4 nm).
+//! the grid; `NITHO_PW_TILE_PX` (default 128, at 4 nm) scales the tile.
 
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use litho_masks::{Dataset, DatasetKind, ProcessDataset};
+use litho_math::RealMatrix;
+use litho_metrics::{pvb_summary, StreamingPvb};
 use litho_optics::{HopkinsSimulator, OpticalConfig, ProcessWindow};
+use litho_testsupport::{peak_growth_during, CountingAllocator};
 use nitho::{ConditionEncoding, NithoConfig, NithoModel};
 
-const TILE_PX: usize = 128;
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
 
-fn optics() -> OpticalConfig {
+fn optics(tile_px: usize) -> OpticalConfig {
     OpticalConfig::builder()
-        .tile_px(TILE_PX)
+        .tile_px(tile_px)
         .pixel_nm(4.0)
         .kernel_count(8)
         .build()
@@ -39,8 +50,15 @@ fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
     start.elapsed().as_secs_f64() * 1e3 / iters as f64
 }
 
+/// Peak heap growth of one warm pass, in bytes (1 warm-up + 1 measured).
+fn peak_bytes(mut f: impl FnMut()) -> u64 {
+    f();
+    peak_growth_during(f).1
+}
+
 fn bench_process_window(c: &mut Criterion) {
-    let optics = optics();
+    let tile_px = litho_bench::env_usize("NITHO_PW_TILE_PX", 128);
+    let optics = optics(tile_px);
     let focus_steps = litho_bench::env_usize("NITHO_PW_FOCUS_STEPS", 3);
     let dose_steps = litho_bench::env_usize("NITHO_PW_DOSE_STEPS", 3);
     let window = ProcessWindow::symmetric(80.0, focus_steps, 0.05, dose_steps);
@@ -48,7 +66,7 @@ fn bench_process_window(c: &mut Criterion) {
 
     eprintln!(
         "process_window bench: building the rigorous engine and training a \
-         conditioned model on a {focus_steps}x{dose_steps} grid"
+         conditioned model on a {focus_steps}x{dose_steps} grid at {tile_px} px"
     );
     let simulator = HopkinsSimulator::new(&optics);
     let pd = ProcessDataset::generate(DatasetKind::B2Metal, 6, &simulator, &conditions, 17);
@@ -70,17 +88,33 @@ fn bench_process_window(c: &mut Criterion) {
         .mask
         .clone();
 
-    // Full grid sweep through each engine: aerial + resist per condition.
-    // The cropped mask spectrum is condition-independent, so the conditioned
-    // sweep computes it once per tile and reuses it across the whole grid
-    // (the serving layer does the same; pinned by tests/spectrum_reuse.rs).
-    let nitho_sweep = || {
+    // Full grid sweep through each engine. The conditioned sweep drives the
+    // serving data path: the cropped mask spectrum is computed once
+    // (condition-independent; pinned by tests/spectrum_reuse.rs), one scratch
+    // plane is recycled across the grid and every condition's resist cut is
+    // folded straight into the bit-packed PVB accumulator.
+    let streamed_sweep = || {
+        let mut scratch = RealMatrix::zeros(tile_px, tile_px);
+        let mut fold = StreamingPvb::new();
+        model.for_each_condition(&mask, &conditions, &mut scratch, |_, threshold, aerial| {
+            fold.push_thresholded(aerial, threshold);
+        });
+        black_box(fold.finish(false).0);
+    };
+    // The pre-streaming data path: one resist plane per condition, reduced
+    // only after the whole stack is resident. Same arithmetic, O(conditions)
+    // planes — kept here purely to measure the memory cliff.
+    let materialized_sweep = || {
         let spectrum = model.cropped_spectrum(&mask);
-        for condition in &conditions {
-            let frozen = model.at_condition(condition).expect("conditioned model");
-            let aerial = frozen.predict_aerial_from_spectrum(&spectrum, mask.len(), TILE_PX);
-            black_box(aerial.threshold(frozen.effective_resist_threshold()));
-        }
+        let stack: Vec<RealMatrix> = conditions
+            .iter()
+            .map(|condition| {
+                let frozen = model.at_condition(condition).expect("conditioned model");
+                let aerial = frozen.predict_aerial_from_spectrum(&spectrum, mask.len(), tile_px);
+                aerial.threshold(frozen.effective_resist_threshold())
+            })
+            .collect();
+        black_box(pvb_summary(&stack));
     };
     let rigorous_sweep = || {
         for condition in &conditions {
@@ -92,22 +126,28 @@ fn bench_process_window(c: &mut Criterion) {
 
     let mut group = c.benchmark_group(format!("process_window_{focus_steps}x{dose_steps}"));
     group.sample_size(10);
-    group.bench_function("conditioned_nitho", |b| b.iter(nitho_sweep));
+    group.bench_function("conditioned_nitho", |b| b.iter(streamed_sweep));
     group.bench_function("rigorous_redecomposition", |b| b.iter(rigorous_sweep));
     group.finish();
 
     // JSON summary for the README / CI perf tracking.
-    let nitho_ms = time_ms(3, nitho_sweep);
+    let nitho_ms = time_ms(3, streamed_sweep);
     let rigorous_ms = time_ms(3, rigorous_sweep);
+    let streamed_peak = peak_bytes(streamed_sweep);
+    let materialized_peak = peak_bytes(materialized_sweep);
     let json = format!(
-        "{{\n  \"bench\": \"process_window\",\n  \"tile_px\": {TILE_PX},\n  \
+        "{{\n  \"bench\": \"process_window\",\n  \"tile_px\": {tile_px},\n  \
          \"kernel_count\": 8,\n  \"focus_steps\": {focus_steps},\n  \
          \"dose_steps\": {dose_steps},\n  \"conditions\": {},\n  \
          \"conditioned_nitho_ms\": {nitho_ms:.3},\n  \
          \"rigorous_redecomposition_ms\": {rigorous_ms:.3},\n  \
-         \"speedup\": {:.3}\n}}\n",
+         \"speedup\": {:.3},\n  \
+         \"streamed_peak_bytes\": {streamed_peak},\n  \
+         \"materialized_peak_bytes\": {materialized_peak},\n  \
+         \"pvb_peak_ratio\": {:.3}\n}}\n",
         conditions.len(),
         rigorous_ms / nitho_ms,
+        materialized_peak as f64 / streamed_peak as f64,
     );
     // Cargo runs benches with the package directory as CWD; anchor the report
     // at the workspace root instead.

@@ -490,6 +490,47 @@ impl NithoModel {
         synthesize_aerial(&self.kernels_at(condition), self.dims, mask, mask.rows())
     }
 
+    /// Visitor-style process-window sweep: computes the mask's cropped
+    /// spectrum **once** (it never depends on focus or dose), then for each
+    /// condition runs one CMLP inference, synthesizes the aerial into the
+    /// caller-owned `scratch` plane and yields
+    /// `(condition, effective_resist_threshold, aerial)` before the plane is
+    /// recycled — the whole sweep keeps O(1) planes resident and the warm
+    /// synthesis path allocates nothing per condition.
+    ///
+    /// Each yielded aerial is bit-identical to
+    /// `at_condition(c).predict_aerial(mask)` for a square mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not [support](NithoModel::supports_condition)
+    /// a condition, `scratch` is not mask-shaped, or the mask is smaller than
+    /// the kernel grid.
+    pub fn for_each_condition(
+        &self,
+        mask: &RealMatrix,
+        conditions: &[ProcessCondition],
+        scratch: &mut RealMatrix,
+        mut visit: impl FnMut(&ProcessCondition, f64, &RealMatrix),
+    ) {
+        assert_eq!(
+            scratch.shape(),
+            mask.shape(),
+            "scratch plane must match the mask shape"
+        );
+        let spectrum = self.cropped_spectrum(mask);
+        for condition in conditions {
+            let frozen = self.at_condition(condition).unwrap_or_else(|| {
+                panic!(
+                    "model is not process-window conditioned; it cannot serve \
+                     condition {condition}"
+                )
+            });
+            frozen.predict_aerial_from_spectrum_into(&spectrum, mask.len(), scratch);
+            visit(condition, frozen.effective_resist_threshold(), scratch);
+        }
+    }
+
     /// Predicts the binary resist image by thresholding the predicted aerial
     /// image.
     ///
@@ -654,19 +695,45 @@ fn synthesize_aerial_from_spectrum(
     mask_pixels: usize,
     out: usize,
 ) -> RealMatrix {
+    let mut intensity = RealMatrix::zeros(out, out);
+    synthesize_aerial_from_spectrum_into(kernels, dims, cropped, mask_pixels, &mut intensity);
+    intensity
+}
+
+/// [`synthesize_aerial_from_spectrum`] into a caller-owned output plane
+/// (overwritten, not accumulated) — the zero-allocation synthesis step of a
+/// streamed process-window sweep, where one scratch plane is recycled across
+/// every condition. Writing in place and scaling element-wise performs the
+/// same f64 operations as the allocating path, so the result is bit-identical
+/// to [`synthesize_aerial_from_spectrum`] with `out`'s edge length.
+///
+/// # Panics
+///
+/// Panics if the spectrum does not match the kernel grid or the output plane
+/// is smaller than the kernel grid.
+fn synthesize_aerial_from_spectrum_into(
+    kernels: &[ComplexMatrix],
+    dims: KernelDims,
+    cropped: &ComplexMatrix,
+    mask_pixels: usize,
+    out: &mut RealMatrix,
+) {
     assert_eq!(
         cropped.shape(),
         (dims.rows, dims.cols),
         "spectrum must match the kernel grid"
     );
+    let (rows, cols) = out.shape();
     assert!(
-        out >= dims.rows && out >= dims.cols,
+        rows >= dims.rows && cols >= dims.cols,
         "output resolution is smaller than the kernel grid"
     );
-    let scale = ((out * out) as f64 / mask_pixels as f64).powi(2);
-    let mut intensity = RealMatrix::zeros(out, out);
-    litho_fft::soa::accumulate_socs_intensity(kernels, cropped, &mut intensity);
-    intensity.scale(scale)
+    let scale = ((rows * cols) as f64 / mask_pixels as f64).powi(2);
+    out.as_mut_slice().fill(0.0);
+    litho_fft::soa::accumulate_socs_intensity(kernels, cropped, out);
+    for value in out.as_mut_slice() {
+        *value *= scale;
+    }
 }
 
 /// A neural field frozen at one process condition: the kernels were evaluated
@@ -743,6 +810,25 @@ impl ConditionedKernels {
         out: usize,
     ) -> RealMatrix {
         synthesize_aerial_from_spectrum(&self.kernels, self.dims, spectrum, mask_pixels, out)
+    }
+
+    /// [`ConditionedKernels::predict_aerial_from_spectrum`] into a
+    /// caller-owned plane (overwritten): the warm path of a streamed
+    /// process-window sweep allocates nothing per condition — the spectrum is
+    /// computed once per mask and the same scratch plane absorbs every
+    /// condition's synthesis. Bit-identical to the allocating form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spectrum does not match the kernel grid or `out` is
+    /// smaller than the kernel grid.
+    pub fn predict_aerial_from_spectrum_into(
+        &self,
+        spectrum: &ComplexMatrix,
+        mask_pixels: usize,
+        out: &mut RealMatrix,
+    ) {
+        synthesize_aerial_from_spectrum_into(&self.kernels, self.dims, spectrum, mask_pixels, out);
     }
 
     /// Predicts the binary resist image at the condition's effective
@@ -1117,6 +1203,52 @@ mod tests {
         assert!(nominal_model
             .at_condition(&ProcessCondition::nominal())
             .is_some());
+    }
+
+    #[test]
+    fn for_each_condition_matches_frozen_engines() {
+        let optics = fast_optics();
+        let mut model = NithoModel::new(conditioned_config(), &optics);
+        model.refresh_kernels();
+        let mask = RealMatrix::from_fn(64, 64, |i, j| {
+            if (20..44).contains(&i) && (12..52).contains(&j) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let conditions = [
+            ProcessCondition::nominal(),
+            ProcessCondition::new(-60.0, 0.95),
+            ProcessCondition::new(60.0, 1.1),
+        ];
+
+        let mut scratch = RealMatrix::zeros(64, 64);
+        let mut visited = Vec::new();
+        model.for_each_condition(
+            &mask,
+            &conditions,
+            &mut scratch,
+            |condition, threshold, aerial| {
+                visited.push((*condition, threshold, aerial.clone()));
+            },
+        );
+
+        assert_eq!(visited.len(), conditions.len());
+        for (condition, threshold, aerial) in &visited {
+            let frozen = model.at_condition(condition).expect("supported");
+            let direct = frozen.predict_aerial(&mask);
+            // Streaming into caller-owned scratch must be bit-identical
+            // to the materializing frozen-engine path.
+            assert!(
+                aerial
+                    .iter()
+                    .zip(direct.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "streamed aerial diverged at {condition}"
+            );
+            assert_eq!(*threshold, frozen.effective_resist_threshold());
+        }
     }
 
     #[test]

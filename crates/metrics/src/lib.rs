@@ -9,7 +9,7 @@ pub mod metrology;
 
 pub use metrology::{
     cd_px, epe, epe_with_thresholds, printed_length, pvb_band, pvb_summary, threshold_segments,
-    Cutline, EpeStats, PvbSummary,
+    Cutline, EpeStats, PvbSummary, StreamingPvb,
 };
 
 use litho_math::RealMatrix;

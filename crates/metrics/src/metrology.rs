@@ -229,34 +229,171 @@ pub struct PvbSummary {
     pub area_fraction: f64,
 }
 
+/// Streaming (one-plane-at-a-time) process-variation-band reduction.
+///
+/// Per pixel, "printed under at least one condition" and "printed under every
+/// condition" are the monotone folds `any |= printed` and `all &= printed`:
+/// commutative, associative and idempotent, so the result is independent of
+/// the order conditions arrive in and each resist plane can be folded in and
+/// **dropped** the moment it is produced. The accumulator holds two bit-packed
+/// planes (1 bit per pixel each, 1/64 the footprint of one `f64` plane), so a
+/// dense focus × dose sweep costs O(1) planes of memory instead of
+/// O(conditions).
+///
+/// [`pvb_summary`] and [`pvb_band`] are reimplemented on top of this type, so
+/// there is exactly one PVB reduction code path.
+///
+/// ```
+/// use litho_math::RealMatrix;
+/// use litho_metrics::metrology::StreamingPvb;
+///
+/// let mut fold = StreamingPvb::new();
+/// for aerial in [RealMatrix::zeros(4, 4), RealMatrix::from_fn(4, 4, |_, _| 1.0)] {
+///     let printed = fold.push_thresholded(&aerial, 0.5);
+///     assert!(printed == 0.0 || printed == 16.0);
+/// }
+/// let (summary, band) = fold.finish(true);
+/// assert_eq!(summary.area_px, 16.0);
+/// assert_eq!(band.expect("band requested").sum(), 16.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StreamingPvb {
+    shape: Option<(usize, usize)>,
+    conditions: usize,
+    union: Vec<u64>,
+    intersection: Vec<u64>,
+}
+
+impl StreamingPvb {
+    /// An empty accumulator; the pixel shape is fixed by the first push.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resist planes folded in so far.
+    pub fn conditions(&self) -> usize {
+        self.conditions
+    }
+
+    /// Folds one binary resist plane into the band (0.5 cut, matching the
+    /// other resist metrics). Returns the plane's printed-pixel count so the
+    /// caller gets its per-condition report without a second pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane's shape differs from the first pushed plane.
+    pub fn push(&mut self, resist: &RealMatrix) -> f64 {
+        self.push_thresholded(resist, 0.5)
+    }
+
+    /// Folds an aerial plane at an explicit development `threshold`, fusing
+    /// the binarization into the fold so no intermediate resist plane is ever
+    /// materialized. `push_thresholded(a, t)` is exactly
+    /// `push(&a.threshold(t))`: both use the `value >= threshold` cut, and
+    /// the returned printed count equals `a.threshold(t).sum()` bit for bit
+    /// (a sum of exact `1.0`s is an integer below 2^53).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane's shape differs from the first pushed plane.
+    pub fn push_thresholded(&mut self, aerial: &RealMatrix, threshold: f64) -> f64 {
+        let shape = aerial.shape();
+        match self.shape {
+            None => {
+                let words = (shape.0 * shape.1).div_ceil(64);
+                self.shape = Some(shape);
+                self.union = vec![0u64; words];
+                self.intersection = vec![u64::MAX; words];
+            }
+            Some(expected) => {
+                assert_eq!(shape, expected, "shape mismatch in PVB stack");
+            }
+        }
+        self.conditions += 1;
+        let mut printed = 0u64;
+        for (chunk, (any, all)) in aerial
+            .as_slice()
+            .chunks(64)
+            .zip(self.union.iter_mut().zip(self.intersection.iter_mut()))
+        {
+            let mut bits = 0u64;
+            for (bit, &value) in chunk.iter().enumerate() {
+                bits |= u64::from(value >= threshold) << bit;
+            }
+            printed += u64::from(bits.count_ones());
+            *any |= bits;
+            // Trailing bits of the last word stay set in `intersection`, but
+            // they are masked off by `union` (never set there) at finish.
+            *all &= bits | !mask_for(chunk.len());
+        }
+        printed as f64
+    }
+
+    /// Completes the fold: the scalar [`PvbSummary`] plus, when `want_band`,
+    /// the band plane itself (1 where conditions disagree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was pushed.
+    pub fn finish(self, want_band: bool) -> (PvbSummary, Option<RealMatrix>) {
+        assert!(self.conditions > 0, "PVB needs at least one resist image");
+        let (rows, cols) = self.shape.expect("shape fixed by the first push");
+        let total = rows * cols;
+        let mut union = 0usize;
+        let mut intersection = 0usize;
+        for (&any, &all) in self.union.iter().zip(&self.intersection) {
+            union += (any.count_ones()) as usize;
+            intersection += (any & all).count_ones() as usize;
+        }
+        let area = (union - intersection) as f64;
+        let summary = PvbSummary {
+            union_px: union as f64,
+            intersection_px: intersection as f64,
+            area_px: area,
+            area_fraction: if total > 0 { area / total as f64 } else { 0.0 },
+        };
+        let band = want_band.then(|| {
+            RealMatrix::from_fn(rows, cols, |i, j| {
+                let idx = i * cols + j;
+                let any = self.union[idx / 64] >> (idx % 64) & 1 == 1;
+                let all = self.intersection[idx / 64] >> (idx % 64) & 1 == 1;
+                if any && !all {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+        });
+        (summary, band)
+    }
+}
+
+/// All-ones mask for the low `bits` bits of a word (`bits <= 64`).
+fn mask_for(bits: usize) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
 /// The process-variation band of a stack of binary resist images (one per
 /// process condition, all the same shape): 1 where the condition stack
 /// disagrees (printed somewhere, not everywhere), 0 elsewhere. Images are
 /// treated as binary with a 0.5 cut, like the other resist metrics.
 ///
+/// Thin wrapper over [`StreamingPvb`]; callers that produce conditions one at
+/// a time should fold directly instead of materializing a stack.
+///
 /// # Panics
 ///
 /// Panics if the stack is empty or the shapes differ.
 pub fn pvb_band(stack: &[RealMatrix]) -> RealMatrix {
-    assert!(!stack.is_empty(), "PVB needs at least one resist image");
-    let shape = stack[0].shape();
+    let mut fold = StreamingPvb::new();
     for image in stack {
-        assert_eq!(image.shape(), shape, "shape mismatch in PVB stack");
+        fold.push(image);
     }
-    RealMatrix::from_fn(shape.0, shape.1, |i, j| {
-        let mut any = false;
-        let mut all = true;
-        for image in stack {
-            let printed = image[(i, j)] >= 0.5;
-            any |= printed;
-            all &= printed;
-        }
-        if any && !all {
-            1.0
-        } else {
-            0.0
-        }
-    })
+    fold.finish(true).1.expect("band was requested")
 }
 
 /// Computes the [`PvbSummary`] of a resist stack (see [`pvb_band`]).
@@ -267,34 +404,11 @@ pub fn pvb_band(stack: &[RealMatrix]) -> RealMatrix {
 ///
 /// Panics if the stack is empty or the shapes differ.
 pub fn pvb_summary(stack: &[RealMatrix]) -> PvbSummary {
-    assert!(!stack.is_empty(), "PVB needs at least one resist image");
-    let shape = stack[0].shape();
+    let mut fold = StreamingPvb::new();
     for image in stack {
-        assert_eq!(image.shape(), shape, "shape mismatch in PVB stack");
+        fold.push(image);
     }
-    let mut union = 0usize;
-    let mut intersection = 0usize;
-    let total = shape.0 * shape.1;
-    for i in 0..shape.0 {
-        for j in 0..shape.1 {
-            let mut any = false;
-            let mut all = true;
-            for image in stack {
-                let printed = image[(i, j)] >= 0.5;
-                any |= printed;
-                all &= printed;
-            }
-            union += usize::from(any);
-            intersection += usize::from(all);
-        }
-    }
-    let area = (union - intersection) as f64;
-    PvbSummary {
-        union_px: union as f64,
-        intersection_px: intersection as f64,
-        area_px: area,
-        area_fraction: if total > 0 { area / total as f64 } else { 0.0 },
-    }
+    fold.finish(false).0
 }
 
 #[cfg(test)]
@@ -434,6 +548,44 @@ mod tests {
     #[should_panic(expected = "at least one resist image")]
     fn empty_pvb_stack_panics() {
         let _ = pvb_summary(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resist image")]
+    fn empty_streaming_fold_panics() {
+        let _ = StreamingPvb::new().finish(true);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch in PVB stack")]
+    fn mismatched_streaming_shapes_panic() {
+        let mut fold = StreamingPvb::new();
+        fold.push(&RealMatrix::zeros(4, 4));
+        fold.push(&RealMatrix::zeros(4, 5));
+    }
+
+    #[test]
+    fn streaming_threshold_fuses_the_binarization() {
+        let mut rng = litho_math::DeterministicRng::new(11);
+        // 9x9 = 81 pixels: exercises the partial trailing bit-word.
+        let aerials: Vec<RealMatrix> = (0..4)
+            .map(|_| RealMatrix::from_fn(9, 9, |_, _| rng.uniform(0.0, 1.0)))
+            .collect();
+        let thresholds = [0.3, 0.5, 0.62, 0.9];
+
+        let mut fold = StreamingPvb::new();
+        let mut resist_stack = Vec::new();
+        for (aerial, &t) in aerials.iter().zip(&thresholds) {
+            let resist = aerial.threshold(t);
+            assert_eq!(fold.push_thresholded(aerial, t), resist.sum());
+            resist_stack.push(resist);
+        }
+        assert_eq!(fold.conditions(), 4);
+        let expected_summary = pvb_summary(&resist_stack);
+        let expected_band = pvb_band(&resist_stack);
+        let (summary, band) = fold.finish(true);
+        assert_eq!(summary, expected_summary);
+        assert_eq!(band.expect("band").as_slice(), expected_band.as_slice());
     }
 
     proptest! {

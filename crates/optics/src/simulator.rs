@@ -122,6 +122,43 @@ impl HopkinsSimulator {
         self.socs.aerial_image_at(mask, out_rows, out_cols)
     }
 
+    /// Visitor-style rigorous process-window sweep: the cropped mask
+    /// spectrum is computed **once** (the mask never changes with focus or
+    /// dose); each condition re-derives its TCC/SOCS stack, synthesizes the
+    /// aerial from the shared spectrum and yields
+    /// `(condition, effective_resist_threshold, aerial)` before both are
+    /// dropped — O(1) planes resident regardless of the grid size.
+    ///
+    /// Each yielded aerial is bit-identical to
+    /// `self.at_condition(c).aerial_image(mask)`:
+    /// [`at_condition`](HopkinsSimulator::at_condition) preserves the kernel
+    /// grid, so the rebuilt engine crops the very same spectrum, and
+    /// `aerial_image` is exactly that crop followed by the synthesis used
+    /// here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a condition is invalid or the mask is smaller than the
+    /// kernel grid.
+    pub fn for_each_condition(
+        &self,
+        mask: &RealMatrix,
+        conditions: &[ProcessCondition],
+        mut visit: impl FnMut(&ProcessCondition, f64, &RealMatrix),
+    ) {
+        let spectrum = self.socs.cropped_mask_spectrum(mask);
+        for condition in conditions {
+            let rebuilt = self.at_condition(condition);
+            let aerial = rebuilt.socs.aerial_from_cropped_spectrum(
+                &spectrum,
+                mask.len(),
+                mask.rows(),
+                mask.cols(),
+            );
+            visit(condition, rebuilt.resist.effective_threshold(), &aerial);
+        }
+    }
+
     /// Develops an aerial image into a binary resist image.
     pub fn resist_image(&self, aerial: &RealMatrix) -> RealMatrix {
         self.resist.develop(aerial)
@@ -276,6 +313,39 @@ mod tests {
         );
         // Overdose prints at least as much area.
         assert!(dosed.resist_image(&da).sum() >= base.resist_image(&a).sum());
+    }
+
+    #[test]
+    fn for_each_condition_matches_per_condition_rebuilds() {
+        use crate::process::ProcessCondition;
+        let base = HopkinsSimulator::new(&fast_config());
+        let mask = dense_lines_mask(64, 20, 10);
+        let conditions = [
+            ProcessCondition::nominal(),
+            ProcessCondition::new(-100.0, 0.9),
+            ProcessCondition::new(100.0, 1.1),
+        ];
+
+        let mut visited = Vec::new();
+        base.for_each_condition(&mask, &conditions, |condition, threshold, aerial| {
+            visited.push((*condition, threshold, aerial.clone()));
+        });
+
+        assert_eq!(visited.len(), conditions.len());
+        for (condition, threshold, aerial) in &visited {
+            let rebuilt = base.at_condition(condition);
+            let direct = rebuilt.aerial_image(&mask);
+            // The hoisted-spectrum path must be bit-identical to the
+            // materializing per-condition path, not merely close.
+            assert!(
+                aerial
+                    .iter()
+                    .zip(direct.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "streamed aerial diverged at {condition}"
+            );
+            assert_eq!(*threshold, rebuilt.resist_model().effective_threshold());
+        }
     }
 
     #[test]

@@ -259,19 +259,12 @@ impl<'a> ChipPipeline<'a> {
     /// aerial image.
     pub fn aerial(&self, chip: &RealMatrix) -> RealMatrix {
         let grid = self.plan(chip.rows(), chip.cols());
-        // Fan the tile windows out over litho_parallel workers; par_map
-        // returns the per-tile aerials in tile order regardless of the
-        // thread count.
-        let tile_aerials = litho_parallel::par_map(grid.len(), |index| {
+        let mut stitched = RealMatrix::zeros(chip.rows(), chip.cols());
+        stitch_chunked(&grid, &mut stitched, |index| {
             let tile = grid.tile(index);
             let window = grid.extract_window(chip, &tile);
             self.simulator.simulate_tile(&window)
         });
-        let mut stitched = RealMatrix::zeros(chip.rows(), chip.cols());
-        for (index, tile_aerial) in tile_aerials.iter().enumerate() {
-            let tile = grid.tile(index);
-            grid.stitch_owned(&mut stitched, &tile, tile_aerial);
-        }
         stitched
     }
 
@@ -291,21 +284,169 @@ impl<'a> ChipPipeline<'a> {
     }
 }
 
+/// Computes per-tile aerials in bounded chunks and stitches each chunk into
+/// `out` before the next chunk is produced, so at most one chunk's worth of
+/// tile planes is resident at a time instead of the whole grid's worth.
+///
+/// Each tile's value is produced by exactly one `compute` call and stitched
+/// cores are disjoint, so the result is bit-identical to materializing every
+/// tile first and stitching in tile order — for any chunk size and any
+/// thread count.
+fn stitch_chunked(
+    grid: &TileGrid,
+    out: &mut RealMatrix,
+    compute: impl Fn(usize) -> RealMatrix + Sync,
+) {
+    // Big enough to keep every worker busy across a chunk, small enough that
+    // the transient tile planes stay O(threads), not O(tiles).
+    let chunk = 4 * litho_parallel::max_threads().max(1);
+    let total = grid.len();
+    let mut start = 0;
+    while start < total {
+        let count = chunk.min(total - start);
+        let tile_aerials = litho_parallel::par_map(count, |offset| compute(start + offset));
+        for (offset, tile_aerial) in tile_aerials.iter().enumerate() {
+            let tile = grid.tile(start + offset);
+            grid.stitch_owned(out, &tile, tile_aerial);
+        }
+        start += count;
+    }
+}
+
+/// A planned process-window sweep over one chip: the tile grid plus — when
+/// every engine shares one kernel grid — each tile window's cropped mask
+/// spectrum, computed exactly once and reused by every condition.
+///
+/// The mask never changes with focus or dose, so recomputing the forward FFT
+/// per condition is pure waste (pinned by `tests/spectrum_reuse.rs`). Beyond
+/// the planned spectra, [`synthesize_into`](ChipSweep::synthesize_into)
+/// renders each condition into a **caller-owned** plane, which is what lets
+/// the process-window handler keep O(1) planes resident for an arbitrarily
+/// dense focus × dose grid.
+pub struct ChipSweep<'a> {
+    chip: &'a RealMatrix,
+    grid: TileGrid,
+    tile_px: usize,
+    spectra: Option<((usize, usize), Vec<ComplexMatrix>)>,
+}
+
+impl<'a> ChipSweep<'a> {
+    /// Plans the grid (and, when the engines share a kernel grid, the
+    /// per-tile spectra) for sweeping `chip` under `engines`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is empty, the engines disagree on `tile_px`, or
+    /// the halo leaves no tile core.
+    pub fn plan(engines: &[Box<dyn TileSimulator>], chip: &'a RealMatrix, halo_px: usize) -> Self {
+        let first = engines.first().expect("aerial_sweep needs an engine");
+        let tile_px = first.tile_px();
+        assert!(
+            engines.iter().all(|e| e.tile_px() == tile_px),
+            "aerial_sweep engines must share one tile size"
+        );
+        let grid = TileGrid::new(
+            TilingConfig::new(tile_px, halo_px),
+            chip.rows(),
+            chip.cols(),
+        );
+        let shared_dims = match first.spectrum_dims() {
+            Some(dims) if engines.iter().all(|e| e.spectrum_dims() == Some(dims)) => Some(dims),
+            _ => None,
+        };
+        // One spectrum per tile window, shared by every condition. A cropped
+        // spectrum is kernel-grid sized (a few KB), so holding all of them is
+        // part of the accumulator cost, not a per-condition plane.
+        let spectra = shared_dims.map(|(kr, kc)| {
+            let spectra = litho_parallel::par_map(grid.len(), |index| {
+                let tile = grid.tile(index);
+                let window = grid.extract_window(chip, &tile);
+                litho_fft::soa::cropped_centered_spectrum(&window, kr, kc)
+            });
+            ((kr, kc), spectra)
+        });
+        Self {
+            chip,
+            grid,
+            tile_px,
+            spectra,
+        }
+    }
+
+    /// Number of tiles in the planned grid.
+    pub fn tiles(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// Renders `engine`'s stitched full-chip aerial into `out`, overwriting
+    /// it. Uses the planned spectra when the engine shares the planned kernel
+    /// grid, otherwise simulates each tile window directly — both paths are
+    /// bit-identical to [`ChipPipeline::aerial`] with the same engine and
+    /// halo, for any thread count (the spectrum path's equality is the
+    /// [`TileSimulator::simulate_tile_spectrum`] contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not chip-shaped or the engine's tile size differs
+    /// from the planned sweep.
+    pub fn synthesize_into(&self, engine: &dyn TileSimulator, out: &mut RealMatrix) {
+        assert_eq!(
+            out.shape(),
+            self.chip.shape(),
+            "scratch plane must match the chip shape"
+        );
+        assert_eq!(
+            engine.tile_px(),
+            self.tile_px,
+            "engine tile size must match the planned sweep"
+        );
+        match &self.spectra {
+            Some((dims, spectra)) if engine.spectrum_dims() == Some(*dims) => {
+                let mask_pixels = self.tile_px * self.tile_px;
+                stitch_chunked(&self.grid, out, |index| {
+                    engine.simulate_tile_spectrum(&spectra[index], mask_pixels)
+                });
+            }
+            _ => {
+                stitch_chunked(&self.grid, out, |index| {
+                    let tile = self.grid.tile(index);
+                    let window = self.grid.extract_window(self.chip, &tile);
+                    engine.simulate_tile(&window)
+                });
+            }
+        }
+    }
+}
+
+/// Visitor-style [`aerial_sweep`]: renders each engine's stitched aerial into
+/// one shared scratch plane and yields `(engine_index, &aerial)` to `visit`,
+/// recycling the plane between conditions. The whole sweep keeps a single
+/// chip-sized plane resident (plus the planned spectra) regardless of how
+/// many engines it covers.
+///
+/// # Panics
+///
+/// Panics if `engines` is empty, the engines disagree on `tile_px`, or the
+/// halo leaves no tile core.
+pub fn aerial_sweep_with(
+    engines: &[Box<dyn TileSimulator>],
+    chip: &RealMatrix,
+    halo_px: usize,
+    mut visit: impl FnMut(usize, &RealMatrix),
+) {
+    let sweep = ChipSweep::plan(engines, chip, halo_px);
+    let mut scratch = RealMatrix::zeros(chip.rows(), chip.cols());
+    for (index, engine) in engines.iter().enumerate() {
+        sweep.synthesize_into(engine.as_ref(), &mut scratch);
+        visit(index, &scratch);
+    }
+}
+
 /// Simulates the same chip under several engines (one per process condition)
 /// that share a single tile geometry, returning one stitched aerial image per
-/// engine **in engine order**.
-///
-/// When every engine supports spectrum-domain tiles with one common kernel
-/// grid (the model-derived process-window case), each tile window's cropped
-/// mask spectrum is computed exactly *once* and reused across all engines —
-/// the mask never changes with focus or dose, so recomputing the forward FFT
-/// per condition is pure waste (pinned by `tests/spectrum_reuse.rs`).
-/// Engines with mixed or absent spectrum support fall back to independent
-/// [`ChipPipeline::aerial`] runs.
-///
-/// Tiles fan out over `litho_parallel` workers per engine and stitch in tile
-/// order, so each aerial is bit-identical to `ChipPipeline::aerial` with the
-/// same engine and halo, for any thread count.
+/// engine **in engine order**. Materializing wrapper over [`ChipSweep`] /
+/// [`aerial_sweep_with`] — callers that can fold each condition as it is
+/// produced should use the visitor form and keep O(1) planes resident.
 ///
 /// # Panics
 ///
@@ -316,47 +457,13 @@ pub fn aerial_sweep(
     chip: &RealMatrix,
     halo_px: usize,
 ) -> Vec<RealMatrix> {
-    let first = engines.first().expect("aerial_sweep needs an engine");
-    let tile_px = first.tile_px();
-    assert!(
-        engines.iter().all(|e| e.tile_px() == tile_px),
-        "aerial_sweep engines must share one tile size"
-    );
-    let shared_dims = match first.spectrum_dims() {
-        Some(dims) if engines.iter().all(|e| e.spectrum_dims() == Some(dims)) => Some(dims),
-        _ => None,
-    };
-    let Some((kr, kc)) = shared_dims else {
-        return engines
-            .iter()
-            .map(|engine| ChipPipeline::with_halo(engine.as_ref(), halo_px).aerial(chip))
-            .collect();
-    };
-
-    let grid = TileGrid::new(
-        TilingConfig::new(tile_px, halo_px),
-        chip.rows(),
-        chip.cols(),
-    );
-    // One spectrum per tile window, shared by every condition.
-    let spectra = litho_parallel::par_map(grid.len(), |index| {
-        let tile = grid.tile(index);
-        let window = grid.extract_window(chip, &tile);
-        litho_fft::soa::cropped_centered_spectrum(&window, kr, kc)
-    });
-    let mask_pixels = tile_px * tile_px;
+    let sweep = ChipSweep::plan(engines, chip, halo_px);
     engines
         .iter()
         .map(|engine| {
-            let tile_aerials = litho_parallel::par_map(grid.len(), |index| {
-                engine.simulate_tile_spectrum(&spectra[index], mask_pixels)
-            });
-            let mut stitched = RealMatrix::zeros(chip.rows(), chip.cols());
-            for (index, tile_aerial) in tile_aerials.iter().enumerate() {
-                let tile = grid.tile(index);
-                grid.stitch_owned(&mut stitched, &tile, tile_aerial);
-            }
-            stitched
+            let mut out = RealMatrix::zeros(chip.rows(), chip.cols());
+            sweep.synthesize_into(engine.as_ref(), &mut out);
+            out
         })
         .collect()
 }

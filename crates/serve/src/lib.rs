@@ -31,12 +31,14 @@ pub mod registry;
 pub mod service;
 pub mod tiling;
 
-pub use chip::{aerial_sweep, ChipPipeline, ChipResult, TileSimulator};
+pub use chip::{
+    aerial_sweep, aerial_sweep_with, ChipPipeline, ChipResult, ChipSweep, TileSimulator,
+};
 pub use http::{http_request, HttpServer, Request, Response, ShutdownHandle};
 pub use json::Json;
 pub use pw::{
     ConditionReport, MaskSpec, ProcessWindowRequest, ProcessWindowResponse, PvbReport,
-    MAX_CONDITIONS,
+    MAX_AXIS_POINTS, MAX_CONDITIONS,
 };
 pub use registry::{ModelInfo, ModelRegistry};
 pub use service::Service;

@@ -15,7 +15,16 @@ use litho_math::RealMatrix;
 use crate::json::Json;
 
 /// Maximum number of process conditions (focus × dose) per request.
-pub const MAX_CONDITIONS: usize = 64;
+///
+/// The streamed reduction (see `Service::process_window`) holds O(1) chip
+/// planes regardless of the grid size, so this bounds *compute* per request,
+/// not memory: one full-chip simulation per unique focus value.
+pub const MAX_CONDITIONS: usize = 256;
+
+/// Maximum number of points on either grid axis per request. Keeps a single
+/// degenerate axis from consuming the whole condition budget (256 focus
+/// values would mean 256 full-chip simulations).
+pub const MAX_AXIS_POINTS: usize = 64;
 
 /// The mask member of a request: raw pixels or rectangles, as in
 /// `/v1/simulate`.
@@ -199,8 +208,9 @@ impl ProcessWindowRequest {
     /// # Errors
     ///
     /// Returns a protocol-level message on any malformed member; grid bounds
-    /// (positive doses, `MAX_CONDITIONS`) are enforced here so a malformed
-    /// body can never reach the simulation engine.
+    /// (positive doses, [`MAX_AXIS_POINTS`] per axis, [`MAX_CONDITIONS`]
+    /// total) are enforced here so a malformed body can never reach the
+    /// simulation engine.
     pub fn from_json(doc: &Json) -> Result<Self, String> {
         let model = match doc.get("model") {
             None => None,
@@ -224,6 +234,13 @@ impl ProcessWindowRequest {
                     }
                     if !values.iter().all(|v| v.is_finite()) {
                         return Err(format!("\"{name}\" values must be finite"));
+                    }
+                    if values.len() > MAX_AXIS_POINTS {
+                        return Err(format!(
+                            "\"{name}\" has {} points, exceeding the \
+                             {MAX_AXIS_POINTS}-point axis limit",
+                            values.len()
+                        ));
                     }
                     Ok(values)
                 }
@@ -618,20 +635,47 @@ mod tests {
         }
     }
 
-    #[test]
-    fn oversized_grid_is_rejected() {
-        let focus: Vec<String> = (0..9).map(|i| format!("{i}")).collect();
-        let dose: Vec<String> = (0..8)
-            .map(|i| format!("{}", 1.0 + i as f64 / 100.0))
+    fn grid_body(focus_points: usize, dose_points: usize) -> String {
+        let focus: Vec<String> = (0..focus_points).map(|i| format!("{i}")).collect();
+        let dose: Vec<String> = (0..dose_points)
+            .map(|i| format!("{}", 1.0 + i as f64 / 1000.0))
             .collect();
-        let body = format!(
+        format!(
             r#"{{"mask":{{"rows":8,"cols":8,"rects":[[0,0,4,4]]}},"focus_nm":[{}],"dose":[{}]}}"#,
             focus.join(","),
             dose.join(",")
-        );
-        let doc = Json::parse(&body).expect("json");
-        let err = ProcessWindowRequest::from_json(&doc).expect_err("72 conditions");
-        assert!(err.contains("condition limit"), "{err}");
+        )
+    }
+
+    #[test]
+    fn grid_limits_are_enforced() {
+        // (focus points, dose points, expected rejection needle; None = OK).
+        let cases = [
+            (9, 9, None),
+            (MAX_AXIS_POINTS, 5, Some("condition limit")),
+            (MAX_AXIS_POINTS, MAX_CONDITIONS / MAX_AXIS_POINTS, None),
+            (MAX_AXIS_POINTS + 1, 1, Some("axis limit")),
+            (1, MAX_AXIS_POINTS + 1, Some("axis limit")),
+            (17, 16, Some("condition limit")),
+        ];
+        for (focus_points, dose_points, expected) in cases {
+            let body = grid_body(focus_points, dose_points);
+            let doc = Json::parse(&body).expect("json");
+            let result = ProcessWindowRequest::from_json(&doc);
+            match expected {
+                None => {
+                    let request = result.unwrap_or_else(|err| {
+                        panic!("{focus_points}x{dose_points} should parse: {err}")
+                    });
+                    assert_eq!(request.focus_nm.len(), focus_points);
+                    assert_eq!(request.dose.len(), dose_points);
+                }
+                Some(needle) => {
+                    let err = result.expect_err("over-limit grid must be rejected");
+                    assert!(err.contains(needle), "{focus_points}x{dose_points}: {err}");
+                }
+            }
+        }
     }
 
     proptest! {

@@ -16,10 +16,10 @@
 use std::time::Instant;
 
 use litho_math::RealMatrix;
-use litho_metrics::metrology::{self, Cutline};
+use litho_metrics::metrology::{self, Cutline, StreamingPvb};
 use litho_optics::ProcessCondition;
 
-use crate::chip::{ChipPipeline, TileSimulator};
+use crate::chip::{ChipPipeline, ChipSweep, TileSimulator};
 use crate::http::{Request, Response};
 use crate::json::Json;
 use crate::pw::{
@@ -221,6 +221,15 @@ impl Service {
     /// each chip's tiles fan out over `litho_parallel`, so the response body
     /// is bit-identical for any `NITHO_THREADS` value — which is also why it
     /// deliberately carries no timing field.
+    ///
+    /// The reduction is **streamed**: each focus aerial is rendered into one
+    /// recycled scratch plane, every condition's resist cut is folded
+    /// straight into a bit-packed [`StreamingPvb`] accumulator and its
+    /// CD/EPE report emitted inline, and the plane is overwritten by the
+    /// next focus value. A dense grid therefore holds two chip planes
+    /// (nominal EPE reference + current aerial) plus the accumulator
+    /// resident — independent of the number of conditions (pinned by
+    /// `tests/pw_streaming.rs`).
     fn process_window(&self, request: &Request) -> Result<Response, ServiceError> {
         let text = request
             .body_text()
@@ -287,23 +296,17 @@ impl Service {
         // (tiles parallelize inside the sweep). Each tile window's cropped
         // mask spectrum is computed once and shared by every focus engine —
         // the mask does not change with the condition.
-        let tiles_per_condition = ChipPipeline::with_halo(focus_engines[0].as_ref(), halo)
-            .plan(rows, cols)
-            .len();
-        let aerials = crate::chip::aerial_sweep(&focus_engines, &mask, halo);
-        let per_focus: Vec<(f64, litho_math::RealMatrix)> = focus_engines
-            .iter()
-            .map(|engine| engine.resist_threshold())
-            .zip(aerials)
-            .collect();
+        let sweep = ChipSweep::plan(&focus_engines, &mask, halo);
+        let tiles_per_condition = sweep.tiles();
 
-        // EPE reference: the nominal-condition contour. Reuse the best-focus
-        // aerial when the grid includes it; otherwise simulate it once.
-        let nominal_extra;
-        let (nominal_threshold, nominal_aerial) = match pw.focus_nm.iter().position(|&f| f == 0.0) {
+        // EPE reference: the nominal-condition contour. Render the grid's
+        // own best-focus engine when present; otherwise specialize one.
+        let nominal_index = pw.focus_nm.iter().position(|&f| f == 0.0);
+        let mut nominal_aerial = RealMatrix::zeros(rows, cols);
+        let nominal_threshold = match nominal_index {
             Some(idx) => {
-                let (threshold, aerial) = &per_focus[idx];
-                (*threshold, aerial)
+                sweep.synthesize_into(focus_engines[idx].as_ref(), &mut nominal_aerial);
+                focus_engines[idx].resist_threshold()
             }
             None => {
                 let engine = simulator
@@ -311,21 +314,33 @@ impl Service {
                     .ok_or_else(|| {
                         ServiceError::bad_request("model cannot serve the nominal condition")
                     })?;
-                let pipeline = ChipPipeline::with_halo(engine.as_ref(), halo);
-                nominal_extra = (engine.resist_threshold(), pipeline.aerial(&mask));
-                (nominal_extra.0, &nominal_extra.1)
+                sweep.synthesize_into(engine.as_ref(), &mut nominal_aerial);
+                engine.resist_threshold()
             }
         };
 
-        // Row-major grid: focus outer, dose inner.
-        let mut reports = Vec::with_capacity(pw.focus_nm.len() * pw.dose.len());
-        let mut resist_stack = Vec::with_capacity(reports.capacity());
-        for (&defocus_nm, (unit_threshold, aerial)) in pw.focus_nm.iter().zip(&per_focus) {
+        // Streamed reduction over the row-major grid (focus outer, dose
+        // inner): one scratch plane is recycled across focus values, each
+        // condition's resist cut is folded straight into the bit-packed PVB
+        // accumulator (never materialized) and its CD/EPE report emitted
+        // inline. Capacity comes from the condition count.
+        let condition_count = pw.focus_nm.len() * pw.dose.len();
+        let mut reports = Vec::with_capacity(condition_count);
+        let mut pvb = StreamingPvb::new();
+        let mut scratch = RealMatrix::zeros(rows, cols);
+        for (idx, (&defocus_nm, engine)) in pw.focus_nm.iter().zip(&focus_engines).enumerate() {
+            let aerial: &RealMatrix = if nominal_index == Some(idx) {
+                &nominal_aerial
+            } else {
+                sweep.synthesize_into(engine.as_ref(), &mut scratch);
+                &scratch
+            };
+            let unit_threshold = engine.resist_threshold();
             for &dose in &pw.dose {
                 let threshold = unit_threshold / dose;
-                let resist = aerial.threshold(threshold);
+                let printed_px = pvb.push_thresholded(aerial, threshold);
                 let stats = metrology::epe_with_thresholds(
-                    nominal_aerial,
+                    &nominal_aerial,
                     nominal_threshold,
                     aerial,
                     threshold,
@@ -334,7 +349,7 @@ impl Service {
                 reports.push(ConditionReport {
                     defocus_nm,
                     dose,
-                    printed_px: resist.sum(),
+                    printed_px,
                     cd_h_px: metrology::cd_px(aerial, cutlines[0], threshold),
                     cd_v_px: metrology::cd_px(aerial, cutlines[1], threshold),
                     epe_mean_px: stats.mean_abs_px,
@@ -342,11 +357,10 @@ impl Service {
                     epe_matched: stats.matched_edges,
                     epe_unmatched: stats.unmatched_edges,
                 });
-                resist_stack.push(resist);
             }
         }
 
-        let summary = metrology::pvb_summary(&resist_stack);
+        let (summary, band) = pvb.finish(pw.include_pvb_band);
         let response = ProcessWindowResponse {
             model: info.name.clone(),
             rows,
@@ -361,9 +375,7 @@ impl Service {
                 area_px: summary.area_px,
                 area_fraction: summary.area_fraction,
             },
-            pvb_band: pw
-                .include_pvb_band
-                .then(|| metrology::pvb_band(&resist_stack).into_vec()),
+            pvb_band: band.map(RealMatrix::into_vec),
         };
         Ok(Response::json(200, response.to_json().to_string()))
     }
@@ -703,12 +715,26 @@ mod tests {
                 r#"{"mask":{"rows":64,"cols":64,"rects":[[0,0,8,8]]},"include_pvb_band":"yes"}"#,
                 400,
             ),
-            (
-                r#"{"mask":{"rows":64,"cols":64,"rects":[[0,0,8,8]]},"focus_nm":[0,1,2,3,4,5,6,7,8],"dose":[0.9,0.92,0.94,0.96,0.98,1.0,1.02,1.04]}"#,
-                400,
-            ),
         ];
-        for (body, expected) in cases {
+        // Over-limit grids (too many axis points / too many conditions) are
+        // rejected at parse time, before any engine is specialized.
+        let axis = |n: usize| -> String {
+            (0..n)
+                .map(|i| format!("{}", 1.0 + i as f64 / 1000.0))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let over_axis = format!(
+            r#"{{"mask":{{"rows":64,"cols":64,"rects":[[0,0,8,8]]}},"focus_nm":[{}]}}"#,
+            axis(crate::pw::MAX_AXIS_POINTS + 1)
+        );
+        let over_grid = format!(
+            r#"{{"mask":{{"rows":64,"cols":64,"rects":[[0,0,8,8]]}},"focus_nm":[{}],"dose":[{}]}}"#,
+            axis(17),
+            axis(16)
+        );
+        let constructed = [(over_axis.as_str(), 400), (over_grid.as_str(), 400)];
+        for (body, expected) in cases.iter().copied().chain(constructed) {
             let response = service.handle(&request("POST", "/v1/process_window", body));
             assert_eq!(
                 response.status,

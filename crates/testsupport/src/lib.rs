@@ -1,0 +1,110 @@
+//! Shared test support: a counting [`GlobalAlloc`] wrapper around the system
+//! allocator that tracks the **allocation count**, the **live heap bytes**
+//! and the **high-water mark** (peak live bytes) of the whole process.
+//!
+//! Tests and benches that want to pin allocation behaviour declare it as
+//! their global allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static GLOBAL: litho_testsupport::CountingAllocator =
+//!     litho_testsupport::CountingAllocator;
+//! ```
+//!
+//! and then read [`allocations`] / [`live_bytes`] / [`peak_bytes`] around the
+//! code under test. [`reset_peak`] rebases the high-water mark to the current
+//! live set so a measurement window can be scoped to one operation.
+//!
+//! The counters are process-global atomics: a binary measuring peaks must
+//! serialize the tests that touch them (Rust's test harness runs `#[test]`s
+//! concurrently by default), e.g. behind a shared `Mutex`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`System`]-backed allocator that counts allocations and tracks the live
+/// and peak heap footprint. Zero-sized type; all state lives in process-wide
+/// statics so the counters work from any thread.
+pub struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn track_grow(bytes: u64) {
+    let live = LIVE_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            track_grow(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            track_grow(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            let old = layout.size() as u64;
+            let new = new_size as u64;
+            if new >= old {
+                track_grow(new - old);
+            } else {
+                LIVE_BYTES.fetch_sub(old - new, Ordering::Relaxed);
+            }
+        }
+        new_ptr
+    }
+}
+
+/// Total number of successful `alloc`/`realloc` calls since process start.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Bytes currently live on the heap (allocated and not yet freed).
+pub fn live_bytes() -> u64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`live_bytes`] since process start (or since the last
+/// [`reset_peak`]).
+pub fn peak_bytes() -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Rebases the peak to the current live set, scoping the next [`peak_bytes`]
+/// reading to allocations made after this call.
+pub fn reset_peak() {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Peak heap growth of `f` relative to the live set at entry, in bytes.
+///
+/// Equivalent to `reset_peak(); f(); peak_bytes() - live_at_entry`. Only
+/// meaningful when no other thread is allocating concurrently.
+pub fn peak_growth_during<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let baseline = live_bytes();
+    reset_peak();
+    let result = f();
+    (result, peak_bytes().saturating_sub(baseline))
+}

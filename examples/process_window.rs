@@ -3,6 +3,13 @@
 //! rigorous per-condition Hopkins reference — printing a focus-exposure
 //! matrix of CD / EPE / printed-area metrology plus the PVB summary.
 //!
+//! The sweep drives the streaming data path end to end: the model yields
+//! each condition's aerial into one recycled scratch plane
+//! (`NithoModel::for_each_condition`, mask spectrum hoisted once) and the
+//! PVB is folded as the grid is produced (`StreamingPvb`), so no resist
+//! stack is ever materialized — the same O(1)-plane reduction
+//! `/v1/process_window` serves (DESIGN.md §9).
+//!
 //! ```sh
 //! cargo run --release -p litho_integration --example process_window
 //! ```
@@ -12,7 +19,8 @@
 
 use litho_integration::scale;
 use litho_masks::{DatasetKind, ProcessDataset};
-use litho_metrics::metrology::{cd_px, epe_with_thresholds, pvb_summary, Cutline};
+use litho_math::RealMatrix;
+use litho_metrics::metrology::{cd_px, epe_with_thresholds, Cutline, StreamingPvb};
 use litho_optics::{HopkinsSimulator, ProcessCondition, ProcessWindow};
 use nitho::{ConditionEncoding, NithoConfig, NithoModel};
 
@@ -58,7 +66,7 @@ fn main() {
     );
 
     // Sweep a held-out mask (never seen in training) through the window
-    // with both engines.
+    // with both engines, folding the PVB as the grid streams by.
     let mask = test.groups()[0].1.samples()[0].mask.clone();
     let n = mask.rows();
     let cutlines = Cutline::center(n, n);
@@ -69,36 +77,34 @@ fn main() {
         .predict_aerial(&mask);
 
     println!("condition            CD_v[px]  EPE_mean[px]  printed[px]  PSNR_vs_rigorous[dB]");
-    let mut resist_stack = Vec::with_capacity(conditions.len());
-    for condition in &conditions {
-        let frozen = model.at_condition(condition).expect("conditioned model");
-        let aerial = frozen.predict_aerial(&mask);
-        let threshold = frozen.effective_resist_threshold();
-        let resist = aerial.threshold(threshold);
+    let mut fold = StreamingPvb::new();
+    let mut scratch = RealMatrix::zeros(n, n);
+    model.for_each_condition(
+        &mask,
+        &conditions,
+        &mut scratch,
+        |condition, threshold, aerial| {
+            let printed = fold.push_thresholded(aerial, threshold);
 
-        let rigorous = simulator.at_condition(condition).aerial_image(&mask);
-        let psnr = litho_metrics::psnr(&rigorous, &aerial);
-        let stats = epe_with_thresholds(
-            &nominal_reference,
-            nominal_threshold,
-            &aerial,
-            threshold,
-            &cutlines,
-        );
-        let cd = cd_px(&aerial, cutlines[1], threshold)
-            .map_or("    --".to_owned(), |v| format!("{v:6.2}"));
-        println!(
-            "Δz={:+6.1}nm d={:.2}  {cd}    {:8.3}      {:7.0}        {:6.2}",
-            condition.defocus_nm,
-            condition.dose,
-            stats.mean_abs_px,
-            resist.sum(),
-            psnr
-        );
-        resist_stack.push(resist);
-    }
+            let rigorous = simulator.at_condition(condition).aerial_image(&mask);
+            let psnr = litho_metrics::psnr(&rigorous, aerial);
+            let stats = epe_with_thresholds(
+                &nominal_reference,
+                nominal_threshold,
+                aerial,
+                threshold,
+                &cutlines,
+            );
+            let cd = cd_px(aerial, cutlines[1], threshold)
+                .map_or("    --".to_owned(), |v| format!("{v:6.2}"));
+            println!(
+                "Δz={:+6.1}nm d={:.2}  {cd}    {:8.3}      {:7.0}        {:6.2}",
+                condition.defocus_nm, condition.dose, stats.mean_abs_px, printed, psnr
+            );
+        },
+    );
 
-    let pvb = pvb_summary(&resist_stack);
+    let (pvb, _) = fold.finish(false);
     println!(
         "\nprocess-variation band: {} px ({:.2}% of the tile), union {} / \
          intersection {} px",

@@ -1,45 +1,20 @@
 //! Scratch-reuse pin: the warm split-complex FFT hot path performs **zero**
 //! heap allocations per transform.
 //!
-//! The whole binary runs under a counting allocator; after one warm-up pass
-//! (which builds plans, twiddle tables and the thread-local scratch arenas)
-//! the fused SOCS accumulate, the in-place SoA plan passes and the Bluestein
-//! SoA path must leave the allocation counter untouched.
+//! The whole binary runs under [`litho_testsupport::CountingAllocator`];
+//! after one warm-up pass (which builds plans, twiddle tables and the
+//! thread-local scratch arenas) the fused SOCS accumulate, the in-place SoA
+//! plan passes and the Bluestein SoA path must leave the allocation counter
+//! untouched.
 //!
 //! This file deliberately holds a single `#[test]`: the counter is global to
 //! the process, so a sibling test running concurrently would pollute it.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use litho_math::{ComplexMatrix, DeterministicRng, RealMatrix};
-
-struct CountingAllocator;
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
+use litho_testsupport::{allocations, CountingAllocator};
 
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
-
-fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
-}
 
 #[test]
 fn warm_fft_hot_path_is_allocation_free() {

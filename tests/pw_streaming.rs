@@ -1,0 +1,347 @@
+//! Streaming process-window pins — the contract of the O(1)-plane PVB fold:
+//!
+//! 1. `StreamingPvb` is bit-identical to a naive materialized reference (the
+//!    pre-streaming stack-then-reduce algorithm, reimplemented here) for
+//!    random aerial stacks, any per-condition threshold, and any fold order
+//!    (property-tested).
+//! 2. A streamed `/v1/process_window` response equals a materialized
+//!    reference built with [`litho_serve::aerial_sweep`] + the naive fold —
+//!    summary, band and every per-condition report — and stays byte-identical
+//!    across `NITHO_THREADS` 1 / 2 / 4.
+//! 3. Allocation residency: a 5×5 dense grid and the 9×9 (81-condition) CI
+//!    smoke both hold peak heap growth to a couple of full-chip planes plus
+//!    the bit-packed fold accumulator and the O(threads) tile transients —
+//!    far below the O(conditions) plane stack the materialized path kept.
+//!
+//! The whole binary runs under [`litho_testsupport::CountingAllocator`]. The
+//! counters are process-global and the test harness runs `#[test]`s
+//! concurrently, so every test here serializes on [`ALLOC_LOCK`].
+
+use std::sync::{Mutex, MutexGuard};
+
+use litho_math::{DeterministicRng, RealMatrix};
+use litho_metrics::StreamingPvb;
+use litho_optics::{HopkinsSimulator, OpticalConfig, ProcessCondition};
+use litho_serve::{
+    aerial_sweep, Json, ModelRegistry, ProcessWindowRequest, ProcessWindowResponse, Request,
+    Service, TileSimulator,
+};
+use litho_testsupport::{peak_growth_during, CountingAllocator};
+use nitho::{ConditionEncoding, NithoConfig, NithoModel};
+use proptest::prelude::*;
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Serializes tests: the allocator counters are global to the process.
+static ALLOC_LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    ALLOC_LOCK
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// The pre-streaming reference: materialize every resist plane, then reduce.
+/// Returns `(per-condition printed counts, union, intersection, band)`.
+fn naive_pvb(aerials: &[RealMatrix], thresholds: &[f64]) -> (Vec<f64>, f64, f64, RealMatrix) {
+    let (rows, cols) = aerials[0].shape();
+    let stack: Vec<RealMatrix> = aerials
+        .iter()
+        .zip(thresholds)
+        .map(|(aerial, &t)| aerial.map(|v| f64::from(v >= t)))
+        .collect();
+    let printed = stack.iter().map(|resist| resist.sum()).collect();
+    let mut union = 0.0;
+    let mut intersection = 0.0;
+    let band = RealMatrix::from_fn(rows, cols, |i, j| {
+        let any = stack.iter().any(|r| r.as_slice()[i * cols + j] == 1.0);
+        let all = stack.iter().all(|r| r.as_slice()[i * cols + j] == 1.0);
+        union += f64::from(any);
+        intersection += f64::from(all);
+        f64::from(any && !all)
+    });
+    (printed, union, intersection, band)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The streaming fold vs the naive materialized reference, on random
+    /// stacks with per-condition thresholds, folded in two different orders.
+    #[test]
+    fn prop_streaming_fold_matches_materialized(
+        rows in 1usize..20,
+        cols in 1usize..20,
+        count in 1usize..8,
+        rotate in 0usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let _guard = serialize();
+        let mut rng = DeterministicRng::new(seed ^ 0x5f01d);
+        let aerials: Vec<RealMatrix> = (0..count)
+            .map(|_| RealMatrix::from_fn(rows, cols, |_, _| rng.uniform(0.0, 1.0)))
+            .collect();
+        let thresholds: Vec<f64> = (0..count).map(|_| rng.uniform(0.2, 0.8)).collect();
+        let (printed, union, intersection, band) = naive_pvb(&aerials, &thresholds);
+
+        let mut fold = StreamingPvb::new();
+        for ((aerial, &t), &expected) in aerials.iter().zip(&thresholds).zip(&printed) {
+            // Each push returns the condition's printed-pixel count exactly.
+            prop_assert_eq!(fold.push_thresholded(aerial, t), expected);
+        }
+        let (summary, streamed_band) = fold.finish(true);
+        prop_assert_eq!(summary.union_px, union);
+        prop_assert_eq!(summary.intersection_px, intersection);
+        prop_assert_eq!(summary.area_px, union - intersection);
+        let streamed_band = streamed_band.expect("band requested");
+        prop_assert!(
+            streamed_band.iter().zip(band.iter()).all(|(a, b)| a == b),
+            "streamed band diverged from the materialized reference"
+        );
+
+        // The fold is a commutative monoid: any push order gives the same
+        // result bit for bit.
+        let mut permuted = StreamingPvb::new();
+        for k in 0..count {
+            let idx = (k + rotate) % count;
+            permuted.push_thresholded(&aerials[idx], thresholds[idx]);
+        }
+        let (rotated, rotated_band) = permuted.finish(true);
+        prop_assert_eq!(rotated.union_px, summary.union_px);
+        prop_assert_eq!(rotated.intersection_px, summary.intersection_px);
+        let rotated_band = rotated_band.expect("band requested");
+        prop_assert!(rotated_band.iter().zip(streamed_band.iter()).all(|(a, b)| a == b));
+    }
+}
+
+fn pw_request(body: &str) -> Request {
+    Request {
+        method: "POST".to_owned(),
+        path: "/v1/process_window".to_owned(),
+        headers: Vec::new(),
+        body: body.as_bytes().to_vec(),
+    }
+}
+
+/// Streamed handler output vs an independently materialized reference
+/// (aerial_sweep → threshold → naive stack reduce), plus thread-count
+/// byte-identity of the streamed path.
+#[test]
+fn streamed_handler_matches_materialized_reference() {
+    let _guard = serialize();
+    let optics = OpticalConfig::builder()
+        .tile_px(64)
+        .pixel_nm(8.0)
+        .kernel_count(6)
+        .build();
+    let mut registry = ModelRegistry::new();
+    registry.register_hopkins("hopkins", HopkinsSimulator::new(&optics));
+    let service = Service::new(registry);
+
+    let focus = [-60.0, 0.0, 60.0];
+    let dose = [0.9, 1.0, 1.1];
+    let halo = 16usize;
+    let body = r#"{
+        "model": "hopkins",
+        "mask": {"rows": 64, "cols": 64, "rects": [[8, 24, 56, 40], [24, 8, 40, 56]]},
+        "focus_nm": [-60, 0, 60],
+        "dose": [0.9, 1, 1.1],
+        "halo_px": 16,
+        "include_pvb_band": true
+    }"#;
+    let request = pw_request(body);
+
+    // The streamed fold must not perturb thread determinism: whole response
+    // bodies compare byte for byte across NITHO_THREADS 1 / 2 / 4.
+    let serial = litho_parallel::with_threads(1, || service.handle(&request));
+    assert_eq!(
+        serial.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&serial.body)
+    );
+    for threads in [2usize, 4] {
+        let parallel = litho_parallel::with_threads(threads, || service.handle(&request));
+        assert_eq!(
+            serial.body, parallel.body,
+            "streamed response must be bit-identical at {threads} threads"
+        );
+    }
+    let doc = Json::parse(std::str::from_utf8(&serial.body).expect("UTF-8")).expect("JSON");
+    let response = ProcessWindowResponse::from_json(&doc).expect("typed response");
+
+    // Materialized reference: one stitched plane per focus engine, one
+    // binarized plane per condition, then the naive reduce. This is exactly
+    // the data path the streaming refactor deleted from the handler.
+    let hopkins = HopkinsSimulator::new(&optics);
+    let base: &dyn TileSimulator = &hopkins;
+    let engines: Vec<Box<dyn TileSimulator>> = focus
+        .iter()
+        .map(|&defocus_nm| {
+            base.for_condition(&ProcessCondition {
+                defocus_nm,
+                dose: 1.0,
+            })
+            .expect("hopkins serves any focus")
+        })
+        .collect();
+    let parsed =
+        ProcessWindowRequest::from_json(&Json::parse(body).expect("JSON")).expect("request parses");
+    let mask = parsed.mask.rasterize();
+    let per_focus = aerial_sweep(&engines, &mask, halo);
+
+    let mut aerials = Vec::new();
+    let mut thresholds = Vec::new();
+    for (engine, aerial) in engines.iter().zip(&per_focus) {
+        for &d in &dose {
+            aerials.push(aerial.clone());
+            thresholds.push(engine.resist_threshold() / d);
+        }
+    }
+    let (printed, union, intersection, band) = naive_pvb(&aerials, &thresholds);
+
+    assert_eq!(response.pvb.union_px, union);
+    assert_eq!(response.pvb.intersection_px, intersection);
+    assert_eq!(response.pvb.area_px, union - intersection);
+    let response_band = response.pvb_band.as_deref().expect("band requested");
+    assert_eq!(response_band.len(), 64 * 64);
+    assert!(
+        response_band.iter().zip(band.iter()).all(|(a, b)| a == b),
+        "streamed band diverged from the materialized reference"
+    );
+    assert_eq!(response.conditions.len(), printed.len());
+    for (report, &expected) in response.conditions.iter().zip(&printed) {
+        assert_eq!(report.printed_px, expected, "at {report:?}");
+    }
+}
+
+/// Conditioned-nitho service used by the residency pins: kernel inference is
+/// allocation-light, so the measured peak is dominated by the reduction data
+/// path under test rather than by engine specialization.
+fn nitho_service(optics: &OpticalConfig) -> Service {
+    let mut registry = ModelRegistry::new();
+    let mut model = NithoModel::new(
+        NithoConfig {
+            kernel_side: Some(9),
+            condition: Some(ConditionEncoding::default()),
+            ..NithoConfig::fast()
+        },
+        optics,
+    );
+    model.refresh_kernels();
+    registry.register_nitho("nitho", model);
+    Service::new(registry)
+}
+
+/// Peak-heap budget of one warm streamed request, in bytes.
+///
+/// Streaming holds two full-chip planes (nominal + recycled scratch) plus
+/// the rasterized mask, the bit-packed fold accumulator (2 bits/pixel), the
+/// in-flight tile windows of one stitch chunk, and bounded small stuff
+/// (request/response JSON, reports, cropped spectra) — crucially *no* term
+/// that scales with the condition count. The materialized path it replaced
+/// kept `conditions × plane` resident on top of all of the above.
+fn streamed_budget(rows: usize, cols: usize, tile_px: usize, tiles: usize) -> u64 {
+    let plane = (rows * cols * 8) as u64;
+    let tile_window = (tile_px * tile_px * 8) as u64;
+    let accumulator = 2 * ((rows * cols).div_ceil(64) * 8) as u64;
+    let chunk = tiles.min(4 * litho_parallel::max_threads().max(1)) as u64;
+    3 * plane + chunk * tile_window + accumulator + 512 * 1024
+}
+
+/// A dense 5×5 grid (25 conditions) through the service stays within the
+/// streamed budget — the materialized resist stack alone would need
+/// 25 chip planes, which does not fit it.
+#[test]
+fn dense_grid_sweep_holds_the_two_plane_budget() {
+    let _guard = serialize();
+    let optics = OpticalConfig::builder()
+        .tile_px(64)
+        .pixel_nm(8.0)
+        .kernel_count(6)
+        .build();
+    let service = nitho_service(&optics);
+    let request = pw_request(
+        r#"{
+            "model": "nitho",
+            "mask": {"rows": 96, "cols": 96, "rects": [[16, 16, 80, 40], [40, 56, 56, 88]]},
+            "focus_nm": [-80, -40, 0, 40, 80],
+            "dose": [0.9, 0.95, 1, 1.05, 1.1],
+            "halo_px": 16
+        }"#,
+    );
+
+    let (response, peak) = litho_parallel::with_threads(2, || {
+        // Warm-up builds FFT plans, twiddles and the thread-local scratch
+        // arenas; the measured request then exercises steady-state serving.
+        let warm = service.handle(&request);
+        assert_eq!(warm.status, 200, "{}", String::from_utf8_lossy(&warm.body));
+        peak_growth_during(|| service.handle(&request))
+    });
+    assert_eq!(response.status, 200);
+
+    let budget = streamed_budget(96, 96, 64, 9);
+    let materialized_stack = 25 * (96 * 96 * 8) as u64;
+    assert!(
+        budget < materialized_stack,
+        "budget {budget} must be unreachable by the materialized path ({materialized_stack})"
+    );
+    assert!(
+        peak <= budget,
+        "25-condition sweep peaked at {peak} bytes, budget {budget}"
+    );
+}
+
+/// The acceptance sweep: 9×9 = 81 conditions on a small chip, under a hard
+/// allocator byte-cap. Runs in CI (`pw-memory-smoke`) as the memory-cliff
+/// regression guard — the pre-streaming handler held 81 resist planes and
+/// cannot pass this cap.
+#[test]
+fn nine_by_nine_sweep_respects_the_byte_cap() {
+    let _guard = serialize();
+    let optics = OpticalConfig::builder()
+        .tile_px(32)
+        .pixel_nm(16.0)
+        .kernel_count(4)
+        .build();
+    let service = nitho_service(&optics);
+    let focus: Vec<String> = (-4..=4).map(|k| format!("{}", k * 20)).collect();
+    let dose: Vec<String> = (-4..=4)
+        .map(|k| format!("{}", 1.0 + f64::from(k) * 0.02))
+        .collect();
+    let body = format!(
+        r#"{{
+            "model": "nitho",
+            "mask": {{"rows": 64, "cols": 64, "rects": [[8, 8, 56, 24], [8, 40, 56, 56], [28, 8, 36, 56]]}},
+            "focus_nm": [{}],
+            "dose": [{}],
+            "halo_px": 8
+        }}"#,
+        focus.join(","),
+        dose.join(",")
+    );
+    let request = pw_request(&body);
+
+    let (response, peak) = litho_parallel::with_threads(2, || {
+        let warm = service.handle(&request);
+        assert_eq!(warm.status, 200, "{}", String::from_utf8_lossy(&warm.body));
+        peak_growth_during(|| service.handle(&request))
+    });
+    assert_eq!(response.status, 200);
+    let doc = Json::parse(std::str::from_utf8(&response.body).expect("UTF-8")).expect("JSON");
+    let parsed = ProcessWindowResponse::from_json(&doc).expect("typed response");
+    assert_eq!(parsed.grid, (9, 9));
+    assert_eq!(parsed.conditions.len(), 81);
+
+    let budget = streamed_budget(64, 64, 32, 16);
+    let materialized_stack = 81 * (64 * 64 * 8) as u64;
+    assert!(
+        budget < materialized_stack,
+        "budget {budget} must be unreachable by the materialized path ({materialized_stack})"
+    );
+    assert!(
+        peak <= budget,
+        "81-condition sweep peaked at {peak} bytes, budget {budget}"
+    );
+}
