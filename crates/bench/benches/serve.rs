@@ -1,0 +1,254 @@
+//! Serving-tier throughput: the event-loop tier (bounded queue + worker
+//! pool + cross-request condition batching) versus the thread-per-connection
+//! baseline, driven over real loopback sockets by the shared `loadgen`
+//! client.
+//!
+//! The workload is a mixed request stream shaped like production serving
+//! traffic: mostly cheap metadata probes (`/healthz`, `/v1/models` — the
+//! kind of stream a health-checked load balancer sends), plus full-tile
+//! `/v1/simulate` inference and a multi-focus `/v1/process_window` sweep
+//! that exercises the condition batcher. Each (tier, concurrency) cell
+//! reports completed-request throughput and bucketed p50/p95 latency.
+//!
+//! A separate micro-section times condition specialization solo
+//! (`for_condition` per condition, one CMLP dispatch each) against the
+//! batched plural path (`for_conditions`, one `infer_batch` for the lot) —
+//! the amortization that cross-request batching buys under concurrent
+//! process-window load.
+//!
+//! Emits `BENCH_serve.json` at the workspace root; `speedup_c8` carries the
+//! CI floor. Knobs: `NITHO_SERVE_BENCH_REQUESTS` scales the per-cell
+//! request count (default 192).
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use litho_optics::{HopkinsSimulator, OpticalConfig, ProcessCondition};
+use litho_serve::{
+    drive, HttpServer, LoadReport, ModelRegistry, RequestSpec, ServeConfig, Service,
+};
+use nitho::{ConditionEncoding, NithoConfig, NithoModel};
+
+/// Both tiers get identically-seeded services (deterministic weights), but
+/// only the event-loop tier keeps cross-request condition batching on — the
+/// thread-per-connection baseline runs the pre-refactor solo specialization
+/// path, so the A/B isolates what this tier adds.
+fn build_service(cross_request_batching: bool) -> Arc<Service> {
+    let optics = OpticalConfig::builder()
+        .tile_px(64)
+        .pixel_nm(8.0)
+        .kernel_count(6)
+        .build();
+    // Untrained but kernel-refreshed: deterministic weights, full serving
+    // data path (CMLP specialization + SOCS synthesis + metrology) without
+    // minutes of training in a bench. Production-scale field (17² kernel
+    // grid, default 64-wide × 2-block trunk) so per-condition CMLP
+    // specialization carries a realistic share of the request — that is the
+    // work the condition batcher dedupes across requests, while SOCS
+    // synthesis cost is set by the tile FFT and stays per-request.
+    let mut model = NithoModel::new(
+        NithoConfig {
+            kernel_side: Some(17),
+            hidden_dim: 64,
+            hidden_blocks: 2,
+            condition: Some(ConditionEncoding::default()),
+            ..NithoConfig::fast()
+        },
+        &optics,
+    );
+    model.refresh_kernels();
+    let mut registry = ModelRegistry::new();
+    registry.register_nitho("nitho", model);
+    registry.register_hopkins("hopkins", HopkinsSimulator::new(&optics));
+    Arc::new(Service::new(registry).with_cross_request_batching(cross_request_batching))
+}
+
+/// The mixed stream: process-window sweeps dominate (the OPC calibration
+/// traffic this tier is built for — every sweep specializes a 9-point focus
+/// ladder, which concurrent requests merge into one CMLP dispatch), cut
+/// with tile simulations and cheap metadata probes (drive() cycles
+/// `specs[index % len]`).
+fn request_mix() -> Vec<RequestSpec> {
+    let simulate = r#"{"model":"nitho","mask":{"rows":48,"cols":48,
+        "rects":[[8,8,40,24]]},"outputs":["resist"]}"#;
+    // Three *different* masks sweeping the *same* focus ladder — the
+    // calibration-fleet shape the batcher is built for: each request still
+    // pays its own SOCS synthesis and metrology, but concurrent requests
+    // specialize each ladder point once instead of once per request.
+    let windows = [
+        r#"{"model":"nitho","mask":{"rows":48,"cols":48,
+        "rects":[[8,24,40,40]]},
+        "focus_nm":[-80,-60,-40,-20,0,20,40,60,80]}"#,
+        r#"{"model":"nitho","mask":{"rows":48,"cols":48,
+        "rects":[[4,8,44,20],[4,28,44,40]]},
+        "focus_nm":[-80,-60,-40,-20,0,20,40,60,80]}"#,
+        r#"{"model":"nitho","mask":{"rows":48,"cols":48,
+        "rects":[[16,4,32,44]]},
+        "focus_nm":[-80,-60,-40,-20,0,20,40,60,80]}"#,
+    ];
+    vec![
+        RequestSpec::post("/v1/process_window", windows[0]),
+        RequestSpec::get("/healthz"),
+        RequestSpec::post("/v1/process_window", windows[1]),
+        RequestSpec::post("/v1/simulate", simulate),
+        RequestSpec::post("/v1/process_window", windows[2]),
+        RequestSpec::get("/v1/models"),
+    ]
+}
+
+enum Tier {
+    ThreadPerConnection,
+    EventLoop,
+}
+
+/// One (tier, concurrency) cell: start the tier, warm it up, drive the
+/// timed run, shut down cleanly.
+fn run_cell(
+    service: &Arc<Service>,
+    tier: &Tier,
+    concurrency: usize,
+    requests: usize,
+    specs: &[RequestSpec],
+) -> LoadReport {
+    let server = HttpServer::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr: SocketAddr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let handler_service = Arc::clone(service);
+    let join = match tier {
+        Tier::ThreadPerConnection => std::thread::spawn(move || {
+            server.serve(move |request| handler_service.handle(request));
+        }),
+        Tier::EventLoop => {
+            // Enough workers that concurrent process-window requests meet
+            // inside the condition batcher (idle workers sleep on the queue
+            // or in the batcher, so oversubscribing a 1-core container is
+            // cheap), even when NITHO_THREADS pins intra-tile parallelism
+            // to 1.
+            let config = ServeConfig {
+                workers: litho_parallel::max_threads().max(8),
+                queue_depth: 256,
+                ..ServeConfig::default()
+            };
+            let metrics = Arc::clone(service.metrics());
+            std::thread::spawn(move || {
+                server.serve_event(&config, &metrics, move |request| {
+                    handler_service.handle(request)
+                });
+            })
+        }
+    };
+
+    let warmup = drive(addr, concurrency.min(4), specs.len() * 2, specs);
+    assert_eq!(warmup.failed, 0, "warm-up must not fail");
+    let report = drive(addr, concurrency, requests, specs);
+    shutdown.shutdown();
+    join.join().expect("serving tier exits cleanly");
+    assert_eq!(report.failed, 0, "bench run must not fail");
+    report
+}
+
+/// Mean wall time per iteration in milliseconds (1 warm-up + `iters` timed).
+fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+fn main() {
+    let requests = litho_bench::env_usize("NITHO_SERVE_BENCH_REQUESTS", 192);
+    let solo_service = build_service(false);
+    let batched_service = build_service(true);
+    let specs = request_mix();
+    let concurrencies = [1usize, 8, 32];
+
+    let mut cells = String::new();
+    let mut speedups = Vec::new();
+    for &concurrency in &concurrencies {
+        let threaded = run_cell(
+            &solo_service,
+            &Tier::ThreadPerConnection,
+            concurrency,
+            requests,
+            &specs,
+        );
+        let batched = run_cell(
+            &batched_service,
+            &Tier::EventLoop,
+            concurrency,
+            requests,
+            &specs,
+        );
+        let speedup = batched.throughput_rps() / threaded.throughput_rps();
+        speedups.push((concurrency, speedup));
+        eprintln!(
+            "c={concurrency}: threaded {:.0} req/s (p50 {} ms, p95 {} ms) | \
+             batched {:.0} req/s (p50 {} ms, p95 {} ms) | {speedup:.2}x",
+            threaded.throughput_rps(),
+            threaded.p50_ms(),
+            threaded.p95_ms(),
+            batched.throughput_rps(),
+            batched.p50_ms(),
+            batched.p95_ms(),
+        );
+        cells.push_str(&format!(
+            "    {{\"concurrency\": {concurrency},\n     \
+             \"threaded_rps\": {:.1}, \"threaded_p50_ms\": {}, \"threaded_p95_ms\": {}, \
+             \"batched_rps\": {:.1}, \"batched_p50_ms\": {}, \"batched_p95_ms\": {}, \
+             \"speedup\": {speedup:.3}}},\n",
+            threaded.throughput_rps(),
+            threaded.p50_ms(),
+            threaded.p95_ms(),
+            batched.throughput_rps(),
+            batched.p50_ms(),
+            batched.p95_ms(),
+        ));
+    }
+    let cells = cells.trim_end_matches(",\n").to_owned();
+
+    // Micro-section: the amortization cross-request batching is built on.
+    // 64 specializations dispatched one CMLP call at a time vs one
+    // infer_batch; identical kernels either way (pinned by tests).
+    let (_, engine) = batched_service
+        .registry()
+        .get("nitho")
+        .expect("nitho registered above");
+    let conditions: Vec<ProcessCondition> = (0..64)
+        .map(|i| ProcessCondition::new(-60.0 + 2.0 * i as f64, 1.0))
+        .collect();
+    let solo_ms = time_ms(5, || {
+        for condition in &conditions {
+            std::hint::black_box(engine.for_condition(condition));
+        }
+    });
+    let batched_ms = time_ms(5, || {
+        std::hint::black_box(engine.for_conditions(&conditions));
+    });
+    let specialize_speedup = solo_ms / batched_ms;
+    eprintln!(
+        "specialize 64 conditions: solo {solo_ms:.2} ms, batched {batched_ms:.2} ms \
+         ({specialize_speedup:.2}x)"
+    );
+
+    let speedup_c8 = speedups
+        .iter()
+        .find(|(c, _)| *c == 8)
+        .map(|(_, s)| *s)
+        .unwrap_or(0.0);
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"requests_per_cell\": {requests},\n  \
+         \"mix\": \"3 process_window : 1 simulate : 2 metadata\",\n  \"cells\": [\n{cells}\n  ],\n  \
+         \"speedup_c8\": {speedup_c8:.3},\n  \
+         \"specialize_solo_ms\": {solo_ms:.3},\n  \
+         \"specialize_batched_ms\": {batched_ms:.3},\n  \
+         \"specialize_speedup\": {specialize_speedup:.3}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote BENCH_serve.json:\n{json}"),
+        Err(err) => eprintln!("could not write BENCH_serve.json: {err}"),
+    }
+}

@@ -35,6 +35,10 @@ impl CmlpArchitecture {
     }
 }
 
+/// Rows per inference block: activations for one block stay L1/L2-resident
+/// while the layer weights stream through.
+const BLOCK_ROWS: usize = 64;
+
 /// A complex-valued MLP with persistent parameters.
 #[derive(Debug, Clone)]
 pub struct Cmlp {
@@ -164,41 +168,157 @@ impl Cmlp {
     ///
     /// Panics if the input width does not match the architecture.
     pub fn infer(&self, input: &ComplexMatrix) -> ComplexMatrix {
-        assert_eq!(
-            input.cols(),
-            self.architecture.input_dim,
-            "input width must match the CMLP input dimension"
-        );
-        let batch = input.rows();
+        self.infer_batch(&[input])
+            .pop()
+            .expect("one input yields one output")
+    }
+
+    /// One SoA matmul dispatch over a *stack* of independent inputs: the
+    /// layer weights and biases are split into SoA form **once** and every
+    /// input's pixel rows stream through the same blocked kernel and the same
+    /// activation buffers.
+    ///
+    /// Each input is processed by exactly the arithmetic of a solo
+    /// [`Cmlp::infer`] call (row blocks never span inputs, accumulators are
+    /// zeroed per row), so the outputs are **bit-identical to per-input
+    /// inference regardless of how the batch is composed** — the property
+    /// that lets a serving tier stack tile/condition inputs from different
+    /// concurrent requests into one dispatch without perturbing any response
+    /// (pinned by `infer_batch_is_bit_identical_for_any_composition` below).
+    /// What the batch amortizes is everything row-count-independent: the SoA
+    /// parameter split and the activation-buffer allocation are paid once for
+    /// the whole stack. Inputs shorter than a row block are additionally
+    /// stacked into shared blocks, so each layer's weight matrix streams from
+    /// memory once per [`BLOCK_ROWS`] stacked rows instead of once per input
+    /// — turning N weight-bound GEMV passes into one GEMM — while block-tall
+    /// inputs (e.g. whole kernel-grid encodings) skip the stacking copies
+    /// entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's width does not match the architecture.
+    pub fn infer_batch(&self, inputs: &[&ComplexMatrix]) -> Vec<ComplexMatrix> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let mut prepared = self.prepare();
+
+        // Inputs at least one block tall already amortize the weight stream
+        // within their own row blocks — run them back-to-back through the
+        // shared parameters and buffers, skipping the stack/split copies
+        // (which would be the dominant cost at serving scale: a 17² kernel
+        // grid is 289 rows per condition). Each pass is exactly the solo
+        // arithmetic, so per-slot bit-identity is immediate.
+        if inputs.len() == 1 || inputs.iter().all(|input| input.rows() >= BLOCK_ROWS) {
+            return inputs.iter().map(|input| prepared.infer(input)).collect();
+        }
+
+        // Sub-block inputs: stack every input's rows into one matrix and run
+        // a single blocked pass over it, so short inputs share full row
+        // blocks and each layer's weights stream once per block instead of
+        // once per input. Every row's accumulation is independent of which
+        // rows share its block, so each output row is bit-identical to the
+        // row the solo pass would produce.
+        let in_dim = self.architecture.input_dim;
+        for input in inputs {
+            assert_eq!(
+                input.cols(),
+                in_dim,
+                "input width must match the CMLP input dimension"
+            );
+        }
+        let total_rows: usize = inputs.iter().map(|input| input.rows()).sum();
+        let mut stacked = ComplexMatrix::zeros(total_rows, in_dim);
+        let mut offset = 0;
+        for input in inputs {
+            for r in 0..input.rows() {
+                for k in 0..in_dim {
+                    stacked[(offset + r, k)] = input[(r, k)];
+                }
+            }
+            offset += input.rows();
+        }
+        let stacked_out = prepared.infer(&stacked);
+
+        // Split the stacked output back into per-input matrices.
+        let out_dim = self.architecture.output_dim;
+        let mut offset = 0;
+        inputs
+            .iter()
+            .map(|input| {
+                let mut out = ComplexMatrix::zeros(input.rows(), out_dim);
+                for r in 0..input.rows() {
+                    for j in 0..out_dim {
+                        out[(r, j)] = stacked_out[(offset + r, j)];
+                    }
+                }
+                offset += input.rows();
+                out
+            })
+            .collect()
+    }
+
+    /// Pays the row-count-independent setup of a batched dispatch — the SoA
+    /// parameter split and the activation-buffer allocation — once, returning
+    /// a reusable state that streams any number of inputs through the blocked
+    /// kernel.
+    ///
+    /// This is the memory-bounded face of [`Cmlp::infer_batch`]: callers that
+    /// can generate inputs one at a time (e.g. per-condition kernel-grid
+    /// encodings) feed them through [`PreparedInference::infer`] without ever
+    /// materializing the whole batch, keeping peak memory at one input plus
+    /// the shared buffers while still sharing one dispatch's setup.
+    pub fn prepare(&self) -> PreparedInference<'_> {
         let width = self
             .architecture
             .hidden_dim
             .max(self.architecture.input_dim)
             .max(self.architecture.output_dim);
+        PreparedInference {
+            mlp: self,
+            // Layer matrices are small compared to the row batches they will
+            // process; splitting them to SoA here is the once-per-dispatch
+            // cost the batch amortizes.
+            weights: self
+                .weight_ids
+                .iter()
+                .map(|&id| soa::ComplexSoa::from_matrix(self.params.value(id)))
+                .collect(),
+            biases: self
+                .bias_ids
+                .iter()
+                .map(|&id| soa::ComplexSoa::from_matrix(self.params.value(id)))
+                .collect(),
+            // Ping-pong activation buffers sized for the widest layer, shared
+            // by every input streamed through this state (each row block
+            // fully overwrites the region it reads, so reuse cannot leak
+            // state between inputs).
+            cur_re: vec![0.0; BLOCK_ROWS * width],
+            cur_im: vec![0.0; BLOCK_ROWS * width],
+            next_re: vec![0.0; BLOCK_ROWS * width],
+            next_im: vec![0.0; BLOCK_ROWS * width],
+        }
+    }
+
+    /// The blocked forward pass for one input over pre-split parameters and
+    /// caller-owned activation buffers — the shared core of [`Cmlp::infer`]
+    /// and [`Cmlp::infer_batch`].
+    #[allow(clippy::too_many_arguments)]
+    fn infer_with(
+        &self,
+        input: &ComplexMatrix,
+        weights: &[soa::ComplexSoa],
+        biases: &[soa::ComplexSoa],
+        cur_re: &mut [f64],
+        cur_im: &mut [f64],
+        next_re: &mut [f64],
+        next_im: &mut [f64],
+    ) -> ComplexMatrix {
+        let batch = input.rows();
         let layer_count = self.weight_ids.len();
-
-        // Split the parameters once per call (layer matrices are small
-        // compared to the pixel batch).
-        let weights: Vec<soa::ComplexSoa> = self
-            .weight_ids
-            .iter()
-            .map(|&id| soa::ComplexSoa::from_matrix(self.params.value(id)))
-            .collect();
-        let biases: Vec<soa::ComplexSoa> = self
-            .bias_ids
-            .iter()
-            .map(|&id| soa::ComplexSoa::from_matrix(self.params.value(id)))
-            .collect();
-
-        /// Rows per block: activations for one block stay L1/L2-resident
-        /// while the layer weights stream through.
-        const BLOCK_ROWS: usize = 64;
         let mut out = ComplexMatrix::zeros(batch, self.architecture.output_dim);
-        // Ping-pong activation buffers sized for the widest layer.
-        let mut cur_re = vec![0.0; BLOCK_ROWS * width];
-        let mut cur_im = vec![0.0; BLOCK_ROWS * width];
-        let mut next_re = vec![0.0; BLOCK_ROWS * width];
-        let mut next_im = vec![0.0; BLOCK_ROWS * width];
+        let (mut cur_re, mut cur_im) = (cur_re, cur_im);
+        let (mut next_re, mut next_im) = (next_re, next_im);
 
         for block_start in (0..batch).step_by(BLOCK_ROWS) {
             let block_len = BLOCK_ROWS.min(batch - block_start);
@@ -292,6 +412,56 @@ impl Cmlp {
     }
 }
 
+/// One dispatch's worth of shared inference state — pre-split SoA layer
+/// parameters and ping-pong activation buffers — created by [`Cmlp::prepare`]
+/// and reused across every input streamed through [`PreparedInference::infer`].
+///
+/// Each `infer` call runs exactly the solo [`Cmlp::infer`] arithmetic (same
+/// blocked kernel, per-row zeroed accumulators), so outputs are bit-identical
+/// to independent dispatches no matter how many inputs share the state.
+pub struct PreparedInference<'a> {
+    mlp: &'a Cmlp,
+    weights: Vec<soa::ComplexSoa>,
+    biases: Vec<soa::ComplexSoa>,
+    cur_re: Vec<f64>,
+    cur_im: Vec<f64>,
+    next_re: Vec<f64>,
+    next_im: Vec<f64>,
+}
+
+impl PreparedInference<'_> {
+    /// Runs the blocked forward pass on `input` through the shared state,
+    /// bit-identical to a solo [`Cmlp::infer`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match the architecture.
+    pub fn infer(&mut self, input: &ComplexMatrix) -> ComplexMatrix {
+        assert_eq!(
+            input.cols(),
+            self.mlp.architecture.input_dim,
+            "input width must match the CMLP input dimension"
+        );
+        self.mlp.infer_with(
+            input,
+            &self.weights,
+            &self.biases,
+            &mut self.cur_re,
+            &mut self.cur_im,
+            &mut self.next_re,
+            &mut self.next_im,
+        )
+    }
+}
+
+impl std::fmt::Debug for PreparedInference<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedInference")
+            .field("architecture", &self.mlp.architecture)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +544,51 @@ mod tests {
                 assert_eq!(a.im.to_bits(), b.im.to_bits(), "batch={batch}");
             }
         }
+    }
+
+    #[test]
+    fn infer_batch_is_bit_identical_for_any_composition() {
+        // The serving-tier contract: stacking inputs from different requests
+        // into one dispatch must not perturb any output bit, no matter how
+        // the batch is composed or ordered. Row counts straddle the 64-row
+        // block boundary on purpose.
+        let mut rng = DeterministicRng::new(17);
+        let mlp = Cmlp::new(small_arch(), &mut rng);
+        let inputs: Vec<ComplexMatrix> = [1usize, 5, 64, 81, 130]
+            .iter()
+            .map(|&rows| {
+                ComplexMatrix::from_fn(rows, 6, |i, j| {
+                    Complex64::new(
+                        ((i * 11 + j * 3 + rows) as f64 * 0.07).sin(),
+                        ((i + 5 * j + rows) as f64 * 0.19).cos() - 0.5,
+                    )
+                })
+            })
+            .collect();
+        let solo: Vec<ComplexMatrix> = inputs.iter().map(|m| mlp.infer(m)).collect();
+
+        let compositions: Vec<Vec<usize>> = vec![
+            vec![0],
+            vec![1, 2],
+            vec![3, 0, 4],
+            vec![4, 3, 2, 1, 0],
+            vec![0, 0, 1], // the same input may appear twice in one dispatch
+            vec![2, 3, 4], // all block-tall: exercises the copy-free path
+        ];
+        for combo in &compositions {
+            let stacked: Vec<&ComplexMatrix> = combo.iter().map(|&i| &inputs[i]).collect();
+            let outs = mlp.infer_batch(&stacked);
+            assert_eq!(outs.len(), combo.len());
+            for (slot, &idx) in combo.iter().enumerate() {
+                let (got, want) = (&outs[slot], &solo[idx]);
+                assert_eq!(got.shape(), want.shape());
+                for (a, b) in got.iter().zip(want.iter()) {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "combo={combo:?} idx={idx}");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "combo={combo:?} idx={idx}");
+                }
+            }
+        }
+        assert!(mlp.infer_batch(&[]).is_empty());
     }
 
     #[test]

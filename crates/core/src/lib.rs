@@ -49,7 +49,7 @@ pub mod model;
 pub mod training;
 
 pub use checkpoint::{checkpoint_info, CheckpointInfo, CHECKPOINT_VERSION};
-pub use cmlp::{Cmlp, CmlpArchitecture};
+pub use cmlp::{Cmlp, CmlpArchitecture, PreparedInference};
 pub use encoding::{ConditionEncoding, PositionalEncoding};
 pub use model::{ConditionedKernels, EvaluationReport, NithoModel};
 pub use training::{NithoConfig, TrainingReport};

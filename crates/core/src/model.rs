@@ -224,6 +224,63 @@ impl NithoModel {
         })
     }
 
+    /// Evaluates the neural field at several process conditions through one
+    /// [prepared](Cmlp::prepare) dispatch: the SoA parameter split and
+    /// activation buffers are paid once for the whole stack instead of once
+    /// per condition, while each condition's kernel-grid encoding is built
+    /// just-in-time and dropped after its pass — peak memory stays at one
+    /// encoding no matter how many conditions are stacked (the streamed
+    /// process-window handler relies on this). Each condition's kernels are
+    /// bit-identical to a solo [`NithoModel::kernels_at`] call regardless of
+    /// how the batch is composed — the serving tier relies on this to merge
+    /// specializations from concurrent requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not
+    /// [support](NithoModel::supports_condition) one of the conditions.
+    pub fn kernels_at_batch(&self, conditions: &[ProcessCondition]) -> Vec<Vec<ComplexMatrix>> {
+        let mut prepared = self.cmlp.prepare();
+        conditions
+            .iter()
+            .map(|condition| {
+                let input = self.conditioned_input(condition);
+                self.slice_kernels(&prepared.infer(&input))
+            })
+            .collect()
+    }
+
+    /// Batched [`NithoModel::at_condition`]: freezes the field at every
+    /// condition with one network dispatch. Per-condition results (including
+    /// the `None` for unsupported conditions) match the solo path exactly.
+    pub fn at_conditions(
+        &self,
+        conditions: &[ProcessCondition],
+    ) -> Vec<Option<ConditionedKernels>> {
+        let supported: Vec<ProcessCondition> = conditions
+            .iter()
+            .copied()
+            .filter(|c| self.supports_condition(c))
+            .collect();
+        let mut kernels = self.kernels_at_batch(&supported).into_iter();
+        conditions
+            .iter()
+            .map(|condition| {
+                if !self.supports_condition(condition) {
+                    return None;
+                }
+                Some(ConditionedKernels {
+                    optics: self.optics.clone(),
+                    dims: self.dims,
+                    condition: *condition,
+                    kernels: kernels
+                        .next()
+                        .expect("one kernel set per supported condition"),
+                })
+            })
+            .collect()
+    }
+
     /// Re-evaluates the CMLP on the coordinate grid (at the nominal process
     /// condition) and caches the predicted kernels for fast inference.
     pub fn refresh_kernels(&mut self) {
@@ -1203,6 +1260,50 @@ mod tests {
         assert!(nominal_model
             .at_condition(&ProcessCondition::nominal())
             .is_some());
+    }
+
+    #[test]
+    fn at_conditions_is_bit_identical_to_solo_specialization() {
+        // The serving tier merges condition specializations from concurrent
+        // requests into one network dispatch; every frozen engine must come
+        // out bit-for-bit equal to the request's private `at_condition` call,
+        // and unsupported conditions must keep their per-slot `None`.
+        let optics = fast_optics();
+        let conditioned = NithoModel::new(conditioned_config(), &optics);
+        let conditions = [
+            ProcessCondition::nominal(),
+            ProcessCondition::new(-60.0, 0.95),
+            ProcessCondition::new(80.0, 1.0),
+            ProcessCondition::new(0.0, 1.05),
+            ProcessCondition::nominal(), // duplicates may share a dispatch
+        ];
+        let batched = conditioned.at_conditions(&conditions);
+        assert_eq!(batched.len(), conditions.len());
+        for (slot, condition) in conditions.iter().enumerate() {
+            let solo = conditioned.at_condition(condition).expect("supported");
+            let merged = batched[slot].as_ref().expect("supported");
+            assert_eq!(merged.condition(), solo.condition());
+            assert_eq!(merged.kernels().len(), solo.kernels().len());
+            for (a, b) in merged.kernels().iter().zip(solo.kernels()) {
+                assert_eq!(a.shape(), b.shape());
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert_eq!(x.re.to_bits(), y.re.to_bits(), "slot={slot}");
+                    assert_eq!(x.im.to_bits(), y.im.to_bits(), "slot={slot}");
+                }
+            }
+        }
+
+        // Mixed support: a nominal-only model yields None exactly where the
+        // solo path does, without disturbing the supported slots.
+        let nominal_model = NithoModel::new(fast_nitho_config(), &optics);
+        let mixed = nominal_model.at_conditions(&[
+            ProcessCondition::nominal(),
+            ProcessCondition::new(60.0, 1.0),
+            ProcessCondition::nominal(),
+        ]);
+        assert!(mixed[0].is_some());
+        assert!(mixed[1].is_none());
+        assert!(mixed[2].is_some());
     }
 
     #[test]

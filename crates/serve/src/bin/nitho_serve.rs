@@ -21,7 +21,7 @@ use std::process::ExitCode;
 
 use litho_masks::{DatasetKind, ProcessDataset};
 use litho_optics::{HopkinsSimulator, OpticalConfig, ProcessWindow};
-use litho_serve::{HttpServer, ModelRegistry, Response, Service};
+use litho_serve::{HttpServer, ModelRegistry, Response, ServeConfig, Service};
 use nitho::{ConditionEncoding, NithoConfig};
 
 struct Options {
@@ -216,8 +216,19 @@ fn main() -> ExitCode {
     }
     println!("nitho-serve listening on http://{addr}");
 
+    // Event-loop tier: NITHO_SERVE_WORKERS / NITHO_QUEUE_DEPTH /
+    // NITHO_DEADLINE_MS tune the worker pool, admission queue, and
+    // per-request deadline (see DESIGN.md §10).
+    let config = ServeConfig::from_env();
+    eprintln!(
+        "nitho-serve: {} workers, queue depth {}, deadline {} ms",
+        config.workers,
+        config.queue_depth,
+        config.deadline.as_millis()
+    );
+    let metrics = service.metrics().clone();
     let shutdown = server.shutdown_handle();
-    server.serve(move |request| {
+    server.serve_event(&config, &metrics, move |request| {
         if (request.method.as_str(), request.path.as_str()) == ("POST", "/v1/shutdown") {
             shutdown.shutdown();
             return Response::json(200, r#"{"status":"shutting down"}"#.to_owned());

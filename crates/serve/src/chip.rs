@@ -52,6 +52,26 @@ pub trait TileSimulator: Send + Sync {
     /// field), so a process-window fan-out holds one per condition.
     fn for_condition(&self, condition: &ProcessCondition) -> Option<Box<dyn TileSimulator>>;
 
+    /// Specializes this engine to several conditions at once. Per-slot
+    /// results are exactly those of a
+    /// [`for_condition`](TileSimulator::for_condition) call per slot; engines
+    /// whose specialization is one network dispatch override this to batch
+    /// the dispatches (see `NithoModel::at_conditions`).
+    fn for_conditions(
+        &self,
+        conditions: &[ProcessCondition],
+    ) -> Vec<Option<Box<dyn TileSimulator>>> {
+        conditions.iter().map(|c| self.for_condition(c)).collect()
+    }
+
+    /// `true` when [`for_conditions`](TileSimulator::for_conditions) actually
+    /// amortizes work across conditions (a batched network dispatch), so a
+    /// serving tier knows merging specializations from concurrent requests
+    /// into one call is a win rather than pointless serialization.
+    fn batches_conditions(&self) -> bool {
+        false
+    }
+
     /// Kernel-grid shape `(rows, cols)` when this engine can simulate a tile
     /// from its precomputed cropped mask spectrum, `None` otherwise. All
     /// engines specialized from one model share the grid, which lets a
@@ -117,6 +137,25 @@ impl TileSimulator for NithoModel {
     fn for_condition(&self, condition: &ProcessCondition) -> Option<Box<dyn TileSimulator>> {
         self.at_condition(condition)
             .map(|frozen| Box::new(frozen) as Box<dyn TileSimulator>)
+    }
+
+    fn for_conditions(
+        &self,
+        conditions: &[ProcessCondition],
+    ) -> Vec<Option<Box<dyn TileSimulator>>> {
+        self.at_conditions(conditions)
+            .into_iter()
+            .map(|frozen| frozen.map(|k| Box::new(k) as Box<dyn TileSimulator>))
+            .collect()
+    }
+
+    fn batches_conditions(&self) -> bool {
+        // Specializing a conditioned field is one CMLP dispatch per
+        // condition; batching those dispatches amortizes the SoA parameter
+        // split. A nominal-only model serves a single condition, and the
+        // rigorous engine's re-decomposition shares nothing across
+        // conditions — neither gains from merging.
+        self.config().condition.is_some()
     }
 }
 
@@ -338,11 +377,18 @@ impl<'a> ChipSweep<'a> {
     ///
     /// Panics if `engines` is empty, the engines disagree on `tile_px`, or
     /// the halo leaves no tile core.
-    pub fn plan(engines: &[Box<dyn TileSimulator>], chip: &'a RealMatrix, halo_px: usize) -> Self {
-        let first = engines.first().expect("aerial_sweep needs an engine");
+    pub fn plan<E: AsRef<dyn TileSimulator>>(
+        engines: &[E],
+        chip: &'a RealMatrix,
+        halo_px: usize,
+    ) -> Self {
+        let first = engines
+            .first()
+            .expect("aerial_sweep needs an engine")
+            .as_ref();
         let tile_px = first.tile_px();
         assert!(
-            engines.iter().all(|e| e.tile_px() == tile_px),
+            engines.iter().all(|e| e.as_ref().tile_px() == tile_px),
             "aerial_sweep engines must share one tile size"
         );
         let grid = TileGrid::new(
@@ -351,7 +397,13 @@ impl<'a> ChipSweep<'a> {
             chip.cols(),
         );
         let shared_dims = match first.spectrum_dims() {
-            Some(dims) if engines.iter().all(|e| e.spectrum_dims() == Some(dims)) => Some(dims),
+            Some(dims)
+                if engines
+                    .iter()
+                    .all(|e| e.as_ref().spectrum_dims() == Some(dims)) =>
+            {
+                Some(dims)
+            }
             _ => None,
         };
         // One spectrum per tile window, shared by every condition. A cropped
@@ -567,6 +619,34 @@ mod tests {
         assert!((frozen.resist_threshold() - optics.resist_threshold / 1.1).abs() < 1e-15);
         assert!(frozen.for_condition(&defocused).is_some());
         assert!(frozen.for_condition(&ProcessCondition::nominal()).is_none());
+
+        // Batching hints: only the conditioned Nitho path gains from merging
+        // specializations into one inference dispatch.
+        assert!(!h.batches_conditions());
+        assert!(!n.batches_conditions());
+        assert!(c.batches_conditions());
+
+        // Plural specialization agrees slot-for-slot with the solo calls,
+        // both through the default loop (nominal-only model) and the batched
+        // override (conditioned model).
+        let asked = [ProcessCondition::nominal(), defocused];
+        let plural = n.for_conditions(&asked);
+        assert!(plural[0].is_some() && plural[1].is_none());
+        let batched = c.for_conditions(&asked);
+        let solo_aerial = c
+            .for_condition(&defocused)
+            .expect("solo specialization")
+            .simulate_tile(&mask);
+        let batch_aerial = batched[1]
+            .as_ref()
+            .expect("batched specialization")
+            .simulate_tile(&mask);
+        assert!(
+            solo_aerial
+                .zip_map(&batch_aerial, |x, y| (x - y).abs())
+                .max()
+                < 1e-15
+        );
     }
 
     #[test]

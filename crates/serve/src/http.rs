@@ -3,24 +3,46 @@
 //! crates.io is unreachable, so the service speaks a deliberately small but
 //! correct slice of HTTP/1.1: request line + headers + `Content-Length`
 //! bodies in, status line + headers + body out, one request per connection
-//! (`Connection: close`). Connections are handled on scoped worker threads;
-//! a [`ShutdownHandle`] lets tests and the `/v1/shutdown` endpoint stop the
-//! accept loop cleanly from another thread.
+//! (`Connection: close`). Two execution models share one parser and one
+//! response encoder:
+//!
+//! * [`HttpServer::serve`] — the original thread-per-connection baseline
+//!   (one scoped thread per accepted socket, blocking I/O), retained as the
+//!   byte-identity reference and benchmark baseline.
+//! * [`HttpServer::serve_event`] — the production path: a non-blocking
+//!   event loop (`TcpListener::set_nonblocking` + readiness polling) drives
+//!   incremental per-connection head/body state machines and hands complete
+//!   requests to a fixed worker pool through a bounded [`WorkQueue`]. Load
+//!   is shed at the queue (`503` + `Retry-After`), not at `accept`;
+//!   per-request deadlines expire queued work; a [`ShutdownHandle`] drains
+//!   queued + in-flight requests to completion before the loop exits.
+//!
+//! Both paths produce byte-identical responses for the same request — the
+//! event loop only changes *when* compute runs, never what is written.
+//! See DESIGN.md §10.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::queue::{PushError, ServerMetrics, WorkQueue};
 
 /// Upper bound on request bodies (64 MiB — a 2048² chip of f64 pixels fits).
 const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
-/// Upper bound on concurrently served connections; excess clients get 503.
+/// Upper bound on concurrently served connections; the threaded path sheds
+/// excess clients with a 503, the event loop simply pauses `accept`.
 const MAX_CONNECTIONS: usize = 64;
 /// Upper bound on the request head (request line + headers).
 const MAX_HEAD_BYTES: usize = 64 * 1024;
 /// Per-connection socket timeout.
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
+/// Event-loop pause when every connection is idle. Worker completions
+/// interrupt the pause through the loop's [`Waker`], so this bounds only the
+/// latency of *unannounced* readiness — a new connection in the accept
+/// backlog or fresh client bytes on an established socket.
+const IDLE_POLL: Duration = Duration::from_micros(150);
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -58,6 +80,8 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: String,
+    /// Extra headers appended after `content-length` (e.g. `retry-after`).
+    pub headers: Vec<(String, String)>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -68,6 +92,7 @@ impl Response {
         Self {
             status,
             content_type: "application/json".to_owned(),
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
     }
@@ -77,8 +102,16 @@ impl Response {
         Self {
             status,
             content_type: "text/plain; charset=utf-8".to_owned(),
+            headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         }
+    }
+
+    /// Appends an extra response header (name must be lower-case).
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
     }
 
     fn status_reason(&self) -> &'static str {
@@ -93,21 +126,36 @@ impl Response {
         }
     }
 
-    fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+    /// Encodes the full response (status line, headers, body) — the single
+    /// encoder shared by the threaded and event-loop paths, so identical
+    /// `Response` values always reach the wire as identical bytes.
+    pub fn render(&self) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
             self.status,
             self.status_reason(),
             self.content_type,
             self.body.len()
         );
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("connection: close\r\n\r\n");
+        let mut bytes = head.into_bytes();
+        bytes.extend_from_slice(&self.body);
+        bytes
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        stream.write_all(&self.render())?;
         stream.flush()
     }
 }
 
-/// Handle that stops a running [`HttpServer`] accept loop from any thread.
+/// Handle that stops a running [`HttpServer`] loop from any thread.
 #[derive(Debug, Clone)]
 pub struct ShutdownHandle {
     stop: Arc<AtomicBool>,
@@ -116,7 +164,9 @@ pub struct ShutdownHandle {
 
 impl ShutdownHandle {
     /// Requests shutdown: sets the stop flag and pokes the listener with a
-    /// throwaway connection so a blocked `accept` returns.
+    /// throwaway connection so a blocked `accept` returns. The event loop
+    /// stops accepting and *drains* queued + in-flight requests to
+    /// completion before exiting.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
         // A wildcard bind address (0.0.0.0 / ::) is not connectable on every
@@ -138,7 +188,64 @@ impl ShutdownHandle {
     }
 }
 
-/// A minimal threaded HTTP/1.1 server.
+/// Tuning knobs of the event-loop path, normally read from the environment.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker-pool size (`NITHO_SERVE_WORKERS`; default: the execution
+    /// engine's thread budget, so compute saturates the machine).
+    pub workers: usize,
+    /// Bounded work-queue depth (`NITHO_QUEUE_DEPTH`, default 64); pushes
+    /// beyond it are shed with `503` + `Retry-After`.
+    pub queue_depth: usize,
+    /// Per-request deadline (`NITHO_DEADLINE_MS`, default 30 000): requests
+    /// still queued when it expires are answered `503` without running.
+    pub deadline: Duration,
+    /// Maximum simultaneously open connections; beyond it the loop pauses
+    /// `accept` (clients wait in the listen backlog) rather than shedding.
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: litho_parallel::max_threads(),
+            queue_depth: 64,
+            deadline: Duration::from_secs(30),
+            max_connections: MAX_CONNECTIONS,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the `NITHO_SERVE_WORKERS` / `NITHO_QUEUE_DEPTH` /
+    /// `NITHO_DEADLINE_MS` knobs, falling back to the defaults above.
+    pub fn from_env() -> Self {
+        fn env_usize(name: &str) -> Option<usize> {
+            std::env::var(name).ok()?.trim().parse().ok()
+        }
+        let mut config = Self::default();
+        if let Some(n) = env_usize("NITHO_SERVE_WORKERS") {
+            config.workers = n;
+        }
+        if let Some(n) = env_usize("NITHO_QUEUE_DEPTH") {
+            config.queue_depth = n;
+        }
+        if let Some(ms) = env_usize("NITHO_DEADLINE_MS") {
+            config.deadline = Duration::from_millis(ms as u64);
+        }
+        config.sanitized()
+    }
+
+    fn sanitized(mut self) -> Self {
+        self.workers = self.workers.clamp(1, 256);
+        self.queue_depth = self.queue_depth.clamp(1, 4096);
+        self.deadline = self.deadline.max(Duration::from_millis(1));
+        self.max_connections = self.max_connections.clamp(1, 4096);
+        self
+    }
+}
+
+/// A minimal HTTP/1.1 server with a threaded and an event-loop front end.
 pub struct HttpServer {
     listener: TcpListener,
     stop: Arc<AtomicBool>,
@@ -179,11 +286,14 @@ impl HttpServer {
         }
     }
 
-    /// Runs the accept loop until [`ShutdownHandle::shutdown`] is called.
-    /// Each connection is served on its own scoped thread by `handler`
-    /// (handler panics are confined to their connection); connections above
-    /// [`MAX_CONNECTIONS`] are turned away with a 503 instead of spawning
-    /// unboundedly.
+    /// Runs the thread-per-connection accept loop until
+    /// [`ShutdownHandle::shutdown`] is called. Each connection is served on
+    /// its own scoped thread by `handler` (handler panics are confined to
+    /// their connection); connections above [`MAX_CONNECTIONS`] are turned
+    /// away with a 503 instead of spawning unboundedly.
+    ///
+    /// This is the baseline execution model; production serving uses
+    /// [`HttpServer::serve_event`].
     pub fn serve<H>(&self, handler: H)
     where
         H: Fn(&Request) -> Response + Send + Sync,
@@ -218,6 +328,555 @@ impl HttpServer {
             }
         });
     }
+
+    /// Runs the non-blocking event loop until [`ShutdownHandle::shutdown`]
+    /// is called, then drains queued and in-flight requests to completion
+    /// before returning.
+    ///
+    /// One polling thread owns every socket and its incremental head/body
+    /// state machine; complete requests flow through a bounded [`WorkQueue`]
+    /// to `config.workers` persistent compute threads (each running the
+    /// handler under an equal share of the `litho_parallel` thread budget).
+    /// A full queue sheds with `503` + `Retry-After`; a request whose
+    /// deadline passes while queued is answered `503` without running.
+    /// `metrics` is updated continuously and never influences response
+    /// bytes.
+    pub fn serve_event<H>(&self, config: &ServeConfig, metrics: &Arc<ServerMetrics>, handler: H)
+    where
+        H: Fn(&Request) -> Response + Send + Sync,
+    {
+        let config = config.clone().sanitized();
+        metrics
+            .workers
+            .store(config.workers as u64, Ordering::Relaxed);
+        metrics
+            .queue_capacity
+            .store(config.queue_depth as u64, Ordering::Relaxed);
+        self.listener
+            .set_nonblocking(true)
+            .expect("listener supports non-blocking mode");
+        let queue: WorkQueue<Job> = WorkQueue::new(config.queue_depth);
+        let waker = Waker::default();
+        // Each worker runs the handler under an equal share of the engine's
+        // thread budget (computed here so a `with_threads` override on the
+        // calling thread is honoured); at least one thread each.
+        let threads_per_worker = (litho_parallel::max_threads() / config.workers).max(1);
+
+        std::thread::scope(|scope| {
+            for _ in 0..config.workers {
+                let queue = &queue;
+                let waker = &waker;
+                let metrics = Arc::clone(metrics);
+                let handler = &handler;
+                scope.spawn(move || {
+                    while let Some(job) = queue.pop() {
+                        metrics
+                            .queue_depth
+                            .store(queue.len() as u64, Ordering::Relaxed);
+                        let response = if Instant::now() > job.deadline {
+                            metrics.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                            Response::text(503, "deadline exceeded").with_header("retry-after", "1")
+                        } else {
+                            metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    litho_parallel::with_threads(threads_per_worker, || {
+                                        handler(&job.request)
+                                    })
+                                }));
+                            metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+                            result.unwrap_or_else(|_| Response::text(500, "internal error"))
+                        };
+                        metrics.record_completion(job.accepted.elapsed().as_millis() as u64);
+                        job.slot.fulfill(response);
+                        waker.notify();
+                    }
+                });
+            }
+
+            let mut conns: Vec<Conn> = Vec::new();
+            let mut draining = false;
+            loop {
+                let mut progress = false;
+
+                if !draining && self.stop.load(Ordering::SeqCst) {
+                    draining = true;
+                    // The shutdown poke (and any other connection that has
+                    // not sent a byte yet) must not hold the drain open.
+                    conns.retain(|conn| !conn.is_pristine());
+                    progress = true;
+                }
+
+                if !draining {
+                    while conns.len() < config.max_connections {
+                        match self.listener.accept() {
+                            Ok((stream, _)) => {
+                                if stream.set_nonblocking(true).is_err() {
+                                    continue;
+                                }
+                                conns.push(Conn::new(stream));
+                                progress = true;
+                            }
+                            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(_) => break,
+                        }
+                    }
+                }
+
+                let mut index = 0;
+                while index < conns.len() {
+                    match conns[index].drive(&queue, metrics, config.deadline) {
+                        ConnStatus::Progress => {
+                            progress = true;
+                            index += 1;
+                        }
+                        ConnStatus::Idle => {
+                            if conns[index].last_activity.elapsed() > IO_TIMEOUT {
+                                conns.swap_remove(index);
+                                progress = true;
+                            } else {
+                                index += 1;
+                            }
+                        }
+                        ConnStatus::Done => {
+                            conns.swap_remove(index);
+                            progress = true;
+                        }
+                    }
+                }
+
+                if draining && conns.is_empty() {
+                    break;
+                }
+                if !progress {
+                    waker.wait_timeout(IDLE_POLL);
+                }
+            }
+
+            // No connection can submit work any more; release the workers
+            // (the queue is necessarily empty — every queued job belonged to
+            // a connection that only closed after its response was written).
+            queue.close();
+        });
+        metrics.queue_depth.store(0, Ordering::Relaxed);
+        let _ = self.listener.set_nonblocking(false);
+    }
+}
+
+/// Wakes the event loop out of its idle pause when a worker finishes a job,
+/// so fulfilled responses are written immediately instead of waiting for the
+/// next timed poll. The flag absorbs notifications that land between the
+/// loop's progress check and its wait (no lost wake-ups).
+#[derive(Debug, Default)]
+struct Waker {
+    signal: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl Waker {
+    fn notify(&self) {
+        let mut signal = self
+            .signal
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *signal = true;
+        drop(signal);
+        self.cond.notify_one();
+    }
+
+    fn wait_timeout(&self, timeout: Duration) {
+        let mut signal = self
+            .signal
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if !*signal {
+            let (guard, _) = self
+                .cond
+                .wait_timeout(signal, timeout)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            signal = guard;
+        }
+        *signal = false;
+    }
+}
+
+/// Single-producer/single-consumer handoff of one response from a worker
+/// back to the event loop.
+#[derive(Debug, Default)]
+struct ResponseSlot {
+    ready: AtomicBool,
+    response: Mutex<Option<Response>>,
+}
+
+impl ResponseSlot {
+    fn fulfill(&self, response: Response) {
+        *self
+            .response
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(response);
+        self.ready.store(true, Ordering::Release);
+    }
+
+    fn take(&self) -> Option<Response> {
+        if !self.ready.load(Ordering::Acquire) {
+            return None;
+        }
+        self.response
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take()
+    }
+}
+
+/// One parsed request travelling through the work queue.
+struct Job {
+    request: Request,
+    accepted: Instant,
+    deadline: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+/// Per-connection incremental state.
+enum ConnState {
+    /// Accumulating bytes until the blank line terminating the head.
+    ReadHead { buf: Vec<u8> },
+    /// Head parsed; accumulating `content-length` body bytes.
+    ReadBody {
+        method: String,
+        path: String,
+        headers: Vec<(String, String)>,
+        content_length: usize,
+        body: Vec<u8>,
+    },
+    /// Request handed to the worker pool; polling its response slot.
+    Waiting { slot: Arc<ResponseSlot> },
+    /// Writing the rendered response.
+    WriteOut { bytes: Vec<u8>, written: usize },
+}
+
+enum ConnStatus {
+    /// State advanced this poll.
+    Progress,
+    /// Nothing to do yet (would block).
+    Idle,
+    /// Finished or failed; remove the connection.
+    Done,
+}
+
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            state: ConnState::ReadHead { buf: Vec::new() },
+            last_activity: Instant::now(),
+        }
+    }
+
+    /// `true` while the peer has not sent a single byte (e.g. the shutdown
+    /// poke connection).
+    fn is_pristine(&self) -> bool {
+        matches!(&self.state, ConnState::ReadHead { buf } if buf.is_empty())
+    }
+
+    fn respond(&mut self, response: Response) {
+        self.state = ConnState::WriteOut {
+            bytes: response.render(),
+            written: 0,
+        };
+    }
+
+    fn drive(
+        &mut self,
+        queue: &WorkQueue<Job>,
+        metrics: &Arc<ServerMetrics>,
+        deadline: Duration,
+    ) -> ConnStatus {
+        let status = self.step(queue, metrics, deadline);
+        if matches!(status, ConnStatus::Progress) {
+            self.last_activity = Instant::now();
+        }
+        status
+    }
+
+    fn step(
+        &mut self,
+        queue: &WorkQueue<Job>,
+        metrics: &Arc<ServerMetrics>,
+        deadline: Duration,
+    ) -> ConnStatus {
+        match &mut self.state {
+            ConnState::ReadHead { buf } => {
+                let mut chunk = [0u8; 4096];
+                let mut advanced = false;
+                loop {
+                    match self.stream.read(&mut chunk) {
+                        // Peer closed; nothing useful can be answered.
+                        Ok(0) => return ConnStatus::Done,
+                        Ok(n) => {
+                            buf.extend_from_slice(&chunk[..n]);
+                            advanced = true;
+                            if find_head_end(buf).is_some() {
+                                break;
+                            }
+                            if buf.len() > MAX_HEAD_BYTES {
+                                self.respond(Response::text(413, "request too large"));
+                                return ConnStatus::Progress;
+                            }
+                        }
+                        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            if find_head_end(buf).is_none() {
+                                return if advanced {
+                                    ConnStatus::Progress
+                                } else {
+                                    ConnStatus::Idle
+                                };
+                            }
+                            break;
+                        }
+                        Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => return ConnStatus::Done,
+                    }
+                }
+                let head_end = match find_head_end(buf) {
+                    Some(pos) => pos,
+                    None => {
+                        return if advanced {
+                            ConnStatus::Progress
+                        } else {
+                            ConnStatus::Idle
+                        }
+                    }
+                };
+                let head = match std::str::from_utf8(&buf[..head_end]) {
+                    Ok(text) => text,
+                    Err(_) => {
+                        self.respond(Response::text(400, "bad request: non-UTF-8 head"));
+                        return ConnStatus::Progress;
+                    }
+                };
+                let (method, path, headers) = match parse_head(head) {
+                    Ok(parsed) => parsed,
+                    Err(err) => {
+                        self.respond(err.into_response());
+                        return ConnStatus::Progress;
+                    }
+                };
+                let content_length = match body_length(&headers) {
+                    Ok(len) => len,
+                    Err(err) => {
+                        self.respond(err.into_response());
+                        return ConnStatus::Progress;
+                    }
+                };
+                let mut body = Vec::with_capacity(content_length.min(64 * 1024));
+                body.extend_from_slice(&buf[head_end + 4..]);
+                body.truncate(content_length);
+                self.state = ConnState::ReadBody {
+                    method,
+                    path,
+                    headers,
+                    content_length,
+                    body,
+                };
+                ConnStatus::Progress
+            }
+            ConnState::ReadBody {
+                method,
+                path,
+                headers,
+                content_length,
+                body,
+            } => {
+                let mut advanced = false;
+                while body.len() < *content_length {
+                    let mut chunk = [0u8; 16 * 1024];
+                    let want = (*content_length - body.len()).min(chunk.len());
+                    match self.stream.read(&mut chunk[..want]) {
+                        Ok(0) => return ConnStatus::Done,
+                        Ok(n) => {
+                            body.extend_from_slice(&chunk[..n]);
+                            advanced = true;
+                        }
+                        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            return if advanced {
+                                ConnStatus::Progress
+                            } else {
+                                ConnStatus::Idle
+                            };
+                        }
+                        Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => return ConnStatus::Done,
+                    }
+                }
+                let request = Request {
+                    method: std::mem::take(method),
+                    path: std::mem::take(path),
+                    headers: std::mem::take(headers),
+                    body: std::mem::take(body),
+                };
+                let accepted = Instant::now();
+                let slot = Arc::new(ResponseSlot::default());
+                let job = Job {
+                    request,
+                    accepted,
+                    deadline: accepted + deadline,
+                    slot: Arc::clone(&slot),
+                };
+                match queue.try_push(job) {
+                    Ok(()) => {
+                        metrics
+                            .queue_depth
+                            .store(queue.len() as u64, Ordering::Relaxed);
+                        self.state = ConnState::Waiting { slot };
+                    }
+                    Err((PushError::Full, _)) => {
+                        metrics.shed.fetch_add(1, Ordering::Relaxed);
+                        metrics.served.fetch_add(1, Ordering::Relaxed);
+                        self.respond(
+                            Response::text(503, "server busy").with_header("retry-after", "1"),
+                        );
+                    }
+                    Err((PushError::Closed, _)) => {
+                        metrics.served.fetch_add(1, Ordering::Relaxed);
+                        self.respond(
+                            Response::text(503, "server draining").with_header("retry-after", "1"),
+                        );
+                    }
+                }
+                ConnStatus::Progress
+            }
+            ConnState::Waiting { slot } => match slot.take() {
+                Some(response) => {
+                    self.respond(response);
+                    ConnStatus::Progress
+                }
+                None => ConnStatus::Idle,
+            },
+            ConnState::WriteOut { bytes, written } => {
+                let mut advanced = false;
+                while *written < bytes.len() {
+                    match self.stream.write(&bytes[*written..]) {
+                        Ok(0) => return ConnStatus::Done,
+                        Ok(n) => {
+                            *written += n;
+                            advanced = true;
+                        }
+                        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            return if advanced {
+                                ConnStatus::Progress
+                            } else {
+                                ConnStatus::Idle
+                            };
+                        }
+                        Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => return ConnStatus::Done,
+                    }
+                }
+                let _ = self.stream.flush();
+                ConnStatus::Done
+            }
+        }
+    }
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A parse failure with its HTTP mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ParseError {
+    /// Malformed request → 400.
+    Bad(String),
+    /// Oversized head/body → 413.
+    TooLarge(&'static str),
+}
+
+impl ParseError {
+    fn into_response(self) -> Response {
+        match self {
+            ParseError::Bad(msg) => Response::text(400, &format!("bad request: {msg}")),
+            ParseError::TooLarge(msg) => Response::text(413, msg),
+        }
+    }
+
+    fn into_io(self) -> io::Error {
+        match self {
+            ParseError::Bad(msg) => io::Error::new(io::ErrorKind::InvalidData, msg),
+            ParseError::TooLarge(msg) => io::Error::new(io::ErrorKind::FileTooLarge, msg),
+        }
+    }
+}
+
+/// A parsed request head: method, path, and lower-cased header pairs.
+type ParsedHead = (String, String, Vec<(String, String)>);
+
+/// Parses the request head (request line + headers, no trailing blank line).
+fn parse_head(head: &str) -> Result<ParsedHead, ParseError> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ParseError::Bad("empty request line".into()))?
+        .to_owned();
+    let path = parts
+        .next()
+        .ok_or_else(|| ParseError::Bad("request line has no path".into()))?
+        .to_owned();
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::Bad("missing version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Bad("unsupported HTTP version".into()));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::Bad("bad header".into()))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    Ok((method, path, headers))
+}
+
+/// Resolves the request body length from the headers, hardened against
+/// smuggling-style ambiguity: every `content-length` header must be a pure
+/// unsigned decimal and all occurrences must agree; negative, non-numeric or
+/// conflicting values are a 400, values above [`MAX_BODY_BYTES`] a 413.
+pub(crate) fn body_length(headers: &[(String, String)]) -> Result<usize, ParseError> {
+    let mut resolved: Option<u64> = None;
+    for (_, value) in headers.iter().filter(|(k, _)| k == "content-length") {
+        let value = value.trim();
+        if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseError::Bad("bad content-length".into()));
+        }
+        // All-digit but beyond u64 is necessarily beyond the body cap.
+        let parsed: u64 = value
+            .parse()
+            .map_err(|_| ParseError::TooLarge("body too large"))?;
+        match resolved {
+            Some(previous) if previous != parsed => {
+                return Err(ParseError::Bad("conflicting content-length".into()));
+            }
+            _ => resolved = Some(parsed),
+        }
+    }
+    let length = resolved.unwrap_or(0);
+    if length > MAX_BODY_BYTES as u64 {
+        return Err(ParseError::TooLarge("body too large"));
+    }
+    Ok(length as usize)
 }
 
 fn serve_connection<H>(mut stream: TcpStream, handler: &H) -> io::Result<()>
@@ -284,7 +943,7 @@ fn invalid(message: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message)
 }
 
-/// Reads and parses one HTTP/1.1 request from a stream.
+/// Reads and parses one HTTP/1.1 request from a stream (blocking path).
 ///
 /// # Errors
 ///
@@ -329,19 +988,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
     }
 
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse::<usize>())
-        .transpose()
-        .map_err(|_| invalid("bad content-length"))?
-        .unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::FileTooLarge,
-            "body too large",
-        ));
-    }
+    let content_length = body_length(&headers).map_err(ParseError::into_io)?;
     // Read incrementally instead of allocating content_length up front, so a
     // client claiming a huge body without sending one cannot pin memory for
     // the whole socket timeout.
@@ -423,24 +1070,42 @@ pub fn http_request(
 mod tests {
     use super::*;
 
+    fn echo_handler(request: &Request) -> Response {
+        Response::json(
+            200,
+            format!(
+                "{{\"method\":\"{}\",\"path\":\"{}\",\"body_len\":{}}}",
+                request.method,
+                request.path,
+                request.body.len()
+            ),
+        )
+    }
+
     fn echo_server() -> (ShutdownHandle, SocketAddr, std::thread::JoinHandle<()>) {
         let server = HttpServer::bind("127.0.0.1:0").expect("bind");
         let addr = server.local_addr().expect("addr");
         let handle = server.shutdown_handle();
-        let join = std::thread::spawn(move || {
-            server.serve(|request| {
-                Response::json(
-                    200,
-                    format!(
-                        "{{\"method\":\"{}\",\"path\":\"{}\",\"body_len\":{}}}",
-                        request.method,
-                        request.path,
-                        request.body.len()
-                    ),
-                )
-            });
-        });
+        let join = std::thread::spawn(move || server.serve(echo_handler));
         (handle, addr, join)
+    }
+
+    fn echo_event_server(
+        config: ServeConfig,
+    ) -> (
+        ShutdownHandle,
+        SocketAddr,
+        Arc<ServerMetrics>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let server = HttpServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = server.shutdown_handle();
+        let metrics = Arc::new(ServerMetrics::new());
+        let thread_metrics = Arc::clone(&metrics);
+        let join =
+            std::thread::spawn(move || server.serve_event(&config, &thread_metrics, echo_handler));
+        (handle, addr, metrics, join)
     }
 
     #[test]
@@ -511,5 +1176,274 @@ mod tests {
         assert!(response.starts_with("HTTP/1.1 413"), "{response}");
         handle.shutdown();
         join.join().expect("server thread");
+    }
+
+    #[test]
+    fn content_length_hardening_table() {
+        // (headers after the request line, expected status) — malformed or
+        // ambiguous framing must die with 400, oversized with 413, and
+        // agreeing duplicates stay serveable. Exercised against BOTH
+        // execution models so the shared parser is actually shared.
+        let table: &[(&str, u16)] = &[
+            ("content-length: 3\r\n\r\nabc", 200),
+            // Duplicates that agree are redundant but unambiguous.
+            ("content-length: 3\r\ncontent-length: 3\r\n\r\nabc", 200),
+            // Conflicting duplicates are a smuggling vector.
+            ("content-length: 3\r\ncontent-length: 4\r\n\r\nabcd", 400),
+            ("content-length: -5\r\n\r\n", 400),
+            ("content-length: abc\r\n\r\n", 400),
+            ("content-length: 4abc\r\n\r\n", 400),
+            ("content-length: +3\r\n\r\nabc", 400),
+            ("content-length: 3.0\r\n\r\n", 400),
+            ("content-length:\r\n\r\n", 400),
+            // Fits in u64 but beyond the 64 MiB body cap.
+            ("content-length: 999999999999\r\n\r\n", 413),
+            // Beyond u64 entirely.
+            ("content-length: 99999999999999999999999999\r\n\r\n", 413),
+        ];
+        let drive = |addr: SocketAddr| {
+            for (headers, expected) in table {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .write_all(format!("POST /v1/echo HTTP/1.1\r\n{headers}").as_bytes())
+                    .expect("write");
+                let mut response = String::new();
+                stream.read_to_string(&mut response).expect("read");
+                let status = response
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|s| s.parse::<u16>().ok())
+                    .expect("status line");
+                assert_eq!(status, *expected, "headers {headers:?} → {response}");
+            }
+        };
+
+        let (handle, addr, join) = echo_server();
+        drive(addr);
+        handle.shutdown();
+        join.join().expect("server thread");
+
+        let (handle, addr, _metrics, join) = echo_event_server(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        drive(addr);
+        handle.shutdown();
+        join.join().expect("event server thread");
+    }
+
+    #[test]
+    fn event_loop_roundtrip_matches_threaded_bytes() {
+        let (t_handle, t_addr, t_join) = echo_server();
+        let (e_handle, e_addr, metrics, e_join) = echo_event_server(ServeConfig {
+            workers: 2,
+            queue_depth: 8,
+            ..ServeConfig::default()
+        });
+        for (method, path, body) in [
+            ("GET", "/healthz", None),
+            ("POST", "/v1/echo", Some("hello world")),
+            ("POST", "/v1/other", Some("{\"k\":1}")),
+        ] {
+            let threaded = http_request(t_addr, method, path, body).expect("threaded");
+            let event = http_request(e_addr, method, path, body).expect("event");
+            assert_eq!(threaded, event, "{method} {path}");
+        }
+        assert!(metrics.served.load(Ordering::Relaxed) >= 3);
+        assert_eq!(metrics.latency.count(), 3);
+        t_handle.shutdown();
+        t_join.join().expect("threaded server");
+        e_handle.shutdown();
+        e_join.join().expect("event server");
+    }
+
+    #[test]
+    fn event_loop_serves_many_concurrent_clients() {
+        let (handle, addr, metrics, join) = echo_event_server(ServeConfig {
+            workers: 3,
+            queue_depth: 64,
+            ..ServeConfig::default()
+        });
+        let responses: Vec<_> = std::thread::scope(|scope| {
+            let clients: Vec<_> = (0..16)
+                .map(|i| {
+                    scope.spawn(move || {
+                        http_request(addr, "POST", &format!("/c{i}"), Some("payload"))
+                            .expect("request")
+                    })
+                })
+                .collect();
+            clients.into_iter().map(|c| c.join().unwrap()).collect()
+        });
+        for (i, (status, body)) in responses.iter().enumerate() {
+            assert_eq!(*status, 200);
+            assert!(body.contains(&format!("/c{i}")), "{body}");
+        }
+        assert_eq!(metrics.served.load(Ordering::Relaxed), 16);
+        handle.shutdown();
+        join.join().expect("event server");
+    }
+
+    #[test]
+    fn full_queue_sheds_with_retry_after() {
+        // One worker stuck on a slow request + capacity-1 queue: a burst of
+        // clients must see 503 + retry-after for the overflow, while every
+        // accepted request completes normally.
+        let server = HttpServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = server.shutdown_handle();
+        let metrics = Arc::new(ServerMetrics::new());
+        let thread_metrics = Arc::clone(&metrics);
+        let join = std::thread::spawn(move || {
+            let config = ServeConfig {
+                workers: 1,
+                queue_depth: 1,
+                ..ServeConfig::default()
+            };
+            server.serve_event(&config, &thread_metrics, |request| {
+                std::thread::sleep(Duration::from_millis(150));
+                echo_handler(request)
+            })
+        });
+
+        let raw_request = |addr: SocketAddr| -> (u16, String) {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .write_all(b"POST /slow HTTP/1.1\r\ncontent-length: 1\r\n\r\nx")
+                .expect("write");
+            let mut response = String::new();
+            stream.read_to_string(&mut response).expect("read");
+            let status = response
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse::<u16>().ok())
+                .expect("status");
+            (status, response)
+        };
+
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let clients: Vec<_> = (0..8)
+                .map(|_| scope.spawn(move || raw_request(addr)))
+                .collect();
+            clients.into_iter().map(|c| c.join().unwrap()).collect()
+        });
+        let shed: Vec<_> = results.iter().filter(|(s, _)| *s == 503).collect();
+        let ok = results.iter().filter(|(s, _)| *s == 200).count();
+        assert!(ok >= 1, "at least the in-flight request completes");
+        assert!(!shed.is_empty(), "burst over a 1-deep queue must shed");
+        for (_, response) in &shed {
+            assert!(
+                response.to_ascii_lowercase().contains("retry-after: 1"),
+                "{response}"
+            );
+        }
+        assert_eq!(metrics.shed.load(Ordering::Relaxed), shed.len() as u64);
+        handle.shutdown();
+        join.join().expect("event server");
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_requests() {
+        // A request inside the handler when shutdown arrives must still get
+        // its 200 — the drain completes queued + in-flight work.
+        let server = HttpServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = server.shutdown_handle();
+        let metrics = Arc::new(ServerMetrics::new());
+        let thread_metrics = Arc::clone(&metrics);
+        let started = Arc::new(AtomicBool::new(false));
+        let handler_started = Arc::clone(&started);
+        let join = std::thread::spawn(move || {
+            let config = ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            };
+            server.serve_event(&config, &thread_metrics, move |request| {
+                handler_started.store(true, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(200));
+                echo_handler(request)
+            })
+        });
+
+        let client = std::thread::spawn(move || {
+            http_request(addr, "POST", "/inflight", Some("x")).expect("in-flight request")
+        });
+        while !started.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        handle.shutdown();
+        join.join().expect("event server drains before exiting");
+        let (status, body) = client.join().expect("client");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("/inflight"), "{body}");
+    }
+
+    #[test]
+    fn expired_deadline_is_a_503_without_running() {
+        // Deadline shorter than the time the request sits behind a slow one:
+        // the queued request must be answered 503 and counted as a miss.
+        let server = HttpServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = server.shutdown_handle();
+        let metrics = Arc::new(ServerMetrics::new());
+        let thread_metrics = Arc::clone(&metrics);
+        let join = std::thread::spawn(move || {
+            let config = ServeConfig {
+                workers: 1,
+                queue_depth: 4,
+                deadline: Duration::from_millis(50),
+                ..ServeConfig::default()
+            };
+            server.serve_event(&config, &thread_metrics, |request| {
+                if request.path == "/slow" {
+                    std::thread::sleep(Duration::from_millis(250));
+                }
+                echo_handler(request)
+            })
+        });
+        let slow = std::thread::spawn(move || http_request(addr, "POST", "/slow", Some("x")));
+        // Give the slow request time to occupy the single worker.
+        std::thread::sleep(Duration::from_millis(50));
+        let (status, body) = http_request(addr, "POST", "/fast", Some("y")).expect("fast");
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("deadline"), "{body}");
+        let (slow_status, _) = slow.join().unwrap().expect("slow");
+        assert_eq!(slow_status, 200);
+        assert!(metrics.deadline_misses.load(Ordering::Relaxed) >= 1);
+        handle.shutdown();
+        join.join().expect("event server");
+    }
+
+    #[test]
+    fn serve_config_from_env_defaults_are_sane() {
+        let config = ServeConfig::default().sanitized();
+        assert!(config.workers >= 1);
+        assert!(config.queue_depth >= 1);
+        assert!(config.deadline >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn body_length_hardening_unit_table() {
+        let hdr = |v: &str| vec![("content-length".to_owned(), v.to_owned())];
+        assert_eq!(body_length(&[]), Ok(0));
+        assert_eq!(body_length(&hdr("0")), Ok(0));
+        assert_eq!(body_length(&hdr("42")), Ok(42));
+        assert!(matches!(body_length(&hdr("-1")), Err(ParseError::Bad(_))));
+        assert!(matches!(body_length(&hdr("+1")), Err(ParseError::Bad(_))));
+        assert!(matches!(body_length(&hdr("")), Err(ParseError::Bad(_))));
+        assert!(matches!(
+            body_length(&hdr("18446744073709551616")),
+            Err(ParseError::TooLarge(_))
+        ));
+        let twice = vec![
+            ("content-length".to_owned(), "7".to_owned()),
+            ("content-length".to_owned(), "7".to_owned()),
+        ];
+        assert_eq!(body_length(&twice), Ok(7));
+        let conflict = vec![
+            ("content-length".to_owned(), "7".to_owned()),
+            ("content-length".to_owned(), "8".to_owned()),
+        ];
+        assert!(matches!(body_length(&conflict), Err(ParseError::Bad(_))));
     }
 }

@@ -26,7 +26,9 @@
 pub mod chip;
 pub mod http;
 pub mod json;
+pub mod loadgen;
 pub mod pw;
+pub mod queue;
 pub mod registry;
 pub mod service;
 pub mod tiling;
@@ -34,12 +36,14 @@ pub mod tiling;
 pub use chip::{
     aerial_sweep, aerial_sweep_with, ChipPipeline, ChipResult, ChipSweep, TileSimulator,
 };
-pub use http::{http_request, HttpServer, Request, Response, ShutdownHandle};
+pub use http::{http_request, HttpServer, Request, Response, ServeConfig, ShutdownHandle};
 pub use json::Json;
+pub use loadgen::{drive, LoadReport, RequestSpec};
 pub use pw::{
     ConditionReport, MaskSpec, ProcessWindowRequest, ProcessWindowResponse, PvbReport,
     MAX_AXIS_POINTS, MAX_CONDITIONS,
 };
+pub use queue::{ConditionBatcher, LatencyHistogram, ServerMetrics, SharedEngine, WorkQueue};
 pub use registry::{ModelInfo, ModelRegistry};
 pub use service::Service;
 pub use tiling::{Tile, TileGrid, TilingConfig};

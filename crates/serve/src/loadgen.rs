@@ -1,0 +1,184 @@
+//! Shared load-generation client: N closed-loop clients firing a request
+//! mix at a server, reporting throughput and latency percentiles.
+//!
+//! One implementation serves three consumers — `benches/serve.rs` (the
+//! batched-vs-threaded comparison in `BENCH_serve.json`), the
+//! `serve_load` example the CI `serve-load-smoke` job drives against a live
+//! `nitho-serve`, and the concurrency integration tests — so they all agree
+//! on what "throughput at concurrency N" means.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::http::http_request;
+use crate::queue::LatencyHistogram;
+
+/// One request shape in the load mix.
+#[derive(Debug, Clone)]
+pub struct RequestSpec {
+    /// HTTP method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Optional request body.
+    pub body: Option<String>,
+}
+
+impl RequestSpec {
+    /// A `POST` spec with a JSON body.
+    pub fn post(path: &str, body: &str) -> Self {
+        Self {
+            method: "POST".to_owned(),
+            path: path.to_owned(),
+            body: Some(body.to_owned()),
+        }
+    }
+
+    /// A bodyless `GET` spec.
+    pub fn get(path: &str) -> Self {
+        Self {
+            method: "GET".to_owned(),
+            path: path.to_owned(),
+            body: None,
+        }
+    }
+}
+
+/// Outcome of one [`drive`] run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests attempted.
+    pub total: usize,
+    /// `2xx` responses.
+    pub ok: usize,
+    /// `503` responses (load shed / deadline — the intentional failures).
+    pub shed: usize,
+    /// Transport errors and any other status (the *unintentional* failures).
+    pub failed: usize,
+    /// Wall-clock time for the whole run.
+    pub elapsed: Duration,
+    /// Per-request latency distribution (successful requests only).
+    pub latency: LatencyHistogram,
+}
+
+impl LoadReport {
+    /// Completed-request throughput in requests/second.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.ok as f64 / secs
+    }
+
+    /// Median latency (bucketed upper bound, ms).
+    pub fn p50_ms(&self) -> u64 {
+        self.latency.quantile_ms(0.50)
+    }
+
+    /// 95th-percentile latency (bucketed upper bound, ms).
+    pub fn p95_ms(&self) -> u64 {
+        self.latency.quantile_ms(0.95)
+    }
+
+    /// 99th-percentile latency (bucketed upper bound, ms).
+    pub fn p99_ms(&self) -> u64 {
+        self.latency.quantile_ms(0.99)
+    }
+}
+
+/// Fires `total` requests at `addr` from `concurrency` closed-loop clients.
+///
+/// Clients claim request indices from a shared counter and send
+/// `specs[index % specs.len()]`, so a mixed spec list interleaves endpoint
+/// types across clients deterministically by index (arrival *order* at the
+/// server still races — that is the point of the byte-identity tests built
+/// on top of this).
+///
+/// # Panics
+///
+/// Panics if `specs` is empty or `concurrency` is zero.
+pub fn drive(
+    addr: SocketAddr,
+    concurrency: usize,
+    total: usize,
+    specs: &[RequestSpec],
+) -> LoadReport {
+    assert!(!specs.is_empty(), "need at least one request spec");
+    assert!(concurrency > 0, "need at least one client");
+    let next = AtomicUsize::new(0);
+    let latency = LatencyHistogram::new();
+    let ok = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= total {
+                    break;
+                }
+                let spec = &specs[index % specs.len()];
+                let sent = Instant::now();
+                match http_request(addr, &spec.method, &spec.path, spec.body.as_deref()) {
+                    Ok((status, _)) if (200..300).contains(&status) => {
+                        latency.record(sent.elapsed().as_millis() as u64);
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok((503, _)) => {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(_) | Err(_) => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    LoadReport {
+        total,
+        ok: ok.into_inner(),
+        shed: shed.into_inner(),
+        failed: failed.into_inner(),
+        elapsed: started.elapsed(),
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{HttpServer, Response};
+
+    #[test]
+    fn drive_counts_statuses_and_latency() {
+        let server = HttpServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = server.shutdown_handle();
+        let join = std::thread::spawn(move || {
+            server.serve(|request| match request.path.as_str() {
+                "/ok" => Response::text(200, "fine"),
+                "/shed" => Response::text(503, "busy"),
+                _ => Response::text(404, "nope"),
+            })
+        });
+        let specs = [
+            RequestSpec::get("/ok"),
+            RequestSpec::post("/shed", "{}"),
+            RequestSpec::get("/missing"),
+        ];
+        let report = drive(addr, 3, 9, &specs);
+        assert_eq!(report.total, 9);
+        assert_eq!(report.ok, 3);
+        assert_eq!(report.shed, 3);
+        assert_eq!(report.failed, 3);
+        assert_eq!(report.latency.count(), 3);
+        assert!(report.throughput_rps() > 0.0);
+        assert!(report.p50_ms() <= report.p95_ms());
+        assert!(report.p95_ms() <= report.p99_ms());
+        handle.shutdown();
+        join.join().expect("server");
+    }
+}

@@ -13,18 +13,20 @@
 //! responses); `nitho-serve` wires it to an [`HttpServer`](crate::http) and
 //! adds the admin `POST /v1/shutdown` route.
 
-use std::time::Instant;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use litho_math::RealMatrix;
 use litho_metrics::metrology::{self, Cutline, StreamingPvb};
 use litho_optics::ProcessCondition;
 
-use crate::chip::{ChipPipeline, ChipSweep, TileSimulator};
+use crate::chip::{ChipPipeline, ChipSweep};
 use crate::http::{Request, Response};
 use crate::json::Json;
 use crate::pw::{
     ConditionReport, MaskSpec, ProcessWindowRequest, ProcessWindowResponse, PvbReport,
 };
+use crate::queue::{ConditionBatcher, ServerMetrics, SharedEngine};
 use crate::registry::ModelRegistry;
 
 /// Largest accepted chip, in pixels (a 4096 × 4096 layout).
@@ -33,6 +35,15 @@ const MAX_CHIP_PIXELS: usize = 4096 * 4096;
 /// The HTTP-facing inference service over a [`ModelRegistry`].
 pub struct Service {
     registry: ModelRegistry,
+    /// Serving-tier counters surfaced on `/healthz`; shared with the event
+    /// loop via [`Service::with_metrics`] (a private zeroed block otherwise).
+    metrics: Arc<ServerMetrics>,
+    /// Merges condition specializations from concurrent requests into shared
+    /// batched CMLP dispatches (engines that gain from it only).
+    batcher: ConditionBatcher,
+    /// Cross-request merging switch. On by default; the serving bench turns
+    /// it off to measure the pre-batching baseline.
+    cross_request_batching: bool,
 }
 
 /// A protocol error: HTTP status plus a message for the error body.
@@ -61,12 +72,38 @@ impl Service {
     /// Wraps a registry (which should not be empty — an empty registry can
     /// only serve `/healthz` and an empty model list).
     pub fn new(registry: ModelRegistry) -> Self {
-        Self { registry }
+        Self::with_metrics(registry, Arc::new(ServerMetrics::new()))
+    }
+
+    /// Wraps a registry and shares the serving-tier metrics block with the
+    /// transport (the event loop updates it; `/healthz` reports it).
+    pub fn with_metrics(registry: ModelRegistry, metrics: Arc<ServerMetrics>) -> Self {
+        Self {
+            registry,
+            metrics,
+            batcher: ConditionBatcher::new(),
+            cross_request_batching: true,
+        }
+    }
+
+    /// Enables or disables cross-request condition batching (on by default).
+    /// Disabling never changes response bytes — per-slot specializations are
+    /// bit-identical either way — only how much work concurrent
+    /// process-window requests share.
+    #[must_use]
+    pub fn with_cross_request_batching(mut self, enabled: bool) -> Self {
+        self.cross_request_batching = enabled;
+        self
     }
 
     /// The wrapped registry.
     pub fn registry(&self) -> &ModelRegistry {
         &self.registry
+    }
+
+    /// The metrics block `/healthz` reports.
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
     }
 
     /// Dispatches one request to its route.
@@ -94,11 +131,39 @@ impl Service {
     }
 
     fn healthz(&self) -> Response {
+        let metrics = &self.metrics;
+        let gauge =
+            |v: &std::sync::atomic::AtomicU64| Json::Number(v.load(Ordering::Relaxed) as f64);
         Response::json(
             200,
             Json::object(vec![
                 ("status", Json::string("ok")),
                 ("models", Json::Number(self.registry.len() as f64)),
+                ("queue_depth", gauge(&metrics.queue_depth)),
+                ("queue_capacity", gauge(&metrics.queue_capacity)),
+                ("in_flight", gauge(&metrics.in_flight)),
+                ("workers", gauge(&metrics.workers)),
+                ("served", gauge(&metrics.served)),
+                ("shed", gauge(&metrics.shed)),
+                ("deadline_misses", gauge(&metrics.deadline_misses)),
+                (
+                    "latency_ms",
+                    Json::object(vec![
+                        ("count", Json::Number(metrics.latency.count() as f64)),
+                        (
+                            "p50",
+                            Json::Number(metrics.latency.quantile_ms(0.50) as f64),
+                        ),
+                        (
+                            "p95",
+                            Json::Number(metrics.latency.quantile_ms(0.95) as f64),
+                        ),
+                        (
+                            "p99",
+                            Json::Number(metrics.latency.quantile_ms(0.99) as f64),
+                        ),
+                    ]),
+                ),
             ])
             .to_string(),
         )
@@ -136,7 +201,6 @@ impl Service {
     }
 
     fn simulate(&self, request: &Request) -> Result<Response, ServiceError> {
-        let started = Instant::now();
         let text = request
             .body_text()
             .ok_or_else(|| ServiceError::bad_request("body is not UTF-8"))?;
@@ -195,11 +259,11 @@ impl Service {
                 Json::NumberArray(vec![grid.0 as f64, grid.1 as f64]),
             ),
             ("halo_px", Json::Number(halo_px as f64)),
-            (
-                "elapsed_ms",
-                Json::Number(started.elapsed().as_secs_f64() * 1e3),
-            ),
         ];
+        // Deliberately no timing field: response bytes must be a pure
+        // function of the request so the serving tier's byte-identity pins
+        // (serial vs event-loop, any batching composition) hold. Latency
+        // lives in the `/healthz` histogram instead.
         // The images are moved, not cloned, into the response value — a
         // full-chip aerial is tens of megabytes.
         if want_aerial {
@@ -271,15 +335,41 @@ impl Service {
         // axis reuses that aerial with a scaled threshold. An 8×8 grid costs
         // 8 simulations, not 64. Engines are specialized up front so an
         // unservable focus fails fast (400), before any simulation runs.
-        let focus_engines: Vec<Box<dyn TileSimulator>> = pw
+        let focus_conditions: Vec<ProcessCondition> = pw
             .focus_nm
             .iter()
-            .map(|&defocus_nm| {
-                let at_focus = ProcessCondition {
-                    defocus_nm,
-                    dose: 1.0,
-                };
-                simulator.for_condition(&at_focus).ok_or_else(|| {
+            .map(|&defocus_nm| ProcessCondition {
+                defocus_nm,
+                dose: 1.0,
+            })
+            .collect();
+        // Engines whose specialization is a network dispatch go through the
+        // batcher, which may merge this request's conditions with those of
+        // other in-flight requests into one deduplicated `Cmlp::infer_batch`
+        // call and share the resulting engines. The per-slot results are
+        // bit-identical to private `for_condition` calls, so the response
+        // cannot observe the merge.
+        let specialized: Vec<Option<SharedEngine>> =
+            if self.cross_request_batching && simulator.batches_conditions() {
+                self.batcher
+                    .specialize(&info.name, &focus_conditions, |name, stacked| {
+                        match self.registry.get(name) {
+                            Some((_, engine)) => engine.for_conditions(stacked),
+                            None => stacked.iter().map(|_| None).collect(),
+                        }
+                    })
+            } else {
+                simulator
+                    .for_conditions(&focus_conditions)
+                    .into_iter()
+                    .map(|slot| slot.map(SharedEngine::from))
+                    .collect()
+            };
+        let focus_engines: Vec<SharedEngine> = specialized
+            .into_iter()
+            .zip(&focus_conditions)
+            .map(|(engine, at_focus)| {
+                engine.ok_or_else(|| {
                     ServiceError::bad_request(format!(
                         "model {:?} cannot serve condition {at_focus} \
                          (nominal-only model; train a conditioned model)",
@@ -456,13 +546,41 @@ mod tests {
     }
 
     #[test]
-    fn healthz_reports_models() {
+    fn healthz_reports_models_and_serving_metrics() {
         let service = service();
+        service.metrics().record_completion(12);
+        service
+            .metrics()
+            .shed
+            .fetch_add(2, std::sync::atomic::Ordering::Relaxed);
         let response = service.handle(&request("GET", "/healthz", ""));
         assert_eq!(response.status, 200);
         let doc = parse_body(&response);
         assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
         assert_eq!(doc.get("models").and_then(Json::as_usize), Some(1));
+        assert_eq!(doc.get("queue_depth").and_then(Json::as_usize), Some(0));
+        assert_eq!(doc.get("in_flight").and_then(Json::as_usize), Some(0));
+        assert_eq!(doc.get("served").and_then(Json::as_usize), Some(1));
+        assert_eq!(doc.get("shed").and_then(Json::as_usize), Some(2));
+        assert_eq!(doc.get("deadline_misses").and_then(Json::as_usize), Some(0));
+        let latency = doc.get("latency_ms").expect("latency object");
+        assert_eq!(latency.get("count").and_then(Json::as_usize), Some(1));
+        assert_eq!(latency.get("p50").and_then(Json::as_usize), Some(20));
+        assert_eq!(latency.get("p99").and_then(Json::as_usize), Some(20));
+    }
+
+    #[test]
+    fn simulate_response_is_a_pure_function_of_the_request() {
+        // No timing fields, no counters — byte-identical on repeat, which is
+        // what lets the serving tier pin event-loop bytes against the serial
+        // reference.
+        let service = service();
+        let body = r#"{"mask":{"rows":48,"cols":48,"rects":[[8,8,40,24]]},"outputs":["resist"]}"#;
+        let first = service.handle(&request("POST", "/v1/simulate", body));
+        let second = service.handle(&request("POST", "/v1/simulate", body));
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body, second.body);
+        assert!(parse_body(&first).get("elapsed_ms").is_none());
     }
 
     #[test]
@@ -624,6 +742,10 @@ mod tests {
             "{}",
             String::from_utf8_lossy(&response.body)
         );
+        // The conditioned engine specializes through the batcher; repeating
+        // the request must reproduce the response byte for byte.
+        let again = service.handle(&request("POST", "/v1/process_window", body));
+        assert_eq!(response.body, again.body);
         let parsed =
             crate::pw::ProcessWindowResponse::from_json(&parse_body(&response)).expect("typed");
         assert_eq!(parsed.model, "nitho");

@@ -70,15 +70,18 @@ fn main() {
         },
         "outputs": ["resist"]
     }"#;
+    // Responses carry no timing field (bytes are a pure function of the
+    // request); time the round trip on the client side instead.
+    let sent = std::time::Instant::now();
     let (status, body) =
         http_request(addr, "POST", "/v1/simulate", Some(simulate)).expect("simulate");
+    let round_trip_ms = sent.elapsed().as_secs_f64() * 1e3;
     let doc = Json::parse(&body).expect("simulate JSON");
     println!(
-        "POST /v1/simulate -> {status}: {} tiles, grid {:?}, halo {} px, {:.1} ms",
+        "POST /v1/simulate -> {status}: {} tiles, grid {:?}, halo {} px, {round_trip_ms:.1} ms round trip",
         doc.get("tiles").and_then(Json::as_usize).unwrap_or(0),
         doc.get("grid").map(|g| g.to_string()).unwrap_or_default(),
         doc.get("halo_px").and_then(Json::as_usize).unwrap_or(0),
-        doc.get("elapsed_ms").and_then(Json::as_f64).unwrap_or(0.0),
     );
 
     let rows = doc.get("rows").and_then(Json::as_usize).expect("rows");

@@ -1,0 +1,125 @@
+//! `serve_load` — closed-loop load client for a running `nitho-serve`.
+//!
+//! Fires a mixed request stream (`/healthz`, `/v1/models`, `/v1/simulate`)
+//! at an already-listening server and reports throughput and latency
+//! percentiles. Exits non-zero on any *unexpected* failure (transport
+//! error or non-2xx/non-503 status) so CI can use it as a smoke gate;
+//! 503 load-sheds are counted but tolerated — that is the server working
+//! as designed.
+//!
+//! ```text
+//! cargo run --release --example serve_load -- \
+//!     --addr 127.0.0.1:8425 [--requests 64] [--concurrency 8]
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use litho_serve::{drive, RequestSpec};
+
+struct Options {
+    addr: SocketAddr,
+    requests: usize,
+    concurrency: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut addr: Option<SocketAddr> = None;
+    let mut requests = 64usize;
+    let mut concurrency = 8usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => {
+                addr = Some(
+                    value("--addr")?
+                        .parse()
+                        .map_err(|_| "--addr must be HOST:PORT".to_owned())?,
+                )
+            }
+            "--requests" => {
+                requests = value("--requests")?
+                    .parse()
+                    .map_err(|_| "--requests must be a positive integer".to_owned())?
+            }
+            "--concurrency" => {
+                concurrency = value("--concurrency")?
+                    .parse()
+                    .map_err(|_| "--concurrency must be a positive integer".to_owned())?
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: serve_load --addr HOST:PORT [--requests N] [--concurrency C]"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let addr = addr.ok_or_else(|| "--addr HOST:PORT is required".to_owned())?;
+    if requests == 0 || concurrency == 0 {
+        return Err("--requests and --concurrency must be at least 1".to_owned());
+    }
+    Ok(Options {
+        addr,
+        requests,
+        concurrency,
+    })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // A small mask keeps per-request work light so the run exercises the
+    // admission queue and batching, not raw simulation throughput.
+    let simulate = r#"{
+        "model": "nitho",
+        "mask": {
+            "rows": 64, "cols": 64,
+            "rects": [[8, 8, 56, 24], [8, 40, 56, 56]]
+        },
+        "outputs": ["resist"]
+    }"#;
+    let specs = [
+        RequestSpec::post("/v1/simulate", simulate),
+        RequestSpec::get("/healthz"),
+        RequestSpec::get("/v1/models"),
+    ];
+
+    println!(
+        "serve_load: {} requests at concurrency {} against {}",
+        options.requests, options.concurrency, options.addr
+    );
+    let report = drive(options.addr, options.concurrency, options.requests, &specs);
+    println!(
+        "serve_load: {} ok, {} shed (503), {} failed in {:.2}s — {:.1} req/s, \
+         p50 {} ms, p95 {} ms, p99 {} ms",
+        report.ok,
+        report.shed,
+        report.failed,
+        report.elapsed.as_secs_f64(),
+        report.throughput_rps(),
+        report.p50_ms(),
+        report.p95_ms(),
+        report.p99_ms(),
+    );
+    if report.failed > 0 {
+        eprintln!("serve_load: {} unexpected failures", report.failed);
+        return ExitCode::FAILURE;
+    }
+    if report.ok == 0 {
+        eprintln!("serve_load: every request was shed; nothing was served");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

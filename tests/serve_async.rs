@@ -1,0 +1,272 @@
+//! Byte-identity contract of the event-loop serving tier.
+//!
+//! The async tier (non-blocking event loop + bounded queue + worker pool +
+//! cross-request condition batching) must produce responses that are
+//! byte-for-byte identical to the serial `Service::handle` reference, for
+//! any worker count, queue depth, intra-tile thread count and request
+//! arrival order. `/healthz` is deliberately excluded from the identity
+//! set — it reports live serving metrics and is *supposed* to change.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use litho_optics::{HopkinsSimulator, OpticalConfig};
+use litho_serve::{
+    http_request, HttpServer, ModelRegistry, Request, ServeConfig, ServerMetrics, Service,
+};
+
+/// Registry with every engine kind the wire protocol can exercise: a
+/// rigorous Hopkins reference and a conditioned (untrained, deterministic)
+/// Nitho model so `/v1/process_window` runs through the condition batcher.
+fn shared_service() -> Arc<Service> {
+    let optics = OpticalConfig::builder()
+        .tile_px(64)
+        .pixel_nm(8.0)
+        .kernel_count(6)
+        .build();
+    let mut model = nitho::NithoModel::new(
+        nitho::NithoConfig {
+            kernel_side: Some(9),
+            condition: Some(nitho::ConditionEncoding::default()),
+            ..nitho::NithoConfig::fast()
+        },
+        &optics,
+    );
+    model.refresh_kernels();
+    let mut registry = ModelRegistry::new();
+    registry.register_nitho("nitho", model);
+    registry.register_hopkins("hopkins", HopkinsSimulator::new(&optics));
+    Arc::new(Service::new(registry))
+}
+
+/// The mixed-endpoint request set: simulation on both engines, a batched
+/// process-window sweep, metadata, and client errors (404 model, 400 body).
+fn request_mix() -> Vec<(&'static str, &'static str, Option<&'static str>)> {
+    vec![
+        (
+            "POST",
+            "/v1/simulate",
+            Some(
+                r#"{"model":"hopkins","mask":{"rows":96,"cols":64,
+                    "rects":[[8,8,88,24],[8,40,48,56]]},"outputs":["resist"]}"#,
+            ),
+        ),
+        (
+            "POST",
+            "/v1/simulate",
+            Some(
+                r#"{"model":"nitho","mask":{"rows":64,"cols":64,
+                    "rects":[[16,8,48,24],[16,40,48,56]]}}"#,
+            ),
+        ),
+        (
+            "POST",
+            "/v1/process_window",
+            Some(
+                r#"{"model":"nitho","mask":{"rows":48,"cols":48,
+                    "rects":[[8,8,40,24]]},"focus_nm":[-50,0,50],"dose":[1.0]}"#,
+            ),
+        ),
+        (
+            "POST",
+            "/v1/process_window",
+            Some(
+                r#"{"model":"nitho","mask":{"rows":48,"cols":48,
+                    "rects":[[8,24,40,40]]},"focus_nm":[0,60]}"#,
+            ),
+        ),
+        ("GET", "/v1/models", None),
+        (
+            "POST",
+            "/v1/simulate",
+            Some(r#"{"model":"nope","mask":{"rows":64,"cols":64,"rects":[[0,0,8,8]]}}"#),
+        ),
+        ("POST", "/v1/process_window", Some("not json")),
+        ("GET", "/nowhere", None),
+    ]
+}
+
+/// Serial reference: `(status, body)` per spec straight through
+/// `Service::handle`, no sockets, no queue, no workers.
+fn serial_reference(service: &Service) -> Vec<(u16, String)> {
+    request_mix()
+        .iter()
+        .map(|(method, path, body)| {
+            let response = service.handle(&Request {
+                method: (*method).to_owned(),
+                path: (*path).to_owned(),
+                headers: Vec::new(),
+                body: body.unwrap_or("").as_bytes().to_vec(),
+            });
+            (
+                response.status,
+                String::from_utf8(response.body.clone()).expect("UTF-8 body"),
+            )
+        })
+        .collect()
+}
+
+/// Starts the event tier for `service` with the given shape and drives
+/// `rounds` copies of the request mix from `clients` concurrent clients,
+/// returning `(spec index, status, body)` observations.
+fn drive_event_tier(
+    service: &Arc<Service>,
+    workers: usize,
+    queue_depth: usize,
+    threads: usize,
+    clients: usize,
+    rounds: usize,
+    order: &[usize],
+) -> Vec<(usize, u16, String)> {
+    let mix = request_mix();
+    assert_eq!(order.len(), mix.len(), "order must permute the mix");
+    let server = HttpServer::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let config = ServeConfig {
+        workers,
+        queue_depth,
+        ..ServeConfig::default()
+    };
+    let metrics = Arc::new(ServerMetrics::new());
+    let handler_service = Arc::clone(service);
+    let join = std::thread::spawn(move || {
+        litho_parallel::with_threads(threads, || {
+            server.serve_event(&config, &metrics, move |request| {
+                handler_service.handle(request)
+            });
+        });
+    });
+
+    let total = mix.len() * rounds;
+    let next = AtomicUsize::new(0);
+    let observed = Mutex::new(Vec::with_capacity(total));
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| loop {
+                let slot = next.fetch_add(1, Ordering::Relaxed);
+                if slot >= total {
+                    break;
+                }
+                let spec = order[slot % order.len()];
+                let (method, path, body) = mix[spec];
+                let (status, response) = http_request(addr, method, path, body).expect("transport");
+                observed.lock().unwrap().push((spec, status, response));
+            });
+        }
+    });
+
+    shutdown.shutdown();
+    join.join().expect("event loop exits");
+    observed.into_inner().unwrap()
+}
+
+#[test]
+fn event_tier_is_byte_identical_to_serial_reference() {
+    let service = shared_service();
+    let reference = serial_reference(&service);
+    let identity = request_mix().len();
+
+    // Worker pool shapes × intra-tile thread counts × arrival orders. The
+    // forward and reversed orders bracket the permutation space; concurrent
+    // clients randomise true arrival order within each run anyway.
+    let forward: Vec<usize> = (0..identity).collect();
+    let reversed: Vec<usize> = (0..identity).rev().collect();
+    let shapes = [
+        (1usize, 4usize, 1usize, &forward),
+        (2, 8, 2, &reversed),
+        (4, 16, 4, &forward),
+    ];
+    for (workers, queue_depth, threads, order) in shapes {
+        let observed = drive_event_tier(&service, workers, queue_depth, threads, 4, 2, order);
+        assert_eq!(observed.len(), identity * 2);
+        for (spec, status, body) in &observed {
+            let (want_status, want_body) = &reference[*spec];
+            assert_eq!(
+                (status, body.as_str()),
+                (want_status, want_body.as_str()),
+                "spec {spec} diverged under workers={workers} \
+                 queue={queue_depth} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn arrival_order_permutations_do_not_change_any_response_byte() {
+    let service = shared_service();
+    let reference = serial_reference(&service);
+    let mix_len = request_mix().len();
+
+    // Sequential passes in rotated orders: each request's bytes must be a
+    // pure function of the request, never of what was served before it —
+    // the condition batcher must not leak one request's conditions into
+    // another's response.
+    let mut order: Vec<usize> = (0..mix_len).collect();
+    for rotation in 0..3 {
+        order.rotate_left(1 + rotation % 2);
+        let observed = drive_event_tier(&service, 2, 8, 1, 1, 1, &order);
+        for (spec, status, body) in &observed {
+            let (want_status, want_body) = &reference[*spec];
+            assert_eq!(
+                (status, body.as_str()),
+                (want_status, want_body.as_str()),
+                "spec {spec} diverged in rotation {rotation}"
+            );
+        }
+    }
+}
+
+#[test]
+fn shutdown_drains_in_flight_simulate() {
+    let service = shared_service();
+    let server = HttpServer::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        ..ServeConfig::default()
+    };
+    let metrics = Arc::new(ServerMetrics::new());
+    let entered = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let handler_entered = Arc::clone(&entered);
+    let handler_release = Arc::clone(&release);
+    let handler_service = Arc::clone(&service);
+    let join = std::thread::spawn(move || {
+        server.serve_event(&config, &metrics, move |request| {
+            handler_entered.store(true, Ordering::SeqCst);
+            while !handler_release.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            handler_service.handle(request)
+        });
+    });
+
+    // A real /v1/simulate that is provably in flight when shutdown lands.
+    let body = r#"{"model":"hopkins","mask":{"rows":64,"cols":64,"rects":[[8,8,56,24]]}}"#;
+    let client = std::thread::spawn(move || {
+        http_request(addr, "POST", "/v1/simulate", Some(body)).expect("in-flight simulate")
+    });
+    while !entered.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    shutdown.shutdown();
+    release.store(true, Ordering::SeqCst);
+
+    let (status, response) = client.join().expect("client thread");
+    assert_eq!(status, 200, "{response}");
+    assert!(response.contains("\"tiles\""), "{response}");
+    join.join().expect("event loop drains and exits");
+
+    // The reply matches the serial reference even though it crossed a
+    // shutdown boundary.
+    let reference = service.handle(&Request {
+        method: "POST".to_owned(),
+        path: "/v1/simulate".to_owned(),
+        headers: Vec::new(),
+        body: body.as_bytes().to_vec(),
+    });
+    assert_eq!(response.as_bytes(), &reference.body[..]);
+}

@@ -3,8 +3,10 @@
 //! shutdown — the same exchange the CI smoke job drives against the
 //! `nitho-serve` binary.
 
+use std::sync::Arc;
+
 use litho_optics::{HopkinsSimulator, OpticalConfig};
-use litho_serve::{http_request, HttpServer, Json, ModelRegistry, Response, Service};
+use litho_serve::{http_request, HttpServer, Json, ModelRegistry, Response, ServeConfig, Service};
 
 fn start_service() -> (
     std::net::SocketAddr,
@@ -101,4 +103,69 @@ fn simulate_roundtrip_over_real_sockets() {
     assert_eq!(status, 200);
     assert!(body.contains("shutting down"));
     join.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn event_tier_roundtrip_matches_blocking_tier() {
+    // The same exchange as above, served once by the blocking
+    // thread-per-connection tier and once by the event-loop tier: the
+    // /v1/simulate bytes must be identical, and the event tier's /healthz
+    // must report its serving metrics.
+    let optics = OpticalConfig::builder()
+        .tile_px(64)
+        .pixel_nm(8.0)
+        .kernel_count(6)
+        .build();
+    let mut registry = ModelRegistry::new();
+    registry.register_hopkins("hopkins", HopkinsSimulator::new(&optics));
+    let service = Arc::new(Service::new(registry));
+    let request_body = r#"{
+        "model": "hopkins",
+        "mask": {"rows": 96, "cols": 96, "rects": [[16, 16, 80, 40], [16, 56, 48, 80]]}
+    }"#;
+
+    // Blocking tier.
+    let server = HttpServer::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let shutdown = server.shutdown_handle();
+    let blocking_service = Arc::clone(&service);
+    let join = std::thread::spawn(move || {
+        server.serve(move |request| blocking_service.handle(request));
+    });
+    let (status, blocking_body) =
+        http_request(addr, "POST", "/v1/simulate", Some(request_body)).expect("simulate");
+    assert_eq!(status, 200, "{blocking_body}");
+    shutdown.shutdown();
+    join.join().expect("blocking server exits");
+
+    // Event tier, same service.
+    let server = HttpServer::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let shutdown = server.shutdown_handle();
+    let config = ServeConfig {
+        workers: 2,
+        queue_depth: 8,
+        ..ServeConfig::default()
+    };
+    let metrics = service.metrics().clone();
+    let event_service = Arc::clone(&service);
+    let join = std::thread::spawn(move || {
+        server.serve_event(&config, &metrics, move |request| {
+            event_service.handle(request)
+        });
+    });
+    let (status, event_body) =
+        http_request(addr, "POST", "/v1/simulate", Some(request_body)).expect("simulate");
+    assert_eq!(status, 200, "{event_body}");
+    assert_eq!(event_body, blocking_body, "tiers must agree byte for byte");
+
+    let (status, health) = http_request(addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&health).expect("healthz JSON");
+    assert_eq!(doc.get("workers").and_then(Json::as_usize), Some(2));
+    assert_eq!(doc.get("queue_capacity").and_then(Json::as_usize), Some(8));
+    assert!(doc.get("served").and_then(Json::as_usize).expect("served") >= 1);
+    assert!(doc.get("latency_ms").is_some(), "{health}");
+    shutdown.shutdown();
+    join.join().expect("event server exits");
 }
