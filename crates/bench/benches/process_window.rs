@@ -50,6 +50,21 @@ fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
     start.elapsed().as_secs_f64() * 1e3 / iters as f64
 }
 
+/// Minimum single-iteration wall time in milliseconds (1 warm-up + `iters`
+/// timed). The min is the right statistic for an overhead *ratio*: scheduler
+/// noise only ever adds time, so the per-state minima compare the two
+/// configurations at their least-perturbed.
+fn min_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
 /// Peak heap growth of one warm pass, in bytes (1 warm-up + 1 measured).
 fn peak_bytes(mut f: impl FnMut()) -> u64 {
     f();
@@ -135,6 +150,14 @@ fn bench_process_window(c: &mut Criterion) {
     let rigorous_ms = time_ms(3, rigorous_sweep);
     let streamed_peak = peak_bytes(streamed_sweep);
     let materialized_peak = peak_bytes(materialized_sweep);
+
+    // Instrumentation budget: the same streamed sweep with the metrics
+    // registry enabled vs disabled. CI pins the ratio below 1.03.
+    litho_obs::set_enabled(false);
+    let obs_off_ms = min_ms(3, streamed_sweep);
+    litho_obs::set_enabled(true);
+    let obs_on_ms = min_ms(3, streamed_sweep);
+    let obs_overhead_ratio = obs_on_ms / obs_off_ms;
     let json = format!(
         "{{\n  \"bench\": \"process_window\",\n  \"tile_px\": {tile_px},\n  \
          \"kernel_count\": 8,\n  \"focus_steps\": {focus_steps},\n  \
@@ -144,6 +167,9 @@ fn bench_process_window(c: &mut Criterion) {
          \"speedup\": {:.3},\n  \
          \"streamed_peak_bytes\": {streamed_peak},\n  \
          \"materialized_peak_bytes\": {materialized_peak},\n  \
+         \"obs_on_ms\": {obs_on_ms:.3},\n  \
+         \"obs_off_ms\": {obs_off_ms:.3},\n  \
+         \"obs_overhead_ratio\": {obs_overhead_ratio:.3},\n  \
          \"pvb_peak_ratio\": {:.3}\n}}\n",
         conditions.len(),
         rigorous_ms / nitho_ms,

@@ -8,6 +8,31 @@
 
 use litho_autodiff::{NodeId, ParamId, ParamStore, Tape};
 use litho_math::{soa, ComplexMatrix, DeterministicRng};
+use litho_obs::{Counter, Histogram};
+
+/// Batched tape-free inference dispatches ([`Cmlp::infer_batch`] calls).
+static INFER_DISPATCHES_TOTAL: Counter = Counter::new(
+    "litho_cmlp_infer_dispatches_total",
+    "batched tape-free CMLP inference dispatches",
+);
+/// Inputs per dispatch — how well the serving tier amortizes one weight
+/// stream over concurrent conditions.
+static INFER_BATCH_SIZE: Histogram = Histogram::new(
+    "litho_cmlp_infer_batch_size",
+    "inputs per batched CMLP inference dispatch",
+    &[1, 2, 4, 8, 16, 32, 64, 128, u64::MAX],
+);
+
+/// Registers this crate's metrics with the `litho_obs` registry. Idempotent.
+pub fn register_metrics() {
+    litho_obs::register(&INFER_DISPATCHES_TOTAL);
+    litho_obs::register(&INFER_BATCH_SIZE);
+}
+
+/// Process-wide count of batched inference dispatches.
+pub fn total_infer_dispatches() -> u64 {
+    INFER_DISPATCHES_TOTAL.get()
+}
 
 /// Architecture of a [`Cmlp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,6 +226,9 @@ impl Cmlp {
         if inputs.is_empty() {
             return Vec::new();
         }
+        let _span = litho_obs::span("cmlp.infer_batch");
+        INFER_DISPATCHES_TOTAL.inc();
+        INFER_BATCH_SIZE.record(inputs.len() as u64);
         let mut prepared = self.prepare();
 
         // Inputs at least one block tall already amortize the weight stream

@@ -785,6 +785,8 @@ fn synthesize_aerial_from_spectrum_into(
         rows >= dims.rows && cols >= dims.cols,
         "output resolution is smaller than the kernel grid"
     );
+    let _span = litho_obs::span("socs.aerial");
+    litho_optics::socs::record_synthesis(kernels.len());
     let scale = ((rows * cols) as f64 / mask_pixels as f64).powi(2);
     out.as_mut_slice().fill(0.0);
     litho_fft::soa::accumulate_socs_intensity(kernels, cropped, out);

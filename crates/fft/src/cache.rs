@@ -22,11 +22,51 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use litho_math::Complex64;
+use litho_obs::Counter;
 
 use crate::plan::FftPlan;
 
 static RADIX2_PLANS: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
 static BLUESTEIN_PLANS: OnceLock<Mutex<HashMap<usize, Arc<BluesteinPlan>>>> = OnceLock::new();
+
+/// Process-wide mirror of the per-thread transform counters: total 1-D
+/// radix-2 kernel executions across all threads. The thread-locals stay the
+/// exact accounting primitive for tests; this registry counter is the
+/// operational aggregate surfaced on `/metrics`.
+static FFT_1D_TRANSFORMS_TOTAL: Counter = Counter::new(
+    "litho_fft_1d_transforms_total",
+    "1-D radix-2 FFT kernel executions across all threads",
+);
+static PLAN_CACHE_HITS_TOTAL: Counter = Counter::new(
+    "litho_fft_plan_cache_hits_total",
+    "FFT plan-cache lookups that found an existing plan",
+);
+static PLAN_CACHE_MISSES_TOTAL: Counter = Counter::new(
+    "litho_fft_plan_cache_misses_total",
+    "FFT plan-cache lookups that had to build a new plan",
+);
+
+/// Registers this crate's metrics with the `litho_obs` registry. Idempotent.
+pub fn register_metrics() {
+    litho_obs::register(&FFT_1D_TRANSFORMS_TOTAL);
+    litho_obs::register(&PLAN_CACHE_HITS_TOTAL);
+    litho_obs::register(&PLAN_CACHE_MISSES_TOTAL);
+}
+
+/// Process-wide total of 1-D radix-2 kernel executions (all threads).
+pub fn total_fft_1d_transforms() -> u64 {
+    FFT_1D_TRANSFORMS_TOTAL.get()
+}
+
+/// Process-wide plan-cache hit count.
+pub fn plan_cache_hits() -> u64 {
+    PLAN_CACHE_HITS_TOTAL.get()
+}
+
+/// Process-wide plan-cache miss count (one per plan actually built).
+pub fn plan_cache_misses() -> u64 {
+    PLAN_CACHE_MISSES_TOTAL.get()
+}
 
 thread_local! {
     /// Reused Bluestein convolution scratch (length `m` of the most recent
@@ -62,9 +102,12 @@ pub fn thread_plan_requests() -> u64 {
     PLAN_REQUESTS.with(Cell::get)
 }
 
-/// Records `n` executed 1-D transforms for this thread.
+/// Records `n` executed 1-D transforms for this thread (and the process-wide
+/// registry mirror). The thread-local update is unconditional so the
+/// spectrum-reuse pins hold regardless of `NITHO_METRICS`.
 pub(crate) fn record_1d_transforms(n: u64) {
     FFT_1D_TRANSFORMS.with(|c| c.set(c.get() + n));
+    FFT_1D_TRANSFORMS_TOTAL.add(n);
 }
 
 fn record_plan_request() {
@@ -80,6 +123,11 @@ pub fn plan_for(len: usize) -> Arc<FftPlan> {
     record_plan_request();
     let cache = RADIX2_PLANS.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = cache.lock().expect("FFT plan cache poisoned");
+    if map.contains_key(&len) {
+        PLAN_CACHE_HITS_TOTAL.inc();
+    } else {
+        PLAN_CACHE_MISSES_TOTAL.inc();
+    }
     Arc::clone(
         map.entry(len)
             .or_insert_with(|| Arc::new(FftPlan::new(len))),
@@ -95,6 +143,11 @@ pub fn bluestein_plan_for(len: usize) -> Arc<BluesteinPlan> {
     record_plan_request();
     let cache = BLUESTEIN_PLANS.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = cache.lock().expect("Bluestein plan cache poisoned");
+    if map.contains_key(&len) {
+        PLAN_CACHE_HITS_TOTAL.inc();
+    } else {
+        PLAN_CACHE_MISSES_TOTAL.inc();
+    }
     Arc::clone(
         map.entry(len)
             .or_insert_with(|| Arc::new(BluesteinPlan::new(len))),

@@ -1,0 +1,40 @@
+//! Pipeline-wide observability substrate for the Nitho workspace.
+//!
+//! Every performance-critical layer (FFT plan cache, SOCS synthesis, batched
+//! CMLP inference, the condition batcher, the parallel engine, the serving
+//! tier) reports into the two facilities here:
+//!
+//! * [`registry`] — an atomics-based metrics registry: monotone
+//!   [`Counter`]s, [`Gauge`]s and fixed-bucket [`Histogram`]s declared as
+//!   `static` items in the instrumented crates, registered once, and
+//!   rendered on demand in Prometheus text exposition format
+//!   ([`render_prometheus`]). The hot path is a relaxed atomic op — no
+//!   locks, no heap allocation after registration (pinned by
+//!   `tests/hot_path_alloc.rs` under the workspace counting allocator).
+//! * [`trace`] — a lightweight span layer: RAII [`trace::SpanGuard`] stage
+//!   guards push `(name, thread, start, duration)` events into a bounded,
+//!   preallocated ring buffer, exported as Chrome `trace_event` JSON
+//!   (`chrome://tracing` / Perfetto loadable). Activated by
+//!   `NITHO_TRACE=<path>` and dumped on shutdown; when inactive a span
+//!   costs one relaxed atomic load.
+//!
+//! # Out-of-band contract
+//!
+//! Nothing in this crate may influence the *bytes* of a `/v1/*` response:
+//! metrics and traces are observation only, surfaced exclusively through
+//! `GET /metrics`, `/healthz` and the trace dump. The serving tier's
+//! byte-identity pins (`tests/serve_async.rs`) hold with instrumentation
+//! enabled, and the `NITHO_METRICS=0` kill switch exists so the benches can
+//! measure the (budgeted, CI-checked) overhead, not so correctness depends
+//! on it. See DESIGN.md §11.
+
+#![forbid(unsafe_code)]
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{
+    enabled, metric_count, register, render_prometheus, set_enabled, Counter, Gauge, Histogram,
+    Metric,
+};
+pub use trace::{span, SpanGuard};

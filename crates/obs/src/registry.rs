@@ -1,0 +1,508 @@
+//! Atomics-based metrics registry with Prometheus text exposition.
+//!
+//! Instrumented crates declare metrics as `static` items (`const fn`
+//! constructors, so no lazy initialization on the hot path) and register
+//! them once through [`register`]. Recording is a relaxed atomic operation;
+//! rendering walks the registered list and emits the
+//! [Prometheus text exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/)
+//! (`# HELP` / `# TYPE` comments, `_bucket{le=…}` / `_sum` / `_count`
+//! histogram series).
+//!
+//! Metrics that share a family name (e.g. per-endpoint latency histograms
+//! differing only in their label set) are grouped under one `# TYPE` block
+//! regardless of registration order.
+//!
+//! The `NITHO_METRICS` environment variable (read once; `0`/`false`/`off`/
+//! `no` disable) gates every recording call so the benches can A/B the
+//! instrumentation overhead; [`set_enabled`] overrides it in-process.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+
+/// Upper bound on histogram buckets (including the `+Inf` bucket).
+pub const MAX_BUCKETS: usize = 32;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static ENABLED_INIT: Once = Once::new();
+
+/// `true` when metric recording is on (the default). Controlled by
+/// `NITHO_METRICS` (read once on first use) and [`set_enabled`].
+pub fn enabled() -> bool {
+    ENABLED_INIT.call_once(|| {
+        if let Ok(value) = std::env::var("NITHO_METRICS") {
+            let value = value.trim().to_ascii_lowercase();
+            if matches!(value.as_str(), "0" | "false" | "off" | "no") {
+                ENABLED.store(false, Ordering::Relaxed);
+            }
+        }
+    });
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Force-enables or disables metric recording, overriding `NITHO_METRICS`.
+/// Used by the benches to measure instrumentation overhead; already-recorded
+/// values are kept either way.
+pub fn set_enabled(on: bool) {
+    ENABLED_INIT.call_once(|| {});
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// How a metric's integer payload is rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Unit {
+    /// Render the raw `u64`.
+    Int,
+    /// The counter accumulates nanoseconds; render as fractional seconds.
+    NanosAsSeconds,
+}
+
+fn write_value(out: &mut String, value: u64, unit: Unit) {
+    match unit {
+        Unit::Int => {
+            let _ = write!(out, "{value}");
+        }
+        Unit::NanosAsSeconds => {
+            let _ = write!(out, "{:.9}", value as f64 / 1e9);
+        }
+    }
+}
+
+/// A registrable metric: a family name, help text, a Prometheus type, and a
+/// renderer for its sample lines (everything after the `# TYPE` comment).
+pub trait Metric: Sync {
+    /// Metric family name (without label set).
+    fn name(&self) -> &'static str;
+    /// One-line help text.
+    fn help(&self) -> &'static str;
+    /// Prometheus type: `counter`, `gauge` or `histogram`.
+    fn type_name(&self) -> &'static str;
+    /// Appends this metric's sample lines to `out`.
+    fn render(&self, out: &mut String);
+}
+
+static REGISTRY: OnceLock<Mutex<Vec<&'static dyn Metric>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<Vec<&'static dyn Metric>> {
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers a metric for exposition. Registering the same `static` twice is
+/// a no-op (deduplicated by address), so per-crate `register_metrics()` hooks
+/// are safely callable from multiple entry points.
+pub fn register(metric: &'static dyn Metric) {
+    let mut metrics = registry().lock().unwrap_or_else(|p| p.into_inner());
+    let new_ptr = metric as *const dyn Metric as *const ();
+    if metrics
+        .iter()
+        .any(|m| std::ptr::eq(*m as *const dyn Metric as *const (), new_ptr))
+    {
+        return;
+    }
+    metrics.push(metric);
+}
+
+/// Number of registered metrics (label variants counted individually).
+pub fn metric_count() -> usize {
+    registry().lock().unwrap_or_else(|p| p.into_inner()).len()
+}
+
+/// Renders every registered metric in Prometheus text exposition format.
+/// Metrics sharing a family name are grouped under one `# HELP`/`# TYPE`
+/// block, in first-registration order.
+pub fn render_prometheus() -> String {
+    let metrics = registry().lock().unwrap_or_else(|p| p.into_inner());
+    let mut families: Vec<&'static str> = Vec::new();
+    for metric in metrics.iter() {
+        if !families.contains(&metric.name()) {
+            families.push(metric.name());
+        }
+    }
+    let mut out = String::new();
+    for family in families {
+        let mut first = true;
+        for metric in metrics.iter().filter(|m| m.name() == family) {
+            if first {
+                let _ = writeln!(out, "# HELP {} {}", family, metric.help());
+                let _ = writeln!(out, "# TYPE {} {}", family, metric.type_name());
+                first = false;
+            }
+            metric.render(&mut out);
+        }
+    }
+    out
+}
+
+/// A monotone counter (relaxed atomic adds; recording is gated on
+/// [`enabled`], reading is not).
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    help: &'static str,
+    /// Label set without braces (e.g. `endpoint="/v1/simulate"`), or `""`.
+    label: &'static str,
+    unit: Unit,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// An unlabelled integer counter.
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self::with_label(name, help, "")
+    }
+
+    /// A counter with a fixed label set (`label` is the inside of the
+    /// braces, e.g. `endpoint="/v1/simulate"`).
+    pub const fn with_label(name: &'static str, help: &'static str, label: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            label,
+            unit: Unit::Int,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// A counter that accumulates nanoseconds and renders fractional
+    /// seconds (for `…_seconds_total` families).
+    pub const fn seconds_from_nanos(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            label: "",
+            unit: Unit::NanosAsSeconds,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` (no-op while recording is disabled).
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 (no-op while recording is disabled).
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current raw value (nanoseconds for [`Counter::seconds_from_nanos`]).
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Metric for Counter {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn help(&self) -> &'static str {
+        self.help
+    }
+    fn type_name(&self) -> &'static str {
+        "counter"
+    }
+    fn render(&self, out: &mut String) {
+        out.push_str(self.name);
+        if !self.label.is_empty() {
+            let _ = write!(out, "{{{}}}", self.label);
+        }
+        out.push(' ');
+        write_value(out, self.get(), self.unit);
+        out.push('\n');
+    }
+}
+
+/// A last-write-wins gauge (relaxed atomic store; recording is gated on
+/// [`enabled`], reading is not).
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    help: &'static str,
+    label: &'static str,
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// An unlabelled gauge.
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self::with_label(name, help, "")
+    }
+
+    /// A gauge with a fixed label set.
+    pub const fn with_label(name: &'static str, help: &'static str, label: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            label,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the gauge (no-op while recording is disabled).
+    pub fn set(&self, value: u64) {
+        if enabled() {
+            self.value.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Metric for Gauge {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn help(&self) -> &'static str {
+        self.help
+    }
+    fn type_name(&self) -> &'static str {
+        "gauge"
+    }
+    fn render(&self, out: &mut String) {
+        out.push_str(self.name);
+        if !self.label.is_empty() {
+            let _ = write!(out, "{{{}}}", self.label);
+        }
+        let _ = writeln!(out, " {}", self.get());
+    }
+}
+
+/// A fixed-bucket histogram over ascending `u64` upper bounds; a final
+/// `u64::MAX` bound renders as the `+Inf` bucket (one is appended implicitly
+/// when absent, Prometheus requires it). Recording is lock-free: one bucket
+/// increment plus sum/count adds, all relaxed.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    help: &'static str,
+    label: &'static str,
+    bounds: &'static [u64],
+    counts: [AtomicU64; MAX_BUCKETS],
+    sum: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Histogram {
+    /// An unlabelled histogram over `bounds` (ascending, at most
+    /// [`MAX_BUCKETS`] entries).
+    pub const fn new(name: &'static str, help: &'static str, bounds: &'static [u64]) -> Self {
+        Self::with_label(name, help, "", bounds)
+    }
+
+    /// A histogram with a fixed label set (merged with `le` on bucket
+    /// lines).
+    pub const fn with_label(
+        name: &'static str,
+        help: &'static str,
+        label: &'static str,
+        bounds: &'static [u64],
+    ) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(bounds.len() <= MAX_BUCKETS, "too many histogram buckets");
+        Self {
+            name,
+            help,
+            label,
+            bounds,
+            counts: [const { AtomicU64::new(0) }; MAX_BUCKETS],
+            sum: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (no-op while recording is disabled). Values
+    /// above the last bound saturate into it.
+    pub fn record(&self, value: u64) {
+        if !enabled() {
+            return;
+        }
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&upper| value <= upper)
+            .unwrap_or(self.bounds.len() - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Number of observations in bucket `index` (not cumulative).
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.counts[index].load(Ordering::Relaxed)
+    }
+
+    /// The configured bucket upper bounds.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+}
+
+impl Metric for Histogram {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn help(&self) -> &'static str {
+        self.help
+    }
+    fn type_name(&self) -> &'static str {
+        "histogram"
+    }
+    fn render(&self, out: &mut String) {
+        let mut cumulative = 0u64;
+        let bucket_line = |out: &mut String, le: &str, cumulative: u64| {
+            out.push_str(self.name);
+            out.push_str("_bucket{");
+            if !self.label.is_empty() {
+                out.push_str(self.label);
+                out.push(',');
+            }
+            let _ = writeln!(out, "le=\"{le}\"}} {cumulative}");
+        };
+        let mut saw_inf = false;
+        for (index, &bound) in self.bounds.iter().enumerate() {
+            cumulative += self.bucket_count(index);
+            if bound == u64::MAX {
+                bucket_line(out, "+Inf", cumulative);
+                saw_inf = true;
+            } else {
+                bucket_line(out, &bound.to_string(), cumulative);
+            }
+        }
+        if !saw_inf {
+            bucket_line(out, "+Inf", cumulative);
+        }
+        let suffix_line = |out: &mut String, suffix: &str, value: u64| {
+            out.push_str(self.name);
+            out.push_str(suffix);
+            if !self.label.is_empty() {
+                let _ = write!(out, "{{{}}}", self.label);
+            }
+            let _ = writeln!(out, " {value}");
+        };
+        suffix_line(out, "_sum", self.sum());
+        suffix_line(out, "_count", self.count());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static T_COUNTER: Counter = Counter::new("obs_test_counter_total", "a test counter");
+    static T_SECONDS: Counter =
+        Counter::seconds_from_nanos("obs_test_busy_seconds_total", "a nanos counter");
+    static T_GAUGE: Gauge = Gauge::new("obs_test_gauge", "a test gauge");
+    static T_HIST_A: Histogram = Histogram::with_label(
+        "obs_test_latency_ms",
+        "a labelled histogram",
+        "endpoint=\"/a\"",
+        &[1, 5, 10, u64::MAX],
+    );
+    static T_HIST_B: Histogram = Histogram::with_label(
+        "obs_test_latency_ms",
+        "a labelled histogram",
+        "endpoint=\"/b\"",
+        &[1, 5, 10, u64::MAX],
+    );
+
+    #[test]
+    fn counters_gauges_histograms_render_exposition_format() {
+        set_enabled(true);
+        register(&T_COUNTER);
+        register(&T_COUNTER); // double registration is a no-op
+        register(&T_SECONDS);
+        register(&T_HIST_A);
+        register(&T_GAUGE);
+        register(&T_HIST_B); // same family as T_HIST_A, out of order
+
+        T_COUNTER.inc();
+        T_COUNTER.add(2);
+        T_SECONDS.add(1_500_000_000);
+        T_GAUGE.set(7);
+        for v in [0, 1, 2, 7, 10, 11, 1_000_000] {
+            T_HIST_A.record(v);
+        }
+        T_HIST_B.record(3);
+
+        assert_eq!(T_COUNTER.get(), 3);
+        assert_eq!(T_HIST_A.count(), 7);
+        assert_eq!(T_HIST_A.sum(), 1_000_031);
+
+        let text = render_prometheus();
+        assert!(text.contains("# HELP obs_test_counter_total a test counter"));
+        assert!(text.contains("# TYPE obs_test_counter_total counter"));
+        assert!(text.contains("obs_test_counter_total 3"));
+        assert!(text.contains("obs_test_busy_seconds_total 1.500000000"));
+        assert!(text.contains("# TYPE obs_test_gauge gauge"));
+        assert!(text.contains("obs_test_gauge 7"));
+        // Cumulative buckets: ≤1 → {0,1}, ≤5 → +{2}, ≤10 → +{7,10},
+        // +Inf → +{11, 1e6}.
+        assert!(text.contains("obs_test_latency_ms_bucket{endpoint=\"/a\",le=\"1\"} 2"));
+        assert!(text.contains("obs_test_latency_ms_bucket{endpoint=\"/a\",le=\"5\"} 3"));
+        assert!(text.contains("obs_test_latency_ms_bucket{endpoint=\"/a\",le=\"10\"} 5"));
+        assert!(text.contains("obs_test_latency_ms_bucket{endpoint=\"/a\",le=\"+Inf\"} 7"));
+        assert!(text.contains("obs_test_latency_ms_sum{endpoint=\"/a\"} 1000031"));
+        assert!(text.contains("obs_test_latency_ms_count{endpoint=\"/a\"} 7"));
+        assert!(text.contains("obs_test_latency_ms_bucket{endpoint=\"/b\",le=\"5\"} 1"));
+
+        // One HELP/TYPE block per family, even for multi-label families
+        // registered with another family in between.
+        let type_lines = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE obs_test_latency_ms "))
+            .count();
+        assert_eq!(type_lines, 1);
+        // Every line parses as a comment or `name{labels} value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "{line}"
+                );
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!series.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op_and_reenabling_resumes() {
+        static LOCAL: Counter = Counter::new("obs_test_toggle_total", "toggle");
+        set_enabled(true);
+        LOCAL.inc();
+        set_enabled(false);
+        LOCAL.inc();
+        LOCAL.add(10);
+        assert_eq!(LOCAL.get(), 1, "disabled adds must not land");
+        set_enabled(true);
+        LOCAL.inc();
+        assert_eq!(LOCAL.get(), 2);
+    }
+
+    #[test]
+    fn histogram_saturates_at_the_top_bucket() {
+        static SAT: Histogram = Histogram::new("obs_test_sat", "saturation", &[10, 100, u64::MAX]);
+        set_enabled(true);
+        SAT.record(u64::MAX);
+        SAT.record(101);
+        assert_eq!(SAT.bucket_count(2), 2);
+        assert_eq!(SAT.count(), 2);
+    }
+}

@@ -1,0 +1,300 @@
+//! Lightweight span tracing with Chrome `trace_event` export.
+//!
+//! [`span`] returns an RAII [`SpanGuard`]; on drop it records a complete
+//! (`ph: "X"`) event — name, thread, start offset, duration, nesting depth —
+//! into a bounded, preallocated ring buffer that overwrites its oldest
+//! entries under pressure (the hot path never allocates or blocks on I/O).
+//! Thread identity comes from a process-local counter (stable small
+//! integers, so Chrome's per-thread lanes stay readable), and a thread-local
+//! depth counter gives each thread its span stack.
+//!
+//! Tracing is off unless [`init_from_env`] finds `NITHO_TRACE=<path>` (or a
+//! test calls [`init_to`]); when off, a span is one relaxed atomic load.
+//! [`dump`] serializes the ring as Chrome `trace_event` JSON — loadable in
+//! `chrome://tracing` or Perfetto — and is called by `nitho-serve` on
+//! shutdown.
+
+use std::cell::Cell;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Ring capacity in events; the newest events win when the buffer wraps.
+pub const RING_CAPACITY: usize = 65536;
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    name: &'static str,
+    tid: u32,
+    depth: u32,
+    ts_us: u64,
+    dur_us: u64,
+}
+
+struct Ring {
+    events: Vec<Event>,
+    /// Index of the slot the next event lands in once the ring is full.
+    next: usize,
+    /// Events overwritten after the ring wrapped.
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, event: Event) {
+        if self.events.len() < self.events.capacity() {
+            self.events.push(event);
+        } else {
+            self.events[self.next] = event;
+            self.next = (self.next + 1) % self.events.len();
+            self.dropped += 1;
+        }
+    }
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static PATH: OnceLock<PathBuf> = OnceLock::new();
+static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+static BASE: OnceLock<Instant> = OnceLock::new();
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static THREAD_TID: Cell<u32> = const { Cell::new(0) };
+    static SPAN_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn thread_tid() -> u32 {
+    THREAD_TID.with(|cell| {
+        let mut tid = cell.get();
+        if tid == 0 {
+            tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            cell.set(tid);
+        }
+        tid
+    })
+}
+
+fn ring() -> &'static Mutex<Ring> {
+    RING.get_or_init(|| {
+        Mutex::new(Ring {
+            events: Vec::with_capacity(RING_CAPACITY),
+            next: 0,
+            dropped: 0,
+        })
+    })
+}
+
+/// Activates tracing when `NITHO_TRACE=<path>` is set; returns the dump
+/// path if so. Safe to call more than once (first path wins).
+pub fn init_from_env() -> Option<PathBuf> {
+    let path = std::env::var_os("NITHO_TRACE")?;
+    if path.is_empty() {
+        return None;
+    }
+    Some(init_to(PathBuf::from(path)))
+}
+
+/// Activates tracing with an explicit dump path (tests and embedding
+/// binaries). The first call's path wins; later calls keep tracing active.
+pub fn init_to(path: PathBuf) -> PathBuf {
+    let chosen = PATH.get_or_init(|| path).clone();
+    BASE.get_or_init(Instant::now);
+    let _ = ring();
+    ACTIVE.store(true, Ordering::Release);
+    chosen
+}
+
+/// `true` once tracing has been activated.
+pub fn tracing_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Number of events lost to ring overwrite so far.
+pub fn dropped_events() -> u64 {
+    if !tracing_active() {
+        return 0;
+    }
+    ring().lock().unwrap_or_else(|p| p.into_inner()).dropped
+}
+
+/// Opens a span named `name`; the span records itself when the guard
+/// drops. When tracing is inactive this is one relaxed atomic load.
+#[must_use = "a span measures the scope of its guard; dropping it immediately records nothing useful"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !tracing_active() {
+        return SpanGuard { name, start: None };
+    }
+    SPAN_DEPTH.with(|depth| depth.set(depth.get() + 1));
+    SpanGuard {
+        name,
+        start: Some(Instant::now()),
+    }
+}
+
+/// RAII guard returned by [`span`]; records a complete event on drop.
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let depth = SPAN_DEPTH.with(|depth| {
+            let d = depth.get();
+            depth.set(d.saturating_sub(1));
+            d
+        });
+        let base = *BASE.get_or_init(Instant::now);
+        let ts_us = start.saturating_duration_since(base).as_micros() as u64;
+        let dur_us = start.elapsed().as_micros() as u64;
+        let event = Event {
+            name: self.name,
+            tid: thread_tid(),
+            depth,
+            ts_us,
+            dur_us,
+        };
+        ring().lock().unwrap_or_else(|p| p.into_inner()).push(event);
+    }
+}
+
+fn escape_json(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn render_chrome_json(events: &[Event], dropped: u64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_json(&mut out, event.name);
+        let _ = write!(
+            out,
+            "\",\"cat\":\"nitho\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"depth\":{}}}}}",
+            event.ts_us, event.dur_us, event.tid, event.depth
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"droppedEvents\":{dropped}}}}}"
+    );
+    out
+}
+
+/// Writes the collected spans as Chrome `trace_event` JSON to the path
+/// chosen at init. Returns `Ok(None)` when tracing was never activated.
+/// Events are emitted in timestamp order, so a wrapped ring still loads.
+pub fn dump() -> std::io::Result<Option<PathBuf>> {
+    if !tracing_active() {
+        return Ok(None);
+    }
+    let path = PATH.get().expect("tracing active implies a path").clone();
+    let json = {
+        let guard = ring().lock().unwrap_or_else(|p| p.into_inner());
+        let mut events = guard.events.clone();
+        events.sort_by_key(|e| e.ts_us);
+        render_chrome_json(&events, guard.dropped)
+    };
+    write_atomically(&path, json.as_bytes())?;
+    Ok(Some(path))
+}
+
+fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test: ACTIVE/PATH/RING are process-global, so activation in one
+    // test would bleed into any other.
+    #[test]
+    fn spans_record_nest_and_dump_chrome_json() {
+        assert!(!tracing_active());
+        {
+            // Inactive span: a cheap no-op guard.
+            let _idle = span("pre.activation");
+        }
+
+        let dir = std::env::temp_dir().join(format!("nitho-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let chosen = init_to(path.clone());
+        assert_eq!(chosen, path);
+        assert!(tracing_active());
+
+        {
+            let _outer = span("test.outer");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            let _inner = span("test.inner");
+        }
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _worker = span("test.worker");
+            });
+        });
+
+        let dumped = dump().unwrap().expect("active tracing dumps");
+        assert_eq!(dumped, path);
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"test.outer\""));
+        assert!(json.contains("\"name\":\"test.inner\""));
+        assert!(json.contains("\"name\":\"test.worker\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(!json.contains("pre.activation"));
+        // The worker thread gets its own tid lane.
+        let main_tid = thread_tid();
+        assert!(json.contains(&format!("\"tid\":{main_tid}")));
+        assert!(json.contains(&format!("\"tid\":{}", main_tid + 1)));
+        assert_eq!(dropped_events(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let mut ring = Ring {
+            events: Vec::with_capacity(4),
+            next: 0,
+            dropped: 0,
+        };
+        for i in 0..6u64 {
+            ring.push(Event {
+                name: "e",
+                tid: 1,
+                depth: 1,
+                ts_us: i,
+                dur_us: 0,
+            });
+        }
+        assert_eq!(ring.events.len(), 4);
+        assert_eq!(ring.dropped, 2);
+        let mut stamps: Vec<u64> = ring.events.iter().map(|e| e.ts_us).collect();
+        stamps.sort_unstable();
+        assert_eq!(stamps, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_controls() {
+        let mut out = String::new();
+        escape_json(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "a\\\"b\\\\c\\u000ad");
+    }
+}

@@ -16,9 +16,41 @@
 use litho_fft::{ifft2, ifftshift};
 use litho_math::util::center_pad;
 use litho_math::{eigen, ComplexMatrix, Matrix, RealMatrix};
+use litho_obs::Counter;
 
 use crate::config::KernelDims;
 use crate::tcc::TccMatrix;
+
+/// Aerial images synthesized through the fused SoA SOCS path.
+static SOCS_AERIALS_TOTAL: Counter = Counter::new(
+    "litho_optics_socs_aerials_total",
+    "aerial images synthesized via the fused SoA SOCS path",
+);
+/// Per-kernel |F⁻¹(K ⊙ F(M))|² accumulation passes (aerials × kernel count).
+static SOCS_KERNEL_ACCUMULATIONS_TOTAL: Counter = Counter::new(
+    "litho_optics_socs_kernel_accumulations_total",
+    "per-kernel intensity accumulation passes across all SOCS syntheses",
+);
+
+/// Registers this crate's metrics with the `litho_obs` registry. Idempotent.
+pub fn register_metrics() {
+    litho_obs::register(&SOCS_AERIALS_TOTAL);
+    litho_obs::register(&SOCS_KERNEL_ACCUMULATIONS_TOTAL);
+}
+
+/// Process-wide count of SOCS aerial syntheses.
+pub fn total_socs_aerials() -> u64 {
+    SOCS_AERIALS_TOTAL.get()
+}
+
+/// Records one SOCS aerial synthesis of `kernel_count` kernels. Public
+/// because the fused SoA engine has a second front door: the frozen
+/// neural-field path in `nitho` accumulates its predicted kernels through
+/// `litho_fft::soa` directly, without constructing a [`SocsKernels`] bank.
+pub fn record_synthesis(kernel_count: usize) {
+    SOCS_AERIALS_TOTAL.inc();
+    SOCS_KERNEL_ACCUMULATIONS_TOTAL.add(kernel_count as u64);
+}
 
 /// A bank of SOCS optical kernels on the kernel frequency grid.
 #[derive(Debug, Clone)]
@@ -163,6 +195,8 @@ impl SocsKernels {
             out_rows >= self.dims.rows && out_cols >= self.dims.cols,
             "output resolution must be at least the kernel grid"
         );
+        let _span = litho_obs::span("socs.aerial");
+        record_synthesis(self.kernels.len());
         // Fused split-complex synthesis: kernels are processed in fixed-size
         // groups; each group accumulates its |F⁻¹(Kᵢ ⊙ F(M))|² terms in
         // kernel order straight into one group plane through the

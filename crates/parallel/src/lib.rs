@@ -42,6 +42,46 @@
 #![forbid(unsafe_code)]
 
 use std::cell::Cell;
+use std::time::Instant;
+
+use litho_obs::Counter;
+
+/// Parallel regions entered (both spawned and degenerate inline regions).
+static REGIONS_TOTAL: Counter = Counter::new(
+    "litho_parallel_regions_total",
+    "parallel regions entered (par_map / par_chunks_mut, including inline fallbacks)",
+);
+/// Wall time spent inside worker bodies, summed over workers (inline
+/// execution counts as one worker). busy_seconds / elapsed_seconds ≈
+/// effective parallelism.
+static WORKER_BUSY_SECONDS_TOTAL: Counter = Counter::seconds_from_nanos(
+    "litho_parallel_worker_busy_seconds_total",
+    "cumulative wall time spent inside parallel worker bodies, summed over workers",
+);
+
+/// Registers this crate's metrics with the `litho_obs` registry. Idempotent.
+pub fn register_metrics() {
+    litho_obs::register(&REGIONS_TOTAL);
+    litho_obs::register(&WORKER_BUSY_SECONDS_TOTAL);
+}
+
+/// Process-wide count of parallel regions entered.
+pub fn total_parallel_regions() -> u64 {
+    REGIONS_TOTAL.get()
+}
+
+/// Starts a busy-time measurement when metrics are enabled. `Instant::now`
+/// is a vDSO clock read — no heap allocation, so the warm-path allocation
+/// pins hold with instrumentation on.
+fn busy_start() -> Option<Instant> {
+    litho_obs::enabled().then(Instant::now)
+}
+
+fn busy_end(start: Option<Instant>) {
+    if let Some(start) = start {
+        WORKER_BUSY_SECONDS_TOTAL.add(start.elapsed().as_nanos() as u64);
+    }
+}
 
 thread_local! {
     /// Set on worker threads spawned by this crate; forces nested parallel
@@ -124,8 +164,12 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let threads = effective_threads(n);
+    REGIONS_TOTAL.inc();
     if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let start = busy_start();
+        let out = (0..n).map(f).collect();
+        busy_end(start);
+        return out;
     }
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let block = n.div_ceil(threads);
@@ -134,9 +178,11 @@ where
             let f = &f;
             scope.spawn(move || {
                 mark_worker();
+                let start = busy_start();
                 for (offset, slot) in block_slots.iter_mut().enumerate() {
                     *slot = Some(f(block_idx * block + offset));
                 }
+                busy_end(start);
             });
         }
     });
@@ -190,10 +236,13 @@ where
     );
     let n_chunks = data.len() / chunk_len;
     let threads = effective_threads(n_chunks);
+    REGIONS_TOTAL.inc();
     if threads <= 1 || n_chunks <= 1 {
+        let start = busy_start();
         for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(idx, chunk);
         }
+        busy_end(start);
         return;
     }
     let chunks_per_worker = n_chunks.div_ceil(threads);
@@ -202,9 +251,11 @@ where
             let f = &f;
             scope.spawn(move || {
                 mark_worker();
+                let start = busy_start();
                 for (offset, chunk) in block.chunks_mut(chunk_len).enumerate() {
                     f(block_idx * chunks_per_worker + offset, chunk);
                 }
+                busy_end(start);
             });
         }
     });

@@ -171,6 +171,11 @@ fn main() -> ExitCode {
         }
     };
 
+    // Observability: activate span tracing before any engine work so the
+    // startup training/refresh is captured too; the ring is dumped as Chrome
+    // trace_event JSON after the serve loop drains.
+    let trace_path = litho_obs::trace::init_from_env();
+
     let registry = match build_registry(&options) {
         Ok(registry) => registry,
         Err(err) => {
@@ -226,6 +231,15 @@ fn main() -> ExitCode {
         config.queue_depth,
         config.deadline.as_millis()
     );
+    eprintln!(
+        "nitho-serve: metrics {} ({} registered, GET /metrics), tracing {}",
+        if litho_obs::enabled() { "on" } else { "off" },
+        litho_obs::metric_count(),
+        match &trace_path {
+            Some(path) => format!("on (NITHO_TRACE={})", path.display()),
+            None => "off (set NITHO_TRACE=<path> to enable)".to_owned(),
+        }
+    );
     let metrics = service.metrics().clone();
     let shutdown = server.shutdown_handle();
     server.serve_event(&config, &metrics, move |request| {
@@ -235,6 +249,11 @@ fn main() -> ExitCode {
         }
         service.handle(request)
     });
+    match litho_obs::trace::dump() {
+        Ok(Some(path)) => eprintln!("nitho-serve: trace written to {}", path.display()),
+        Ok(None) => {}
+        Err(err) => eprintln!("nitho-serve: trace dump failed: {err}"),
+    }
     println!("nitho-serve: shut down cleanly");
     ExitCode::SUCCESS
 }

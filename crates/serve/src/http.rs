@@ -27,7 +27,118 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::queue::{PushError, ServerMetrics, WorkQueue};
+use litho_obs::{Counter, Gauge, Histogram};
+
+use crate::queue::{PushError, ServerMetrics, WorkQueue, LATENCY_BUCKETS_MS};
+
+/// Process-wide registry mirrors of the per-instance [`ServerMetrics`]
+/// block. `ServerMetrics` stays the per-server API (tests and `/healthz`
+/// read its fields directly); these statics aggregate across every server
+/// instance in the process for `/metrics`.
+static SERVE_REQUESTS_TOTAL: Counter = Counter::new(
+    "litho_serve_requests_total",
+    "requests answered by the event-loop tier (any status, including shed 503s)",
+);
+static SERVE_SHED_TOTAL: Counter = Counter::new(
+    "litho_serve_shed_total",
+    "requests refused with 503 because the work queue was full",
+);
+static SERVE_DEADLINE_EXPIRATIONS_TOTAL: Counter = Counter::new(
+    "litho_serve_deadline_expirations_total",
+    "queued requests whose deadline expired before a worker picked them up",
+);
+static SERVE_QUEUE_DEPTH: Gauge = Gauge::new(
+    "litho_serve_queue_depth",
+    "pending requests in the event-loop work queue",
+);
+
+/// Known endpoints get their own latency series; everything else shares the
+/// `other` label so path cardinality stays bounded.
+struct Endpoint {
+    path: &'static str,
+    span: &'static str,
+    latency: Histogram,
+}
+
+const LATENCY_NAME: &str = "litho_serve_request_latency_ms";
+const LATENCY_HELP: &str = "end-to-end request latency (accept to response ready), by endpoint";
+
+static ENDPOINTS: [Endpoint; 5] = [
+    Endpoint {
+        path: "/v1/simulate",
+        span: "serve./v1/simulate",
+        latency: Histogram::with_label(
+            LATENCY_NAME,
+            LATENCY_HELP,
+            "endpoint=\"/v1/simulate\"",
+            &LATENCY_BUCKETS_MS,
+        ),
+    },
+    Endpoint {
+        path: "/v1/process_window",
+        span: "serve./v1/process_window",
+        latency: Histogram::with_label(
+            LATENCY_NAME,
+            LATENCY_HELP,
+            "endpoint=\"/v1/process_window\"",
+            &LATENCY_BUCKETS_MS,
+        ),
+    },
+    Endpoint {
+        path: "/v1/models",
+        span: "serve./v1/models",
+        latency: Histogram::with_label(
+            LATENCY_NAME,
+            LATENCY_HELP,
+            "endpoint=\"/v1/models\"",
+            &LATENCY_BUCKETS_MS,
+        ),
+    },
+    Endpoint {
+        path: "/healthz",
+        span: "serve./healthz",
+        latency: Histogram::with_label(
+            LATENCY_NAME,
+            LATENCY_HELP,
+            "endpoint=\"/healthz\"",
+            &LATENCY_BUCKETS_MS,
+        ),
+    },
+    Endpoint {
+        path: "",
+        span: "serve.other",
+        latency: Histogram::with_label(
+            LATENCY_NAME,
+            LATENCY_HELP,
+            "endpoint=\"other\"",
+            &LATENCY_BUCKETS_MS,
+        ),
+    },
+];
+
+fn endpoint_for(path: &str) -> &'static Endpoint {
+    ENDPOINTS
+        .iter()
+        .find(|e| !e.path.is_empty() && e.path == path)
+        .unwrap_or(&ENDPOINTS[ENDPOINTS.len() - 1])
+}
+
+/// Registers the serve tier's metrics with the `litho_obs` registry.
+/// Idempotent.
+pub(crate) fn register_serve_metrics() {
+    litho_obs::register(&SERVE_REQUESTS_TOTAL);
+    litho_obs::register(&SERVE_SHED_TOTAL);
+    litho_obs::register(&SERVE_DEADLINE_EXPIRATIONS_TOTAL);
+    litho_obs::register(&SERVE_QUEUE_DEPTH);
+    for endpoint in &ENDPOINTS {
+        litho_obs::register(&endpoint.latency);
+    }
+}
+
+/// Process-wide count of requests answered by the event-loop tier.
+pub fn total_requests_served() -> u64 {
+    SERVE_REQUESTS_TOTAL.get()
+}
 
 /// Upper bound on request bodies (64 MiB — a 2048² chip of f64 pixels fits).
 const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
@@ -370,14 +481,17 @@ impl HttpServer {
                 let handler = &handler;
                 scope.spawn(move || {
                     while let Some(job) = queue.pop() {
-                        metrics
-                            .queue_depth
-                            .store(queue.len() as u64, Ordering::Relaxed);
+                        let depth = queue.len() as u64;
+                        metrics.queue_depth.store(depth, Ordering::Relaxed);
+                        SERVE_QUEUE_DEPTH.set(depth);
+                        let endpoint = endpoint_for(&job.request.path);
                         let response = if Instant::now() > job.deadline {
                             metrics.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                            SERVE_DEADLINE_EXPIRATIONS_TOTAL.inc();
                             Response::text(503, "deadline exceeded").with_header("retry-after", "1")
                         } else {
                             metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+                            let _span = litho_obs::span(endpoint.span);
                             let result =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     litho_parallel::with_threads(threads_per_worker, || {
@@ -387,7 +501,10 @@ impl HttpServer {
                             metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
                             result.unwrap_or_else(|_| Response::text(500, "internal error"))
                         };
-                        metrics.record_completion(job.accepted.elapsed().as_millis() as u64);
+                        let elapsed_ms = job.accepted.elapsed().as_millis() as u64;
+                        metrics.record_completion(elapsed_ms);
+                        SERVE_REQUESTS_TOTAL.inc();
+                        endpoint.latency.record(elapsed_ms);
                         job.slot.fulfill(response);
                         waker.notify();
                     }
@@ -459,6 +576,7 @@ impl HttpServer {
             queue.close();
         });
         metrics.queue_depth.store(0, Ordering::Relaxed);
+        SERVE_QUEUE_DEPTH.set(0);
         let _ = self.listener.set_nonblocking(false);
     }
 }
@@ -730,20 +848,23 @@ impl Conn {
                 };
                 match queue.try_push(job) {
                     Ok(()) => {
-                        metrics
-                            .queue_depth
-                            .store(queue.len() as u64, Ordering::Relaxed);
+                        let depth = queue.len() as u64;
+                        metrics.queue_depth.store(depth, Ordering::Relaxed);
+                        SERVE_QUEUE_DEPTH.set(depth);
                         self.state = ConnState::Waiting { slot };
                     }
                     Err((PushError::Full, _)) => {
                         metrics.shed.fetch_add(1, Ordering::Relaxed);
                         metrics.served.fetch_add(1, Ordering::Relaxed);
+                        SERVE_SHED_TOTAL.inc();
+                        SERVE_REQUESTS_TOTAL.inc();
                         self.respond(
                             Response::text(503, "server busy").with_header("retry-after", "1"),
                         );
                     }
                     Err((PushError::Closed, _)) => {
                         metrics.served.fetch_add(1, Ordering::Relaxed);
+                        SERVE_REQUESTS_TOTAL.inc();
                         self.respond(
                             Response::text(503, "server draining").with_header("retry-after", "1"),
                         );

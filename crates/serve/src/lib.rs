@@ -15,9 +15,9 @@
 //! * **Service** — [`http`] is a hand-rolled HTTP/1.1 server on
 //!   [`std::net::TcpListener`] (crates.io is unreachable, so [`json`]
 //!   provides the wire encoding in-crate); [`service`] exposes `/healthz`,
-//!   `/v1/models` and `/v1/simulate` over a [`registry`] of named models
-//!   restored from versioned checkpoints at startup. The `nitho-serve`
-//!   binary wires the two together.
+//!   `/metrics`, `/v1/models` and `/v1/simulate` over a [`registry`] of
+//!   named models restored from versioned checkpoints at startup. The
+//!   `nitho-serve` binary wires the two together.
 //!
 //! See DESIGN.md §5 for the tiling math, halo sizing rule and wire protocol.
 
@@ -45,5 +45,5 @@ pub use pw::{
 };
 pub use queue::{ConditionBatcher, LatencyHistogram, ServerMetrics, SharedEngine, WorkQueue};
 pub use registry::{ModelInfo, ModelRegistry};
-pub use service::Service;
+pub use service::{register_all_metrics, Service};
 pub use tiling::{Tile, TileGrid, TilingConfig};

@@ -18,9 +18,51 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
+use litho_obs::Counter;
 use litho_optics::ProcessCondition;
 
 use crate::chip::TileSimulator;
+
+/// Specialization asks entering the condition batcher (one per caller).
+static BATCHER_ASKS_TOTAL: Counter = Counter::new(
+    "litho_serve_batcher_asks_total",
+    "condition-specialization asks entering the cross-request batcher",
+);
+/// Batched `for_conditions` dispatches actually issued (one per model group
+/// per combining round). asks / dispatches ≈ the merge factor.
+static BATCHER_DISPATCHES_TOTAL: Counter = Counter::new(
+    "litho_serve_batcher_dispatches_total",
+    "batched for_conditions dispatches issued by the combiner",
+);
+/// Condition slots requested across all asks (before dedup).
+static BATCHER_CONDITIONS_TOTAL: Counter = Counter::new(
+    "litho_serve_batcher_conditions_total",
+    "condition slots requested across all batcher asks, before dedup",
+);
+/// Condition slots answered from another slot's specialization (bit-exact
+/// dedup wins: slots asked minus unique conditions dispatched).
+static BATCHER_CONDITIONS_DEDUPED_TOTAL: Counter = Counter::new(
+    "litho_serve_batcher_conditions_deduped_total",
+    "condition slots served by sharing another slot's specialization",
+);
+
+/// Registers the batcher's metrics with the `litho_obs` registry. Idempotent.
+pub(crate) fn register_batcher_metrics() {
+    litho_obs::register(&BATCHER_ASKS_TOTAL);
+    litho_obs::register(&BATCHER_DISPATCHES_TOTAL);
+    litho_obs::register(&BATCHER_CONDITIONS_TOTAL);
+    litho_obs::register(&BATCHER_CONDITIONS_DEDUPED_TOTAL);
+}
+
+/// Process-wide count of batched dispatches issued by the combiner.
+pub fn total_batcher_dispatches() -> u64 {
+    BATCHER_DISPATCHES_TOTAL.get()
+}
+
+/// Process-wide count of condition slots saved by bit-exact dedup.
+pub fn total_batcher_conditions_deduped() -> u64 {
+    BATCHER_CONDITIONS_DEDUPED_TOTAL.get()
+}
 
 /// Locks a mutex, recovering the data if a previous holder panicked (the
 /// serving tier must keep answering after a poisoned request).
@@ -385,12 +427,16 @@ impl ConditionBatcher {
             }
         }
         for (model, specs) in groups {
+            BATCHER_ASKS_TOTAL.add(specs.len() as u64);
+            BATCHER_DISPATCHES_TOTAL.inc();
             // Deduplicate the stacked conditions (first-arrival order): each
             // unique condition is specialized once and shared by every slot
             // that asked for it.
             let mut unique: Vec<(u64, u64)> = Vec::new();
             let mut stacked: Vec<ProcessCondition> = Vec::new();
+            let mut asked_slots = 0u64;
             for spec in &specs {
+                asked_slots += spec.conditions.len() as u64;
                 for condition in &spec.conditions {
                     let key = condition_key(condition);
                     if !unique.contains(&key) {
@@ -399,6 +445,8 @@ impl ConditionBatcher {
                     }
                 }
             }
+            BATCHER_CONDITIONS_TOTAL.add(asked_slots);
+            BATCHER_CONDITIONS_DEDUPED_TOTAL.add(asked_slots - stacked.len() as u64);
             let results: Vec<Option<SharedEngine>> = dispatch(&model, &stacked)
                 .into_iter()
                 .map(|slot| slot.map(SharedEngine::from))
@@ -519,6 +567,68 @@ mod tests {
         let top = LatencyHistogram::new();
         top.record(u64::MAX / 2);
         assert_eq!(top.quantile_ms(0.99), 60_000);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper_bounds() {
+        let hist = LatencyHistogram::new();
+        // A value exactly at a bound lands in that bucket; one past it lands
+        // in the next.
+        for (bucket, &upper) in LATENCY_BUCKETS_MS.iter().enumerate() {
+            if upper == u64::MAX {
+                break;
+            }
+            hist.record(upper);
+            assert_eq!(hist.counts[bucket].load(Ordering::Relaxed), 1, "at {upper}");
+            hist.record(upper + 1);
+            assert_eq!(
+                hist.counts[bucket + 1].load(Ordering::Relaxed),
+                1,
+                "past {upper}"
+            );
+            // Reset for the next boundary: drain both buckets.
+            hist.counts[bucket].store(0, Ordering::Relaxed);
+            hist.counts[bucket + 1].store(0, Ordering::Relaxed);
+        }
+        // Zero belongs to the first bucket.
+        hist.record(0);
+        assert_eq!(hist.counts[0].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn histogram_saturates_into_the_open_ended_top_bucket() {
+        let hist = LatencyHistogram::new();
+        let top = LATENCY_BUCKETS_MS.len() - 1;
+        for value in [60_001, u64::MAX - 1, u64::MAX] {
+            hist.record(value);
+        }
+        assert_eq!(hist.counts[top].load(Ordering::Relaxed), 3);
+        assert_eq!(hist.count(), 3);
+        // The open-ended bucket never reports u64::MAX as a quantile.
+        assert_eq!(hist.quantile_ms(1.0), 60_000);
+    }
+
+    #[test]
+    fn histogram_concurrent_records_lose_nothing() {
+        let hist = Arc::new(LatencyHistogram::new());
+        let threads = 8;
+        let per_thread = 5_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let hist = Arc::clone(&hist);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        // Spread records across many buckets.
+                        hist.record((i * 7 + t) % 1_200);
+                    }
+                });
+            }
+        });
+        assert_eq!(hist.count(), threads * per_thread);
+        let bucket_sum: u64 = (0..LATENCY_BUCKETS_MS.len())
+            .map(|b| hist.counts[b].load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(bucket_sum, threads * per_thread);
     }
 
     #[test]

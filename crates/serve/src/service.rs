@@ -2,7 +2,10 @@
 //!
 //! Routes (see DESIGN.md §5–§6 for the full protocol):
 //!
-//! * `GET /healthz` — liveness, model count.
+//! * `GET /healthz` — liveness, model count, serving metrics, engine totals.
+//! * `GET /metrics` — every registered `litho_obs` metric in Prometheus text
+//!   exposition format (observability only, never part of the `/v1/*`
+//!   byte-identity contract; see DESIGN.md §11).
 //! * `GET /v1/models` — registered models with serving metadata.
 //! * `POST /v1/simulate` — full-chip simulation: mask in (rectangles or raw
 //!   pixels), stitched aerial/resist out.
@@ -78,6 +81,7 @@ impl Service {
     /// Wraps a registry and shares the serving-tier metrics block with the
     /// transport (the event loop updates it; `/healthz` reports it).
     pub fn with_metrics(registry: ModelRegistry, metrics: Arc<ServerMetrics>) -> Self {
+        register_all_metrics();
         Self {
             registry,
             metrics,
@@ -110,10 +114,11 @@ impl Service {
     pub fn handle(&self, request: &Request) -> Response {
         let result = match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => Ok(self.healthz()),
+            ("GET", "/metrics") => Ok(metrics_exposition()),
             ("GET", "/v1/models") => Ok(self.models()),
             ("POST", "/v1/simulate") => self.simulate(request),
             ("POST", "/v1/process_window") => self.process_window(request),
-            (_, "/healthz" | "/v1/models" | "/v1/simulate" | "/v1/process_window") => {
+            (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/simulate" | "/v1/process_window") => {
                 Err(ServiceError {
                     status: 405,
                     message: "method not allowed".to_owned(),
@@ -134,6 +139,7 @@ impl Service {
         let metrics = &self.metrics;
         let gauge =
             |v: &std::sync::atomic::AtomicU64| Json::Number(v.load(Ordering::Relaxed) as f64);
+        let count = |v: u64| Json::Number(v as f64);
         Response::json(
             200,
             Json::object(vec![
@@ -161,6 +167,53 @@ impl Service {
                         (
                             "p99",
                             Json::Number(metrics.latency.quantile_ms(0.99) as f64),
+                        ),
+                    ]),
+                ),
+                // Additive observability summary: the registry's state and a
+                // few cross-layer engine totals (full detail on `/metrics`).
+                (
+                    "obs",
+                    Json::object(vec![
+                        ("metrics_enabled", Json::Bool(litho_obs::enabled())),
+                        ("metrics", count(litho_obs::metric_count() as u64)),
+                        ("tracing", Json::Bool(litho_obs::trace::tracing_active())),
+                    ]),
+                ),
+                (
+                    "engine",
+                    Json::object(vec![
+                        (
+                            "fft_1d_transforms",
+                            count(litho_fft::cache::total_fft_1d_transforms()),
+                        ),
+                        (
+                            "fft_plan_cache_hits",
+                            count(litho_fft::cache::plan_cache_hits()),
+                        ),
+                        (
+                            "fft_plan_cache_misses",
+                            count(litho_fft::cache::plan_cache_misses()),
+                        ),
+                        (
+                            "socs_aerials",
+                            count(litho_optics::socs::total_socs_aerials()),
+                        ),
+                        (
+                            "cmlp_dispatches",
+                            count(nitho::cmlp::total_infer_dispatches()),
+                        ),
+                        (
+                            "batcher_dispatches",
+                            count(crate::queue::total_batcher_dispatches()),
+                        ),
+                        (
+                            "batcher_conditions_deduped",
+                            count(crate::queue::total_batcher_conditions_deduped()),
+                        ),
+                        (
+                            "parallel_regions",
+                            count(litho_parallel::total_parallel_regions()),
                         ),
                     ]),
                 ),
@@ -201,6 +254,7 @@ impl Service {
     }
 
     fn simulate(&self, request: &Request) -> Result<Response, ServiceError> {
+        let _span = litho_obs::span("service.simulate");
         let text = request
             .body_text()
             .ok_or_else(|| ServiceError::bad_request("body is not UTF-8"))?;
@@ -295,6 +349,7 @@ impl Service {
     /// resident — independent of the number of conditions (pinned by
     /// `tests/pw_streaming.rs`).
     fn process_window(&self, request: &Request) -> Result<Response, ServiceError> {
+        let _span = litho_obs::span("service.process_window");
         let text = request
             .body_text()
             .ok_or_else(|| ServiceError::bad_request("body is not UTF-8"))?;
@@ -469,6 +524,33 @@ impl Service {
         };
         Ok(Response::json(200, response.to_json().to_string()))
     }
+}
+
+/// Registers every instrumented layer's metrics with the `litho_obs`
+/// registry — fft plan cache, SOCS synthesis, CMLP inference, the parallel
+/// engine, the condition batcher, and the serve event loop. Runs once per
+/// process (every call after the first is a no-op), so any number of
+/// [`Service`] instances can share the registry.
+pub fn register_all_metrics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        litho_fft::cache::register_metrics();
+        litho_optics::socs::register_metrics();
+        nitho::cmlp::register_metrics();
+        litho_parallel::register_metrics();
+        crate::queue::register_batcher_metrics();
+        crate::http::register_serve_metrics();
+    });
+}
+
+/// `GET /metrics`: the Prometheus text exposition of every registered
+/// metric. Strictly out-of-band — like `/healthz`, this endpoint is excluded
+/// from the `/v1/*` byte-identity contract because its body changes as the
+/// process serves traffic.
+fn metrics_exposition() -> Response {
+    let mut response = Response::text(200, &litho_obs::render_prometheus());
+    response.content_type = "text/plain; version=0.0.4".to_owned();
+    response
 }
 
 fn parse_outputs(doc: &Json) -> Result<(bool, bool), ServiceError> {

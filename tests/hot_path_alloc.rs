@@ -1,20 +1,29 @@
 //! Scratch-reuse pin: the warm split-complex FFT hot path performs **zero**
-//! heap allocations per transform.
+//! heap allocations per transform — including its observability hooks.
 //!
 //! The whole binary runs under [`litho_testsupport::CountingAllocator`];
-//! after one warm-up pass (which builds plans, twiddle tables and the
-//! thread-local scratch arenas) the fused SOCS accumulate, the in-place SoA
-//! plan passes and the Bluestein SoA path must leave the allocation counter
-//! untouched.
+//! after one warm-up pass (which builds plans, twiddle tables, the
+//! thread-local scratch arenas and the metrics registry) the fused SOCS
+//! accumulate, the in-place SoA plan passes, the Bluestein SoA path *and*
+//! direct registry counter/histogram/span operations must leave the
+//! allocation counter untouched.
 //!
 //! This file deliberately holds a single `#[test]`: the counter is global to
 //! the process, so a sibling test running concurrently would pollute it.
 
 use litho_math::{ComplexMatrix, DeterministicRng, RealMatrix};
+use litho_obs::{Counter, Histogram};
 use litho_testsupport::{allocations, CountingAllocator};
 
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
+
+static PIN_COUNTER: Counter = Counter::new("test_hot_path_pin_total", "alloc-pin probe counter");
+static PIN_HISTOGRAM: Histogram = Histogram::new(
+    "test_hot_path_pin_size",
+    "alloc-pin probe histogram",
+    &[1, 8, 64, u64::MAX],
+);
 
 #[test]
 fn warm_fft_hot_path_is_allocation_free() {
@@ -32,15 +41,26 @@ fn warm_fft_hot_path_is_allocation_free() {
     let mut bre = vec![0.125f64; 48];
     let mut bim = vec![0.75f64; 48];
 
-    // Warm-up: builds plan tables and this thread's scratch arenas.
+    // Warm-up: builds plan tables, this thread's scratch arenas, and the
+    // observability state (registration Vec growth, the one-time
+    // NITHO_METRICS env read inside `enabled()`).
+    litho_fft::cache::register_metrics();
+    litho_obs::register(&PIN_COUNTER);
+    litho_obs::register(&PIN_HISTOGRAM);
+    assert!(litho_obs::enabled(), "metrics default on in tests");
     for _ in 0..2 {
         litho_fft::soa::accumulate_socs_intensity(&kernels, &spectrum, &mut acc);
         radix2.forward_soa_in_place(&mut re, &mut im);
         radix2.inverse_soa_in_place(&mut re, &mut im);
         bluestein.forward_soa_in_place(&mut bre, &mut bim);
         bluestein.inverse_soa_in_place(&mut bre, &mut bim);
+        PIN_COUNTER.inc();
+        PIN_HISTOGRAM.record(8);
+        drop(litho_obs::span("alloc_pin.warmup"));
     }
 
+    let transforms_before = litho_fft::cache::total_fft_1d_transforms();
+    let counter_before = PIN_COUNTER.get();
     let before = allocations();
     for _ in 0..16 {
         litho_fft::soa::accumulate_socs_intensity(&kernels, &spectrum, &mut acc);
@@ -48,6 +68,11 @@ fn warm_fft_hot_path_is_allocation_free() {
         radix2.inverse_soa_in_place(&mut re, &mut im);
         bluestein.forward_soa_in_place(&mut bre, &mut bim);
         bluestein.inverse_soa_in_place(&mut bre, &mut bim);
+        // Registry mutation and (inactive) span guards ride the same pinned
+        // loop: instrumentation must stay allocation-free too.
+        PIN_COUNTER.inc();
+        PIN_HISTOGRAM.record(64);
+        drop(litho_obs::span("alloc_pin.iter"));
     }
     let after = allocations();
     assert_eq!(
@@ -60,4 +85,10 @@ fn warm_fft_hot_path_is_allocation_free() {
     // The work above must actually have happened.
     assert!(acc.iter().all(|v| v.is_finite()));
     assert!(acc.max() > 0.0);
+    assert_eq!(PIN_COUNTER.get(), counter_before + 16);
+    assert_eq!(PIN_HISTOGRAM.count(), 2 + 16);
+    assert!(
+        litho_fft::cache::total_fft_1d_transforms() > transforms_before,
+        "registry-backed FFT transform counter must advance inside the pinned loop"
+    );
 }

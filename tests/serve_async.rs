@@ -4,8 +4,9 @@
 //! cross-request condition batching) must produce responses that are
 //! byte-for-byte identical to the serial `Service::handle` reference, for
 //! any worker count, queue depth, intra-tile thread count and request
-//! arrival order. `/healthz` is deliberately excluded from the identity
-//! set — it reports live serving metrics and is *supposed* to change.
+//! arrival order. `/healthz` and `/metrics` are deliberately excluded from
+//! the identity set — they report live serving metrics and are *supposed*
+//! to change between requests.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -269,4 +270,95 @@ fn shutdown_drains_in_flight_simulate() {
         body: body.as_bytes().to_vec(),
     });
     assert_eq!(response.as_bytes(), &reference.body[..]);
+}
+
+/// One line of Prometheus text exposition: a `# HELP`/`# TYPE` comment or a
+/// `name{labels} value` sample with a finite numeric value.
+fn assert_exposition_line(line: &str) {
+    fn is_name(name: &str) -> bool {
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+    }
+    if let Some(comment) = line.strip_prefix("# ") {
+        let (kind, rest) = comment.split_once(' ').expect("comment payload: {line}");
+        assert!(matches!(kind, "HELP" | "TYPE"), "comment kind: {line}");
+        let name = rest.split_whitespace().next().expect("metric name: {line}");
+        assert!(is_name(name), "metric name grammar: {line}");
+        if kind == "TYPE" {
+            let family_type = rest.split_whitespace().nth(1).expect("type: {line}");
+            assert!(
+                matches!(family_type, "counter" | "gauge" | "histogram"),
+                "family type: {line}"
+            );
+        }
+        return;
+    }
+    let (series, value) = line.rsplit_once(' ').expect("sample grammar: {line}");
+    let name = series.split('{').next().unwrap();
+    assert!(is_name(name), "sample name grammar: {line}");
+    if let Some(rest) = series.strip_prefix(name) {
+        if !rest.is_empty() {
+            assert!(
+                rest.starts_with('{') && rest.ends_with('}'),
+                "label block grammar: {line}"
+            );
+        }
+    }
+    if value != "+Inf" {
+        let parsed: f64 = value.parse().unwrap_or_else(|_| panic!("value: {line}"));
+        assert!(parsed.is_finite(), "finite value: {line}");
+    }
+}
+
+#[test]
+fn metrics_endpoint_serves_valid_prometheus_exposition() {
+    let service = shared_service();
+    // Warm real traffic through the event tier first so the exposition
+    // carries live engine counters, then scrape it over the same socket.
+    let forward: Vec<usize> = (0..request_mix().len()).collect();
+    drive_event_tier(&service, 2, 8, 1, 2, 1, &forward);
+
+    let server = HttpServer::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        ..ServeConfig::default()
+    };
+    let metrics = Arc::new(ServerMetrics::new());
+    let handler_service = Arc::clone(&service);
+    let join = std::thread::spawn(move || {
+        server.serve_event(&config, &metrics, move |request| {
+            handler_service.handle(request)
+        });
+    });
+    let (status, body) = http_request(addr, "GET", "/metrics", None).expect("scrape");
+    shutdown.shutdown();
+    join.join().expect("event loop exits");
+
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(!lines.is_empty(), "exposition must not be empty");
+    for line in &lines {
+        assert_exposition_line(line);
+    }
+    // Families from every instrumented layer are present with live values.
+    for family in [
+        "litho_fft_1d_transforms_total",
+        "litho_optics_socs_aerials_total",
+        "litho_cmlp_infer_dispatches_total",
+        "litho_serve_requests_total",
+        "litho_serve_batcher_dispatches_total",
+        "litho_parallel_regions_total",
+        "litho_serve_request_latency_ms_bucket",
+    ] {
+        assert!(
+            lines.iter().any(|l| l.starts_with(family)),
+            "family {family} missing from exposition"
+        );
+    }
 }
