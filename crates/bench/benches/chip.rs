@@ -152,7 +152,8 @@ fn bench_chip(c: &mut Criterion) {
             Json::Number(round3(hopkins_parallel_ms / nitho_parallel_ms)),
         ),
     ])
-    .to_string()
+    .serialize()
+    .expect("bench summary values are finite")
         + "\n";
     // Cargo runs benches with the package directory as CWD; anchor the report
     // at the workspace root instead.

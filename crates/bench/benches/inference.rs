@@ -9,6 +9,7 @@
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use litho_math::simd::{avx2_available, Precision, SimdBackend};
 use litho_math::{Complex64, ComplexMatrix, DeterministicRng};
 use nitho::{Cmlp, CmlpArchitecture};
 
@@ -60,6 +61,23 @@ fn bench_inference(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("tape", |b| b.iter(|| black_box(mlp.infer_tape(&input))));
     group.bench_function("batched_soa", |b| b.iter(|| black_box(mlp.infer(&input))));
+    // Prepared once, inferred many — the serving shape (`kernels_at_batch`
+    // prepares per sweep, not per condition), so the A/B isolates the
+    // forward-pass arithmetic rather than the SoA weight split.
+    group.bench_function("batched_scalar_f64", |b| {
+        let mut prepared = mlp.prepare_with(SimdBackend::Scalar, Precision::F64);
+        b.iter(|| black_box(prepared.infer(&input)))
+    });
+    if avx2_available() {
+        group.bench_function("batched_avx2_f64", |b| {
+            let mut prepared = mlp.prepare_with(SimdBackend::Avx2, Precision::F64);
+            b.iter(|| black_box(prepared.infer(&input)))
+        });
+        group.bench_function("batched_avx2_f32", |b| {
+            let mut prepared = mlp.prepare_with(SimdBackend::Avx2, Precision::F32);
+            b.iter(|| black_box(prepared.infer(&input)))
+        });
+    }
     group.finish();
 
     let iters = 10;
@@ -69,6 +87,26 @@ fn bench_inference(c: &mut Criterion) {
     let batched_ms = time_ms(iters, || {
         black_box(mlp.infer(&input));
     });
+    // Explicit-backend A/B through the same prepared entry point the serving
+    // path uses: scalar f64 is the pinned reference; the SIMD and f32 rows
+    // quantify the NITHO_SIMD / NITHO_PRECISION knobs in isolation.
+    let best = if avx2_available() {
+        SimdBackend::Avx2
+    } else {
+        SimdBackend::Scalar
+    };
+    let mut prepared_scalar = mlp.prepare_with(SimdBackend::Scalar, Precision::F64);
+    let scalar_ms = time_ms(iters, || {
+        black_box(prepared_scalar.infer(&input));
+    });
+    let mut prepared_simd = mlp.prepare_with(best, Precision::F64);
+    let simd_ms = time_ms(iters, || {
+        black_box(prepared_simd.infer(&input));
+    });
+    let mut prepared_f32 = mlp.prepare_with(best, Precision::F32);
+    let f32_ms = time_ms(iters, || {
+        black_box(prepared_f32.infer(&input));
+    });
 
     let arch = architecture();
     let json = format!(
@@ -77,7 +115,10 @@ fn bench_inference(c: &mut Criterion) {
          \"output_dim\": {},\n  \"tape_ms\": {tape_ms:.3},\n  \
          \"batched_ms\": {batched_ms:.3},\n  \
          \"tape_pixels_per_s\": {:.0},\n  \"batched_pixels_per_s\": {:.0},\n  \
-         \"speedup\": {:.3}\n}}\n",
+         \"speedup\": {:.3},\n  \
+         \"simd_backend\": \"{}\",\n  \"scalar_f64_ms\": {scalar_ms:.3},\n  \
+         \"simd_f64_ms\": {simd_ms:.3},\n  \"simd_f32_ms\": {f32_ms:.3},\n  \
+         \"simd_speedup\": {:.3},\n  \"f32_speedup\": {:.3}\n}}\n",
         arch.input_dim,
         arch.hidden_dim,
         arch.hidden_blocks,
@@ -85,6 +126,9 @@ fn bench_inference(c: &mut Criterion) {
         batch as f64 / (tape_ms / 1e3),
         batch as f64 / (batched_ms / 1e3),
         tape_ms / batched_ms,
+        best.label(),
+        scalar_ms / simd_ms,
+        scalar_ms / f32_ms,
     );
     // Cargo runs benches with the package directory as CWD; anchor the report
     // at the workspace root instead.

@@ -144,6 +144,42 @@ fn bench_socs(c: &mut Criterion) {
         });
     });
 
+    // Explicit-backend A/B of the fused SOCS accumulate (the kernel the
+    // NITHO_SIMD / NITHO_PRECISION knobs actually dispatch): scalar f64 is
+    // the pinned reference, the AVX2 and f32 rows isolate each knob.
+    use litho_math::simd::{avx2_available, SimdBackend};
+    let best = if avx2_available() {
+        SimdBackend::Avx2
+    } else {
+        SimdBackend::Scalar
+    };
+    let mut acc = RealMatrix::zeros(tile_px, tile_px);
+    let fused_scalar_ms = min_ms(iters, || {
+        acc.as_mut_slice().fill(0.0);
+        litho_fft::soa::accumulate_socs_intensity_with(
+            SimdBackend::Scalar,
+            socs.kernels(),
+            &spectrum,
+            &mut acc,
+        );
+        black_box(&acc);
+    });
+    let fused_simd_ms = min_ms(iters, || {
+        acc.as_mut_slice().fill(0.0);
+        litho_fft::soa::accumulate_socs_intensity_with(best, socs.kernels(), &spectrum, &mut acc);
+        black_box(&acc);
+    });
+    let fused_f32_ms = min_ms(iters, || {
+        acc.as_mut_slice().fill(0.0);
+        litho_fft::soa::accumulate_socs_intensity_f32_with(
+            best,
+            socs.kernels(),
+            &spectrum,
+            &mut acc,
+        );
+        black_box(&acc);
+    });
+
     // Instrumentation budget: the same serial synthesis with the metrics
     // registry enabled vs disabled. CI pins the ratio below 1.03.
     let one_pass = || {
@@ -158,10 +194,13 @@ fn bench_socs(c: &mut Criterion) {
     let obs_overhead_ratio = obs_on_ms / obs_off_ms;
 
     let json = format!(
-        "{{\n  \"bench\": \"socs_aerial\",\n  \"tile_px\": {tile_px},\n  \"kernel_count\": {kernel_count},\n  \"threads\": {threads},\n  \"unplanned_serial_ms\": {unplanned_ms:.3},\n  \"planned_aos_1_thread_ms\": {planned_aos_ms:.3},\n  \"planned_1_thread_ms\": {planned_serial_ms:.3},\n  \"planned_parallel_ms\": {planned_parallel_ms:.3},\n  \"planned_speedup\": {:.3},\n  \"soa_vs_aos_speedup\": {:.3},\n  \"parallel_speedup\": {:.3},\n  \"obs_on_ms\": {obs_on_ms:.3},\n  \"obs_off_ms\": {obs_off_ms:.3},\n  \"obs_overhead_ratio\": {obs_overhead_ratio:.3}\n}}\n",
+        "{{\n  \"bench\": \"socs_aerial\",\n  \"tile_px\": {tile_px},\n  \"kernel_count\": {kernel_count},\n  \"threads\": {threads},\n  \"unplanned_serial_ms\": {unplanned_ms:.3},\n  \"planned_aos_1_thread_ms\": {planned_aos_ms:.3},\n  \"planned_1_thread_ms\": {planned_serial_ms:.3},\n  \"planned_parallel_ms\": {planned_parallel_ms:.3},\n  \"planned_speedup\": {:.3},\n  \"soa_vs_aos_speedup\": {:.3},\n  \"parallel_speedup\": {:.3},\n  \"simd_backend\": \"{}\",\n  \"fused_scalar_ms\": {fused_scalar_ms:.3},\n  \"fused_simd_ms\": {fused_simd_ms:.3},\n  \"fused_f32_ms\": {fused_f32_ms:.3},\n  \"simd_speedup\": {:.3},\n  \"f32_speedup\": {:.3},\n  \"obs_on_ms\": {obs_on_ms:.3},\n  \"obs_off_ms\": {obs_off_ms:.3},\n  \"obs_overhead_ratio\": {obs_overhead_ratio:.3}\n}}\n",
         unplanned_ms / planned_serial_ms,
         planned_aos_ms / planned_serial_ms,
         unplanned_ms / planned_parallel_ms,
+        best.label(),
+        fused_scalar_ms / fused_simd_ms,
+        fused_scalar_ms / fused_f32_ms,
     );
     // Cargo runs benches with the package directory as CWD; anchor the report
     // at the workspace root instead.

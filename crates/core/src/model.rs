@@ -789,7 +789,18 @@ fn synthesize_aerial_from_spectrum_into(
     litho_optics::socs::record_synthesis(kernels.len());
     let scale = ((rows * cols) as f64 / mask_pixels as f64).powi(2);
     out.as_mut_slice().fill(0.0);
-    litho_fft::soa::accumulate_socs_intensity(kernels, cropped, out);
+    // The precision knob (`NITHO_PRECISION=f32`) applies exactly here — the
+    // per-kernel inverse transforms and |field|² accumulation that dominate
+    // serving latency. The spectrum crop above and the intensity scaling
+    // below stay f64, as does everything on the training side.
+    match litho_math::simd::precision() {
+        litho_math::simd::Precision::F64 => {
+            litho_fft::soa::accumulate_socs_intensity(kernels, cropped, out);
+        }
+        litho_math::simd::Precision::F32 => {
+            litho_fft::soa::accumulate_socs_intensity_f32(kernels, cropped, out);
+        }
+    }
     for value in out.as_mut_slice() {
         *value *= scale;
     }

@@ -21,7 +21,8 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use litho_math::Complex64;
+use litho_math::simd::{simd_backend, SimdBackend};
+use litho_math::{soa, Complex64};
 use litho_obs::Counter;
 
 use crate::plan::FftPlan;
@@ -51,6 +52,7 @@ pub fn register_metrics() {
     litho_obs::register(&FFT_1D_TRANSFORMS_TOTAL);
     litho_obs::register(&PLAN_CACHE_HITS_TOTAL);
     litho_obs::register(&PLAN_CACHE_MISSES_TOTAL);
+    crate::soa::register_dispatch_metrics();
 }
 
 /// Process-wide total of 1-D radix-2 kernel executions (all threads).
@@ -74,6 +76,9 @@ thread_local! {
     static SCRATCH: RefCell<Vec<Complex64>> = const { RefCell::new(Vec::new()) };
     /// Split-complex Bluestein convolution scratch for the SoA path.
     static SCRATCH_SOA: RefCell<(Vec<f64>, Vec<f64>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+    /// f32 twin of [`SCRATCH_SOA`] for the reduced-precision path.
+    static SCRATCH_SOA_F32: RefCell<(Vec<f32>, Vec<f32>)> =
         const { RefCell::new((Vec::new(), Vec::new())) };
     /// Number of radix-2 kernel executions performed *by this thread* (both
     /// layouts; zero-pruned rows/columns are never counted). Thread-local so
@@ -165,6 +170,11 @@ struct ChirpTables {
     chirp_im: Vec<f64>,
     b_spectrum_re: Vec<f64>,
     b_spectrum_im: Vec<f64>,
+    /// Narrowed copies for the reduced-precision (`f32`) path.
+    chirp_re_f32: Vec<f32>,
+    chirp_im_f32: Vec<f32>,
+    b_spectrum_re_f32: Vec<f32>,
+    b_spectrum_im_f32: Vec<f32>,
 }
 
 /// A reusable chirp-z (Bluestein) DFT plan for one fixed length.
@@ -244,6 +254,10 @@ impl BluesteinPlan {
             chirp_im: chirp.iter().map(|z| z.im).collect(),
             b_spectrum_re: b.iter().map(|z| z.re).collect(),
             b_spectrum_im: b.iter().map(|z| z.im).collect(),
+            chirp_re_f32: chirp.iter().map(|z| z.re as f32).collect(),
+            chirp_im_f32: chirp.iter().map(|z| z.im as f32).collect(),
+            b_spectrum_re_f32: b.iter().map(|z| z.re as f32).collect(),
+            b_spectrum_im_f32: b.iter().map(|z| z.im as f32).collect(),
             chirp,
             b_spectrum: b,
         }
@@ -297,7 +311,13 @@ impl BluesteinPlan {
     ///
     /// Panics if either slice length does not match the planned length.
     pub fn forward_soa_in_place(&self, re: &mut [f64], im: &mut [f64]) {
-        self.run_soa(re, im, &self.forward);
+        self.run_soa(simd_backend(), re, im, &self.forward);
+    }
+
+    /// [`BluesteinPlan::forward_soa_in_place`] with an explicit SIMD backend
+    /// (the in-place entry point resolves `NITHO_SIMD` instead).
+    pub fn forward_soa_with(&self, backend: SimdBackend, re: &mut [f64], im: &mut [f64]) {
+        self.run_soa(backend, re, im, &self.forward);
     }
 
     /// In-place inverse DFT (normalized by `1/N`) over a split-complex
@@ -308,17 +328,37 @@ impl BluesteinPlan {
     ///
     /// Panics if either slice length does not match the planned length.
     pub fn inverse_soa_in_place(&self, re: &mut [f64], im: &mut [f64]) {
-        self.run_soa(re, im, &self.inverse);
-        let scale = 1.0 / self.len as f64;
-        for v in re.iter_mut() {
-            *v *= scale;
-        }
-        for v in im.iter_mut() {
-            *v *= scale;
-        }
+        self.inverse_soa_with(simd_backend(), re, im);
     }
 
-    fn run_soa(&self, re: &mut [f64], im: &mut [f64], tables: &ChirpTables) {
+    /// [`BluesteinPlan::inverse_soa_in_place`] with an explicit SIMD backend.
+    pub fn inverse_soa_with(&self, backend: SimdBackend, re: &mut [f64], im: &mut [f64]) {
+        self.run_soa(backend, re, im, &self.inverse);
+        let scale = 1.0 / self.len as f64;
+        soa::scale_in_place_with(backend, re, im, scale);
+    }
+
+    /// f32 forward DFT for the reduced-precision path (unnormalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length does not match the planned length.
+    pub fn forward_soa_f32_with(&self, backend: SimdBackend, re: &mut [f32], im: &mut [f32]) {
+        self.run_soa_f32(backend, re, im, &self.forward);
+    }
+
+    /// f32 inverse DFT for the reduced-precision path (normalized by `1/N`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length does not match the planned length.
+    pub fn inverse_soa_f32_with(&self, backend: SimdBackend, re: &mut [f32], im: &mut [f32]) {
+        self.run_soa_f32(backend, re, im, &self.inverse);
+        let scale = 1.0 / self.len as f32;
+        soa::scale_in_place_f32_with(backend, re, im, scale);
+    }
+
+    fn run_soa(&self, backend: SimdBackend, re: &mut [f64], im: &mut [f64], tables: &ChirpTables) {
         assert_eq!(re.len(), self.len, "buffer length does not match plan");
         assert_eq!(im.len(), self.len, "buffer length does not match plan");
         SCRATCH_SOA.with(|scratch| {
@@ -329,22 +369,76 @@ impl BluesteinPlan {
             ai.clear();
             ai.resize(self.m, 0.0);
             // a = x ⊙ chirp, zero-padded to the convolution length.
-            for k in 0..self.len {
-                ar[k] = re[k] * tables.chirp_re[k] - im[k] * tables.chirp_im[k];
-                ai[k] = re[k] * tables.chirp_im[k] + im[k] * tables.chirp_re[k];
-            }
-            self.inner.forward_soa_in_place(ar, ai);
+            soa::mul_into_with(
+                backend,
+                re,
+                im,
+                &tables.chirp_re,
+                &tables.chirp_im,
+                &mut ar[..self.len],
+                &mut ai[..self.len],
+            );
+            self.inner.forward_soa_with(backend, ar, ai);
             for k in 0..self.m {
                 let (r, i) = (ar[k], ai[k]);
                 ar[k] = r * tables.b_spectrum_re[k] - i * tables.b_spectrum_im[k];
                 ai[k] = r * tables.b_spectrum_im[k] + i * tables.b_spectrum_re[k];
             }
             // The inner inverse includes the 1/m convolution normalization.
-            self.inner.inverse_soa_in_place(ar, ai);
-            for k in 0..self.len {
-                re[k] = ar[k] * tables.chirp_re[k] - ai[k] * tables.chirp_im[k];
-                im[k] = ar[k] * tables.chirp_im[k] + ai[k] * tables.chirp_re[k];
+            self.inner.inverse_soa_with(backend, ar, ai);
+            soa::mul_into_with(
+                backend,
+                &ar[..self.len],
+                &ai[..self.len],
+                &tables.chirp_re,
+                &tables.chirp_im,
+                re,
+                im,
+            );
+        });
+    }
+
+    fn run_soa_f32(
+        &self,
+        backend: SimdBackend,
+        re: &mut [f32],
+        im: &mut [f32],
+        tables: &ChirpTables,
+    ) {
+        assert_eq!(re.len(), self.len, "buffer length does not match plan");
+        assert_eq!(im.len(), self.len, "buffer length does not match plan");
+        SCRATCH_SOA_F32.with(|scratch| {
+            let mut borrow = scratch.borrow_mut();
+            let (ar, ai) = &mut *borrow;
+            ar.clear();
+            ar.resize(self.m, 0.0);
+            ai.clear();
+            ai.resize(self.m, 0.0);
+            soa::mul_into_f32_with(
+                backend,
+                re,
+                im,
+                &tables.chirp_re_f32,
+                &tables.chirp_im_f32,
+                &mut ar[..self.len],
+                &mut ai[..self.len],
+            );
+            self.inner.forward_soa_f32_with(backend, ar, ai);
+            for k in 0..self.m {
+                let (r, i) = (ar[k], ai[k]);
+                ar[k] = r * tables.b_spectrum_re_f32[k] - i * tables.b_spectrum_im_f32[k];
+                ai[k] = r * tables.b_spectrum_im_f32[k] + i * tables.b_spectrum_re_f32[k];
             }
+            self.inner.inverse_soa_f32_with(backend, ar, ai);
+            soa::mul_into_f32_with(
+                backend,
+                &ar[..self.len],
+                &ai[..self.len],
+                &tables.chirp_re_f32,
+                &tables.chirp_im_f32,
+                re,
+                im,
+            );
         });
     }
 

@@ -6,7 +6,8 @@
 //! for a fixed power-of-two length and exposes in-place 1-D transforms plus a
 //! convenience 2-D entry point for square matrices of that size.
 
-use litho_math::{Complex64, ComplexMatrix};
+use litho_math::simd::{simd_backend, SimdBackend};
+use litho_math::{soa, Complex64, ComplexMatrix};
 
 /// Bit-reversal permutation table for a power-of-two length.
 ///
@@ -55,6 +56,10 @@ pub struct FftPlan {
     /// factors `e^{∓2πi p/(len >> t)}`.
     stockham_forward: Vec<(Vec<f64>, Vec<f64>)>,
     stockham_inverse: Vec<(Vec<f64>, Vec<f64>)>,
+    /// The same Stockham tables narrowed to `f32` for the opt-in
+    /// reduced-precision path (`NITHO_PRECISION=f32`).
+    stockham_forward_f32: Vec<(Vec<f32>, Vec<f32>)>,
+    stockham_inverse_f32: Vec<(Vec<f32>, Vec<f32>)>,
 }
 
 thread_local! {
@@ -63,59 +68,72 @@ thread_local! {
     /// allocation-free).
     static SOA_PING_PONG: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
         const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+    /// f32 twin of [`SOA_PING_PONG`] for the reduced-precision transforms.
+    static SOA_PING_PONG_F32: std::cell::RefCell<(Vec<f32>, Vec<f32>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// One Stockham decimation-in-frequency stage over `s`-strided interleaved
 /// sub-transforms: for each butterfly index `p`, `dst[2p] = a + b` and
 /// `dst[2p+1] = (a − b)·w_p`, where `a`/`b` are contiguous `s`-length runs.
-/// All four loops below run over contiguous slices with a loop-invariant
-/// twiddle, which is what lets the autovectorizer use full-width lanes.
-#[allow(clippy::too_many_arguments)]
-fn stockham_stage(
-    src_re: &[f64],
-    src_im: &[f64],
-    dst_re: &mut [f64],
-    dst_im: &mut [f64],
-    tw_re: &[f64],
-    tw_im: &[f64],
-    m: usize,
-    s: usize,
-) {
-    if s == 1 {
-        // First stage: a = src[p], b = src[p + m] — both reads are contiguous
-        // in p, writes interleave as (2p, 2p+1).
-        let (a_re, b_re) = src_re.split_at(m);
-        let (a_im, b_im) = src_im.split_at(m);
-        for p in 0..m {
-            let (ar, ai) = (a_re[p], a_im[p]);
-            let (br, bi) = (b_re[p], b_im[p]);
-            dst_re[2 * p] = ar + br;
-            dst_im[2 * p] = ai + bi;
-            let (dr, di) = (ar - br, ai - bi);
-            dst_re[2 * p + 1] = dr * tw_re[p] - di * tw_im[p];
-            dst_im[2 * p + 1] = dr * tw_im[p] + di * tw_re[p];
+///
+/// The `s == 1` stage interleaves its writes (no contiguous runs to
+/// vectorize over), so it stays scalar on every backend — keeping the first
+/// stage bit-identical between backends for free. Stages with `s ≥ 2`
+/// route their contiguous-run butterfly through
+/// [`soa::stockham_butterfly_with`], which is where the explicit AVX2+FMA
+/// kernels (or the pinned scalar reference) run; `backend` is hoisted once
+/// per transform by the caller rather than re-resolved per butterfly.
+///
+/// Stamped for both `f64` and `f32` by the macro below.
+macro_rules! stockham_stage_impl {
+    ($name:ident, $t:ty, $bfly:path) => {
+        #[allow(clippy::too_many_arguments)]
+        fn $name(
+            backend: SimdBackend,
+            src_re: &[$t],
+            src_im: &[$t],
+            dst_re: &mut [$t],
+            dst_im: &mut [$t],
+            tw_re: &[$t],
+            tw_im: &[$t],
+            m: usize,
+            s: usize,
+        ) {
+            if s == 1 {
+                // First stage: a = src[p], b = src[p + m] — both reads are
+                // contiguous in p, writes interleave as (2p, 2p+1).
+                let (a_re, b_re) = src_re.split_at(m);
+                let (a_im, b_im) = src_im.split_at(m);
+                for p in 0..m {
+                    let (ar, ai) = (a_re[p], a_im[p]);
+                    let (br, bi) = (b_re[p], b_im[p]);
+                    dst_re[2 * p] = ar + br;
+                    dst_im[2 * p] = ai + bi;
+                    let (dr, di) = (ar - br, ai - bi);
+                    dst_re[2 * p + 1] = dr * tw_re[p] - di * tw_im[p];
+                    dst_im[2 * p + 1] = dr * tw_im[p] + di * tw_re[p];
+                }
+                return;
+            }
+            for p in 0..m {
+                let (wr, wi) = (tw_re[p], tw_im[p]);
+                let a_re = &src_re[p * s..(p + 1) * s];
+                let a_im = &src_im[p * s..(p + 1) * s];
+                let b_re = &src_re[(p + m) * s..(p + m + 1) * s];
+                let b_im = &src_im[(p + m) * s..(p + m + 1) * s];
+                let (d0_re, d1_re) = dst_re[2 * p * s..(2 * p + 2) * s].split_at_mut(s);
+                let (d0_im, d1_im) = dst_im[2 * p * s..(2 * p + 2) * s].split_at_mut(s);
+                $bfly(
+                    backend, a_re, a_im, b_re, b_im, d0_re, d0_im, d1_re, d1_im, wr, wi,
+                );
+            }
         }
-        return;
-    }
-    for p in 0..m {
-        let (wr, wi) = (tw_re[p], tw_im[p]);
-        let a_re = &src_re[p * s..(p + 1) * s];
-        let a_im = &src_im[p * s..(p + 1) * s];
-        let b_re = &src_re[(p + m) * s..(p + m + 1) * s];
-        let b_im = &src_im[(p + m) * s..(p + m + 1) * s];
-        let (d0_re, d1_re) = dst_re[2 * p * s..(2 * p + 2) * s].split_at_mut(s);
-        let (d0_im, d1_im) = dst_im[2 * p * s..(2 * p + 2) * s].split_at_mut(s);
-        for q in 0..s {
-            let (ar, ai) = (a_re[q], a_im[q]);
-            let (br, bi) = (b_re[q], b_im[q]);
-            d0_re[q] = ar + br;
-            d0_im[q] = ai + bi;
-            let (dr, di) = (ar - br, ai - bi);
-            d1_re[q] = dr * wr - di * wi;
-            d1_im[q] = dr * wi + di * wr;
-        }
-    }
+    };
 }
+
+stockham_stage_impl!(stockham_stage, f64, soa::stockham_butterfly_with);
+stockham_stage_impl!(stockham_stage_f32, f32, soa::stockham_butterfly_f32_with);
 
 /// Stockham stage tables for one direction.
 fn stockham_tables(len: usize, sign: f64) -> Vec<(Vec<f64>, Vec<f64>)> {
@@ -164,13 +182,30 @@ impl FftPlan {
             tables
         };
 
+        let stockham_forward = stockham_tables(len, -1.0);
+        let stockham_inverse = stockham_tables(len, 1.0);
+        let narrow = |tables: &[(Vec<f64>, Vec<f64>)]| {
+            tables
+                .iter()
+                .map(|(re, im)| {
+                    (
+                        re.iter().map(|&v| v as f32).collect(),
+                        im.iter().map(|&v| v as f32).collect(),
+                    )
+                })
+                .collect()
+        };
+        let stockham_forward_f32 = narrow(&stockham_forward);
+        let stockham_inverse_f32 = narrow(&stockham_inverse);
         Self {
             len,
             bit_reverse,
             forward_twiddles: build(-1.0),
             inverse_twiddles: build(1.0),
-            stockham_forward: stockham_tables(len, -1.0),
-            stockham_inverse: stockham_tables(len, 1.0),
+            stockham_forward,
+            stockham_inverse,
+            stockham_forward_f32,
+            stockham_inverse_f32,
         }
     }
 
@@ -222,7 +257,13 @@ impl FftPlan {
     ///
     /// Panics if either slice length does not match the planned length.
     pub fn forward_soa_in_place(&self, re: &mut [f64], im: &mut [f64]) {
-        self.run_soa(re, im, &self.stockham_forward);
+        self.forward_soa_with(simd_backend(), re, im);
+    }
+
+    /// [`FftPlan::forward_soa_in_place`] with an explicit SIMD backend (the
+    /// in-place entry point resolves `NITHO_SIMD` instead).
+    pub fn forward_soa_with(&self, backend: SimdBackend, re: &mut [f64], im: &mut [f64]) {
+        self.run_soa(backend, re, im, &self.stockham_forward);
     }
 
     /// In-place inverse FFT (normalized by `1/N`) over a split-complex
@@ -233,17 +274,44 @@ impl FftPlan {
     ///
     /// Panics if either slice length does not match the planned length.
     pub fn inverse_soa_in_place(&self, re: &mut [f64], im: &mut [f64]) {
-        self.run_soa(re, im, &self.stockham_inverse);
-        let scale = 1.0 / self.len as f64;
-        for v in re.iter_mut() {
-            *v *= scale;
-        }
-        for v in im.iter_mut() {
-            *v *= scale;
-        }
+        self.inverse_soa_with(simd_backend(), re, im);
     }
 
-    fn run_soa(&self, re: &mut [f64], im: &mut [f64], twiddles: &[(Vec<f64>, Vec<f64>)]) {
+    /// [`FftPlan::inverse_soa_in_place`] with an explicit SIMD backend.
+    pub fn inverse_soa_with(&self, backend: SimdBackend, re: &mut [f64], im: &mut [f64]) {
+        self.run_soa(backend, re, im, &self.stockham_inverse);
+        let scale = 1.0 / self.len as f64;
+        soa::scale_in_place_with(backend, re, im, scale);
+    }
+
+    /// f32 forward transform for the reduced-precision path (unnormalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length does not match the planned length.
+    pub fn forward_soa_f32_with(&self, backend: SimdBackend, re: &mut [f32], im: &mut [f32]) {
+        self.run_soa_f32(backend, re, im, &self.stockham_forward_f32);
+    }
+
+    /// f32 inverse transform for the reduced-precision path (normalized by
+    /// `1/N`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length does not match the planned length.
+    pub fn inverse_soa_f32_with(&self, backend: SimdBackend, re: &mut [f32], im: &mut [f32]) {
+        self.run_soa_f32(backend, re, im, &self.stockham_inverse_f32);
+        let scale = 1.0 / self.len as f32;
+        soa::scale_in_place_f32_with(backend, re, im, scale);
+    }
+
+    fn run_soa(
+        &self,
+        backend: SimdBackend,
+        re: &mut [f64],
+        im: &mut [f64],
+        twiddles: &[(Vec<f64>, Vec<f64>)],
+    ) {
         assert_eq!(re.len(), self.len, "buffer length does not match plan");
         assert_eq!(im.len(), self.len, "buffer length does not match plan");
         crate::cache::record_1d_transforms(1);
@@ -263,9 +331,50 @@ impl FftPlan {
             for (tw_re, tw_im) in twiddles {
                 let m = n_cur / 2;
                 if in_caller {
-                    stockham_stage(re, im, sc_re, sc_im, tw_re, tw_im, m, stride);
+                    stockham_stage(backend, re, im, sc_re, sc_im, tw_re, tw_im, m, stride);
                 } else {
-                    stockham_stage(sc_re, sc_im, re, im, tw_re, tw_im, m, stride);
+                    stockham_stage(backend, sc_re, sc_im, re, im, tw_re, tw_im, m, stride);
+                }
+                n_cur = m;
+                stride *= 2;
+                in_caller = !in_caller;
+            }
+            if !in_caller {
+                re.copy_from_slice(&sc_re[..self.len]);
+                im.copy_from_slice(&sc_im[..self.len]);
+            }
+        });
+    }
+
+    fn run_soa_f32(
+        &self,
+        backend: SimdBackend,
+        re: &mut [f32],
+        im: &mut [f32],
+        twiddles: &[(Vec<f32>, Vec<f32>)],
+    ) {
+        assert_eq!(re.len(), self.len, "buffer length does not match plan");
+        assert_eq!(im.len(), self.len, "buffer length does not match plan");
+        crate::cache::record_1d_transforms(1);
+        if self.len < 2 {
+            return;
+        }
+        SOA_PING_PONG_F32.with(|cell| {
+            let mut borrow = cell.borrow_mut();
+            let (sc_re, sc_im) = &mut *borrow;
+            if sc_re.len() < self.len {
+                sc_re.resize(self.len, 0.0);
+                sc_im.resize(self.len, 0.0);
+            }
+            let mut n_cur = self.len;
+            let mut stride = 1;
+            let mut in_caller = true;
+            for (tw_re, tw_im) in twiddles {
+                let m = n_cur / 2;
+                if in_caller {
+                    stockham_stage_f32(backend, re, im, sc_re, sc_im, tw_re, tw_im, m, stride);
+                } else {
+                    stockham_stage_f32(backend, sc_re, sc_im, re, im, tw_re, tw_im, m, stride);
                 }
                 n_cur = m;
                 stride *= 2;

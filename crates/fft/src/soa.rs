@@ -33,10 +33,60 @@
 use std::cell::RefCell;
 use std::sync::Arc;
 
-use litho_math::{ComplexMatrix, Matrix, RealMatrix};
+use litho_math::simd::{simd_backend, Precision, SimdBackend};
+use litho_math::{soa, ComplexMatrix, Matrix, RealMatrix};
+use litho_obs::Counter;
 
 use crate::cache::{bluestein_plan_for, plan_for, BluesteinPlan};
 use crate::plan::FftPlan;
+
+/// Fused SOCS accumulate dispatches, broken down by the SIMD backend and
+/// arithmetic precision that actually ran — the operational mirror of the
+/// `NITHO_SIMD`/`NITHO_PRECISION` knobs on `/metrics`.
+static SOCS_DISPATCH_SCALAR_F64: Counter = Counter::with_label(
+    "litho_fft_socs_dispatches_total",
+    "fused SOCS accumulate dispatches by SIMD backend and precision",
+    "backend=\"scalar\",precision=\"f64\"",
+);
+static SOCS_DISPATCH_AVX2_F64: Counter = Counter::with_label(
+    "litho_fft_socs_dispatches_total",
+    "fused SOCS accumulate dispatches by SIMD backend and precision",
+    "backend=\"avx2\",precision=\"f64\"",
+);
+static SOCS_DISPATCH_SCALAR_F32: Counter = Counter::with_label(
+    "litho_fft_socs_dispatches_total",
+    "fused SOCS accumulate dispatches by SIMD backend and precision",
+    "backend=\"scalar\",precision=\"f32\"",
+);
+static SOCS_DISPATCH_AVX2_F32: Counter = Counter::with_label(
+    "litho_fft_socs_dispatches_total",
+    "fused SOCS accumulate dispatches by SIMD backend and precision",
+    "backend=\"avx2\",precision=\"f32\"",
+);
+
+/// Registers the per-backend dispatch counters (called from
+/// [`crate::cache::register_metrics`]). Idempotent.
+pub(crate) fn register_dispatch_metrics() {
+    litho_obs::register(&SOCS_DISPATCH_SCALAR_F64);
+    litho_obs::register(&SOCS_DISPATCH_AVX2_F64);
+    litho_obs::register(&SOCS_DISPATCH_SCALAR_F32);
+    litho_obs::register(&SOCS_DISPATCH_AVX2_F32);
+}
+
+fn record_socs_dispatch(backend: SimdBackend, precision: Precision) {
+    match (backend, precision) {
+        (SimdBackend::Scalar, Precision::F64) => SOCS_DISPATCH_SCALAR_F64.inc(),
+        (SimdBackend::Avx2, Precision::F64) => SOCS_DISPATCH_AVX2_F64.inc(),
+        (SimdBackend::Scalar, Precision::F32) => SOCS_DISPATCH_SCALAR_F32.inc(),
+        (SimdBackend::Avx2, Precision::F32) => SOCS_DISPATCH_AVX2_F32.inc(),
+    }
+}
+
+/// Total fused SOCS accumulate dispatches that ran at reduced (`f32`)
+/// precision, either backend — surfaced in the `/healthz` engine summary.
+pub fn total_socs_f32_dispatches() -> u64 {
+    SOCS_DISPATCH_SCALAR_F32.get() + SOCS_DISPATCH_AVX2_F32.get()
+}
 
 /// A resolved split-complex 1-D strategy for one length (mirror of the AoS
 /// `Planned` dispatch in `lib.rs`).
@@ -58,20 +108,29 @@ impl SoaPlanned {
     }
 
     #[inline]
-    fn forward(&self, re: &mut [f64], im: &mut [f64]) {
+    fn forward(&self, backend: SimdBackend, re: &mut [f64], im: &mut [f64]) {
         match self {
             SoaPlanned::Identity => {}
-            SoaPlanned::Radix2(plan) => plan.forward_soa_in_place(re, im),
-            SoaPlanned::Bluestein(plan) => plan.forward_soa_in_place(re, im),
+            SoaPlanned::Radix2(plan) => plan.forward_soa_with(backend, re, im),
+            SoaPlanned::Bluestein(plan) => plan.forward_soa_with(backend, re, im),
         }
     }
 
     #[inline]
-    fn inverse(&self, re: &mut [f64], im: &mut [f64]) {
+    fn inverse(&self, backend: SimdBackend, re: &mut [f64], im: &mut [f64]) {
         match self {
             SoaPlanned::Identity => {}
-            SoaPlanned::Radix2(plan) => plan.inverse_soa_in_place(re, im),
-            SoaPlanned::Bluestein(plan) => plan.inverse_soa_in_place(re, im),
+            SoaPlanned::Radix2(plan) => plan.inverse_soa_with(backend, re, im),
+            SoaPlanned::Bluestein(plan) => plan.inverse_soa_with(backend, re, im),
+        }
+    }
+
+    #[inline]
+    fn inverse_f32(&self, backend: SimdBackend, re: &mut [f32], im: &mut [f32]) {
+        match self {
+            SoaPlanned::Identity => {}
+            SoaPlanned::Radix2(plan) => plan.inverse_soa_f32_with(backend, re, im),
+            SoaPlanned::Bluestein(plan) => plan.inverse_soa_f32_with(backend, re, im),
         }
     }
 }
@@ -92,8 +151,25 @@ struct SoaScratch {
     acc_t: Vec<f64>,
 }
 
+/// f32 twin of [`SoaScratch`] for the reduced-precision accumulate (separate
+/// thread-local so enabling `NITHO_PRECISION=f32` never disturbs the f64
+/// arenas mid-flight).
+#[derive(Default)]
+struct SoaScratch32 {
+    plane_re: Vec<f32>,
+    plane_im: Vec<f32>,
+    col_re: Vec<f32>,
+    col_im: Vec<f32>,
+    prod_re: Vec<f32>,
+    prod_im: Vec<f32>,
+    spec_re: Vec<f32>,
+    spec_im: Vec<f32>,
+    acc_t: Vec<f32>,
+}
+
 thread_local! {
     static SCRATCH: RefCell<SoaScratch> = RefCell::new(SoaScratch::default());
+    static SCRATCH_F32: RefCell<SoaScratch32> = RefCell::new(SoaScratch32::default());
 }
 
 /// Grows `buf` to at least `len` elements without shrinking its capacity;
@@ -101,6 +177,13 @@ thread_local! {
 /// (callers re-zero what they logically need).
 #[inline]
 fn ensure_len(buf: &mut Vec<f64>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+}
+
+#[inline]
+fn ensure_len_f32(buf: &mut Vec<f32>, len: usize) {
     if buf.len() < len {
         buf.resize(len, 0.0);
     }
@@ -132,6 +215,19 @@ pub fn accumulate_socs_intensity(
     spectrum: &ComplexMatrix,
     acc: &mut RealMatrix,
 ) {
+    accumulate_socs_intensity_with(simd_backend(), kernels, spectrum, acc);
+}
+
+/// [`accumulate_socs_intensity`] with an explicit SIMD backend — the
+/// equivalence proptests A/B the backends through this without touching
+/// process-global state.
+pub fn accumulate_socs_intensity_with(
+    backend: SimdBackend,
+    kernels: &[ComplexMatrix],
+    spectrum: &ComplexMatrix,
+    acc: &mut RealMatrix,
+) {
+    record_socs_dispatch(backend, Precision::F64);
     let (kr, kc) = spectrum.shape();
     let (out_rows, out_cols) = acc.shape();
     assert!(
@@ -201,7 +297,7 @@ pub fn accumulate_socs_intensity(
                 let ri = row_target(u);
                 let row_re = &mut s.plane_re[ri * out_cols..(ri + 1) * out_cols];
                 let row_im = &mut s.plane_im[ri * out_cols..(ri + 1) * out_cols];
-                row_plan.inverse(row_re, row_im);
+                row_plan.inverse(backend, row_re, row_im);
             }
 
             // Column pass fused with the |z|² accumulate: gather the (sparse)
@@ -217,15 +313,18 @@ pub fn accumulate_socs_intensity(
                     s.col_re[ri] = s.plane_re[ri * out_cols + j];
                     s.col_im[ri] = s.plane_im[ri * out_cols + j];
                 }
-                col_plan.inverse(&mut s.col_re[..out_rows], &mut s.col_im[..out_rows]);
+                col_plan.inverse(
+                    backend,
+                    &mut s.col_re[..out_rows],
+                    &mut s.col_im[..out_rows],
+                );
                 let acc_col = &mut s.acc_t[j * out_rows..(j + 1) * out_rows];
-                for ((slot, &r), &im) in acc_col
-                    .iter_mut()
-                    .zip(&s.col_re[..out_rows])
-                    .zip(&s.col_im[..out_rows])
-                {
-                    *slot += r * r + im * im;
-                }
+                soa::accumulate_abs_sq_with(
+                    backend,
+                    &s.col_re[..out_rows],
+                    &s.col_im[..out_rows],
+                    acc_col,
+                );
             }
         }
 
@@ -237,6 +336,140 @@ pub fn accumulate_socs_intensity(
             let row = &mut acc_data[i * out_cols..(i + 1) * out_cols];
             for (j, slot) in row.iter_mut().enumerate() {
                 *slot += s.acc_t[j * out_rows + i];
+            }
+        }
+    });
+}
+
+/// Reduced-precision (`f32`) twin of [`accumulate_socs_intensity`] — the
+/// engine behind `NITHO_PRECISION=f32`. The kernel products, padded plane,
+/// Stockham passes and `|z|²` accumulate all run in single precision
+/// (halving memory traffic and doubling SIMD lanes); only the final fold
+/// into the caller's accumulator widens back to `f64`. Not bit-compatible
+/// with the `f64` path: it is validated against the paper's accuracy bar
+/// (PSNR > 24 dB, mIOU > 88% per mask family, pinned by
+/// `tests/precision_f32.rs`) plus a per-pixel relative-error ceiling.
+///
+/// # Panics
+///
+/// Panics if the kernels and spectrum do not share one shape, or `acc` is
+/// smaller than the kernel grid.
+pub fn accumulate_socs_intensity_f32(
+    kernels: &[ComplexMatrix],
+    spectrum: &ComplexMatrix,
+    acc: &mut RealMatrix,
+) {
+    accumulate_socs_intensity_f32_with(simd_backend(), kernels, spectrum, acc);
+}
+
+/// [`accumulate_socs_intensity_f32`] with an explicit SIMD backend.
+pub fn accumulate_socs_intensity_f32_with(
+    backend: SimdBackend,
+    kernels: &[ComplexMatrix],
+    spectrum: &ComplexMatrix,
+    acc: &mut RealMatrix,
+) {
+    record_socs_dispatch(backend, Precision::F32);
+    let (kr, kc) = spectrum.shape();
+    let (out_rows, out_cols) = acc.shape();
+    assert!(
+        kernels.iter().all(|k| k.shape() == (kr, kc)),
+        "kernels must match the spectrum shape"
+    );
+    assert!(
+        out_rows >= kr && out_cols >= kc,
+        "output resolution must be at least the kernel grid"
+    );
+
+    let r0 = out_rows / 2 - kr / 2;
+    let c0 = out_cols / 2 - kc / 2;
+    let shift_rows = out_rows - out_rows / 2;
+    let shift_cols = out_cols - out_cols / 2;
+    let row_target = |u: usize| (r0 + u + shift_rows) % out_rows;
+    let col_target = |v: usize| (c0 + v + shift_cols) % out_cols;
+
+    let row_plan = SoaPlanned::for_len(out_cols);
+    let col_plan = SoaPlanned::for_len(out_rows);
+
+    SCRATCH_F32.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let s = &mut *scratch;
+        ensure_len_f32(&mut s.plane_re, out_rows * out_cols);
+        ensure_len_f32(&mut s.plane_im, out_rows * out_cols);
+        ensure_len_f32(&mut s.col_re, out_rows);
+        ensure_len_f32(&mut s.col_im, out_rows);
+        ensure_len_f32(&mut s.prod_re, kr * kc);
+        ensure_len_f32(&mut s.prod_im, kr * kc);
+        ensure_len_f32(&mut s.spec_re, kr * kc);
+        ensure_len_f32(&mut s.spec_im, kr * kc);
+        ensure_len_f32(&mut s.acc_t, out_rows * out_cols);
+        s.plane_re[..out_rows * out_cols].fill(0.0);
+        s.plane_im[..out_rows * out_cols].fill(0.0);
+        s.acc_t[..out_rows * out_cols].fill(0.0);
+        // Narrow the spectrum once per call; kernels narrow per element in
+        // the product loop below.
+        for (idx, sp) in spectrum.iter().enumerate() {
+            s.spec_re[idx] = sp.re as f32;
+            s.spec_im[idx] = sp.im as f32;
+        }
+        for kernel in kernels {
+            for (idx, k) in kernel.iter().enumerate() {
+                let (ar, ai) = (k.re as f32, k.im as f32);
+                let (br, bi) = (s.spec_re[idx], s.spec_im[idx]);
+                s.prod_re[idx] = ar * br - ai * bi;
+                s.prod_im[idx] = ar * bi + ai * br;
+            }
+
+            for u in 0..kr {
+                let ri = row_target(u);
+                s.plane_re[ri * out_cols..(ri + 1) * out_cols].fill(0.0);
+                s.plane_im[ri * out_cols..(ri + 1) * out_cols].fill(0.0);
+            }
+            for u in 0..kr {
+                let ri = row_target(u);
+                for v in 0..kc {
+                    let cj = col_target(v);
+                    s.plane_re[ri * out_cols + cj] = s.prod_re[u * kc + v];
+                    s.plane_im[ri * out_cols + cj] = s.prod_im[u * kc + v];
+                }
+            }
+
+            for u in 0..kr {
+                let ri = row_target(u);
+                let row_re = &mut s.plane_re[ri * out_cols..(ri + 1) * out_cols];
+                let row_im = &mut s.plane_im[ri * out_cols..(ri + 1) * out_cols];
+                row_plan.inverse_f32(backend, row_re, row_im);
+            }
+
+            for j in 0..out_cols {
+                s.col_re[..out_rows].fill(0.0);
+                s.col_im[..out_rows].fill(0.0);
+                for u in 0..kr {
+                    let ri = row_target(u);
+                    s.col_re[ri] = s.plane_re[ri * out_cols + j];
+                    s.col_im[ri] = s.plane_im[ri * out_cols + j];
+                }
+                col_plan.inverse_f32(
+                    backend,
+                    &mut s.col_re[..out_rows],
+                    &mut s.col_im[..out_rows],
+                );
+                let acc_col = &mut s.acc_t[j * out_rows..(j + 1) * out_rows];
+                soa::accumulate_abs_sq_f32_with(
+                    backend,
+                    &s.col_re[..out_rows],
+                    &s.col_im[..out_rows],
+                    acc_col,
+                );
+            }
+        }
+
+        // Widen once per pixel while folding into the caller's f64 buffer.
+        let acc_data = acc.as_mut_slice();
+        for i in 0..out_rows {
+            let row = &mut acc_data[i * out_cols..(i + 1) * out_cols];
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot += f64::from(s.acc_t[j * out_rows + i]);
             }
         }
     });
@@ -264,6 +497,7 @@ pub fn ifft2_batch(spectra: &[ComplexMatrix]) -> Vec<ComplexMatrix> {
     );
     let row_plan = SoaPlanned::for_len(cols);
     let col_plan = SoaPlanned::for_len(rows);
+    let backend = simd_backend();
 
     SCRATCH.with(|scratch| {
         let mut scratch = scratch.borrow_mut();
@@ -284,7 +518,7 @@ pub fn ifft2_batch(spectra: &[ComplexMatrix]) -> Vec<ComplexMatrix> {
                     let row_re = &mut s.plane_re[r * cols..(r + 1) * cols];
                     let row_im = &mut s.plane_im[r * cols..(r + 1) * cols];
                     if !is_all_zero(row_re, row_im) {
-                        row_plan.inverse(row_re, row_im);
+                        row_plan.inverse(backend, row_re, row_im);
                     }
                 }
                 for j in 0..cols {
@@ -295,7 +529,7 @@ pub fn ifft2_batch(spectra: &[ComplexMatrix]) -> Vec<ComplexMatrix> {
                     if is_all_zero(&s.col_re[..rows], &s.col_im[..rows]) {
                         continue;
                     }
-                    col_plan.inverse(&mut s.col_re[..rows], &mut s.col_im[..rows]);
+                    col_plan.inverse(backend, &mut s.col_re[..rows], &mut s.col_im[..rows]);
                     for i in 0..rows {
                         s.plane_re[i * cols + j] = s.col_re[i];
                         s.plane_im[i * cols + j] = s.col_im[i];
@@ -333,6 +567,7 @@ pub fn cropped_centered_spectrum(
     );
     let row_plan = SoaPlanned::for_len(cols);
     let col_plan = SoaPlanned::for_len(rows);
+    let backend = simd_backend();
 
     SCRATCH.with(|scratch| {
         let mut scratch = scratch.borrow_mut();
@@ -348,7 +583,7 @@ pub fn cropped_centered_spectrum(
             let row_re = &mut s.plane_re[r * cols..(r + 1) * cols];
             let row_im = &mut s.plane_im[r * cols..(r + 1) * cols];
             if !is_all_zero(row_re, row_im) {
-                row_plan.forward(row_re, row_im);
+                row_plan.forward(backend, row_re, row_im);
             }
         }
         // fftshift then crop, folded: output bin (i, j) reads shifted bin
@@ -367,7 +602,7 @@ pub fn cropped_centered_spectrum(
             if is_all_zero(&s.col_re[..rows], &s.col_im[..rows]) {
                 continue;
             }
-            col_plan.forward(&mut s.col_re[..rows], &mut s.col_im[..rows]);
+            col_plan.forward(backend, &mut s.col_re[..rows], &mut s.col_im[..rows]);
             for i in 0..rows {
                 s.plane_re[i * cols + sc] = s.col_re[i];
                 s.plane_im[i * cols + sc] = s.col_im[i];

@@ -11,8 +11,10 @@
 //!   SOCS decomposition of the transmission cross-coefficients),
 //! * [`rng`] — deterministic random sampling helpers (uniform / Gaussian)
 //!   built on top of `rand`,
+//! * [`simd`] — runtime SIMD backend (`NITHO_SIMD`) and precision
+//!   (`NITHO_PRECISION`) selection plus the explicit AVX2+FMA kernels,
 //! * [`soa`] — split-complex (structure-of-arrays) storage and the fused,
-//!   autovectorizable kernels behind the zero-allocation hot paths,
+//!   backend-dispatched kernels behind the zero-allocation hot paths,
 //! * [`util`] — centering, cropping, padding and grid helpers shared by the
 //!   FFT and optics crates.
 //!
@@ -34,6 +36,7 @@ pub mod eigen;
 pub mod linalg;
 pub mod matrix;
 pub mod rng;
+pub mod simd;
 pub mod soa;
 pub mod util;
 

@@ -1,0 +1,673 @@
+//! Runtime SIMD backend and precision selection, plus the explicit AVX2
+//! kernels behind [`crate::soa`].
+//!
+//! The workspace builds with `-C target-cpu=native`, which lets LLVM
+//! autovectorize the scalar split-complex loops — but rustc never contracts
+//! `a*b + c` into a fused multiply-add on its own, so the remaining headroom
+//! on AVX2+FMA hardware is explicit `std::arch` intrinsics. This module owns
+//! that dispatch decision:
+//!
+//! * [`SimdBackend`] — `Scalar` (the pinned bit-identical reference; exactly
+//!   the pre-SIMD arithmetic in the same order) or `Avx2` (explicit 256-bit
+//!   FMA kernels). Resolved once per process from `NITHO_SIMD`
+//!   (`scalar|avx2|auto`, default `auto` = use AVX2 when the CPU has
+//!   AVX2+FMA).
+//! * [`Precision`] — `F64` (default) or `F32`, resolved from
+//!   `NITHO_PRECISION` (`f64|f32`). Consumed by the frozen-inference paths
+//!   (CMLP inference, SOCS |field|² accumulate); training and the rigorous
+//!   Hopkins reference always stay `f64`.
+//!
+//! Because FMA fuses the multiply and add into one rounding, the AVX2
+//! kernels are *not* bit-identical to scalar: the contract (pinned by the
+//! `simd_equivalence` proptests) is agreement within 1e-12 relative, with
+//! the scalar backend remaining the bit-exact determinism reference.
+//!
+//! # Safety
+//!
+//! The `avx2` submodule holds the repo's only `unsafe` code. Every function
+//! there is an `unsafe fn` whose single obligation is **the caller proved
+//! AVX2+FMA are available** (via [`simd_backend`]`() == Avx2`, which implies
+//! [`avx2_available`], or a direct feature check). Slice-length agreement is
+//! re-asserted inside each kernel, so out-of-bounds access is impossible
+//! even on contract violation — the only UB hazard is executing AVX2/FMA
+//! instructions on a CPU without them.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel implementation the fused SoA entry points dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdBackend {
+    /// Portable scalar loops — the bit-identical pinned reference.
+    Scalar,
+    /// Explicit 256-bit AVX2+FMA intrinsics (x86_64 only, runtime-detected).
+    Avx2,
+}
+
+impl SimdBackend {
+    /// Stable lowercase label for logs, metrics and `/healthz`.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdBackend::Scalar => "scalar",
+            SimdBackend::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Arithmetic width of the frozen-inference paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// Double precision — the default; bit-compatible with every
+    /// pre-existing pin.
+    F64,
+    /// Single precision — opt-in; validated against the paper's accuracy
+    /// bar (PSNR > 24 dB, mIOU > 88%) rather than bit-identity.
+    F32,
+}
+
+impl Precision {
+    /// Stable lowercase label for logs, metrics and `/healthz`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+}
+
+const UNRESOLVED: u8 = 0;
+const BACKEND_SCALAR: u8 = 1;
+const BACKEND_AVX2: u8 = 2;
+const PRECISION_F64: u8 = 1;
+const PRECISION_F32: u8 = 2;
+
+static BACKEND: AtomicU8 = AtomicU8::new(UNRESOLVED);
+static PRECISION: AtomicU8 = AtomicU8::new(UNRESOLVED);
+
+/// `true` when this process can execute the AVX2+FMA kernels.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The process-wide SIMD backend, resolved once from `NITHO_SIMD`.
+///
+/// # Panics
+///
+/// Panics on first call if `NITHO_SIMD` is set to an unknown value, or to
+/// `avx2` on hardware without AVX2+FMA.
+#[inline]
+pub fn simd_backend() -> SimdBackend {
+    match BACKEND.load(Ordering::Relaxed) {
+        BACKEND_SCALAR => SimdBackend::Scalar,
+        BACKEND_AVX2 => SimdBackend::Avx2,
+        _ => resolve_backend(),
+    }
+}
+
+#[cold]
+fn resolve_backend() -> SimdBackend {
+    let requested = std::env::var("NITHO_SIMD").unwrap_or_default();
+    let backend = match requested.as_str() {
+        "scalar" => SimdBackend::Scalar,
+        "avx2" => {
+            assert!(
+                avx2_available(),
+                "NITHO_SIMD=avx2 requested but this CPU/arch lacks AVX2+FMA; \
+                 use NITHO_SIMD=auto or NITHO_SIMD=scalar"
+            );
+            SimdBackend::Avx2
+        }
+        "" | "auto" => {
+            if avx2_available() {
+                SimdBackend::Avx2
+            } else {
+                SimdBackend::Scalar
+            }
+        }
+        other => panic!("NITHO_SIMD must be one of scalar|avx2|auto, got {other:?}"),
+    };
+    force_simd_backend(backend);
+    backend
+}
+
+/// Overrides the resolved SIMD backend for the rest of the process.
+///
+/// Intended for benches and equivalence tests that A/B the backends in one
+/// process; production code should rely on `NITHO_SIMD`.
+///
+/// # Panics
+///
+/// Panics if `Avx2` is forced on hardware without AVX2+FMA (forcing an
+/// unexecutable backend would be undefined behaviour at the first kernel).
+pub fn force_simd_backend(backend: SimdBackend) {
+    let tag = match backend {
+        SimdBackend::Scalar => BACKEND_SCALAR,
+        SimdBackend::Avx2 => {
+            assert!(
+                avx2_available(),
+                "cannot force the AVX2 backend: this CPU/arch lacks AVX2+FMA"
+            );
+            BACKEND_AVX2
+        }
+    };
+    BACKEND.store(tag, Ordering::Relaxed);
+}
+
+/// The process-wide inference precision, resolved once from
+/// `NITHO_PRECISION`.
+///
+/// # Panics
+///
+/// Panics on first call if `NITHO_PRECISION` is set to an unknown value.
+#[inline]
+pub fn precision() -> Precision {
+    match PRECISION.load(Ordering::Relaxed) {
+        PRECISION_F64 => Precision::F64,
+        PRECISION_F32 => Precision::F32,
+        _ => resolve_precision(),
+    }
+}
+
+#[cold]
+fn resolve_precision() -> Precision {
+    let requested = std::env::var("NITHO_PRECISION").unwrap_or_default();
+    let precision = match requested.as_str() {
+        "" | "f64" => Precision::F64,
+        "f32" => Precision::F32,
+        other => panic!("NITHO_PRECISION must be one of f64|f32, got {other:?}"),
+    };
+    force_precision(precision);
+    precision
+}
+
+/// Overrides the resolved inference precision for the rest of the process.
+///
+/// Intended for the accuracy-bar harness and benches; production code
+/// should rely on `NITHO_PRECISION`.
+pub fn force_precision(precision: Precision) {
+    let tag = match precision {
+        Precision::F64 => PRECISION_F64,
+        Precision::F32 => PRECISION_F32,
+    };
+    PRECISION.store(tag, Ordering::Relaxed);
+}
+
+/// Explicit AVX2+FMA kernels. See the module-level safety discussion.
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    #![deny(unsafe_op_in_unsafe_fn)]
+
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_add_ps, _mm256_fmadd_pd, _mm256_fmadd_ps, _mm256_fmsub_pd,
+        _mm256_fmsub_ps, _mm256_fnmadd_pd, _mm256_fnmadd_ps, _mm256_loadu_pd, _mm256_loadu_ps,
+        _mm256_mul_pd, _mm256_mul_ps, _mm256_set1_pd, _mm256_set1_ps, _mm256_storeu_pd,
+        _mm256_storeu_ps, _mm256_sub_pd, _mm256_sub_ps,
+    };
+
+    /// f64 lanes per 256-bit register.
+    const L64: usize = 4;
+    /// f32 lanes per 256-bit register.
+    const L32: usize = 8;
+
+    macro_rules! assert_lengths {
+        ($kernel:literal, $n:expr, $($name:literal = $slice:expr),+ $(,)?) => {
+            $(assert!(
+                $slice.len() == $n,
+                concat!("soa::", $kernel, ": slice `", $name,
+                        "` has length {} but expected {}"),
+                $slice.len(),
+                $n,
+            );)+
+        };
+    }
+
+    /// `out ← a ⊙ b` (element-wise complex product), AVX2+FMA.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 and FMA ([`super::avx2_available`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn mul_into(
+        ar: &[f64],
+        ai: &[f64],
+        br: &[f64],
+        bi: &[f64],
+        out_re: &mut [f64],
+        out_im: &mut [f64],
+    ) {
+        let n = ar.len();
+        assert_lengths!(
+            "mul_into",
+            n,
+            "ai" = ai,
+            "br" = br,
+            "bi" = bi,
+            "out_re" = out_re,
+            "out_im" = out_im
+        );
+        let mut k = 0;
+        while k + L64 <= n {
+            // SAFETY: `k + L64 <= n` bounds every 4-lane load and store, and
+            // all six slices have length `n` (asserted above).
+            unsafe {
+                let are = _mm256_loadu_pd(ar.as_ptr().add(k));
+                let aim = _mm256_loadu_pd(ai.as_ptr().add(k));
+                let bre = _mm256_loadu_pd(br.as_ptr().add(k));
+                let bim = _mm256_loadu_pd(bi.as_ptr().add(k));
+                let re = _mm256_fmsub_pd(are, bre, _mm256_mul_pd(aim, bim));
+                let im = _mm256_fmadd_pd(are, bim, _mm256_mul_pd(aim, bre));
+                _mm256_storeu_pd(out_re.as_mut_ptr().add(k), re);
+                _mm256_storeu_pd(out_im.as_mut_ptr().add(k), im);
+            }
+            k += L64;
+        }
+        while k < n {
+            out_re[k] = ar[k] * br[k] - ai[k] * bi[k];
+            out_im[k] = ar[k] * bi[k] + ai[k] * br[k];
+            k += 1;
+        }
+    }
+
+    /// f32 variant of [`mul_into`].
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 and FMA ([`super::avx2_available`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn mul_into_f32(
+        ar: &[f32],
+        ai: &[f32],
+        br: &[f32],
+        bi: &[f32],
+        out_re: &mut [f32],
+        out_im: &mut [f32],
+    ) {
+        let n = ar.len();
+        assert_lengths!(
+            "mul_into_f32",
+            n,
+            "ai" = ai,
+            "br" = br,
+            "bi" = bi,
+            "out_re" = out_re,
+            "out_im" = out_im
+        );
+        let mut k = 0;
+        while k + L32 <= n {
+            // SAFETY: `k + L32 <= n` bounds every 8-lane load and store, and
+            // all six slices have length `n` (asserted above).
+            unsafe {
+                let are = _mm256_loadu_ps(ar.as_ptr().add(k));
+                let aim = _mm256_loadu_ps(ai.as_ptr().add(k));
+                let bre = _mm256_loadu_ps(br.as_ptr().add(k));
+                let bim = _mm256_loadu_ps(bi.as_ptr().add(k));
+                let re = _mm256_fmsub_ps(are, bre, _mm256_mul_ps(aim, bim));
+                let im = _mm256_fmadd_ps(are, bim, _mm256_mul_ps(aim, bre));
+                _mm256_storeu_ps(out_re.as_mut_ptr().add(k), re);
+                _mm256_storeu_ps(out_im.as_mut_ptr().add(k), im);
+            }
+            k += L32;
+        }
+        while k < n {
+            out_re[k] = ar[k] * br[k] - ai[k] * bi[k];
+            out_im[k] = ar[k] * bi[k] + ai[k] * br[k];
+            k += 1;
+        }
+    }
+
+    /// `y ← y + α·x` for a complex scalar `α`, AVX2+FMA.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 and FMA ([`super::avx2_available`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy_in_place(
+        alpha_re: f64,
+        alpha_im: f64,
+        xr: &[f64],
+        xi: &[f64],
+        yr: &mut [f64],
+        yi: &mut [f64],
+    ) {
+        let n = xr.len();
+        assert_lengths!("axpy_in_place", n, "xi" = xi, "yr" = yr, "yi" = yi);
+        let va_re = _mm256_set1_pd(alpha_re);
+        let va_im = _mm256_set1_pd(alpha_im);
+        let mut k = 0;
+        while k + L64 <= n {
+            // SAFETY: `k + L64 <= n` bounds every 4-lane load and store, and
+            // all four slices have length `n` (asserted above).
+            unsafe {
+                let xre = _mm256_loadu_pd(xr.as_ptr().add(k));
+                let xim = _mm256_loadu_pd(xi.as_ptr().add(k));
+                let yre = _mm256_loadu_pd(yr.as_ptr().add(k));
+                let yim = _mm256_loadu_pd(yi.as_ptr().add(k));
+                let re = _mm256_fnmadd_pd(va_im, xim, _mm256_fmadd_pd(va_re, xre, yre));
+                let im = _mm256_fmadd_pd(va_im, xre, _mm256_fmadd_pd(va_re, xim, yim));
+                _mm256_storeu_pd(yr.as_mut_ptr().add(k), re);
+                _mm256_storeu_pd(yi.as_mut_ptr().add(k), im);
+            }
+            k += L64;
+        }
+        while k < n {
+            yr[k] += alpha_re * xr[k] - alpha_im * xi[k];
+            yi[k] += alpha_re * xi[k] + alpha_im * xr[k];
+            k += 1;
+        }
+    }
+
+    /// f32 variant of [`axpy_in_place`].
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 and FMA ([`super::avx2_available`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy_in_place_f32(
+        alpha_re: f32,
+        alpha_im: f32,
+        xr: &[f32],
+        xi: &[f32],
+        yr: &mut [f32],
+        yi: &mut [f32],
+    ) {
+        let n = xr.len();
+        assert_lengths!("axpy_in_place_f32", n, "xi" = xi, "yr" = yr, "yi" = yi);
+        let va_re = _mm256_set1_ps(alpha_re);
+        let va_im = _mm256_set1_ps(alpha_im);
+        let mut k = 0;
+        while k + L32 <= n {
+            // SAFETY: `k + L32 <= n` bounds every 8-lane load and store, and
+            // all four slices have length `n` (asserted above).
+            unsafe {
+                let xre = _mm256_loadu_ps(xr.as_ptr().add(k));
+                let xim = _mm256_loadu_ps(xi.as_ptr().add(k));
+                let yre = _mm256_loadu_ps(yr.as_ptr().add(k));
+                let yim = _mm256_loadu_ps(yi.as_ptr().add(k));
+                let re = _mm256_fnmadd_ps(va_im, xim, _mm256_fmadd_ps(va_re, xre, yre));
+                let im = _mm256_fmadd_ps(va_im, xre, _mm256_fmadd_ps(va_re, xim, yim));
+                _mm256_storeu_ps(yr.as_mut_ptr().add(k), re);
+                _mm256_storeu_ps(yi.as_mut_ptr().add(k), im);
+            }
+            k += L32;
+        }
+        while k < n {
+            yr[k] += alpha_re * xr[k] - alpha_im * xi[k];
+            yi[k] += alpha_re * xi[k] + alpha_im * xr[k];
+            k += 1;
+        }
+    }
+
+    /// Scales both planes by a real factor in place, AVX2.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 and FMA ([`super::avx2_available`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn scale_in_place(re: &mut [f64], im: &mut [f64], s: f64) {
+        let vs = _mm256_set1_pd(s);
+        for plane in [re, im] {
+            let n = plane.len();
+            let mut k = 0;
+            while k + L64 <= n {
+                // SAFETY: `k + L64 <= n` bounds the 4-lane load and store.
+                unsafe {
+                    let v = _mm256_loadu_pd(plane.as_ptr().add(k));
+                    _mm256_storeu_pd(plane.as_mut_ptr().add(k), _mm256_mul_pd(v, vs));
+                }
+                k += L64;
+            }
+            while k < n {
+                plane[k] *= s;
+                k += 1;
+            }
+        }
+    }
+
+    /// f32 variant of [`scale_in_place`].
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 and FMA ([`super::avx2_available`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn scale_in_place_f32(re: &mut [f32], im: &mut [f32], s: f32) {
+        let vs = _mm256_set1_ps(s);
+        for plane in [re, im] {
+            let n = plane.len();
+            let mut k = 0;
+            while k + L32 <= n {
+                // SAFETY: `k + L32 <= n` bounds the 8-lane load and store.
+                unsafe {
+                    let v = _mm256_loadu_ps(plane.as_ptr().add(k));
+                    _mm256_storeu_ps(plane.as_mut_ptr().add(k), _mm256_mul_ps(v, vs));
+                }
+                k += L32;
+            }
+            while k < n {
+                plane[k] *= s;
+                k += 1;
+            }
+        }
+    }
+
+    /// `acc[k] += re[k]² + im[k]²`, AVX2+FMA.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 and FMA ([`super::avx2_available`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn accumulate_abs_sq(re: &[f64], im: &[f64], acc: &mut [f64]) {
+        let n = re.len();
+        assert_lengths!("accumulate_abs_sq", n, "im" = im, "acc" = acc);
+        let mut k = 0;
+        while k + L64 <= n {
+            // SAFETY: `k + L64 <= n` bounds every 4-lane load and store, and
+            // all three slices have length `n` (asserted above).
+            unsafe {
+                let vre = _mm256_loadu_pd(re.as_ptr().add(k));
+                let vim = _mm256_loadu_pd(im.as_ptr().add(k));
+                let vacc = _mm256_loadu_pd(acc.as_ptr().add(k));
+                let sum = _mm256_fmadd_pd(vre, vre, _mm256_fmadd_pd(vim, vim, vacc));
+                _mm256_storeu_pd(acc.as_mut_ptr().add(k), sum);
+            }
+            k += L64;
+        }
+        while k < n {
+            acc[k] += re[k] * re[k] + im[k] * im[k];
+            k += 1;
+        }
+    }
+
+    /// f32-field variant of [`accumulate_abs_sq`]: the accumulator stays
+    /// `f32` (the caller folds into `f64` once per plane).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 and FMA ([`super::avx2_available`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn accumulate_abs_sq_f32(re: &[f32], im: &[f32], acc: &mut [f32]) {
+        let n = re.len();
+        assert_lengths!("accumulate_abs_sq_f32", n, "im" = im, "acc" = acc);
+        let mut k = 0;
+        while k + L32 <= n {
+            // SAFETY: `k + L32 <= n` bounds every 8-lane load and store, and
+            // all three slices have length `n` (asserted above).
+            unsafe {
+                let vre = _mm256_loadu_ps(re.as_ptr().add(k));
+                let vim = _mm256_loadu_ps(im.as_ptr().add(k));
+                let vacc = _mm256_loadu_ps(acc.as_ptr().add(k));
+                let sum = _mm256_fmadd_ps(vre, vre, _mm256_fmadd_ps(vim, vim, vacc));
+                _mm256_storeu_ps(acc.as_mut_ptr().add(k), sum);
+            }
+            k += L32;
+        }
+        while k < n {
+            acc[k] += re[k] * re[k] + im[k] * im[k];
+            k += 1;
+        }
+    }
+
+    /// One Stockham radix-2 butterfly over contiguous runs:
+    /// `d0 ← a + b`, `d1 ← (a − b)·w` with a broadcast twiddle `w`, AVX2+FMA.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 and FMA ([`super::avx2_available`]).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn stockham_butterfly(
+        ar: &[f64],
+        ai: &[f64],
+        br: &[f64],
+        bi: &[f64],
+        d0r: &mut [f64],
+        d0i: &mut [f64],
+        d1r: &mut [f64],
+        d1i: &mut [f64],
+        wr: f64,
+        wi: f64,
+    ) {
+        let n = ar.len();
+        assert_lengths!(
+            "stockham_butterfly",
+            n,
+            "ai" = ai,
+            "br" = br,
+            "bi" = bi,
+            "d0r" = d0r,
+            "d0i" = d0i,
+            "d1r" = d1r,
+            "d1i" = d1i
+        );
+        let vwr = _mm256_set1_pd(wr);
+        let vwi = _mm256_set1_pd(wi);
+        let mut k = 0;
+        while k + L64 <= n {
+            // SAFETY: `k + L64 <= n` bounds every 4-lane load and store, and
+            // all eight slices have length `n` (asserted above).
+            unsafe {
+                let are = _mm256_loadu_pd(ar.as_ptr().add(k));
+                let aim = _mm256_loadu_pd(ai.as_ptr().add(k));
+                let bre = _mm256_loadu_pd(br.as_ptr().add(k));
+                let bim = _mm256_loadu_pd(bi.as_ptr().add(k));
+                _mm256_storeu_pd(d0r.as_mut_ptr().add(k), _mm256_add_pd(are, bre));
+                _mm256_storeu_pd(d0i.as_mut_ptr().add(k), _mm256_add_pd(aim, bim));
+                let tre = _mm256_sub_pd(are, bre);
+                let tim = _mm256_sub_pd(aim, bim);
+                let re = _mm256_fmsub_pd(tre, vwr, _mm256_mul_pd(tim, vwi));
+                let im = _mm256_fmadd_pd(tre, vwi, _mm256_mul_pd(tim, vwr));
+                _mm256_storeu_pd(d1r.as_mut_ptr().add(k), re);
+                _mm256_storeu_pd(d1i.as_mut_ptr().add(k), im);
+            }
+            k += L64;
+        }
+        while k < n {
+            let tre = ar[k] - br[k];
+            let tim = ai[k] - bi[k];
+            d0r[k] = ar[k] + br[k];
+            d0i[k] = ai[k] + bi[k];
+            d1r[k] = tre * wr - tim * wi;
+            d1i[k] = tre * wi + tim * wr;
+            k += 1;
+        }
+    }
+
+    /// f32 variant of [`stockham_butterfly`].
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 and FMA ([`super::avx2_available`]).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn stockham_butterfly_f32(
+        ar: &[f32],
+        ai: &[f32],
+        br: &[f32],
+        bi: &[f32],
+        d0r: &mut [f32],
+        d0i: &mut [f32],
+        d1r: &mut [f32],
+        d1i: &mut [f32],
+        wr: f32,
+        wi: f32,
+    ) {
+        let n = ar.len();
+        assert_lengths!(
+            "stockham_butterfly_f32",
+            n,
+            "ai" = ai,
+            "br" = br,
+            "bi" = bi,
+            "d0r" = d0r,
+            "d0i" = d0i,
+            "d1r" = d1r,
+            "d1i" = d1i
+        );
+        let vwr = _mm256_set1_ps(wr);
+        let vwi = _mm256_set1_ps(wi);
+        let mut k = 0;
+        while k + L32 <= n {
+            // SAFETY: `k + L32 <= n` bounds every 8-lane load and store, and
+            // all eight slices have length `n` (asserted above).
+            unsafe {
+                let are = _mm256_loadu_ps(ar.as_ptr().add(k));
+                let aim = _mm256_loadu_ps(ai.as_ptr().add(k));
+                let bre = _mm256_loadu_ps(br.as_ptr().add(k));
+                let bim = _mm256_loadu_ps(bi.as_ptr().add(k));
+                _mm256_storeu_ps(d0r.as_mut_ptr().add(k), _mm256_add_ps(are, bre));
+                _mm256_storeu_ps(d0i.as_mut_ptr().add(k), _mm256_add_ps(aim, bim));
+                let tre = _mm256_sub_ps(are, bre);
+                let tim = _mm256_sub_ps(aim, bim);
+                let re = _mm256_fmsub_ps(tre, vwr, _mm256_mul_ps(tim, vwi));
+                let im = _mm256_fmadd_ps(tre, vwi, _mm256_mul_ps(tim, vwr));
+                _mm256_storeu_ps(d1r.as_mut_ptr().add(k), re);
+                _mm256_storeu_ps(d1i.as_mut_ptr().add(k), im);
+            }
+            k += L32;
+        }
+        while k < n {
+            let tre = ar[k] - br[k];
+            let tim = ai[k] - bi[k];
+            d0r[k] = ar[k] + br[k];
+            d0i[k] = ai[k] + bi[k];
+            d1r[k] = tre * wr - tim * wi;
+            d1i[k] = tre * wi + tim * wr;
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SimdBackend::Scalar.label(), "scalar");
+        assert_eq!(SimdBackend::Avx2.label(), "avx2");
+        assert_eq!(Precision::F64.label(), "f64");
+        assert_eq!(Precision::F32.label(), "f32");
+    }
+
+    #[test]
+    fn backend_resolves_to_a_supported_backend() {
+        let backend = simd_backend();
+        if backend == SimdBackend::Avx2 {
+            assert!(avx2_available());
+        }
+        // Resolution is sticky: a second read agrees.
+        assert_eq!(simd_backend(), backend);
+    }
+
+    #[test]
+    fn precision_defaults_resolve() {
+        // Whatever the environment picked, the resolution is sticky.
+        let p = precision();
+        assert_eq!(precision(), p);
+    }
+}

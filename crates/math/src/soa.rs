@@ -7,17 +7,30 @@
 //! the independent per-lane arithmetic. This module provides the
 //! split-complex alternative: real and imaginary parts live in two separate
 //! `f64` arrays, so every fused kernel below compiles to straight-line loops
-//! over contiguous `f64` slices that the compiler vectorizes.
+//! over contiguous `f64` slices.
 //!
-//! Every kernel performs *exactly* the same floating-point operations in the
-//! same order as its AoS counterpart (`(a·b).re = a.re·b.re − a.im·b.im`,
-//! `(a·b).im = a.re·b.im + a.im·b.re`, sums accumulated left to right), so
-//! switching a call site between layouts is bit-exact, not merely
-//! approximately equal. The equivalence pins in `litho_fft` and
-//! `litho_optics` rely on this.
+//! Each kernel dispatches through [`crate::simd::simd_backend`] (the
+//! `NITHO_SIMD` knob): the **scalar** backend performs *exactly* the same
+//! floating-point operations in the same order as its AoS counterpart
+//! (`(a·b).re = a.re·b.re − a.im·b.im`, `(a·b).im = a.re·b.im + a.im·b.re`,
+//! sums accumulated left to right), so switching a call site between
+//! layouts is bit-exact under `NITHO_SIMD=scalar` — the equivalence pins in
+//! `litho_fft` and `litho_optics` rely on this. The **avx2** backend uses
+//! explicit FMA intrinsics ([`crate::simd::avx2`]), which fuse one rounding
+//! per multiply-add; it agrees with scalar within 1e-12 relative (pinned by
+//! the `simd_equivalence` proptests) but not bitwise. Every kernel also has
+//! a `_with` variant taking an explicit [`SimdBackend`] so tests and benches
+//! can A/B the backends without touching process-global state, plus an
+//! `_f32` variant for the opt-in reduced-precision inference path.
+//!
+//! All length mismatches panic with a message naming the kernel and the
+//! offending slice — the SIMD tail loops make empty, length-1 and
+//! odd-remainder slices load-bearing, so the checks are unconditional
+//! (`assert!`, not `debug_assert!`).
 
 use crate::complex::Complex64;
 use crate::matrix::ComplexMatrix;
+use crate::simd::{self, SimdBackend};
 
 /// A dense row-major complex matrix in split-complex (SoA) layout.
 ///
@@ -150,11 +163,254 @@ impl ComplexSoa {
     }
 }
 
-/// `out ← a ⊙ b` (element-wise complex product), all operands split-complex.
+/// A dense row-major complex matrix in single-precision split-complex
+/// layout — the storage behind the opt-in `NITHO_PRECISION=f32` inference
+/// path. Construction narrows from `f64`; [`ComplexSoa32::to_matrix`]
+/// widens back for interop with the `f64` world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexSoa32 {
+    rows: usize,
+    cols: usize,
+    /// Real parts, row-major.
+    pub re: Vec<f32>,
+    /// Imaginary parts, row-major.
+    pub im: Vec<f32>,
+}
+
+impl ComplexSoa32 {
+    /// Creates a zero-filled SoA matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            re: vec![0.0; rows * cols],
+            im: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Converts (narrows) an AoS `f64` matrix into single-precision
+    /// split-complex layout.
+    pub fn from_matrix(m: &ComplexMatrix) -> Self {
+        let (rows, cols) = m.shape();
+        let mut re = Vec::with_capacity(rows * cols);
+        let mut im = Vec::with_capacity(rows * cols);
+        for z in m.iter() {
+            re.push(z.re as f32);
+            im.push(z.im as f32);
+        }
+        Self { rows, cols, re, im }
+    }
+
+    /// Converts (widens) back to the AoS `f64` matrix layout.
+    pub fn to_matrix(&self) -> ComplexMatrix {
+        ComplexMatrix::from_vec(
+            self.rows,
+            self.cols,
+            self.re
+                .iter()
+                .zip(self.im.iter())
+                .map(|(&r, &i)| Complex64::new(f64::from(r), f64::from(i)))
+                .collect(),
+        )
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of complex elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.re.len()
+    }
+
+    /// Always `false`: dimensions are non-zero by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Borrows one row as a `(re, im)` slice pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    #[inline]
+    pub fn row(&self, row: usize) -> (&[f32], &[f32]) {
+        assert!(row < self.rows, "row {row} out of bounds");
+        let start = row * self.cols;
+        (
+            &self.re[start..start + self.cols],
+            &self.im[start..start + self.cols],
+        )
+    }
+
+    /// Mutably borrows one row as a `(re, im)` slice pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> (&mut [f32], &mut [f32]) {
+        assert!(row < self.rows, "row {row} out of bounds");
+        let start = row * self.cols;
+        (
+            &mut self.re[start..start + self.cols],
+            &mut self.im[start..start + self.cols],
+        )
+    }
+
+    /// Mutably borrows both planes at once.
+    #[inline]
+    pub fn parts_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+        (&mut self.re, &mut self.im)
+    }
+}
+
+/// Unconditional length checks with a message naming the kernel and the
+/// offending slice — the error a caller sees on a mismatched call like
+/// `soa::mul_into: slice `br` has length 7 but expected 8`.
+macro_rules! check_lengths {
+    ($kernel:literal, $n:expr, $($name:literal = $slice:expr),+ $(,)?) => {
+        $(assert!(
+            $slice.len() == $n,
+            concat!("soa::", $kernel, ": slice `", $name,
+                    "` has length {} but expected {}"),
+            $slice.len(),
+            $n,
+        );)+
+    };
+}
+
+/// Dispatches a pre-length-checked kernel body to the selected backend.
+/// The AVX2 arm only exists on x86_64; the backend enum cannot resolve (or
+/// be forced) to `Avx2` anywhere else, so the other-arch arm is
+/// unreachable.
+macro_rules! dispatch {
+    ($backend:expr, $scalar:expr, $avx2:expr) => {
+        match $backend {
+            SimdBackend::Scalar => $scalar,
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `SimdBackend::Avx2` is only resolvable/forcible when
+            // `simd::avx2_available()` holds (asserted at resolution), which
+            // is exactly the safety contract of the intrinsic kernels.
+            SimdBackend::Avx2 => unsafe { $avx2 },
+            #[cfg(not(target_arch = "x86_64"))]
+            SimdBackend::Avx2 => {
+                unreachable!("AVX2 backend selected on a non-x86_64 target")
+            }
+        }
+    };
+}
+
+/// Stamps the scalar reference loops for one element type. These are the
+/// exact pre-SIMD arithmetic — same operations, same order — and double as
+/// the bit-identical reference the `NITHO_SIMD=scalar` determinism pins
+/// compare against.
+macro_rules! scalar_kernels {
+    ($t:ty, $mul:ident, $axpy:ident, $scale:ident, $abs:ident, $bfly:ident) => {
+        #[inline]
+        #[allow(clippy::too_many_arguments)]
+        fn $mul(ar: &[$t], ai: &[$t], br: &[$t], bi: &[$t], out_re: &mut [$t], out_im: &mut [$t]) {
+            for k in 0..ar.len() {
+                out_re[k] = ar[k] * br[k] - ai[k] * bi[k];
+                out_im[k] = ar[k] * bi[k] + ai[k] * br[k];
+            }
+        }
+
+        #[inline]
+        fn $axpy(alpha_re: $t, alpha_im: $t, xr: &[$t], xi: &[$t], yr: &mut [$t], yi: &mut [$t]) {
+            for k in 0..xr.len() {
+                yr[k] += alpha_re * xr[k] - alpha_im * xi[k];
+                yi[k] += alpha_re * xi[k] + alpha_im * xr[k];
+            }
+        }
+
+        #[inline]
+        fn $scale(re: &mut [$t], im: &mut [$t], s: $t) {
+            for v in re.iter_mut() {
+                *v *= s;
+            }
+            for v in im.iter_mut() {
+                *v *= s;
+            }
+        }
+
+        #[inline]
+        fn $abs(re: &[$t], im: &[$t], acc: &mut [$t]) {
+            for k in 0..re.len() {
+                acc[k] += re[k] * re[k] + im[k] * im[k];
+            }
+        }
+
+        #[inline]
+        #[allow(clippy::too_many_arguments)]
+        fn $bfly(
+            ar: &[$t],
+            ai: &[$t],
+            br: &[$t],
+            bi: &[$t],
+            d0r: &mut [$t],
+            d0i: &mut [$t],
+            d1r: &mut [$t],
+            d1i: &mut [$t],
+            wr: $t,
+            wi: $t,
+        ) {
+            for k in 0..ar.len() {
+                let tre = ar[k] - br[k];
+                let tim = ai[k] - bi[k];
+                d0r[k] = ar[k] + br[k];
+                d0i[k] = ai[k] + bi[k];
+                d1r[k] = tre * wr - tim * wi;
+                d1i[k] = tre * wi + tim * wr;
+            }
+        }
+    };
+}
+
+scalar_kernels!(
+    f64,
+    scalar_mul_into,
+    scalar_axpy_in_place,
+    scalar_scale_in_place,
+    scalar_accumulate_abs_sq,
+    scalar_stockham_butterfly
+);
+scalar_kernels!(
+    f32,
+    scalar_mul_into_f32,
+    scalar_axpy_in_place_f32,
+    scalar_scale_in_place_f32,
+    scalar_accumulate_abs_sq_f32,
+    scalar_stockham_butterfly_f32
+);
+
+/// `out ← a ⊙ b` (element-wise complex product), all operands
+/// split-complex. Dispatches on the process-wide [`simd_backend`].
 ///
 /// # Panics
 ///
-/// Panics (in debug builds) if the slice lengths disagree.
+/// Panics if the slice lengths disagree.
 #[inline]
 pub fn mul_into(
     ar: &[f64],
@@ -164,26 +420,80 @@ pub fn mul_into(
     out_re: &mut [f64],
     out_im: &mut [f64],
 ) {
-    debug_assert!(
-        ar.len() == ai.len()
-            && ar.len() == br.len()
-            && ar.len() == bi.len()
-            && ar.len() == out_re.len()
-            && ar.len() == out_im.len(),
-        "mul_into length mismatch"
-    );
-    for k in 0..ar.len() {
-        out_re[k] = ar[k] * br[k] - ai[k] * bi[k];
-        out_im[k] = ar[k] * bi[k] + ai[k] * br[k];
-    }
+    mul_into_with(simd::simd_backend(), ar, ai, br, bi, out_re, out_im)
 }
 
-/// `y ← y + α·x` for a complex scalar `α = (alpha_re, alpha_im)` — the fused
-/// complex axpy at the heart of the batched CMLP matmul.
+/// [`mul_into`] with an explicit backend.
 ///
 /// # Panics
 ///
-/// Panics (in debug builds) if the slice lengths disagree.
+/// Panics if the slice lengths disagree.
+#[allow(clippy::too_many_arguments)]
+pub fn mul_into_with(
+    backend: SimdBackend,
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    out_re: &mut [f64],
+    out_im: &mut [f64],
+) {
+    let n = ar.len();
+    check_lengths!(
+        "mul_into",
+        n,
+        "ai" = ai,
+        "br" = br,
+        "bi" = bi,
+        "out_re" = out_re,
+        "out_im" = out_im
+    );
+    dispatch!(
+        backend,
+        scalar_mul_into(ar, ai, br, bi, out_re, out_im),
+        simd::avx2::mul_into(ar, ai, br, bi, out_re, out_im)
+    )
+}
+
+/// f32 variant of [`mul_into_with`].
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+#[allow(clippy::too_many_arguments)]
+pub fn mul_into_f32_with(
+    backend: SimdBackend,
+    ar: &[f32],
+    ai: &[f32],
+    br: &[f32],
+    bi: &[f32],
+    out_re: &mut [f32],
+    out_im: &mut [f32],
+) {
+    let n = ar.len();
+    check_lengths!(
+        "mul_into_f32",
+        n,
+        "ai" = ai,
+        "br" = br,
+        "bi" = bi,
+        "out_re" = out_re,
+        "out_im" = out_im
+    );
+    dispatch!(
+        backend,
+        scalar_mul_into_f32(ar, ai, br, bi, out_re, out_im),
+        simd::avx2::mul_into_f32(ar, ai, br, bi, out_re, out_im)
+    )
+}
+
+/// `y ← y + α·x` for a complex scalar `α = (alpha_re, alpha_im)` — the fused
+/// complex axpy at the heart of the batched CMLP matmul. Dispatches on the
+/// process-wide [`simd_backend`].
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
 #[inline]
 pub fn axpy_in_place(
     alpha_re: f64,
@@ -193,43 +503,218 @@ pub fn axpy_in_place(
     yr: &mut [f64],
     yi: &mut [f64],
 ) {
-    debug_assert!(
-        xr.len() == xi.len() && xr.len() == yr.len() && xr.len() == yi.len(),
-        "axpy length mismatch"
-    );
-    for k in 0..xr.len() {
-        yr[k] += alpha_re * xr[k] - alpha_im * xi[k];
-        yi[k] += alpha_re * xi[k] + alpha_im * xr[k];
-    }
+    axpy_in_place_with(simd::simd_backend(), alpha_re, alpha_im, xr, xi, yr, yi)
 }
 
-/// Scales both planes by a real factor in place.
+/// [`axpy_in_place`] with an explicit backend.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+#[allow(clippy::too_many_arguments)]
+pub fn axpy_in_place_with(
+    backend: SimdBackend,
+    alpha_re: f64,
+    alpha_im: f64,
+    xr: &[f64],
+    xi: &[f64],
+    yr: &mut [f64],
+    yi: &mut [f64],
+) {
+    let n = xr.len();
+    check_lengths!("axpy_in_place", n, "xi" = xi, "yr" = yr, "yi" = yi);
+    dispatch!(
+        backend,
+        scalar_axpy_in_place(alpha_re, alpha_im, xr, xi, yr, yi),
+        simd::avx2::axpy_in_place(alpha_re, alpha_im, xr, xi, yr, yi)
+    )
+}
+
+/// f32 variant of [`axpy_in_place_with`].
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+#[allow(clippy::too_many_arguments)]
+pub fn axpy_in_place_f32_with(
+    backend: SimdBackend,
+    alpha_re: f32,
+    alpha_im: f32,
+    xr: &[f32],
+    xi: &[f32],
+    yr: &mut [f32],
+    yi: &mut [f32],
+) {
+    let n = xr.len();
+    check_lengths!("axpy_in_place_f32", n, "xi" = xi, "yr" = yr, "yi" = yi);
+    dispatch!(
+        backend,
+        scalar_axpy_in_place_f32(alpha_re, alpha_im, xr, xi, yr, yi),
+        simd::avx2::axpy_in_place_f32(alpha_re, alpha_im, xr, xi, yr, yi)
+    )
+}
+
+/// Scales both planes by a real factor in place. Dispatches on the
+/// process-wide [`simd_backend`]. The planes may have different lengths
+/// (each is scaled independently).
 #[inline]
 pub fn scale_in_place(re: &mut [f64], im: &mut [f64], s: f64) {
-    for v in re.iter_mut() {
-        *v *= s;
-    }
-    for v in im.iter_mut() {
-        *v *= s;
-    }
+    scale_in_place_with(simd::simd_backend(), re, im, s)
+}
+
+/// [`scale_in_place`] with an explicit backend.
+pub fn scale_in_place_with(backend: SimdBackend, re: &mut [f64], im: &mut [f64], s: f64) {
+    dispatch!(
+        backend,
+        scalar_scale_in_place(re, im, s),
+        simd::avx2::scale_in_place(re, im, s)
+    )
+}
+
+/// f32 variant of [`scale_in_place_with`].
+pub fn scale_in_place_f32_with(backend: SimdBackend, re: &mut [f32], im: &mut [f32], s: f32) {
+    dispatch!(
+        backend,
+        scalar_scale_in_place_f32(re, im, s),
+        simd::avx2::scale_in_place_f32(re, im, s)
+    )
 }
 
 /// `acc[k] += re[k]² + im[k]²` — the fused `|z|²`-accumulate of the SOCS
 /// intensity sum, writing straight into the aerial accumulator without
-/// materializing a per-kernel magnitude matrix.
+/// materializing a per-kernel magnitude matrix. Dispatches on the
+/// process-wide [`simd_backend`].
 ///
 /// # Panics
 ///
-/// Panics (in debug builds) if the slice lengths disagree.
+/// Panics if the slice lengths disagree.
 #[inline]
 pub fn accumulate_abs_sq(re: &[f64], im: &[f64], acc: &mut [f64]) {
-    debug_assert!(
-        re.len() == im.len() && re.len() == acc.len(),
-        "accumulate_abs_sq length mismatch"
+    accumulate_abs_sq_with(simd::simd_backend(), re, im, acc)
+}
+
+/// [`accumulate_abs_sq`] with an explicit backend.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+pub fn accumulate_abs_sq_with(backend: SimdBackend, re: &[f64], im: &[f64], acc: &mut [f64]) {
+    let n = re.len();
+    check_lengths!("accumulate_abs_sq", n, "im" = im, "acc" = acc);
+    dispatch!(
+        backend,
+        scalar_accumulate_abs_sq(re, im, acc),
+        simd::avx2::accumulate_abs_sq(re, im, acc)
+    )
+}
+
+/// f32 variant of [`accumulate_abs_sq_with`] — the accumulator stays `f32`
+/// (callers fold into `f64` once per plane, not per kernel).
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+pub fn accumulate_abs_sq_f32_with(backend: SimdBackend, re: &[f32], im: &[f32], acc: &mut [f32]) {
+    let n = re.len();
+    check_lengths!("accumulate_abs_sq_f32", n, "im" = im, "acc" = acc);
+    dispatch!(
+        backend,
+        scalar_accumulate_abs_sq_f32(re, im, acc),
+        simd::avx2::accumulate_abs_sq_f32(re, im, acc)
+    )
+}
+
+/// One Stockham radix-2 butterfly over contiguous runs of length `s`:
+/// `d0 ← a + b`, `d1 ← (a − b)·w` for a broadcast twiddle
+/// `w = (wr, wi)` — the inner loop of every planned FFT stage with
+/// stride ≥ 2.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+#[allow(clippy::too_many_arguments)]
+pub fn stockham_butterfly_with(
+    backend: SimdBackend,
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    d0r: &mut [f64],
+    d0i: &mut [f64],
+    d1r: &mut [f64],
+    d1i: &mut [f64],
+    wr: f64,
+    wi: f64,
+) {
+    let n = ar.len();
+    check_lengths!(
+        "stockham_butterfly",
+        n,
+        "ai" = ai,
+        "br" = br,
+        "bi" = bi,
+        "d0r" = d0r,
+        "d0i" = d0i,
+        "d1r" = d1r,
+        "d1i" = d1i
     );
-    for k in 0..re.len() {
-        acc[k] += re[k] * re[k] + im[k] * im[k];
+    // Early FFT stages call this with very short runs (s = 2, 4, 8, …). The
+    // intrinsics live behind a `#[target_feature]` boundary the compiler
+    // cannot inline through, so below a few vectors of work the call
+    // overhead outweighs the lanes — and the scalar loop auto-vectorizes
+    // well on contiguous runs anyway. Short runs therefore always take the
+    // scalar reference path, on every backend.
+    if n < 16 {
+        return scalar_stockham_butterfly(ar, ai, br, bi, d0r, d0i, d1r, d1i, wr, wi);
     }
+    dispatch!(
+        backend,
+        scalar_stockham_butterfly(ar, ai, br, bi, d0r, d0i, d1r, d1i, wr, wi),
+        simd::avx2::stockham_butterfly(ar, ai, br, bi, d0r, d0i, d1r, d1i, wr, wi)
+    )
+}
+
+/// f32 variant of [`stockham_butterfly_with`].
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+#[allow(clippy::too_many_arguments)]
+pub fn stockham_butterfly_f32_with(
+    backend: SimdBackend,
+    ar: &[f32],
+    ai: &[f32],
+    br: &[f32],
+    bi: &[f32],
+    d0r: &mut [f32],
+    d0i: &mut [f32],
+    d1r: &mut [f32],
+    d1i: &mut [f32],
+    wr: f32,
+    wi: f32,
+) {
+    let n = ar.len();
+    check_lengths!(
+        "stockham_butterfly_f32",
+        n,
+        "ai" = ai,
+        "br" = br,
+        "bi" = bi,
+        "d0r" = d0r,
+        "d0i" = d0i,
+        "d1r" = d1r,
+        "d1i" = d1i
+    );
+    // Same short-run policy as the f64 butterfly, scaled to the 8-lane f32
+    // registers.
+    if n < 32 {
+        return scalar_stockham_butterfly_f32(ar, ai, br, bi, d0r, d0i, d1r, d1i, wr, wi);
+    }
+    dispatch!(
+        backend,
+        scalar_stockham_butterfly_f32(ar, ai, br, bi, d0r, d0i, d1r, d1i, wr, wi),
+        simd::avx2::stockham_butterfly_f32(ar, ai, br, bi, d0r, d0i, d1r, d1i, wr, wi)
+    )
 }
 
 #[cfg(test)]
@@ -240,6 +725,14 @@ mod tests {
     fn random_matrix(rows: usize, cols: usize, seed: u64) -> ComplexMatrix {
         let mut rng = DeterministicRng::new(seed);
         ComplexMatrix::from_fn(rows, cols, |_, _| rng.normal_complex(0.0, 1.0))
+    }
+
+    fn random_planes(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = DeterministicRng::new(seed);
+        (
+            (0..n).map(|_| rng.normal(0.0, 1.0)).collect(),
+            (0..n).map(|_| rng.normal(0.0, 1.0)).collect(),
+        )
     }
 
     #[test]
@@ -277,12 +770,56 @@ mod tests {
     }
 
     #[test]
+    fn soa32_roundtrip_narrows_then_widens() {
+        let m = random_matrix(3, 5, 11);
+        let soa = ComplexSoa32::from_matrix(&m);
+        assert_eq!(soa.shape(), (3, 5));
+        assert_eq!(soa.rows(), 3);
+        assert_eq!(soa.cols(), 5);
+        assert_eq!(soa.len(), 15);
+        assert!(!soa.is_empty());
+        let back = soa.to_matrix();
+        for (a, b) in m.iter().zip(back.iter()) {
+            assert_eq!((a.re as f32).to_bits(), (b.re as f32).to_bits());
+            assert_eq!((a.im as f32).to_bits(), (b.im as f32).to_bits());
+        }
+        let z = ComplexSoa32::zeros(2, 2);
+        assert!(z.re.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn soa32_row_accessors() {
+        let m = random_matrix(2, 4, 12);
+        let mut soa = ComplexSoa32::from_matrix(&m);
+        let (re, im) = soa.row(1);
+        for j in 0..4 {
+            assert_eq!(re[j], m[(1, j)].re as f32);
+            assert_eq!(im[j], m[(1, j)].im as f32);
+        }
+        {
+            let (re_mut, _) = soa.row_mut(0);
+            re_mut[0] = 42.0;
+        }
+        let (re_all, im_all) = soa.parts_mut();
+        assert_eq!(re_all[0], 42.0);
+        assert_eq!(im_all.len(), 8);
+    }
+
+    #[test]
     fn mul_into_matches_aos_product_bitwise() {
         let a = random_matrix(4, 4, 3);
         let b = random_matrix(4, 4, 4);
         let (sa, sb) = (ComplexSoa::from_matrix(&a), ComplexSoa::from_matrix(&b));
         let mut out = ComplexSoa::zeros(4, 4);
-        mul_into(&sa.re, &sa.im, &sb.re, &sb.im, &mut out.re, &mut out.im);
+        mul_into_with(
+            SimdBackend::Scalar,
+            &sa.re,
+            &sa.im,
+            &sb.re,
+            &sb.im,
+            &mut out.re,
+            &mut out.im,
+        );
         let aos = a.hadamard(&b);
         for (x, y) in out.to_matrix().iter().zip(aos.iter()) {
             assert_eq!(x.re.to_bits(), y.re.to_bits());
@@ -297,7 +834,15 @@ mod tests {
         let alpha = Complex64::new(0.7, -1.3);
         let sx = ComplexSoa::from_matrix(&x);
         let mut sy = ComplexSoa::from_matrix(&y);
-        axpy_in_place(alpha.re, alpha.im, &sx.re, &sx.im, &mut sy.re, &mut sy.im);
+        axpy_in_place_with(
+            SimdBackend::Scalar,
+            alpha.re,
+            alpha.im,
+            &sx.re,
+            &sx.im,
+            &mut sy.re,
+            &mut sy.im,
+        );
         for j in 0..16 {
             let expect = y[(0, j)] + alpha * x[(0, j)];
             let got = sy.to_matrix()[(0, j)];
@@ -317,16 +862,161 @@ mod tests {
             assert_eq!(a.im, b.im * 2.0);
         }
         let mut acc = vec![1.0; 16];
-        accumulate_abs_sq(&soa.re, &soa.im, &mut acc);
+        accumulate_abs_sq_with(SimdBackend::Scalar, &soa.re, &soa.im, &mut acc);
         for (k, v) in acc.iter().enumerate() {
             let z = scaled[(k / 8, k % 8)];
             assert_eq!(*v, 1.0 + (z.re * z.re + z.im * z.im));
         }
     }
 
+    /// The SIMD tail loops make short slices load-bearing: every kernel
+    /// must handle empty, length-1 and odd-remainder (len 3, 5, 7) inputs.
+    #[test]
+    fn kernels_handle_edge_lengths() {
+        for backend in available_backends() {
+            for n in [0usize, 1, 3, 5, 7] {
+                let (ar, ai) = random_planes(n, 100 + n as u64);
+                let (br, bi) = random_planes(n, 200 + n as u64);
+                let mut out_re = vec![0.0; n];
+                let mut out_im = vec![0.0; n];
+                mul_into_with(backend, &ar, &ai, &br, &bi, &mut out_re, &mut out_im);
+                for k in 0..n {
+                    let expect_re = ar[k] * br[k] - ai[k] * bi[k];
+                    let expect_im = ar[k] * bi[k] + ai[k] * br[k];
+                    assert!((out_re[k] - expect_re).abs() <= 1e-12);
+                    assert!((out_im[k] - expect_im).abs() <= 1e-12);
+                }
+
+                let mut yr = br.clone();
+                let mut yi = bi.clone();
+                axpy_in_place_with(backend, 0.5, -0.25, &ar, &ai, &mut yr, &mut yi);
+                for k in 0..n {
+                    let expect_re = br[k] + 0.5 * ar[k] + 0.25 * ai[k];
+                    let expect_im = bi[k] + 0.5 * ai[k] - 0.25 * ar[k];
+                    assert!((yr[k] - expect_re).abs() <= 1e-12);
+                    assert!((yi[k] - expect_im).abs() <= 1e-12);
+                }
+
+                let mut sr = ar.clone();
+                let mut si = ai.clone();
+                scale_in_place_with(backend, &mut sr, &mut si, 3.0);
+                for k in 0..n {
+                    assert_eq!(sr[k], ar[k] * 3.0);
+                    assert_eq!(si[k], ai[k] * 3.0);
+                }
+
+                let mut acc = vec![1.0; n];
+                accumulate_abs_sq_with(backend, &ar, &ai, &mut acc);
+                for k in 0..n {
+                    let expect = 1.0 + ar[k] * ar[k] + ai[k] * ai[k];
+                    assert!((acc[k] - expect).abs() <= 1e-12);
+                }
+
+                let mut d0r = vec![0.0; n];
+                let mut d0i = vec![0.0; n];
+                let mut d1r = vec![0.0; n];
+                let mut d1i = vec![0.0; n];
+                stockham_butterfly_with(
+                    backend, &ar, &ai, &br, &bi, &mut d0r, &mut d0i, &mut d1r, &mut d1i, 0.6, -0.8,
+                );
+                for k in 0..n {
+                    let tre = ar[k] - br[k];
+                    let tim = ai[k] - bi[k];
+                    assert_eq!(d0r[k], ar[k] + br[k]);
+                    assert_eq!(d0i[k], ai[k] + bi[k]);
+                    assert!((d1r[k] - (tre * 0.6 - tim * -0.8)).abs() <= 1e-12);
+                    assert!((d1i[k] - (tre * -0.8 + tim * 0.6)).abs() <= 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Same edge sweep for the f32 kernels.
+    #[test]
+    fn f32_kernels_handle_edge_lengths() {
+        for backend in available_backends() {
+            for n in [0usize, 1, 3, 5, 7, 9] {
+                let (ar64, ai64) = random_planes(n, 300 + n as u64);
+                let ar: Vec<f32> = ar64.iter().map(|&v| v as f32).collect();
+                let ai: Vec<f32> = ai64.iter().map(|&v| v as f32).collect();
+                let mut out_re = vec![0.0f32; n];
+                let mut out_im = vec![0.0f32; n];
+                mul_into_f32_with(backend, &ar, &ai, &ar, &ai, &mut out_re, &mut out_im);
+                let mut yr = vec![0.0f32; n];
+                let mut yi = vec![0.0f32; n];
+                axpy_in_place_f32_with(backend, 1.0, 0.0, &ar, &ai, &mut yr, &mut yi);
+                for k in 0..n {
+                    assert!((f64::from(yr[k]) - f64::from(ar[k])).abs() <= 1e-6);
+                    let expect_re = ar[k] * ar[k] - ai[k] * ai[k];
+                    assert!((f64::from(out_re[k]) - f64::from(expect_re)).abs() <= 1e-5);
+                }
+                let mut sr = ar.clone();
+                let mut si = ai.clone();
+                scale_in_place_f32_with(backend, &mut sr, &mut si, 2.0);
+                let mut acc = vec![0.0f32; n];
+                accumulate_abs_sq_f32_with(backend, &ar, &ai, &mut acc);
+                let mut d0r = vec![0.0f32; n];
+                let mut d0i = vec![0.0f32; n];
+                let mut d1r = vec![0.0f32; n];
+                let mut d1i = vec![0.0f32; n];
+                stockham_butterfly_f32_with(
+                    backend, &ar, &ai, &ar, &ai, &mut d0r, &mut d0i, &mut d1r, &mut d1i, 1.0, 0.0,
+                );
+                for k in 0..n {
+                    assert_eq!(sr[k], ar[k] * 2.0);
+                    let expect = ar[k] * ar[k] + ai[k] * ai[k];
+                    assert!((f64::from(acc[k]) - f64::from(expect)).abs() <= 1e-5);
+                    assert_eq!(d0r[k], 2.0 * ar[k]);
+                    assert_eq!(d1r[k], 0.0);
+                }
+            }
+        }
+    }
+
+    fn available_backends() -> Vec<SimdBackend> {
+        let mut backends = vec![SimdBackend::Scalar];
+        if simd::avx2_available() {
+            backends.push(SimdBackend::Avx2);
+        }
+        backends
+    }
+
+    #[test]
+    #[should_panic(expected = "soa::mul_into: slice `br` has length 7 but expected 8")]
+    fn mul_into_mismatch_panics_with_clear_message() {
+        let a = vec![0.0; 8];
+        let b = vec![0.0; 7];
+        let mut out = vec![0.0; 8];
+        let mut out_im = vec![0.0; 8];
+        mul_into(&a, &a.clone(), &b, &b.clone(), &mut out, &mut out_im);
+    }
+
+    #[test]
+    #[should_panic(expected = "soa::axpy_in_place: slice `yr` has length 3 but expected 4")]
+    fn axpy_mismatch_panics_with_clear_message() {
+        let x = vec![0.0; 4];
+        let mut yr = vec![0.0; 3];
+        let mut yi = vec![0.0; 4];
+        axpy_in_place(1.0, 0.0, &x, &x.clone(), &mut yr, &mut yi);
+    }
+
+    #[test]
+    #[should_panic(expected = "soa::accumulate_abs_sq: slice `acc` has length 2 but expected 1")]
+    fn abs_sq_mismatch_panics_with_clear_message() {
+        let re = vec![0.0; 1];
+        let mut acc = vec![0.0; 2];
+        accumulate_abs_sq(&re, &re.clone(), &mut acc);
+    }
+
     #[test]
     #[should_panic(expected = "non-zero")]
     fn zero_dimension_panics() {
         let _ = ComplexSoa::zeros(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn soa32_zero_dimension_panics() {
+        let _ = ComplexSoa32::zeros(3, 0);
     }
 }

@@ -35,6 +35,6 @@ pub mod trace;
 
 pub use registry::{
     enabled, metric_count, register, render_prometheus, set_enabled, Counter, Gauge, Histogram,
-    Metric,
+    Info, Metric,
 };
 pub use trace::{span, SpanGuard};

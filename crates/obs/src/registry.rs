@@ -272,6 +272,65 @@ impl Metric for Gauge {
     }
 }
 
+/// A constant-`1` identity metric whose label set is assigned at runtime —
+/// the Prometheus "info metric" idiom (`…_info{key="value"} 1`) for exposing
+/// resolved configuration (SIMD backend, precision) as joinable labels
+/// rather than numbers. Rendered as a gauge: the classic text format has no
+/// dedicated info type.
+///
+/// The label must be `'static` (the inside of the braces, e.g.
+/// `backend="avx2"`); callers pick from fixed strings at startup. Setting the
+/// label is *not* gated on [`enabled`] — identity should be visible even
+/// when hot-path recording is off.
+#[derive(Debug)]
+pub struct Info {
+    name: &'static str,
+    help: &'static str,
+    label: Mutex<&'static str>,
+}
+
+impl Info {
+    /// An info metric with no label assigned yet (renders unlabelled until
+    /// [`Info::set_label`] is called).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            label: Mutex::new(""),
+        }
+    }
+
+    /// Assigns the label set (inside of the braces). Last write wins.
+    pub fn set_label(&self, label: &'static str) {
+        *self.label.lock().unwrap_or_else(|p| p.into_inner()) = label;
+    }
+
+    /// The currently assigned label set (`""` when unset).
+    pub fn label(&self) -> &'static str {
+        *self.label.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl Metric for Info {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn help(&self) -> &'static str {
+        self.help
+    }
+    fn type_name(&self) -> &'static str {
+        "gauge"
+    }
+    fn render(&self, out: &mut String) {
+        out.push_str(self.name);
+        let label = self.label();
+        if !label.is_empty() {
+            let _ = write!(out, "{{{label}}}");
+        }
+        out.push_str(" 1\n");
+    }
+}
+
 /// A fixed-bucket histogram over ascending `u64` upper bounds; a final
 /// `u64::MAX` bound renders as the `+Inf` bucket (one is appended implicitly
 /// when absent, Prometheus requires it). Recording is lock-free: one bucket
@@ -480,6 +539,18 @@ mod tests {
             assert!(!series.is_empty());
             assert!(value.parse::<f64>().is_ok(), "{line}");
         }
+    }
+
+    #[test]
+    fn info_metric_renders_identity_label() {
+        static T_INFO: Info = Info::new("obs_test_backend_info", "resolved test backend");
+        register(&T_INFO);
+        assert_eq!(T_INFO.label(), "");
+        T_INFO.set_label("backend=\"avx2\"");
+        assert_eq!(T_INFO.label(), "backend=\"avx2\"");
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE obs_test_backend_info gauge"));
+        assert!(text.contains("obs_test_backend_info{backend=\"avx2\"} 1"));
     }
 
     #[test]

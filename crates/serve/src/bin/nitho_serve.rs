@@ -231,6 +231,14 @@ fn main() -> ExitCode {
         config.queue_depth,
         config.deadline.as_millis()
     );
+    // Resolved kernel knobs: NITHO_SIMD (scalar|avx2|auto) and
+    // NITHO_PRECISION (f64|f32). Printed once so logs record which code
+    // path this process serves with; also on /healthz under "engine".
+    eprintln!(
+        "nitho-serve: simd backend {} (NITHO_SIMD), precision {} (NITHO_PRECISION)",
+        litho_math::simd::simd_backend().label(),
+        litho_math::simd::precision().label()
+    );
     eprintln!(
         "nitho-serve: metrics {} ({} registered, GET /metrics), tracing {}",
         if litho_obs::enabled() { "on" } else { "off" },

@@ -1057,7 +1057,12 @@ fn drain_and_reject(mut stream: TcpStream) -> io::Result<()> {
         &mut reader.take(content_length.min(MAX_BODY_BYTES as u64)),
         &mut io::sink(),
     );
-    Response::text(503, "server busy").write_to(&mut stream)
+    // Every 503 this server emits carries `retry-after` — the connection-cap
+    // shed here used to be the one exception, leaving well-behaved clients
+    // with no backoff hint on exactly the path where backoff matters.
+    Response::text(503, "server busy")
+        .with_header("retry-after", "1")
+        .write_to(&mut stream)
 }
 
 fn invalid(message: &str) -> io::Error {
@@ -1525,14 +1530,56 @@ mod tests {
         let slow = std::thread::spawn(move || http_request(addr, "POST", "/slow", Some("x")));
         // Give the slow request time to occupy the single worker.
         std::thread::sleep(Duration::from_millis(50));
-        let (status, body) = http_request(addr, "POST", "/fast", Some("y")).expect("fast");
-        assert_eq!(status, 503, "{body}");
-        assert!(body.contains("deadline"), "{body}");
+        // Raw request so the response head is visible: the deadline 503 must
+        // carry the same retry-after hint as every other shed path.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /fast HTTP/1.1\r\nhost: t\r\ncontent-length: 1\r\nconnection: close\r\n\r\ny")
+            .expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status");
+        assert_eq!(status, 503, "{response}");
+        assert!(response.contains("deadline"), "{response}");
+        assert!(
+            response.to_ascii_lowercase().contains("retry-after: 1"),
+            "{response}"
+        );
         let (slow_status, _) = slow.join().unwrap().expect("slow");
         assert_eq!(slow_status, 200);
         assert!(metrics.deadline_misses.load(Ordering::Relaxed) >= 1);
         handle.shutdown();
         join.join().expect("event server");
+    }
+
+    #[test]
+    fn drain_and_reject_sheds_with_retry_after() {
+        // The connection-cap shed path: the request is drained and the 503
+        // must match the queue-full shed — including the retry-after hint
+        // (historically missing on exactly this path).
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            drain_and_reject(stream).expect("drain");
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /v1/simulate HTTP/1.1\r\nhost: t\r\ncontent-length: 4\r\n\r\nbody")
+            .expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        server.join().expect("server thread");
+        assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+        assert!(
+            response.to_ascii_lowercase().contains("retry-after: 1"),
+            "{response}"
+        );
+        assert!(response.contains("server busy"), "{response}");
     }
 
     #[test]

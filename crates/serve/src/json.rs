@@ -5,6 +5,12 @@
 //! It supports exactly what the protocol needs: objects, arrays, finite
 //! numbers, strings (with `\uXXXX` escapes), booleans and null. Objects
 //! preserve insertion order so responses serialize deterministically.
+//!
+//! Serialization is **fallible**: JSON has no NaN/Infinity, and silently
+//! rewriting a non-finite number as `null` (the old behavior) corrupts a
+//! numeric payload in a way the client cannot distinguish from a genuine
+//! null. [`Json::serialize`] instead reports the offending value so the
+//! service can answer 500 rather than ship a wrong body.
 
 use std::fmt;
 
@@ -46,6 +52,26 @@ impl fmt::Display for JsonError {
 }
 
 impl std::error::Error for JsonError {}
+
+/// Error produced by [`Json::serialize`]: the document contains a number
+/// with no JSON representation (NaN or ±Infinity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFiniteNumber {
+    /// The offending value.
+    pub value: f64,
+}
+
+impl fmt::Display for NonFiniteNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "non-finite number {} has no JSON representation",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteNumber {}
 
 impl Json {
     /// Convenience constructor for an object.
@@ -120,11 +146,11 @@ impl Json {
         }
     }
 
-    fn write(&self, out: &mut String) {
+    fn write(&self, out: &mut String) -> Result<(), NonFiniteNumber> {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Number(n) => write_number(*n, out),
+            Json::Number(n) => write_number(*n, out)?,
             Json::String(s) => write_string(s, out),
             Json::Array(items) => {
                 out.push('[');
@@ -132,7 +158,7 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    item.write(out);
+                    item.write(out)?;
                 }
                 out.push(']');
             }
@@ -142,7 +168,7 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    write_number(value, out);
+                    write_number(value, out)?;
                 }
                 out.push(']');
             }
@@ -154,11 +180,24 @@ impl Json {
                     }
                     write_string(key, out);
                     out.push(':');
-                    value.write(out);
+                    value.write(out)?;
                 }
                 out.push('}');
             }
         }
+        Ok(())
+    }
+
+    /// Compact wire serialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonFiniteNumber`] if the document contains a NaN or
+    /// infinite number anywhere — there is deliberately no lossy fallback.
+    pub fn serialize(&self) -> Result<String, NonFiniteNumber> {
+        let mut out = String::new();
+        self.write(&mut out)?;
+        Ok(out)
     }
 
     /// Parses a JSON document (one value followed only by whitespace).
@@ -181,25 +220,19 @@ impl Json {
     }
 }
 
-/// Compact JSON serialization (`value.to_string()` yields the wire form).
-impl fmt::Display for Json {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut out = String::new();
-        self.write(&mut out);
-        f.write_str(&out)
-    }
-}
-
-fn write_number(n: f64, out: &mut String) {
+fn write_number(n: f64, out: &mut String) -> Result<(), NonFiniteNumber> {
     if !n.is_finite() {
-        // JSON has no NaN/Inf; the protocol never produces them, but the
-        // encoder must still emit valid JSON.
-        out.push_str("null");
-    } else if n == n.trunc() && n.abs() < 1e15 {
+        // JSON has no NaN/Inf. Emitting `null` here (the old behavior)
+        // would be valid JSON but silent data corruption — the caller must
+        // surface the failure instead.
+        return Err(NonFiniteNumber { value: n });
+    }
+    if n == n.trunc() && n.abs() < 1e15 {
         out.push_str(&format!("{}", n as i64));
     } else {
         out.push_str(&format!("{n}"));
     }
+    Ok(())
 }
 
 fn write_string(s: &str, out: &mut String) {
@@ -472,7 +505,7 @@ mod tests {
                 Json::Array(vec![Json::Number(1.0), Json::string("two")]),
             ),
         ]);
-        let text = doc.to_string();
+        let text = doc.serialize().expect("finite document");
         assert_eq!(
             text,
             r#"{"status":"ok","count":3,"ratio":0.5,"flag":true,"nothing":null,"items":[1,2],"mixed":[1,"two"]}"#
@@ -502,7 +535,7 @@ mod tests {
     #[test]
     fn string_escapes_roundtrip() {
         let original = Json::string("line\nbreak \"quoted\" back\\slash \u{1}");
-        let text = original.to_string();
+        let text = original.serialize().expect("string document");
         assert_eq!(Json::parse(&text).expect("parse"), original);
         let unicode = Json::parse(r#""\u00e9\u20ac\ud83d\ude00""#).expect("parse");
         assert_eq!(unicode.as_str(), Some("é€😀"));
@@ -541,25 +574,60 @@ mod tests {
     #[test]
     fn number_array_serializes_like_array_of_numbers() {
         let flat = Json::NumberArray(vec![0.0, 1.0, 0.5]);
-        assert_eq!(flat.to_string(), "[0,1,0.5]");
+        let flat_text = flat.serialize().expect("finite");
+        assert_eq!(flat_text, "[0,1,0.5]");
         let boxed = Json::Array(vec![
             Json::Number(0.0),
             Json::Number(1.0),
             Json::Number(0.5),
         ]);
-        assert_eq!(flat.to_string(), boxed.to_string());
+        assert_eq!(flat_text, boxed.serialize().expect("finite"));
         // The wire form round-trips through the parser back to the flat form.
-        assert_eq!(Json::parse(&flat.to_string()).expect("parse"), flat);
+        assert_eq!(Json::parse(&flat_text).expect("parse"), flat);
         assert_eq!(flat.to_numbers(), boxed.to_numbers());
     }
 
     #[test]
     fn numbers_serialize_compactly() {
-        assert_eq!(Json::Number(42.0).to_string(), "42");
-        assert_eq!(Json::Number(-7.0).to_string(), "-7");
-        assert_eq!(Json::Number(0.125).to_string(), "0.125");
-        assert_eq!(Json::Number(f64::NAN).to_string(), "null");
+        let text = |j: Json| j.serialize().expect("finite");
+        assert_eq!(text(Json::Number(42.0)), "42");
+        assert_eq!(text(Json::Number(-7.0)), "-7");
+        assert_eq!(text(Json::Number(0.125)), "0.125");
         let parsed = Json::parse("1e3").expect("parse");
         assert_eq!(parsed.as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn non_finite_numbers_fail_serialization_everywhere() {
+        // A NaN/Inf anywhere in the document — bare, in either array
+        // representation, or nested inside objects — must be a hard error,
+        // never a silent `null`.
+        let nested = |v: f64| {
+            Json::object(vec![(
+                "outer",
+                Json::Array(vec![Json::object(vec![("inner", Json::Number(v))])]),
+            )])
+        };
+        let cases: Vec<(Json, f64)> = vec![
+            (Json::Number(f64::NAN), f64::NAN),
+            (Json::Number(f64::INFINITY), f64::INFINITY),
+            (Json::Number(f64::NEG_INFINITY), f64::NEG_INFINITY),
+            (Json::NumberArray(vec![1.0, f64::NAN, 3.0]), f64::NAN),
+            (
+                Json::Array(vec![Json::Number(1.0), Json::Number(f64::INFINITY)]),
+                f64::INFINITY,
+            ),
+            (nested(f64::NEG_INFINITY), f64::NEG_INFINITY),
+        ];
+        for (doc, value) in cases {
+            let err = doc.serialize().expect_err("non-finite must not serialize");
+            assert_eq!(err.value.is_nan(), value.is_nan());
+            if !value.is_nan() {
+                assert_eq!(err.value, value);
+            }
+            assert!(err.to_string().contains("no JSON representation"));
+        }
+        // …while finite documents of the same shapes still serialize.
+        assert!(nested(0.5).serialize().is_ok());
     }
 }

@@ -685,7 +685,7 @@ mod tests {
         fn prop_request_roundtrips_through_the_codec(seed in 0u64..10_000) {
             let mut rng = DeterministicRng::new(seed);
             let request = random_request(&mut rng);
-            let wire = request.to_json().to_string();
+            let wire = request.to_json().serialize().expect("finite request");
             let parsed = ProcessWindowRequest::from_json(&Json::parse(&wire).expect("wire JSON"))
                 .expect("round-trip parse");
             prop_assert_eq!(parsed, request);
@@ -695,7 +695,7 @@ mod tests {
         fn prop_response_roundtrips_through_the_codec(seed in 0u64..10_000) {
             let mut rng = DeterministicRng::new(seed);
             let response = random_response(&mut rng);
-            let wire = response.to_json().to_string();
+            let wire = response.to_json().serialize().expect("finite response");
             let parsed = ProcessWindowResponse::from_json(&Json::parse(&wire).expect("wire JSON"))
                 .expect("round-trip parse");
             prop_assert_eq!(parsed, response);

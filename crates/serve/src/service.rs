@@ -128,9 +128,9 @@ impl Service {
         };
         match result {
             Ok(response) => response,
-            Err(err) => Response::json(
+            Err(err) => json_response(
                 err.status,
-                Json::object(vec![("error", Json::String(err.message))]).to_string(),
+                &Json::object(vec![("error", Json::String(err.message))]),
             ),
         }
     }
@@ -140,9 +140,9 @@ impl Service {
         let gauge =
             |v: &std::sync::atomic::AtomicU64| Json::Number(v.load(Ordering::Relaxed) as f64);
         let count = |v: u64| Json::Number(v as f64);
-        Response::json(
+        json_response(
             200,
-            Json::object(vec![
+            &Json::object(vec![
                 ("status", Json::string("ok")),
                 ("models", Json::Number(self.registry.len() as f64)),
                 ("queue_depth", gauge(&metrics.queue_depth)),
@@ -183,6 +183,26 @@ impl Service {
                 (
                     "engine",
                     Json::object(vec![
+                        // Resolved kernel knobs (NITHO_SIMD / NITHO_PRECISION)
+                        // and the reduced-precision dispatch totals, so an
+                        // operator can confirm from one probe which code path
+                        // this process actually runs.
+                        (
+                            "simd_backend",
+                            Json::string(litho_math::simd::simd_backend().label()),
+                        ),
+                        (
+                            "precision",
+                            Json::string(litho_math::simd::precision().label()),
+                        ),
+                        (
+                            "cmlp_f32_dispatches",
+                            count(nitho::cmlp::total_infer_f32_dispatches()),
+                        ),
+                        (
+                            "socs_f32_dispatches",
+                            count(litho_fft::soa::total_socs_f32_dispatches()),
+                        ),
                         (
                             "fft_1d_transforms",
                             count(litho_fft::cache::total_fft_1d_transforms()),
@@ -217,8 +237,7 @@ impl Service {
                         ),
                     ]),
                 ),
-            ])
-            .to_string(),
+            ]),
         )
     }
 
@@ -247,10 +266,7 @@ impl Service {
                 ])
             })
             .collect();
-        Response::json(
-            200,
-            Json::object(vec![("models", Json::Array(models))]).to_string(),
-        )
+        json_response(200, &Json::object(vec![("models", Json::Array(models))]))
     }
 
     fn simulate(&self, request: &Request) -> Result<Response, ServiceError> {
@@ -326,7 +342,7 @@ impl Service {
         if want_resist {
             fields.push(("resist", Json::NumberArray(resist.into_vec())));
         }
-        Ok(Response::json(200, Json::object(fields).to_string()))
+        Ok(json_response(200, &Json::object(fields)))
     }
 
     /// `POST /v1/process_window`: fans a focus × dose matrix of full-chip
@@ -522,14 +538,43 @@ impl Service {
             },
             pvb_band: band.map(RealMatrix::into_vec),
         };
-        Ok(Response::json(200, response.to_json().to_string()))
+        Ok(json_response(200, &response.to_json()))
     }
 }
 
+/// Serializes `value` into a JSON response with `status`, degrading to a 500
+/// if the document contains a non-finite number — a wrong-but-valid body
+/// (the old `null` substitution) must never leave the process.
+fn json_response(status: u16, value: &Json) -> Response {
+    match value.serialize() {
+        Ok(body) => Response::json(status, body),
+        Err(err) => Response::json(
+            500,
+            // Hand-assembled fallback body: all-static except the error text,
+            // which contains no characters needing JSON escapes.
+            format!("{{\"error\":\"response serialization failed: {err}\"}}"),
+        ),
+    }
+}
+
+/// `litho_simd_backend_info{backend="…"} 1` — the resolved `NITHO_SIMD`
+/// kernel backend, as a joinable identity label.
+static SIMD_BACKEND_INFO: litho_obs::Info = litho_obs::Info::new(
+    "litho_simd_backend_info",
+    "resolved NITHO_SIMD kernel backend",
+);
+/// `litho_precision_info{precision="…"} 1` — the resolved `NITHO_PRECISION`
+/// inference precision.
+static PRECISION_INFO: litho_obs::Info = litho_obs::Info::new(
+    "litho_precision_info",
+    "resolved NITHO_PRECISION inference precision",
+);
+
 /// Registers every instrumented layer's metrics with the `litho_obs`
 /// registry — fft plan cache, SOCS synthesis, CMLP inference, the parallel
-/// engine, the condition batcher, and the serve event loop. Runs once per
-/// process (every call after the first is a no-op), so any number of
+/// engine, the condition batcher, and the serve event loop — plus the
+/// process-identity info metrics for the resolved kernel knobs. Runs once
+/// per process (every call after the first is a no-op), so any number of
 /// [`Service`] instances can share the registry.
 pub fn register_all_metrics() {
     static ONCE: std::sync::Once = std::sync::Once::new();
@@ -540,6 +585,16 @@ pub fn register_all_metrics() {
         litho_parallel::register_metrics();
         crate::queue::register_batcher_metrics();
         crate::http::register_serve_metrics();
+        SIMD_BACKEND_INFO.set_label(match litho_math::simd::simd_backend() {
+            litho_math::simd::SimdBackend::Scalar => "backend=\"scalar\"",
+            litho_math::simd::SimdBackend::Avx2 => "backend=\"avx2\"",
+        });
+        PRECISION_INFO.set_label(match litho_math::simd::precision() {
+            litho_math::simd::Precision::F64 => "precision=\"f64\"",
+            litho_math::simd::Precision::F32 => "precision=\"f32\"",
+        });
+        litho_obs::register(&SIMD_BACKEND_INFO);
+        litho_obs::register(&PRECISION_INFO);
     });
 }
 
@@ -649,6 +704,39 @@ mod tests {
         assert_eq!(latency.get("count").and_then(Json::as_usize), Some(1));
         assert_eq!(latency.get("p50").and_then(Json::as_usize), Some(20));
         assert_eq!(latency.get("p99").and_then(Json::as_usize), Some(20));
+        // The engine summary names the resolved kernel knobs so an operator
+        // can confirm the running configuration from one probe.
+        let engine = doc.get("engine").expect("engine object");
+        let backend = engine
+            .get("simd_backend")
+            .and_then(Json::as_str)
+            .expect("simd_backend");
+        assert!(matches!(backend, "scalar" | "avx2"), "{backend}");
+        let precision = engine
+            .get("precision")
+            .and_then(Json::as_str)
+            .expect("precision");
+        assert!(matches!(precision, "f64" | "f32"), "{precision}");
+        assert!(engine.get("cmlp_f32_dispatches").is_some());
+        assert!(engine.get("socs_f32_dispatches").is_some());
+    }
+
+    #[test]
+    fn non_finite_response_degrades_to_500_not_corrupt_json() {
+        // If a handler ever produces a NaN/Inf (a metrology edge case, say),
+        // the client must see an explicit 500, never a silently nulled
+        // number in a 200 body.
+        let poisoned = Json::object(vec![("cd_px", Json::NumberArray(vec![1.0, f64::NAN]))]);
+        let response = json_response(200, &poisoned);
+        assert_eq!(response.status, 500);
+        let doc = parse_body(&response);
+        let message = doc.get("error").and_then(Json::as_str).expect("error");
+        assert!(message.contains("serialization failed"), "{message}");
+        // The guard passes finite documents through untouched.
+        let fine = Json::object(vec![("cd_px", Json::NumberArray(vec![1.0, 2.0]))]);
+        let response = json_response(200, &fine);
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, b"{\"cd_px\":[1,2]}");
     }
 
     #[test]

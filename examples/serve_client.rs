@@ -80,7 +80,9 @@ fn main() {
     println!(
         "POST /v1/simulate -> {status}: {} tiles, grid {:?}, halo {} px, {round_trip_ms:.1} ms round trip",
         doc.get("tiles").and_then(Json::as_usize).unwrap_or(0),
-        doc.get("grid").map(|g| g.to_string()).unwrap_or_default(),
+        doc.get("grid")
+            .and_then(|g| g.serialize().ok())
+            .unwrap_or_default(),
         doc.get("halo_px").and_then(Json::as_usize).unwrap_or(0),
     );
 

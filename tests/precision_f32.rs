@@ -1,0 +1,134 @@
+//! Accuracy bar for the opt-in `NITHO_PRECISION=f32` inference path.
+//!
+//! The reduced-precision route (f32 CMLP forward passes plus the f32 SOCS
+//! synthesis) is not bit-compatible with f64 by design; what it must do is
+//! stay inside the paper's quality bar against the f64 reference on every
+//! mask family:
+//!
+//! * aerial PSNR > 24 dB (the same bar the trained model must clear against
+//!   rigorous Hopkins),
+//! * mIOU > 88% between the thresholded aerials,
+//! * a per-pixel error ceiling of 1e-3 relative to the aerial peak — the
+//!   f32 pipeline may round, never wander.
+//!
+//! `force_precision` flips process-global state, so everything that touches
+//! it lives in a single `#[test]` (this file is its own test binary; sibling
+//! binaries run in separate processes and are unaffected). A drop guard
+//! restores f64 even when an assertion unwinds mid-family.
+
+use litho_masks::generators::{apply_opc, iccad_clip, metal_layer, via_layer};
+use litho_masks::GeneratorConfig;
+use litho_math::simd::{force_precision, Precision};
+use litho_math::{DeterministicRng, RealMatrix};
+use litho_metrics::{miou, psnr};
+use litho_optics::OpticalConfig;
+use nitho::{NithoConfig, NithoModel};
+
+/// Restores the process-wide precision to f64 on scope exit, panicking or not.
+struct PrecisionGuard;
+
+impl Drop for PrecisionGuard {
+    fn drop(&mut self) {
+        force_precision(Precision::F64);
+    }
+}
+
+fn test_model() -> NithoModel {
+    let optics = OpticalConfig::builder()
+        .tile_px(32)
+        .pixel_nm(16.0)
+        .kernel_count(4)
+        .build();
+    let config = NithoConfig {
+        kernel_side: Some(9),
+        kernel_count: 4,
+        ..NithoConfig::fast()
+    };
+    // The physics-informed initial field is already a usable optical kernel
+    // bank; precision equivalence does not depend on training having run.
+    NithoModel::new(config, &optics)
+}
+
+fn mask_families() -> Vec<(&'static str, RealMatrix)> {
+    let config = GeneratorConfig::new(32, 16.0);
+    let mut rng = DeterministicRng::new(0xf32);
+    let metal = metal_layer(&config, &mut rng);
+    let vias = via_layer(&config, &mut rng);
+    let clip = iccad_clip(&config, &mut rng);
+    let opc = apply_opc(&clip, &config, &mut rng);
+    vec![
+        ("metal_layer", metal.rasterize()),
+        ("via_layer", vias.rasterize()),
+        ("iccad_clip", clip.rasterize()),
+        ("apply_opc", opc.rasterize()),
+    ]
+}
+
+#[test]
+fn f32_aerials_clear_the_accuracy_bar_per_mask_family() {
+    let families = mask_families();
+
+    // f64 reference aerials first, with the kernels evaluated in f64.
+    let mut model = test_model();
+    force_precision(Precision::F64);
+    model.refresh_kernels();
+    let reference: Vec<RealMatrix> = families
+        .iter()
+        .map(|(_, mask)| model.predict_aerial(mask))
+        .collect();
+
+    // Flip the process to f32 — kernels AND synthesis — behind a drop guard.
+    // Counter snapshots straddle the refresh: the CMLP re-evaluation below is
+    // itself the f32 forward pass being counted.
+    let cmlp_before = nitho::cmlp::total_infer_f32_dispatches();
+    let socs_before = litho_fft::soa::total_socs_f32_dispatches();
+    let _guard = PrecisionGuard;
+    force_precision(Precision::F32);
+    model.refresh_kernels();
+
+    for ((name, mask), f64_aerial) in families.iter().zip(&reference) {
+        let f32_aerial = model.predict_aerial(mask);
+
+        let quality = psnr(f64_aerial, &f32_aerial);
+        assert!(
+            quality > 24.0,
+            "{name}: f32 aerial PSNR {quality:.2} dB must clear the 24 dB bar"
+        );
+
+        let overlap = miou(f64_aerial, &f32_aerial);
+        assert!(
+            overlap > 0.88,
+            "{name}: f32 aerial mIOU {:.2}% must clear the 88% bar",
+            overlap * 100.0
+        );
+
+        // Per-pixel ceiling: no pixel may stray more than 1e-3 of the peak —
+        // a much tighter leash than PSNR (which averages) alone would hold.
+        let peak = f64_aerial.max();
+        assert!(peak > 0.0, "{name}: degenerate all-dark reference aerial");
+        let worst = f64_aerial.zip_map(&f32_aerial, |a, b| (a - b).abs()).max();
+        assert!(
+            worst <= 1e-3 * peak,
+            "{name}: worst per-pixel error {worst:.3e} exceeds 1e-3 of peak {peak:.3e}"
+        );
+
+        // And the two precisions must actually differ somewhere — a
+        // bit-identical result means the f32 path silently fell back to f64.
+        assert!(
+            worst > 0.0,
+            "{name}: f32 aerial is bit-identical to f64 — f32 path not exercised?"
+        );
+    }
+
+    // The observability counters prove the reduced-precision kernels ran:
+    // one CMLP dispatch per kernel evaluation, one SOCS dispatch per aerial.
+    // Monotone `>=` because counters are process-global.
+    assert!(
+        nitho::cmlp::total_infer_f32_dispatches() > cmlp_before,
+        "expected f32 CMLP dispatches to be recorded"
+    );
+    assert!(
+        litho_fft::soa::total_socs_f32_dispatches() >= socs_before + families.len() as u64,
+        "expected one f32 SOCS dispatch per aerial"
+    );
+}

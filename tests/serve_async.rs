@@ -272,6 +272,84 @@ fn shutdown_drains_in_flight_simulate() {
     assert_eq!(response.as_bytes(), &reference.body[..]);
 }
 
+/// Both overload 503 flavours of the event tier — queue-full shed ("server
+/// busy") and deadline-expired — must carry the `retry-after` hint, end to
+/// end through a real `Service` handler. The unit tests in `litho_serve`
+/// pin each write site; this pins the wire behaviour clients actually see.
+#[test]
+fn overload_503s_carry_retry_after() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let service = shared_service();
+    let server = HttpServer::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let metrics = Arc::new(ServerMetrics::new());
+    let handler_service = Arc::clone(&service);
+    let join = std::thread::spawn(move || {
+        let config = ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            deadline: std::time::Duration::from_millis(50),
+            ..ServeConfig::default()
+        };
+        server.serve_event(&config, &metrics, move |request| {
+            // Congest the single worker so the 1-deep queue both expires
+            // (50 ms deadline < 200 ms service time) and overflows.
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            handler_service.handle(request)
+        });
+    });
+
+    // Raw sockets so response heads stay visible (`http_request` keeps only
+    // the body).
+    let raw_models_request = move || -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /v1/models HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
+            .expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+    };
+
+    // One request to occupy the worker, then a burst: one lands in the
+    // queue (and expires), the rest are shed.
+    let first = std::thread::spawn(raw_models_request);
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    let burst: Vec<String> = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..7).map(|_| scope.spawn(raw_models_request)).collect();
+        clients.into_iter().map(|c| c.join().unwrap()).collect()
+    });
+    assert!(
+        first.join().unwrap().starts_with("HTTP/1.1 200"),
+        "the in-flight request must complete"
+    );
+
+    let rejected: Vec<&String> = burst
+        .iter()
+        .filter(|r| r.starts_with("HTTP/1.1 503"))
+        .collect();
+    assert!(
+        rejected.iter().any(|r| r.contains("server busy")),
+        "burst over a 1-deep queue must shed at least one request"
+    );
+    assert!(
+        rejected.iter().any(|r| r.contains("deadline")),
+        "the queued request must expire behind the congested worker"
+    );
+    for response in &rejected {
+        assert!(
+            response.to_ascii_lowercase().contains("retry-after: 1"),
+            "every 503 must carry retry-after: {response}"
+        );
+    }
+
+    shutdown.shutdown();
+    join.join().expect("event loop exits");
+}
+
 /// One line of Prometheus text exposition: a `# HELP`/`# TYPE` comment or a
 /// `name{labels} value` sample with a finite numeric value.
 fn assert_exposition_line(line: &str) {

@@ -1,0 +1,371 @@
+//! Scalar-vs-AVX2 equivalence pins for the explicit SIMD kernels.
+//!
+//! The scalar backend is the bit-exact pinned reference; the AVX2 backend is
+//! allowed to differ only through FMA contraction, bounded by the module-wide
+//! ≤ 1e-12 contract. Every fused SoA kernel, the planned Stockham/Bluestein
+//! SoA transforms, and the fused SOCS accumulate are A/B-tested through their
+//! explicit `_with(backend, …)` entry points, so no test here touches the
+//! process-global `NITHO_SIMD` resolution. AVX2 arms are guarded on
+//! [`avx2_available`] and the suite passes unchanged on non-x86 hosts.
+//!
+//! Satellite pin: tiny and prime FFT lengths (1, 2, 3, 5, 7) are routed
+//! through the SoA Bluestein path explicitly — these lengths exercise the
+//! chirp padding edge cases (`m = next_pow2(2n-1)` of 1, 4, 8, 16) that the
+//! power-of-two production tiles never reach.
+
+use litho_fft::bluestein_plan_for;
+use litho_math::simd::{avx2_available, SimdBackend};
+use litho_math::{soa, ComplexMatrix, DeterministicRng, RealMatrix};
+use proptest::prelude::*;
+
+fn random_plane(n: usize, rng: &mut DeterministicRng) -> (Vec<f64>, Vec<f64>) {
+    let mut re = Vec::with_capacity(n);
+    let mut im = Vec::with_capacity(n);
+    for _ in 0..n {
+        let z = rng.normal_complex(0.0, 1.0);
+        re.push(z.re);
+        im.push(z.im);
+    }
+    (re, im)
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut DeterministicRng) -> ComplexMatrix {
+    ComplexMatrix::from_fn(rows, cols, |_, _| rng.normal_complex(0.0, 1.0))
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Reference DFT, O(n²): `X[k] = Σⱼ x[j]·e^{-2πi·jk/n}` — trivially correct
+/// for the tiny lengths pinned below.
+fn naive_forward_dft(re: &[f64], im: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = re.len();
+    let mut out_re = vec![0.0; n];
+    let mut out_im = vec![0.0; n];
+    for k in 0..n {
+        for j in 0..n {
+            let angle = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+            let (s, c) = angle.sin_cos();
+            out_re[k] += re[j] * c - im[j] * s;
+            out_im[k] += re[j] * s + im[j] * c;
+        }
+    }
+    (out_re, out_im)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Elementwise complex product, both backends, all remainder lanes.
+    #[test]
+    fn prop_mul_into_backends_agree(len in 0usize..97, seed in 0u64..10_000) {
+        if !avx2_available() {
+            return Ok(());
+        }
+        let mut rng = DeterministicRng::new(seed);
+        let (ar, ai) = random_plane(len, &mut rng);
+        let (br, bi) = random_plane(len, &mut rng);
+        let mut scalar_re = vec![0.0; len];
+        let mut scalar_im = vec![0.0; len];
+        let mut simd_re = vec![0.0; len];
+        let mut simd_im = vec![0.0; len];
+        soa::mul_into_with(SimdBackend::Scalar, &ar, &ai, &br, &bi, &mut scalar_re, &mut scalar_im);
+        soa::mul_into_with(SimdBackend::Avx2, &ar, &ai, &br, &bi, &mut simd_re, &mut simd_im);
+        prop_assert!(max_abs_diff(&scalar_re, &simd_re) <= 1e-12);
+        prop_assert!(max_abs_diff(&scalar_im, &simd_im) <= 1e-12);
+    }
+
+    /// Complex axpy (the CMLP matmul inner loop), accumulating into a
+    /// non-zero destination.
+    #[test]
+    fn prop_axpy_backends_agree(len in 0usize..97, seed in 0u64..10_000) {
+        if !avx2_available() {
+            return Ok(());
+        }
+        let mut rng = DeterministicRng::new(seed ^ 0xa11);
+        let (xr, xi) = random_plane(len, &mut rng);
+        let (mut scalar_re, mut scalar_im) = random_plane(len, &mut rng);
+        let mut simd_re = scalar_re.clone();
+        let mut simd_im = scalar_im.clone();
+        let alpha = rng.normal_complex(0.0, 1.0);
+        soa::axpy_in_place_with(
+            SimdBackend::Scalar, alpha.re, alpha.im, &xr, &xi, &mut scalar_re, &mut scalar_im,
+        );
+        soa::axpy_in_place_with(
+            SimdBackend::Avx2, alpha.re, alpha.im, &xr, &xi, &mut simd_re, &mut simd_im,
+        );
+        prop_assert!(max_abs_diff(&scalar_re, &simd_re) <= 1e-12);
+        prop_assert!(max_abs_diff(&scalar_im, &simd_im) <= 1e-12);
+    }
+
+    /// Real scale of both planes; pure products, so the backends agree
+    /// exactly, but pinned through the shared 1e-12 contract.
+    #[test]
+    fn prop_scale_backends_agree(len in 0usize..97, seed in 0u64..10_000) {
+        if !avx2_available() {
+            return Ok(());
+        }
+        let mut rng = DeterministicRng::new(seed ^ 0x5ca1e);
+        let (mut scalar_re, mut scalar_im) = random_plane(len, &mut rng);
+        let mut simd_re = scalar_re.clone();
+        let mut simd_im = scalar_im.clone();
+        let s = rng.normal_complex(0.0, 1.0).re;
+        soa::scale_in_place_with(SimdBackend::Scalar, &mut scalar_re, &mut scalar_im, s);
+        soa::scale_in_place_with(SimdBackend::Avx2, &mut simd_re, &mut simd_im, s);
+        prop_assert!(max_abs_diff(&scalar_re, &simd_re) <= 1e-12);
+        prop_assert!(max_abs_diff(&scalar_im, &simd_im) <= 1e-12);
+    }
+
+    /// Fused |z|² accumulate into a pre-seeded accumulator.
+    #[test]
+    fn prop_accumulate_abs_sq_backends_agree(len in 0usize..97, seed in 0u64..10_000) {
+        if !avx2_available() {
+            return Ok(());
+        }
+        let mut rng = DeterministicRng::new(seed ^ 0xab5);
+        let (re, im) = random_plane(len, &mut rng);
+        let (mut scalar_acc, _) = random_plane(len, &mut rng);
+        let mut simd_acc = scalar_acc.clone();
+        soa::accumulate_abs_sq_with(SimdBackend::Scalar, &re, &im, &mut scalar_acc);
+        soa::accumulate_abs_sq_with(SimdBackend::Avx2, &re, &im, &mut simd_acc);
+        prop_assert!(max_abs_diff(&scalar_acc, &simd_acc) <= 1e-12);
+    }
+
+    /// Stockham radix-2 butterfly with a broadcast unit-circle twiddle.
+    #[test]
+    fn prop_stockham_butterfly_backends_agree(
+        len in 0usize..97,
+        angle_steps in 0u32..360,
+        seed in 0u64..10_000,
+    ) {
+        if !avx2_available() {
+            return Ok(());
+        }
+        let mut rng = DeterministicRng::new(seed ^ 0x57c);
+        let (ar, ai) = random_plane(len, &mut rng);
+        let (br, bi) = random_plane(len, &mut rng);
+        let angle = f64::from(angle_steps).to_radians();
+        let (wi, wr) = angle.sin_cos();
+        let mut s = [vec![0.0; len], vec![0.0; len], vec![0.0; len], vec![0.0; len]];
+        let mut v = [vec![0.0; len], vec![0.0; len], vec![0.0; len], vec![0.0; len]];
+        {
+            let [d0r, d0i, d1r, d1i] = &mut s;
+            soa::stockham_butterfly_with(
+                SimdBackend::Scalar, &ar, &ai, &br, &bi, d0r, d0i, d1r, d1i, wr, wi,
+            );
+        }
+        {
+            let [d0r, d0i, d1r, d1i] = &mut v;
+            soa::stockham_butterfly_with(
+                SimdBackend::Avx2, &ar, &ai, &br, &bi, d0r, d0i, d1r, d1i, wr, wi,
+            );
+        }
+        for (scalar, simd) in s.iter().zip(&v) {
+            prop_assert!(max_abs_diff(scalar, simd) <= 1e-12);
+        }
+    }
+
+    /// The full fused SOCS accumulate (pad + shift + planned inverse FFTs +
+    /// |z|² fold), A/B over the explicit-backend entry point on random
+    /// kernel banks, power-of-two and odd output sizes alike.
+    #[test]
+    fn prop_socs_accumulate_backends_agree(
+        k_side in 1usize..9,
+        out_extra in 0usize..17,
+        count in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        if !avx2_available() {
+            return Ok(());
+        }
+        let mut rng = DeterministicRng::new(seed ^ 0x50c5);
+        let kernels: Vec<ComplexMatrix> =
+            (0..count).map(|_| random_matrix(k_side, k_side, &mut rng)).collect();
+        let spectrum = random_matrix(k_side, k_side, &mut rng);
+        let out = k_side + out_extra;
+        let mut scalar_acc = RealMatrix::from_fn(out, out, |_, _| 0.0);
+        let mut simd_acc = RealMatrix::from_fn(out, out, |_, _| 0.0);
+        litho_fft::soa::accumulate_socs_intensity_with(
+            SimdBackend::Scalar, &kernels, &spectrum, &mut scalar_acc,
+        );
+        litho_fft::soa::accumulate_socs_intensity_with(
+            SimdBackend::Avx2, &kernels, &spectrum, &mut simd_acc,
+        );
+        let max_err = scalar_acc.zip_map(&simd_acc, |a, b| (a - b).abs()).max();
+        prop_assert!(max_err <= 1e-12, "max abs err {max_err}");
+    }
+
+    /// f32 kernels: both backends run the same single-precision arithmetic,
+    /// so they agree to f32 rounding (FMA contraction only).
+    #[test]
+    fn prop_f32_kernels_backends_agree(len in 0usize..97, seed in 0u64..10_000) {
+        if !avx2_available() {
+            return Ok(());
+        }
+        let mut rng = DeterministicRng::new(seed ^ 0xf32);
+        let narrow = |v: &[f64]| v.iter().map(|&x| x as f32).collect::<Vec<f32>>();
+        let (ar, ai) = random_plane(len, &mut rng);
+        let (br, bi) = random_plane(len, &mut rng);
+        let (ar, ai, br, bi) = (narrow(&ar), narrow(&ai), narrow(&br), narrow(&bi));
+
+        let mut scalar_re = vec![0.0f32; len];
+        let mut scalar_im = vec![0.0f32; len];
+        let mut simd_re = vec![0.0f32; len];
+        let mut simd_im = vec![0.0f32; len];
+        soa::mul_into_f32_with(
+            SimdBackend::Scalar, &ar, &ai, &br, &bi, &mut scalar_re, &mut scalar_im,
+        );
+        soa::mul_into_f32_with(SimdBackend::Avx2, &ar, &ai, &br, &bi, &mut simd_re, &mut simd_im);
+        for (s, v) in scalar_re.iter().chain(&scalar_im).zip(simd_re.iter().chain(&simd_im)) {
+            prop_assert!((s - v).abs() <= 2e-6);
+        }
+
+        let alpha = rng.normal_complex(0.0, 1.0);
+        let mut scalar_yr = br.clone();
+        let mut scalar_yi = bi.clone();
+        let mut simd_yr = br.clone();
+        let mut simd_yi = bi.clone();
+        soa::axpy_in_place_f32_with(
+            SimdBackend::Scalar, alpha.re as f32, alpha.im as f32,
+            &ar, &ai, &mut scalar_yr, &mut scalar_yi,
+        );
+        soa::axpy_in_place_f32_with(
+            SimdBackend::Avx2, alpha.re as f32, alpha.im as f32,
+            &ar, &ai, &mut simd_yr, &mut simd_yi,
+        );
+        for (s, v) in scalar_yr.iter().chain(&scalar_yi).zip(simd_yr.iter().chain(&simd_yi)) {
+            prop_assert!((s - v).abs() <= 2e-6);
+        }
+    }
+}
+
+/// Satellite pin: lengths 1, 2, 3, 5 and 7 through the SoA Bluestein path —
+/// forward matches a naive O(n²) DFT, forward→inverse round-trips, and the
+/// AVX2 backend tracks scalar within 1e-12 on every plane.
+#[test]
+fn tiny_and_prime_lengths_through_bluestein_soa() {
+    for n in [1usize, 2, 3, 5, 7] {
+        let plan = bluestein_plan_for(n);
+        let mut rng = DeterministicRng::new(0xb1e + n as u64);
+        let (sig_re, sig_im) = random_plane(n, &mut rng);
+        let (dft_re, dft_im) = naive_forward_dft(&sig_re, &sig_im);
+
+        // Scalar forward is the reference: it must be the DFT.
+        let mut scalar_re = sig_re.clone();
+        let mut scalar_im = sig_im.clone();
+        plan.forward_soa_with(SimdBackend::Scalar, &mut scalar_re, &mut scalar_im);
+        assert!(
+            max_abs_diff(&scalar_re, &dft_re) <= 1e-9 && max_abs_diff(&scalar_im, &dft_im) <= 1e-9,
+            "n={n}: scalar SoA Bluestein disagrees with the naive DFT"
+        );
+
+        // Scalar round-trip recovers the signal.
+        plan.inverse_soa_with(SimdBackend::Scalar, &mut scalar_re, &mut scalar_im);
+        assert!(
+            max_abs_diff(&scalar_re, &sig_re) <= 1e-9 && max_abs_diff(&scalar_im, &sig_im) <= 1e-9,
+            "n={n}: scalar SoA Bluestein round-trip drifted"
+        );
+
+        if avx2_available() {
+            let mut simd_re = sig_re.clone();
+            let mut simd_im = sig_im.clone();
+            plan.forward_soa_with(SimdBackend::Avx2, &mut simd_re, &mut simd_im);
+            let mut fwd_re = sig_re.clone();
+            let mut fwd_im = sig_im.clone();
+            plan.forward_soa_with(SimdBackend::Scalar, &mut fwd_re, &mut fwd_im);
+            assert!(
+                max_abs_diff(&fwd_re, &simd_re) <= 1e-12
+                    && max_abs_diff(&fwd_im, &simd_im) <= 1e-12,
+                "n={n}: AVX2 forward broke the 1e-12 contract"
+            );
+            plan.inverse_soa_with(SimdBackend::Avx2, &mut simd_re, &mut simd_im);
+            assert!(
+                max_abs_diff(&simd_re, &sig_re) <= 1e-9 && max_abs_diff(&simd_im, &sig_im) <= 1e-9,
+                "n={n}: AVX2 SoA Bluestein round-trip drifted"
+            );
+        }
+
+        // f32 twin of the same route, against the f64 reference.
+        let mut f32_re: Vec<f32> = sig_re.iter().map(|&x| x as f32).collect();
+        let mut f32_im: Vec<f32> = sig_im.iter().map(|&x| x as f32).collect();
+        plan.forward_soa_f32_with(SimdBackend::Scalar, &mut f32_re, &mut f32_im);
+        for k in 0..n {
+            assert!(
+                (f64::from(f32_re[k]) - dft_re[k]).abs() <= 1e-4
+                    && (f64::from(f32_im[k]) - dft_im[k]).abs() <= 1e-4,
+                "n={n}: f32 SoA Bluestein strayed from the DFT at bin {k}"
+            );
+        }
+        if avx2_available() {
+            let mut v_re: Vec<f32> = sig_re.iter().map(|&x| x as f32).collect();
+            let mut v_im: Vec<f32> = sig_im.iter().map(|&x| x as f32).collect();
+            plan.forward_soa_f32_with(SimdBackend::Avx2, &mut v_re, &mut v_im);
+            for k in 0..n {
+                assert!(
+                    (v_re[k] - f32_re[k]).abs() <= 2e-5 && (v_im[k] - f32_im[k]).abs() <= 2e-5,
+                    "n={n}: f32 AVX2 forward diverged from f32 scalar at bin {k}"
+                );
+            }
+        }
+    }
+}
+
+/// Prime-sided SOCS synthesis (7×7 kernels into prime 19×19 output) walks
+/// every Bluestein row/column plan through the fused accumulate on both
+/// backends.
+#[test]
+fn prime_sided_socs_accumulate_backends_agree() {
+    if !avx2_available() {
+        return;
+    }
+    let mut rng = DeterministicRng::new(0x719);
+    let kernels: Vec<ComplexMatrix> = (0..3).map(|_| random_matrix(7, 7, &mut rng)).collect();
+    let spectrum = random_matrix(7, 7, &mut rng);
+    let mut scalar_acc = RealMatrix::from_fn(19, 19, |_, _| 0.0);
+    let mut simd_acc = RealMatrix::from_fn(19, 19, |_, _| 0.0);
+    litho_fft::soa::accumulate_socs_intensity_with(
+        SimdBackend::Scalar,
+        &kernels,
+        &spectrum,
+        &mut scalar_acc,
+    );
+    litho_fft::soa::accumulate_socs_intensity_with(
+        SimdBackend::Avx2,
+        &kernels,
+        &spectrum,
+        &mut simd_acc,
+    );
+    let max_err = scalar_acc.zip_map(&simd_acc, |a, b| (a - b).abs()).max();
+    assert!(max_err <= 1e-12, "max abs err {max_err}");
+}
+
+/// The scalar backend must be deterministic run to run (reused thread-local
+/// scratch may never leak state between calls): two identical accumulates
+/// are bit-identical.
+#[test]
+fn scalar_socs_accumulate_is_bit_stable() {
+    let mut rng = DeterministicRng::new(0xdead);
+    let kernels: Vec<ComplexMatrix> = (0..4).map(|_| random_matrix(5, 5, &mut rng)).collect();
+    let spectrum = random_matrix(5, 5, &mut rng);
+    let mut first = RealMatrix::from_fn(24, 24, |_, _| 0.0);
+    let mut second = RealMatrix::from_fn(24, 24, |_, _| 0.0);
+    litho_fft::soa::accumulate_socs_intensity_with(
+        SimdBackend::Scalar,
+        &kernels,
+        &spectrum,
+        &mut first,
+    );
+    litho_fft::soa::accumulate_socs_intensity_with(
+        SimdBackend::Scalar,
+        &kernels,
+        &spectrum,
+        &mut second,
+    );
+    for (a, b) in first.iter().zip(second.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
