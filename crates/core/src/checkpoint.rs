@@ -143,8 +143,13 @@ fn finish_header<R: Read>(r: &mut R, first8: &[u8; 8], path: &Path) -> io::Resul
 ///
 /// Returns any I/O error from writing the file.
 pub(crate) fn save(path: &Path, fingerprint: u64, params: &ParamStore) -> io::Result<()> {
-    // Write-then-rename so a crash or full disk mid-save never leaves a
-    // truncated checkpoint at the final path.
+    // Write-then-fsync-then-rename so a crash or full disk mid-save never
+    // leaves a truncated checkpoint at the final path: the flush pushes the
+    // buffered stream to the kernel, the fsync pushes it to the device
+    // *before* the rename publishes the file, and the directory fsync
+    // (best-effort — not every filesystem supports it) persists the rename
+    // itself. Without the fsync a power cut after the rename could surface a
+    // complete-looking file with torn contents.
     let tmp = path.with_extension("ckpt.tmp");
     {
         let mut w = BufWriter::new(File::create(&tmp)?);
@@ -153,8 +158,18 @@ pub(crate) fn save(path: &Path, fingerprint: u64, params: &ParamStore) -> io::Re
         w.write_all(&fingerprint.to_le_bytes())?;
         params.write_to(&mut w)?;
         w.flush()?;
+        w.get_ref().sync_all()?;
     }
-    std::fs::rename(&tmp, path)
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path
+        .parent()
+        .filter(|parent| !parent.as_os_str().is_empty())
+    {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Loads a checkpoint, validating version and fingerprint; legacy

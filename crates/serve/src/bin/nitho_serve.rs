@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! nitho-serve [--addr 127.0.0.1] [--port 8425] [--port-file PATH]
-//!             [--checkpoint-dir DIR] [--fast]
+//!             [--checkpoint-dir DIR] [--fast] [--hopkins-only]
+//!             [--worker [--parent-pid PID]]
 //! ```
 //!
 //! * `--port 0` binds an ephemeral port; combine with `--port-file` so
@@ -15,13 +16,21 @@
 //! * `--checkpoint-dir` persists the Nitho checkpoint across restarts
 //!   (default `./nitho-serve-ckpt`).
 //! * `--fast` serves a smaller, quicker-to-train model (CI smoke scale).
+//! * `--hopkins-only` skips the Nitho model entirely (rigorous engine only;
+//!   instant startup, used by the job-layer integration tests).
+//! * `--worker` runs the sharded-job worker protocol: a blocking single
+//!   connection loop serving `/v1/shard` with failure injections enabled
+//!   (spawned by the supervisor's job layer, never started by hand).
+//!   `--parent-pid` arms a watchdog that exits when the supervisor dies.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use litho_masks::{DatasetKind, ProcessDataset};
 use litho_optics::{HopkinsSimulator, OpticalConfig, ProcessWindow};
-use litho_serve::{HttpServer, ModelRegistry, Response, ServeConfig, Service};
+use litho_serve::{
+    HttpServer, JobConfig, ModelRegistry, Response, ServeConfig, Service, WorkerLauncher,
+};
 use nitho::{ConditionEncoding, NithoConfig};
 
 struct Options {
@@ -30,6 +39,9 @@ struct Options {
     port_file: Option<PathBuf>,
     checkpoint_dir: PathBuf,
     fast: bool,
+    hopkins_only: bool,
+    worker: bool,
+    parent_pid: Option<u32>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -39,6 +51,9 @@ fn parse_args() -> Result<Options, String> {
         port_file: None,
         checkpoint_dir: PathBuf::from("nitho-serve-ckpt"),
         fast: false,
+        hopkins_only: false,
+        worker: false,
+        parent_pid: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -58,9 +73,19 @@ fn parse_args() -> Result<Options, String> {
                 options.checkpoint_dir = PathBuf::from(value("--checkpoint-dir")?)
             }
             "--fast" => options.fast = true,
+            "--hopkins-only" => options.hopkins_only = true,
+            "--worker" => options.worker = true,
+            "--parent-pid" => {
+                options.parent_pid = Some(
+                    value("--parent-pid")?
+                        .parse()
+                        .map_err(|_| "--parent-pid must be a pid".to_owned())?,
+                )
+            }
             "--help" | "-h" => {
                 return Err("usage: nitho-serve [--addr A] [--port P] [--port-file F] \
-                            [--checkpoint-dir D] [--fast]"
+                            [--checkpoint-dir D] [--fast] [--hopkins-only] \
+                            [--worker [--parent-pid PID]]"
                     .to_owned())
             }
             other => return Err(format!("unknown argument {other:?}")),
@@ -119,6 +144,10 @@ fn build_registry(options: &Options) -> std::io::Result<ModelRegistry> {
         optics.tile_px
     );
     let labeller = HopkinsSimulator::new(&optics);
+    if options.hopkins_only {
+        registry.register_hopkins("hopkins", labeller);
+        return Ok(registry);
+    }
     let conditions = window.conditions();
     registry.register_nitho_checkpointed(
         "nitho",
@@ -200,7 +229,41 @@ fn main() -> ExitCode {
             }
         );
     }
-    let service = Service::new(registry);
+    let service = if options.worker {
+        // Workers honor `/v1/shard` failure injections; they never spawn
+        // workers of their own.
+        Service::new(registry).with_worker_mode(true)
+    } else {
+        // The supervisor launches copies of this binary as shard workers,
+        // mirroring the model-profile flags so every process serves
+        // identical models (the shared checkpoint dir makes the restored
+        // Nitho weights identical too).
+        let mut args = Vec::new();
+        if options.fast {
+            args.push("--fast".to_owned());
+        }
+        if options.hopkins_only {
+            args.push("--hopkins-only".to_owned());
+        }
+        args.push("--checkpoint-dir".to_owned());
+        args.push(options.checkpoint_dir.display().to_string());
+        let mut job_config = match std::env::current_exe() {
+            Ok(program) => JobConfig::from_env().with_launcher(WorkerLauncher { program, args }),
+            Err(err) => {
+                eprintln!(
+                    "nitho-serve: cannot resolve own executable ({err}); jobs run in process"
+                );
+                JobConfig::from_env()
+            }
+        };
+        // Resume-after-kill works out of the box: shard checkpoints live
+        // under the serve checkpoint dir unless NITHO_JOB_CHECKPOINT_DIR
+        // points elsewhere.
+        if job_config.checkpoint_dir.is_none() {
+            job_config.checkpoint_dir = Some(options.checkpoint_dir.join("jobs"));
+        }
+        Service::new(registry).with_job_config(job_config)
+    };
 
     let server = match HttpServer::bind(&format!("{}:{}", options.addr, options.port)) {
         Ok(server) => server,
@@ -220,6 +283,34 @@ fn main() -> ExitCode {
         }
     }
     println!("nitho-serve listening on http://{addr}");
+
+    if options.worker {
+        // Shard workers serve one driver thread over the blocking reference
+        // path (satellite socket budgets apply) and exit when the supervisor
+        // dies: the watchdog polls `/proc/<ppid>` where available.
+        if let Some(ppid) = options.parent_pid {
+            #[cfg(target_os = "linux")]
+            std::thread::spawn(move || loop {
+                if !std::path::Path::new(&format!("/proc/{ppid}")).exists() {
+                    eprintln!("nitho-serve: worker parent {ppid} is gone; exiting");
+                    std::process::exit(0);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(500));
+            });
+            #[cfg(not(target_os = "linux"))]
+            let _ = ppid;
+        }
+        let shutdown = server.shutdown_handle();
+        server.serve(move |request| {
+            if (request.method.as_str(), request.path.as_str()) == ("POST", "/v1/shutdown") {
+                shutdown.shutdown();
+                return Response::json(200, r#"{"status":"shutting down"}"#.to_owned());
+            }
+            service.handle(request)
+        });
+        println!("nitho-serve: worker shut down cleanly");
+        return ExitCode::SUCCESS;
+    }
 
     // Event-loop tier: NITHO_SERVE_WORKERS / NITHO_QUEUE_DEPTH /
     // NITHO_DEADLINE_MS tune the worker pool, admission queue, and

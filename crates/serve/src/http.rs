@@ -63,7 +63,7 @@ struct Endpoint {
 const LATENCY_NAME: &str = "litho_serve_request_latency_ms";
 const LATENCY_HELP: &str = "end-to-end request latency (accept to response ready), by endpoint";
 
-static ENDPOINTS: [Endpoint; 5] = [
+static ENDPOINTS: [Endpoint; 7] = [
     Endpoint {
         path: "/v1/simulate",
         span: "serve./v1/simulate",
@@ -105,6 +105,26 @@ static ENDPOINTS: [Endpoint; 5] = [
         ),
     },
     Endpoint {
+        path: "/v1/jobs",
+        span: "serve./v1/jobs",
+        latency: Histogram::with_label(
+            LATENCY_NAME,
+            LATENCY_HELP,
+            "endpoint=\"/v1/jobs\"",
+            &LATENCY_BUCKETS_MS,
+        ),
+    },
+    Endpoint {
+        path: "/v1/shard",
+        span: "serve./v1/shard",
+        latency: Histogram::with_label(
+            LATENCY_NAME,
+            LATENCY_HELP,
+            "endpoint=\"/v1/shard\"",
+            &LATENCY_BUCKETS_MS,
+        ),
+    },
+    Endpoint {
         path: "",
         span: "serve.other",
         latency: Histogram::with_label(
@@ -119,7 +139,12 @@ static ENDPOINTS: [Endpoint; 5] = [
 fn endpoint_for(path: &str) -> &'static Endpoint {
     ENDPOINTS
         .iter()
-        .find(|e| !e.path.is_empty() && e.path == path)
+        .find(|e| {
+            !e.path.is_empty()
+                // `/v1/jobs/<id>` and `/v1/jobs/<id>/result` share the
+                // `/v1/jobs` series: path cardinality must stay bounded.
+                && (e.path == path || (e.path == "/v1/jobs" && path.starts_with("/v1/jobs/")))
+        })
         .unwrap_or(&ENDPOINTS[ENDPOINTS.len() - 1])
 }
 
@@ -147,8 +172,13 @@ const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
 const MAX_CONNECTIONS: usize = 64;
 /// Upper bound on the request head (request line + headers).
 const MAX_HEAD_BYTES: usize = 64 * 1024;
-/// Per-connection socket timeout.
+/// Per-connection socket timeout (each individual read or write).
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
+/// Total wall-clock budget for one blocking-path connection (read + handle +
+/// write). The per-call [`IO_TIMEOUT`] alone lets a slowloris peer pin a
+/// thread forever by trickling one byte per interval; the budget caps the
+/// whole exchange.
+const CONNECTION_BUDGET: Duration = Duration::from_secs(60);
 /// Event-loop pause when every connection is idle. Worker completions
 /// interrupt the pause through the loop's [`Waker`], so this bounds only the
 /// latency of *unannounced* readiness — a new connection in the accept
@@ -228,7 +258,9 @@ impl Response {
     fn status_reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            202 => "Accepted",
             400 => "Bad Request",
+            409 => "Conflict",
             404 => "Not Found",
             405 => "Method Not Allowed",
             413 => "Payload Too Large",
@@ -1000,13 +1032,66 @@ pub(crate) fn body_length(headers: &[(String, String)]) -> Result<usize, ParseEr
     Ok(length as usize)
 }
 
-fn serve_connection<H>(mut stream: TcpStream, handler: &H) -> io::Result<()>
+/// Caps a blocking read at both the per-call [`IO_TIMEOUT`] and an absolute
+/// connection deadline: each `read` re-arms the socket timeout with the
+/// remaining budget, so a peer trickling bytes cannot extend its welcome
+/// past the deadline.
+struct DeadlineReader<'a> {
+    stream: &'a TcpStream,
+    deadline: Instant,
+}
+
+impl Read for DeadlineReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "connection budget exhausted",
+            ));
+        }
+        self.stream
+            .set_read_timeout(Some(remaining.min(IO_TIMEOUT)))?;
+        match (&*self.stream).read(buf) {
+            // A socket timeout surfaces as `WouldBlock` on Unix; normalize so
+            // callers see one kind for "the peer stalled past its budget".
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "socket read timed out",
+                ))
+            }
+            other => other,
+        }
+    }
+}
+
+fn serve_connection<H>(stream: TcpStream, handler: &H) -> io::Result<()>
 where
     H: Fn(&Request) -> Response,
 {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let response = match read_request(&mut stream) {
+    serve_connection_with_budget(stream, handler, CONNECTION_BUDGET)
+}
+
+fn serve_connection_with_budget<H>(
+    mut stream: TcpStream,
+    handler: &H,
+    budget: Duration,
+) -> io::Result<()>
+where
+    H: Fn(&Request) -> Response,
+{
+    let deadline = Instant::now() + budget;
+    let reader = DeadlineReader {
+        stream: &stream,
+        deadline,
+    };
+    let response = match read_request_from(reader) {
         // A handler panic (e.g. an assert deep in the simulators) must not
         // take the accept loop down with it; the client gets a 500.
         Ok(request) => {
@@ -1024,6 +1109,14 @@ where
         // A closed or timed-out socket cannot carry a response.
         Err(err) => return Err(err),
     };
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "connection budget exhausted",
+        ));
+    }
+    stream.set_write_timeout(Some(remaining.min(IO_TIMEOUT)))?;
     response.write_to(&mut stream)
 }
 
@@ -1032,9 +1125,14 @@ where
 /// actually reaches the client instead of being discarded by a TCP reset,
 /// at O(1) memory per rejected connection.
 fn drain_and_reject(mut stream: TcpStream) -> io::Result<()> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let mut reader = BufReader::new(&mut stream);
+    // The shed path gets a short budget of its own: it exists to protect
+    // capacity, so a slow-trickling client must not hold its drain thread
+    // for the full connection budget.
+    let deadline = Instant::now() + CONNECTION_BUDGET.min(Duration::from_secs(10));
+    let mut reader = BufReader::new(DeadlineReader {
+        stream: &stream,
+        deadline,
+    });
     let mut content_length: u64 = 0;
     let mut head_bytes = 0usize;
     loop {
@@ -1060,6 +1158,14 @@ fn drain_and_reject(mut stream: TcpStream) -> io::Result<()> {
     // Every 503 this server emits carries `retry-after` — the connection-cap
     // shed here used to be the one exception, leaving well-behaved clients
     // with no backoff hint on exactly the path where backoff matters.
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "connection budget exhausted",
+        ));
+    }
+    stream.set_write_timeout(Some(remaining.min(IO_TIMEOUT)))?;
     Response::text(503, "server busy")
         .with_header("retry-after", "1")
         .write_to(&mut stream)
@@ -1076,7 +1182,14 @@ fn invalid(message: &str) -> io::Error {
 /// `InvalidData` for malformed requests, `FileTooLarge` for oversized heads
 /// or bodies, or any underlying socket error.
 pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
-    let mut reader = BufReader::new(stream);
+    read_request_from(&mut *stream)
+}
+
+/// [`read_request`] over any byte source — the blocking path wraps the
+/// socket in a [`DeadlineReader`] so the whole head+body read respects the
+/// connection budget; tests drive it with stalling readers directly.
+fn read_request_from<R: Read>(source: R) -> io::Result<Request> {
+    let mut reader = BufReader::new(source);
 
     let mut request_line = String::new();
     read_line_bounded(&mut reader, &mut request_line)?;
@@ -1166,9 +1279,36 @@ pub fn http_request(
     path: &str,
     body: Option<&str>,
 ) -> io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    http_request_with_timeout(addr, method, path, body, CONNECTION_BUDGET)
+}
+
+/// [`http_request`] with an explicit wall-clock budget covering connect,
+/// write and the full response read. The job supervisor uses this with the
+/// shard lease as the budget — the RPC timeout *is* the lease — and every
+/// read re-arms the socket timeout with the remaining budget so a stalled
+/// worker cannot pin the driver thread.
+///
+/// # Errors
+///
+/// `TimedOut` when the budget expires, connection errors, or `InvalidData`
+/// on a malformed response head.
+pub fn http_request_with_timeout(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    budget: Duration,
+) -> io::Result<(u16, String)> {
+    let deadline = Instant::now() + budget;
+    let mut stream = TcpStream::connect_timeout(&addr, budget.min(Duration::from_secs(10)))?;
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "request budget exhausted",
+        ));
+    }
+    stream.set_write_timeout(Some(remaining.min(IO_TIMEOUT)))?;
     let body = body.unwrap_or("");
     let head = format!(
         "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
@@ -1179,7 +1319,11 @@ pub fn http_request(
     stream.flush()?;
 
     let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
+    let mut reader = DeadlineReader {
+        stream: &stream,
+        deadline,
+    };
+    reader.read_to_end(&mut raw)?;
     let text = String::from_utf8(raw).map_err(|_| invalid("non-UTF-8 response"))?;
     let (head, payload) = text
         .split_once("\r\n\r\n")
@@ -1613,5 +1757,85 @@ mod tests {
             ("content-length".to_owned(), "8".to_owned()),
         ];
         assert!(matches!(body_length(&conflict), Err(ParseError::Bad(_))));
+    }
+
+    #[test]
+    fn connection_budget_unseats_a_stalling_peer() {
+        // A peer that sends a partial head and then goes silent must be cut
+        // off at the connection budget, not held for a fresh IO_TIMEOUT per
+        // byte. Drive the budgeted path directly with a tiny budget.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .write_all(b"POST /v1/simulate HTTP/1.1\r\ncontent-le")
+                .expect("partial head");
+            // Stall: keep the socket open well past the server's budget.
+            std::thread::sleep(Duration::from_millis(600));
+            drop(stream);
+        });
+        let (stream, _) = listener.accept().expect("accept");
+        let started = Instant::now();
+        let result = serve_connection_with_budget(
+            stream,
+            &|_request: &Request| Response::text(200, "ok"),
+            Duration::from_millis(150),
+        );
+        let elapsed = started.elapsed();
+        let err = result.expect_err("stalling connection must time out");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut, "{err}");
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "budget must fire promptly, took {elapsed:?}"
+        );
+        client.join().expect("client thread");
+    }
+
+    #[test]
+    fn deadline_reader_times_out_mid_body_too() {
+        // The budget covers the body as well as the head: a complete head
+        // followed by a stalled body read must error at the deadline.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .write_all(b"POST / HTTP/1.1\r\ncontent-length: 100\r\n\r\npartial")
+                .expect("head + partial body");
+            std::thread::sleep(Duration::from_millis(600));
+            drop(stream);
+        });
+        let (stream, _) = listener.accept().expect("accept");
+        let reader = DeadlineReader {
+            stream: &stream,
+            deadline: Instant::now() + Duration::from_millis(150),
+        };
+        let err = read_request_from(reader).expect_err("stalled body must time out");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut, "{err}");
+        client.join().expect("client thread");
+    }
+
+    #[test]
+    fn http_request_with_timeout_bounds_a_stalled_server() {
+        // Supervisor side of the lease: a worker that accepts the request
+        // and never responds loses the shard at the budget boundary.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            std::thread::sleep(Duration::from_millis(700));
+            drop(stream);
+        });
+        let started = Instant::now();
+        let result =
+            http_request_with_timeout(addr, "GET", "/healthz", None, Duration::from_millis(150));
+        let elapsed = started.elapsed();
+        assert!(result.is_err(), "stalled server must not yield a response");
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "lease must fire promptly, took {elapsed:?}"
+        );
+        server.join().expect("server thread");
     }
 }

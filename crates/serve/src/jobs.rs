@@ -1,0 +1,2134 @@
+//! Fault-tolerant wafer-scale job layer: sharded workers, checkpointed
+//! resume, failure injection.
+//!
+//! A job shards a reticle-scale layout into contiguous runs of guard-band
+//! tiles ([`TileGrid`] order), fans the shards over `nitho-serve --worker`
+//! child processes on local sockets (the in-crate [`Json`] codec is the wire
+//! format), and stitches the shard results into one full-chip aerial/resist
+//! image. Robustness is the point:
+//!
+//! * **Lease = RPC timeout.** A shard is leased to exactly one driver thread
+//!   for the duration of one `/v1/shard` call bounded by the configured
+//!   lease; the driver either completes the shard or requeues it, so no
+//!   shard is ever stranded by a hung or killed worker.
+//! * **Bounded retry with jittered exponential backoff.** A failed attempt
+//!   requeues the shard with `backoff · 2^(attempt-1)` plus a deterministic
+//!   FNV-derived jitter; after `max_attempts` the job fails cleanly.
+//! * **Work stealing.** Drivers claim from one shared queue; when a worker
+//!   dies its driver exits and surviving drivers pick up the requeued
+//!   shards (counted in `litho_jobs_steals_total`).
+//! * **Per-shard checkpoints.** Each completed shard is persisted with the
+//!   NITHOCKPT discipline — write tmp, fsync, rename, fsync dir — under a
+//!   job fingerprint, so a killed supervisor resumes from the last completed
+//!   shard set. Truncated or corrupt files are rejected (counted) and
+//!   recomputed, never a parse error.
+//! * **Graceful degradation.** When no workers can be spawned (or they all
+//!   die), the supervisor finishes remaining shards in process.
+//!
+//! Determinism: each tile's aerial is produced by one deterministic
+//! `simulate_tile` call, shard values ride the lossless shortest-roundtrip
+//! JSON number encoding, and stitching writes disjoint owned regions at
+//! fixed grid coordinates — so the stitched bytes are identical for any
+//! worker count, any failure/retry schedule, and any resume point (pinned
+//! by `tests/jobs_process.rs`). See DESIGN.md §13.
+
+use std::fs::{self, File};
+use std::io::{self, Write as _};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use litho_math::RealMatrix;
+use litho_obs::{Counter, Gauge, Histogram};
+
+use crate::chip::TileSimulator;
+use crate::http::http_request_with_timeout;
+use crate::json::Json;
+use crate::pw::MaskSpec;
+use crate::queue::LATENCY_BUCKETS_MS;
+use crate::registry::ModelRegistry;
+use crate::tiling::{TileGrid, TilingConfig};
+
+/// Jobs submitted.
+static JOBS_SUBMITTED_TOTAL: Counter = Counter::new(
+    "litho_jobs_submitted_total",
+    "jobs accepted by the job layer",
+);
+/// Jobs that reached the stitched result.
+static JOBS_COMPLETED_TOTAL: Counter =
+    Counter::new("litho_jobs_completed_total", "jobs completed successfully");
+/// Jobs that failed permanently.
+static JOBS_FAILED_TOTAL: Counter =
+    Counter::new("litho_jobs_failed_total", "jobs failed permanently");
+/// Shards completed (first completion only).
+static JOBS_SHARDS_COMPLETED_TOTAL: Counter = Counter::new(
+    "litho_jobs_shards_completed_total",
+    "shards completed across all jobs",
+);
+/// Shard attempts requeued after a failure.
+static JOBS_RETRIES_TOTAL: Counter = Counter::new(
+    "litho_jobs_retries_total",
+    "shard attempts requeued after a failure",
+);
+/// Shards claimed by a different executor than their previous attempt.
+static JOBS_STEALS_TOTAL: Counter = Counter::new(
+    "litho_jobs_steals_total",
+    "shards stolen by a surviving executor after a failed attempt elsewhere",
+);
+/// Shards restored from checkpoints during the pre-run resume scan.
+static JOBS_RESUMED_SHARDS_TOTAL: Counter = Counter::new(
+    "litho_jobs_resumed_shards_total",
+    "shards restored from checkpoints at job start",
+);
+/// Shards restored from a checkpoint mid-run (a retry found a valid file).
+static JOBS_CHECKPOINT_HITS_TOTAL: Counter = Counter::new(
+    "litho_jobs_checkpoint_hits_total",
+    "shard attempts satisfied from an existing checkpoint",
+);
+/// Checkpoints rejected (truncated, checksum or fingerprint mismatch).
+static JOBS_CHECKPOINT_REJECTS_TOTAL: Counter = Counter::new(
+    "litho_jobs_checkpoint_rejects_total",
+    "shard checkpoints rejected and recomputed",
+);
+/// Failures injected by the active [`FailurePlan`].
+static JOBS_INJECTED_TOTAL: Counter = Counter::new(
+    "litho_jobs_injected_failures_total",
+    "failures injected by the NITHO_JOB_FAILURES plan",
+);
+/// Worker processes spawned.
+static JOBS_WORKERS_SPAWNED_TOTAL: Counter = Counter::new(
+    "litho_jobs_workers_spawned_total",
+    "worker child processes spawned for jobs",
+);
+/// Shards executed by the in-process fallback path.
+static JOBS_FALLBACK_SHARDS_TOTAL: Counter = Counter::new(
+    "litho_jobs_fallback_shards_total",
+    "shards executed in process after worker degradation",
+);
+/// Jobs currently running.
+static JOBS_ACTIVE: Gauge = Gauge::new("litho_jobs_active", "jobs currently running");
+/// Per-shard wall time (RPC or in-process compute), milliseconds.
+static JOBS_SHARD_LATENCY: Histogram = Histogram::with_label(
+    "litho_jobs_shard_latency_ms",
+    "per-shard execution latency",
+    "unit=\"ms\"",
+    &LATENCY_BUCKETS_MS,
+);
+
+/// Registers the job-layer metrics (called from
+/// [`register_all_metrics`](crate::service::register_all_metrics)).
+pub(crate) fn register_job_metrics() {
+    litho_obs::register(&JOBS_SUBMITTED_TOTAL);
+    litho_obs::register(&JOBS_COMPLETED_TOTAL);
+    litho_obs::register(&JOBS_FAILED_TOTAL);
+    litho_obs::register(&JOBS_SHARDS_COMPLETED_TOTAL);
+    litho_obs::register(&JOBS_RETRIES_TOTAL);
+    litho_obs::register(&JOBS_STEALS_TOTAL);
+    litho_obs::register(&JOBS_RESUMED_SHARDS_TOTAL);
+    litho_obs::register(&JOBS_CHECKPOINT_HITS_TOTAL);
+    litho_obs::register(&JOBS_CHECKPOINT_REJECTS_TOTAL);
+    litho_obs::register(&JOBS_INJECTED_TOTAL);
+    litho_obs::register(&JOBS_WORKERS_SPAWNED_TOTAL);
+    litho_obs::register(&JOBS_FALLBACK_SHARDS_TOTAL);
+    litho_obs::register(&JOBS_ACTIVE);
+    litho_obs::register(&JOBS_SHARD_LATENCY);
+}
+
+/// 64-bit FNV-1a over `bytes` — job fingerprints, checkpoint checksums and
+/// the deterministic backoff jitter all hash with it.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Failure injection plan: which shards get which fault, applied **once**
+/// per shard so the recovery path converges deterministically.
+///
+/// Parsed from `NITHO_JOB_FAILURES`, e.g. `"kill=0;stall=1;drop=2,3;corrupt=4"`:
+///
+/// * `kill` — the worker executing the shard exits mid-request (SIGKILL
+///   equivalent; exercises work stealing / fallback).
+/// * `stall` — the worker sleeps past the shard lease (exercises the lease
+///   timeout + reassignment).
+/// * `drop` — the supervisor discards the shard's result after a successful
+///   compute (exercises retry).
+/// * `corrupt` — the shard's checkpoint is truncated after the write
+///   (exercises checkpoint rejection + self-heal recompute).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailurePlan {
+    /// Shards whose first successful result is discarded.
+    pub drop_shards: Vec<usize>,
+    /// Shards whose first attempt stalls past the lease.
+    pub stall_shards: Vec<usize>,
+    /// Shards whose first attempt kills its worker.
+    pub kill_shards: Vec<usize>,
+    /// Shards whose first checkpoint is corrupted after the write.
+    pub corrupt_shards: Vec<usize>,
+}
+
+impl FailurePlan {
+    /// `true` when no fault is planned.
+    pub fn is_empty(&self) -> bool {
+        self.drop_shards.is_empty()
+            && self.stall_shards.is_empty()
+            && self.kill_shards.is_empty()
+            && self.corrupt_shards.is_empty()
+    }
+
+    /// Parses a `kind=i,j;kind=k` spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on an unknown fault kind or a malformed index.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FailurePlan::default();
+        for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            let (kind, list) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("failure clause {clause:?} is not kind=indices"))?;
+            let shards = match kind.trim() {
+                "drop" => &mut plan.drop_shards,
+                "stall" => &mut plan.stall_shards,
+                "kill" => &mut plan.kill_shards,
+                "corrupt" => &mut plan.corrupt_shards,
+                other => return Err(format!("unknown failure kind {other:?}")),
+            };
+            for index in list.split(',').map(str::trim).filter(|i| !i.is_empty()) {
+                shards.push(
+                    index
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad shard index {index:?} in {clause:?}"))?,
+                );
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads `NITHO_JOB_FAILURES`; a parse error warns and injects nothing.
+    pub fn from_env() -> Self {
+        match std::env::var("NITHO_JOB_FAILURES") {
+            Ok(spec) if !spec.trim().is_empty() => match Self::parse(&spec) {
+                Ok(plan) => plan,
+                Err(err) => {
+                    eprintln!("nitho-serve: ignoring NITHO_JOB_FAILURES: {err}");
+                    FailurePlan::default()
+                }
+            },
+            _ => FailurePlan::default(),
+        }
+    }
+}
+
+/// How to launch `nitho-serve --worker` children: the binary plus the
+/// profile arguments the supervisor wants mirrored (e.g. `--fast`,
+/// `--checkpoint-dir`). The job layer appends the worker-protocol flags.
+#[derive(Debug, Clone)]
+pub struct WorkerLauncher {
+    /// Worker executable (normally `std::env::current_exe()`).
+    pub program: PathBuf,
+    /// Profile arguments prepended before the worker-protocol flags.
+    pub args: Vec<String>,
+}
+
+/// Job-layer configuration; every knob has a `NITHO_JOB_*` env row (see the
+/// README table).
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Worker processes to spawn per job (`0` = always in process).
+    pub workers: usize,
+    /// Tiles per shard (contiguous in grid order).
+    pub shard_tiles: usize,
+    /// Shard lease: the `/v1/shard` RPC timeout. A worker that stalls past
+    /// it loses the shard.
+    pub lease: Duration,
+    /// Attempts per shard before the job fails (retries + 1).
+    pub max_attempts: u32,
+    /// Base of the exponential backoff between attempts.
+    pub backoff: Duration,
+    /// Per-shard checkpoint root; `None` disables resume.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Active failure-injection plan.
+    pub failures: FailurePlan,
+    /// Worker launcher; `None` forces in-process execution.
+    pub launcher: Option<WorkerLauncher>,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            shard_tiles: 4,
+            lease: Duration::from_secs(15),
+            max_attempts: 4,
+            backoff: Duration::from_millis(250),
+            checkpoint_dir: None,
+            failures: FailurePlan::default(),
+            launcher: None,
+        }
+    }
+}
+
+impl JobConfig {
+    /// Reads the `NITHO_JOB_*` environment knobs over the defaults.
+    pub fn from_env() -> Self {
+        let defaults = Self::default();
+        Self {
+            workers: env_parse("NITHO_JOB_WORKERS", defaults.workers),
+            shard_tiles: env_parse("NITHO_JOB_SHARD_TILES", defaults.shard_tiles),
+            lease: Duration::from_millis(env_parse(
+                "NITHO_JOB_LEASE_MS",
+                defaults.lease.as_millis() as u64,
+            )),
+            max_attempts: env_parse::<u32>("NITHO_JOB_RETRIES", defaults.max_attempts - 1)
+                .saturating_add(1),
+            backoff: Duration::from_millis(env_parse(
+                "NITHO_JOB_BACKOFF_MS",
+                defaults.backoff.as_millis() as u64,
+            )),
+            checkpoint_dir: std::env::var("NITHO_JOB_CHECKPOINT_DIR")
+                .ok()
+                .filter(|dir| !dir.trim().is_empty())
+                .map(PathBuf::from),
+            failures: FailurePlan::from_env(),
+            launcher: None,
+        }
+    }
+
+    /// Clamps every knob into its serviceable range.
+    #[must_use]
+    pub fn sanitized(mut self) -> Self {
+        self.workers = self.workers.min(16);
+        self.shard_tiles = self.shard_tiles.max(1);
+        self.lease = self
+            .lease
+            .clamp(Duration::from_millis(50), Duration::from_secs(600));
+        self.max_attempts = self.max_attempts.clamp(1, 16);
+        self.backoff = self
+            .backoff
+            .clamp(Duration::from_millis(1), Duration::from_secs(10));
+        self
+    }
+
+    /// Attaches a worker launcher.
+    #[must_use]
+    pub fn with_launcher(mut self, launcher: WorkerLauncher) -> Self {
+        self.launcher = Some(launcher);
+        self
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|value| value.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// A `POST /v1/jobs` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Model name; `None` selects the registry default.
+    pub model: Option<String>,
+    /// The chip mask.
+    pub mask: MaskSpec,
+    /// Guard-band override in pixels.
+    pub halo_px: Option<usize>,
+    /// Tiles-per-shard override.
+    pub shard_tiles: Option<usize>,
+}
+
+impl JobRequest {
+    /// Serializes the request body.
+    pub fn to_json(&self) -> Json {
+        let mut fields = Vec::new();
+        if let Some(model) = &self.model {
+            fields.push(("model", Json::string(model)));
+        }
+        fields.push(("mask", self.mask.to_json()));
+        if let Some(halo) = self.halo_px {
+            fields.push(("halo_px", Json::Number(halo as f64)));
+        }
+        if let Some(shard_tiles) = self.shard_tiles {
+            fields.push(("shard_tiles", Json::Number(shard_tiles as f64)));
+        }
+        Json::object(fields)
+    }
+
+    /// Parses a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol-level message on any malformed member.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let model = match doc.get("model") {
+            None => None,
+            Some(value) => Some(
+                value
+                    .as_str()
+                    .ok_or("\"model\" must be a string")?
+                    .to_owned(),
+            ),
+        };
+        let mask = MaskSpec::from_json(doc.get("mask").ok_or("missing \"mask\"")?)?;
+        let halo_px = match doc.get("halo_px") {
+            None => None,
+            Some(value) => Some(value.as_usize().ok_or("\"halo_px\" must be an integer")?),
+        };
+        let shard_tiles = match doc.get("shard_tiles") {
+            None => None,
+            Some(value) => {
+                let count = value
+                    .as_usize()
+                    .ok_or("\"shard_tiles\" must be a positive integer")?;
+                if count == 0 {
+                    return Err("\"shard_tiles\" must be a positive integer".to_owned());
+                }
+                Some(count)
+            }
+        };
+        Ok(Self {
+            model,
+            mask,
+            halo_px,
+            shard_tiles,
+        })
+    }
+}
+
+/// A fault a supervisor asks a worker to exhibit while serving a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardInjection {
+    /// Sleep this long before computing (used to blow the lease).
+    StallMs(u64),
+    /// Exit the worker process mid-request (SIGKILL equivalent).
+    Kill,
+}
+
+/// A `POST /v1/shard` request: one contiguous run of tiles of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRequest {
+    /// Model name (never defaulted on the wire).
+    pub model: String,
+    /// The full chip mask (workers re-rasterize; rect masks stay tiny).
+    pub mask: MaskSpec,
+    /// Guard band in pixels.
+    pub halo_px: usize,
+    /// First tile index of the shard (row-major grid order).
+    pub start_tile: usize,
+    /// Number of tiles in the shard.
+    pub tile_count: usize,
+    /// Job fingerprint, echoed in the response. Carried as a hex *string*
+    /// on the wire: a JSON number is an f64 and cannot hold every u64.
+    pub fingerprint: u64,
+    /// Failure injection for this attempt (honored in worker mode only).
+    pub inject: Option<ShardInjection>,
+}
+
+impl ShardRequest {
+    /// Serializes the request body.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("model", Json::string(&self.model)),
+            ("mask", self.mask.to_json()),
+            ("halo_px", Json::Number(self.halo_px as f64)),
+            ("start_tile", Json::Number(self.start_tile as f64)),
+            ("tile_count", Json::Number(self.tile_count as f64)),
+            (
+                "fingerprint",
+                Json::string(&format!("{:016x}", self.fingerprint)),
+            ),
+        ];
+        match self.inject {
+            None => {}
+            Some(ShardInjection::StallMs(ms)) => fields.push((
+                "inject",
+                Json::object(vec![("stall_ms", Json::Number(ms as f64))]),
+            )),
+            Some(ShardInjection::Kill) => fields.push(("inject", Json::string("kill"))),
+        }
+        Json::object(fields)
+    }
+
+    /// Parses a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol-level message on any malformed member.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let model = doc
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or("\"model\" must be a string")?
+            .to_owned();
+        let mask = MaskSpec::from_json(doc.get("mask").ok_or("missing \"mask\"")?)?;
+        let halo_px = doc
+            .get("halo_px")
+            .and_then(Json::as_usize)
+            .ok_or("\"halo_px\" must be an integer")?;
+        let start_tile = doc
+            .get("start_tile")
+            .and_then(Json::as_usize)
+            .ok_or("\"start_tile\" must be an integer")?;
+        let tile_count = doc
+            .get("tile_count")
+            .and_then(Json::as_usize)
+            .filter(|&count| count > 0)
+            .ok_or("\"tile_count\" must be a positive integer")?;
+        let fingerprint = doc
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            .ok_or("\"fingerprint\" must be a hex string")?;
+        let inject = match doc.get("inject") {
+            None => None,
+            Some(Json::String(kind)) if kind == "kill" => Some(ShardInjection::Kill),
+            Some(value) => match value.get("stall_ms").and_then(Json::as_f64) {
+                Some(ms) if ms >= 0.0 && ms.fract() == 0.0 => {
+                    Some(ShardInjection::StallMs(ms as u64))
+                }
+                _ => return Err("\"inject\" must be \"kill\" or {\"stall_ms\": n}".to_owned()),
+            },
+        };
+        Ok(Self {
+            model,
+            mask,
+            halo_px,
+            start_tile,
+            tile_count,
+            fingerprint,
+            inject,
+        })
+    }
+}
+
+/// A `POST /v1/shard` response: the owned-region aerial values of the
+/// shard's tiles, concatenated in tile order, row-major within each tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardResponse {
+    /// Echo of the request fingerprint.
+    pub fingerprint: u64,
+    /// Echo of the shard geometry.
+    pub start_tile: usize,
+    /// Echo of the shard geometry.
+    pub tile_count: usize,
+    /// Owned-region aerial values.
+    pub values: Vec<f64>,
+}
+
+impl ShardResponse {
+    /// Serializes the response body.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            (
+                "fingerprint",
+                Json::string(&format!("{:016x}", self.fingerprint)),
+            ),
+            ("start_tile", Json::Number(self.start_tile as f64)),
+            ("tile_count", Json::Number(self.tile_count as f64)),
+            ("values", Json::NumberArray(self.values.clone())),
+        ])
+    }
+
+    /// Parses a response body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol-level message on any malformed member.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let fingerprint = doc
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            .ok_or("\"fingerprint\" must be a hex string")?;
+        let start_tile = doc
+            .get("start_tile")
+            .and_then(Json::as_usize)
+            .ok_or("\"start_tile\" must be an integer")?;
+        let tile_count = doc
+            .get("tile_count")
+            .and_then(Json::as_usize)
+            .ok_or("\"tile_count\" must be an integer")?;
+        let values = doc
+            .get("values")
+            .and_then(Json::to_numbers)
+            .ok_or("\"values\" must be a numeric array")?;
+        Ok(Self {
+            fingerprint,
+            start_tile,
+            tile_count,
+            values,
+        })
+    }
+}
+
+/// Computes one shard: simulates tiles `start..start + count` and returns
+/// their owned-region aerial values concatenated in tile order, row-major
+/// within each tile. Workers and the in-process fallback share this exact
+/// function, which is the structural basis of the bit-identity contract.
+pub fn compute_shard(
+    simulator: &dyn TileSimulator,
+    chip: &RealMatrix,
+    grid: &TileGrid,
+    start_tile: usize,
+    tile_count: usize,
+) -> Vec<f64> {
+    let _span = litho_obs::span("jobs.shard");
+    let mut values = Vec::with_capacity(shard_value_len(grid, start_tile, tile_count));
+    for index in start_tile..start_tile + tile_count {
+        let tile = grid.tile(index);
+        let window = grid.extract_window(chip, &tile);
+        let aerial = simulator.simulate_tile(&window);
+        let (origin_r, origin_c) = tile.window_origin;
+        for r in tile.owned_rows.0..tile.owned_rows.1 {
+            for c in tile.owned_cols.0..tile.owned_cols.1 {
+                values.push(
+                    aerial[(
+                        (r as i64 - origin_r) as usize,
+                        (c as i64 - origin_c) as usize,
+                    )],
+                );
+            }
+        }
+    }
+    values
+}
+
+/// Number of shards a `tiles`-tile grid splits into at `shard_tiles` each.
+pub fn shard_count(tiles: usize, shard_tiles: usize) -> usize {
+    tiles.div_ceil(shard_tiles.max(1))
+}
+
+/// `(start_tile, tile_count)` of shard `shard`.
+fn shard_range(tiles: usize, shard_tiles: usize, shard: usize) -> (usize, usize) {
+    let start = shard * shard_tiles;
+    (start, shard_tiles.min(tiles - start))
+}
+
+/// Total owned-region pixels of tiles `start..start + count`.
+fn shard_value_len(grid: &TileGrid, start_tile: usize, tile_count: usize) -> usize {
+    (start_tile..start_tile + tile_count)
+        .map(|index| {
+            let tile = grid.tile(index);
+            tile.owned_height() * tile.owned_width()
+        })
+        .sum()
+}
+
+// --- shard checkpoints -----------------------------------------------------
+
+const SHARD_MAGIC: &[u8; 9] = b"NITHOJOBS";
+const SHARD_VERSION: u32 = 1;
+
+fn shard_path(job_dir: &Path, shard: usize) -> PathBuf {
+    job_dir.join(format!("shard_{shard:05}.ckpt"))
+}
+
+/// Writes a shard checkpoint atomically: tmp file, flush, **fsync**, rename,
+/// best-effort directory fsync — a crash leaves either the old file or the
+/// complete new one, and a torn write can never survive a power cut as a
+/// plausible-looking file.
+fn save_shard_checkpoint(
+    path: &Path,
+    job_fingerprint: u64,
+    shard: usize,
+    start_tile: usize,
+    tile_count: usize,
+    values: &[f64],
+) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(SHARD_MAGIC.len() + 40 + values.len() * 8);
+    payload.extend_from_slice(SHARD_MAGIC);
+    payload.extend_from_slice(&SHARD_VERSION.to_le_bytes());
+    payload.extend_from_slice(&job_fingerprint.to_le_bytes());
+    payload.extend_from_slice(&(shard as u32).to_le_bytes());
+    payload.extend_from_slice(&(start_tile as u32).to_le_bytes());
+    payload.extend_from_slice(&(tile_count as u32).to_le_bytes());
+    payload.extend_from_slice(&(values.len() as u64).to_le_bytes());
+    let value_bytes_start = payload.len();
+    for value in values {
+        payload.extend_from_slice(&value.to_le_bytes());
+    }
+    let checksum = fnv1a(&payload[value_bytes_start..]);
+    payload.extend_from_slice(&checksum.to_le_bytes());
+
+    let tmp = path.with_extension("ckpt.tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(&payload)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Loads and validates a shard checkpoint. Truncation reads as
+/// [`io::ErrorKind::UnexpectedEof`], any mismatch (magic, version,
+/// fingerprint, geometry, checksum) as [`io::ErrorKind::InvalidData`];
+/// either way the caller rejects the file and recomputes the shard.
+fn load_shard_checkpoint(
+    path: &Path,
+    job_fingerprint: u64,
+    shard: usize,
+    start_tile: usize,
+    tile_count: usize,
+    expected_len: usize,
+) -> io::Result<Vec<f64>> {
+    let data = fs::read(path)?;
+    let mut cursor = 0usize;
+    let take = |cursor: &mut usize, n: usize| -> io::Result<&[u8]> {
+        if data.len() - *cursor < n {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated shard checkpoint",
+            ));
+        }
+        let slice = &data[*cursor..*cursor + n];
+        *cursor += n;
+        Ok(slice)
+    };
+    let invalid = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_owned());
+    if take(&mut cursor, SHARD_MAGIC.len())? != SHARD_MAGIC {
+        return Err(invalid("bad shard checkpoint magic"));
+    }
+    let u32_at = |slice: &[u8]| u32::from_le_bytes(slice.try_into().expect("4 bytes"));
+    let u64_at = |slice: &[u8]| u64::from_le_bytes(slice.try_into().expect("8 bytes"));
+    if u32_at(take(&mut cursor, 4)?) != SHARD_VERSION {
+        return Err(invalid("unsupported shard checkpoint version"));
+    }
+    if u64_at(take(&mut cursor, 8)?) != job_fingerprint {
+        return Err(invalid("shard checkpoint fingerprint mismatch"));
+    }
+    if u32_at(take(&mut cursor, 4)?) != shard as u32 {
+        return Err(invalid("shard checkpoint index mismatch"));
+    }
+    if u32_at(take(&mut cursor, 4)?) != start_tile as u32
+        || u32_at(take(&mut cursor, 4)?) != tile_count as u32
+    {
+        return Err(invalid("shard checkpoint geometry mismatch"));
+    }
+    if u64_at(take(&mut cursor, 8)?) != expected_len as u64 {
+        return Err(invalid("shard checkpoint length mismatch"));
+    }
+    let value_bytes = take(&mut cursor, expected_len * 8)?;
+    let checksum = fnv1a(value_bytes);
+    let values: Vec<f64> = value_bytes
+        .chunks_exact(8)
+        .map(|chunk| f64::from_le_bytes(chunk.try_into().expect("8 bytes")))
+        .collect();
+    if u64_at(take(&mut cursor, 8)?) != checksum {
+        return Err(invalid("shard checkpoint checksum mismatch"));
+    }
+    if cursor != data.len() {
+        return Err(invalid("trailing bytes after shard checkpoint"));
+    }
+    Ok(values)
+}
+
+// --- job state -------------------------------------------------------------
+
+/// Lifecycle phase of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Shards outstanding.
+    Running,
+    /// Stitched result available.
+    Done,
+    /// Failed permanently; see the status error.
+    Failed,
+}
+
+impl JobPhase {
+    /// Wire label (`"running"` / `"done"` / `"failed"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Failed => "failed",
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Pending,
+    Leased,
+    Done,
+}
+
+struct Slot {
+    state: SlotState,
+    attempt: u32,
+    not_before: Instant,
+    last_worker: Option<usize>,
+}
+
+/// Pending (not yet applied) injections, one flag per shard per fault kind.
+struct InjectPending {
+    drop: Vec<bool>,
+    stall: Vec<bool>,
+    kill: Vec<bool>,
+    corrupt: Vec<bool>,
+}
+
+impl InjectPending {
+    fn plan(plan: &FailurePlan, shards: usize) -> Self {
+        let mark = |indices: &[usize]| {
+            let mut flags = vec![false; shards];
+            for &index in indices {
+                if index < shards {
+                    flags[index] = true;
+                }
+            }
+            flags
+        };
+        Self {
+            drop: mark(&plan.drop_shards),
+            stall: mark(&plan.stall_shards),
+            kill: mark(&plan.kill_shards),
+            corrupt: mark(&plan.corrupt_shards),
+        }
+    }
+}
+
+struct JobInner {
+    phase: JobPhase,
+    slots: Vec<Slot>,
+    results: Vec<Option<Vec<f64>>>,
+    inject: InjectPending,
+    done_shards: usize,
+    retries: u64,
+    steals: u64,
+    resumed: u64,
+    checkpoint_hits: u64,
+    checkpoint_rejects: u64,
+    injected: u64,
+    fallback_shards: u64,
+    worker_pids: Vec<u32>,
+    error: Option<String>,
+    result_body: Option<Arc<String>>,
+}
+
+/// One sharded job.
+pub struct Job {
+    id: String,
+    fingerprint: u64,
+    model: String,
+    mask: MaskSpec,
+    halo_px: usize,
+    shard_tiles: usize,
+    grid: TileGrid,
+    inner: Mutex<JobInner>,
+    cv: Condvar,
+}
+
+impl Job {
+    fn shards(&self) -> usize {
+        shard_count(self.grid.len(), self.shard_tiles)
+    }
+
+    fn shard_range(&self, shard: usize) -> (usize, usize) {
+        shard_range(self.grid.len(), self.shard_tiles, shard)
+    }
+}
+
+/// Executor slot id of the in-process fallback (distinct from every worker
+/// index so fallback pickups of previously-worker-leased shards count as
+/// steals).
+const FALLBACK_WORKER: usize = usize::MAX;
+
+/// A point-in-time public view of a job.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Job id (`job-<fingerprint>`).
+    pub job_id: String,
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// Total shards.
+    pub shards: usize,
+    /// Completed shards.
+    pub shards_done: usize,
+    /// Total tiles.
+    pub tiles: usize,
+    /// Shard attempts requeued after failures.
+    pub retries: u64,
+    /// Shards claimed by a different executor than their previous attempt.
+    pub steals: u64,
+    /// Shards restored from checkpoints at job start.
+    pub resumed: u64,
+    /// Shard attempts satisfied from an existing checkpoint mid-run.
+    pub checkpoint_hits: u64,
+    /// Checkpoints rejected (truncated/corrupt) and recomputed.
+    pub checkpoint_rejects: u64,
+    /// Failures injected by the plan.
+    pub injected_failures: u64,
+    /// Shards executed by the in-process fallback.
+    pub fallback_shards: u64,
+    /// Live worker process ids (empty once workers are reaped).
+    pub worker_pids: Vec<u32>,
+    /// Failure message when `phase == Failed`.
+    pub error: Option<String>,
+}
+
+impl JobStatus {
+    /// Serializes the status document served on `GET /v1/jobs/<id>`.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("job_id", Json::string(&self.job_id)),
+            ("state", Json::string(self.phase.label())),
+            ("shards", Json::Number(self.shards as f64)),
+            ("shards_done", Json::Number(self.shards_done as f64)),
+            ("tiles", Json::Number(self.tiles as f64)),
+            ("retries", Json::Number(self.retries as f64)),
+            ("steals", Json::Number(self.steals as f64)),
+            ("resumed", Json::Number(self.resumed as f64)),
+            ("checkpoint_hits", Json::Number(self.checkpoint_hits as f64)),
+            (
+                "checkpoint_rejects",
+                Json::Number(self.checkpoint_rejects as f64),
+            ),
+            (
+                "injected_failures",
+                Json::Number(self.injected_failures as f64),
+            ),
+            ("fallback_shards", Json::Number(self.fallback_shards as f64)),
+            (
+                "worker_pids",
+                Json::NumberArray(self.worker_pids.iter().map(|&pid| pid as f64).collect()),
+            ),
+            (
+                "error",
+                match &self.error {
+                    Some(message) => Json::string(message),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Receipt returned by [`JobManager::submit`].
+#[derive(Debug, Clone)]
+pub struct JobReceipt {
+    /// Job id to poll.
+    pub job_id: String,
+    /// Shard count.
+    pub shards: usize,
+    /// Tile count.
+    pub tiles: usize,
+    /// `true` when an identical job already existed (idempotent resubmit —
+    /// also how a restarted supervisor reattaches to a checkpointed job).
+    pub existing: bool,
+}
+
+/// Why a submit was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The named model is not registered (HTTP 404).
+    UnknownModel(String),
+    /// The request is structurally invalid (HTTP 400).
+    Invalid(String),
+}
+
+/// The supervisor: owns every job and executes each on a detached thread.
+pub struct JobManager {
+    registry: Arc<ModelRegistry>,
+    config: JobConfig,
+    jobs: Mutex<Vec<Arc<Job>>>,
+}
+
+/// Completed jobs retained for result fetches before eviction.
+const MAX_RETAINED_JOBS: usize = 64;
+
+impl JobManager {
+    /// Creates a supervisor over `registry` with `config`.
+    pub fn new(registry: Arc<ModelRegistry>, config: JobConfig) -> Arc<Self> {
+        Arc::new(Self {
+            registry,
+            config: config.sanitized(),
+            jobs: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &JobConfig {
+        &self.config
+    }
+
+    /// Submits a job; identical specs dedupe onto the existing job.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownModel`] when the model is not registered,
+    /// [`SubmitError::Invalid`] on a structurally invalid request.
+    pub fn submit(self: &Arc<Self>, request: JobRequest) -> Result<JobReceipt, SubmitError> {
+        let (info, simulator) = match &request.model {
+            Some(name) => self
+                .registry
+                .get(name)
+                .ok_or_else(|| SubmitError::UnknownModel(name.clone()))?,
+            None => self
+                .registry
+                .default_model()
+                .ok_or_else(|| SubmitError::UnknownModel("(default)".to_owned()))?,
+        };
+        let (rows, cols) = request.mask.shape();
+        let halo_px = request
+            .halo_px
+            .unwrap_or_else(|| simulator.default_halo_px());
+        if 2 * halo_px >= info.tile_px {
+            return Err(SubmitError::Invalid(format!(
+                "halo_px {halo_px} leaves no core in a {} px tile",
+                info.tile_px
+            )));
+        }
+        let shard_tiles = request
+            .shard_tiles
+            .unwrap_or(self.config.shard_tiles)
+            .max(1);
+        let grid = TileGrid::new(TilingConfig::new(info.tile_px, halo_px), rows, cols);
+        let mask_json = request
+            .mask
+            .to_json()
+            .serialize()
+            .map_err(|err| SubmitError::Invalid(format!("mask not serializable: {err}")))?;
+        let canonical = format!(
+            "nitho-job-v1|{}|{}|{}|{}|{}",
+            info.name, info.tile_px, halo_px, shard_tiles, mask_json
+        );
+        let fingerprint = fnv1a(canonical.as_bytes());
+        let job_id = format!("job-{fingerprint:016x}");
+        let shards = shard_count(grid.len(), shard_tiles);
+        let tiles = grid.len();
+
+        let mut jobs = lock_recover(&self.jobs);
+        if jobs.iter().any(|job| job.id == job_id) {
+            return Ok(JobReceipt {
+                job_id,
+                shards,
+                tiles,
+                existing: true,
+            });
+        }
+        // Evict the oldest finished jobs beyond the retention cap.
+        while jobs.len() >= MAX_RETAINED_JOBS {
+            let Some(evict) = jobs
+                .iter()
+                .position(|job| lock_recover(&job.inner).phase != JobPhase::Running)
+            else {
+                break;
+            };
+            jobs.remove(evict);
+        }
+        let now = Instant::now();
+        let job = Arc::new(Job {
+            id: job_id.clone(),
+            fingerprint,
+            model: info.name.clone(),
+            mask: request.mask,
+            halo_px,
+            shard_tiles,
+            grid,
+            inner: Mutex::new(JobInner {
+                phase: JobPhase::Running,
+                slots: (0..shards)
+                    .map(|_| Slot {
+                        state: SlotState::Pending,
+                        attempt: 0,
+                        not_before: now,
+                        last_worker: None,
+                    })
+                    .collect(),
+                results: (0..shards).map(|_| None).collect(),
+                inject: InjectPending::plan(&self.config.failures, shards),
+                done_shards: 0,
+                retries: 0,
+                steals: 0,
+                resumed: 0,
+                checkpoint_hits: 0,
+                checkpoint_rejects: 0,
+                injected: 0,
+                fallback_shards: 0,
+                worker_pids: Vec::new(),
+                error: None,
+                result_body: None,
+            }),
+            cv: Condvar::new(),
+        });
+        jobs.push(Arc::clone(&job));
+        JOBS_SUBMITTED_TOTAL.inc();
+        JOBS_ACTIVE.set(
+            jobs.iter()
+                .filter(|job| lock_recover(&job.inner).phase == JobPhase::Running)
+                .count() as u64,
+        );
+        drop(jobs);
+
+        let manager = Arc::clone(self);
+        thread::spawn(move || run_job(&manager, &job));
+        Ok(JobReceipt {
+            job_id,
+            shards,
+            tiles,
+            existing: false,
+        })
+    }
+
+    fn find(&self, job_id: &str) -> Option<Arc<Job>> {
+        lock_recover(&self.jobs)
+            .iter()
+            .find(|job| job.id == job_id)
+            .cloned()
+    }
+
+    /// The current status of a job, or `None` for an unknown id.
+    pub fn status(&self, job_id: &str) -> Option<JobStatus> {
+        let job = self.find(job_id)?;
+        let inner = lock_recover(&job.inner);
+        Some(snapshot(&job, &inner))
+    }
+
+    /// The status plus (when done) the stitched result body.
+    pub fn result(&self, job_id: &str) -> Option<(JobStatus, Option<Arc<String>>)> {
+        let job = self.find(job_id)?;
+        let inner = lock_recover(&job.inner);
+        Some((snapshot(&job, &inner), inner.result_body.clone()))
+    }
+
+    /// Blocks until the job leaves [`JobPhase::Running`] or `timeout`
+    /// elapses; returns the final status observed.
+    pub fn wait_until_done(&self, job_id: &str, timeout: Duration) -> Option<JobStatus> {
+        let job = self.find(job_id)?;
+        let deadline = Instant::now() + timeout;
+        let mut inner = lock_recover(&job.inner);
+        while inner.phase == JobPhase::Running {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let wait = (deadline - now).min(Duration::from_millis(200));
+            let (guard, _) = job
+                .cv
+                .wait_timeout(inner, wait)
+                .unwrap_or_else(|poison| poison.into_inner());
+            inner = guard;
+        }
+        Some(snapshot(&job, &inner))
+    }
+
+    fn refresh_active(&self) {
+        JOBS_ACTIVE.set(
+            lock_recover(&self.jobs)
+                .iter()
+                .filter(|job| lock_recover(&job.inner).phase == JobPhase::Running)
+                .count() as u64,
+        );
+    }
+}
+
+fn snapshot(job: &Job, inner: &JobInner) -> JobStatus {
+    JobStatus {
+        job_id: job.id.clone(),
+        phase: inner.phase,
+        shards: inner.slots.len(),
+        shards_done: inner.done_shards,
+        tiles: job.grid.len(),
+        retries: inner.retries,
+        steals: inner.steals,
+        resumed: inner.resumed,
+        checkpoint_hits: inner.checkpoint_hits,
+        checkpoint_rejects: inner.checkpoint_rejects,
+        injected_failures: inner.injected,
+        fallback_shards: inner.fallback_shards,
+        worker_pids: inner.worker_pids.clone(),
+        error: inner.error.clone(),
+    }
+}
+
+// --- the supervisor --------------------------------------------------------
+
+fn run_job(manager: &Arc<JobManager>, job: &Arc<Job>) {
+    let _span = litho_obs::span("jobs.run");
+    let config = &manager.config;
+    let job_dir = prepare_job_dir(config, job);
+    resume_from_checkpoints(job, job_dir.as_deref());
+
+    if !job_finished(job) && config.workers > 0 {
+        if let Some(launcher) = &config.launcher {
+            let mut workers = spawn_workers(launcher, config.workers, job.fingerprint);
+            if !workers.is_empty() {
+                {
+                    let mut inner = lock_recover(&job.inner);
+                    inner.worker_pids = workers.iter().map(|worker| worker.child.id()).collect();
+                }
+                thread::scope(|scope| {
+                    for (slot, worker) in workers.iter().enumerate() {
+                        let job = Arc::clone(job);
+                        let dir = job_dir.clone();
+                        scope.spawn(move || {
+                            drive_worker(&job, config, dir.as_deref(), worker, slot)
+                        });
+                    }
+                });
+                for worker in &mut workers {
+                    let _ = worker.child.kill();
+                    let _ = worker.child.wait();
+                }
+                lock_recover(&job.inner).worker_pids.clear();
+            }
+        }
+    }
+
+    // Graceful degradation: anything still pending runs in process.
+    if !job_finished(job) {
+        run_in_process(manager, job, config, job_dir.as_deref());
+    }
+
+    finalize(manager, job);
+}
+
+fn job_finished(job: &Job) -> bool {
+    let inner = lock_recover(&job.inner);
+    inner.phase != JobPhase::Running || inner.done_shards == inner.slots.len()
+}
+
+fn prepare_job_dir(config: &JobConfig, job: &Job) -> Option<PathBuf> {
+    let dir = config.checkpoint_dir.as_ref()?.join(&job.id);
+    match fs::create_dir_all(&dir) {
+        Ok(()) => Some(dir),
+        Err(err) => {
+            eprintln!(
+                "nitho-serve: cannot create job checkpoint dir {}: {err}; running without resume",
+                dir.display()
+            );
+            None
+        }
+    }
+}
+
+/// Pre-run scan: every valid shard checkpoint completes its shard up front
+/// (`litho_jobs_resumed_shards_total`); invalid files are rejected and
+/// removed so the shard recomputes cleanly.
+fn resume_from_checkpoints(job: &Job, job_dir: Option<&Path>) {
+    let Some(dir) = job_dir else { return };
+    for shard in 0..job.shards() {
+        let path = shard_path(dir, shard);
+        if !path.exists() {
+            continue;
+        }
+        let (start_tile, tile_count) = job.shard_range(shard);
+        let expected = shard_value_len(&job.grid, start_tile, tile_count);
+        match load_shard_checkpoint(
+            &path,
+            job.fingerprint,
+            shard,
+            start_tile,
+            tile_count,
+            expected,
+        ) {
+            Ok(values) => {
+                lock_recover(&job.inner).resumed += 1;
+                JOBS_RESUMED_SHARDS_TOTAL.inc();
+                complete_shard(job, shard, values);
+            }
+            Err(err) => reject_checkpoint(job, &path, &err),
+        }
+    }
+}
+
+fn reject_checkpoint(job: &Job, path: &Path, err: &io::Error) {
+    lock_recover(&job.inner).checkpoint_rejects += 1;
+    JOBS_CHECKPOINT_REJECTS_TOTAL.inc();
+    eprintln!(
+        "nitho-serve: rejecting shard checkpoint {}: {err}; recomputing",
+        path.display()
+    );
+    let _ = fs::remove_file(path);
+}
+
+/// Claims the next ready shard for executor `worker`, blocking through
+/// backoff gaps. Returns `None` when the job left `Running` or every shard
+/// is done.
+fn claim_shard(job: &Job, worker: usize) -> Option<(usize, u32)> {
+    let mut inner = lock_recover(&job.inner);
+    loop {
+        if inner.phase != JobPhase::Running || inner.done_shards == inner.slots.len() {
+            return None;
+        }
+        let now = Instant::now();
+        let mut earliest: Option<Instant> = None;
+        let mut pick = None;
+        for (index, slot) in inner.slots.iter().enumerate() {
+            if slot.state == SlotState::Pending {
+                if slot.not_before <= now {
+                    pick = Some(index);
+                    break;
+                }
+                earliest = Some(match earliest {
+                    Some(at) => at.min(slot.not_before),
+                    None => slot.not_before,
+                });
+            }
+        }
+        if let Some(index) = pick {
+            let slot = &mut inner.slots[index];
+            slot.state = SlotState::Leased;
+            slot.attempt += 1;
+            let attempt = slot.attempt;
+            let stolen = attempt > 1 && slot.last_worker != Some(worker);
+            slot.last_worker = Some(worker);
+            if stolen {
+                inner.steals += 1;
+                JOBS_STEALS_TOTAL.inc();
+            }
+            return Some((index, attempt));
+        }
+        let wait = earliest
+            .map(|at| at.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(25))
+            .clamp(Duration::from_millis(1), Duration::from_millis(250));
+        let (guard, _) = job
+            .cv
+            .wait_timeout(inner, wait)
+            .unwrap_or_else(|poison| poison.into_inner());
+        inner = guard;
+    }
+}
+
+fn complete_shard(job: &Job, shard: usize, values: Vec<f64>) {
+    let mut inner = lock_recover(&job.inner);
+    if inner.slots[shard].state == SlotState::Done {
+        return;
+    }
+    inner.slots[shard].state = SlotState::Done;
+    inner.results[shard] = Some(values);
+    inner.done_shards += 1;
+    JOBS_SHARDS_COMPLETED_TOTAL.inc();
+    job.cv.notify_all();
+}
+
+/// Requeues a failed attempt with jittered exponential backoff, or fails the
+/// job permanently once `max_attempts` is exhausted.
+fn requeue_shard(job: &Job, config: &JobConfig, shard: usize, attempt: u32, reason: &str) {
+    let mut inner = lock_recover(&job.inner);
+    if inner.phase != JobPhase::Running || inner.slots[shard].state == SlotState::Done {
+        return;
+    }
+    if attempt >= config.max_attempts {
+        inner.phase = JobPhase::Failed;
+        inner.error = Some(format!(
+            "shard {shard} failed after {attempt} attempts: {reason}"
+        ));
+    } else {
+        inner.retries += 1;
+        JOBS_RETRIES_TOTAL.inc();
+        let delay = backoff_delay(config, job.fingerprint, shard, attempt);
+        let slot = &mut inner.slots[shard];
+        slot.state = SlotState::Pending;
+        slot.not_before = Instant::now() + delay;
+    }
+    job.cv.notify_all();
+}
+
+/// `backoff · 2^(attempt-1)` plus a deterministic FNV jitter in
+/// `[0, backoff)` — reassignments spread out without any randomness that
+/// could perturb result bytes (they never could: scheduling is outside the
+/// stitch), capped at 10 s.
+fn backoff_delay(config: &JobConfig, fingerprint: u64, shard: usize, attempt: u32) -> Duration {
+    let base_ms = config.backoff.as_millis() as u64;
+    let exponent = attempt.saturating_sub(1).min(6);
+    let scaled = base_ms.saturating_mul(1 << exponent);
+    let mut seed = [0u8; 20];
+    seed[..8].copy_from_slice(&fingerprint.to_le_bytes());
+    seed[8..16].copy_from_slice(&(shard as u64).to_le_bytes());
+    seed[16..].copy_from_slice(&attempt.to_le_bytes());
+    let jitter = if base_ms == 0 {
+        0
+    } else {
+        fnv1a(&seed) % base_ms
+    };
+    Duration::from_millis((scaled + jitter).min(10_000))
+}
+
+/// Completes a claimed shard from a valid existing checkpoint; rejects and
+/// removes an invalid one so the caller recomputes.
+fn complete_from_checkpoint(job: &Job, job_dir: Option<&Path>, shard: usize) -> bool {
+    let Some(dir) = job_dir else { return false };
+    let path = shard_path(dir, shard);
+    if !path.exists() {
+        return false;
+    }
+    let (start_tile, tile_count) = job.shard_range(shard);
+    let expected = shard_value_len(&job.grid, start_tile, tile_count);
+    match load_shard_checkpoint(
+        &path,
+        job.fingerprint,
+        shard,
+        start_tile,
+        tile_count,
+        expected,
+    ) {
+        Ok(values) => {
+            lock_recover(&job.inner).checkpoint_hits += 1;
+            JOBS_CHECKPOINT_HITS_TOTAL.inc();
+            complete_shard(job, shard, values);
+            true
+        }
+        Err(err) => {
+            reject_checkpoint(job, &path, &err);
+            false
+        }
+    }
+}
+
+fn take_inject_flag(
+    job: &Job,
+    shard: usize,
+    pick: fn(&mut InjectPending) -> &mut Vec<bool>,
+) -> bool {
+    let mut inner = lock_recover(&job.inner);
+    let flags = pick(&mut inner.inject);
+    if flags[shard] {
+        flags[shard] = false;
+        inner.injected += 1;
+        JOBS_INJECTED_TOTAL.inc();
+        true
+    } else {
+        false
+    }
+}
+
+/// Decides the worker-side injection for this attempt (kill wins over
+/// stall); each fires once per shard.
+fn take_worker_injection(job: &Job, config: &JobConfig, shard: usize) -> Option<ShardInjection> {
+    if take_inject_flag(job, shard, |inject| &mut inject.kill) {
+        return Some(ShardInjection::Kill);
+    }
+    if take_inject_flag(job, shard, |inject| &mut inject.stall) {
+        // Sleep well past the lease so the supervisor-side timeout fires.
+        let stall_ms = config.lease.as_millis() as u64 * 2 + 250;
+        return Some(ShardInjection::StallMs(stall_ms));
+    }
+    None
+}
+
+/// Post-processes a computed shard: applies `drop`/`corrupt` injections,
+/// persists the checkpoint, and completes or requeues the shard.
+fn accept_shard_result(
+    job: &Job,
+    config: &JobConfig,
+    job_dir: Option<&Path>,
+    shard: usize,
+    attempt: u32,
+    values: Vec<f64>,
+) {
+    let (start_tile, tile_count) = job.shard_range(shard);
+    let expected = shard_value_len(&job.grid, start_tile, tile_count);
+    if values.len() != expected {
+        requeue_shard(
+            job,
+            config,
+            shard,
+            attempt,
+            &format!(
+                "shard returned {} values, expected {expected}",
+                values.len()
+            ),
+        );
+        return;
+    }
+    if take_inject_flag(job, shard, |inject| &mut inject.drop) {
+        requeue_shard(job, config, shard, attempt, "injected result drop");
+        return;
+    }
+    if let Some(dir) = job_dir {
+        let path = shard_path(dir, shard);
+        if let Err(err) = save_shard_checkpoint(
+            &path,
+            job.fingerprint,
+            shard,
+            start_tile,
+            tile_count,
+            &values,
+        ) {
+            // Checkpointing is best-effort: the job still completes, it just
+            // cannot resume from this shard.
+            eprintln!(
+                "nitho-serve: shard checkpoint write failed for {}: {err}",
+                path.display()
+            );
+        } else if take_inject_flag(job, shard, |inject| &mut inject.corrupt) {
+            // Truncate the file mid-record and discard the in-memory result:
+            // the retry must detect the corruption and recompute.
+            if let Ok(data) = fs::read(&path) {
+                let _ = fs::write(&path, &data[..data.len() / 2]);
+            }
+            requeue_shard(
+                job,
+                config,
+                shard,
+                attempt,
+                "injected checkpoint corruption",
+            );
+            return;
+        }
+    } else if take_inject_flag(job, shard, |inject| &mut inject.corrupt) {
+        // No checkpoint dir to corrupt: degrade to a result drop so the
+        // retry path is still exercised.
+        requeue_shard(
+            job,
+            config,
+            shard,
+            attempt,
+            "injected corruption (no checkpoint)",
+        );
+        return;
+    }
+    complete_shard(job, shard, values);
+}
+
+// --- workers ---------------------------------------------------------------
+
+struct Worker {
+    child: Child,
+    addr: SocketAddr,
+}
+
+fn read_port_file(path: &Path) -> Option<u16> {
+    fs::read_to_string(path)
+        .ok()?
+        .trim()
+        .parse::<u16>()
+        .ok()
+        .filter(|&port| port != 0)
+}
+
+/// Spawns up to `count` workers and waits for each to report its port.
+/// Spawn or startup failures discard that worker (degradation is handled by
+/// the caller); an empty return means in-process execution.
+fn spawn_workers(launcher: &WorkerLauncher, count: usize, job_fingerprint: u64) -> Vec<Worker> {
+    let mut spawned = Vec::new();
+    for slot in 0..count {
+        let port_file = std::env::temp_dir().join(format!(
+            "nitho-worker-{}-{job_fingerprint:016x}-{slot}.port",
+            std::process::id()
+        ));
+        let _ = fs::remove_file(&port_file);
+        let mut command = Command::new(&launcher.program);
+        command
+            .args(&launcher.args)
+            .arg("--worker")
+            .args(["--addr", "127.0.0.1", "--port", "0"])
+            .arg("--port-file")
+            .arg(&port_file)
+            .args(["--parent-pid", &std::process::id().to_string()])
+            .stdin(Stdio::null())
+            .stdout(Stdio::null());
+        match command.spawn() {
+            Ok(child) => spawned.push((child, port_file)),
+            Err(err) => eprintln!("nitho-serve: failed to spawn worker {slot}: {err}"),
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut workers = Vec::new();
+    for (mut child, port_file) in spawned {
+        let port = loop {
+            if let Some(port) = read_port_file(&port_file) {
+                break Some(port);
+            }
+            if Instant::now() >= deadline || matches!(child.try_wait(), Ok(Some(_))) {
+                break read_port_file(&port_file);
+            }
+            thread::sleep(Duration::from_millis(20));
+        };
+        let _ = fs::remove_file(&port_file);
+        match port {
+            Some(port) => {
+                JOBS_WORKERS_SPAWNED_TOTAL.inc();
+                workers.push(Worker {
+                    child,
+                    addr: SocketAddr::from(([127, 0, 0, 1], port)),
+                });
+            }
+            None => {
+                eprintln!("nitho-serve: worker did not report a port; discarding it");
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+    workers
+}
+
+fn worker_alive(worker: &Worker) -> bool {
+    matches!(
+        http_request_with_timeout(worker.addr, "GET", "/healthz", None, Duration::from_secs(2)),
+        Ok((200, _))
+    )
+}
+
+/// One driver thread per worker: claim → RPC (bounded by the lease) →
+/// accept/requeue. Exits when its worker dies (surviving drivers steal the
+/// requeued shards) or no claimable work remains.
+fn drive_worker(
+    job: &Job,
+    config: &JobConfig,
+    job_dir: Option<&Path>,
+    worker: &Worker,
+    slot: usize,
+) {
+    while let Some((shard, attempt)) = claim_shard(job, slot) {
+        if complete_from_checkpoint(job, job_dir, shard) {
+            continue;
+        }
+        let inject = take_worker_injection(job, config, shard);
+        let (start_tile, tile_count) = job.shard_range(shard);
+        let request = ShardRequest {
+            model: job.model.clone(),
+            mask: job.mask.clone(),
+            halo_px: job.halo_px,
+            start_tile,
+            tile_count,
+            fingerprint: job.fingerprint,
+            inject,
+        };
+        let Ok(body) = request.to_json().serialize() else {
+            requeue_shard(
+                job,
+                config,
+                shard,
+                attempt,
+                "shard request not serializable",
+            );
+            continue;
+        };
+        let started = Instant::now();
+        let outcome =
+            http_request_with_timeout(worker.addr, "POST", "/v1/shard", Some(&body), config.lease);
+        JOBS_SHARD_LATENCY.record(started.elapsed().as_millis() as u64);
+        match outcome {
+            Ok((200, text)) => match parse_shard_values(job, shard, &text) {
+                Ok(values) => accept_shard_result(job, config, job_dir, shard, attempt, values),
+                Err(message) => requeue_shard(job, config, shard, attempt, &message),
+            },
+            Ok((status, text)) => {
+                let brief: String = text.chars().take(200).collect();
+                requeue_shard(
+                    job,
+                    config,
+                    shard,
+                    attempt,
+                    &format!("worker returned {status}: {brief}"),
+                );
+            }
+            Err(err) => {
+                let alive = worker_alive(worker);
+                requeue_shard(
+                    job,
+                    config,
+                    shard,
+                    attempt,
+                    &format!("shard rpc failed: {err}"),
+                );
+                if !alive {
+                    // Dead worker: release this driver so surviving drivers
+                    // (or the in-process fallback) steal the shard.
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn parse_shard_values(job: &Job, shard: usize, text: &str) -> Result<Vec<f64>, String> {
+    let doc = Json::parse(text).map_err(|err| format!("shard response not JSON: {err}"))?;
+    let response = ShardResponse::from_json(&doc)?;
+    let (start_tile, tile_count) = job.shard_range(shard);
+    if response.fingerprint != job.fingerprint {
+        return Err("shard response fingerprint mismatch".to_owned());
+    }
+    if response.start_tile != start_tile || response.tile_count != tile_count {
+        return Err("shard response geometry mismatch".to_owned());
+    }
+    Ok(response.values)
+}
+
+/// In-process execution of every remaining shard — the no-workers path and
+/// the all-workers-died fallback. Worker-only injections (stall/kill) are
+/// consumed and ignored; drop/corrupt still apply.
+fn run_in_process(manager: &JobManager, job: &Job, config: &JobConfig, job_dir: Option<&Path>) {
+    let Some((_, simulator)) = manager.registry.get(&job.model) else {
+        fail_job(job, "model disappeared from the registry");
+        return;
+    };
+    let chip = job.mask.rasterize();
+    while let Some((shard, attempt)) = claim_shard(job, FALLBACK_WORKER) {
+        if complete_from_checkpoint(job, job_dir, shard) {
+            continue;
+        }
+        if take_worker_injection(job, config, shard).is_some() {
+            eprintln!("nitho-serve: worker-only injection ignored for in-process shard {shard}");
+        }
+        let (start_tile, tile_count) = job.shard_range(shard);
+        let started = Instant::now();
+        let values = compute_shard(simulator, &chip, &job.grid, start_tile, tile_count);
+        JOBS_SHARD_LATENCY.record(started.elapsed().as_millis() as u64);
+        lock_recover(&job.inner).fallback_shards += 1;
+        JOBS_FALLBACK_SHARDS_TOTAL.inc();
+        accept_shard_result(job, config, job_dir, shard, attempt, values);
+    }
+}
+
+fn fail_job(job: &Job, reason: &str) {
+    let mut inner = lock_recover(&job.inner);
+    if inner.phase == JobPhase::Running {
+        inner.phase = JobPhase::Failed;
+        inner.error = Some(reason.to_owned());
+    }
+    job.cv.notify_all();
+}
+
+/// Stitches the completed shards and stores the serialized result body.
+fn finalize(manager: &JobManager, job: &Job) {
+    let results = {
+        let mut inner = lock_recover(&job.inner);
+        if inner.phase != JobPhase::Running {
+            None
+        } else if inner.done_shards == inner.slots.len() {
+            Some(std::mem::take(&mut inner.results))
+        } else {
+            inner.phase = JobPhase::Failed;
+            if inner.error.is_none() {
+                inner.error = Some("job ended with incomplete shards".to_owned());
+            }
+            None
+        }
+    };
+    match results {
+        None => {
+            JOBS_FAILED_TOTAL.inc();
+        }
+        Some(results) => match stitch_result(manager, job, results) {
+            Ok(body) => {
+                let mut inner = lock_recover(&job.inner);
+                inner.phase = JobPhase::Done;
+                inner.result_body = Some(Arc::new(body));
+                JOBS_COMPLETED_TOTAL.inc();
+            }
+            Err(message) => {
+                fail_job(job, &message);
+                JOBS_FAILED_TOTAL.inc();
+            }
+        },
+    }
+    job.cv.notify_all();
+    manager.refresh_active();
+}
+
+/// Fixed-order stitch: each shard's values are written to its tiles' owned
+/// regions — disjoint, fixed chip coordinates — so the output is identical
+/// for any completion order. The resist derives from the stitched aerial
+/// with the model's threshold, exactly as `/v1/simulate` does.
+fn stitch_result(
+    manager: &JobManager,
+    job: &Job,
+    results: Vec<Option<Vec<f64>>>,
+) -> Result<String, String> {
+    let _span = litho_obs::span("jobs.stitch");
+    let (rows, cols) = job.mask.shape();
+    let mut aerial = RealMatrix::zeros(rows, cols);
+    for (shard, values) in results.into_iter().enumerate() {
+        let values = values.ok_or_else(|| format!("shard {shard} missing at stitch"))?;
+        let (start_tile, tile_count) = job.shard_range(shard);
+        let mut cursor = 0usize;
+        for index in start_tile..start_tile + tile_count {
+            let tile = job.grid.tile(index);
+            for r in tile.owned_rows.0..tile.owned_rows.1 {
+                for c in tile.owned_cols.0..tile.owned_cols.1 {
+                    aerial[(r, c)] = values[cursor];
+                    cursor += 1;
+                }
+            }
+        }
+        if cursor != values.len() {
+            return Err(format!("shard {shard} length drifted at stitch"));
+        }
+    }
+    let threshold = manager
+        .registry
+        .get(&job.model)
+        .map(|(_, simulator)| simulator.resist_threshold())
+        .ok_or("model disappeared from the registry")?;
+    let resist = aerial.threshold(threshold);
+    let (tiles_y, tiles_x) = job.grid.grid_shape();
+    let doc = Json::object(vec![
+        ("job_id", Json::string(&job.id)),
+        ("model", Json::string(&job.model)),
+        ("rows", Json::Number(rows as f64)),
+        ("cols", Json::Number(cols as f64)),
+        ("tiles", Json::Number(job.grid.len() as f64)),
+        (
+            "grid",
+            Json::NumberArray(vec![tiles_y as f64, tiles_x as f64]),
+        ),
+        ("halo_px", Json::Number(job.halo_px as f64)),
+        ("shards", Json::Number(job.shards() as f64)),
+        ("shard_tiles", Json::Number(job.shard_tiles as f64)),
+        ("aerial", Json::NumberArray(aerial.into_vec())),
+        ("resist", Json::NumberArray(resist.into_vec())),
+    ]);
+    doc.serialize()
+        .map_err(|err| format!("result serialization failed: {err}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use litho_optics::{HopkinsSimulator, OpticalConfig};
+
+    use crate::chip::ChipPipeline;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "nitho-jobs-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn registry() -> Arc<ModelRegistry> {
+        let optics = OpticalConfig::builder()
+            .tile_px(64)
+            .pixel_nm(8.0)
+            .kernel_count(6)
+            .build();
+        let mut registry = ModelRegistry::new();
+        registry.register_hopkins("hopkins", HopkinsSimulator::new(&optics));
+        Arc::new(registry)
+    }
+
+    /// A 96×96 chip on 64-px tiles with an 8-px halo: 48-px cores, a 2×2
+    /// grid, four single-tile shards.
+    fn chip_request() -> JobRequest {
+        JobRequest {
+            model: Some("hopkins".to_owned()),
+            mask: MaskSpec::Rects {
+                rows: 96,
+                cols: 96,
+                rects: vec![[8, 8, 56, 24], [40, 48, 88, 80], [16, 64, 32, 90]],
+            },
+            halo_px: Some(8),
+            shard_tiles: Some(1),
+        }
+    }
+
+    fn in_process_config() -> JobConfig {
+        JobConfig {
+            workers: 0,
+            backoff: Duration::from_millis(2),
+            ..JobConfig::default()
+        }
+    }
+
+    fn finished(manager: &Arc<JobManager>, job_id: &str) -> JobStatus {
+        manager
+            .wait_until_done(job_id, Duration::from_secs(120))
+            .expect("job exists")
+    }
+
+    fn result_body(manager: &Arc<JobManager>, job_id: &str) -> String {
+        let (status, body) = manager.result(job_id).expect("job exists");
+        assert_eq!(status.phase, JobPhase::Done, "{:?}", status.error);
+        String::clone(&body.expect("done job has a body"))
+    }
+
+    #[test]
+    fn failure_plan_parsing() {
+        let plan = FailurePlan::parse("kill=0;stall=1;drop=2,3;corrupt=4").expect("valid spec");
+        assert_eq!(plan.kill_shards, vec![0]);
+        assert_eq!(plan.stall_shards, vec![1]);
+        assert_eq!(plan.drop_shards, vec![2, 3]);
+        assert_eq!(plan.corrupt_shards, vec![4]);
+        assert!(!plan.is_empty());
+        assert!(FailurePlan::parse("").expect("empty spec").is_empty());
+        assert!(
+            FailurePlan::parse(" drop = 1 , 2 ; ").is_ok(),
+            "whitespace tolerated"
+        );
+        assert!(FailurePlan::parse("explode=1").is_err());
+        assert!(FailurePlan::parse("kill=x").is_err());
+        assert!(FailurePlan::parse("kill0").is_err());
+    }
+
+    #[test]
+    fn wire_types_round_trip() {
+        let job = chip_request();
+        assert_eq!(
+            JobRequest::from_json(&job.to_json()).expect("roundtrip"),
+            job
+        );
+        for inject in [
+            None,
+            Some(ShardInjection::Kill),
+            Some(ShardInjection::StallMs(1500)),
+        ] {
+            let shard = ShardRequest {
+                model: "hopkins".to_owned(),
+                mask: job.mask.clone(),
+                halo_px: 8,
+                start_tile: 2,
+                tile_count: 1,
+                // A value above 2^53: survives only because the wire carries
+                // fingerprints as hex strings, never JSON numbers.
+                fingerprint: u64::MAX - 3,
+                inject,
+            };
+            assert_eq!(
+                ShardRequest::from_json(&shard.to_json()).expect("roundtrip"),
+                shard
+            );
+        }
+        let response = ShardResponse {
+            fingerprint: 7,
+            start_tile: 2,
+            tile_count: 1,
+            values: vec![0.5, 1.25, 3.0e-3],
+        };
+        assert_eq!(
+            ShardResponse::from_json(&response.to_json()).expect("roundtrip"),
+            response
+        );
+    }
+
+    #[test]
+    fn checkpoint_rejects_truncation_and_mismatch() {
+        let dir = temp_dir("ckpt");
+        let path = shard_path(&dir, 3);
+        let values: Vec<f64> = (0..10).map(|i| i as f64 * 0.25).collect();
+        save_shard_checkpoint(&path, 42, 3, 6, 2, &values).expect("save");
+        assert_eq!(
+            load_shard_checkpoint(&path, 42, 3, 6, 2, 10).expect("load"),
+            values
+        );
+        let kind = |fp, shard, start, count, len| {
+            load_shard_checkpoint(&path, fp, shard, start, count, len)
+                .expect_err("must reject")
+                .kind()
+        };
+        assert_eq!(
+            kind(43, 3, 6, 2, 10),
+            io::ErrorKind::InvalidData,
+            "fingerprint"
+        );
+        assert_eq!(
+            kind(42, 2, 6, 2, 10),
+            io::ErrorKind::InvalidData,
+            "shard index"
+        );
+        assert_eq!(
+            kind(42, 3, 5, 2, 10),
+            io::ErrorKind::InvalidData,
+            "geometry"
+        );
+        assert_eq!(kind(42, 3, 6, 2, 9), io::ErrorKind::InvalidData, "length");
+        let data = fs::read(&path).expect("read");
+        fs::write(&path, &data[..data.len() / 2]).expect("truncate");
+        assert_eq!(
+            kind(42, 3, 6, 2, 10),
+            io::ErrorKind::UnexpectedEof,
+            "truncation"
+        );
+        let mut flipped = data.clone();
+        let index = flipped.len() - 12; // inside the last value, before the checksum
+        flipped[index] ^= 0x40;
+        fs::write(&path, &flipped).expect("rewrite");
+        assert_eq!(
+            kind(42, 3, 6, 2, 10),
+            io::ErrorKind::InvalidData,
+            "checksum"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_math_partitions_the_grid() {
+        for (tiles, shard_tiles) in [(1, 1), (4, 1), (4, 3), (9, 4), (10, 5), (7, 7)] {
+            let shards = shard_count(tiles, shard_tiles);
+            let mut covered = 0;
+            for shard in 0..shards {
+                let (start, count) = shard_range(tiles, shard_tiles, shard);
+                assert_eq!(start, covered, "shards must be contiguous");
+                assert!((1..=shard_tiles).contains(&count));
+                covered += count;
+            }
+            assert_eq!(covered, tiles, "shards must partition the grid exactly");
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_growing() {
+        let config = JobConfig::default();
+        let first = backoff_delay(&config, 99, 3, 1);
+        assert_eq!(first, backoff_delay(&config, 99, 3, 1), "deterministic");
+        assert!(
+            first >= config.backoff && first < 2 * config.backoff,
+            "{first:?}"
+        );
+        let fourth = backoff_delay(&config, 99, 3, 4);
+        assert!(fourth >= 8 * config.backoff, "{fourth:?}");
+        assert!(
+            backoff_delay(&config, 99, 3, 16) <= Duration::from_secs(10),
+            "capped"
+        );
+    }
+
+    #[test]
+    fn submit_rejects_unknown_models_and_bad_halos() {
+        let manager = JobManager::new(registry(), in_process_config());
+        let mut request = chip_request();
+        request.model = Some("missing".to_owned());
+        assert!(matches!(
+            manager.submit(request),
+            Err(SubmitError::UnknownModel(_))
+        ));
+        let mut request = chip_request();
+        request.halo_px = Some(32);
+        assert!(matches!(
+            manager.submit(request),
+            Err(SubmitError::Invalid(_))
+        ));
+        assert!(manager.status("job-0000000000000000").is_none());
+    }
+
+    #[test]
+    fn in_process_job_matches_the_chip_pipeline_bit_for_bit() {
+        let registry = registry();
+        let manager = JobManager::new(Arc::clone(&registry), in_process_config());
+        let request = chip_request();
+        let receipt = manager.submit(request.clone()).expect("submit");
+        assert!(!receipt.existing);
+        assert_eq!((receipt.tiles, receipt.shards), (4, 4));
+        let status = finished(&manager, &receipt.job_id);
+        assert_eq!(status.phase, JobPhase::Done, "{:?}", status.error);
+        assert_eq!(status.shards_done, 4);
+        assert_eq!(
+            status.fallback_shards, 4,
+            "no workers: every shard in process"
+        );
+        assert_eq!(status.retries, 0);
+        let body = result_body(&manager, &receipt.job_id);
+        let doc = Json::parse(&body).expect("result JSON");
+        let aerial = doc
+            .get("aerial")
+            .and_then(Json::as_number_slice)
+            .expect("aerial");
+        let resist = doc
+            .get("resist")
+            .and_then(Json::as_number_slice)
+            .expect("resist");
+
+        let (_, simulator) = registry.get("hopkins").expect("model");
+        let reference = ChipPipeline::with_halo(simulator, 8).simulate(&request.mask.rasterize());
+        let expect_aerial = reference.aerial.into_vec();
+        assert_eq!(aerial.len(), expect_aerial.len());
+        for (index, (got, want)) in aerial.iter().zip(&expect_aerial).enumerate() {
+            assert_eq!(got.to_bits(), want.to_bits(), "aerial pixel {index}");
+        }
+        let expect_resist = reference.resist.into_vec();
+        for (index, (got, want)) in resist.iter().zip(&expect_resist).enumerate() {
+            assert_eq!(got.to_bits(), want.to_bits(), "resist pixel {index}");
+        }
+
+        // Idempotent resubmit dedupes onto the finished job.
+        let again = manager.submit(request).expect("resubmit");
+        assert!(again.existing);
+        assert_eq!(again.job_id, receipt.job_id);
+    }
+
+    #[test]
+    fn injected_faults_converge_to_identical_bytes() {
+        let registry = registry();
+        let clean = JobManager::new(Arc::clone(&registry), in_process_config());
+        let receipt = clean.submit(chip_request()).expect("submit");
+        finished(&clean, &receipt.job_id);
+        let clean_body = result_body(&clean, &receipt.job_id);
+
+        let dir = temp_dir("inject");
+        let config = JobConfig {
+            checkpoint_dir: Some(dir.clone()),
+            failures: FailurePlan::parse("drop=0;corrupt=1;stall=2;kill=3").expect("plan"),
+            ..in_process_config()
+        };
+        let faulty = JobManager::new(Arc::clone(&registry), config);
+        let receipt = faulty.submit(chip_request()).expect("submit");
+        let status = finished(&faulty, &receipt.job_id);
+        assert_eq!(status.phase, JobPhase::Done, "{:?}", status.error);
+        assert!(
+            status.retries >= 2,
+            "drop + corrupt must requeue: {status:?}"
+        );
+        assert_eq!(
+            status.injected_failures, 4,
+            "all four faults fire (worker-only ones no-op)"
+        );
+        assert!(
+            status.checkpoint_rejects >= 1,
+            "corrupt checkpoint must be rejected"
+        );
+        assert_eq!(result_body(&faulty, &receipt.job_id), clean_body);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_job_resumes_in_a_new_supervisor() {
+        let registry = registry();
+        let dir = temp_dir("resume");
+        let config = JobConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..in_process_config()
+        };
+        let first = JobManager::new(Arc::clone(&registry), config.clone());
+        let receipt = first.submit(chip_request()).expect("submit");
+        finished(&first, &receipt.job_id);
+        let body = result_body(&first, &receipt.job_id);
+
+        // Truncate one shard's checkpoint: the restarted supervisor below
+        // must reject it, recompute the shard, and still reproduce the bytes.
+        let victim = dir.join(&receipt.job_id).join("shard_00001.ckpt");
+        let data = fs::read(&victim).expect("checkpoint exists");
+        fs::write(&victim, &data[..data.len() / 3]).expect("truncate");
+
+        let second = JobManager::new(Arc::clone(&registry), config);
+        let resubmit = second.submit(chip_request()).expect("resubmit");
+        assert!(!resubmit.existing, "a fresh manager holds no such job yet");
+        assert_eq!(resubmit.job_id, receipt.job_id, "same spec, same id");
+        let status = finished(&second, &resubmit.job_id);
+        assert_eq!(status.phase, JobPhase::Done, "{:?}", status.error);
+        assert_eq!(status.resumed, 3, "three intact checkpoints resume");
+        assert!(
+            status.checkpoint_rejects >= 1,
+            "the truncated one self-heals"
+        );
+        assert_eq!(result_body(&second, &resubmit.job_id), body);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod chip;
 pub mod http;
+pub mod jobs;
 pub mod json;
 pub mod loadgen;
 pub mod pw;
@@ -36,7 +37,15 @@ pub mod tiling;
 pub use chip::{
     aerial_sweep, aerial_sweep_with, ChipPipeline, ChipResult, ChipSweep, TileSimulator,
 };
-pub use http::{http_request, HttpServer, Request, Response, ServeConfig, ShutdownHandle};
+pub use http::{
+    http_request, http_request_with_timeout, HttpServer, Request, Response, ServeConfig,
+    ShutdownHandle,
+};
+pub use jobs::{
+    compute_shard, shard_count, FailurePlan, JobConfig, JobManager, JobPhase, JobReceipt,
+    JobRequest, JobStatus, ShardInjection, ShardRequest, ShardResponse, SubmitError,
+    WorkerLauncher,
+};
 pub use json::Json;
 pub use loadgen::{drive, LoadReport, RequestSpec};
 pub use pw::{

@@ -11,6 +11,11 @@
 //!   pixels), stitched aerial/resist out.
 //! * `POST /v1/process_window` — a focus × dose matrix of full-chip
 //!   simulations with per-condition CD/EPE metrology and the PVB summary.
+//! * `POST /v1/jobs`, `GET /v1/jobs/<id>[/result]` — the async sharded job
+//!   layer: submit a reticle-scale layout, poll status, fetch the stitched
+//!   result (see [`crate::jobs`] and DESIGN.md §13).
+//! * `POST /v1/shard` — the internal worker protocol (one contiguous run of
+//!   tiles in, owned-region aerial values out).
 //!
 //! The service itself is transport-free (`handle` maps requests to
 //! responses); `nitho-serve` wires it to an [`HttpServer`](crate::http) and
@@ -25,19 +30,24 @@ use litho_optics::ProcessCondition;
 
 use crate::chip::{ChipPipeline, ChipSweep};
 use crate::http::{Request, Response};
+use crate::jobs::{
+    compute_shard, JobConfig, JobManager, JobPhase, JobRequest, ShardInjection, ShardRequest,
+    ShardResponse, SubmitError,
+};
 use crate::json::Json;
 use crate::pw::{
     ConditionReport, MaskSpec, ProcessWindowRequest, ProcessWindowResponse, PvbReport,
 };
 use crate::queue::{ConditionBatcher, ServerMetrics, SharedEngine};
 use crate::registry::ModelRegistry;
+use crate::tiling::{TileGrid, TilingConfig};
 
 /// Largest accepted chip, in pixels (a 4096 × 4096 layout).
 const MAX_CHIP_PIXELS: usize = 4096 * 4096;
 
 /// The HTTP-facing inference service over a [`ModelRegistry`].
 pub struct Service {
-    registry: ModelRegistry,
+    registry: Arc<ModelRegistry>,
     /// Serving-tier counters surfaced on `/healthz`; shared with the event
     /// loop via [`Service::with_metrics`] (a private zeroed block otherwise).
     metrics: Arc<ServerMetrics>,
@@ -47,6 +57,12 @@ pub struct Service {
     /// Cross-request merging switch. On by default; the serving bench turns
     /// it off to measure the pre-batching baseline.
     cross_request_batching: bool,
+    /// Sharded-job supervisor behind `/v1/jobs` (see [`crate::jobs`]).
+    jobs: Arc<JobManager>,
+    /// `true` in `nitho-serve --worker` children only: the `/v1/shard` route
+    /// honors failure injections (stall/kill) solely in worker mode, so a
+    /// public client can never ask the supervisor process to exit.
+    worker_mode: bool,
 }
 
 /// A protocol error: HTTP status plus a message for the error body.
@@ -82,12 +98,37 @@ impl Service {
     /// transport (the event loop updates it; `/healthz` reports it).
     pub fn with_metrics(registry: ModelRegistry, metrics: Arc<ServerMetrics>) -> Self {
         register_all_metrics();
+        let registry = Arc::new(registry);
+        let jobs = JobManager::new(Arc::clone(&registry), JobConfig::from_env());
         Self {
             registry,
             metrics,
             batcher: ConditionBatcher::new(),
             cross_request_batching: true,
+            jobs,
+            worker_mode: false,
         }
+    }
+
+    /// Replaces the job-layer configuration (the binary attaches the worker
+    /// launcher here; tests inject failure plans and checkpoint dirs).
+    #[must_use]
+    pub fn with_job_config(mut self, config: JobConfig) -> Self {
+        self.jobs = JobManager::new(Arc::clone(&self.registry), config);
+        self
+    }
+
+    /// Marks this service as a `--worker` child, enabling `/v1/shard`
+    /// failure injections. Never set on a public-facing supervisor.
+    #[must_use]
+    pub fn with_worker_mode(mut self, enabled: bool) -> Self {
+        self.worker_mode = enabled;
+        self
+    }
+
+    /// The job supervisor (tests use it to wait on job completion).
+    pub fn jobs(&self) -> &Arc<JobManager> {
+        &self.jobs
     }
 
     /// Enables or disables cross-request condition batching (on by default).
@@ -118,12 +159,21 @@ impl Service {
             ("GET", "/v1/models") => Ok(self.models()),
             ("POST", "/v1/simulate") => self.simulate(request),
             ("POST", "/v1/process_window") => self.process_window(request),
-            (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/simulate" | "/v1/process_window") => {
-                Err(ServiceError {
-                    status: 405,
-                    message: "method not allowed".to_owned(),
-                })
-            }
+            ("POST", "/v1/jobs") => self.submit_job(request),
+            ("POST", "/v1/shard") => self.shard(request),
+            ("GET", path) if path.starts_with("/v1/jobs/") => self.job_get(path),
+            (
+                _,
+                "/healthz" | "/metrics" | "/v1/models" | "/v1/simulate" | "/v1/process_window"
+                | "/v1/jobs" | "/v1/shard",
+            ) => Err(ServiceError {
+                status: 405,
+                message: "method not allowed".to_owned(),
+            }),
+            (_, path) if path.starts_with("/v1/jobs/") => Err(ServiceError {
+                status: 405,
+                message: "method not allowed".to_owned(),
+            }),
             _ => Err(ServiceError::not_found("no such route")),
         };
         match result {
@@ -540,6 +590,156 @@ impl Service {
         };
         Ok(json_response(200, &response.to_json()))
     }
+
+    /// `POST /v1/jobs`: accepts a sharded full-chip job and returns a 202
+    /// receipt. Identical specs dedupe onto the running (or finished) job —
+    /// which is also how a restarted supervisor reattaches to a checkpointed
+    /// job: resubmit the same body, poll the same id.
+    fn submit_job(&self, request: &Request) -> Result<Response, ServiceError> {
+        let _span = litho_obs::span("service.jobs.submit");
+        let text = request
+            .body_text()
+            .ok_or_else(|| ServiceError::bad_request("body is not UTF-8"))?;
+        let doc = Json::parse(text)
+            .map_err(|err| ServiceError::bad_request(format!("invalid JSON: {err}")))?;
+        let job = JobRequest::from_json(&doc).map_err(ServiceError::bad_request)?;
+        let (rows, cols) = job.mask.shape();
+        if rows.saturating_mul(cols) > MAX_CHIP_PIXELS {
+            return Err(ServiceError::bad_request(format!(
+                "mask {rows}x{cols} exceeds the {MAX_CHIP_PIXELS}-pixel limit"
+            )));
+        }
+        let receipt = self.jobs.submit(job).map_err(|err| match err {
+            SubmitError::UnknownModel(name) => {
+                ServiceError::not_found(format!("unknown model {name:?}"))
+            }
+            SubmitError::Invalid(message) => ServiceError::bad_request(message),
+        })?;
+        Ok(json_response(
+            202,
+            &Json::object(vec![
+                ("job_id", Json::string(&receipt.job_id)),
+                ("shards", Json::Number(receipt.shards as f64)),
+                ("tiles", Json::Number(receipt.tiles as f64)),
+                ("existing", Json::Bool(receipt.existing)),
+                (
+                    "status_url",
+                    Json::string(&format!("/v1/jobs/{}", receipt.job_id)),
+                ),
+            ]),
+        ))
+    }
+
+    /// `GET /v1/jobs/<id>` (status) and `GET /v1/jobs/<id>/result` (the
+    /// stitched body once done; 409 while running, 500 once failed).
+    fn job_get(&self, path: &str) -> Result<Response, ServiceError> {
+        let rest = &path["/v1/jobs/".len()..];
+        let (id, want_result) = match rest.strip_suffix("/result") {
+            Some(id) => (id, true),
+            None => (rest, false),
+        };
+        if id.is_empty() || id.contains('/') {
+            return Err(ServiceError::not_found("no such route"));
+        }
+        if !want_result {
+            let status = self
+                .jobs
+                .status(id)
+                .ok_or_else(|| ServiceError::not_found(format!("no such job {id:?}")))?;
+            return Ok(json_response(200, &status.to_json()));
+        }
+        let (status, body) = self
+            .jobs
+            .result(id)
+            .ok_or_else(|| ServiceError::not_found(format!("no such job {id:?}")))?;
+        match (status.phase, body) {
+            (JobPhase::Done, Some(body)) => Ok(Response::json(200, String::clone(&body))),
+            (JobPhase::Failed, _) => Err(ServiceError {
+                status: 500,
+                message: status.error.unwrap_or_else(|| "job failed".to_owned()),
+            }),
+            _ => Err(ServiceError {
+                status: 409,
+                message: format!(
+                    "job {id} still running ({}/{} shards done)",
+                    status.shards_done, status.shards
+                ),
+            }),
+        }
+    }
+
+    /// `POST /v1/shard`: the internal worker protocol — one contiguous run
+    /// of tiles of one job in, the owned-region aerial values out. Failure
+    /// injections in the request are honored in worker mode only.
+    fn shard(&self, request: &Request) -> Result<Response, ServiceError> {
+        let _span = litho_obs::span("service.shard");
+        let text = request
+            .body_text()
+            .ok_or_else(|| ServiceError::bad_request("body is not UTF-8"))?;
+        let doc = Json::parse(text)
+            .map_err(|err| ServiceError::bad_request(format!("invalid JSON: {err}")))?;
+        let shard = ShardRequest::from_json(&doc).map_err(ServiceError::bad_request)?;
+        let (info, simulator) = self
+            .registry
+            .get(&shard.model)
+            .ok_or_else(|| ServiceError::not_found(format!("unknown model {:?}", shard.model)))?;
+        let (rows, cols) = shard.mask.shape();
+        if rows.saturating_mul(cols) > MAX_CHIP_PIXELS {
+            return Err(ServiceError::bad_request(format!(
+                "mask {rows}x{cols} exceeds the {MAX_CHIP_PIXELS}-pixel limit"
+            )));
+        }
+        if 2 * shard.halo_px >= info.tile_px {
+            return Err(ServiceError::bad_request(format!(
+                "halo_px {} leaves no core in a {} px tile",
+                shard.halo_px, info.tile_px
+            )));
+        }
+        let grid = TileGrid::new(TilingConfig::new(info.tile_px, shard.halo_px), rows, cols);
+        let in_bounds = shard
+            .start_tile
+            .checked_add(shard.tile_count)
+            .is_some_and(|end| end <= grid.len());
+        if !in_bounds {
+            return Err(ServiceError::bad_request(format!(
+                "shard tiles {}..{} exceed the {}-tile grid",
+                shard.start_tile,
+                shard.start_tile.saturating_add(shard.tile_count),
+                grid.len()
+            )));
+        }
+        if let Some(inject) = shard.inject {
+            if self.worker_mode {
+                match inject {
+                    ShardInjection::Kill => {
+                        eprintln!(
+                            "nitho-serve: injected worker kill (shard {})",
+                            shard.start_tile
+                        );
+                        std::process::exit(17);
+                    }
+                    ShardInjection::StallMs(ms) => {
+                        eprintln!(
+                            "nitho-serve: injected worker stall {ms} ms (shard {})",
+                            shard.start_tile
+                        );
+                        std::thread::sleep(std::time::Duration::from_millis(ms.min(120_000)));
+                    }
+                }
+            } else {
+                eprintln!("nitho-serve: ignoring shard injection outside worker mode");
+            }
+        }
+        let chip = shard.mask.rasterize();
+        let values = compute_shard(simulator, &chip, &grid, shard.start_tile, shard.tile_count);
+        let response = ShardResponse {
+            fingerprint: shard.fingerprint,
+            start_tile: shard.start_tile,
+            tile_count: shard.tile_count,
+            values,
+        };
+        Ok(json_response(200, &response.to_json()))
+    }
 }
 
 /// Serializes `value` into a JSON response with `status`, degrading to a 500
@@ -585,6 +785,7 @@ pub fn register_all_metrics() {
         litho_parallel::register_metrics();
         crate::queue::register_batcher_metrics();
         crate::http::register_serve_metrics();
+        crate::jobs::register_job_metrics();
         SIMD_BACKEND_INFO.set_label(match litho_math::simd::simd_backend() {
             litho_math::simd::SimdBackend::Scalar => "backend=\"scalar\"",
             litho_math::simd::SimdBackend::Avx2 => "backend=\"avx2\"",
@@ -1039,6 +1240,158 @@ mod tests {
         // Wrong method on the route.
         let response = service.handle(&request("GET", "/v1/process_window", ""));
         assert_eq!(response.status, 405);
+    }
+
+    #[test]
+    fn jobs_routes_submit_poll_and_fetch() {
+        let service = service();
+        let body = r#"{"model":"hopkins","mask":{"rows":96,"cols":96,"rects":[[16,16,80,40]]},"halo_px":8,"shard_tiles":1}"#;
+        let response = service.handle(&request("POST", "/v1/jobs", body));
+        assert_eq!(
+            response.status,
+            202,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        let doc = parse_body(&response);
+        let job_id = doc
+            .get("job_id")
+            .and_then(Json::as_str)
+            .expect("job_id")
+            .to_owned();
+        assert_eq!(doc.get("existing"), Some(&Json::Bool(false)));
+        assert_eq!(doc.get("shards").and_then(Json::as_usize), Some(4));
+        let status_url = format!("/v1/jobs/{job_id}");
+        assert_eq!(
+            doc.get("status_url").and_then(Json::as_str),
+            Some(status_url.as_str())
+        );
+
+        let status = service
+            .jobs()
+            .wait_until_done(&job_id, std::time::Duration::from_secs(120))
+            .expect("job exists");
+        assert_eq!(status.phase, JobPhase::Done, "{:?}", status.error);
+
+        let poll = service.handle(&request("GET", &status_url, ""));
+        assert_eq!(poll.status, 200);
+        let poll_doc = parse_body(&poll);
+        assert_eq!(poll_doc.get("state").and_then(Json::as_str), Some("done"));
+        assert_eq!(
+            poll_doc.get("shards_done").and_then(Json::as_usize),
+            Some(4)
+        );
+
+        let result = service.handle(&request("GET", &format!("{status_url}/result"), ""));
+        assert_eq!(result.status, 200);
+        let result_doc = parse_body(&result);
+        let job_aerial = result_doc
+            .get("aerial")
+            .and_then(Json::as_number_slice)
+            .expect("aerial")
+            .to_vec();
+
+        // The async job route reproduces the synchronous route bit for bit.
+        let sim_body = r#"{"model":"hopkins","mask":{"rows":96,"cols":96,"rects":[[16,16,80,40]]},"halo_px":8}"#;
+        let sim = service.handle(&request("POST", "/v1/simulate", sim_body));
+        assert_eq!(sim.status, 200);
+        let sim_doc = parse_body(&sim);
+        let sim_aerial = sim_doc
+            .get("aerial")
+            .and_then(Json::as_number_slice)
+            .expect("aerial");
+        assert_eq!(job_aerial.len(), sim_aerial.len());
+        for (index, (job, sim)) in job_aerial.iter().zip(sim_aerial).enumerate() {
+            assert_eq!(job.to_bits(), sim.to_bits(), "aerial pixel {index}");
+        }
+
+        // Idempotent resubmit dedupes onto the finished job.
+        let again = service.handle(&request("POST", "/v1/jobs", body));
+        assert_eq!(again.status, 202);
+        assert_eq!(parse_body(&again).get("existing"), Some(&Json::Bool(true)));
+
+        // Unknowns and wrong methods.
+        let cases = [
+            ("GET", "/v1/jobs/job-ffff", "", 404),
+            ("GET", "/v1/jobs/", "", 404),
+            ("PUT", "/v1/jobs", "", 405),
+            ("POST", "/v1/jobs", "{}", 400),
+            ("POST", "/v1/jobs", "not json", 400),
+            (
+                "POST",
+                "/v1/jobs",
+                r#"{"model":"nope","mask":{"rows":8,"cols":8,"rects":[[0,0,4,4]]}}"#,
+                404,
+            ),
+        ];
+        for (method, path, body, expected) in cases {
+            let response = service.handle(&request(method, path, body));
+            assert_eq!(
+                response.status,
+                expected,
+                "{method} {path}: {}",
+                String::from_utf8_lossy(&response.body)
+            );
+        }
+        let wrong_method = service.handle(&request("DELETE", &status_url, ""));
+        assert_eq!(wrong_method.status, 405);
+    }
+
+    #[test]
+    fn shard_route_computes_owned_values_and_ignores_injection() {
+        let service = service();
+        // `inject: "kill"` outside worker mode must be ignored — this test
+        // surviving is the assertion that a public client cannot kill the
+        // supervisor through the worker protocol.
+        let shard = r#"{"model":"hopkins","mask":{"rows":96,"cols":96,"rects":[[16,16,80,40]]},"halo_px":8,"start_tile":1,"tile_count":2,"fingerprint":"00000000deadbeef","inject":"kill"}"#;
+        let response = service.handle(&request("POST", "/v1/shard", shard));
+        assert_eq!(
+            response.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        let doc = parse_body(&response);
+        assert_eq!(
+            doc.get("fingerprint").and_then(Json::as_str),
+            Some("00000000deadbeef")
+        );
+        assert_eq!(doc.get("start_tile").and_then(Json::as_usize), Some(1));
+        let values = doc
+            .get("values")
+            .and_then(Json::as_number_slice)
+            .expect("values");
+        // Two tiles of a 2×2 grid with 48-px cores.
+        assert_eq!(values.len(), 2 * 48 * 48);
+        assert!(values.iter().all(|v| v.is_finite()));
+
+        let cases = [
+            // Out-of-bounds tiles are a 400, never a panic.
+            (
+                r#"{"model":"hopkins","mask":{"rows":96,"cols":96,"rects":[[16,16,80,40]]},"halo_px":8,"start_tile":3,"tile_count":2,"fingerprint":"00"}"#,
+                400,
+            ),
+            // A halo that leaves no core.
+            (
+                r#"{"model":"hopkins","mask":{"rows":96,"cols":96,"rects":[[16,16,80,40]]},"halo_px":32,"start_tile":0,"tile_count":1,"fingerprint":"00"}"#,
+                400,
+            ),
+            (
+                r#"{"model":"nope","mask":{"rows":96,"cols":96,"rects":[[16,16,80,40]]},"halo_px":8,"start_tile":0,"tile_count":1,"fingerprint":"00"}"#,
+                404,
+            ),
+            ("{}", 400),
+        ];
+        for (body, expected) in cases {
+            let response = service.handle(&request("POST", "/v1/shard", body));
+            assert_eq!(
+                response.status,
+                expected,
+                "{body}: {}",
+                String::from_utf8_lossy(&response.body)
+            );
+        }
+        assert_eq!(service.handle(&request("GET", "/v1/shard", "")).status, 405);
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! Real-process fault-tolerance pins for the `/v1/jobs` layer (DESIGN.md
+//! §13): the stitched result must be byte-identical across worker counts,
+//! across injected kill/stall/drop/corrupt failure plans, across an external
+//! SIGKILL of a worker mid-job, and across a SIGKILL of the supervisor
+//! followed by a checkpoint resume. Every scenario runs the actual
+//! `nitho-serve` binary (`--fast --hopkins-only`: deterministic rigorous
+//! engine, no training) as separate OS processes.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant, SystemTime};
+
+use litho_serve::{http_request_with_timeout, Json};
+
+/// 96×96 chip on 64-px tiles with an 8-px halo: 2×2 grid, four single-tile
+/// shards. Same spec everywhere, so every process computes the same job id.
+const JOB_96: &str = r#"{"model":"hopkins","mask":{"rows":96,"cols":96,"rects":[[8,8,56,24],[40,48,88,80],[16,64,32,90]]},"halo_px":8,"shard_tiles":1}"#;
+/// 144×144 chip: 3×3 grid, nine single-tile shards — enough runway to kill
+/// processes mid-job.
+const JOB_144: &str = r#"{"model":"hopkins","mask":{"rows":144,"cols":144,"rects":[[8,8,56,24],[40,48,88,80],[16,64,32,90],[96,16,136,48],[24,100,72,140],[100,96,140,136]]},"halo_px":8,"shard_tiles":1}"#;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "nitho-jobs-proc-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+struct Server {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Server {
+    /// Starts a `--fast --hopkins-only` supervisor with the given
+    /// `NITHO_JOB_*` environment and waits for its ephemeral port.
+    fn start(job_ckpt: &Path, envs: &[(&str, &str)]) -> Server {
+        let port_file = temp_dir("port").join("port");
+        let mut command = Command::new(env!("CARGO_BIN_EXE_nitho-serve"));
+        command
+            .args([
+                "--fast",
+                "--hopkins-only",
+                "--addr",
+                "127.0.0.1",
+                "--port",
+                "0",
+            ])
+            .arg("--port-file")
+            .arg(&port_file)
+            .env("NITHO_JOB_CHECKPOINT_DIR", job_ckpt)
+            .env_remove("NITHO_JOB_FAILURES")
+            .env_remove("NITHO_JOB_WORKERS")
+            .env_remove("NITHO_JOB_LEASE_MS")
+            .stdin(Stdio::null())
+            .stdout(Stdio::null());
+        for (name, value) in envs {
+            command.env(name, value);
+        }
+        let child = command.spawn().expect("spawn nitho-serve");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let port = loop {
+            if let Some(port) = std::fs::read_to_string(&port_file)
+                .ok()
+                .and_then(|text| text.trim().parse::<u16>().ok())
+            {
+                break port;
+            }
+            assert!(Instant::now() < deadline, "server did not report a port");
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        Server {
+            child,
+            addr: SocketAddr::from(([127, 0, 0, 1], port)),
+        }
+    }
+
+    fn request(&self, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+        http_request_with_timeout(self.addr, method, path, body, Duration::from_secs(30))
+            .expect("request to the server")
+    }
+
+    /// Submits `body` and returns the job id from the 202 receipt.
+    fn submit(&self, body: &str) -> String {
+        let (status, text) = self.request("POST", "/v1/jobs", Some(body));
+        assert_eq!(status, 202, "{text}");
+        Json::parse(&text)
+            .expect("receipt JSON")
+            .get("job_id")
+            .and_then(Json::as_str)
+            .expect("job_id")
+            .to_owned()
+    }
+
+    fn status(&self, job_id: &str) -> Json {
+        let (status, text) = self.request("GET", &format!("/v1/jobs/{job_id}"), None);
+        assert_eq!(status, 200, "{text}");
+        Json::parse(&text).expect("status JSON")
+    }
+
+    /// Polls until the job leaves `running`, then returns the final status.
+    fn wait_done(&self, job_id: &str) -> Json {
+        let deadline = Instant::now() + Duration::from_secs(300);
+        loop {
+            let status = self.status(job_id);
+            let state = status.get("state").and_then(Json::as_str).expect("state");
+            if state != "running" {
+                assert_eq!(state, "done", "job failed: {status:?}");
+                return status;
+            }
+            assert!(Instant::now() < deadline, "job did not finish: {status:?}");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    fn result(&self, job_id: &str) -> String {
+        let (status, text) = self.request("GET", &format!("/v1/jobs/{job_id}/result"), None);
+        assert_eq!(status, 200, "{text}");
+        text
+    }
+
+    fn run_to_result(&self, body: &str) -> (String, Json) {
+        let job_id = self.submit(body);
+        let status = self.wait_done(&job_id);
+        (self.result(&job_id), status)
+    }
+
+    fn shutdown(mut self) {
+        let _ = self.request("POST", "/v1/shutdown", Some("{}"));
+        let _ = self.child.wait();
+    }
+}
+
+fn counter(status: &Json, name: &str) -> usize {
+    status
+        .get(name)
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| panic!("{name} in {status:?}"))
+}
+
+/// The no-failure, no-worker reference bytes, computed once per chip size.
+fn baseline(body: &'static str) -> &'static String {
+    static BASE_96: OnceLock<String> = OnceLock::new();
+    static BASE_144: OnceLock<String> = OnceLock::new();
+    let slot = if std::ptr::eq(body, JOB_96) {
+        &BASE_96
+    } else {
+        &BASE_144
+    };
+    slot.get_or_init(|| {
+        let server = Server::start(&temp_dir("baseline"), &[("NITHO_JOB_WORKERS", "0")]);
+        let (result, status) = server.run_to_result(body);
+        assert_eq!(counter(&status, "retries"), 0);
+        server.shutdown();
+        result
+    })
+}
+
+#[test]
+fn stitched_bytes_identical_across_worker_counts() {
+    let reference = baseline(JOB_96);
+    for workers in ["1", "2", "4"] {
+        let server = Server::start(&temp_dir("workers"), &[("NITHO_JOB_WORKERS", workers)]);
+        let (result, status) = server.run_to_result(JOB_96);
+        assert_eq!(
+            &result, reference,
+            "worker count {workers} changed the stitched bytes"
+        );
+        // The shards really went through worker RPCs, not the fallback.
+        assert_eq!(
+            counter(&status, "fallback_shards"),
+            0,
+            "{workers}: {status:?}"
+        );
+        server.shutdown();
+    }
+}
+
+#[test]
+fn injected_failure_plans_do_not_change_bytes() {
+    let reference = baseline(JOB_96);
+    let server = Server::start(
+        &temp_dir("plan"),
+        &[
+            ("NITHO_JOB_WORKERS", "2"),
+            ("NITHO_JOB_LEASE_MS", "1500"),
+            ("NITHO_JOB_BACKOFF_MS", "50"),
+            ("NITHO_JOB_FAILURES", "kill=0;stall=1;corrupt=2;drop=3"),
+        ],
+    );
+    let (result, status) = server.run_to_result(JOB_96);
+    assert_eq!(
+        &result, reference,
+        "failure plan changed the stitched bytes"
+    );
+    assert_eq!(counter(&status, "injected_failures"), 4, "{status:?}");
+    assert!(
+        counter(&status, "retries") >= 3,
+        "kill/stall/corrupt/drop all requeue: {status:?}"
+    );
+    assert!(counter(&status, "checkpoint_rejects") >= 1, "{status:?}");
+    // The /metrics exposition carries the recovery counters too.
+    let (code, metrics) = server.request("GET", "/metrics", None);
+    assert_eq!(code, 200);
+    for name in [
+        "litho_jobs_retries_total",
+        "litho_jobs_injected_failures_total",
+    ] {
+        let line = metrics
+            .lines()
+            .find(|line| line.starts_with(name) && !line.starts_with('#'))
+            .unwrap_or_else(|| panic!("{name} missing from /metrics"));
+        let value: f64 = line
+            .split_whitespace()
+            .last()
+            .expect("value")
+            .parse()
+            .expect("number");
+        assert!(value > 0.0, "{line}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn sigkilled_worker_mid_job_still_converges() {
+    let reference = baseline(JOB_144);
+    let server = Server::start(
+        &temp_dir("kill9"),
+        &[("NITHO_JOB_WORKERS", "1"), ("NITHO_JOB_BACKOFF_MS", "20")],
+    );
+    let job_id = server.submit(JOB_144);
+    // SIGKILL the worker as soon as it is registered — nine debug-build
+    // shards take far longer than this poll loop, so the kill lands mid-job.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let pid = loop {
+        let status = server.status(&job_id);
+        let pids = status
+            .get("worker_pids")
+            .and_then(Json::to_numbers)
+            .expect("pids");
+        if let Some(&pid) = pids.first() {
+            break pid as u32;
+        }
+        let state = status.get("state").and_then(Json::as_str).expect("state");
+        assert_eq!(
+            state, "running",
+            "job finished before a worker appeared: {status:?}"
+        );
+        assert!(
+            Instant::now() < deadline,
+            "no worker registered: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let killed = Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "kill -9 {pid} failed");
+
+    let status = server.wait_done(&job_id);
+    assert_eq!(
+        &server.result(&job_id),
+        reference,
+        "worker SIGKILL changed the bytes"
+    );
+    // The lone worker died, so the remaining shards ran in process.
+    assert!(counter(&status, "fallback_shards") >= 1, "{status:?}");
+    server.shutdown();
+}
+
+#[test]
+fn sigkilled_supervisor_resumes_from_checkpoints() {
+    let reference = baseline(JOB_144);
+    let ckpt = temp_dir("resume");
+
+    // Phase 1: run in process (checkpoints accrue shard by shard) and
+    // SIGKILL the supervisor at a pseudo-random shard boundary.
+    let first = Server::start(&ckpt, &[("NITHO_JOB_WORKERS", "0")]);
+    let job_id = first.submit(JOB_144);
+    let boundary = 1
+        + (SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .expect("clock")
+            .subsec_nanos() as usize)
+            % 5;
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let status = first.status(&job_id);
+        let done = counter(&status, "shards_done");
+        if done >= boundary {
+            break;
+        }
+        let state = status.get("state").and_then(Json::as_str).expect("state");
+        assert_eq!(
+            state, "running",
+            "finished before the kill boundary: {status:?}"
+        );
+        assert!(
+            Instant::now() < deadline,
+            "stalled before the kill boundary"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    drop(first); // SIGKILL-equivalent: kill() + wait, no graceful shutdown
+
+    // Phase 2: a fresh supervisor over the same checkpoint dir resumes the
+    // job on resubmit and reproduces the reference bytes exactly.
+    let second = Server::start(&ckpt, &[("NITHO_JOB_WORKERS", "0")]);
+    let resumed_id = second.submit(JOB_144);
+    assert_eq!(resumed_id, job_id, "same spec must map to the same job id");
+    let status = second.wait_done(&resumed_id);
+    assert!(
+        counter(&status, "resumed") >= 1,
+        "at least the pre-kill shards resume from checkpoints (boundary {boundary}): {status:?}"
+    );
+    assert_eq!(
+        &second.result(&resumed_id),
+        reference,
+        "kill-then-resume changed the stitched bytes"
+    );
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&ckpt);
+}

@@ -1,7 +1,8 @@
 //! `nitho-serve` client walkthrough: starts the inference service in-process
 //! on an ephemeral port, then talks to it exactly like a network client —
-//! `/healthz`, `/v1/models`, and a `/v1/simulate` round-trip whose resist
-//! image is rendered as ASCII art.
+//! `/healthz`, `/v1/models`, a `/v1/simulate` round-trip whose resist image
+//! is rendered as ASCII art, and the async `/v1/jobs` submit → poll → fetch
+//! cycle, checking the stitched job bytes against the synchronous answer.
 //!
 //! ```text
 //! cargo run --release --example serve_client
@@ -13,7 +14,9 @@
 
 use litho_masks::{Dataset, DatasetKind};
 use litho_optics::{HopkinsSimulator, OpticalConfig};
-use litho_serve::{http_request, HttpServer, Json, ModelRegistry, Service};
+use litho_serve::{
+    http_request, http_request_with_timeout, HttpServer, Json, ModelRegistry, Service,
+};
 use nitho::{NithoConfig, NithoModel};
 
 fn main() {
@@ -92,9 +95,94 @@ fn main() {
         .get("resist")
         .and_then(Json::to_numbers)
         .expect("resist");
-    let image = litho_math::RealMatrix::from_vec(rows, cols, resist);
+    let image = litho_math::RealMatrix::from_vec(rows, cols, resist.clone());
     println!("\npredicted resist image ({rows}x{cols}):");
     println!("{}", litho_bench::ascii_image(&image, 64));
+
+    // --- Async jobs tier: the same chip as a sharded background job. With
+    // no worker launcher configured the supervisor degrades gracefully to
+    // in-process execution — the stitched bytes are identical either way.
+    // `http_request_with_timeout` puts an explicit deadline on every socket
+    // read and write, the polite way to poll a long-running job endpoint.
+    let budget = std::time::Duration::from_secs(10);
+    let job = r#"{
+        "model": "nitho",
+        "halo_px": 16,
+        "shard_tiles": 2,
+        "mask": {
+            "rows": 160, "cols": 128,
+            "rects": [
+                [8, 16, 120, 32], [8, 48, 96, 64], [40, 80, 120, 96],
+                [16, 112, 28, 124], [52, 112, 64, 124], [88, 112, 100, 124],
+                [16, 136, 28, 148], [52, 136, 64, 148], [88, 136, 100, 148]
+            ]
+        }
+    }"#;
+    let (status, body) =
+        http_request_with_timeout(addr, "POST", "/v1/jobs", Some(job), budget).expect("submit");
+    let receipt = Json::parse(&body).expect("receipt JSON");
+    let job_id = receipt
+        .get("job_id")
+        .and_then(Json::as_str)
+        .expect("job_id")
+        .to_owned();
+    println!(
+        "\nPOST /v1/jobs     -> {status}: job {job_id}, {} shards over {} tiles",
+        receipt.get("shards").and_then(Json::as_usize).unwrap_or(0),
+        receipt.get("tiles").and_then(Json::as_usize).unwrap_or(0),
+    );
+
+    let final_status = loop {
+        let (status, body) =
+            http_request_with_timeout(addr, "GET", &format!("/v1/jobs/{job_id}"), None, budget)
+                .expect("poll");
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).expect("status JSON");
+        match doc.get("state").and_then(Json::as_str) {
+            Some("running") => std::thread::sleep(std::time::Duration::from_millis(25)),
+            Some("done") => break doc,
+            other => panic!("job ended in state {other:?}: {body}"),
+        }
+    };
+    println!(
+        "GET /v1/jobs/{{id}} -> done: {}/{} shards, {} retries, {} fallback",
+        final_status
+            .get("shards_done")
+            .and_then(Json::as_usize)
+            .unwrap_or(0),
+        final_status
+            .get("shards")
+            .and_then(Json::as_usize)
+            .unwrap_or(0),
+        final_status
+            .get("retries")
+            .and_then(Json::as_usize)
+            .unwrap_or(0),
+        final_status
+            .get("fallback_shards")
+            .and_then(Json::as_usize)
+            .unwrap_or(0),
+    );
+
+    let (status, body) = http_request_with_timeout(
+        addr,
+        "GET",
+        &format!("/v1/jobs/{job_id}/result"),
+        None,
+        budget,
+    )
+    .expect("result");
+    assert_eq!(status, 200, "{body}");
+    let stitched = Json::parse(&body).expect("result JSON");
+    let job_resist = stitched
+        .get("resist")
+        .and_then(Json::to_numbers)
+        .expect("stitched resist");
+    assert_eq!(
+        job_resist, resist,
+        "async job and synchronous /v1/simulate must agree bit for bit"
+    );
+    println!("GET .../result    -> {status}: stitched resist matches /v1/simulate exactly");
 
     shutdown.shutdown();
     server_thread.join().expect("server thread");
